@@ -1,0 +1,540 @@
+//! The multi-model database: all three schema levels wired together.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dme_core::translate::{relational_op_to_graph, CompletionMode, TranslateError};
+use dme_graph::{GraphOp, GraphOpError, GraphState};
+use dme_relation::{RelOp, RelationState, RelationalSchema};
+
+use crate::internal::{InternalError, InternalLevel};
+use crate::view::ExternalView;
+
+/// Errors raised by the multi-model database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnsiError {
+    /// The conceptual operation failed (the error state).
+    Conceptual(String),
+    /// An inter-level translation failed.
+    Translate(String),
+    /// The internal level failed.
+    Internal(String),
+    /// No view with this name.
+    NoSuchView(String),
+    /// A view with this name already exists.
+    ViewExists(String),
+    /// A consistency audit found diverged levels.
+    Inconsistent(String),
+}
+
+impl fmt::Display for AnsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnsiError::Conceptual(s) => write!(f, "conceptual operation failed: {s}"),
+            AnsiError::Translate(s) => write!(f, "translation failed: {s}"),
+            AnsiError::Internal(s) => write!(f, "internal level failed: {s}"),
+            AnsiError::NoSuchView(s) => write!(f, "no external view `{s}`"),
+            AnsiError::ViewExists(s) => write!(f, "external view `{s}` already exists"),
+            AnsiError::Inconsistent(s) => write!(f, "levels diverged: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AnsiError {}
+
+impl From<TranslateError> for AnsiError {
+    fn from(e: TranslateError) -> Self {
+        AnsiError::Translate(e.to_string())
+    }
+}
+
+impl From<GraphOpError> for AnsiError {
+    fn from(e: GraphOpError) -> Self {
+        AnsiError::Conceptual(e.to_string())
+    }
+}
+
+impl From<InternalError> for AnsiError {
+    fn from(e: InternalError) -> Self {
+        AnsiError::Internal(e.to_string())
+    }
+}
+
+struct Levels {
+    conceptual: GraphState,
+    internal: InternalLevel,
+    externals: BTreeMap<String, ExternalView>,
+}
+
+/// A shared database presenting one conceptual (graph) application model
+/// through any number of external (relational) application models, over
+/// a storage-backed internal level.
+///
+/// ```
+/// use dme_ansi::MultiModelDatabase;
+/// use dme_core::translate::CompletionMode;
+/// use dme_graph::fixtures as gfix;
+/// use dme_relation::fixtures as rfix;
+/// use dme_relation::RelOp;
+/// use dme_value::{tuple, Value};
+///
+/// let db = MultiModelDatabase::new(gfix::figure4_state()).unwrap();
+/// db.add_view("jobs", rfix::machine_shop_schema(), CompletionMode::StateCompleted)
+///     .unwrap();
+/// // The view materializes to the paper's Figure 3 state…
+/// assert_eq!(db.view_state("jobs").unwrap(), rfix::figure3_state());
+/// // …and a relational update propagates through the conceptual model.
+/// let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+/// db.update_view("jobs", &op).unwrap();
+/// assert_eq!(db.conceptual(), gfix::figure6_state());
+/// db.verify_consistency().unwrap();
+/// ```
+pub struct MultiModelDatabase {
+    levels: RwLock<Levels>,
+}
+
+impl fmt::Debug for MultiModelDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let levels = self.levels.read();
+        write!(
+            f,
+            "MultiModelDatabase({:?}, {} views)",
+            levels.conceptual.sizes(),
+            levels.externals.len()
+        )
+    }
+}
+
+impl MultiModelDatabase {
+    /// Creates a database with the given initial conceptual state.
+    pub fn new(conceptual: GraphState) -> Result<Arc<Self>, AnsiError> {
+        let internal = InternalLevel::new(&conceptual)?;
+        Ok(Arc::new(MultiModelDatabase {
+            levels: RwLock::new(Levels {
+                conceptual,
+                internal,
+                externals: BTreeMap::new(),
+            }),
+        }))
+    }
+
+    /// Registers an external relational view, materialized from the
+    /// current conceptual state.
+    pub fn add_view(
+        &self,
+        name: impl Into<String>,
+        schema: RelationalSchema,
+        mode: CompletionMode,
+    ) -> Result<(), AnsiError> {
+        let name = name.into();
+        let mut levels = self.levels.write();
+        if levels.externals.contains_key(&name) {
+            return Err(AnsiError::ViewExists(name));
+        }
+        let view = ExternalView::materialize(name.clone(), schema, &levels.conceptual, mode)?;
+        levels.externals.insert(name, view);
+        Ok(())
+    }
+
+    /// Removes an external view.
+    pub fn drop_view(&self, name: &str) -> Result<(), AnsiError> {
+        let mut levels = self.levels.write();
+        levels
+            .externals
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| AnsiError::NoSuchView(name.to_owned()))
+    }
+
+    /// The names of the registered views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.levels.read().externals.keys().cloned().collect()
+    }
+
+    /// A snapshot of the conceptual state.
+    pub fn conceptual(&self) -> GraphState {
+        self.levels.read().conceptual.clone()
+    }
+
+    /// A snapshot of one view's relational state.
+    pub fn view_state(&self, name: &str) -> Result<RelationState, AnsiError> {
+        self.levels
+            .read()
+            .externals
+            .get(name)
+            .map(|v| v.state().clone())
+            .ok_or_else(|| AnsiError::NoSuchView(name.to_owned()))
+    }
+
+    /// Retrieval through a view: wraps one of its relations for the
+    /// semantic algebra ("a simple relational view for retrieval", §4).
+    pub fn query_view(
+        &self,
+        view: &str,
+        relation: &str,
+    ) -> Result<dme_relation::algebra::DerivedRelation, AnsiError> {
+        let levels = self.levels.read();
+        let v = levels
+            .externals
+            .get(view)
+            .ok_or_else(|| AnsiError::NoSuchView(view.to_owned()))?;
+        dme_relation::algebra::DerivedRelation::base(v.state(), relation)
+            .ok_or_else(|| AnsiError::Translate(format!("no relation `{relation}` in `{view}`")))
+    }
+
+    /// Applies a conceptual (graph) operation: translate to every view,
+    /// apply everywhere, update storage. All levels move or none do.
+    pub fn update_conceptual(&self, op: &GraphOp) -> Result<(), AnsiError> {
+        let mut levels = self.levels.write();
+        let before = levels.conceptual.clone();
+        let after = op.apply(&before)?;
+        // Plan every view translation against the *current* states before
+        // mutating anything.
+        let mut plans: Vec<(String, Vec<RelOp>)> = Vec::new();
+        for (name, view) in &levels.externals {
+            let ops = view.plan(op, &before)?;
+            plans.push((name.clone(), ops));
+        }
+        for (name, ops) in plans {
+            levels
+                .externals
+                .get_mut(&name)
+                .expect("planned views exist")
+                .apply(&ops)?;
+        }
+        levels.internal.apply_delta(&before, &after)?;
+        levels.conceptual = after;
+        Ok(())
+    }
+
+    /// Applies a relational operation through the named view: translate
+    /// up to the conceptual model, then broadcast like
+    /// [`MultiModelDatabase::update_conceptual`].
+    pub fn update_view(&self, name: &str, op: &RelOp) -> Result<(), AnsiError> {
+        let mut levels = self.levels.write();
+        let before = levels.conceptual.clone();
+        let view = levels
+            .externals
+            .get(name)
+            .ok_or_else(|| AnsiError::NoSuchView(name.to_owned()))?;
+        let gops = relational_op_to_graph(op, view.state(), &before)?;
+
+        // Apply to the conceptual model.
+        let after =
+            GraphOp::apply_all(&gops, &before).map_err(|e| AnsiError::Conceptual(e.to_string()))?;
+
+        // Plan translations for every *other* view; the source view
+        // applies the user's own operation.
+        let mut plans: Vec<(String, Vec<RelOp>)> = vec![(name.to_owned(), vec![op.clone()])];
+        // Translate one conceptual op at a time per view, so every
+        // translation sees a paired (conceptual, view) state.
+        for (other_name, other_view) in &levels.externals {
+            if other_name == name {
+                continue;
+            }
+            let mut ops = Vec::new();
+            let mut rel_state = other_view.state().clone();
+            let mut cursor = before.clone();
+            for gop in &gops {
+                let step = dme_core::translate::graph_op_to_relational(
+                    gop,
+                    &cursor,
+                    &rel_state,
+                    other_view.mode(),
+                )?;
+                rel_state = RelOp::apply_all(&step, &rel_state)
+                    .map_err(|e| AnsiError::Translate(e.to_string()))?;
+                cursor = gop
+                    .apply(&cursor)
+                    .map_err(|e| AnsiError::Conceptual(e.to_string()))?;
+                ops.extend(step);
+            }
+            plans.push((other_name.clone(), ops));
+        }
+
+        for (view_name, ops) in plans {
+            levels
+                .externals
+                .get_mut(&view_name)
+                .expect("planned views exist")
+                .apply(&ops)?;
+        }
+        levels.internal.apply_delta(&before, &after)?;
+        levels.conceptual = after;
+        Ok(())
+    }
+
+    /// Audits all levels: every view and the reconstructed internal state
+    /// must be equivalent to the conceptual state.
+    pub fn verify_consistency(&self) -> Result<(), AnsiError> {
+        let levels = self.levels.read();
+        for (name, view) in &levels.externals {
+            if !view.consistent_with(&levels.conceptual) {
+                return Err(AnsiError::Inconsistent(format!("view `{name}` diverged")));
+            }
+        }
+        let rebuilt = levels
+            .internal
+            .reconstruct(Arc::clone(levels.conceptual.schema()))?;
+        if rebuilt != levels.conceptual {
+            return Err(AnsiError::Inconsistent("internal level diverged".into()));
+        }
+        Ok(())
+    }
+
+    /// Compacts the internal level.
+    pub fn vacuum(&self) {
+        self.levels.write().internal.vacuum();
+    }
+
+    /// View-integration audit (the §3.1 concern of "developing a single
+    /// model of the application consistent with each user's view"):
+    /// returns the part of the conceptual vocabulary visible through *no*
+    /// registered view — information every user is blind to. An empty
+    /// filter means the views jointly cover the conceptual model.
+    pub fn uncovered_vocabulary(&self) -> dme_logic::vocab::FactFilter {
+        let levels = self.levels.read();
+        let conceptual = levels.conceptual.schema().vocabulary();
+        let mut covered = dme_logic::vocab::FactFilter::new();
+        for view in levels.externals.values() {
+            let v = view.schema().vocabulary();
+            covered.entity_types.extend(v.entity_types);
+            covered.characteristics.extend(v.characteristics);
+            covered.predicates.extend(v.predicates);
+        }
+        dme_logic::vocab::FactFilter {
+            entity_types: conceptual
+                .entity_types
+                .difference(&covered.entity_types)
+                .cloned()
+                .collect(),
+            characteristics: conceptual
+                .characteristics
+                .difference(&covered.characteristics)
+                .cloned()
+                .collect(),
+            predicates: conceptual
+                .predicates
+                .difference(&covered.predicates)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_graph::fixtures as gfix;
+    use dme_graph::{Association, EntityRef};
+    use dme_relation::fixtures as rfix;
+    use dme_value::{tuple, Atom, Value};
+
+    fn emp(name: &str) -> EntityRef {
+        EntityRef::new("employee", Atom::str(name))
+    }
+
+    fn db() -> Arc<MultiModelDatabase> {
+        let db = MultiModelDatabase::new(gfix::figure4_state()).unwrap();
+        db.add_view(
+            "three-relations",
+            rfix::machine_shop_schema(),
+            CompletionMode::StateCompleted,
+        )
+        .unwrap();
+        db.add_view(
+            "single-relation",
+            rfix::figure9_schema(),
+            CompletionMode::Minimal,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn views_materialize_to_the_figures() {
+        let db = db();
+        assert_eq!(
+            db.view_state("three-relations").unwrap(),
+            rfix::figure3_state()
+        );
+        assert_eq!(
+            db.view_state("single-relation").unwrap(),
+            rfix::figure9_state()
+        );
+        db.verify_consistency().unwrap();
+        assert_eq!(db.view_names().len(), 2);
+    }
+
+    #[test]
+    fn conceptual_update_propagates_everywhere() {
+        let db = db();
+        let op = GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [("agent", emp("G.Wayshum")), ("object", emp("T.Manhart"))],
+        ));
+        db.update_conceptual(&op).unwrap();
+        assert_eq!(db.conceptual(), gfix::figure6_state());
+        assert_eq!(
+            db.view_state("three-relations").unwrap(),
+            rfix::figure7_state()
+        );
+        db.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn view_update_propagates_to_other_views_and_storage() {
+        let db = db();
+        // "A simple relational view for retrieval and a graph model for
+        // updating" — and here even relational updating works.
+        let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", "NZ745"]]);
+        db.update_view("three-relations", &op).unwrap();
+        assert_eq!(db.conceptual(), gfix::figure6_state());
+        db.verify_consistency().unwrap();
+        // The other view saw the same update in its own terms.
+        let single = db.view_state("single-relation").unwrap();
+        assert!(single
+            .tuples("Jobs")
+            .any(|t| t[0] == Value::str("G.Wayshum") && t[1] == Value::str("T.Manhart")));
+    }
+
+    #[test]
+    fn failing_conceptual_update_changes_nothing() {
+        let db = db();
+        let bad = GraphOp::DeleteEntity(emp("G.Wayshum")); // still supervises
+        assert!(db.update_conceptual(&bad).is_err());
+        assert_eq!(db.conceptual(), gfix::figure4_state());
+        db.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn failing_view_update_changes_nothing() {
+        let db = db();
+        let bad = RelOp::insert("Operate", [tuple!["G.Wayshum", "JCL181", "press"]]);
+        assert!(db.update_view("three-relations", &bad).is_err());
+        db.verify_consistency().unwrap();
+        assert_eq!(
+            db.view_state("three-relations").unwrap(),
+            rfix::figure3_state()
+        );
+    }
+
+    #[test]
+    fn view_management() {
+        let db = db();
+        assert!(matches!(
+            db.add_view(
+                "three-relations",
+                rfix::machine_shop_schema(),
+                CompletionMode::Minimal
+            ),
+            Err(AnsiError::ViewExists(_))
+        ));
+        assert!(matches!(
+            db.view_state("ghost"),
+            Err(AnsiError::NoSuchView(_))
+        ));
+        db.drop_view("single-relation").unwrap();
+        assert!(matches!(
+            db.drop_view("single-relation"),
+            Err(AnsiError::NoSuchView(_))
+        ));
+        assert_eq!(db.view_names(), vec!["three-relations".to_owned()]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let db = db();
+        let op = GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [("agent", emp("G.Wayshum")), ("object", emp("T.Manhart"))],
+        ));
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                let db = Arc::clone(&db);
+                scope.spawn(move |_| {
+                    for _ in 0..50 {
+                        let snapshot = db.conceptual();
+                        assert!(snapshot.sizes().0 >= 4);
+                        let _ = db.view_state("three-relations");
+                    }
+                });
+            }
+            let writer_db = Arc::clone(&db);
+            let op = op.clone();
+            scope.spawn(move |_| {
+                // First application succeeds, the second errors (already
+                // present), both leave the database consistent.
+                let _ = writer_db.update_conceptual(&op);
+                let _ = writer_db.update_conceptual(&op);
+            });
+        })
+        .unwrap();
+        db.verify_consistency().unwrap();
+        assert_eq!(db.conceptual(), gfix::figure6_state());
+    }
+
+    #[test]
+    fn query_view_supports_the_semantic_algebra() {
+        let db = db();
+        let employees = db.query_view("three-relations", "Employees").unwrap();
+        let operate = db.query_view("three-relations", "Operate").unwrap();
+        // "There is an employee named X aged Y operating machine Z":
+        let joined = dme_relation::algebra::conjunction(&employees, &operate, 0, 0).unwrap();
+        assert_eq!(joined.len(), 2);
+        assert!(matches!(
+            db.query_view("three-relations", "Ghost"),
+            Err(AnsiError::Translate(_))
+        ));
+        assert!(matches!(
+            db.query_view("ghost", "Employees"),
+            Err(AnsiError::NoSuchView(_))
+        ));
+    }
+
+    #[test]
+    fn coverage_audit_reports_blind_spots() {
+        let db = MultiModelDatabase::new(gfix::figure4_state()).unwrap();
+        // No views: everything is uncovered.
+        let uncovered = db.uncovered_vocabulary();
+        assert_eq!(uncovered.entity_types.len(), 2);
+        assert_eq!(uncovered.predicates.len(), 2);
+
+        // The personnel subset view covers employees/supervise only.
+        db.add_view(
+            "personnel",
+            rfix::personnel_schema(),
+            CompletionMode::Minimal,
+        )
+        .unwrap();
+        let uncovered = db.uncovered_vocabulary();
+        assert!(uncovered.entity_types.contains("machine"));
+        assert!(!uncovered.entity_types.contains("employee"));
+        assert!(uncovered.predicates.contains("operate"));
+        assert!(!uncovered.predicates.contains("supervise"));
+
+        // Adding the full view closes every blind spot.
+        db.add_view("full", rfix::machine_shop_schema(), CompletionMode::Minimal)
+            .unwrap();
+        let uncovered = db.uncovered_vocabulary();
+        assert!(uncovered.entity_types.is_empty());
+        assert!(uncovered.characteristics.is_empty());
+        assert!(uncovered.predicates.is_empty());
+    }
+
+    #[test]
+    fn vacuum_keeps_consistency() {
+        let db = db();
+        let unit = dme_graph::unit::deletion_unit(
+            &db.conceptual(),
+            [EntityRef::new("machine", Atom::str("NZ745"))],
+            [],
+        );
+        db.update_conceptual(&GraphOp::DeleteUnit(unit)).unwrap();
+        db.vacuum();
+        db.verify_consistency().unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! The internal level: conceptual state mapped onto the storage engine.
+//!
+//! Entities are stored one record per entity in a per-type table
+//! (`entity:<type>`, columns: characteristics in name order);
+//! associations one record per association in a per-predicate table
+//! (`assoc:<predicate>`, columns: role keys in role order). Updates are
+//! deltas applied inside a single storage transaction, so a conceptual
+//! operation that touches many objects (a semantic unit) is atomic at
+//! the internal level too.
+//!
+//! [`InternalLevel::reconstruct`] maps the stored bytes back to a
+//! conceptual state — used by consistency audits to show that the
+//! internal→conceptual mapping, unlike the external ones, forgets
+//! implementation detail (record pointers, page layout) rather than
+//! preserving a 1-1 correspondence.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use dme_storage::{RecordStore, StoreError};
+use dme_value::{Tuple, Value};
+
+use dme_graph::{Association, Entity, EntityRef, GraphSchema, GraphState};
+
+/// Errors raised by the internal level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InternalError {
+    /// A storage failure.
+    Store(String),
+    /// Stored bytes did not decode to a valid conceptual object.
+    Corrupt(String),
+}
+
+impl fmt::Display for InternalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InternalError::Store(s) => write!(f, "storage error: {s}"),
+            InternalError::Corrupt(s) => write!(f, "corrupt internal state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for InternalError {}
+
+impl From<StoreError> for InternalError {
+    fn from(e: StoreError) -> Self {
+        InternalError::Store(e.to_string())
+    }
+}
+
+fn entity_table(entity_type: &str) -> String {
+    format!("entity:{entity_type}")
+}
+
+fn assoc_table(predicate: &str) -> String {
+    format!("assoc:{predicate}")
+}
+
+fn entity_tuple(schema: &GraphSchema, e: &Entity) -> Tuple {
+    // Characteristics in name order (BTreeMap iteration order).
+    let _ = schema;
+    Tuple::new(e.characteristics.values().map(|a| Value::Atom(a.clone())))
+}
+
+fn assoc_tuple(a: &Association) -> Tuple {
+    Tuple::new(a.roles.values().map(|e| Value::Atom(e.key.clone())))
+}
+
+/// The internal level of the ANSI architecture.
+pub struct InternalLevel {
+    store: RecordStore,
+}
+
+impl fmt::Debug for InternalLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InternalLevel({:?})", self.store)
+    }
+}
+
+impl InternalLevel {
+    /// Creates the storage layout for a conceptual schema and loads the
+    /// given initial state.
+    pub fn new(state: &GraphState) -> Result<Self, InternalError> {
+        let schema = state.schema();
+        let mut store = RecordStore::new();
+        for et in schema.universe().entity_types() {
+            store.create_table(entity_table(et.name().as_str()))?;
+        }
+        for pred in schema.universe().predicates() {
+            store.create_table(assoc_table(pred.name().as_str()))?;
+        }
+        let mut level = InternalLevel { store };
+        let empty = GraphState::empty(Arc::clone(schema));
+        level.apply_delta(&empty, state)?;
+        Ok(level)
+    }
+
+    /// Applies the difference between two conceptual states atomically.
+    pub fn apply_delta(
+        &mut self,
+        before: &GraphState,
+        after: &GraphState,
+    ) -> Result<(), InternalError> {
+        let schema = Arc::clone(before.schema());
+        let before_entities: BTreeSet<&Entity> = before.entities().collect();
+        let after_entities: BTreeSet<&Entity> = after.entities().collect();
+        let before_assocs: BTreeSet<&Association> = before.associations().collect();
+        let after_assocs: BTreeSet<&Association> = after.associations().collect();
+
+        let mut txn = self.store.begin();
+        for e in before_entities.difference(&after_entities) {
+            txn.delete(
+                &entity_table(e.entity_type.as_str()),
+                &entity_tuple(&schema, e),
+            )?;
+        }
+        for e in after_entities.difference(&before_entities) {
+            txn.insert(
+                &entity_table(e.entity_type.as_str()),
+                entity_tuple(&schema, e),
+            )?;
+        }
+        for a in before_assocs.difference(&after_assocs) {
+            txn.delete(&assoc_table(a.predicate.as_str()), &assoc_tuple(a))?;
+        }
+        for a in after_assocs.difference(&before_assocs) {
+            txn.insert(&assoc_table(a.predicate.as_str()), assoc_tuple(a))?;
+        }
+        txn.commit();
+        Ok(())
+    }
+
+    /// Rebuilds the conceptual state from storage.
+    pub fn reconstruct(&self, schema: Arc<GraphSchema>) -> Result<GraphState, InternalError> {
+        let mut state = GraphState::empty(Arc::clone(&schema));
+        for et in schema.universe().entity_types() {
+            let chars: Vec<_> = et.characteristics().map(|(c, _)| c.clone()).collect();
+            for tuple in self.store.scan(&entity_table(et.name().as_str()))? {
+                if tuple.arity() != chars.len() {
+                    return Err(InternalError::Corrupt(format!(
+                        "entity record arity {} != {} characteristics",
+                        tuple.arity(),
+                        chars.len()
+                    )));
+                }
+                let entity = Entity::new(
+                    et.name().clone(),
+                    chars.iter().cloned().zip(
+                        tuple
+                            .values()
+                            .map(|v| v.as_atom().cloned().expect("entity records hold atoms")),
+                    ),
+                );
+                state
+                    .insert_entity_raw(entity)
+                    .map_err(|e| InternalError::Corrupt(e.to_string()))?;
+            }
+        }
+        for pred in schema.universe().predicates() {
+            let cases: Vec<_> = pred.cases().map(|(c, t)| (c.clone(), t.clone())).collect();
+            for tuple in self.store.scan(&assoc_table(pred.name().as_str()))? {
+                if tuple.arity() != cases.len() {
+                    return Err(InternalError::Corrupt("association record arity".into()));
+                }
+                let assoc = Association::new(
+                    pred.name().clone(),
+                    cases.iter().zip(tuple.values()).map(|((case, et), v)| {
+                        (
+                            case.clone(),
+                            EntityRef::new(
+                                et.clone(),
+                                v.as_atom()
+                                    .cloned()
+                                    .expect("association records hold atoms"),
+                            ),
+                        )
+                    }),
+                );
+                state
+                    .insert_association_raw(assoc)
+                    .map_err(|e| InternalError::Corrupt(e.to_string()))?;
+            }
+        }
+        Ok(state)
+    }
+
+    /// Storage-level statistics: (tables, total records).
+    pub fn stats(&self) -> (usize, usize) {
+        let tables: Vec<_> = self.store.tables().cloned().collect();
+        let records = tables
+            .iter()
+            .map(|t| self.store.len(t.as_str()).unwrap_or(0))
+            .sum();
+        (tables.len(), records)
+    }
+
+    /// Compacts the underlying heaps.
+    pub fn vacuum(&mut self) {
+        self.store.vacuum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_graph::fixtures as gfix;
+    use dme_graph::GraphOp;
+    use dme_value::Atom;
+
+    #[test]
+    fn round_trip_figure4() {
+        let g = gfix::figure4_state();
+        let level = InternalLevel::new(&g).unwrap();
+        let rebuilt = level.reconstruct(Arc::clone(g.schema())).unwrap();
+        assert_eq!(rebuilt, g);
+        let (tables, records) = level.stats();
+        assert_eq!(tables, 4); // 2 entity types + 2 predicates
+        assert_eq!(records, 5 + 3);
+    }
+
+    #[test]
+    fn deltas_track_operations() {
+        let g = gfix::figure4_state();
+        let mut level = InternalLevel::new(&g).unwrap();
+        let op = GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [
+                ("agent", EntityRef::new("employee", Atom::str("G.Wayshum"))),
+                ("object", EntityRef::new("employee", Atom::str("T.Manhart"))),
+            ],
+        ));
+        let g2 = op.apply(&g).unwrap();
+        level.apply_delta(&g, &g2).unwrap();
+        let rebuilt = level.reconstruct(Arc::clone(g.schema())).unwrap();
+        assert_eq!(rebuilt, g2);
+    }
+
+    #[test]
+    fn unit_deletion_is_atomic_in_storage() {
+        let g = gfix::figure4_state();
+        let mut level = InternalLevel::new(&g).unwrap();
+        let premise = gfix::figure8_premise_state();
+        level.apply_delta(&g, &premise).unwrap();
+        let rebuilt = level.reconstruct(Arc::clone(g.schema())).unwrap();
+        assert_eq!(rebuilt, premise);
+        let (_, records) = level.stats();
+        assert_eq!(records, 4 + 2);
+    }
+
+    #[test]
+    fn vacuum_preserves_state() {
+        let g = gfix::figure4_state();
+        let mut level = InternalLevel::new(&g).unwrap();
+        let premise = gfix::figure8_premise_state();
+        level.apply_delta(&g, &premise).unwrap();
+        level.vacuum();
+        assert_eq!(level.reconstruct(Arc::clone(g.schema())).unwrap(), premise);
+    }
+}

@@ -1,0 +1,42 @@
+#![deny(missing_docs)]
+
+//! # dme-ansi — the ANSI/SPARC three-schema multi-model architecture
+//!
+//! §1.2 of the paper describes the architecture that motivates the whole
+//! equivalence framework: an **internal schema** (physical storage), a
+//! **conceptual schema** (the application model proper) and multiple
+//! **external schemas** (per-user views), with mapping functions between
+//! the levels. The conclusion sketches the payoff: "the ability to
+//! support equivalent relational and graph application models accessing
+//! a shared database would allow the best of both worlds — a simple
+//! relational view for retrieval and a graph model for updating."
+//!
+//! [`MultiModelDatabase`] is that system:
+//!
+//! * the **conceptual level** is a semantic graph application model
+//!   (`dme-graph`), per the paper's recommendation of semantic models for
+//!   the conceptual schema;
+//! * the **internal level** is a `dme-storage` record store holding an
+//!   encoded representation of the conceptual state, updated atomically
+//!   (journaled transactions) by a conceptual→internal mapping that is
+//!   deliberately many-to-one (page layouts and record pointers have "no
+//!   equivalent at the conceptual level", §3.2.3);
+//! * each **external level** is a semantic relation application model
+//!   (`dme-relation`) kept in lockstep through the verified operation
+//!   translators of `dme-core` — several relational views of the same
+//!   graph conceptual model, exactly Figure 9's "many different
+//!   relational views";
+//! * updates may enter at *any* level's interface: an external update is
+//!   translated to the conceptual model and re-broadcast to every other
+//!   external view and to storage.
+//!
+//! Concurrency: the database is shared via `Arc` and guarded by a
+//! `parking_lot` read-write lock; readers snapshot, writers serialize.
+
+pub mod database;
+pub mod internal;
+pub mod view;
+
+pub use database::{AnsiError, MultiModelDatabase};
+pub use internal::InternalLevel;
+pub use view::ExternalView;

@@ -1,0 +1,97 @@
+//! External views: relational application models kept in lockstep.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dme_core::translate::{
+    graph_op_to_relational, materialize_relational_state, CompletionMode, TranslateError,
+};
+use dme_graph::{GraphOp, GraphState};
+use dme_logic::{state_equivalent, ToFacts};
+use dme_relation::{RelOp, RelationState, RelationalSchema};
+
+/// One external schema of the architecture: a semantic relation
+/// application model materialized over the conceptual state.
+pub struct ExternalView {
+    name: String,
+    schema: Arc<RelationalSchema>,
+    state: RelationState,
+    mode: CompletionMode,
+}
+
+impl fmt::Debug for ExternalView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ExternalView({}, {} relations, {} statements)",
+            self.name,
+            self.schema.len(),
+            self.state.len()
+        )
+    }
+}
+
+impl ExternalView {
+    /// Materializes a view over the current conceptual state.
+    pub fn materialize(
+        name: impl Into<String>,
+        schema: RelationalSchema,
+        conceptual: &GraphState,
+        mode: CompletionMode,
+    ) -> Result<Self, TranslateError> {
+        let schema = Arc::new(schema);
+        let state = materialize_relational_state(&schema, &conceptual.to_facts())?;
+        Ok(ExternalView {
+            name: name.into(),
+            schema,
+            state,
+            mode,
+        })
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The view's application-model schema.
+    pub fn schema(&self) -> &Arc<RelationalSchema> {
+        &self.schema
+    }
+
+    /// A snapshot of the view's current state.
+    pub fn state(&self) -> &RelationState {
+        &self.state
+    }
+
+    /// The completion mode used when translating updates into this view.
+    pub fn mode(&self) -> CompletionMode {
+        self.mode
+    }
+
+    /// Translates a conceptual operation into this view's terms (without
+    /// applying it).
+    pub fn plan(
+        &self,
+        op: &GraphOp,
+        conceptual: &GraphState,
+    ) -> Result<Vec<RelOp>, TranslateError> {
+        graph_op_to_relational(op, conceptual, &self.state, self.mode)
+    }
+
+    /// Applies pre-translated operations to the replica.
+    pub(crate) fn apply(&mut self, ops: &[RelOp]) -> Result<(), TranslateError> {
+        let next = RelOp::apply_all(ops, &self.state)
+            .map_err(|e| TranslateError::VerificationFailed(e.to_string()))?;
+        self.state = next;
+        Ok(())
+    }
+
+    /// Checks this view against the conceptual state: equivalence within
+    /// the view's vocabulary (for a subset view, facts the view cannot
+    /// express are out of scope).
+    pub fn consistent_with(&self, conceptual: &GraphState) -> bool {
+        let vocab = self.schema.vocabulary();
+        state_equivalent(&self.state, &vocab.filter(&conceptual.to_facts())).is_equivalent()
+    }
+}

@@ -1,0 +1,88 @@
+//! E-F1: the full ANSI three-schema pipeline — one update entering at
+//! the conceptual or an external level, propagated to every other level
+//! (translation + verification + storage transaction).
+//!
+//! Series: number of registered external views (0, 1, 2), and update
+//! entry point. The cost of supporting "the best of both worlds" is the
+//! per-view translation, each individually verified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dme_ansi::MultiModelDatabase;
+use dme_core::translate::CompletionMode;
+use dme_workload::{
+    graph_state, relational_schema, supervision_toggle_ops, supervision_toggle_rel_ops, ShopConfig,
+};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ansi_pipeline");
+    group.sample_size(20);
+    let cfg = ShopConfig::scaled(50);
+    let gop = supervision_toggle_ops(cfg, 1).remove(0);
+    let rop = supervision_toggle_rel_ops(cfg, 1).remove(0);
+
+    for views in [0usize, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("conceptual_update", views),
+            &views,
+            |b, &views| {
+                b.iter_batched(
+                    || {
+                        let db = MultiModelDatabase::new(graph_state(cfg)).expect("builds");
+                        for v in 0..views {
+                            db.add_view(
+                                format!("view{v}"),
+                                relational_schema(cfg),
+                                if v == 0 {
+                                    CompletionMode::Minimal
+                                } else {
+                                    CompletionMode::StateCompleted
+                                },
+                            )
+                            .expect("view materializes");
+                        }
+                        db
+                    },
+                    |db| db.update_conceptual(&gop).expect("updates"),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+
+    group.bench_function("external_update_2_views", |b| {
+        b.iter_batched(
+            || {
+                let db = MultiModelDatabase::new(graph_state(cfg)).expect("builds");
+                db.add_view("a", relational_schema(cfg), CompletionMode::Minimal)
+                    .expect("view");
+                db.add_view("b", relational_schema(cfg), CompletionMode::StateCompleted)
+                    .expect("view");
+                db
+            },
+            |db| db.update_view("a", &rop).expect("updates"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("materialize_view_n50", |b| {
+        let db = MultiModelDatabase::new(graph_state(cfg)).expect("builds");
+        let mut i = 0usize;
+        b.iter(|| {
+            let name = format!("bench-view-{i}");
+            i += 1;
+            db.add_view(&name, relational_schema(cfg), CompletionMode::Minimal)
+                .expect("view materializes");
+            db.drop_view(&name).expect("drops");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E-F3: constraint checking cost (the §3.2.1 constraint families) as
+//! the state grows, plus per-family costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dme_relation::constraints::{check_all, ColsRef, Constraint};
+use dme_workload::{relational_state, ShopConfig};
+
+fn bench_check_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints");
+    for n in [10usize, 50, 100, 200] {
+        let cfg = ShopConfig::scaled(n);
+        let state = relational_state(cfg);
+        let schema = state.schema().clone();
+        group.bench_with_input(BenchmarkId::new("check_all", n), &n, |b, _| {
+            b.iter(|| check_all(black_box(&schema), black_box(&state)).expect("holds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_families");
+    let cfg = ShopConfig::scaled(100);
+    let state = relational_state(cfg);
+    let families: Vec<(&str, Constraint)> = vec![
+        (
+            "subset",
+            Constraint::Subset {
+                from: ColsRef::new("Operate", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+        ),
+        (
+            "not_null",
+            Constraint::NotNull {
+                relation: "Operate".into(),
+                column: 0,
+            },
+        ),
+        (
+            "unique",
+            Constraint::Unique {
+                relation: "Operate".into(),
+                columns: vec![1],
+            },
+        ),
+        (
+            "functional",
+            Constraint::Functional {
+                relation: "Operate".into(),
+                determinant: vec![1],
+                dependent: vec![2],
+            },
+        ),
+        (
+            "agreement",
+            Constraint::Agreement {
+                left: ColsRef::new("Operate", [0, 1]),
+                right: ColsRef::new("Jobs", [1, 2]),
+            },
+        ),
+    ];
+    for (name, constraint) in &families {
+        group.bench_function(*name, |b| {
+            b.iter(|| constraint.check(black_box(&state)).expect("holds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_check_all, bench_families
+}
+criterion_main!(benches);

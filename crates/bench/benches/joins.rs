@@ -1,0 +1,122 @@
+//! E-SYN: the semantic joins (§3.2.1) vs the syntactic natural join —
+//! the paper's "semantic relation model presents much simpler structures
+//! and operations" claim, quantified on equal-size inputs.
+//!
+//! Inputs: Employees ⋈ Operate over n employees. The semantic conjunction
+//! carries its predicate bookkeeping; the syntactic join is
+//! attribute-name matching. Shapes should be similar (both are hash-free
+//! nested loops here); the point of the comparison is that semantic
+//! bookkeeping does not change the asymptotics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dme_relation::algebra::{conjunction, predicate_join, DerivedRelation};
+use dme_syntactic::codd::schema::{Attribute, CoddSchema, SynRelationSchema};
+use dme_syntactic::codd::{CoddState, SynRelation};
+use dme_value::{Domain, DomainCatalog, Tuple, Value};
+use dme_workload::{relational_state, ShopConfig};
+use std::sync::Arc;
+
+/// Builds syntactic EMP/OPERATE relations with the same contents as the
+/// semantic workload state.
+fn syntactic_pair(n: usize) -> (SynRelation, SynRelation) {
+    let cfg = ShopConfig::scaled(n);
+    let sem = relational_state(cfg);
+    let names: Vec<&str> = (0..n).map(|_| "x").collect();
+    let _ = names;
+    let domains = DomainCatalog::new()
+        .with(Domain::new("names", dme_value::DomainSpec::AnyStr))
+        .with(Domain::new("years", dme_value::DomainSpec::AnyInt))
+        .with(Domain::new("serial-numbers", dme_value::DomainSpec::AnyStr))
+        .with(Domain::new("machine-types", dme_value::DomainSpec::AnyStr));
+    let schema = CoddSchema::new(
+        domains,
+        [
+            SynRelationSchema::new(
+                "EMP",
+                [
+                    Attribute::new("name", "names"),
+                    Attribute::new("age", "years"),
+                ],
+                [0],
+                [],
+            ),
+            SynRelationSchema::new(
+                "OPERATE",
+                [
+                    Attribute::new("name", "names"),
+                    Attribute::new("number", "serial-numbers"),
+                    Attribute::new("type", "machine-types"),
+                ],
+                [1],
+                [],
+            ),
+        ],
+    )
+    .expect("bench schema");
+    let mut state = CoddState::empty(Arc::new(schema));
+    for t in sem.tuples("Employees") {
+        state.insert_raw("EMP", t.clone()).expect("no nulls");
+    }
+    for t in sem.tuples("Operate") {
+        state.insert_raw("OPERATE", t.clone()).expect("no nulls");
+    }
+    (
+        SynRelation::base(&state, "EMP").expect("exists"),
+        SynRelation::base(&state, "OPERATE").expect("exists"),
+    )
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins");
+    for n in [10usize, 50, 100, 200] {
+        let cfg = ShopConfig::scaled(n);
+        let sem = relational_state(cfg);
+        let employees = DerivedRelation::base(&sem, "Employees").expect("exists");
+        let operate = DerivedRelation::base(&sem, "Operate").expect("exists");
+        let jobs = DerivedRelation::base(&sem, "Jobs").expect("exists");
+        let (syn_emp, syn_op) = syntactic_pair(n);
+
+        group.bench_with_input(BenchmarkId::new("semantic_conjunction", n), &n, |b, _| {
+            b.iter(|| conjunction(black_box(&employees), black_box(&operate), 0, 0).expect("joins"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("semantic_predicate_join", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    predicate_join(black_box(&operate), black_box(&jobs), "operate").expect("joins")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("syntactic_natural_join", n), &n, |b, _| {
+            b.iter(|| black_box(&syn_emp).natural_join(black_box(&syn_op)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_project");
+    let cfg = ShopConfig::scaled(200);
+    let sem = relational_state(cfg);
+    let employees = DerivedRelation::base(&sem, "Employees").expect("exists");
+    group.bench_function("semantic_select", |b| {
+        b.iter(|| {
+            employees.select(|t: &Tuple| t[1].as_atom().and_then(|a| a.as_int()).unwrap_or(0) > 40)
+        })
+    });
+    group.bench_function("semantic_project", |b| {
+        b.iter(|| employees.project(&[0]).expect("projects"))
+    });
+    let _ = Value::Null;
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_joins, bench_selection_projection
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E-F5: semantic unit derivation (§3.2.2) and graph state validation
+//! (Figure 5's totality/functionality) as the state grows, plus the
+//! DESIGN.md ablation of recompute-per-op deletion-unit closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dme_graph::unit::deletion_unit;
+use dme_graph::EntityRef;
+use dme_value::Atom;
+use dme_workload::{graph_state, ShopConfig};
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_units");
+    for n in [10usize, 50, 100, 200] {
+        let cfg = ShopConfig::scaled(n);
+        let g = graph_state(cfg);
+        let machine = EntityRef::new("machine", Atom::str("M00000"));
+        let employee = EntityRef::new("employee", Atom::str("E00000"));
+        group.bench_with_input(BenchmarkId::new("machine_deletion_unit", n), &n, |b, _| {
+            b.iter(|| deletion_unit(black_box(&g), [machine.clone()], []))
+        });
+        group.bench_with_input(BenchmarkId::new("employee_deletion_unit", n), &n, |b, _| {
+            b.iter(|| deletion_unit(black_box(&g), [employee.clone()], []))
+        });
+        group.bench_with_input(BenchmarkId::new("validate_state", n), &n, |b, _| {
+            b.iter(|| black_box(&g).validate().expect("valid"))
+        });
+        // DESIGN.md ablation: indexed vs scan participation validation.
+        group.bench_with_input(BenchmarkId::new("validate_state_scan", n), &n, |b, _| {
+            b.iter(|| black_box(&g).validate_scan().expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_units
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E-F3≡F4 at scale: the cost of deciding database state equivalence
+//! (§3.2.3) between a semantic graph state and a semantic relation state
+//! by compiling both to logic facts and comparing.
+//!
+//! Series: machine shops of n ∈ {10, 50, 100, 200} employees. The check
+//! is linear in the number of facts (each side compiles once, the diff
+//! is a sorted-set walk), which is the paper's practical argument for
+//! semantic data models: the interpretation of a state is *direct*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dme_logic::{state_equivalent, ToFacts};
+use dme_workload::{graph_state, relational_state, ShopConfig};
+
+fn bench_state_equiv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_equiv");
+    for n in [10usize, 50, 100, 200] {
+        let cfg = ShopConfig::scaled(n);
+        let g = graph_state(cfg);
+        let r = relational_state(cfg);
+        let facts = g.to_facts().len() as u64;
+        group.throughput(Throughput::Elements(facts));
+        group.bench_with_input(BenchmarkId::new("graph_vs_relational", n), &n, |b, _| {
+            b.iter(|| {
+                let report = state_equivalent(black_box(&g), black_box(&r));
+                assert!(report.is_equivalent());
+                report
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compile_graph_facts", n), &n, |b, _| {
+            b.iter(|| black_box(&g).to_facts())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("compile_relational_facts", n),
+            &n,
+            |b, _| b.iter(|| black_box(&r).to_facts()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_state_equiv
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! The internal-schema substrate in isolation: codec, slotted pages,
+//! heap files and transactional record-store operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dme_storage::{decode_tuple, encode_tuple, HeapFile, Page, RecordStore};
+use dme_value::{tuple, Tuple};
+
+fn sample_tuple(i: i64) -> Tuple {
+    tuple![
+        format!("employee-{i:06}"),
+        i,
+        format!("machine-{:04}", i % 97)
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let t = sample_tuple(123456);
+    let encoded = encode_tuple(&t);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| encode_tuple(black_box(&t))));
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_tuple(black_box(&encoded)).expect("decodes"))
+    });
+    group.finish();
+}
+
+fn bench_page(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page");
+    let record = encode_tuple(&sample_tuple(1));
+    group.bench_function("fill_page", |b| {
+        b.iter(|| {
+            let mut p = Page::new();
+            while p.insert(&record).is_ok() {}
+            p
+        })
+    });
+    group.bench_function("compact_half_dead", |b| {
+        b.iter_batched(
+            || {
+                let mut p = Page::new();
+                let mut slots = Vec::new();
+                while let Ok(s) = p.insert(&record) {
+                    slots.push(s);
+                }
+                for s in slots.iter().step_by(2) {
+                    p.delete(*s).expect("live");
+                }
+                p
+            },
+            |mut p| {
+                p.compact();
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_heap_and_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    for n in [100usize, 1000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("heap_insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = HeapFile::new();
+                for i in 0..n {
+                    h.insert(&encode_tuple(&sample_tuple(i as i64)))
+                        .expect("fits");
+                }
+                h
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("txn_insert_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = RecordStore::new();
+                s.create_table("T").expect("fresh");
+                let mut txn = s.begin();
+                for i in 0..n {
+                    txn.insert("T", sample_tuple(i as i64)).expect("inserts");
+                }
+                txn.commit();
+                s
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("txn_insert_rollback", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = RecordStore::new();
+                s.create_table("T").expect("fresh");
+                {
+                    let mut txn = s.begin();
+                    for i in 0..n {
+                        txn.insert("T", sample_tuple(i as i64)).expect("inserts");
+                    }
+                    // dropped: rollback
+                }
+                s
+            })
+        });
+    }
+    let mut filled = RecordStore::new();
+    filled.create_table("T").expect("fresh");
+    let mut txn = filled.begin();
+    for i in 0..10_000 {
+        txn.insert("T", sample_tuple(i)).expect("inserts");
+    }
+    txn.commit();
+    group.bench_function("scan_10k", |b| b.iter(|| filled.scan("T").expect("scans")));
+    group.bench_function("point_lookup_10k", |b| {
+        let probe = sample_tuple(5_000);
+        b.iter(|| filled.contains("T", black_box(&probe)).expect("reads"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_codec, bench_page, bench_heap_and_store
+}
+criterion_main!(benches);

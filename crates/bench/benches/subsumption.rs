@@ -1,0 +1,85 @@
+//! The insert-statements pipeline and the normalization ablation
+//! (DESIGN.md §3.1–3.2).
+//!
+//! §3.3.1's automatic deletion of dominated statements requires scanning
+//! the target relation on every insertion. We measure the full
+//! `insert-statements` (well-formedness + union + normalization +
+//! constraint check), the normalization pass alone, and the raw insert
+//! without normalization, across relation sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dme_relation::RelOp;
+use dme_value::{tuple, Value};
+use dme_workload::{relational_state, supervision_toggle_rel_ops, ShopConfig};
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_statements");
+    for n in [10usize, 50, 100, 200] {
+        let cfg = ShopConfig::scaled(n);
+        let state = relational_state(cfg);
+        let op = &supervision_toggle_rel_ops(cfg, 1)[0];
+        group.bench_with_input(BenchmarkId::new("full_pipeline", n), &n, |b, _| {
+            b.iter(|| op.apply(black_box(&state)).expect("applies"))
+        });
+        group.bench_with_input(BenchmarkId::new("normalize_only", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = state.clone();
+                s.normalize();
+                s
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("raw_insert_no_normalize", n),
+            &n,
+            |b, _| {
+                let RelOp::Insert(set) = op else {
+                    // The first toggle op is always an insert with seed 42;
+                    // fall back to a fixed statement otherwise.
+                    let mut s = state.clone();
+                    s.insert_raw("Jobs", tuple!["E00000", "E00001", Value::Null])
+                        .ok();
+                    return b.iter(|| s.clone());
+                };
+                b.iter(|| {
+                    let mut s = state.clone();
+                    for (rel, t) in set.iter() {
+                        s.insert_raw(rel.as_str(), t.clone()).expect("well-formed");
+                    }
+                    s
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delete_statements");
+    for n in [10usize, 50, 100] {
+        let cfg = ShopConfig::scaled(n);
+        let state = relational_state(cfg);
+        // Deny one operate statement: exercises weakening + cascade.
+        let victim = state
+            .tuples("Jobs")
+            .find(|t| !t[2].is_null())
+            .expect("some operate row")
+            .clone();
+        let op = RelOp::delete(
+            "Jobs",
+            [tuple![Value::Null, victim[1].clone(), victim[2].clone()]],
+        );
+        group.bench_with_input(BenchmarkId::new("semantic_cascade", n), &n, |b, _| {
+            b.iter(|| op.apply(black_box(&state)).expect("applies"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_insert, bench_delete
+}
+criterion_main!(benches);

@@ -1,0 +1,699 @@
+//! The equivalence hierarchy (Definitions 1–6) as decision procedures.
+//!
+//! The checkers work on [`FiniteModel`]s whose closures of valid states
+//! (§2.2) are enumerable. The pipeline:
+//!
+//! 1. enumerate both closures ([`FiniteModel::reachable_states`]);
+//! 2. establish the **state equivalence correspondence** by compiling
+//!    every state to its fact base ([`pair_states`]); the paper requires
+//!    this correspondence to be 1-1 and onto, which here means: fact
+//!    compilation is injective on each side, and the two sides induce the
+//!    same set of fact bases;
+//! 3. reduce every operation to its **behaviour signature** — the vector,
+//!    indexed by state pair, of the resulting pair index (or the error
+//!    state). Definition 1's operation equivalence is then signature
+//!    equality;
+//! 4. Definitions 2/3/5 quantify over signatures: exact match
+//!    (isomorphic), match by bounded composition (composed), or per-state
+//!    match by bounded composition (state dependent);
+//! 5. Definition 6 lifts the chosen application-model equivalence to sets
+//!    of application models, reporting *partial equivalence* — exactly
+//!    which application models lack a counterpart — when it fails.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use dme_logic::{FactBase, ToFacts};
+
+use crate::model::{ClosureTooLarge, FiniteModel};
+
+/// Which application-model equivalence (Definition 2, 3 or 5) to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EquivKind {
+    /// Definition 2: a 1-1 correspondence of simple operations.
+    Isomorphic,
+    /// Definition 3: simple operations matched by compositions of at most
+    /// `max_depth` operations.
+    Composed {
+        /// Maximum composition length searched.
+        max_depth: usize,
+    },
+    /// Definition 5: per equivalent state pair, simple operations matched
+    /// by compositions of at most `max_depth` operations.
+    StateDependent {
+        /// Maximum composition length searched.
+        max_depth: usize,
+    },
+}
+
+/// Errors preventing a check from running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A closure exceeded the state cap.
+    Closure(ClosureTooLarge),
+    /// The state equivalence correspondence is not 1-1 onto.
+    Pairing(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Closure(e) => write!(f, "{e}"),
+            CheckError::Pairing(s) => write!(f, "state pairing failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<ClosureTooLarge> for CheckError {
+    fn from(e: ClosureTooLarge) -> Self {
+        CheckError::Closure(e)
+    }
+}
+
+/// Pairs two state sets through fact compilation. Returns the aligned
+/// state lists (index *i* of each list holds equivalent states). The
+/// correspondence must be 1-1 (injective compilation per side) and onto
+/// (same fact bases on both sides), per §3.3.1.
+pub fn pair_states<MS, NS>(
+    m_states: &BTreeSet<MS>,
+    n_states: &BTreeSet<NS>,
+) -> Result<(Vec<MS>, Vec<NS>), CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+{
+    let mut m_by_facts: BTreeMap<FactBase, MS> = BTreeMap::new();
+    for s in m_states {
+        if m_by_facts.insert(s.to_facts(), s.clone()).is_some() {
+            return Err(CheckError::Pairing(
+                "two left states share a fact base (compilation not injective)".into(),
+            ));
+        }
+    }
+    let mut n_by_facts: BTreeMap<FactBase, NS> = BTreeMap::new();
+    for s in n_states {
+        if n_by_facts.insert(s.to_facts(), s.clone()).is_some() {
+            return Err(CheckError::Pairing(
+                "two right states share a fact base (compilation not injective)".into(),
+            ));
+        }
+    }
+    if m_by_facts.len() != n_by_facts.len() || !m_by_facts.keys().eq(n_by_facts.keys()) {
+        let only_left = m_by_facts
+            .keys()
+            .filter(|k| !n_by_facts.contains_key(*k))
+            .count();
+        let only_right = n_by_facts
+            .keys()
+            .filter(|k| !m_by_facts.contains_key(*k))
+            .count();
+        return Err(CheckError::Pairing(format!(
+            "state sets are not onto: {only_left} application states expressible only on the left, {only_right} only on the right"
+        )));
+    }
+    let m_list: Vec<MS> = m_by_facts.into_values().collect();
+    let n_list: Vec<NS> = n_by_facts.into_values().collect();
+    Ok((m_list, n_list))
+}
+
+/// A behaviour signature: per state-pair index, the resulting pair index
+/// or `None` for the error state.
+pub type Signature = Vec<Option<u32>>;
+
+fn signatures<S, O>(model: &FiniteModel<S, O>, states: &[S]) -> Vec<Signature>
+where
+    S: Clone + Ord + ToFacts,
+    O: Clone,
+{
+    let index: BTreeMap<&S, u32> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as u32))
+        .collect();
+    model
+        .ops()
+        .iter()
+        .map(|op| {
+            states
+                .iter()
+                .map(|s| {
+                    model.apply(op, s).map(|next| {
+                        *index
+                            .get(&next)
+                            .expect("closure is closed under operations")
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn identity_signature(n: usize) -> Signature {
+    (0..n as u32).map(Some).collect()
+}
+
+fn compose(first: &Signature, then: &Signature) -> Signature {
+    first
+        .iter()
+        .map(|r| r.and_then(|i| then[i as usize]))
+        .collect()
+}
+
+/// Definition 1: two operations (given as behaviour signatures over the
+/// aligned state lists) are operation equivalent iff they act identically
+/// on every equivalent state pair, treating all error states as
+/// equivalent.
+pub fn operation_equivalent(m: &Signature, n: &Signature) -> bool {
+    m == n
+}
+
+/// The outcome of an application-model equivalence check, with the
+/// witnesses of failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchReport {
+    /// Whether the models are equivalent under the requested definition.
+    pub equivalent: bool,
+    /// Display forms of left operations without an equivalent.
+    pub unmatched_m: Vec<String>,
+    /// Display forms of right operations without an equivalent.
+    pub unmatched_n: Vec<String>,
+    /// Number of equivalent state pairs underlying the check.
+    pub state_pairs: usize,
+}
+
+impl fmt::Display for MatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.equivalent {
+            return write!(f, "equivalent over {} state pairs", self.state_pairs);
+        }
+        writeln!(f, "NOT equivalent over {} state pairs:", self.state_pairs)?;
+        for op in &self.unmatched_m {
+            writeln!(f, "  left op without equivalent:  {op}")?;
+        }
+        for op in &self.unmatched_n {
+            writeln!(f, "  right op without equivalent: {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Definition 2: isomorphic application model equivalence.
+pub fn isomorphic_equivalent<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let (m_states, n_states) = pair_states(
+        &m.reachable_states(state_cap)?,
+        &n.reachable_states(state_cap)?,
+    )?;
+    let m_sigs = signatures(m, &m_states);
+    let n_sigs = signatures(n, &n_states);
+    let n_set: BTreeSet<&Signature> = n_sigs.iter().collect();
+    let m_set: BTreeSet<&Signature> = m_sigs.iter().collect();
+    let unmatched_m: Vec<String> = m
+        .ops()
+        .iter()
+        .zip(&m_sigs)
+        .filter(|(_, sig)| !n_set.contains(sig))
+        .map(|(op, _)| op.to_string())
+        .collect();
+    let unmatched_n: Vec<String> = n
+        .ops()
+        .iter()
+        .zip(&n_sigs)
+        .filter(|(_, sig)| !m_set.contains(sig))
+        .map(|(op, _)| op.to_string())
+        .collect();
+    Ok(MatchReport {
+        equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
+        unmatched_m,
+        unmatched_n,
+        state_pairs: m_states.len(),
+    })
+}
+
+/// All signatures reachable by composing at most `max_depth` operations
+/// (the behaviours of `ops*`, truncated). Includes the identity (the
+/// empty composition).
+fn composable_signatures(
+    op_sigs: &[Signature],
+    pairs: usize,
+    max_depth: usize,
+) -> BTreeSet<Signature> {
+    let mut seen: BTreeSet<Signature> = BTreeSet::new();
+    let identity = identity_signature(pairs);
+    seen.insert(identity.clone());
+    let mut frontier = vec![identity];
+    for _ in 0..max_depth {
+        let mut next_frontier = Vec::new();
+        for sig in &frontier {
+            for op in op_sigs {
+                let composed = compose(sig, op);
+                if seen.insert(composed.clone()) {
+                    next_frontier.push(composed);
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    seen
+}
+
+/// Definition 3: composed operation application model equivalence, with
+/// compositions searched up to `max_depth`.
+pub fn composed_equivalent<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    max_depth: usize,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let (m_states, n_states) = pair_states(
+        &m.reachable_states(state_cap)?,
+        &n.reachable_states(state_cap)?,
+    )?;
+    let pairs = m_states.len();
+    let m_sigs = signatures(m, &m_states);
+    let n_sigs = signatures(n, &n_states);
+    let m_star = composable_signatures(&m_sigs, pairs, max_depth);
+    let n_star = composable_signatures(&n_sigs, pairs, max_depth);
+    let unmatched_m: Vec<String> = m
+        .ops()
+        .iter()
+        .zip(&m_sigs)
+        .filter(|(_, sig)| !n_star.contains(*sig))
+        .map(|(op, _)| op.to_string())
+        .collect();
+    let unmatched_n: Vec<String> = n
+        .ops()
+        .iter()
+        .zip(&n_sigs)
+        .filter(|(_, sig)| !m_star.contains(*sig))
+        .map(|(op, _)| op.to_string())
+        .collect();
+    Ok(MatchReport {
+        equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
+        unmatched_m,
+        unmatched_n,
+        state_pairs: pairs,
+    })
+}
+
+/// Per-state reachability: from each pair index, the set of pair indices
+/// reachable within `max_depth` steps, and whether the error state is
+/// reachable within `max_depth` steps (by erroring at any point along a
+/// valid prefix).
+fn per_state_reachability(
+    op_sigs: &[Signature],
+    pairs: usize,
+    max_depth: usize,
+) -> (Vec<BTreeSet<u32>>, Vec<bool>) {
+    let mut reach: Vec<BTreeSet<u32>> = Vec::with_capacity(pairs);
+    let mut can_error: Vec<bool> = vec![false; pairs];
+    for start in 0..pairs as u32 {
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        seen.insert(start);
+        let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
+        queue.push_back((start, 0));
+        let mut error = false;
+        while let Some((state, depth)) = queue.pop_front() {
+            if depth >= max_depth {
+                continue;
+            }
+            for sig in op_sigs {
+                match sig[state as usize] {
+                    Some(next) => {
+                        if seen.insert(next) {
+                            queue.push_back((next, depth + 1));
+                        }
+                    }
+                    None => error = true,
+                }
+            }
+        }
+        reach.push(seen);
+        can_error[start as usize] = error;
+    }
+    (reach, can_error)
+}
+
+/// Definition 5: state dependent application model equivalence, with
+/// per-state compositions searched up to `max_depth`.
+pub fn state_dependent_equivalent<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    max_depth: usize,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let (m_states, n_states) = pair_states(
+        &m.reachable_states(state_cap)?,
+        &n.reachable_states(state_cap)?,
+    )?;
+    let pairs = m_states.len();
+    let m_sigs = signatures(m, &m_states);
+    let n_sigs = signatures(n, &n_states);
+    let (n_reach, n_err) = per_state_reachability(&n_sigs, pairs, max_depth);
+    let (m_reach, m_err) = per_state_reachability(&m_sigs, pairs, max_depth);
+
+    let check = |sigs: &[Signature],
+                 ops: Vec<String>,
+                 reach: &[BTreeSet<u32>],
+                 err: &[bool]|
+     -> Vec<String> {
+        ops.into_iter()
+            .zip(sigs)
+            .filter(|(_, sig)| {
+                (0..pairs).any(|i| match sig[i] {
+                    Some(target) => !reach[i].contains(&target),
+                    None => !err[i],
+                })
+            })
+            .map(|(op, _)| op)
+            .collect()
+    };
+
+    let unmatched_m = check(
+        &m_sigs,
+        m.ops().iter().map(ToString::to_string).collect(),
+        &n_reach,
+        &n_err,
+    );
+    let unmatched_n = check(
+        &n_sigs,
+        n.ops().iter().map(ToString::to_string).collect(),
+        &m_reach,
+        &m_err,
+    );
+    Ok(MatchReport {
+        equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
+        unmatched_m,
+        unmatched_n,
+        state_pairs: pairs,
+    })
+}
+
+/// Runs the requested application-model equivalence check.
+pub fn application_models_equivalent<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    kind: EquivKind,
+    state_cap: usize,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    match kind {
+        EquivKind::Isomorphic => isomorphic_equivalent(m, n, state_cap),
+        EquivKind::Composed { max_depth } => composed_equivalent(m, n, state_cap, max_depth),
+        EquivKind::StateDependent { max_depth } => {
+            state_dependent_equivalent(m, n, state_cap, max_depth)
+        }
+    }
+}
+
+/// Definition 6 outcome: which application models found counterparts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataModelReport {
+    /// Whether the data models are (totally) equivalent.
+    pub equivalent: bool,
+    /// For each left application model, the names of equivalent right
+    /// models.
+    pub matches_m: Vec<(String, Vec<String>)>,
+    /// For each right application model, the names of equivalent left
+    /// models.
+    pub matches_n: Vec<(String, Vec<String>)>,
+}
+
+impl DataModelReport {
+    /// Left application models with no counterpart (the witnesses of a
+    /// *partial* equivalence).
+    pub fn unmatched_m(&self) -> Vec<&str> {
+        self.matches_m
+            .iter()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Right application models with no counterpart.
+    pub fn unmatched_n(&self) -> Vec<&str> {
+        self.matches_n
+            .iter()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for DataModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.equivalent {
+            write!(f, "data models are equivalent")
+        } else {
+            write!(
+                f,
+                "data models are only partially equivalent; unmatched left: {:?}, unmatched right: {:?}",
+                self.unmatched_m(),
+                self.unmatched_n()
+            )
+        }
+    }
+}
+
+/// Definition 6: two data models (finite sets of application models) are
+/// equivalent iff application model equivalence defines a correspondence
+/// onto both sets. The correspondence need not be 1-1 (§3.3.2: "there may
+/// be several relational application models state dependent equivalent to
+/// each graph model").
+pub fn data_model_equivalent<MS, MO, NS, NO>(
+    ms: &[FiniteModel<MS, MO>],
+    ns: &[FiniteModel<NS, NO>],
+    kind: EquivKind,
+    state_cap: usize,
+) -> Result<DataModelReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let mut matches_m: Vec<(String, Vec<String>)> = Vec::new();
+    let mut matches_n: Vec<(String, Vec<String>)> = ns
+        .iter()
+        .map(|n| (n.name().to_owned(), Vec::new()))
+        .collect();
+    for m in ms {
+        let mut found = Vec::new();
+        for (ni, n) in ns.iter().enumerate() {
+            // A pairing failure means "not equivalent", not a checker
+            // error: the two models express different application states.
+            let report = match application_models_equivalent(m, n, kind, state_cap) {
+                Ok(r) => r,
+                Err(CheckError::Pairing(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            if report.equivalent {
+                found.push(n.name().to_owned());
+                matches_n[ni].1.push(m.name().to_owned());
+            }
+        }
+        matches_m.push((m.name().to_owned(), found));
+    }
+    let equivalent = matches_m.iter().all(|(_, v)| !v.is_empty())
+        && matches_n.iter().all(|(_, v)| !v.is_empty());
+    Ok(DataModelReport {
+        equivalent,
+        matches_m,
+        matches_n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_composition() {
+        // Two pairs; op a: 0→1, 1→err; op b: 0→0, 1→0.
+        let a: Signature = vec![Some(1), None];
+        let b: Signature = vec![Some(0), Some(0)];
+        assert_eq!(compose(&a, &b), vec![Some(0), None]);
+        assert_eq!(compose(&b, &a), vec![Some(1), Some(1)]);
+        let id = identity_signature(2);
+        assert_eq!(compose(&id, &a), a);
+        assert_eq!(compose(&a, &id), a);
+        assert!(operation_equivalent(&a, &a.clone()));
+        assert!(!operation_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn composable_signatures_includes_identity_and_closes() {
+        let a: Signature = vec![Some(1), Some(0)]; // swap
+        let set = composable_signatures(std::slice::from_ref(&a), 2, 3);
+        assert!(set.contains(&identity_signature(2)));
+        assert!(set.contains(&a));
+        assert_eq!(set.len(), 2); // swap ∘ swap = id
+    }
+
+    /// A toy model whose states *are* fact bases: apply adds or removes
+    /// one fact. Lets the checker plumbing be tested without the data
+    /// models.
+    fn toy_model(
+        name: &str,
+        facts: Vec<dme_logic::Fact>,
+        ops: Vec<(bool, dme_logic::Fact)>,
+    ) -> crate::model::FiniteModel<FactBase, String> {
+        use crate::model::FiniteModel;
+        let universe: std::collections::BTreeMap<String, (bool, dme_logic::Fact)> = ops
+            .into_iter()
+            .map(|(add, f)| (format!("{}{}", if add { "+" } else { "-" }, f), (add, f)))
+            .collect();
+        let op_names: Vec<String> = universe.keys().cloned().collect();
+        let initial = FactBase::from_facts(facts);
+        FiniteModel::new(name, initial, op_names, move |op, s| {
+            let (add, fact) = &universe[op];
+            let mut next = s.clone();
+            if *add {
+                next.insert(fact.clone()).then_some(next)
+            } else {
+                next.remove(fact).then_some(next)
+            }
+        })
+    }
+
+    fn f(n: i64) -> dme_logic::Fact {
+        dme_logic::Fact::new("p", [("x", dme_value::Atom::Int(n))])
+    }
+
+    #[test]
+    fn pair_states_detects_non_onto_sets() {
+        let m = toy_model("m", vec![], vec![(true, f(1)), (false, f(1))]);
+        let n = toy_model("n", vec![], vec![(true, f(2)), (false, f(2))]);
+        let ms = m.reachable_states(100).unwrap();
+        let ns = n.reachable_states(100).unwrap();
+        let err = pair_states(&ms, &ns).unwrap_err();
+        assert!(matches!(err, CheckError::Pairing(_)));
+        assert!(err.to_string().contains("not onto"));
+    }
+
+    #[test]
+    fn toy_models_with_same_facts_are_isomorphic() {
+        let m = toy_model("m", vec![], vec![(true, f(1)), (false, f(1))]);
+        let n = toy_model("n", vec![], vec![(true, f(1)), (false, f(1))]);
+        let report = isomorphic_equivalent(&m, &n, 100).unwrap();
+        assert!(report.equivalent, "{report}");
+        assert_eq!(report.state_pairs, 2);
+        assert_eq!(report.to_string(), "equivalent over 2 state pairs");
+    }
+
+    #[test]
+    fn dispatcher_routes_each_kind() {
+        let m = toy_model("m", vec![], vec![(true, f(1)), (false, f(1))]);
+        let n = toy_model("n", vec![], vec![(true, f(1)), (false, f(1))]);
+        for kind in [
+            EquivKind::Isomorphic,
+            EquivKind::Composed { max_depth: 2 },
+            EquivKind::StateDependent { max_depth: 2 },
+        ] {
+            let report = application_models_equivalent(&m, &n, kind, 100).unwrap();
+            assert!(report.equivalent, "{kind:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn composed_finds_two_step_equivalents() {
+        // m has a "swap both facts" op; n only has single-fact ops.
+        let m = toy_model(
+            "m",
+            vec![],
+            vec![(true, f(1)), (true, f(2)), (false, f(1)), (false, f(2))],
+        );
+        let n = toy_model(
+            "n",
+            vec![],
+            vec![(true, f(1)), (true, f(2)), (false, f(1)), (false, f(2))],
+        );
+        let report = composed_equivalent(&m, &n, 100, 2).unwrap();
+        assert!(report.equivalent);
+    }
+
+    #[test]
+    fn closure_cap_propagates_as_check_error() {
+        let m = toy_model("m", vec![], vec![(true, f(1)), (true, f(2)), (true, f(3))]);
+        let n = toy_model("n", vec![], vec![(true, f(1)), (true, f(2)), (true, f(3))]);
+        let err = isomorphic_equivalent(&m, &n, 3).unwrap_err();
+        assert!(matches!(err, CheckError::Closure(_)));
+    }
+
+    #[test]
+    fn data_model_report_accessors_and_display() {
+        let report = DataModelReport {
+            equivalent: false,
+            matches_m: vec![("a".into(), vec!["x".into()]), ("b".into(), vec![])],
+            matches_n: vec![("x".into(), vec!["a".into()])],
+        };
+        assert_eq!(report.unmatched_m(), vec!["b"]);
+        assert!(report.unmatched_n().is_empty());
+        assert!(report.to_string().contains("partially equivalent"));
+        let total = DataModelReport {
+            equivalent: true,
+            matches_m: vec![],
+            matches_n: vec![],
+        };
+        assert_eq!(total.to_string(), "data models are equivalent");
+    }
+
+    #[test]
+    fn match_report_display_lists_witnesses() {
+        let report = MatchReport {
+            equivalent: false,
+            unmatched_m: vec!["op-a".into()],
+            unmatched_n: vec!["op-b".into()],
+            state_pairs: 5,
+        };
+        let text = report.to_string();
+        assert!(text.contains("NOT equivalent over 5 state pairs"));
+        assert!(text.contains("op-a"));
+        assert!(text.contains("op-b"));
+    }
+
+    #[test]
+    fn per_state_reachability_tracks_errors() {
+        // op: 0→1, 1→err.
+        let sigs = vec![vec![Some(1), None]];
+        let (reach, err) = per_state_reachability(&sigs, 2, 3);
+        assert!(reach[0].contains(&1));
+        assert!(err[0], "0 →op→ 1 →op→ error within depth");
+        assert!(err[1]);
+        // Depth 1 from state 0: reaches 1, sees no error yet beyond it…
+        let (_, err1) = per_state_reachability(&sigs, 2, 1);
+        assert!(!err1[0], "error from 0 needs two steps");
+        assert!(err1[1]);
+    }
+}

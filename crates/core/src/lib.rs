@@ -1,0 +1,45 @@
+#![deny(missing_docs)]
+
+//! # dme-core — the formal framework of *Data Model Equivalence*
+//!
+//! This crate implements the paper's contribution proper: the formal
+//! definitions of §2 (Figure 2) and the equivalence hierarchy of §3
+//! (Definitions 1–6), as decision procedures and constructive
+//! translators over the two semantic data models (`dme-relation`,
+//! `dme-graph`).
+//!
+//! | paper | here |
+//! |---|---|
+//! | data model = {application model…} | a `Vec<FiniteModel>` checked by [`equiv::data_model_equivalent`] |
+//! | application model = (schema, {operation type…}) | [`model::FiniteModel`]: initial state + operation list + application function |
+//! | operation : state → state | a closure returning `Option<State>` (`None` = the error state) |
+//! | database = (application model, state) | a `(FiniteModel, State)` pair |
+//! | state equivalence (§3.2.3) | fact-base equality via `dme-logic` ([`equiv::pair_states`]) |
+//! | Definition 1 (operation equivalence) | [`equiv::operation_equivalent`] |
+//! | Definition 2 (isomorphic equivalence) | [`equiv::isomorphic_equivalent`] |
+//! | Definition 3 (composed operation equivalence) | [`equiv::composed_equivalent`] |
+//! | Definitions 4–5 (state dependent equivalence) | [`equiv::state_dependent_equivalent`] |
+//! | Definition 6 (data model equivalence, partial equivalence) | [`equiv::data_model_equivalent`] |
+//! | the "algorithm rather than an explicit enumeration" (§3.3.1) | [`translate`]: the graph↔relation operation translators |
+//!
+//! The checkers operate on **finite** application models — schemas over
+//! enumerated domains — by exhaustively enumerating the closure of the
+//! allowable operations from the empty state, exactly the paper's
+//! definition of the valid states. For infinite models the constructive
+//! translators (verified per call) take over.
+
+pub mod enumerate;
+pub mod equiv;
+pub mod model;
+pub mod translate;
+pub mod witness;
+
+pub use equiv::{
+    composed_equivalent, data_model_equivalent, isomorphic_equivalent, operation_equivalent,
+    pair_states, state_dependent_equivalent, CheckError, DataModelReport, EquivKind, MatchReport,
+};
+pub use model::FiniteModel;
+pub use translate::{
+    compile_time_translation, graph_op_to_relational, materialize_relational_state,
+    relational_op_to_graph, CompletionMode, TranslateError,
+};

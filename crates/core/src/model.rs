@@ -1,0 +1,215 @@
+//! The application-model abstraction used by the equivalence checkers.
+//!
+//! §2.1: "an application model consists of a schema and a finite set of
+//! operation types", and §2.2 defines the valid database states as "some
+//! initial state, most likely the 'empty state', and those states
+//! consisting of the closure of the application model's set of allowable
+//! operations applied to this initial state."
+//!
+//! [`FiniteModel`] packages exactly that: an initial state, a finite list
+//! of operations (operation types already applied to concrete arguments —
+//! the paper's `operations`), and the application function. The checkers
+//! in [`crate::equiv`] enumerate the closure with
+//! [`FiniteModel::reachable_states`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use dme_logic::ToFacts;
+
+use dme_graph::{GraphOp, GraphState};
+use dme_relation::{RelOp, RelationState};
+
+/// A finite application model: initial state, operations, application
+/// function. `None` from `apply` is the paper's error state.
+#[derive(Clone)]
+pub struct FiniteModel<S, O> {
+    name: String,
+    initial: S,
+    ops: Vec<O>,
+    #[allow(clippy::type_complexity)]
+    apply: Arc<dyn Fn(&O, &S) -> Option<S> + Send + Sync>,
+}
+
+impl<S, O> fmt::Debug for FiniteModel<S, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FiniteModel({}, {} ops)", self.name, self.ops.len())
+    }
+}
+
+/// The closure enumeration exceeded its cap — the model is too large for
+/// exhaustive checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosureTooLarge {
+    /// The model whose closure blew up.
+    pub model: String,
+    /// The cap that was exceeded.
+    pub cap: usize,
+}
+
+impl fmt::Display for ClosureTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "closure of `{}` exceeds {} states; use the translators instead",
+            self.model, self.cap
+        )
+    }
+}
+
+impl std::error::Error for ClosureTooLarge {}
+
+impl<S, O> FiniteModel<S, O>
+where
+    S: Clone + Ord + ToFacts,
+    O: Clone,
+{
+    /// Creates a model.
+    pub fn new(
+        name: impl Into<String>,
+        initial: S,
+        ops: Vec<O>,
+        apply: impl Fn(&O, &S) -> Option<S> + Send + Sync + 'static,
+    ) -> Self {
+        FiniteModel {
+            name: name.into(),
+            initial,
+            ops,
+            apply: Arc::new(apply),
+        }
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The initial (empty) state.
+    pub fn initial(&self) -> &S {
+        &self.initial
+    }
+
+    /// The simple operations.
+    pub fn ops(&self) -> &[O] {
+        &self.ops
+    }
+
+    /// Applies one operation; `None` is the error state.
+    pub fn apply(&self, op: &O, state: &S) -> Option<S> {
+        (self.apply)(op, state)
+    }
+
+    /// The set of valid states: the closure of the operations from the
+    /// initial state (§2.2). Fails when more than `cap` states are
+    /// reachable.
+    pub fn reachable_states(&self, cap: usize) -> Result<BTreeSet<S>, ClosureTooLarge> {
+        let mut seen: BTreeSet<S> = BTreeSet::new();
+        let mut frontier: Vec<S> = vec![self.initial.clone()];
+        seen.insert(self.initial.clone());
+        while let Some(state) = frontier.pop() {
+            for op in &self.ops {
+                if let Some(next) = self.apply(op, &state) {
+                    if !seen.contains(&next) {
+                        if seen.len() >= cap {
+                            return Err(ClosureTooLarge {
+                                model: self.name.clone(),
+                                cap,
+                            });
+                        }
+                        seen.insert(next.clone());
+                        frontier.push(next);
+                    }
+                }
+            }
+        }
+        Ok(seen)
+    }
+}
+
+/// Wraps a semantic-relation application model for the checkers.
+pub fn relational_model(
+    name: impl Into<String>,
+    initial: RelationState,
+    ops: Vec<RelOp>,
+) -> FiniteModel<RelationState, RelOp> {
+    FiniteModel::new(name, initial, ops, |op, state| op.apply(state).ok())
+}
+
+/// Wraps a semantic-graph application model for the checkers.
+pub fn graph_model(
+    name: impl Into<String>,
+    initial: GraphState,
+    ops: Vec<GraphOp>,
+) -> FiniteModel<GraphState, GraphOp> {
+    FiniteModel::new(name, initial, ops, |op, state| op.apply(state).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_logic::FactBase;
+
+    /// A toy state: a set of small integers, compiled to facts
+    /// one-per-element.
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Ints(BTreeSet<i64>);
+
+    impl ToFacts for Ints {
+        fn to_facts(&self) -> FactBase {
+            self.0
+                .iter()
+                .map(|i| dme_logic::Fact::new("n", [("v", dme_value::Atom::Int(*i))]))
+                .collect()
+        }
+    }
+
+    fn counter_model(limit: i64) -> FiniteModel<Ints, i64> {
+        FiniteModel::new(
+            format!("ints<{limit}"),
+            Ints(BTreeSet::new()),
+            vec![1, 2],
+            move |op, s| {
+                let mut next = s.clone();
+                let max = s.0.iter().max().copied().unwrap_or(0);
+                let v = max + op;
+                if v > limit {
+                    return None;
+                }
+                next.0.insert(v);
+                Some(next)
+            },
+        )
+    }
+
+    #[test]
+    fn closure_enumerates_reachable_states() {
+        let m = counter_model(3);
+        let states = m.reachable_states(100).unwrap();
+        // Reachable: {}, {1}, {2}, {1,2}, {1,3}, {2,3}… (chains of +1/+2
+        // from the running max, capped at 3).
+        assert!(states.contains(&Ints(BTreeSet::new())));
+        assert!(states.contains(&Ints([1].into())));
+        assert!(states.contains(&Ints([1, 2, 3].into())));
+        assert!(!states.iter().any(|s| s.0.iter().any(|&v| v > 3)));
+        assert_eq!(states.len(), 7);
+    }
+
+    #[test]
+    fn closure_cap_enforced() {
+        let m = counter_model(20);
+        let err = m.reachable_states(5).unwrap_err();
+        assert_eq!(err.cap, 5);
+        assert!(err.to_string().contains("exceeds 5 states"));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = counter_model(3);
+        assert_eq!(m.ops(), &[1, 2]);
+        assert_eq!(m.initial(), &Ints(BTreeSet::new()));
+        assert!(m.name().starts_with("ints"));
+        assert!(format!("{m:?}").contains("2 ops"));
+        assert_eq!(m.apply(&1, m.initial()), Some(Ints([1].into())));
+    }
+}

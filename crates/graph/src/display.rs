@@ -1,0 +1,87 @@
+//! Text rendering of graph states.
+//!
+//! Figure 4 is a node-and-edge drawing; [`render_state`] produces the
+//! closest text analogue — entities with their characteristics, then
+//! associations with role edges pointing at the entities they connect —
+//! grouped and ordered deterministically.
+
+use std::fmt::Write as _;
+
+use crate::state::GraphState;
+
+/// Renders a graph state: one block per entity type, then one block per
+/// association type.
+pub fn render_state(state: &GraphState) -> String {
+    let mut out = String::new();
+    let universe = state.schema().universe();
+
+    for et in universe.entity_types() {
+        let members: Vec<_> = state
+            .entities()
+            .filter(|e| e.entity_type == *et.name())
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{} entities:", et.name());
+        for e in members {
+            let _ = write!(
+                out,
+                "  ({})",
+                e.get(et.id_characteristic().as_str())
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "?".into())
+            );
+            for (c, v) in &e.characteristics {
+                if c != et.id_characteristic() {
+                    let _ = write!(out, " —{c}→ {v}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    for pred in universe.predicates() {
+        let members: Vec<_> = state
+            .associations()
+            .filter(|a| a.predicate == *pred.name())
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{} associations:", pred.name());
+        for a in members {
+            let _ = write!(out, "  [{}]", a.predicate);
+            for (role, e) in &a.roles {
+                let _ = write!(out, " —{role}→ {}[{}]", e.entity_type, e.key);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn renders_figure4() {
+        let text = render_state(&fixtures::figure4_state());
+        assert!(text.contains("employee entities:"));
+        assert!(text.contains("machine entities:"));
+        assert!(text.contains("(T.Manhart) —age→ 32"));
+        assert!(text.contains("operate associations:"));
+        assert!(text.contains("—agent→ employee[T.Manhart]"));
+        assert!(text.contains("—object→ machine[NZ745]"));
+        assert!(text.contains("supervise associations:"));
+    }
+
+    #[test]
+    fn empty_blocks_are_omitted() {
+        let schema = std::sync::Arc::new(fixtures::machine_shop_graph_schema());
+        let text = render_state(&GraphState::empty(schema));
+        assert!(text.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Compilation of graph states into logic facts (§3.2.3).
+//!
+//! "We could show this by translating each relational statement into a
+//! formal logic statement and then showing that the semantic graph state
+//! is a model, in the formal logic sense, for the set of logical
+//! statements." Here we go one step further and compile the graph state
+//! itself into the statements true of it — the same canonical vocabulary
+//! the relation model compiles into — so that "is a model for" becomes
+//! fact-base equality:
+//!
+//! * each entity asserts its **existence** fact and one **characteristic**
+//!   fact per non-identifying characteristic;
+//! * each association asserts one **association** fact binding every role
+//!   to its participant's identifying value.
+
+use dme_logic::{vocab, FactBase, ToFacts};
+
+use crate::schema::GraphSchema;
+use crate::state::{Association, Entity, GraphState};
+
+/// The facts asserted by one entity.
+pub fn entity_facts(schema: &GraphSchema, entity: &Entity) -> FactBase {
+    let mut out = FactBase::new();
+    let Some(decl) = schema.universe().entity_type(entity.entity_type.as_str()) else {
+        return out;
+    };
+    let Some(key) = entity.get(decl.id_characteristic().as_str()) else {
+        return out;
+    };
+    out.insert(vocab::existence(
+        &entity.entity_type,
+        decl.id_characteristic(),
+        key.clone(),
+    ));
+    for (c, v) in &entity.characteristics {
+        if c != decl.id_characteristic() {
+            out.insert(vocab::characteristic(
+                &entity.entity_type,
+                decl.id_characteristic(),
+                key.clone(),
+                c,
+                v.clone(),
+            ));
+        }
+    }
+    out
+}
+
+/// The fact asserted by one association.
+pub fn association_fact(assoc: &Association) -> dme_logic::Fact {
+    vocab::association(
+        &assoc.predicate,
+        assoc
+            .roles
+            .iter()
+            .map(|(role, e)| (role.clone(), e.key.clone())),
+    )
+}
+
+/// The facts asserted by an entire graph state.
+pub fn state_facts(state: &GraphState) -> FactBase {
+    let mut out = FactBase::new();
+    for e in state.entities() {
+        out.extend(entity_facts(state.schema(), e).iter().cloned());
+    }
+    for a in state.associations() {
+        out.insert(association_fact(a));
+    }
+    out
+}
+
+impl ToFacts for GraphState {
+    fn to_facts(&self) -> FactBase {
+        state_facts(self)
+    }
+}
+
+/// Errors raised while materializing a graph state from facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaterializeError {
+    /// A fact's predicate is not in the schema's vocabulary.
+    UnknownPredicate(String),
+    /// A fact is malformed (missing case or identifying value).
+    Malformed(String),
+    /// An entity lacks a declared characteristic (graph entities are
+    /// total).
+    IncompleteEntity(String),
+    /// The resulting state violates the schema.
+    Invalid(String),
+}
+
+impl std::fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaterializeError::UnknownPredicate(s) => write!(f, "unknown predicate: {s}"),
+            MaterializeError::Malformed(s) => write!(f, "malformed fact: {s}"),
+            MaterializeError::IncompleteEntity(s) => write!(f, "incomplete entity: {s}"),
+            MaterializeError::Invalid(s) => write!(f, "materialized state is invalid: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MaterializeError {}
+
+/// Materializes a graph state from a fact base — the inverse of
+/// [`state_facts`], and the state-level mapping behind §4's remark that
+/// "the same types of equivalence mappings must be involved in the
+/// transportation of a database and associated programs from one
+/// database system to another": any database whose content compiles to
+/// these facts can be rebuilt as a graph database.
+pub fn materialize_graph_state(
+    schema: std::sync::Arc<GraphSchema>,
+    facts: &FactBase,
+) -> Result<GraphState, MaterializeError> {
+    use std::collections::BTreeMap;
+    let universe = schema.universe().clone();
+    // entity ref → characteristic map.
+    let mut entities: BTreeMap<
+        crate::state::EntityRef,
+        BTreeMap<dme_value::Symbol, dme_value::Atom>,
+    > = BTreeMap::new();
+    let mut associations: Vec<crate::state::Association> = Vec::new();
+
+    for fact in facts.iter() {
+        let p = fact.predicate().as_str();
+        if let Some(entity_type) = p.strip_prefix("be ") {
+            let decl = universe
+                .entity_type(entity_type)
+                .ok_or_else(|| MaterializeError::UnknownPredicate(fact.to_string()))?;
+            let key = fact
+                .get(decl.id_characteristic().as_str())
+                .ok_or_else(|| MaterializeError::Malformed(fact.to_string()))?;
+            entities
+                .entry(crate::state::EntityRef::new(entity_type, key.clone()))
+                .or_default()
+                .insert(decl.id_characteristic().clone(), key.clone());
+        } else if let Some((entity_type, characteristic)) = p.split_once('.') {
+            let decl = universe
+                .entity_type(entity_type)
+                .ok_or_else(|| MaterializeError::UnknownPredicate(fact.to_string()))?;
+            let key = fact
+                .get(decl.id_characteristic().as_str())
+                .ok_or_else(|| MaterializeError::Malformed(fact.to_string()))?;
+            let value = fact
+                .get(vocab::VALUE_CASE)
+                .ok_or_else(|| MaterializeError::Malformed(fact.to_string()))?;
+            entities
+                .entry(crate::state::EntityRef::new(entity_type, key.clone()))
+                .or_default()
+                .insert(dme_value::Symbol::new(characteristic), value.clone());
+        } else {
+            let decl = universe
+                .predicate(p)
+                .ok_or_else(|| MaterializeError::UnknownPredicate(fact.to_string()))?;
+            let mut roles = Vec::new();
+            for (case, et) in decl.cases() {
+                let key = fact
+                    .get(case.as_str())
+                    .ok_or_else(|| MaterializeError::Malformed(fact.to_string()))?;
+                roles.push((
+                    case.clone(),
+                    crate::state::EntityRef::new(et.clone(), key.clone()),
+                ));
+            }
+            associations.push(crate::state::Association::new(
+                fact.predicate().clone(),
+                roles,
+            ));
+        }
+    }
+
+    let mut state = GraphState::empty(schema);
+    for (r, characteristics) in entities {
+        let decl = universe
+            .entity_type(r.entity_type.as_str())
+            .expect("checked above");
+        for (c, _) in decl.characteristics() {
+            if !characteristics.contains_key(c) {
+                return Err(MaterializeError::IncompleteEntity(format!(
+                    "{r} lacks characteristic `{c}`"
+                )));
+            }
+        }
+        state
+            .insert_entity_raw(Entity::new(r.entity_type.clone(), characteristics))
+            .map_err(|e| MaterializeError::Invalid(e.to_string()))?;
+    }
+    for a in associations {
+        state
+            .insert_association_raw(a)
+            .map_err(|e| MaterializeError::Invalid(e.to_string()))?;
+    }
+    state
+        .validate()
+        .map_err(|e| MaterializeError::Invalid(e.to_string()))?;
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::state::EntityRef;
+    use dme_logic::Fact;
+    use dme_value::Atom;
+
+    #[test]
+    fn entity_compiles_to_existence_and_characteristics() {
+        let schema = fixtures::machine_shop_graph_schema();
+        let e = Entity::new(
+            "employee",
+            [("name", Atom::str("T.Manhart")), ("age", Atom::int(32))],
+        );
+        let facts = entity_facts(&schema, &e);
+        assert_eq!(facts.len(), 2);
+        assert!(facts.holds(&Fact::new(
+            "be employee",
+            [("name", Atom::str("T.Manhart"))]
+        )));
+        assert!(facts.holds(&Fact::new(
+            "employee.age",
+            [("name", Atom::str("T.Manhart")), ("value", Atom::int(32))],
+        )));
+    }
+
+    #[test]
+    fn association_compiles_to_one_fact() {
+        let a = Association::new(
+            "operate",
+            [
+                ("agent", EntityRef::new("employee", Atom::str("T.Manhart"))),
+                ("object", EntityRef::new("machine", Atom::str("NZ745"))),
+            ],
+        );
+        assert_eq!(
+            association_fact(&a),
+            Fact::new(
+                "operate",
+                [
+                    ("agent", Atom::str("T.Manhart")),
+                    ("object", Atom::str("NZ745"))
+                ],
+            )
+        );
+    }
+
+    #[test]
+    fn figure4_fact_count() {
+        // 3 employees × 2 + 2 machines × 2 + 3 associations = 13.
+        let facts = fixtures::figure4_state().to_facts();
+        assert_eq!(facts.len(), 13);
+    }
+
+    #[test]
+    fn materialization_inverts_compilation() {
+        for state in [
+            fixtures::figure4_state(),
+            fixtures::figure6_state(),
+            fixtures::figure8_premise_state(),
+        ] {
+            let rebuilt =
+                materialize_graph_state(std::sync::Arc::clone(state.schema()), &state.to_facts())
+                    .unwrap();
+            assert_eq!(rebuilt, state);
+        }
+    }
+
+    #[test]
+    fn materialization_rejects_garbage() {
+        let schema = std::sync::Arc::new(fixtures::machine_shop_graph_schema());
+        // Unknown predicate.
+        let facts = FactBase::from_facts([Fact::new("teleport", [("agent", Atom::str("x"))])]);
+        assert!(matches!(
+            materialize_graph_state(std::sync::Arc::clone(&schema), &facts),
+            Err(MaterializeError::UnknownPredicate(_))
+        ));
+        // Existence without the age characteristic: incomplete entity.
+        let facts =
+            FactBase::from_facts([Fact::new("be employee", [("name", Atom::str("T.Manhart"))])]);
+        assert!(matches!(
+            materialize_graph_state(std::sync::Arc::clone(&schema), &facts),
+            Err(MaterializeError::IncompleteEntity(_))
+        ));
+        // An association dangling off a missing entity: invalid state.
+        let facts = FactBase::from_facts([Fact::new(
+            "supervise",
+            [("agent", Atom::str("A")), ("object", Atom::str("B"))],
+        )]);
+        assert!(matches!(
+            materialize_graph_state(schema, &facts),
+            Err(MaterializeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_states_compile_to_distinct_fact_bases() {
+        let f4 = fixtures::figure4_state().to_facts();
+        let f6 = fixtures::figure6_state().to_facts();
+        assert_ne!(f4, f6);
+        let delta = f4.delta_to(&f6);
+        assert!(delta.removed.is_empty());
+        assert_eq!(delta.added.len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's graph-side figures as ready-made schemas and states.
+
+use std::sync::Arc;
+
+use dme_logic::Universe;
+use dme_value::{sym, Atom};
+
+use crate::schema::{GraphSchema, Participation};
+use crate::state::{Association, Entity, EntityRef, GraphState};
+
+/// The Figure 5 schema: employees and machines; `operate` with a dotted
+/// (optional) agent edge and a solid, arrowed (total, functional) object
+/// edge; `supervise` fully optional.
+pub fn machine_shop_graph_schema() -> GraphSchema {
+    GraphSchema::new(
+        Universe::machine_shop(),
+        [
+            ((sym!("operate"), sym!("agent")), Participation::OPTIONAL),
+            (
+                (sym!("operate"), sym!("object")),
+                Participation::TOTAL_FUNCTIONAL,
+            ),
+            ((sym!("supervise"), sym!("agent")), Participation::OPTIONAL),
+            ((sym!("supervise"), sym!("object")), Participation::OPTIONAL),
+        ],
+    )
+    .expect("figure 5 schema is well-formed")
+}
+
+fn emp_ref(name: &str) -> EntityRef {
+    EntityRef::new("employee", Atom::str(name))
+}
+
+fn machine_ref(number: &str) -> EntityRef {
+    EntityRef::new("machine", Atom::str(number))
+}
+
+fn employees_and_base(schema: Arc<GraphSchema>) -> GraphState {
+    let mut s = GraphState::empty(schema);
+    for (name, age) in [("T.Manhart", 32), ("C.Gershag", 40), ("G.Wayshum", 50)] {
+        s.insert_entity_raw(Entity::new(
+            "employee",
+            [("name", Atom::str(name)), ("age", Atom::int(age))],
+        ))
+        .expect("fixture employee");
+    }
+    s
+}
+
+/// The Figure 4 database state: three employees, two machines, two
+/// operation associations and one supervision.
+pub fn figure4_state() -> GraphState {
+    let mut s = employees_and_base(Arc::new(machine_shop_graph_schema()));
+    s.insert_entity_raw(Entity::new(
+        "machine",
+        [("number", Atom::str("NZ745")), ("type", Atom::str("lathe"))],
+    ))
+    .expect("fixture machine");
+    s.insert_entity_raw(Entity::new(
+        "machine",
+        [
+            ("number", Atom::str("JCL181")),
+            ("type", Atom::str("press")),
+        ],
+    ))
+    .expect("fixture machine");
+    s.insert_association_raw(Association::new(
+        "operate",
+        [
+            ("agent", emp_ref("T.Manhart")),
+            ("object", machine_ref("NZ745")),
+        ],
+    ))
+    .expect("fixture operate");
+    s.insert_association_raw(Association::new(
+        "operate",
+        [
+            ("agent", emp_ref("C.Gershag")),
+            ("object", machine_ref("JCL181")),
+        ],
+    ))
+    .expect("fixture operate");
+    s.insert_association_raw(Association::new(
+        "supervise",
+        [
+            ("agent", emp_ref("G.Wayshum")),
+            ("object", emp_ref("C.Gershag")),
+        ],
+    ))
+    .expect("fixture supervise");
+    s
+}
+
+/// The Figure 6 database state: Figure 4 plus the supervision of
+/// T.Manhart by G.Wayshum.
+pub fn figure6_state() -> GraphState {
+    let mut s = figure4_state();
+    s.insert_association_raw(Association::new(
+        "supervise",
+        [
+            ("agent", emp_ref("G.Wayshum")),
+            ("object", emp_ref("T.Manhart")),
+        ],
+    ))
+    .expect("fixture supervise");
+    s
+}
+
+/// The premise of the Figure 8 thought experiment: Figure 4 with no
+/// operation association involving T.Manhart (and hence no machine
+/// NZ745).
+pub fn figure8_premise_state() -> GraphState {
+    let mut s = employees_and_base(Arc::new(machine_shop_graph_schema()));
+    s.insert_entity_raw(Entity::new(
+        "machine",
+        [
+            ("number", Atom::str("JCL181")),
+            ("type", Atom::str("press")),
+        ],
+    ))
+    .expect("fixture machine");
+    s.insert_association_raw(Association::new(
+        "operate",
+        [
+            ("agent", emp_ref("C.Gershag")),
+            ("object", machine_ref("JCL181")),
+        ],
+    ))
+    .expect("fixture operate");
+    s.insert_association_raw(Association::new(
+        "supervise",
+        [
+            ("agent", emp_ref("G.Wayshum")),
+            ("object", emp_ref("C.Gershag")),
+        ],
+    ))
+    .expect("fixture supervise");
+    s
+}
+
+/// The Figure 8 graph-side state: the premise plus the supervision of
+/// T.Manhart by G.Wayshum. (On the graph side the inserted association is
+/// *identical* to the Figure 6 one — only its relational equivalent
+/// changes with the state.)
+pub fn figure8_graph_state() -> GraphState {
+    let mut s = figure8_premise_state();
+    s.insert_association_raw(Association::new(
+        "supervise",
+        [
+            ("agent", emp_ref("G.Wayshum")),
+            ("object", emp_ref("T.Manhart")),
+        ],
+    ))
+    .expect("fixture supervise");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_logic::{state_equivalent, ToFacts};
+
+    #[test]
+    fn all_fixture_states_validate() {
+        for s in [
+            figure4_state(),
+            figure6_state(),
+            figure8_premise_state(),
+            figure8_graph_state(),
+        ] {
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn figure4_sizes() {
+        assert_eq!(figure4_state().sizes(), (5, 3));
+        assert_eq!(figure6_state().sizes(), (5, 4));
+        assert_eq!(figure8_premise_state().sizes(), (4, 2));
+        assert_eq!(figure8_graph_state().sizes(), (4, 3));
+    }
+
+    #[test]
+    fn figure6_delta_is_exactly_the_supervision_fact() {
+        let d = figure4_state()
+            .to_facts()
+            .delta_to(&figure6_state().to_facts());
+        assert!(d.removed.is_empty());
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added.iter().next().unwrap().predicate(), "supervise");
+    }
+
+    #[test]
+    fn premise_differs_from_figure4_by_machine_unit_facts() {
+        let d = figure4_state()
+            .to_facts()
+            .delta_to(&figure8_premise_state().to_facts());
+        assert!(d.added.is_empty());
+        // be machine, machine.type, operate — the semantic unit's facts.
+        assert_eq!(d.removed.len(), 3);
+    }
+
+    #[test]
+    fn graph_states_not_equivalent_to_each_other() {
+        let r = state_equivalent(&figure4_state(), &figure6_state());
+        assert!(!r.is_equivalent());
+    }
+}

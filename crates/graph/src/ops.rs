@@ -1,0 +1,305 @@
+//! The operation types of the semantic graph model (§3.2.2).
+//!
+//! "The operations in this data model are meant to directly model the
+//! kinds of transitions which can take place in the application. The
+//! operations allowed are the insertion or deletion of an independent
+//! entity, an independent association or a semantic unit."
+//!
+//! Every operation applies its raw changes and then re-validates the
+//! whole state against the schema; any violation — a machine inserted
+//! without its operation association, a deletion leaving a dangling role
+//! edge — yields the paper's *error state* (`Err`), leaving the input
+//! state untouched.
+
+use std::fmt;
+
+use crate::state::{Association, Entity, EntityRef, GraphState, GraphStateError};
+use crate::unit::SemanticUnit;
+
+/// Errors turning a graph operation into the paper's error state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphOpError(pub GraphStateError);
+
+impl fmt::Display for GraphOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph operation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphOpError {}
+
+impl From<GraphStateError> for GraphOpError {
+    fn from(e: GraphStateError) -> Self {
+        GraphOpError(e)
+    }
+}
+
+/// An operation of the semantic graph model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphOp {
+    /// Insert an independent entity (valid only when the entity's type
+    /// has no total participation).
+    InsertEntity(Entity),
+    /// Delete an independent entity (valid only when it participates in
+    /// no association).
+    DeleteEntity(EntityRef),
+    /// Insert an independent association between existing entities.
+    InsertAssociation(Association),
+    /// Delete an independent association (valid only when no
+    /// participant's totality depends on it).
+    DeleteAssociation(Association),
+    /// Insert a semantic unit atomically (e.g. a machine together with
+    /// its operation association).
+    InsertUnit(SemanticUnit),
+    /// Delete a semantic unit atomically.
+    DeleteUnit(SemanticUnit),
+}
+
+impl GraphOp {
+    /// Applies the operation, yielding the new state or the error state.
+    ///
+    /// The paper's Figure 4 → Figure 6 transition:
+    ///
+    /// ```
+    /// use dme_graph::{fixtures, Association, EntityRef, GraphOp};
+    /// use dme_value::Atom;
+    ///
+    /// let op = GraphOp::InsertAssociation(Association::new(
+    ///     "supervise",
+    ///     [
+    ///         ("agent", EntityRef::new("employee", Atom::str("G.Wayshum"))),
+    ///         ("object", EntityRef::new("employee", Atom::str("T.Manhart"))),
+    ///     ],
+    /// ));
+    /// let after = op.apply(&fixtures::figure4_state()).unwrap();
+    /// assert_eq!(after, fixtures::figure6_state());
+    /// // Inserting it again is the error state (strict object semantics):
+    /// assert!(op.apply(&after).is_err());
+    /// ```
+    pub fn apply(&self, state: &GraphState) -> Result<GraphState, GraphOpError> {
+        let mut next = state.clone();
+        match self {
+            GraphOp::InsertEntity(e) => {
+                next.insert_entity_raw(e.clone())?;
+            }
+            GraphOp::DeleteEntity(r) => {
+                next.remove_entity_raw(r)?;
+            }
+            GraphOp::InsertAssociation(a) => {
+                next.insert_association_raw(a.clone())?;
+            }
+            GraphOp::DeleteAssociation(a) => {
+                next.remove_association_raw(a)?;
+            }
+            GraphOp::InsertUnit(u) => {
+                for e in &u.entities {
+                    next.insert_entity_raw(e.clone())?;
+                }
+                for a in &u.associations {
+                    next.insert_association_raw(a.clone())?;
+                }
+            }
+            GraphOp::DeleteUnit(u) => {
+                for a in &u.associations {
+                    next.remove_association_raw(a)?;
+                }
+                for e in &u.entities {
+                    let r = e.to_ref(next.schema()).ok_or_else(|| {
+                        GraphStateError::BadCharacteristics(EntityRef::new(
+                            e.entity_type.clone(),
+                            dme_value::Atom::str("<missing id>"),
+                        ))
+                    })?;
+                    next.remove_entity_raw(&r)?;
+                }
+            }
+        }
+        next.validate()?;
+        Ok(next)
+    }
+
+    /// Applies a sequence of operations (a composed operation), stopping
+    /// at the first error.
+    pub fn apply_all<'a>(
+        ops: impl IntoIterator<Item = &'a GraphOp>,
+        state: &GraphState,
+    ) -> Result<GraphState, GraphOpError> {
+        let mut cur = state.clone();
+        for op in ops {
+            cur = op.apply(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+impl fmt::Display for GraphOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphOp::InsertEntity(e) => write!(f, "insert-entity {e}"),
+            GraphOp::DeleteEntity(r) => write!(f, "delete-entity {r}"),
+            GraphOp::InsertAssociation(a) => write!(f, "insert-association {a}"),
+            GraphOp::DeleteAssociation(a) => write!(f, "delete-association {a}"),
+            GraphOp::InsertUnit(u) => write!(f, "insert-unit {u}"),
+            GraphOp::DeleteUnit(u) => write!(f, "delete-unit {u}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::unit::deletion_unit;
+    use dme_value::Atom;
+
+    fn emp(name: &str) -> EntityRef {
+        EntityRef::new("employee", Atom::str(name))
+    }
+
+    fn machine(number: &str) -> EntityRef {
+        EntityRef::new("machine", Atom::str(number))
+    }
+
+    fn gw_tm_supervision() -> Association {
+        Association::new(
+            "supervise",
+            [("agent", emp("G.Wayshum")), ("object", emp("T.Manhart"))],
+        )
+    }
+
+    #[test]
+    fn figure4_to_figure6_via_insert_association() {
+        // §3.3.1: "adding to the graph database state of Figure 4 a
+        // supervision association between G.Wayshum and T.Manhart
+        // resulting in Figure 6."
+        let f4 = fixtures::figure4_state();
+        let op = GraphOp::InsertAssociation(gw_tm_supervision());
+        let out = op.apply(&f4).unwrap();
+        assert_eq!(out, fixtures::figure6_state());
+        // Input untouched.
+        assert_eq!(f4, fixtures::figure4_state());
+    }
+
+    #[test]
+    fn delete_association_restores_figure4() {
+        let f6 = fixtures::figure6_state();
+        let op = GraphOp::DeleteAssociation(gw_tm_supervision());
+        assert_eq!(op.apply(&f6).unwrap(), fixtures::figure4_state());
+    }
+
+    #[test]
+    fn independent_entity_insert_and_delete() {
+        // Employees have no total participation: they are independent.
+        let f4 = fixtures::figure4_state();
+        let new_emp = Entity::new(
+            "employee",
+            [("name", Atom::str("T.Manhart")), ("age", Atom::int(32))],
+        );
+        // Already exists → error.
+        assert!(GraphOp::InsertEntity(new_emp).apply(&f4).is_err());
+
+        // Delete an employee with no associations: G.Wayshum supervises,
+        // so deleting them dangles.
+        assert!(GraphOp::DeleteEntity(emp("G.Wayshum")).apply(&f4).is_err());
+
+        // But a freshly inserted, unconnected employee can be deleted.
+        // (Use the figure 8 premise where T.Manhart has no associations.)
+        let premise = fixtures::figure8_premise_state();
+        let out = GraphOp::DeleteEntity(emp("T.Manhart"))
+            .apply(&premise)
+            .unwrap();
+        assert_eq!(out.sizes(), (3, 2));
+    }
+
+    #[test]
+    fn machine_cannot_be_inserted_independently() {
+        // "Whenever a machine is inserted or deleted, an operation
+        // association must also be inserted or deleted."
+        let premise = fixtures::figure8_premise_state();
+        let m = Entity::new(
+            "machine",
+            [("number", Atom::str("NZ745")), ("type", Atom::str("lathe"))],
+        );
+        let err = GraphOp::InsertEntity(m.clone())
+            .apply(&premise)
+            .unwrap_err();
+        assert!(matches!(err.0, GraphStateError::TotalityViolation { .. }));
+
+        // As a semantic unit with its operation association it works.
+        let unit = SemanticUnit::new()
+            .with_entity(m)
+            .with_association(Association::new(
+                "operate",
+                [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+            ));
+        let out = GraphOp::InsertUnit(unit).apply(&premise).unwrap();
+        assert_eq!(out, fixtures::figure4_state());
+    }
+
+    #[test]
+    fn delete_unit_of_machine() {
+        let f4 = fixtures::figure4_state();
+        let unit = deletion_unit(&f4, [machine("NZ745")], []);
+        let out = GraphOp::DeleteUnit(unit).apply(&f4).unwrap();
+        assert_eq!(out, fixtures::figure8_premise_state());
+    }
+
+    #[test]
+    fn deleting_operation_association_alone_is_an_error() {
+        let f4 = fixtures::figure4_state();
+        let op = Association::new(
+            "operate",
+            [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+        );
+        let err = GraphOp::DeleteAssociation(op).apply(&f4).unwrap_err();
+        assert!(matches!(err.0, GraphStateError::TotalityViolation { .. }));
+    }
+
+    #[test]
+    fn functionality_enforced_on_insert() {
+        let f4 = fixtures::figure4_state();
+        let second_operator = Association::new(
+            "operate",
+            [("agent", emp("C.Gershag")), ("object", machine("NZ745"))],
+        );
+        let err = GraphOp::InsertAssociation(second_operator)
+            .apply(&f4)
+            .unwrap_err();
+        assert!(matches!(
+            err.0,
+            GraphStateError::FunctionalityViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn association_between_missing_entities_is_an_error() {
+        let premise = fixtures::figure8_premise_state(); // no NZ745
+        let op = Association::new(
+            "operate",
+            [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+        );
+        let err = GraphOp::InsertAssociation(op).apply(&premise).unwrap_err();
+        assert!(matches!(err.0, GraphStateError::DanglingRole { .. }));
+    }
+
+    #[test]
+    fn apply_all_composes() {
+        let f4 = fixtures::figure4_state();
+        let ops = vec![
+            GraphOp::InsertAssociation(gw_tm_supervision()),
+            GraphOp::DeleteAssociation(gw_tm_supervision()),
+        ];
+        assert_eq!(GraphOp::apply_all(&ops, &f4).unwrap(), f4);
+        let bad = vec![GraphOp::DeleteEntity(emp("Nobody"))];
+        assert!(GraphOp::apply_all(&bad, &f4).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let op = GraphOp::DeleteEntity(emp("X"));
+        assert_eq!(op.to_string(), "delete-entity employee[X]");
+        assert!(GraphOp::InsertAssociation(gw_tm_supervision())
+            .to_string()
+            .starts_with("insert-association supervise("));
+    }
+}

@@ -1,0 +1,317 @@
+//! Semantic units (§3.2.2).
+//!
+//! "A *semantic unit* is a group of entities and associations which must
+//! be inserted or deleted as a single unit due to restrictions stated in
+//! the schema. … a semantic unit is formed from a machine and its
+//! associated operation association. Whenever a machine is inserted or
+//! deleted, an operation association must also be inserted or deleted."
+//!
+//! For insertion the caller assembles the unit (the new machine plus its
+//! operation association); [`crate::ops::GraphOp::InsertUnit`] applies it
+//! atomically and validation confirms it is self-sufficient. For deletion
+//! this module *derives* the unit: [`deletion_unit`] computes the cascade
+//! closure — deleting an entity drags every association it participates
+//! in, and deleting an association drags any participant whose **total**
+//! participation would otherwise be violated.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::state::{Association, Entity, EntityRef, GraphState};
+
+/// A group of entities and associations inserted or deleted together.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SemanticUnit {
+    /// Entities of the unit (full entities for insertion; for deletion
+    /// only the references matter but entities are returned for
+    /// symmetry/undo).
+    pub entities: Vec<Entity>,
+    /// Associations of the unit.
+    pub associations: Vec<Association>,
+}
+
+impl SemanticUnit {
+    /// An empty unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: adds an entity.
+    pub fn with_entity(mut self, e: Entity) -> Self {
+        self.entities.push(e);
+        self
+    }
+
+    /// Builder: adds an association.
+    pub fn with_association(mut self, a: Association) -> Self {
+        self.associations.push(a);
+        self
+    }
+
+    /// Whether the unit is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty() && self.associations.is_empty()
+    }
+
+    /// Node count (entities + associations).
+    pub fn len(&self) -> usize {
+        self.entities.len() + self.associations.len()
+    }
+}
+
+impl fmt::Display for SemanticUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unit{{")?;
+        let mut first = true;
+        for e in &self.entities {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+            first = false;
+        }
+        for a in &self.associations {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Computes the deletion semantic unit seeded by the given entities and
+/// associations: the least set closed under
+///
+/// 1. deleting an entity deletes every association it participates in;
+/// 2. deleting an association deletes any participant with a **total**
+///    participation in its (predicate, role) that has no surviving
+///    association filling that role.
+///
+/// Seeds that do not exist in the state are ignored (deleting what is
+/// absent requires no cascade).
+///
+/// The paper's machine ⊕ operation-association unit:
+///
+/// ```
+/// use dme_graph::{fixtures, unit::deletion_unit, EntityRef};
+/// use dme_value::Atom;
+///
+/// let state = fixtures::figure4_state();
+/// let unit = deletion_unit(
+///     &state,
+///     [EntityRef::new("machine", Atom::str("NZ745"))],
+///     [],
+/// );
+/// // The machine drags its operation association, nothing more.
+/// assert_eq!(unit.entities.len(), 1);
+/// assert_eq!(unit.associations.len(), 1);
+/// assert_eq!(unit.associations[0].predicate, "operate");
+/// ```
+pub fn deletion_unit(
+    state: &GraphState,
+    seed_entities: impl IntoIterator<Item = EntityRef>,
+    seed_associations: impl IntoIterator<Item = Association>,
+) -> SemanticUnit {
+    let schema = state.schema();
+    let mut entities: BTreeSet<EntityRef> = seed_entities
+        .into_iter()
+        .filter(|r| state.entity(r).is_some())
+        .collect();
+    let mut associations: BTreeSet<Association> = seed_associations
+        .into_iter()
+        .filter(|a| state.has_association(a))
+        .collect();
+
+    loop {
+        let mut changed = false;
+
+        // Rule 1: entities drag their associations.
+        for e in entities.clone() {
+            for a in state.associations_of(&e) {
+                if associations.insert(a.clone()) {
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 2: associations drag totality-bound participants.
+        for a in associations.clone() {
+            for (role, participant) in &a.roles {
+                if entities.contains(participant) {
+                    continue;
+                }
+                let p = schema
+                    .participation(a.predicate.as_str(), role.as_str())
+                    .expect("state validated against schema");
+                if !p.total {
+                    continue;
+                }
+                let survives = state
+                    .associations_filling(participant, a.predicate.as_str(), role.as_str())
+                    .any(|other| !associations.contains(other));
+                if !survives && entities.insert(participant.clone()) {
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    SemanticUnit {
+        entities: entities
+            .iter()
+            .filter_map(|r| state.entity(r).cloned())
+            .collect(),
+        associations: associations.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_value::Atom;
+
+    fn emp(name: &str) -> EntityRef {
+        EntityRef::new("employee", Atom::str(name))
+    }
+
+    fn machine(number: &str) -> EntityRef {
+        EntityRef::new("machine", Atom::str(number))
+    }
+
+    #[test]
+    fn deleting_an_operation_association_drags_the_machine() {
+        // The paper's example: machine ⊕ operation association form a
+        // semantic unit.
+        let s = fixtures::figure4_state();
+        let op = Association::new(
+            "operate",
+            [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+        );
+        let unit = deletion_unit(&s, [], [op.clone()]);
+        assert_eq!(unit.associations, vec![op]);
+        assert_eq!(unit.entities.len(), 1);
+        assert_eq!(unit.entities[0].entity_type, "machine");
+        assert_eq!(unit.entities[0].get("number"), Some(&Atom::str("NZ745")));
+        assert_eq!(unit.len(), 2);
+    }
+
+    #[test]
+    fn deleting_a_machine_drags_its_operation_association() {
+        let s = fixtures::figure4_state();
+        let unit = deletion_unit(&s, [machine("NZ745")], []);
+        assert_eq!(unit.entities.len(), 1);
+        assert_eq!(unit.associations.len(), 1);
+        assert_eq!(unit.associations[0].predicate, "operate");
+    }
+
+    #[test]
+    fn deleting_an_employee_cascades_through_their_machine() {
+        // Deleting C.Gershag removes their operation and supervision
+        // associations; machine JCL181 then has no operator and joins the
+        // unit.
+        let s = fixtures::figure4_state();
+        let unit = deletion_unit(&s, [emp("C.Gershag")], []);
+        assert_eq!(unit.entities.len(), 2, "{unit}");
+        assert_eq!(unit.associations.len(), 2, "{unit}");
+    }
+
+    #[test]
+    fn supervision_deletion_is_independent() {
+        // Supervisions drag nothing: both participations are optional.
+        let s = fixtures::figure4_state();
+        let sup = Association::new(
+            "supervise",
+            [("agent", emp("G.Wayshum")), ("object", emp("C.Gershag"))],
+        );
+        let unit = deletion_unit(&s, [], [sup.clone()]);
+        assert_eq!(unit.associations, vec![sup]);
+        assert!(unit.entities.is_empty());
+    }
+
+    #[test]
+    fn absent_seeds_are_ignored() {
+        let s = fixtures::figure4_state();
+        let unit = deletion_unit(&s, [emp("Nobody")], []);
+        assert!(unit.is_empty());
+        assert_eq!(unit.len(), 0);
+    }
+
+    #[test]
+    fn machine_survives_when_another_operation_remains() {
+        // Hypothetical: if a machine filled two operation associations,
+        // deleting one would not drag it. Build a state with functionality
+        // relaxed to test rule 2's "survives" branch.
+        use crate::schema::{GraphSchema, Participation};
+        use dme_logic::Universe;
+        use dme_value::sym;
+        let schema = GraphSchema::new(
+            Universe::machine_shop(),
+            [
+                ((sym!("operate"), sym!("agent")), Participation::OPTIONAL),
+                (
+                    (sym!("operate"), sym!("object")),
+                    Participation {
+                        total: true,
+                        functional: false,
+                    },
+                ),
+                ((sym!("supervise"), sym!("agent")), Participation::OPTIONAL),
+                ((sym!("supervise"), sym!("object")), Participation::OPTIONAL),
+            ],
+        )
+        .unwrap();
+        let mut s = GraphState::empty(std::sync::Arc::new(schema));
+        s.insert_entity_raw(Entity::new(
+            "employee",
+            [("name", Atom::str("T.Manhart")), ("age", Atom::int(32))],
+        ))
+        .unwrap();
+        s.insert_entity_raw(Entity::new(
+            "employee",
+            [("name", Atom::str("C.Gershag")), ("age", Atom::int(40))],
+        ))
+        .unwrap();
+        s.insert_entity_raw(Entity::new(
+            "machine",
+            [("number", Atom::str("NZ745")), ("type", Atom::str("lathe"))],
+        ))
+        .unwrap();
+        let op1 = Association::new(
+            "operate",
+            [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+        );
+        let op2 = Association::new(
+            "operate",
+            [("agent", emp("C.Gershag")), ("object", machine("NZ745"))],
+        );
+        s.insert_association_raw(op1.clone()).unwrap();
+        s.insert_association_raw(op2).unwrap();
+        s.validate().unwrap();
+
+        let unit = deletion_unit(&s, [], [op1.clone()]);
+        assert_eq!(unit.associations, vec![op1]);
+        assert!(unit.entities.is_empty(), "machine survives via op2");
+    }
+
+    #[test]
+    fn builders_and_display() {
+        let u = SemanticUnit::new()
+            .with_entity(Entity::new(
+                "machine",
+                [("number", Atom::str("NZ745")), ("type", Atom::str("lathe"))],
+            ))
+            .with_association(Association::new(
+                "operate",
+                [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+            ));
+        assert_eq!(u.len(), 2);
+        assert!(u.to_string().starts_with("unit{"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests for the semantic graph model:
+//!
+//! * fact compilation is injective on valid states (distinct states ⇒
+//!   distinct fact bases) — the graph side of the 1-1 state
+//!   correspondence;
+//! * applying a deletion unit always yields a valid state (the closure
+//!   computed by `deletion_unit` really is "a group … which must be
+//!   deleted as a single unit");
+//! * operations are pure: a failed apply leaves the input untouched, a
+//!   successful apply never mutates it either.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dme_graph::unit::deletion_unit;
+use dme_graph::{fixtures, Association, Entity, EntityRef, GraphOp, GraphState};
+use dme_logic::ToFacts;
+use dme_value::Atom;
+use proptest::prelude::*;
+
+const NAMES: [&str; 3] = ["T.Manhart", "C.Gershag", "G.Wayshum"];
+const AGES: [i64; 3] = [32, 40, 50];
+const MACHINES: [(&str, &str); 2] = [("NZ745", "lathe"), ("JCL181", "press")];
+
+/// Builds a random *valid* machine-shop graph state from selector bits.
+fn build_state(
+    employees: [bool; 3],
+    machines: [Option<usize>; 2],
+    supervisions: [bool; 9],
+) -> Option<GraphState> {
+    let schema = Arc::new(fixtures::machine_shop_graph_schema());
+    let mut s = GraphState::empty(schema);
+    for (i, present) in employees.iter().enumerate() {
+        if *present {
+            s.insert_entity_raw(Entity::new(
+                "employee",
+                [("name", Atom::str(NAMES[i])), ("age", Atom::Int(AGES[i]))],
+            ))
+            .ok()?;
+        }
+    }
+    for (m, operator) in machines.iter().enumerate() {
+        if let Some(op_idx) = operator {
+            if !employees[*op_idx] {
+                return None; // operator must exist
+            }
+            let (number, ty) = MACHINES[m];
+            s.insert_entity_raw(Entity::new(
+                "machine",
+                [("number", Atom::str(number)), ("type", Atom::str(ty))],
+            ))
+            .ok()?;
+            s.insert_association_raw(Association::new(
+                "operate",
+                [
+                    (
+                        "agent",
+                        EntityRef::new("employee", Atom::str(NAMES[*op_idx])),
+                    ),
+                    ("object", EntityRef::new("machine", Atom::str(number))),
+                ],
+            ))
+            .ok()?;
+        }
+    }
+    for (k, present) in supervisions.iter().enumerate() {
+        if *present {
+            let (a, b) = (k / 3, k % 3);
+            if !employees[a] || !employees[b] {
+                return None;
+            }
+            s.insert_association_raw(Association::new(
+                "supervise",
+                [
+                    ("agent", EntityRef::new("employee", Atom::str(NAMES[a]))),
+                    ("object", EntityRef::new("employee", Atom::str(NAMES[b]))),
+                ],
+            ))
+            .ok()?;
+        }
+    }
+    s.validate().ok()?;
+    Some(s)
+}
+
+fn arb_state() -> impl Strategy<Value = Option<GraphState>> {
+    (
+        prop::array::uniform3(any::<bool>()),
+        prop::array::uniform2(prop_oneof![
+            Just(None),
+            Just(Some(0usize)),
+            Just(Some(1usize)),
+            Just(Some(2usize)),
+        ]),
+        prop::array::uniform9(any::<bool>()),
+    )
+        .prop_map(|(e, m, s)| build_state(e, m, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fact_compilation_is_injective(a in arb_state(), b in arb_state()) {
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert_eq!(a.to_facts() == b.to_facts(), a == b);
+        }
+    }
+
+    #[test]
+    fn deletion_units_yield_valid_states(
+        state in arb_state(),
+        seed_employee in 0usize..3,
+        seed_machine in 0usize..2,
+        use_machine in any::<bool>(),
+    ) {
+        let Some(state) = state else { return Ok(()) };
+        let seed: EntityRef = if use_machine {
+            EntityRef::new("machine", Atom::str(MACHINES[seed_machine].0))
+        } else {
+            EntityRef::new("employee", Atom::str(NAMES[seed_employee]))
+        };
+        let unit = deletion_unit(&state, [seed.clone()], []);
+        if unit.is_empty() {
+            // Seed absent from the state.
+            prop_assert!(state.entity(&seed).is_none());
+            return Ok(());
+        }
+        let after = GraphOp::DeleteUnit(unit).apply(&state)
+            .expect("deletion units are closed under schema restrictions");
+        after.validate().expect("result is a valid state");
+        prop_assert!(after.entity(&seed).is_none());
+    }
+
+    #[test]
+    fn operations_are_pure(state in arb_state(), k in 0usize..9) {
+        let Some(state) = state else { return Ok(()) };
+        let snapshot = state.clone();
+        let (a, b) = (k / 3, k % 3);
+        let op = GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [
+                ("agent", EntityRef::new("employee", Atom::str(NAMES[a]))),
+                ("object", EntityRef::new("employee", Atom::str(NAMES[b]))),
+            ],
+        ));
+        let _ = op.apply(&state);
+        prop_assert_eq!(state, snapshot, "apply never mutates its input");
+    }
+
+    /// The indexed validation agrees with the index-free scan baseline —
+    /// including on *invalid* states built by raw mutation.
+    #[test]
+    fn indexed_validation_agrees_with_scan(
+        state in arb_state(),
+        break_it in any::<bool>(),
+        victim in 0usize..2,
+    ) {
+        let Some(mut state) = state else { return Ok(()) };
+        if break_it {
+            // Remove a machine's operation association (if any) to break
+            // totality, or a machine entity to dangle a role edge.
+            let op = state
+                .associations()
+                .find(|a| a.predicate == "operate")
+                .cloned();
+            match (victim, op) {
+                (0, Some(a)) => { let _ = state.remove_association_raw(&a); }
+                (_, Some(a)) => {
+                    let m = a.role("object").expect("operate has object").clone();
+                    let _ = state.remove_entity_raw(&m);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(state.validate().is_ok(), state.validate_scan().is_ok());
+    }
+
+    /// Entity and association counts compiled into facts add up.
+    #[test]
+    fn fact_counts_match_structure(state in arb_state()) {
+        let Some(state) = state else { return Ok(()) };
+        let (entities, associations) = state.sizes();
+        // Every entity: existence + exactly one non-id characteristic.
+        prop_assert_eq!(state.to_facts().len(), entities * 2 + associations);
+    }
+}
+
+#[test]
+fn unit_deletion_covers_all_reachable_seeds() {
+    // Exhaustive mini-check: from Figure 4, deleting any single entity's
+    // unit produces a valid state not containing that entity.
+    let state = fixtures::figure4_state();
+    let refs: BTreeSet<EntityRef> = state
+        .entities()
+        .map(|e| e.to_ref(state.schema()).expect("valid fixture"))
+        .collect();
+    for r in refs {
+        let unit = deletion_unit(&state, [r.clone()], []);
+        let after = GraphOp::DeleteUnit(unit).apply(&state);
+        match after {
+            Ok(after) => {
+                after.validate().expect("valid");
+                assert!(after.entity(&r).is_none());
+            }
+            Err(e) => {
+                // The only admissible failure is a dangling reference from
+                // an association the unit did not drag (supervisions are
+                // optional and so not dragged by rule 2) — G.Wayshum and
+                // C.Gershag supervise/are supervised.
+                let msg = e.to_string();
+                assert!(msg.contains("missing"), "unexpected failure: {msg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Ground facts: a predicate with named-case arguments.
+//!
+//! A [`Fact`] corresponds to one of the paper's natural-language statements
+//! with every blank filled in, e.g. *"An employee named C.Gershag is
+//! supervised by an employee named G.Wayshum"* becomes
+//! `supervise{agent: G.Wayshum, object: C.Gershag}`.
+//!
+//! Arguments are keyed by case name and are always non-null [`Atom`]s: a
+//! null in a database state means *absence of a statement*, so nulls never
+//! reach the logic layer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dme_value::{Atom, Symbol};
+
+/// A ground atom of the case-grammar logic: predicate + case bindings.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fact {
+    predicate: Symbol,
+    args: BTreeMap<Symbol, Atom>,
+}
+
+impl Fact {
+    /// Builds a fact from a predicate name and case bindings.
+    ///
+    /// ```
+    /// use dme_logic::Fact;
+    /// use dme_value::Atom;
+    /// let f = Fact::new(
+    ///     "operate",
+    ///     [("agent", Atom::str("T.Manhart")), ("object", Atom::str("NZ745"))],
+    /// );
+    /// assert_eq!(f.predicate(), "operate");
+    /// assert_eq!(f.get("agent"), Some(&Atom::str("T.Manhart")));
+    /// ```
+    pub fn new<C, A>(predicate: impl Into<Symbol>, args: impl IntoIterator<Item = (C, A)>) -> Self
+    where
+        C: Into<Symbol>,
+        A: Into<Atom>,
+    {
+        Fact {
+            predicate: predicate.into(),
+            args: args
+                .into_iter()
+                .map(|(c, a)| (c.into(), a.into()))
+                .collect(),
+        }
+    }
+
+    /// The predicate symbol.
+    pub fn predicate(&self) -> &Symbol {
+        &self.predicate
+    }
+
+    /// The binding of a case, if present.
+    pub fn get(&self, case: &str) -> Option<&Atom> {
+        self.args.get(case)
+    }
+
+    /// Iterates over `(case, atom)` bindings in case order.
+    pub fn args(&self) -> impl Iterator<Item = (&Symbol, &Atom)> {
+        self.args.iter()
+    }
+
+    /// Number of bound cases.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Whether this fact binds the given case.
+    pub fn binds(&self, case: &str) -> bool {
+        self.args.contains_key(case)
+    }
+
+    /// Returns a copy of this fact with one case rebound. Used by
+    /// renaming correspondences between data models.
+    pub fn with_arg(&self, case: impl Into<Symbol>, atom: impl Into<Atom>) -> Fact {
+        let mut f = self.clone();
+        f.args.insert(case.into(), atom.into());
+        f
+    }
+
+    /// Returns a copy with the predicate renamed (correspondence maps,
+    /// e.g. graph "operation" association type → relational "operate"
+    /// predicate).
+    pub fn with_predicate(&self, predicate: impl Into<Symbol>) -> Fact {
+        Fact {
+            predicate: predicate.into(),
+            args: self.args.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.predicate)?;
+        for (i, (case, atom)) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{case}: {atom}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn operate() -> Fact {
+        Fact::new(
+            "operate",
+            [
+                ("agent", Atom::str("T.Manhart")),
+                ("object", Atom::str("NZ745")),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let f = operate();
+        assert_eq!(f.predicate(), "operate");
+        assert_eq!(f.arity(), 2);
+        assert!(f.binds("agent"));
+        assert!(!f.binds("instrument"));
+        assert_eq!(f.get("object"), Some(&Atom::str("NZ745")));
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn args_iterate_in_case_order() {
+        let f = Fact::new("p", [("z", Atom::int(1)), ("a", Atom::int(2))]);
+        let cases: Vec<_> = f.args().map(|(c, _)| c.as_str().to_owned()).collect();
+        assert_eq!(cases, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = Fact::new("p", [("x", Atom::int(1)), ("y", Atom::int(2))]);
+        let b = Fact::new("p", [("y", Atom::int(2)), ("x", Atom::int(1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_arg_and_with_predicate() {
+        let f = operate();
+        let g = f.with_arg("agent", Atom::str("C.Gershag"));
+        assert_eq!(g.get("agent"), Some(&Atom::str("C.Gershag")));
+        assert_eq!(f.get("agent"), Some(&Atom::str("T.Manhart"))); // original untouched
+
+        let h = f.with_predicate("operation");
+        assert_eq!(h.predicate(), "operation");
+        assert_eq!(h.get("agent"), f.get("agent"));
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(
+            operate().to_string(),
+            "operate{agent: T.Manhart, object: NZ745}"
+        );
+    }
+
+    #[test]
+    fn duplicate_case_last_wins() {
+        let f = Fact::new("p", [("x", Atom::int(1)), ("x", Atom::int(2))]);
+        assert_eq!(f.arity(), 1);
+        assert_eq!(f.get("x"), Some(&Atom::int(2)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fact patterns: predicate + partial case bindings.
+//!
+//! Patterns are the query primitive used by the operation translators: to
+//! translate "insert a supervision between G.Wayshum and T.Manhart" into a
+//! relational operation, the translator must ask the current state "which
+//! machine does T.Manhart operate?" — i.e. find facts matching
+//! `operate{agent: T.Manhart, object: ?}` (the Figure 7 vs Figure 8
+//! state-dependence of §3.3.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dme_value::{Atom, Symbol};
+
+use crate::Fact;
+
+/// A pattern over facts: matches facts with the given predicate whose
+/// arguments include all the required bindings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    predicate: Symbol,
+    required: BTreeMap<Symbol, Atom>,
+}
+
+impl Pattern {
+    /// Matches any fact with the given predicate.
+    pub fn predicate(predicate: impl Into<Symbol>) -> Self {
+        Pattern {
+            predicate: predicate.into(),
+            required: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a required case binding (builder style).
+    ///
+    /// ```
+    /// use dme_logic::{Fact, Pattern};
+    /// use dme_value::Atom;
+    ///
+    /// let p = Pattern::predicate("operate").with("agent", Atom::str("T.Manhart"));
+    /// let f = Fact::new(
+    ///     "operate",
+    ///     [("agent", Atom::str("T.Manhart")), ("object", Atom::str("NZ745"))],
+    /// );
+    /// assert!(p.matches(&f));
+    /// ```
+    pub fn with(mut self, case: impl Into<Symbol>, atom: impl Into<Atom>) -> Self {
+        self.required.insert(case.into(), atom.into());
+        self
+    }
+
+    /// Whether `fact` matches: same predicate, and every required binding
+    /// present with the same atom.
+    pub fn matches(&self, fact: &Fact) -> bool {
+        fact.predicate() == &self.predicate
+            && self
+                .required
+                .iter()
+                .all(|(case, atom)| fact.get(case.as_str()) == Some(atom))
+    }
+
+    /// The pattern's predicate symbol.
+    pub fn predicate_name(&self) -> &Symbol {
+        &self.predicate
+    }
+
+    /// The required bindings.
+    pub fn bindings(&self) -> impl Iterator<Item = (&Symbol, &Atom)> {
+        self.required.iter()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.predicate)?;
+        for (i, (case, atom)) in self.required.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{case}: {atom}")?;
+        }
+        write!(f, ", ..}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FactBase;
+
+    fn operate(agent: &str, object: &str) -> Fact {
+        Fact::new(
+            "operate",
+            [("agent", Atom::str(agent)), ("object", Atom::str(object))],
+        )
+    }
+
+    #[test]
+    fn predicate_only_pattern() {
+        let p = Pattern::predicate("operate");
+        assert!(p.matches(&operate("a", "m")));
+        assert!(!p.matches(&Fact::new("supervise", [("agent", Atom::str("a"))])));
+    }
+
+    #[test]
+    fn bindings_must_all_match() {
+        let p = Pattern::predicate("operate")
+            .with("agent", Atom::str("a"))
+            .with("object", Atom::str("m"));
+        assert!(p.matches(&operate("a", "m")));
+        assert!(!p.matches(&operate("a", "other")));
+        assert!(!p.matches(&operate("b", "m")));
+    }
+
+    #[test]
+    fn missing_case_fails() {
+        let p = Pattern::predicate("operate").with("instrument", Atom::str("z"));
+        assert!(!p.matches(&operate("a", "m")));
+    }
+
+    #[test]
+    fn factbase_lookup() {
+        let fb = FactBase::from_facts([operate("a", "m1"), operate("b", "m2")]);
+        let p = Pattern::predicate("operate").with("agent", Atom::str("b"));
+        let hits: Vec<_> = fb.matching(&p).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get("object"), Some(&Atom::str("m2")));
+        assert_eq!(fb.find(&Pattern::predicate("nope")), None);
+    }
+
+    #[test]
+    fn display() {
+        let p = Pattern::predicate("operate").with("agent", Atom::str("x"));
+        assert_eq!(p.to_string(), "operate{agent: x, ..}");
+    }
+}

@@ -1,0 +1,259 @@
+//! The canonical case-grammar vocabulary.
+//!
+//! §3.2.3: *"a mapping between association types and the predicate used to
+//! express information concerning each association type would be required
+//! ('supervision' and 'supervise', 'operation' and 'operate'). That is,
+//! there must be a translation between the natural language case grammars
+//! on which the two data models are based."*
+//!
+//! Both data models compile into facts built by these constructors; the
+//! correspondence in `dme-core` renames model-local names into this shared
+//! vocabulary first. Using one canonical shape per concept is what makes
+//! fact-base equality a 1-1 onto state-equivalence correspondence.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use dme_value::{Atom, Symbol};
+
+use crate::{Fact, FactBase};
+
+/// The case name used to attribute a characteristic value in
+/// characteristic facts.
+pub const VALUE_CASE: &str = "value";
+
+/// Predicate symbol for existence facts: `be <entity-type>`.
+pub fn existence_predicate(entity_type: &Symbol) -> Symbol {
+    Symbol::new(format!("be {entity_type}"))
+}
+
+/// Predicate symbol for characteristic facts: `<entity-type>.<characteristic>`.
+pub fn characteristic_predicate(entity_type: &Symbol, characteristic: &Symbol) -> Symbol {
+    Symbol::new(format!("{entity_type}.{characteristic}"))
+}
+
+/// An **existence fact**: an entity of `entity_type`, identified by its
+/// identifying characteristic (`id_characteristic = key`), exists in the
+/// application state.
+///
+/// ```
+/// use dme_logic::vocab;
+/// use dme_value::{sym, Atom};
+/// let f = vocab::existence(&sym!("employee"), &sym!("name"), Atom::str("T.Manhart"));
+/// assert_eq!(f.to_string(), "be employee{name: T.Manhart}");
+/// ```
+pub fn existence(entity_type: &Symbol, id_characteristic: &Symbol, key: Atom) -> Fact {
+    Fact::new(
+        existence_predicate(entity_type),
+        [(id_characteristic.clone(), key)],
+    )
+}
+
+/// A **characteristic fact**: the entity identified by `key` has
+/// `characteristic = value`.
+///
+/// ```
+/// use dme_logic::vocab;
+/// use dme_value::{sym, Atom};
+/// let f = vocab::characteristic(
+///     &sym!("employee"), &sym!("name"), Atom::str("T.Manhart"),
+///     &sym!("age"), Atom::int(32),
+/// );
+/// assert_eq!(f.to_string(), "employee.age{name: T.Manhart, value: 32}");
+/// ```
+pub fn characteristic(
+    entity_type: &Symbol,
+    id_characteristic: &Symbol,
+    key: Atom,
+    characteristic: &Symbol,
+    value: Atom,
+) -> Fact {
+    Fact::new(
+        characteristic_predicate(entity_type, characteristic),
+        [
+            (id_characteristic.clone(), key),
+            (Symbol::new(VALUE_CASE), value),
+        ],
+    )
+}
+
+/// An **association fact**: an event described by `predicate` holds, with
+/// each case bound to the identifying value of its participant.
+///
+/// ```
+/// use dme_logic::vocab;
+/// use dme_value::{sym, Atom};
+/// let f = vocab::association(
+///     &sym!("supervise"),
+///     [(sym!("agent"), Atom::str("G.Wayshum")), (sym!("object"), Atom::str("C.Gershag"))],
+/// );
+/// assert_eq!(f.to_string(), "supervise{agent: G.Wayshum, object: C.Gershag}");
+/// ```
+pub fn association(predicate: &Symbol, cases: impl IntoIterator<Item = (Symbol, Atom)>) -> Fact {
+    Fact::new(predicate.clone(), cases)
+}
+
+/// A sub-vocabulary of the canonical fact language: which existence,
+/// characteristic and association facts a (possibly partial) schema can
+/// express.
+///
+/// §1.2 of the paper: "The external schema may present to the user just
+/// a subset of the information described in the conceptual schema. …
+/// the definitions to be presented can be extended to handle the case
+/// where the external schema describes a subset of the conceptual
+/// schema." A [`FactFilter`] is that extension's core: state equivalence
+/// between a subset view and the conceptual state is equality of the
+/// *filtered* fact bases, and operation translation works on filtered
+/// deltas.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactFilter {
+    /// Entity types whose existence facts are expressible.
+    pub entity_types: BTreeSet<Symbol>,
+    /// (entity type, characteristic) pairs whose characteristic facts are
+    /// expressible.
+    pub characteristics: BTreeSet<(Symbol, Symbol)>,
+    /// Association predicates whose facts are expressible.
+    pub predicates: BTreeSet<Symbol>,
+}
+
+impl FactFilter {
+    /// An empty filter (expresses nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether this filter retains the given fact.
+    pub fn retains(&self, fact: &Fact) -> bool {
+        let p = fact.predicate().as_str();
+        if let Some(entity_type) = p.strip_prefix("be ") {
+            return self.entity_types.contains(entity_type);
+        }
+        if let Some((entity_type, characteristic)) = p.split_once('.') {
+            return self
+                .characteristics
+                .contains(&(Symbol::new(entity_type), Symbol::new(characteristic)));
+        }
+        self.predicates.contains(p)
+    }
+
+    /// The retained subset of a fact base.
+    pub fn filter(&self, facts: &FactBase) -> FactBase {
+        facts.iter().filter(|f| self.retains(f)).cloned().collect()
+    }
+
+    /// Whether this filter retains at least everything `other` does.
+    pub fn covers(&self, other: &FactFilter) -> bool {
+        other.entity_types.is_subset(&self.entity_types)
+            && other.characteristics.is_subset(&self.characteristics)
+            && other.predicates.is_subset(&self.predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_value::sym;
+
+    #[test]
+    fn fact_filter_classifies_and_filters() {
+        let mut f = FactFilter::new();
+        f.entity_types.insert(sym!("employee"));
+        f.characteristics.insert((sym!("employee"), sym!("age")));
+        f.predicates.insert(sym!("supervise"));
+
+        let be_emp = existence(&sym!("employee"), &sym!("name"), Atom::str("X"));
+        let be_machine = existence(&sym!("machine"), &sym!("number"), Atom::str("M"));
+        let age = characteristic(
+            &sym!("employee"),
+            &sym!("name"),
+            Atom::str("X"),
+            &sym!("age"),
+            Atom::int(30),
+        );
+        let mtype = characteristic(
+            &sym!("machine"),
+            &sym!("number"),
+            Atom::str("M"),
+            &sym!("type"),
+            Atom::str("lathe"),
+        );
+        let sup = association(&sym!("supervise"), [(sym!("agent"), Atom::str("X"))]);
+        let op = association(&sym!("operate"), [(sym!("agent"), Atom::str("X"))]);
+
+        assert!(f.retains(&be_emp));
+        assert!(!f.retains(&be_machine));
+        assert!(f.retains(&age));
+        assert!(!f.retains(&mtype));
+        assert!(f.retains(&sup));
+        assert!(!f.retains(&op));
+
+        let base = FactBase::from_facts([be_emp, be_machine, age, mtype, sup, op]);
+        assert_eq!(f.filter(&base).len(), 3);
+        assert!(FactFilter::new().filter(&base).is_empty());
+    }
+
+    #[test]
+    fn covers_is_componentwise_subset() {
+        let mut big = FactFilter::new();
+        big.entity_types.insert(sym!("employee"));
+        big.predicates.insert(sym!("supervise"));
+        let mut small = FactFilter::new();
+        small.entity_types.insert(sym!("employee"));
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&FactFilter::new()));
+    }
+
+    #[test]
+    fn predicates_are_stable() {
+        assert_eq!(existence_predicate(&sym!("machine")).as_str(), "be machine");
+        assert_eq!(
+            characteristic_predicate(&sym!("machine"), &sym!("type")).as_str(),
+            "machine.type"
+        );
+    }
+
+    #[test]
+    fn existence_fact_shape() {
+        let f = existence(&sym!("machine"), &sym!("number"), Atom::str("NZ745"));
+        assert_eq!(f.predicate(), "be machine");
+        assert_eq!(f.get("number"), Some(&Atom::str("NZ745")));
+        assert_eq!(f.arity(), 1);
+    }
+
+    #[test]
+    fn characteristic_fact_shape() {
+        let f = characteristic(
+            &sym!("machine"),
+            &sym!("number"),
+            Atom::str("NZ745"),
+            &sym!("type"),
+            Atom::str("lathe"),
+        );
+        assert_eq!(f.predicate(), "machine.type");
+        assert_eq!(f.get("number"), Some(&Atom::str("NZ745")));
+        assert_eq!(f.get(VALUE_CASE), Some(&Atom::str("lathe")));
+    }
+
+    #[test]
+    fn association_fact_shape() {
+        let f = association(
+            &sym!("operate"),
+            [
+                (sym!("agent"), Atom::str("T.Manhart")),
+                (sym!("object"), Atom::str("NZ745")),
+            ],
+        );
+        assert_eq!(f.predicate(), "operate");
+        assert_eq!(f.arity(), 2);
+    }
+
+    #[test]
+    fn same_inputs_same_fact() {
+        // Canonicality: the two models must produce byte-identical facts.
+        let a = existence(&sym!("employee"), &sym!("name"), Atom::str("X"));
+        let b = existence(&sym!("employee"), &sym!("name"), Atom::str("X"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Paper-style rendering of relations.
+//!
+//! Figure 3 prints each relation with a four-row heading — predicate:case
+//! pairs, case types, characteristics, domains — above the statements.
+//! [`render_relation`] reproduces that layout for any relation of a
+//! state, so example output can be compared with the paper directly.
+
+use std::fmt::Write as _;
+
+use crate::schema::{Pair, RelationSchema};
+use crate::state::RelationState;
+
+/// Renders one relation of a state in the paper's table layout. Returns
+/// `None` when the relation is not in the state's schema.
+pub fn render_relation(state: &RelationState, name: &str) -> Option<String> {
+    let rel = state.schema().relation(name)?;
+    let tuples: Vec<Vec<String>> = state
+        .tuples(name)
+        .map(|t| t.values().map(|v| v.to_string()).collect())
+        .collect();
+
+    // Build the four heading rows, one cell per flat column.
+    let mut pairs_row = Vec::with_capacity(rel.arity());
+    let mut types_row = Vec::with_capacity(rel.arity());
+    let mut chars_row = Vec::with_capacity(rel.arity());
+    let mut domains_row = Vec::with_capacity(rel.arity());
+    for p in rel.participants() {
+        let pair_text = p
+            .pairs
+            .iter()
+            .map(|pair| match pair {
+                Pair::Existence => format!("be {}:object", p.entity_type),
+                Pair::Case { predicate, case } => format!("{predicate}:{case}"),
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        for (ci, col) in p.columns.iter().enumerate() {
+            pairs_row.push(if ci == 0 {
+                pair_text.clone()
+            } else {
+                String::new()
+            });
+            types_row.push(if ci == 0 {
+                p.entity_type.as_str().to_owned()
+            } else {
+                String::new()
+            });
+            chars_row.push(col.characteristic.as_str().to_owned());
+            domains_row.push(col.domain.as_str().to_owned());
+        }
+    }
+
+    // Column widths.
+    let mut widths: Vec<usize> = (0..rel.arity())
+        .map(|c| {
+            [&pairs_row, &types_row, &chars_row, &domains_row]
+                .iter()
+                .map(|row| row[c].len())
+                .chain(tuples.iter().map(|t| t[c].len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    for w in &mut widths {
+        *w = (*w).max(4);
+    }
+
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        let _ = write!(out, "+");
+        for w in &widths {
+            let _ = write!(out, "{}+", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out);
+    };
+    let row = |out: &mut String, cells: &[String]| {
+        let _ = write!(out, "|");
+        for (cell, w) in cells.iter().zip(&widths) {
+            let _ = write!(out, " {cell:w$} |");
+        }
+        let _ = writeln!(out);
+    };
+
+    let _ = writeln!(out, "{name}");
+    rule(&mut out);
+    row(&mut out, &pairs_row);
+    row(&mut out, &types_row);
+    row(&mut out, &chars_row);
+    row(&mut out, &domains_row);
+    rule(&mut out);
+    for t in &tuples {
+        row(&mut out, t);
+    }
+    rule(&mut out);
+    Some(out)
+}
+
+/// Renders every relation of a state in schema order.
+pub fn render_state(state: &RelationState) -> String {
+    let mut out = String::new();
+    for rel in state.schema().relations() {
+        if let Some(table) = render_relation(state, rel.name().as_str()) {
+            out.push_str(&table);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Helper so callers can re-derive the heading rows without rendering.
+pub fn heading_rows(rel: &RelationSchema) -> [Vec<String>; 4] {
+    let mut pairs_row = Vec::new();
+    let mut types_row = Vec::new();
+    let mut chars_row = Vec::new();
+    let mut domains_row = Vec::new();
+    for p in rel.participants() {
+        for (ci, col) in p.columns.iter().enumerate() {
+            if ci == 0 {
+                pairs_row.push(
+                    p.pairs
+                        .iter()
+                        .map(|pair| match pair {
+                            Pair::Existence => format!("be {}:object", p.entity_type),
+                            Pair::Case { predicate, case } => format!("{predicate}:{case}"),
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                );
+                types_row.push(p.entity_type.as_str().to_owned());
+            } else {
+                pairs_row.push(String::new());
+                types_row.push(String::new());
+            }
+            chars_row.push(col.characteristic.as_str().to_owned());
+            domains_row.push(col.domain.as_str().to_owned());
+        }
+    }
+    [pairs_row, types_row, chars_row, domains_row]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn renders_figure3_jobs_like_the_paper() {
+        let s = fixtures::figure3_state();
+        let table = render_relation(&s, "Jobs").unwrap();
+        assert!(table.contains("supervise:agent"));
+        assert!(table.contains("operate:agent supervise:object"));
+        assert!(table.contains("serial-numbers"));
+        assert!(table.contains("G.Wayshum"));
+        assert!(table.contains("----"), "null shown in the paper's notation");
+        // Four heading rows plus two statements.
+        assert_eq!(table.lines().filter(|l| l.starts_with('|')).count(), 6);
+    }
+
+    #[test]
+    fn render_state_covers_all_relations() {
+        let s = fixtures::figure3_state();
+        let text = render_state(&s);
+        assert!(text.contains("Employees"));
+        assert!(text.contains("Operate"));
+        assert!(text.contains("Jobs"));
+    }
+
+    #[test]
+    fn unknown_relation_is_none() {
+        let s = fixtures::figure3_state();
+        assert!(render_relation(&s, "Ghost").is_none());
+    }
+
+    #[test]
+    fn heading_rows_shapes() {
+        let s = fixtures::machine_shop_schema();
+        let [pairs, types, chars, domains] = heading_rows(s.relation("Operate").unwrap());
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(types, vec!["employee", "machine", ""]);
+        assert_eq!(chars, vec!["name", "number", "type"]);
+        assert_eq!(domains, vec!["names", "serial-numbers", "machine-types"]);
+        assert!(pairs[1].contains("be machine:object"));
+        assert!(pairs[1].contains("operate:object"));
+    }
+}

@@ -1,0 +1,419 @@
+//! The paper's worked examples as ready-made schemas and states.
+//!
+//! * [`machine_shop_schema`] — the three-relation schema of Figure 3
+//!   (Employees, Operate, Jobs) with the four §3.2.1 constraints plus the
+//!   companion constraints needed for faithfulness to the Figure 5 graph
+//!   schema;
+//! * [`figure3_state`] — Figure 3's state;
+//! * [`figure7_state`] — Figure 7 (after inserting the supervision of
+//!   T.Manhart by G.Wayshum, with the old Jobs row auto-deleted);
+//! * [`figure8_premise_state`] / [`figure8_state`] — the §3.3.1 thought
+//!   experiment: the same insertion from a state where T.Manhart operates
+//!   no machine (Figure 8's null-bearing tuple);
+//! * [`figure9_schema`] / [`figure9_state`] — the single-relation
+//!   application model of Figure 9, state-equivalent to Figure 3.
+
+use std::sync::Arc;
+
+use dme_logic::Universe;
+use dme_value::{tuple, Value};
+
+use crate::constraints::{ColsRef, Constraint};
+use crate::schema::{CharacteristicCol, Pair, Participant, RelationSchema, RelationalSchema};
+use crate::state::RelationState;
+
+/// The Figure 3 application-model schema: Employees, Operate, Jobs over
+/// the machine-shop universe.
+///
+/// Constraints (numbers 1–4 are quoted in §3.2.1):
+///
+/// 1. operators are employees (`Operate[0] ⊆ Employees[0]`);
+/// 2. every machine has an operator (`Operate[0]` not null);
+/// 3. at most one operator per machine (`Operate[1]` unique);
+/// 4. operator/machine matching agrees between Operate and Jobs;
+///
+/// plus: employee names identify Employees rows; Jobs only mentions
+/// employees known to Employees.
+pub fn machine_shop_schema() -> RelationalSchema {
+    let universe = Universe::machine_shop();
+    let employees = RelationSchema::new(
+        "Employees",
+        [Participant::new(
+            "employee",
+            [Pair::Existence],
+            [
+                CharacteristicCol::required("name", "names"),
+                CharacteristicCol::required("age", "years"),
+            ],
+        )],
+    );
+    let operate = RelationSchema::new(
+        "Operate",
+        [
+            Participant::new(
+                "employee",
+                [Pair::case("operate", "agent")],
+                [CharacteristicCol::required("name", "names")],
+            ),
+            Participant::new(
+                "machine",
+                [Pair::Existence, Pair::case("operate", "object")],
+                [
+                    CharacteristicCol::required("number", "serial-numbers"),
+                    CharacteristicCol::required("type", "machine-types"),
+                ],
+            ),
+        ],
+    );
+    let jobs = RelationSchema::new(
+        "Jobs",
+        [
+            Participant::new(
+                "employee",
+                [Pair::case("supervise", "agent")],
+                [CharacteristicCol::optional("name", "names")],
+            ),
+            Participant::new(
+                "employee",
+                [
+                    Pair::case("supervise", "object"),
+                    Pair::case("operate", "agent"),
+                ],
+                [CharacteristicCol::required("name", "names")],
+            ),
+            Participant::new(
+                "machine",
+                [Pair::case("operate", "object")],
+                [CharacteristicCol::optional("number", "serial-numbers")],
+            ),
+        ],
+    );
+    RelationalSchema::new(
+        universe,
+        [employees, operate, jobs],
+        [
+            // (1) subset: operators are employees.
+            Constraint::Subset {
+                from: ColsRef::new("Operate", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+            // (2) every machine has an operator.
+            Constraint::NotNull {
+                relation: "Operate".into(),
+                column: 0,
+            },
+            // (3) one operator per machine.
+            Constraint::Unique {
+                relation: "Operate".into(),
+                columns: vec![1],
+            },
+            // (4) operator/machine matching agrees between Operate & Jobs.
+            Constraint::Agreement {
+                left: ColsRef::new("Operate", [0, 1]),
+                right: ColsRef::new("Jobs", [1, 2]),
+            },
+            // Employee names identify Employees statements.
+            Constraint::Unique {
+                relation: "Employees".into(),
+                columns: vec![0],
+            },
+            // Jobs mentions only known employees.
+            Constraint::Subset {
+                from: ColsRef::new("Jobs", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Jobs", [1]),
+                to: ColsRef::new("Employees", [0]),
+            },
+        ],
+    )
+    .expect("machine-shop schema is well-formed")
+}
+
+fn base_state(schema: Arc<RelationalSchema>) -> RelationState {
+    let mut s = RelationState::empty(schema);
+    for t in [
+        tuple!["T.Manhart", 32],
+        tuple!["C.Gershag", 40],
+        tuple!["G.Wayshum", 50],
+    ] {
+        s.insert_raw("Employees", t).expect("fixture employees");
+    }
+    s
+}
+
+/// The Figure 3 database state.
+pub fn figure3_state() -> RelationState {
+    let schema = Arc::new(machine_shop_schema());
+    let mut s = base_state(schema);
+    s.insert_raw("Operate", tuple!["T.Manhart", "NZ745", "lathe"])
+        .expect("fixture operate");
+    s.insert_raw("Operate", tuple!["C.Gershag", "JCL181", "press"])
+        .expect("fixture operate");
+    s.insert_raw("Jobs", tuple!["G.Wayshum", "C.Gershag", "JCL181"])
+        .expect("fixture jobs");
+    s.insert_raw("Jobs", tuple![Value::Null, "T.Manhart", "NZ745"])
+        .expect("fixture jobs");
+    s
+}
+
+/// The Figure 7 database state: Figure 3 after inserting the statement
+/// "G.Wayshum supervises T.Manhart, who operates NZ745". The old
+/// `(----, T.Manhart, NZ745)` row has been auto-deleted by subsumption.
+pub fn figure7_state() -> RelationState {
+    let schema = Arc::new(machine_shop_schema());
+    let mut s = base_state(schema);
+    s.insert_raw("Operate", tuple!["T.Manhart", "NZ745", "lathe"])
+        .expect("fixture operate");
+    s.insert_raw("Operate", tuple!["C.Gershag", "JCL181", "press"])
+        .expect("fixture operate");
+    s.insert_raw("Jobs", tuple!["G.Wayshum", "C.Gershag", "JCL181"])
+        .expect("fixture jobs");
+    s.insert_raw("Jobs", tuple!["G.Wayshum", "T.Manhart", "NZ745"])
+        .expect("fixture jobs");
+    s
+}
+
+/// The premise of the Figure 8 thought experiment: the Figure 3 state
+/// *without* any operation association involving T.Manhart (and hence
+/// without machine NZ745, which would otherwise lack an operator).
+pub fn figure8_premise_state() -> RelationState {
+    let schema = Arc::new(machine_shop_schema());
+    let mut s = base_state(schema);
+    s.insert_raw("Operate", tuple!["C.Gershag", "JCL181", "press"])
+        .expect("fixture operate");
+    s.insert_raw("Jobs", tuple!["G.Wayshum", "C.Gershag", "JCL181"])
+        .expect("fixture jobs");
+    s
+}
+
+/// The Figure 8 database state: the premise state after inserting the
+/// supervision of T.Manhart by G.Wayshum. Because T.Manhart operates no
+/// machine, the equivalent relational insertion carries a **null** in the
+/// `operate:object` column — the paper's demonstration that equivalent
+/// operations can be state dependent.
+pub fn figure8_state() -> RelationState {
+    let mut s = figure8_premise_state();
+    s.insert_raw("Jobs", tuple!["G.Wayshum", "T.Manhart", Value::Null])
+        .expect("fixture jobs");
+    s
+}
+
+/// The Figure 9 application-model schema: a single relation carrying the
+/// same information as Figure 3's three relations. "There may be several
+/// relational application models state dependent equivalent to each graph
+/// model" — this is the second one used throughout the workspace.
+pub fn figure9_schema() -> RelationalSchema {
+    let universe = Universe::machine_shop();
+    let jobs = RelationSchema::new(
+        "Jobs",
+        [
+            Participant::new(
+                "employee",
+                [Pair::case("supervise", "agent")],
+                [CharacteristicCol::optional("name", "names")],
+            ),
+            Participant::new(
+                "employee",
+                [
+                    Pair::Existence,
+                    Pair::case("supervise", "object"),
+                    Pair::case("operate", "agent"),
+                ],
+                [
+                    CharacteristicCol::required("name", "names"),
+                    CharacteristicCol::required("age", "years"),
+                ],
+            ),
+            Participant::new(
+                "machine",
+                [Pair::Existence, Pair::case("operate", "object")],
+                [
+                    CharacteristicCol::optional("number", "serial-numbers"),
+                    CharacteristicCol::optional("type", "machine-types"),
+                ],
+            ),
+        ],
+    );
+    RelationalSchema::new(
+        universe,
+        [jobs],
+        [
+            // Each employee has one age.
+            Constraint::Functional {
+                relation: "Jobs".into(),
+                determinant: vec![1],
+                dependent: vec![2],
+            },
+            // Each machine has one type…
+            Constraint::Functional {
+                relation: "Jobs".into(),
+                determinant: vec![3],
+                dependent: vec![4],
+            },
+            // …and one operator.
+            Constraint::Functional {
+                relation: "Jobs".into(),
+                determinant: vec![3],
+                dependent: vec![1],
+            },
+            // A machine row must carry its type.
+            Constraint::Implies {
+                relation: "Jobs".into(),
+                if_nonnull: 3,
+                then_nonnull: 4,
+            },
+            // Supervisors are employees described by the relation.
+            Constraint::Subset {
+                from: ColsRef::new("Jobs", [0]),
+                to: ColsRef::new("Jobs", [1]),
+            },
+        ],
+    )
+    .expect("figure 9 schema is well-formed")
+}
+
+/// A **subset** external schema (§1.2): the personnel department's view
+/// of the machine shop — employees and supervisions only; machines and
+/// operate associations are invisible. Its vocabulary (see
+/// [`RelationalSchema::vocabulary`]) relativizes state equivalence and
+/// update translation to the facts it can express.
+pub fn personnel_schema() -> RelationalSchema {
+    let universe = Universe::machine_shop();
+    RelationalSchema::new(
+        universe,
+        [
+            RelationSchema::new(
+                "Employees",
+                [Participant::new(
+                    "employee",
+                    [Pair::Existence],
+                    [
+                        CharacteristicCol::required("name", "names"),
+                        CharacteristicCol::required("age", "years"),
+                    ],
+                )],
+            ),
+            RelationSchema::new(
+                "Supervisions",
+                [
+                    Participant::new(
+                        "employee",
+                        [Pair::case("supervise", "agent")],
+                        [CharacteristicCol::required("name", "names")],
+                    ),
+                    Participant::new(
+                        "employee",
+                        [Pair::case("supervise", "object")],
+                        [CharacteristicCol::required("name", "names")],
+                    ),
+                ],
+            ),
+        ],
+        [
+            Constraint::Unique {
+                relation: "Employees".into(),
+                columns: vec![0],
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Supervisions", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Supervisions", [1]),
+                to: ColsRef::new("Employees", [0]),
+            },
+        ],
+    )
+    .expect("personnel schema is well-formed")
+}
+
+/// The Figure 9 database state, state-equivalent to [`figure3_state`].
+pub fn figure9_state() -> RelationState {
+    let schema = Arc::new(figure9_schema());
+    let mut s = RelationState::empty(schema);
+    s.insert_raw(
+        "Jobs",
+        tuple!["G.Wayshum", "C.Gershag", 40, "JCL181", "press"],
+    )
+    .expect("fixture jobs9");
+    s.insert_raw(
+        "Jobs",
+        tuple![Value::Null, "T.Manhart", 32, "NZ745", "lathe"],
+    )
+    .expect("fixture jobs9");
+    s.insert_raw(
+        "Jobs",
+        tuple![Value::Null, "G.Wayshum", 50, Value::Null, Value::Null],
+    )
+    .expect("fixture jobs9");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::check_all;
+    use dme_logic::{state_equivalent, ToFacts};
+
+    #[test]
+    fn all_fixture_states_are_well_formed() {
+        for s in [
+            figure3_state(),
+            figure7_state(),
+            figure8_premise_state(),
+            figure8_state(),
+            figure9_state(),
+        ] {
+            s.well_formed().unwrap();
+            assert!(s.is_normalized());
+        }
+    }
+
+    #[test]
+    fn all_fixture_states_satisfy_their_constraints() {
+        let ms = machine_shop_schema();
+        for s in [
+            figure3_state(),
+            figure7_state(),
+            figure8_premise_state(),
+            figure8_state(),
+        ] {
+            check_all(&ms, &s).unwrap();
+        }
+        check_all(&figure9_schema(), &figure9_state()).unwrap();
+    }
+
+    #[test]
+    fn figure9_is_state_equivalent_to_figure3() {
+        let report = state_equivalent(&figure3_state(), &figure9_state());
+        assert!(report.is_equivalent(), "{report}");
+    }
+
+    #[test]
+    fn figure7_differs_from_figure3_by_one_fact() {
+        let f3 = figure3_state().to_facts();
+        let f7 = figure7_state().to_facts();
+        let delta = f3.delta_to(&f7);
+        assert!(delta.removed.is_empty());
+        assert_eq!(delta.added.len(), 1);
+        let added = delta.added.iter().next().unwrap();
+        assert_eq!(added.predicate(), "supervise");
+    }
+
+    #[test]
+    fn figure8_premise_lacks_manhart_operation() {
+        let facts = figure8_premise_state().to_facts();
+        assert!(!facts.iter().any(|f| f.predicate() == "be machine"
+            && f.get("number").is_some_and(|a| a.as_str() == Some("NZ745"))));
+        assert_eq!(facts.with_predicate("operate").count(), 1);
+    }
+
+    #[test]
+    fn figure8_insertion_has_null_machine() {
+        let s = figure8_state();
+        let jobs = s.relation("Jobs").unwrap();
+        assert!(jobs.contains(&tuple!["G.Wayshum", "T.Manhart", Value::Null]));
+    }
+}

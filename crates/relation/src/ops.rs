@@ -1,0 +1,555 @@
+//! The operation types of the semantic relation model.
+//!
+//! §3.2.1: "The operations allowed in the semantic relation data model are
+//! the insertion and deletion of sets of statements. In addition, the
+//! database state resulting from every successful application of one of
+//! these operations is guaranteed to satisfy a set of constraints
+//! specified as part of the schema."
+//!
+//! An operation type, per §2.1, is a function
+//! `(schema × arguments × database state) → database state`; here the
+//! schema travels inside [`RelationState`], the argument is a
+//! [`StatementSet`] (statements may span several relations — one
+//! operation can atomically touch Operate *and* Jobs, which the
+//! inter-relation agreement constraints require), and the paper's *error
+//! state* is modelled as `Err(OpError)` — all error states of all
+//! application models are equivalent (§3.3.1), which the equivalence
+//! checkers in `dme-core` rely on.
+//!
+//! ## `insert-statements`
+//!
+//! 1. well-formedness checks on every inserted statement;
+//! 2. set union with the target relations;
+//! 3. **normalization** — in particular the automatic deletion of all
+//!    statements "less than those inserted" (§3.3.1, Figure 7);
+//! 4. constraint checking; any violation yields the error state and the
+//!    original state is unchanged.
+//!
+//! ## `delete-statements`
+//!
+//! Deletion is *semantic*: deleting a statement denies the facts it
+//! asserts. The operation computes the asserted facts of the deleted
+//! statements and **weakens** every stored statement (in every relation)
+//! that asserts any of them: each affected tuple is replaced by its
+//! maximal *remainders* — versions with nullable columns nulled — that
+//! avoid the denied facts and still state something.
+//!
+//! Deleting `(G.Wayshum, T.Manhart, ----)` ("G.Wayshum supervises
+//! T.Manhart") from the Figure 7 state therefore weakens
+//! `(G.Wayshum, T.Manhart, NZ745)` to `(----, T.Manhart, NZ745)`,
+//! restoring Figure 3 exactly — the inverse of the paper's insertion
+//! example. Facts asserted only together with denied facts disappear with
+//! them (deleting "T.Manhart operates NZ745" removes the machine, whose
+//! existence statement lives in the non-nullable Operate row — the
+//! relational mirror of the graph model's *semantic unit* deletion).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dme_value::{Symbol, Tuple, Value};
+
+use crate::constraints::{check_all, ConstraintViolation};
+use crate::facts::tuple_facts;
+use crate::schema::RelationSchema;
+use crate::state::{RelationState, StateError};
+
+/// Errors turning an operation application into the paper's error state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// A statement was not well-formed for the schema.
+    State(StateError),
+    /// The resulting state would violate a constraint.
+    Constraint(ConstraintViolation),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::State(e) => write!(f, "malformed statement: {e}"),
+            OpError::Constraint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<StateError> for OpError {
+    fn from(e: StateError) -> Self {
+        OpError::State(e)
+    }
+}
+
+impl From<ConstraintViolation> for OpError {
+    fn from(e: ConstraintViolation) -> Self {
+        OpError::Constraint(e)
+    }
+}
+
+/// A set of statements, possibly spanning several relations — the
+/// argument of both operation types.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StatementSet {
+    by_relation: BTreeMap<Symbol, BTreeSet<Tuple>>,
+}
+
+impl StatementSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statements of a single relation.
+    pub fn single(relation: impl Into<Symbol>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut s = Self::new();
+        let relation = relation.into();
+        for t in tuples {
+            s.add(relation.clone(), t);
+        }
+        s
+    }
+
+    /// Adds one statement.
+    pub fn add(&mut self, relation: impl Into<Symbol>, tuple: Tuple) {
+        self.by_relation
+            .entry(relation.into())
+            .or_default()
+            .insert(tuple);
+    }
+
+    /// Builder-style [`StatementSet::add`].
+    pub fn with(mut self, relation: impl Into<Symbol>, tuple: Tuple) -> Self {
+        self.add(relation, tuple);
+        self
+    }
+
+    /// Iterates over `(relation, tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Tuple)> {
+        self.by_relation
+            .iter()
+            .flat_map(|(r, ts)| ts.iter().map(move |t| (r, t)))
+    }
+
+    /// Statements of one relation.
+    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
+        self.by_relation.get(relation).into_iter().flatten()
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.by_relation.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_relation.values().all(BTreeSet::is_empty)
+    }
+}
+
+impl fmt::Display for StatementSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (r, t)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An operation of the semantic relation model: one application of an
+/// operation type to concrete arguments.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RelOp {
+    /// `insert-statements`.
+    Insert(StatementSet),
+    /// `delete-statements` (semantic deletion; see module docs).
+    Delete(StatementSet),
+}
+
+impl RelOp {
+    /// Builds an `insert-statements` operation over one relation.
+    pub fn insert(relation: impl Into<Symbol>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        RelOp::Insert(StatementSet::single(relation, tuples))
+    }
+
+    /// Builds an `insert-statements` operation from a full statement set.
+    pub fn insert_set(set: StatementSet) -> Self {
+        RelOp::Insert(set)
+    }
+
+    /// Builds a `delete-statements` operation over one relation.
+    pub fn delete(relation: impl Into<Symbol>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        RelOp::Delete(StatementSet::single(relation, tuples))
+    }
+
+    /// Builds a `delete-statements` operation from a full statement set.
+    pub fn delete_set(set: StatementSet) -> Self {
+        RelOp::Delete(set)
+    }
+
+    /// The operation's statement set.
+    pub fn statements(&self) -> &StatementSet {
+        match self {
+            RelOp::Insert(s) | RelOp::Delete(s) => s,
+        }
+    }
+
+    /// Applies the operation, yielding the new state or the error state.
+    /// The input state is never modified (operations are functions
+    /// `database state → database state`).
+    ///
+    /// The paper's Figure 6 → Figure 7 insertion, with the automatic
+    /// subsumption deletion:
+    ///
+    /// ```
+    /// use dme_relation::{fixtures, RelOp};
+    /// use dme_value::{tuple, Value};
+    ///
+    /// let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", "NZ745"]]);
+    /// let after = op.apply(&fixtures::figure3_state()).unwrap();
+    /// assert_eq!(after, fixtures::figure7_state());
+    /// // The dominated (----, T.Manhart, NZ745) statement is gone:
+    /// assert!(!after
+    ///     .relation("Jobs")
+    ///     .unwrap()
+    ///     .contains(&tuple![Value::Null, "T.Manhart", "NZ745"]));
+    /// ```
+    pub fn apply(&self, state: &RelationState) -> Result<RelationState, OpError> {
+        let mut next = state.clone();
+        match self {
+            RelOp::Insert(set) => {
+                for (relation, t) in set.iter() {
+                    next.insert_raw(relation.as_str(), t.clone())?;
+                }
+                next.normalize();
+            }
+            RelOp::Delete(set) => {
+                // Validate deleted statements and collect denied facts.
+                let schema = std::sync::Arc::clone(state.schema());
+                let mut denied = dme_logic::FactBase::new();
+                for (relation, t) in set.iter() {
+                    let rel = schema
+                        .relation(relation.as_str())
+                        .ok_or_else(|| StateError::UnknownRelation(relation.clone()))?;
+                    RelationState::check_tuple(&schema, rel, t)?;
+                    denied.extend(tuple_facts(rel, t).iter().cloned());
+                }
+                // Weaken every statement asserting a denied fact.
+                for rel in schema.relations() {
+                    let affected: Vec<Tuple> = next
+                        .tuples(rel.name().as_str())
+                        .filter(|u| tuple_facts(rel, u).iter().any(|f| denied.holds(f)))
+                        .cloned()
+                        .collect();
+                    for u in affected {
+                        next.delete_raw(rel.name().as_str(), &u)
+                            .expect("relation exists");
+                        for r in remainders(rel, &u, &denied) {
+                            next.insert_raw(rel.name().as_str(), r)
+                                .expect("remainders are well-formed by construction");
+                        }
+                    }
+                }
+                next.normalize();
+            }
+        }
+        check_all(next.schema(), &next)?;
+        Ok(next)
+    }
+
+    /// Applies a sequence of operations (a *composed* operation, the
+    /// `M-ops*` of Definition 3), stopping at the first error.
+    pub fn apply_all<'a>(
+        ops: impl IntoIterator<Item = &'a RelOp>,
+        state: &RelationState,
+    ) -> Result<RelationState, OpError> {
+        let mut cur = state.clone();
+        for op in ops {
+            cur = op.apply(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+/// The maximal remainders of `u` avoiding the denied facts: versions of
+/// `u` with nullable columns nulled that are well-formed, assert at least
+/// one fact, assert no denied fact, and are maximal with those
+/// properties.
+///
+/// This is the weakening step of `delete-statements` (see module docs);
+/// it is public because the cross-model translators use the same
+/// computation to synthesize delete-then-reinsert plans for views whose
+/// headings cannot express a fact's denial in isolation.
+pub fn remainders(rel: &RelationSchema, u: &Tuple, denied: &dme_logic::FactBase) -> Vec<Tuple> {
+    // Columns we may null: currently non-null and schema-nullable.
+    let mut maskable = Vec::new();
+    for (pi, p) in rel.participants().iter().enumerate() {
+        let base = rel.participant_offset(pi);
+        for (ci, col) in p.columns.iter().enumerate() {
+            if col.nullable && !u[base + ci].is_null() {
+                maskable.push(base + ci);
+            }
+        }
+    }
+    assert!(
+        maskable.len() <= 16,
+        "remainder enumeration supports at most 16 nullable columns"
+    );
+    let mut candidates: Vec<Tuple> = Vec::new();
+    // Skip the empty mask: `u` itself asserts a denied fact.
+    for mask in 1u32..(1 << maskable.len()) {
+        let values: Vec<Value> = u
+            .values()
+            .enumerate()
+            .map(|(i, v)| {
+                let nulled = maskable
+                    .iter()
+                    .enumerate()
+                    .any(|(bit, &col)| col == i && mask & (1 << bit) != 0);
+                if nulled {
+                    Value::Null
+                } else {
+                    v.clone()
+                }
+            })
+            .collect();
+        let candidate = Tuple::new(values);
+        let facts = tuple_facts(rel, &candidate);
+        if facts.is_empty() || facts.iter().any(|f| denied.holds(f)) {
+            continue;
+        }
+        // Coherence: nulling an identifying column while keeping other
+        // characteristics would be incoherent.
+        let coherent = rel.participants().iter().enumerate().all(|(pi, p)| {
+            let base = rel.participant_offset(pi);
+            !candidate[rel.id_column(pi)].is_null()
+                || (1..p.columns.len()).all(|ci| candidate[base + ci].is_null())
+        });
+        if coherent {
+            candidates.push(candidate);
+        }
+    }
+    // Keep only maximal candidates.
+    let maximal: Vec<Tuple> = candidates
+        .iter()
+        .filter(|c| !candidates.iter().any(|d| c.sem_lt(d)))
+        .cloned()
+        .collect();
+    maximal
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelOp::Insert(s) => write!(f, "insert-statements {s}"),
+            RelOp::Delete(s) => write!(f, "delete-statements {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_logic::{state_equivalent, ToFacts};
+    use dme_value::tuple;
+
+    #[test]
+    fn figure6_to_figure7_insertion_with_subsumption() {
+        // §3.3.1: inserting the second tuple of Figure 7 into the Figure 3
+        // state automatically deletes (----, T.Manhart, NZ745).
+        let f3 = fixtures::figure3_state();
+        let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", "NZ745"]]);
+        let out = op.apply(&f3).unwrap();
+        assert_eq!(out, fixtures::figure7_state());
+        assert!(!out.relation("Jobs").unwrap().contains(&tuple![
+            Value::Null,
+            "T.Manhart",
+            "NZ745"
+        ]));
+    }
+
+    #[test]
+    fn figure8_insertion_with_null_machine() {
+        let premise = fixtures::figure8_premise_state();
+        let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let out = op.apply(&premise).unwrap();
+        assert_eq!(out, fixtures::figure8_state());
+    }
+
+    #[test]
+    fn constraint_violation_yields_error_state_and_leaves_input_alone() {
+        let f3 = fixtures::figure3_state();
+        // Second operator for JCL181 violates uniqueness (constraint 3).
+        let op = RelOp::insert("Operate", [tuple!["G.Wayshum", "JCL181", "press"]]);
+        let err = op.apply(&f3).unwrap_err();
+        assert!(matches!(err, OpError::Constraint(_)));
+        // The input state is untouched (operations are pure functions).
+        assert_eq!(f3, fixtures::figure3_state());
+    }
+
+    #[test]
+    fn malformed_statement_yields_error_state() {
+        let f3 = fixtures::figure3_state();
+        let op = RelOp::insert("Employees", [tuple!["Nobody", 32]]);
+        assert!(matches!(op.apply(&f3), Err(OpError::State(_))));
+        let op = RelOp::insert("Ghost", [tuple!["x"]]);
+        assert!(matches!(op.apply(&f3), Err(OpError::State(_))));
+        let op = RelOp::delete("Ghost", [tuple!["x"]]);
+        assert!(matches!(op.apply(&f3), Err(OpError::State(_))));
+    }
+
+    #[test]
+    fn deleting_the_supervision_restores_figure3() {
+        // The inverse of the Figure 6→7 insertion: deny exactly the
+        // supervise(G.Wayshum, T.Manhart) statement. The combined Jobs row
+        // is weakened back to (----, T.Manhart, NZ745).
+        let f7 = fixtures::figure7_state();
+        let op = RelOp::delete("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let out = op.apply(&f7).unwrap();
+        assert_eq!(out, fixtures::figure3_state());
+    }
+
+    #[test]
+    fn deleting_the_operate_statement_cascades_to_the_machine() {
+        // Denying "T.Manhart operates NZ745" removes the machine: its
+        // existence statement lives in the non-nullable Operate row (the
+        // relational mirror of deleting a graph semantic unit).
+        let f3 = fixtures::figure3_state();
+        let op = RelOp::delete("Jobs", [tuple![Value::Null, "T.Manhart", "NZ745"]]);
+        let out = op.apply(&f3).unwrap();
+        assert_eq!(out, fixtures::figure8_premise_state());
+        let facts = out.to_facts();
+        assert!(!facts
+            .iter()
+            .any(|f| f.get("number").is_some_and(|a| a.as_str() == Some("NZ745"))));
+    }
+
+    #[test]
+    fn deleting_combined_statement_denies_all_its_facts() {
+        let f7 = fixtures::figure7_state();
+        let op = RelOp::delete("Jobs", [tuple!["G.Wayshum", "T.Manhart", "NZ745"]]);
+        let out = op.apply(&f7).unwrap();
+        // Both the supervision and the operate pair (and hence machine
+        // NZ745) are gone.
+        assert_eq!(out, fixtures::figure8_premise_state());
+    }
+
+    #[test]
+    fn deleting_an_employee_requires_removing_their_statements_first() {
+        let f3 = fixtures::figure3_state();
+        // G.Wayshum supervises C.Gershag, so the existence delete leaves a
+        // dangling supervisor only if the supervision survives — it does
+        // not: weakening nulls the supervisor column. Deleting the
+        // employee existence statement weakens Jobs rows mentioning
+        // G.Wayshum as supervisor? No: the existence fact lives in
+        // Employees; Jobs asserts only the supervise fact. The subset
+        // constraint then rejects the dangling name.
+        let op = RelOp::delete("Employees", [tuple!["G.Wayshum", 50]]);
+        assert!(matches!(op.apply(&f3), Err(OpError::Constraint(_))));
+        // Denying the supervision in the same operation succeeds.
+        let op = RelOp::delete_set(
+            StatementSet::new()
+                .with("Employees", tuple!["G.Wayshum", 50])
+                .with("Jobs", tuple!["G.Wayshum", "C.Gershag", Value::Null]),
+        );
+        let out = op.apply(&f3).unwrap();
+        assert!(!out
+            .to_facts()
+            .iter()
+            .any(|f| f.args().any(|(_, a)| a.as_str() == Some("G.Wayshum"))));
+    }
+
+    #[test]
+    fn multi_relation_insert_is_atomic() {
+        // Inserting a new operate pair requires touching Operate and Jobs
+        // together; either alone violates agreement.
+        let premise = fixtures::figure8_premise_state();
+        let only_operate = RelOp::insert("Operate", [tuple!["T.Manhart", "NZ745", "lathe"]]);
+        assert!(matches!(
+            only_operate.apply(&premise),
+            Err(OpError::Constraint(_))
+        ));
+
+        let both = RelOp::insert_set(
+            StatementSet::new()
+                .with("Operate", tuple!["T.Manhart", "NZ745", "lathe"])
+                .with("Jobs", tuple![Value::Null, "T.Manhart", "NZ745"]),
+        );
+        let out = both.apply(&premise).unwrap();
+        assert_eq!(out, fixtures::figure3_state());
+    }
+
+    #[test]
+    fn apply_all_composes_and_stops_at_first_error() {
+        let f3 = fixtures::figure3_state();
+        let ops = vec![
+            RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", "NZ745"]]),
+            RelOp::delete("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]),
+        ];
+        let out = RelOp::apply_all(&ops, &f3).unwrap();
+        assert_eq!(out, f3);
+
+        let bad = vec![RelOp::insert("Ghost", [tuple!["x"]])];
+        assert!(RelOp::apply_all(&bad, &f3).is_err());
+    }
+
+    #[test]
+    fn inserting_existing_statement_is_identity() {
+        let f3 = fixtures::figure3_state();
+        let op = RelOp::insert("Jobs", [tuple![Value::Null, "T.Manhart", "NZ745"]]);
+        let out = op.apply(&f3).unwrap();
+        assert_eq!(out, f3);
+        assert_eq!(out.to_facts(), f3.to_facts());
+    }
+
+    #[test]
+    fn deleting_absent_statement_is_identity() {
+        let f3 = fixtures::figure3_state();
+        let op = RelOp::delete("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let out = op.apply(&f3).unwrap();
+        assert_eq!(out, f3);
+    }
+
+    #[test]
+    fn delete_equals_fact_difference() {
+        // The fact base after a delete is exactly the old fact base minus
+        // the denied facts and their cascade.
+        let f7 = fixtures::figure7_state();
+        let op = RelOp::delete("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let out = op.apply(&f7).unwrap();
+        let denied: Vec<_> = f7
+            .to_facts()
+            .difference(&out.to_facts())
+            .iter()
+            .cloned()
+            .collect();
+        assert_eq!(denied.len(), 1);
+        assert_eq!(denied[0].predicate(), "supervise");
+        assert!(state_equivalent(&out, &fixtures::figure3_state()).is_equivalent());
+    }
+
+    #[test]
+    fn statement_set_accessors() {
+        let set = StatementSet::new()
+            .with("A", tuple!["x"])
+            .with("B", tuple!["y"]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.tuples("A").count(), 1);
+        assert_eq!(set.tuples("C").count(), 0);
+        assert!(StatementSet::new().is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let op = RelOp::insert("Jobs", [tuple!["a", "b", "c"]]);
+        assert_eq!(op.to_string(), "insert-statements {Jobs(a, b, c)}");
+        let del = RelOp::delete("Jobs", [tuple!["a", "b", "c"]]);
+        assert!(del.to_string().starts_with("delete-statements"));
+    }
+}

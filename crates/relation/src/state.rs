@@ -1,0 +1,641 @@
+//! Semantic relation database states.
+//!
+//! A [`RelationState`] maps each relation name of its schema to a set of
+//! tuples (statements). It enforces *well-formedness* (the state is a
+//! syntactically meaningful collection of statements) as distinct from
+//! the schema's *constraints* (checked by operations in [`crate::ops`]):
+//!
+//! * arity and domain membership per column;
+//! * nullability per column;
+//! * **participant coherence**: if a participant's identifying column is
+//!   null, its other characteristic columns must be null too (a
+//!   characteristic of an absent participant is meaningless);
+//! * **no vacuous statements**: every tuple must assert at least one fact
+//!   (see [`crate::facts`]).
+//!
+//! Valid states — those reachable through the operations — are
+//! additionally **normalized**: no statement is dominated by another
+//! (subsumption, §3.3.1) and no two statements are mergeable into one
+//! that asserts exactly their combined facts. Normalization is what makes
+//! the state → fact-base compilation injective, giving the paper its
+//! required 1-1 state-equivalence correspondence.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use dme_value::{Symbol, Tuple, Value};
+
+use crate::facts::tuple_facts;
+use crate::schema::{RelationSchema, RelationalSchema};
+
+/// Errors raised by state well-formedness checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// A referenced relation is not in the schema.
+    UnknownRelation(Symbol),
+    /// Tuple arity differs from the heading's.
+    ArityMismatch {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The heading's arity.
+        expected: usize,
+        /// The tuple's arity.
+        found: usize,
+    },
+    /// A value is outside its column's domain.
+    DomainViolation {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The flat column index.
+        column: usize,
+        /// The offending value.
+        value: Value,
+    },
+    /// Null in a non-nullable column.
+    NullNotAllowed {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The flat column index.
+        column: usize,
+    },
+    /// Non-null characteristic of a participant whose identifying column
+    /// is null.
+    ParticipantIncoherent {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The incoherent participant's index.
+        participant: usize,
+    },
+    /// The tuple asserts no facts.
+    VacuousTuple {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The vacuous tuple.
+        tuple: Tuple,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            StateError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "relation `{relation}`: tuple arity {found}, heading arity {expected}"
+            ),
+            StateError::DomainViolation { relation, column, value } => write!(
+                f,
+                "relation `{relation}`: value `{value}` outside domain of column {column}"
+            ),
+            StateError::NullNotAllowed { relation, column } => {
+                write!(f, "relation `{relation}`: null in non-nullable column {column}")
+            }
+            StateError::ParticipantIncoherent { relation, participant } => write!(
+                f,
+                "relation `{relation}`: participant {participant} has characteristics but a null identifying value"
+            ),
+            StateError::VacuousTuple { relation, tuple } => {
+                write!(f, "relation `{relation}`: tuple {tuple} asserts no statement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// A database state of the semantic relation model.
+#[derive(Clone)]
+pub struct RelationState {
+    schema: Arc<RelationalSchema>,
+    relations: BTreeMap<Symbol, BTreeSet<Tuple>>,
+}
+
+impl PartialEq for RelationState {
+    fn eq(&self, other: &Self) -> bool {
+        // States are compared by contents; callers only ever compare
+        // states of the same application model.
+        self.relations == other.relations
+    }
+}
+
+impl Eq for RelationState {}
+
+impl PartialOrd for RelationState {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RelationState {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.relations.cmp(&other.relations)
+    }
+}
+
+impl fmt::Debug for RelationState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RelationState {{")?;
+        for (name, tuples) in &self.relations {
+            writeln!(f, "  {name}:")?;
+            for t in tuples {
+                writeln!(f, "    {t}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl RelationState {
+    /// The empty state of a schema — the paper's initial state, from
+    /// which the valid states are generated as the closure of the
+    /// allowable operations.
+    pub fn empty(schema: Arc<RelationalSchema>) -> Self {
+        let relations = schema
+            .relations()
+            .map(|r| (r.name().clone(), BTreeSet::new()))
+            .collect();
+        RelationState { schema, relations }
+    }
+
+    /// The application-model schema this state belongs to.
+    pub fn schema(&self) -> &Arc<RelationalSchema> {
+        &self.schema
+    }
+
+    /// The tuples of a relation, if the relation exists.
+    pub fn relation(&self, name: &str) -> Option<&BTreeSet<Tuple>> {
+        self.relations.get(name)
+    }
+
+    /// Iterates over a relation's tuples (empty for unknown relations).
+    pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(name).into_iter().flatten()
+    }
+
+    /// Total number of tuples across relations.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(BTreeSet::is_empty)
+    }
+
+    /// Checks one tuple's well-formedness against a heading.
+    pub fn check_tuple(
+        schema: &RelationalSchema,
+        rel: &RelationSchema,
+        tuple: &Tuple,
+    ) -> Result<(), StateError> {
+        let name = rel.name();
+        if tuple.arity() != rel.arity() {
+            return Err(StateError::ArityMismatch {
+                relation: name.clone(),
+                expected: rel.arity(),
+                found: tuple.arity(),
+            });
+        }
+        let domains = schema.universe().domains();
+        for (pi, p) in rel.participants().iter().enumerate() {
+            let base = rel.participant_offset(pi);
+            for (ci, col) in p.columns.iter().enumerate() {
+                let v = &tuple[base + ci];
+                if v.is_null() {
+                    if !col.nullable {
+                        return Err(StateError::NullNotAllowed {
+                            relation: name.clone(),
+                            column: base + ci,
+                        });
+                    }
+                } else {
+                    domains
+                        .check(&col.domain, v)
+                        .map_err(|_| StateError::DomainViolation {
+                            relation: name.clone(),
+                            column: base + ci,
+                            value: v.clone(),
+                        })?;
+                }
+            }
+            // Coherence: null identifying value forces all characteristics
+            // of the participant to be null.
+            if tuple[rel.id_column(pi)].is_null()
+                && (1..p.columns.len()).any(|ci| !tuple[base + ci].is_null())
+            {
+                return Err(StateError::ParticipantIncoherent {
+                    relation: name.clone(),
+                    participant: pi,
+                });
+            }
+        }
+        if tuple_facts(rel, tuple).is_empty() {
+            return Err(StateError::VacuousTuple {
+                relation: name.clone(),
+                tuple: tuple.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Inserts a tuple after well-formedness checks, but **without**
+    /// normalization or constraint checking. This is the low-level
+    /// building block used by fixtures and by `insert-statements`
+    /// (which normalizes and checks constraints afterwards).
+    pub fn insert_raw(&mut self, relation: &str, tuple: Tuple) -> Result<(), StateError> {
+        let schema = Arc::clone(&self.schema);
+        let rel = schema
+            .relation(relation)
+            .ok_or_else(|| StateError::UnknownRelation(Symbol::new(relation)))?;
+        Self::check_tuple(&schema, rel, &tuple)?;
+        self.relations
+            .get_mut(relation)
+            .expect("schema relations are pre-populated")
+            .insert(tuple);
+        Ok(())
+    }
+
+    /// Removes an exact tuple; returns whether it was present.
+    pub fn delete_raw(&mut self, relation: &str, tuple: &Tuple) -> Result<bool, StateError> {
+        let set = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| StateError::UnknownRelation(Symbol::new(relation)))?;
+        Ok(set.remove(tuple))
+    }
+
+    /// Checks every tuple's well-formedness.
+    pub fn well_formed(&self) -> Result<(), StateError> {
+        for rel in self.schema.relations() {
+            for t in self.tuples(rel.name().as_str()) {
+                Self::check_tuple(&self.schema, rel, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every relation is normalized: no dominated statements, no
+    /// mergeable pairs, and no statement extendable from facts already
+    /// true in the state (saturation — see [`RelationState::normalize`]).
+    pub fn is_normalized(&self) -> bool {
+        let facts = crate::facts::state_facts(self);
+        self.schema.relations().all(|rel| {
+            let tuples = &self.relations[rel.name()];
+            for a in tuples {
+                for b in tuples {
+                    if a < b {
+                        if a.sem_cmp(b).is_some() {
+                            return false; // comparable distinct pair
+                        }
+                        if let Some(j) = a.sem_join(b) {
+                            let union = tuple_facts(rel, a).union(&tuple_facts(rel, b));
+                            if tuple_facts(rel, &j) == union {
+                                return false; // mergeable pair
+                            }
+                        }
+                    }
+                }
+                if !saturation_extensions(rel, a, &facts)
+                    .into_iter()
+                    .all(|t| tuples.iter().any(|b| t.sem_le(b)))
+                {
+                    return false; // extendable statement not yet covered
+                }
+            }
+            true
+        })
+    }
+
+    /// Normalizes every relation in place:
+    ///
+    /// 1. **subsumption** — remove any statement strictly below another
+    ///    (§3.3.1's automatic deletion);
+    /// 2. **merging** — replace two statements by their join whenever the
+    ///    join asserts exactly their combined facts;
+    /// 3. **saturation** — extend any statement with a null column whose
+    ///    value is already attested by the state's facts (the paper's
+    ///    reading that a relation "contains the set of all true
+    ///    statements fitting a certain form": canonical states keep the
+    ///    *maximal* true statements).
+    ///
+    /// Iterates to a fixpoint. Normalization never changes the asserted
+    /// fact set, and it makes the state → fact-base compilation injective
+    /// on canonical states — the paper's requirement that "some specific
+    /// application state is represented by a unique state" (§3.3.1).
+    /// Both properties are enforced by property tests.
+    pub fn normalize(&mut self) {
+        // The fact set is a normalization invariant, so compute it once.
+        let facts = crate::facts::state_facts(self);
+        for rel in self.schema.relations() {
+            let set = self
+                .relations
+                .get_mut(rel.name())
+                .expect("schema relations are pre-populated");
+            normalize_relation(rel, set, &facts);
+        }
+    }
+}
+
+/// Single-column extensions of `t` justified by already-true facts.
+fn saturation_extensions(
+    rel: &RelationSchema,
+    t: &Tuple,
+    facts: &dme_logic::FactBase,
+) -> Vec<Tuple> {
+    use dme_logic::Pattern;
+    let mut out = Vec::new();
+    let mut push_candidate = |column: usize, atom: dme_value::Atom| {
+        let values: Vec<Value> = t
+            .values()
+            .enumerate()
+            .map(|(i, v)| {
+                if i == column {
+                    Value::Atom(atom.clone())
+                } else {
+                    v.clone()
+                }
+            })
+            .collect();
+        let candidate = Tuple::new(values);
+        if tuple_facts(rel, &candidate).iter().all(|f| facts.holds(f)) {
+            out.push(candidate);
+        }
+    };
+
+    for (pi, p) in rel.participants().iter().enumerate() {
+        let base = rel.participant_offset(pi);
+        let id = t[base].as_atom();
+        match id {
+            Some(key) => {
+                // Characteristic columns attested by characteristic facts.
+                for (ci, col) in p.columns.iter().enumerate().skip(1) {
+                    if !t[base + ci].is_null() {
+                        continue;
+                    }
+                    let pred = dme_logic::vocab::characteristic_predicate(
+                        &p.entity_type,
+                        &col.characteristic,
+                    );
+                    let pattern = Pattern::predicate(pred)
+                        .with(p.columns[0].characteristic.clone(), key.clone());
+                    for fact in facts.matching(&pattern) {
+                        if let Some(v) = fact.get(dme_logic::vocab::VALUE_CASE) {
+                            push_candidate(base + ci, v.clone());
+                        }
+                    }
+                }
+            }
+            None => {
+                // Absent participant: derivable through association facts
+                // whose other cases are already bound in `t`.
+                for (pred, case) in p.case_pairs() {
+                    let bindings = rel.predicate_bindings(pred.as_str());
+                    let mut pattern = Pattern::predicate(pred.clone());
+                    let mut complete = true;
+                    for (other_case, opi) in &bindings {
+                        if other_case == case {
+                            continue;
+                        }
+                        match t[rel.id_column(*opi)].as_atom() {
+                            Some(a) => pattern = pattern.with(other_case.clone(), a.clone()),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !complete {
+                        continue;
+                    }
+                    for fact in facts.matching(&pattern) {
+                        if let Some(v) = fact.get(case.as_str()) {
+                            push_candidate(base, v.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn normalize_relation(
+    rel: &RelationSchema,
+    tuples: &mut BTreeSet<Tuple>,
+    facts: &dme_logic::FactBase,
+) {
+    loop {
+        // Subsumption pass: drop statements strictly below another.
+        let dominated: Vec<Tuple> = tuples
+            .iter()
+            .filter(|a| tuples.iter().any(|b| a.sem_lt(b)))
+            .cloned()
+            .collect();
+        for t in &dominated {
+            tuples.remove(t);
+        }
+
+        // Merge pass: find one mergeable pair, apply, restart.
+        let mut merge: Option<(Tuple, Tuple, Tuple)> = None;
+        'outer: for a in tuples.iter() {
+            for b in tuples.iter() {
+                if a >= b {
+                    continue;
+                }
+                if let Some(j) = a.sem_join(b) {
+                    if j == *a || j == *b {
+                        continue; // comparable pair, handled by subsumption
+                    }
+                    let union = tuple_facts(rel, a).union(&tuple_facts(rel, b));
+                    if tuple_facts(rel, &j) == union {
+                        merge = Some((a.clone(), b.clone(), j));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if let Some((a, b, j)) = merge {
+            tuples.remove(&a);
+            tuples.remove(&b);
+            tuples.insert(j);
+            continue;
+        }
+
+        // Saturation pass: add one uncovered extension, restart.
+        let mut extension: Option<Tuple> = None;
+        'sat: for t in tuples.iter() {
+            for candidate in saturation_extensions(rel, t, facts) {
+                if !tuples.iter().any(|b| candidate.sem_le(b)) {
+                    extension = Some(candidate);
+                    break 'sat;
+                }
+            }
+        }
+        if let Some(candidate) = extension {
+            tuples.insert(candidate);
+            continue;
+        }
+
+        if dominated.is_empty() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_logic::ToFacts;
+    use dme_value::tuple;
+
+    #[test]
+    fn empty_state_is_well_formed_and_normalized() {
+        let schema = Arc::new(fixtures::machine_shop_schema());
+        let s = RelationState::empty(Arc::clone(&schema));
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        s.well_formed().unwrap();
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn figure3_state_is_well_formed_and_normalized() {
+        let s = fixtures::figure3_state();
+        s.well_formed().unwrap();
+        assert!(s.is_normalized());
+        assert_eq!(s.len(), 3 + 2 + 2);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut s = fixtures::figure3_state();
+        assert_eq!(
+            s.insert_raw("Ghost", tuple!["x"]),
+            Err(StateError::UnknownRelation(Symbol::new("Ghost")))
+        );
+        assert!(s.delete_raw("Ghost", &tuple!["x"]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut s = fixtures::figure3_state();
+        assert!(matches!(
+            s.insert_raw("Employees", tuple!["X"]),
+            Err(StateError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn domain_violation_rejected() {
+        let mut s = fixtures::figure3_state();
+        assert!(matches!(
+            s.insert_raw("Employees", tuple!["Nobody", 32]),
+            Err(StateError::DomainViolation { .. })
+        ));
+        assert!(matches!(
+            s.insert_raw("Employees", tuple!["T.Manhart", "not-a-year"]),
+            Err(StateError::DomainViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn null_in_required_column_rejected() {
+        let mut s = fixtures::figure3_state();
+        assert!(matches!(
+            s.insert_raw("Employees", tuple![Value::Null, 32]),
+            Err(StateError::NullNotAllowed { .. })
+        ));
+    }
+
+    #[test]
+    fn incoherent_participant_rejected() {
+        let schema = Arc::new(fixtures::figure9_schema());
+        let mut s = RelationState::empty(schema);
+        // Machine number null but machine type present.
+        assert!(matches!(
+            s.insert_raw(
+                "Jobs",
+                tuple![Value::Null, "T.Manhart", 32, Value::Null, "lathe"]
+            ),
+            Err(StateError::ParticipantIncoherent { .. })
+        ));
+    }
+
+    #[test]
+    fn vacuous_tuple_rejected() {
+        let mut s = fixtures::figure3_state();
+        assert!(matches!(
+            s.insert_raw("Jobs", tuple![Value::Null, "G.Wayshum", Value::Null]),
+            Err(StateError::VacuousTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_raw_returns_presence() {
+        let mut s = fixtures::figure3_state();
+        let t = tuple!["T.Manhart", 32];
+        assert_eq!(s.delete_raw("Employees", &t), Ok(true));
+        assert_eq!(s.delete_raw("Employees", &t), Ok(false));
+    }
+
+    #[test]
+    fn normalization_removes_dominated_statement() {
+        let mut s = fixtures::figure3_state();
+        s.insert_raw("Jobs", tuple!["G.Wayshum", "T.Manhart", "NZ745"])
+            .unwrap();
+        assert!(!s.is_normalized());
+        let before = s.to_facts();
+        s.normalize();
+        assert!(s.is_normalized());
+        // The dominated (----, T.Manhart, NZ745) is gone.
+        assert!(!s
+            .relation("Jobs")
+            .unwrap()
+            .contains(&tuple![Value::Null, "T.Manhart", "NZ745"]));
+        // Fact set only grew by the new supervise fact.
+        let after = s.to_facts();
+        assert!(after.entails(&before));
+    }
+
+    #[test]
+    fn normalization_merges_consistent_statements() {
+        let schema = Arc::new(fixtures::machine_shop_schema());
+        let mut s = RelationState::empty(Arc::clone(&schema));
+        // Two halves of one statement about C.Gershag.
+        s.insert_raw("Jobs", tuple!["G.Wayshum", "C.Gershag", Value::Null])
+            .unwrap();
+        s.insert_raw("Jobs", tuple![Value::Null, "C.Gershag", "JCL181"])
+            .unwrap();
+        let facts_before = s.to_facts();
+        s.normalize();
+        assert!(s.is_normalized());
+        let jobs = s.relation("Jobs").unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs.contains(&tuple!["G.Wayshum", "C.Gershag", "JCL181"]));
+        assert_eq!(s.to_facts(), facts_before, "normalization preserves facts");
+    }
+
+    #[test]
+    fn normalization_does_not_merge_conflicting_statements() {
+        let schema = Arc::new(fixtures::machine_shop_schema());
+        let mut s = RelationState::empty(Arc::clone(&schema));
+        s.insert_raw("Jobs", tuple!["G.Wayshum", "C.Gershag", "JCL181"])
+            .unwrap();
+        s.insert_raw("Jobs", tuple![Value::Null, "T.Manhart", "NZ745"])
+            .unwrap();
+        s.normalize();
+        assert_eq!(s.relation("Jobs").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn states_compare_by_contents() {
+        let a = fixtures::figure3_state();
+        let b = fixtures::figure3_state();
+        assert_eq!(a, b);
+        let mut c = fixtures::figure3_state();
+        c.delete_raw("Employees", &tuple!["T.Manhart", 32]).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for statement normalization (the §3.3.1 subsumption
+//! semantics plus statement merging).
+//!
+//! Invariants:
+//! * normalization never changes the asserted fact set;
+//! * normalization is idempotent;
+//! * normalization is confluent over insertion order — the canonical
+//!   state does not depend on the order statements arrived, which is
+//!   what makes the state ↔ fact-base correspondence 1-1 (§3.3.1's
+//!   uniqueness requirement);
+//! * `insert-statements` is idempotent and monotone in the fact set.
+
+use std::sync::Arc;
+
+use dme_logic::ToFacts;
+use dme_relation::fixtures;
+use dme_relation::{RelOp, RelationState};
+use dme_value::{Tuple, Value};
+use proptest::prelude::*;
+
+/// Candidate Jobs statements over the machine-shop domains (some null
+/// patterns, all well-formed or rejected by insert_raw).
+fn arb_jobs_tuple() -> impl Strategy<Value = Tuple> {
+    let name = prop_oneof![
+        Just(Value::Null),
+        Just(Value::str("T.Manhart")),
+        Just(Value::str("C.Gershag")),
+        Just(Value::str("G.Wayshum")),
+    ];
+    let supervisee = prop_oneof![
+        Just(Value::str("T.Manhart")),
+        Just(Value::str("C.Gershag")),
+        Just(Value::str("G.Wayshum")),
+    ];
+    let machine = prop_oneof![
+        Just(Value::Null),
+        Just(Value::str("NZ745")),
+        Just(Value::str("JCL181")),
+    ];
+    (name, supervisee, machine).prop_map(|(a, b, c)| Tuple::new([a, b, c]))
+}
+
+fn state_with(tuples: &[Tuple]) -> RelationState {
+    let schema = Arc::new(fixtures::machine_shop_schema());
+    let mut s = RelationState::empty(schema);
+    for t in tuples {
+        // Ill-formed candidates (vacuous) are simply skipped.
+        let _ = s.insert_raw("Jobs", t.clone());
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normalization_preserves_facts(tuples in prop::collection::vec(arb_jobs_tuple(), 0..8)) {
+        let mut s = state_with(&tuples);
+        let before = s.to_facts();
+        s.normalize();
+        prop_assert_eq!(s.to_facts(), before);
+        prop_assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn normalization_is_idempotent(tuples in prop::collection::vec(arb_jobs_tuple(), 0..8)) {
+        let mut s = state_with(&tuples);
+        s.normalize();
+        let once = s.clone();
+        s.normalize();
+        prop_assert_eq!(s, once);
+    }
+
+    #[test]
+    fn normalization_is_confluent_over_insertion_order(
+        tuples in prop::collection::vec(arb_jobs_tuple(), 0..8),
+        permutation_seed in 0usize..720,
+    ) {
+        let mut s1 = state_with(&tuples);
+        // A deterministic permutation of the same statements.
+        let mut shuffled = tuples.clone();
+        let n = shuffled.len().max(1);
+        shuffled.rotate_left(permutation_seed % n);
+        if permutation_seed % 2 == 1 {
+            shuffled.reverse();
+        }
+        let mut s2 = state_with(&shuffled);
+        s1.normalize();
+        s2.normalize();
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Two normalized states are equal iff their fact bases are equal
+    /// (injectivity of the compilation on canonical states).
+    #[test]
+    fn normalized_states_are_determined_by_their_facts(
+        a in prop::collection::vec(arb_jobs_tuple(), 0..6),
+        b in prop::collection::vec(arb_jobs_tuple(), 0..6),
+    ) {
+        let mut sa = state_with(&a);
+        let mut sb = state_with(&b);
+        sa.normalize();
+        sb.normalize();
+        prop_assert_eq!(sa.to_facts() == sb.to_facts(), sa == sb);
+    }
+
+    /// insert-statements (ignoring constraint failures) is idempotent
+    /// and only grows the fact set.
+    #[test]
+    fn insert_statements_monotone_and_idempotent(
+        base in prop::collection::vec(arb_jobs_tuple(), 0..5),
+        extra in arb_jobs_tuple(),
+    ) {
+        let mut s = state_with(&base);
+        s.normalize();
+        let op = RelOp::insert("Jobs", [extra]);
+        if let Ok(next) = op.apply(&s) {
+            prop_assert!(next.to_facts().entails(&s.to_facts()), "facts only grow");
+            let again = op.apply(&next).expect("idempotent re-apply");
+            prop_assert_eq!(again, next);
+        }
+    }
+}

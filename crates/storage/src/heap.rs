@@ -1,0 +1,208 @@
+//! Heap files: an append-friendly collection of slotted pages.
+
+use std::fmt;
+
+use crate::page::{Page, PageError};
+
+/// A stable pointer to a stored record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordPtr {
+    /// Page index within the heap file.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl fmt::Display for RecordPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// A heap file of byte records.
+#[derive(Clone, Default)]
+pub struct HeapFile {
+    pages: Vec<Page>,
+}
+
+impl fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HeapFile({} pages, {} records)",
+            self.pages.len(),
+            self.len()
+        )
+    }
+}
+
+impl HeapFile {
+    /// An empty heap file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.pages.iter().map(|p| p.live_records().count()).sum()
+    }
+
+    /// Whether there are no live records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a record, appending a page when needed.
+    pub fn insert(&mut self, record: &[u8]) -> Result<RecordPtr, PageError> {
+        // Try the last page first (append locality), then any page with
+        // room, then a fresh page.
+        if let Some((i, page)) = self.pages.iter_mut().enumerate().next_back() {
+            if let Ok(slot) = page.insert(record) {
+                return Ok(RecordPtr {
+                    page: i as u32,
+                    slot,
+                });
+            }
+        }
+        for (i, page) in self.pages.iter_mut().enumerate() {
+            match page.insert(record) {
+                Ok(slot) => {
+                    return Ok(RecordPtr {
+                        page: i as u32,
+                        slot,
+                    })
+                }
+                Err(PageError::Full { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut page = Page::new();
+        let slot = page.insert(record)?;
+        self.pages.push(page);
+        Ok(RecordPtr {
+            page: (self.pages.len() - 1) as u32,
+            slot,
+        })
+    }
+
+    /// Reads the record at `ptr`.
+    pub fn get(&self, ptr: RecordPtr) -> Result<&[u8], PageError> {
+        self.pages
+            .get(ptr.page as usize)
+            .ok_or(PageError::BadSlot(ptr.slot))?
+            .get(ptr.slot)
+    }
+
+    /// Deletes the record at `ptr`.
+    pub fn delete(&mut self, ptr: RecordPtr) -> Result<(), PageError> {
+        self.pages
+            .get_mut(ptr.page as usize)
+            .ok_or(PageError::BadSlot(ptr.slot))?
+            .delete(ptr.slot)
+    }
+
+    /// All live `(ptr, record)` pairs.
+    pub fn scan(&self) -> impl Iterator<Item = (RecordPtr, &[u8])> {
+        self.pages.iter().enumerate().flat_map(|(i, page)| {
+            page.live_records().map(move |(slot, record)| {
+                (
+                    RecordPtr {
+                        page: i as u32,
+                        slot,
+                    },
+                    record,
+                )
+            })
+        })
+    }
+
+    /// Compacts every page with dead space. Record pointers stay valid.
+    pub fn vacuum(&mut self) {
+        for page in &mut self.pages {
+            if page.dead_space() > 0 {
+                page.compact();
+            }
+        }
+    }
+
+    /// Total dead bytes.
+    pub fn dead_space(&self) -> usize {
+        self.pages.iter().map(Page::dead_space).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete_scan() {
+        let mut h = HeapFile::new();
+        assert!(h.is_empty());
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        h.delete(a).unwrap();
+        assert_eq!(h.len(), 1);
+        let all: Vec<_> = h.scan().map(|(p, r)| (p, r.to_vec())).collect();
+        assert_eq!(all, vec![(b, b"beta".to_vec())]);
+        assert!(h.get(a).is_err());
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let mut h = HeapFile::new();
+        let record = [7u8; 1024];
+        for _ in 0..16 {
+            h.insert(&record).unwrap();
+        }
+        assert!(h.page_count() > 1, "{h:?}");
+        assert_eq!(h.len(), 16);
+        // Pointers all resolve.
+        for (ptr, r) in h.scan() {
+            assert_eq!(h.get(ptr).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn reuses_space_in_earlier_pages() {
+        let mut h = HeapFile::new();
+        // 3000-byte records: exactly one fits per page.
+        let big = [1u8; 3000];
+        let a = h.insert(&big).unwrap(); // page 0
+        let b = h.insert(&big).unwrap(); // page 1
+        assert_eq!((a.page, b.page), (0, 1));
+        h.delete(a).unwrap();
+        h.vacuum();
+        let c = h.insert(&big).unwrap();
+        assert_eq!(c.page, 0, "freed space in page 0 is reused after vacuum");
+        assert_eq!(h.page_count(), 2);
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_space() {
+        let mut h = HeapFile::new();
+        let ptrs: Vec<_> = (0..8).map(|_| h.insert(&[9u8; 400]).unwrap()).collect();
+        for p in &ptrs[..4] {
+            h.delete(*p).unwrap();
+        }
+        assert_eq!(h.dead_space(), 1600);
+        h.vacuum();
+        assert_eq!(h.dead_space(), 0);
+        for p in &ptrs[4..] {
+            assert_eq!(h.get(*p).unwrap(), &[9u8; 400][..]);
+        }
+    }
+
+    #[test]
+    fn bad_pointer_is_an_error() {
+        let h = HeapFile::new();
+        assert!(h.get(RecordPtr { page: 3, slot: 0 }).is_err());
+    }
+}

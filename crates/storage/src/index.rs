@@ -1,0 +1,183 @@
+//! Secondary indexes over encoded keys.
+//!
+//! Two access methods — an ordered index (range scans) and a hash index
+//! (point lookups) — both mapping encoded key bytes to record pointers.
+//! Which one the internal schema uses is invisible at the conceptual
+//! level: the data-independence point of §1.2.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::Bound;
+
+use crate::heap::RecordPtr;
+
+/// An ordered (range-capable) unique index.
+#[derive(Clone, Default)]
+pub struct OrderedIndex {
+    map: BTreeMap<Vec<u8>, RecordPtr>,
+}
+
+impl fmt::Debug for OrderedIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OrderedIndex({} keys)", self.map.len())
+    }
+}
+
+impl OrderedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key; returns the previous pointer if the key existed.
+    pub fn insert(&mut self, key: Vec<u8>, ptr: RecordPtr) -> Option<RecordPtr> {
+        self.map.insert(key, ptr)
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: &[u8]) -> Option<RecordPtr> {
+        self.map.remove(key)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<RecordPtr> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Range scan over `[lo, hi)` of encoded keys.
+    pub fn range<'a>(
+        &'a self,
+        lo: Bound<&'a [u8]>,
+        hi: Bound<&'a [u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], RecordPtr)> {
+        self.map
+            .range::<[u8], _>((lo, hi))
+            .map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// Keys with the given prefix.
+    pub fn prefix<'a>(&'a self, prefix: &'a [u8]) -> impl Iterator<Item = (&'a [u8], RecordPtr)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_slice(), *v))
+    }
+}
+
+/// A hash (point-lookup) unique index.
+#[derive(Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Vec<u8>, RecordPtr>,
+}
+
+impl fmt::Debug for HashIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HashIndex({} keys)", self.map.len())
+    }
+}
+
+impl HashIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key; returns the previous pointer if the key existed.
+    pub fn insert(&mut self, key: Vec<u8>, ptr: RecordPtr) -> Option<RecordPtr> {
+        self.map.insert(key, ptr)
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: &[u8]) -> Option<RecordPtr> {
+        self.map.remove(key)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<RecordPtr> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_tuple;
+    use dme_value::tuple;
+
+    fn ptr(n: u32) -> RecordPtr {
+        RecordPtr { page: n, slot: 0 }
+    }
+
+    #[test]
+    fn ordered_basics() {
+        let mut idx = OrderedIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.insert(b"b".to_vec(), ptr(2)), None);
+        assert_eq!(idx.insert(b"a".to_vec(), ptr(1)), None);
+        assert_eq!(idx.insert(b"a".to_vec(), ptr(9)), Some(ptr(1)));
+        assert_eq!(idx.get(b"a"), Some(ptr(9)));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.remove(b"a"), Some(ptr(9)));
+        assert_eq!(idx.get(b"a"), None);
+    }
+
+    #[test]
+    fn ordered_range_scan() {
+        let mut idx = OrderedIndex::new();
+        for (i, n) in [10i64, 20, 30, 40].iter().enumerate() {
+            idx.insert(encode_tuple(&tuple![*n]), ptr(i as u32));
+        }
+        let lo = encode_tuple(&tuple![15i64]);
+        let hi = encode_tuple(&tuple![35i64]);
+        let hits: Vec<_> = idx
+            .range(
+                Bound::Included(lo.as_slice()),
+                Bound::Excluded(hi.as_slice()),
+            )
+            .map(|(_, p)| p)
+            .collect();
+        assert_eq!(hits, vec![ptr(1), ptr(2)]);
+    }
+
+    #[test]
+    fn ordered_prefix_scan() {
+        let mut idx = OrderedIndex::new();
+        idx.insert(b"emp/alice".to_vec(), ptr(1));
+        idx.insert(b"emp/bob".to_vec(), ptr(2));
+        idx.insert(b"mach/nz".to_vec(), ptr(3));
+        let hits: Vec<_> = idx.prefix(b"emp/").map(|(_, p)| p).collect();
+        assert_eq!(hits, vec![ptr(1), ptr(2)]);
+    }
+
+    #[test]
+    fn hash_basics() {
+        let mut idx = HashIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.insert(b"k".to_vec(), ptr(5)), None);
+        assert_eq!(idx.get(b"k"), Some(ptr(5)));
+        assert_eq!(idx.insert(b"k".to_vec(), ptr(6)), Some(ptr(5)));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.remove(b"k"), Some(ptr(6)));
+        assert!(idx.get(b"k").is_none());
+    }
+}

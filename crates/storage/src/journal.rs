@@ -1,0 +1,101 @@
+//! The undo journal.
+//!
+//! Multi-record operations at the conceptual level (one `insert-statements`
+//! touching Operate *and* Jobs) must be atomic at the internal level.
+//! The journal records the inverse of every applied change; aborting a
+//! transaction replays the inverses in reverse order.
+
+use dme_value::{Symbol, Tuple};
+
+/// The inverse of one applied change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UndoOp {
+    /// Undo an insert by removing the tuple again.
+    Remove {
+        /// The table.
+        table: Symbol,
+        /// The tuple to remove.
+        tuple: Tuple,
+    },
+    /// Undo a delete by re-inserting the tuple.
+    Reinsert {
+        /// The table.
+        table: Symbol,
+        /// The tuple to re-insert.
+        tuple: Tuple,
+    },
+}
+
+/// An in-memory undo journal.
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    entries: Vec<UndoOp>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an undo entry.
+    pub fn push(&mut self, op: UndoOp) {
+        self.entries.push(op);
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains the entries in reverse (undo) order.
+    pub fn drain_reverse(&mut self) -> impl Iterator<Item = UndoOp> + '_ {
+        self.entries.drain(..).rev()
+    }
+
+    /// Discards all entries (commit).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_value::tuple;
+
+    #[test]
+    fn records_and_drains_in_reverse() {
+        let mut j = Journal::new();
+        assert!(j.is_empty());
+        j.push(UndoOp::Remove {
+            table: "A".into(),
+            tuple: tuple![1],
+        });
+        j.push(UndoOp::Reinsert {
+            table: "B".into(),
+            tuple: tuple![2],
+        });
+        assert_eq!(j.len(), 2);
+        let drained: Vec<_> = j.drain_reverse().collect();
+        assert!(matches!(&drained[0], UndoOp::Reinsert { .. }));
+        assert!(matches!(&drained[1], UndoOp::Remove { .. }));
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn clear_discards() {
+        let mut j = Journal::new();
+        j.push(UndoOp::Remove {
+            table: "A".into(),
+            tuple: tuple![1],
+        });
+        j.clear();
+        assert!(j.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+#![deny(missing_docs)]
+
+//! # dme-storage — the internal-schema substrate
+//!
+//! The ANSI architecture the paper builds on (§1.2, Figure 1) has an
+//! **internal schema** that "specifies the types of data structures,
+//! devices and access methods which constitute the physical storage
+//! aspects of the database system". This crate is that level: a small
+//! storage engine with
+//!
+//! * slotted pages over raw byte buffers ([`page`]),
+//! * heap files of encoded records ([`heap`]),
+//! * a compact binary codec for tuples ([`codec`]),
+//! * ordered and hash secondary indexes ([`index`]),
+//! * an undo journal giving atomic multi-record operations
+//!   ([`journal`]), and
+//! * a transactional [`store::RecordStore`] combining them.
+//!
+//! `dme-ansi` maps conceptual-level operations onto this engine; the
+//! paper's point that "the internal schema presumably contains much
+//! implementation information which has no equivalent at the conceptual
+//! level" (§3.2.3) shows up concretely: record pointers, page layouts and
+//! index choices all vary without changing the conceptual state, so the
+//! internal→conceptual correspondence is many-to-one rather than the 1-1
+//! correspondence of the external levels.
+
+pub mod codec;
+pub mod heap;
+pub mod index;
+pub mod journal;
+pub mod page;
+pub mod store;
+
+pub use codec::{decode_tuple, encode_tuple, CodecError};
+pub use heap::{HeapFile, RecordPtr};
+pub use journal::Journal;
+pub use page::{Page, PageError, PAGE_SIZE};
+pub use store::{RecordStore, StoreError};

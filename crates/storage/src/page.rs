@@ -1,0 +1,296 @@
+//! Slotted pages.
+//!
+//! Classic slotted-page layout over a fixed-size byte buffer:
+//!
+//! ```text
+//! +--------------------+---------------------------+------------------+
+//! | header (6 bytes)   | slot directory (4B/slot)  |   free space ... |
+//! |  slot_count u16    |  per slot: offset u16,    | <- record data   |
+//! |  free_start u16    |            len u16        |    grows down    |
+//! |  free_end   u16    | (offset 0 = dead slot)    |                  |
+//! +--------------------+---------------------------+------------------+
+//! ```
+//!
+//! Records are byte strings; deletion tombstones the slot (slot numbers
+//! stay stable so [`crate::heap::RecordPtr`]s never dangle onto wrong
+//! records); compaction reclaims dead space without renumbering slots.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Fixed page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER: usize = 6;
+const SLOT: usize = 4;
+
+/// Errors raised by page operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageError {
+    /// Not enough contiguous free space for the record.
+    Full {
+        /// Bytes the insertion needed (record + slot entry).
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The record is larger than any page can hold.
+    TooLarge(usize),
+    /// No live record in this slot.
+    DeadSlot(u16),
+    /// Slot index out of range.
+    BadSlot(u16),
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::Full { needed, available } => {
+                write!(f, "page full: need {needed} bytes, have {available}")
+            }
+            PageError::TooLarge(n) => write!(f, "record of {n} bytes exceeds page capacity"),
+            PageError::DeadSlot(s) => write!(f, "slot {s} is dead"),
+            PageError::BadSlot(s) => write!(f, "slot {s} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// A slotted page.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    buf: BytesMut,
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Page({} slots, {} live, {} bytes free)",
+            self.slot_count(),
+            self.live_records().count(),
+            self.free_space()
+        )
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut buf = BytesMut::zeroed(PAGE_SIZE);
+        // slot_count = 0, free_start = HEADER, free_end = PAGE_SIZE.
+        (&mut buf[0..2]).put_u16(0);
+        (&mut buf[2..4]).put_u16(HEADER as u16);
+        (&mut buf[4..6]).put_u16(PAGE_SIZE as u16);
+        Page { buf }
+    }
+
+    fn get_u16(&self, at: usize) -> u16 {
+        (&self.buf[at..at + 2]).get_u16()
+    }
+
+    fn set_u16(&mut self, at: usize, v: u16) {
+        (&mut self.buf[at..at + 2]).put_u16(v);
+    }
+
+    /// Number of slots ever allocated (live + dead).
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(0)
+    }
+
+    fn free_start(&self) -> usize {
+        self.get_u16(2) as usize
+    }
+
+    fn free_end(&self) -> usize {
+        self.get_u16(4) as usize
+    }
+
+    fn slot_at(&self, slot: u16) -> (usize, usize) {
+        let base = HEADER + slot as usize * SLOT;
+        (self.get_u16(base) as usize, self.get_u16(base + 2) as usize)
+    }
+
+    fn set_slot(&mut self, slot: u16, offset: usize, len: usize) {
+        let base = HEADER + slot as usize * SLOT;
+        self.set_u16(base, offset as u16);
+        self.set_u16(base + 2, len as u16);
+    }
+
+    /// Contiguous free bytes (a new slot needs `SLOT` of them too).
+    pub fn free_space(&self) -> usize {
+        self.free_end() - self.free_start()
+    }
+
+    /// Inserts a record, returning its slot.
+    pub fn insert(&mut self, record: &[u8]) -> Result<u16, PageError> {
+        if record.len() + HEADER + SLOT > PAGE_SIZE {
+            return Err(PageError::TooLarge(record.len()));
+        }
+        let needed = record.len() + SLOT;
+        if needed > self.free_space() {
+            return Err(PageError::Full {
+                needed,
+                available: self.free_space(),
+            });
+        }
+        let slot = self.slot_count();
+        let offset = self.free_end() - record.len();
+        self.buf[offset..offset + record.len()].copy_from_slice(record);
+        self.set_slot(slot, offset, record.len());
+        self.set_u16(0, slot + 1);
+        self.set_u16(2, (self.free_start() + SLOT) as u16);
+        self.set_u16(4, offset as u16);
+        Ok(slot)
+    }
+
+    /// Reads the record in `slot`.
+    pub fn get(&self, slot: u16) -> Result<&[u8], PageError> {
+        if slot >= self.slot_count() {
+            return Err(PageError::BadSlot(slot));
+        }
+        let (offset, len) = self.slot_at(slot);
+        if offset == 0 {
+            return Err(PageError::DeadSlot(slot));
+        }
+        Ok(&self.buf[offset..offset + len])
+    }
+
+    /// Tombstones the record in `slot`. The space is reclaimed by
+    /// [`Page::compact`].
+    pub fn delete(&mut self, slot: u16) -> Result<(), PageError> {
+        if slot >= self.slot_count() {
+            return Err(PageError::BadSlot(slot));
+        }
+        let (offset, _) = self.slot_at(slot);
+        if offset == 0 {
+            return Err(PageError::DeadSlot(slot));
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Live `(slot, record)` pairs.
+    pub fn live_records(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |slot| {
+            let (offset, len) = self.slot_at(slot);
+            (offset != 0).then(|| (slot, &self.buf[offset..offset + len]))
+        })
+    }
+
+    /// Dead bytes reclaimable by compaction.
+    pub fn dead_space(&self) -> usize {
+        let live: usize = self.live_records().map(|(_, r)| r.len()).sum();
+        (PAGE_SIZE - self.free_end()) - live
+    }
+
+    /// Rewrites live records to eliminate dead space. Slot numbers are
+    /// preserved.
+    pub fn compact(&mut self) {
+        let live: Vec<(u16, Vec<u8>)> = self.live_records().map(|(s, r)| (s, r.to_vec())).collect();
+        let slot_count = self.slot_count();
+        // Reset the data area (keep the slot directory size).
+        self.set_u16(4, PAGE_SIZE as u16);
+        for slot in 0..slot_count {
+            let (offset, _) = self.slot_at(slot);
+            if offset != 0 {
+                self.set_slot(slot, 0, 0);
+            }
+        }
+        for (slot, record) in live {
+            let offset = self.free_end() - record.len();
+            self.buf[offset..offset + record.len()].copy_from_slice(&record);
+            self.set_slot(slot, offset, record.len());
+            self.set_u16(4, offset as u16);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.slot_count(), 2);
+        p.delete(a).unwrap();
+        assert_eq!(p.get(a), Err(PageError::DeadSlot(a)));
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.delete(a), Err(PageError::DeadSlot(a)));
+        assert_eq!(p.get(99), Err(PageError::BadSlot(99)));
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut p = Page::new();
+        let record = [0xabu8; 128];
+        let mut inserted = 0;
+        loop {
+            match p.insert(&record) {
+                Ok(_) => inserted += 1,
+                Err(PageError::Full { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        // 4096 - 6 header over (128 + 4) per record ≈ 30 records.
+        assert_eq!(inserted, (PAGE_SIZE - HEADER) / (128 + SLOT));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        let record = vec![0u8; PAGE_SIZE];
+        assert!(matches!(p.insert(&record), Err(PageError::TooLarge(_))));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space_and_keeps_slots() {
+        let mut p = Page::new();
+        let a = p.insert(&[1u8; 1000]).unwrap();
+        let b = p.insert(&[2u8; 1000]).unwrap();
+        let c = p.insert(&[3u8; 1000]).unwrap();
+        p.delete(b).unwrap();
+        assert_eq!(p.dead_space(), 1000);
+        let before_free = p.free_space();
+        p.compact();
+        assert_eq!(p.dead_space(), 0);
+        assert!(p.free_space() >= before_free + 1000);
+        // Slot numbers survive compaction.
+        assert_eq!(p.get(a).unwrap(), &[1u8; 1000][..]);
+        assert_eq!(p.get(c).unwrap(), &[3u8; 1000][..]);
+        assert!(p.get(b).is_err());
+        // And the page accepts a record that previously would not fit.
+        p.insert(&[4u8; 900]).unwrap();
+    }
+
+    #[test]
+    fn live_records_iterates_in_slot_order() {
+        let mut p = Page::new();
+        p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        p.insert(b"c").unwrap();
+        p.delete(b).unwrap();
+        let live: Vec<_> = p.live_records().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(live, vec![(0, b"a".to_vec()), (2, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut p = Page::new();
+        p.insert(b"x").unwrap();
+        assert!(format!("{p:?}").contains("1 live"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The transactional record store: heaps + indexes + journal.
+//!
+//! A [`RecordStore`] holds one heap file and one ordered index per table.
+//! All mutation goes through a [`Transaction`], which journals inverses
+//! and rolls back automatically when dropped without
+//! [`Transaction::commit`] — giving the internal level the atomic
+//! multi-table writes the conceptual level's operations require.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dme_value::{Symbol, Tuple};
+
+use crate::codec::{decode_tuple, encode_tuple};
+use crate::heap::HeapFile;
+use crate::index::OrderedIndex;
+use crate::journal::{Journal, UndoOp};
+
+/// Errors raised by the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The table does not exist.
+    NoSuchTable(Symbol),
+    /// The table already exists.
+    TableExists(Symbol),
+    /// A page-level failure (record too large etc.).
+    Page(String),
+    /// A decode failure (corruption).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            StoreError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            StoreError::Page(s) => write!(f, "page error: {s}"),
+            StoreError::Corrupt(s) => write!(f, "corrupt record: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[derive(Clone, Default, Debug)]
+struct Table {
+    heap: HeapFile,
+    index: OrderedIndex,
+}
+
+/// A multi-table record store.
+#[derive(Clone, Default)]
+pub struct RecordStore {
+    tables: BTreeMap<Symbol, Table>,
+}
+
+impl fmt::Debug for RecordStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RecordStore({} tables)", self.tables.len())
+    }
+}
+
+impl RecordStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: impl Into<Symbol>) -> Result<(), StoreError> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::TableExists(name));
+        }
+        self.tables.insert(name, Table::default());
+        Ok(())
+    }
+
+    /// Table names in order.
+    pub fn tables(&self) -> impl Iterator<Item = &Symbol> {
+        self.tables.keys()
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(Symbol::new(name)))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(Symbol::new(name)))
+    }
+
+    /// Whether the tuple is stored.
+    pub fn contains(&self, table: &str, tuple: &Tuple) -> Result<bool, StoreError> {
+        Ok(self.table(table)?.index.get(&encode_tuple(tuple)).is_some())
+    }
+
+    /// Number of tuples in a table.
+    pub fn len(&self, table: &str) -> Result<usize, StoreError> {
+        Ok(self.table(table)?.index.len())
+    }
+
+    /// Whether a table is empty.
+    pub fn is_empty(&self, table: &str) -> Result<bool, StoreError> {
+        Ok(self.table(table)?.index.is_empty())
+    }
+
+    /// All tuples of a table in key order.
+    pub fn scan(&self, table: &str) -> Result<Vec<Tuple>, StoreError> {
+        let t = self.table(table)?;
+        t.heap
+            .scan()
+            .map(|(_, bytes)| decode_tuple(bytes).map_err(|e| StoreError::Corrupt(e.to_string())))
+            .collect::<Result<Vec<_>, _>>()
+            .map(|mut v| {
+                v.sort();
+                v
+            })
+    }
+
+    fn insert_inner(&mut self, table: &str, tuple: &Tuple) -> Result<bool, StoreError> {
+        let encoded = encode_tuple(tuple);
+        let t = self.table_mut(table)?;
+        if t.index.get(&encoded).is_some() {
+            return Ok(false);
+        }
+        let ptr = t
+            .heap
+            .insert(&encoded)
+            .map_err(|e| StoreError::Page(e.to_string()))?;
+        t.index.insert(encoded, ptr);
+        Ok(true)
+    }
+
+    fn delete_inner(&mut self, table: &str, tuple: &Tuple) -> Result<bool, StoreError> {
+        let encoded = encode_tuple(tuple);
+        let t = self.table_mut(table)?;
+        match t.index.remove(&encoded) {
+            Some(ptr) => {
+                t.heap
+                    .delete(ptr)
+                    .map_err(|e| StoreError::Page(e.to_string()))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Begins a transaction. Dropping it without commit rolls back.
+    pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction {
+            store: self,
+            journal: Journal::new(),
+            committed: false,
+        }
+    }
+
+    /// Reclaims dead heap space across all tables, rebuilding indexes.
+    pub fn vacuum(&mut self) {
+        for t in self.tables.values_mut() {
+            t.heap.vacuum();
+            let mut index = OrderedIndex::new();
+            for (ptr, bytes) in t.heap.scan() {
+                index.insert(bytes.to_vec(), ptr);
+            }
+            t.index = index;
+        }
+    }
+}
+
+/// An open transaction: journaling writes with rollback-on-drop.
+pub struct Transaction<'a> {
+    store: &'a mut RecordStore,
+    journal: Journal,
+    committed: bool,
+}
+
+impl Transaction<'_> {
+    /// Inserts a tuple; `false` means it was already present.
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<bool, StoreError> {
+        let inserted = self.store.insert_inner(table, &tuple)?;
+        if inserted {
+            self.journal.push(UndoOp::Remove {
+                table: Symbol::new(table),
+                tuple,
+            });
+        }
+        Ok(inserted)
+    }
+
+    /// Deletes a tuple; `false` means it was not present.
+    pub fn delete(&mut self, table: &str, tuple: &Tuple) -> Result<bool, StoreError> {
+        let deleted = self.store.delete_inner(table, tuple)?;
+        if deleted {
+            self.journal.push(UndoOp::Reinsert {
+                table: Symbol::new(table),
+                tuple: tuple.clone(),
+            });
+        }
+        Ok(deleted)
+    }
+
+    /// Reads through to the store.
+    pub fn contains(&self, table: &str, tuple: &Tuple) -> Result<bool, StoreError> {
+        self.store.contains(table, tuple)
+    }
+
+    /// Commits: the journal is discarded and changes stay.
+    pub fn commit(mut self) {
+        self.journal.clear();
+        self.committed = true;
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        let undos: Vec<UndoOp> = self.journal.drain_reverse().collect();
+        for undo in undos {
+            // Undo application cannot fail: tables exist and the tuples
+            // were just present/absent.
+            match undo {
+                UndoOp::Remove { table, tuple } => {
+                    let _ = self.store.delete_inner(table.as_str(), &tuple);
+                }
+                UndoOp::Reinsert { table, tuple } => {
+                    let _ = self.store.insert_inner(table.as_str(), &tuple);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_value::tuple;
+
+    fn store() -> RecordStore {
+        let mut s = RecordStore::new();
+        s.create_table("Jobs").unwrap();
+        s.create_table("Operate").unwrap();
+        s
+    }
+
+    #[test]
+    fn create_and_duplicate_table() {
+        let mut s = store();
+        assert_eq!(
+            s.create_table("Jobs"),
+            Err(StoreError::TableExists("Jobs".into()))
+        );
+        assert_eq!(s.tables().count(), 2);
+    }
+
+    #[test]
+    fn committed_writes_persist() {
+        let mut s = store();
+        let mut txn = s.begin();
+        assert!(txn.insert("Jobs", tuple!["a", "b"]).unwrap());
+        assert!(!txn.insert("Jobs", tuple!["a", "b"]).unwrap(), "duplicate");
+        assert!(txn.contains("Jobs", &tuple!["a", "b"]).unwrap());
+        txn.commit();
+        assert!(s.contains("Jobs", &tuple!["a", "b"]).unwrap());
+        assert_eq!(s.len("Jobs").unwrap(), 1);
+        assert_eq!(s.scan("Jobs").unwrap(), vec![tuple!["a", "b"]]);
+    }
+
+    #[test]
+    fn dropped_transaction_rolls_back() {
+        let mut s = store();
+        {
+            let mut txn = s.begin();
+            txn.insert("Jobs", tuple!["a"]).unwrap();
+            txn.insert("Operate", tuple!["b"]).unwrap();
+            // no commit
+        }
+        assert!(s.is_empty("Jobs").unwrap());
+        assert!(s.is_empty("Operate").unwrap());
+    }
+
+    #[test]
+    fn rollback_restores_deletes() {
+        let mut s = store();
+        let mut txn = s.begin();
+        txn.insert("Jobs", tuple!["keep"]).unwrap();
+        txn.commit();
+        {
+            let mut txn = s.begin();
+            assert!(txn.delete("Jobs", &tuple!["keep"]).unwrap());
+            assert!(!txn.delete("Jobs", &tuple!["keep"]).unwrap());
+            txn.insert("Jobs", tuple!["new"]).unwrap();
+        }
+        assert_eq!(s.scan("Jobs").unwrap(), vec![tuple!["keep"]]);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut s = store();
+        let mut txn = s.begin();
+        assert!(matches!(
+            txn.insert("Ghost", tuple!["x"]),
+            Err(StoreError::NoSuchTable(_))
+        ));
+        drop(txn);
+        assert!(matches!(s.scan("Ghost"), Err(StoreError::NoSuchTable(_))));
+        assert!(matches!(s.len("Ghost"), Err(StoreError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn vacuum_preserves_contents() {
+        let mut s = store();
+        let mut txn = s.begin();
+        for i in 0..100 {
+            txn.insert("Jobs", tuple![i]).unwrap();
+        }
+        txn.commit();
+        let mut txn = s.begin();
+        for i in 0..50 {
+            txn.delete("Jobs", &tuple![i]).unwrap();
+        }
+        txn.commit();
+        s.vacuum();
+        let remaining = s.scan("Jobs").unwrap();
+        assert_eq!(remaining.len(), 50);
+        for i in 50..100 {
+            assert!(s.contains("Jobs", &tuple![i]).unwrap());
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted() {
+        let mut s = store();
+        let mut txn = s.begin();
+        txn.insert("Jobs", tuple![3]).unwrap();
+        txn.insert("Jobs", tuple![1]).unwrap();
+        txn.insert("Jobs", tuple![2]).unwrap();
+        txn.commit();
+        assert_eq!(
+            s.scan("Jobs").unwrap(),
+            vec![tuple![1], tuple![2], tuple![3]]
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Model-based property tests: the record store against a plain
+//! `BTreeSet` reference model, including transaction rollback, vacuum,
+//! and codec round trips over arbitrary tuples.
+
+use std::collections::BTreeSet;
+
+use dme_storage::{decode_tuple, encode_tuple, RecordStore};
+use dme_value::{Tuple, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        2 => any::<bool>().prop_map(Value::bool),
+        3 => any::<i64>().prop_map(Value::int),
+        3 => ".{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(), 0..5).prop_map(Tuple::new)
+}
+
+/// One step of the storage workload.
+#[derive(Clone, Debug)]
+enum Step {
+    Insert(Tuple),
+    Delete(Tuple),
+    CommitTxn(Vec<(bool, Tuple)>),
+    RollbackTxn(Vec<(bool, Tuple)>),
+    Vacuum,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => arb_tuple().prop_map(Step::Insert),
+        2 => arb_tuple().prop_map(Step::Delete),
+        2 => prop::collection::vec((any::<bool>(), arb_tuple()), 1..4)
+            .prop_map(Step::CommitTxn),
+        2 => prop::collection::vec((any::<bool>(), arb_tuple()), 1..4)
+            .prop_map(Step::RollbackTxn),
+        1 => Just(Step::Vacuum),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn codec_round_trips(t in arb_tuple()) {
+        let bytes = encode_tuple(&t);
+        prop_assert_eq!(decode_tuple(&bytes), Ok(t));
+    }
+
+    #[test]
+    fn codec_is_injective(a in arb_tuple(), b in arb_tuple()) {
+        if a != b {
+            prop_assert_ne!(encode_tuple(&a), encode_tuple(&b));
+        }
+    }
+
+    #[test]
+    fn store_matches_reference_model(steps in prop::collection::vec(arb_step(), 0..40)) {
+        let mut store = RecordStore::new();
+        store.create_table("T").expect("fresh table");
+        let mut model: BTreeSet<Tuple> = BTreeSet::new();
+
+        for step in steps {
+            match step {
+                Step::Insert(t) => {
+                    let mut txn = store.begin();
+                    let inserted = txn.insert("T", t.clone()).expect("insert works");
+                    txn.commit();
+                    prop_assert_eq!(inserted, model.insert(t));
+                }
+                Step::Delete(t) => {
+                    let mut txn = store.begin();
+                    let deleted = txn.delete("T", &t).expect("delete works");
+                    txn.commit();
+                    prop_assert_eq!(deleted, model.remove(&t));
+                }
+                Step::CommitTxn(ops) => {
+                    let mut txn = store.begin();
+                    for (is_insert, t) in &ops {
+                        if *is_insert {
+                            txn.insert("T", t.clone()).expect("insert works");
+                        } else {
+                            txn.delete("T", t).expect("delete works");
+                        }
+                    }
+                    txn.commit();
+                    for (is_insert, t) in ops {
+                        if is_insert {
+                            model.insert(t);
+                        } else {
+                            model.remove(&t);
+                        }
+                    }
+                }
+                Step::RollbackTxn(ops) => {
+                    {
+                        let mut txn = store.begin();
+                        for (is_insert, t) in &ops {
+                            if *is_insert {
+                                txn.insert("T", t.clone()).expect("insert works");
+                            } else {
+                                txn.delete("T", t).expect("delete works");
+                            }
+                        }
+                        // dropped without commit: rolls back
+                    }
+                    // model unchanged
+                }
+                Step::Vacuum => store.vacuum(),
+            }
+            // Full-state agreement after every step.
+            let scanned: BTreeSet<Tuple> = store.scan("T").expect("scan works").into_iter().collect();
+            prop_assert_eq!(&scanned, &model);
+            prop_assert_eq!(store.len("T").expect("len works"), model.len());
+        }
+    }
+}

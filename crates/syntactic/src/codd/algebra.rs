@@ -1,0 +1,331 @@
+//! The syntactic relational algebra.
+//!
+//! This is the algebra the semantic model's case-join / predicate-join /
+//! conjunction *replace* (§3.2.1): a single attribute-name-driven
+//! **natural join**, plus selection, projection, union, difference and
+//! rename. It knows nothing about predicates or cases — `EMP ⋈ OPERATE`
+//! joins on whatever attributes happen to share a name, which is exactly
+//! the semantic blindness the paper's semantic joins repair.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dme_value::{Symbol, Tuple, Value};
+
+use super::schema::{Attribute, SynRelationSchema};
+use super::state::CoddState;
+
+/// A query-level relation: a heading (attributes only) plus rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynRelation {
+    name: Symbol,
+    attributes: Vec<Attribute>,
+    tuples: BTreeSet<Tuple>,
+}
+
+/// Errors raised by the syntactic algebra.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynAlgebraError {
+    /// Named attribute does not exist.
+    UnknownAttribute(Symbol),
+    /// Union/difference operands have different headings.
+    HeadingMismatch,
+}
+
+impl fmt::Display for SynAlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynAlgebraError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            SynAlgebraError::HeadingMismatch => write!(f, "operand headings differ"),
+        }
+    }
+}
+
+impl std::error::Error for SynAlgebraError {}
+
+impl SynRelation {
+    /// Wraps a base relation of a state.
+    pub fn base(state: &CoddState, name: &str) -> Option<SynRelation> {
+        let rel: &SynRelationSchema = state.schema().relation(name)?;
+        Some(SynRelation {
+            name: rel.name().clone(),
+            attributes: rel.attributes().to_vec(),
+            tuples: state.relation(name)?.clone(),
+        })
+    }
+
+    /// Builds a relation from parts.
+    pub fn from_parts(
+        name: impl Into<Symbol>,
+        attributes: impl IntoIterator<Item = Attribute>,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Self {
+        SynRelation {
+            name: name.into(),
+            attributes: attributes.into_iter().collect(),
+            tuples: tuples.into_iter().collect(),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// The attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The rows.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    fn index_of(&self, attribute: &str) -> Result<usize, SynAlgebraError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name.as_str() == attribute)
+            .ok_or_else(|| SynAlgebraError::UnknownAttribute(Symbol::new(attribute)))
+    }
+
+    /// Selection by predicate over rows.
+    pub fn select(&self, keep: impl Fn(&Tuple) -> bool) -> SynRelation {
+        SynRelation {
+            name: Symbol::new(format!("σ({})", self.name)),
+            attributes: self.attributes.clone(),
+            tuples: self.tuples.iter().filter(|t| keep(t)).cloned().collect(),
+        }
+    }
+
+    /// Selection of rows whose `attribute` equals `value`.
+    pub fn select_eq(
+        &self,
+        attribute: &str,
+        value: &Value,
+    ) -> Result<SynRelation, SynAlgebraError> {
+        let i = self.index_of(attribute)?;
+        Ok(self.select(|t| &t[i] == value))
+    }
+
+    /// Projection onto named attributes (deduplicating rows).
+    pub fn project(&self, attributes: &[&str]) -> Result<SynRelation, SynAlgebraError> {
+        let idx: Vec<usize> = attributes
+            .iter()
+            .map(|a| self.index_of(a))
+            .collect::<Result<_, _>>()?;
+        Ok(SynRelation {
+            name: Symbol::new(format!("π({})", self.name)),
+            attributes: idx.iter().map(|&i| self.attributes[i].clone()).collect(),
+            tuples: self.tuples.iter().filter_map(|t| t.project(&idx)).collect(),
+        })
+    }
+
+    /// Rename one attribute.
+    pub fn rename(&self, from: &str, to: &str) -> Result<SynRelation, SynAlgebraError> {
+        let i = self.index_of(from)?;
+        let mut attributes = self.attributes.clone();
+        attributes[i] = Attribute::new(to, attributes[i].domain.clone());
+        Ok(SynRelation {
+            name: Symbol::new(format!("ρ({})", self.name)),
+            attributes,
+            tuples: self.tuples.clone(),
+        })
+    }
+
+    /// The syntactic natural join: equi-join on all same-named
+    /// attributes; a cartesian product when none are shared.
+    pub fn natural_join(&self, other: &SynRelation) -> SynRelation {
+        let shared: Vec<(usize, usize)> = self
+            .attributes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                other
+                    .attributes
+                    .iter()
+                    .position(|b| b.name == a.name)
+                    .map(|j| (i, j))
+            })
+            .collect();
+        let other_kept: Vec<usize> = (0..other.attributes.len())
+            .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+            .collect();
+        let attributes: Vec<Attribute> = self
+            .attributes
+            .iter()
+            .cloned()
+            .chain(other_kept.iter().map(|&j| other.attributes[j].clone()))
+            .collect();
+        let mut tuples = BTreeSet::new();
+        for lt in &self.tuples {
+            for rt in &other.tuples {
+                if shared.iter().all(|&(i, j)| lt[i] == rt[j]) {
+                    let values: Vec<Value> = lt
+                        .values()
+                        .cloned()
+                        .chain(other_kept.iter().map(|&j| rt[j].clone()))
+                        .collect();
+                    tuples.insert(Tuple::new(values));
+                }
+            }
+        }
+        SynRelation {
+            name: Symbol::new(format!("({}⋈{})", self.name, other.name)),
+            attributes,
+            tuples,
+        }
+    }
+
+    fn same_heading(&self, other: &SynRelation) -> bool {
+        self.attributes.len() == other.attributes.len()
+            && self
+                .attributes
+                .iter()
+                .zip(&other.attributes)
+                .all(|(a, b)| a.name == b.name && a.domain == b.domain)
+    }
+
+    /// Set union (headings must match).
+    pub fn union(&self, other: &SynRelation) -> Result<SynRelation, SynAlgebraError> {
+        if !self.same_heading(other) {
+            return Err(SynAlgebraError::HeadingMismatch);
+        }
+        Ok(SynRelation {
+            name: Symbol::new(format!("({}∪{})", self.name, other.name)),
+            attributes: self.attributes.clone(),
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set difference (headings must match).
+    pub fn difference(&self, other: &SynRelation) -> Result<SynRelation, SynAlgebraError> {
+        if !self.same_heading(other) {
+            return Err(SynAlgebraError::HeadingMismatch);
+        }
+        Ok(SynRelation {
+            name: Symbol::new(format!("({}∖{})", self.name, other.name)),
+            attributes: self.attributes.clone(),
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_value::tuple;
+
+    fn state() -> CoddState {
+        fixtures::codd_machine_shop_state()
+    }
+
+    #[test]
+    fn base_and_accessors() {
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        assert_eq!(emp.len(), 3);
+        assert!(!emp.is_empty());
+        assert_eq!(emp.name(), "EMP");
+        assert_eq!(emp.attributes().len(), 2);
+        assert!(SynRelation::base(&state(), "GHOST").is_none());
+    }
+
+    #[test]
+    fn selection() {
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        let old = emp.select_eq("name", &Value::str("G.Wayshum")).unwrap();
+        assert_eq!(old.len(), 1);
+        assert!(matches!(
+            emp.select_eq("ghost", &Value::int(1)),
+            Err(SynAlgebraError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let op = SynRelation::base(&state(), "OPERATE").unwrap();
+        let types = op.project(&["type"]).unwrap();
+        assert_eq!(types.len(), 2);
+        assert!(types.tuples().contains(&tuple!["lathe"]));
+    }
+
+    #[test]
+    fn natural_join_on_shared_attribute() {
+        // EMP(name, age) ⋈ OPERATE(name, number, type) joins on `name`.
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        let op = SynRelation::base(&state(), "OPERATE").unwrap();
+        let j = emp.natural_join(&op);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.attributes().len(), 4);
+        assert!(j
+            .tuples()
+            .contains(&tuple!["T.Manhart", 32, "NZ745", "lathe"]));
+    }
+
+    #[test]
+    fn natural_join_semantic_blindness() {
+        // The paper's point: joining JOBS (supervisor, name, number) with
+        // EMP on `name` silently equates the *supervisee* with the
+        // employee — there is no way to say "join on the supervisor"
+        // without renaming.
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        let jobs = SynRelation::base(&state(), "JOBS").unwrap();
+        let j = jobs.natural_join(&emp);
+        // supervisee ages, not supervisor ages:
+        assert!(j.tuples().iter().all(|t| !t[0].is_null()));
+        // To ask for supervisor ages one must rename first:
+        let by_supervisor = jobs
+            .rename("supervisor", "x")
+            .unwrap()
+            .rename("name", "supervisee")
+            .unwrap()
+            .rename("x", "name")
+            .unwrap()
+            .natural_join(&emp);
+        assert_eq!(by_supervisor.len(), 1); // only G.Wayshum supervises
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_names() {
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        let renamed = emp
+            .rename("name", "n2")
+            .unwrap()
+            .rename("age", "a2")
+            .unwrap();
+        let product = emp.natural_join(&renamed);
+        assert_eq!(product.len(), 9);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        let old = emp.select_eq("name", &Value::str("G.Wayshum")).unwrap();
+        let rest = emp.difference(&old).unwrap();
+        assert_eq!(rest.len(), 2);
+        let whole = rest.union(&old).unwrap();
+        assert_eq!(whole.tuples(), emp.tuples());
+        let op = SynRelation::base(&state(), "OPERATE").unwrap();
+        assert!(matches!(
+            emp.union(&op),
+            Err(SynAlgebraError::HeadingMismatch)
+        ));
+    }
+
+    #[test]
+    fn rename_unknown_attribute() {
+        let emp = SynRelation::base(&state(), "EMP").unwrap();
+        assert!(emp.rename("ghost", "x").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! The syntactic relational model (Codd).
+//!
+//! Relations are sets of tuples over named attributes; the schema carries
+//! "the name of each relation, the domains of allowed values for each
+//! column of a relation and the integrity constraints to be satisfied by
+//! the tuples in the relations" (§2.1). Unlike the semantic relation
+//! model there are no predicate:case pairs, no statement reading, no
+//! null-driven partial order: tuples are plain rows and the single
+//! syntactic **natural join** replaces the three semantic joins.
+
+pub mod algebra;
+pub mod ops;
+pub mod schema;
+pub mod state;
+
+pub use algebra::SynRelation;
+pub use ops::{CoddOp, CoddOpError};
+pub use schema::{Attribute, CoddSchema, CoddSchemaError, Fd, SynRelationSchema};
+pub use state::{CoddState, CoddStateError};

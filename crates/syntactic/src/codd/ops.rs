@@ -1,0 +1,173 @@
+//! `insert-tuples` / `delete-tuples` — the syntactic operation types.
+//!
+//! §2.1: "Operation types correspond in the relational model to
+//! *insert-tuples* and *delete-tuples*." Unlike their semantic
+//! counterparts these are purely set-theoretic: no null partial order, no
+//! subsumption, no statement weakening — which is precisely why defining
+//! equivalent updates against a network model is so awkward for them
+//! (§3.1's survey of Zimmerman, Fleck and Kay).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dme_value::{Symbol, Tuple};
+
+use super::state::{CoddState, CoddStateError};
+
+/// Errors turning an operation into the error state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoddOpError {
+    /// A tuple failed the schema checks.
+    State(CoddStateError),
+    /// An inserted tuple was already present / a deleted one absent
+    /// (strict set semantics).
+    Strict(String),
+}
+
+impl fmt::Display for CoddOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoddOpError::State(e) => write!(f, "{e}"),
+            CoddOpError::Strict(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoddOpError {}
+
+impl From<CoddStateError> for CoddOpError {
+    fn from(e: CoddStateError) -> Self {
+        CoddOpError::State(e)
+    }
+}
+
+/// An operation of the syntactic relational model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoddOp {
+    /// Insert a set of tuples into one relation.
+    InsertTuples {
+        /// Target relation.
+        relation: Symbol,
+        /// Tuples to insert (must be absent).
+        tuples: BTreeSet<Tuple>,
+    },
+    /// Delete a set of tuples from one relation.
+    DeleteTuples {
+        /// Target relation.
+        relation: Symbol,
+        /// Tuples to delete (must be present).
+        tuples: BTreeSet<Tuple>,
+    },
+}
+
+impl CoddOp {
+    /// Builds an insert.
+    pub fn insert(relation: impl Into<Symbol>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        CoddOp::InsertTuples {
+            relation: relation.into(),
+            tuples: tuples.into_iter().collect(),
+        }
+    }
+
+    /// Builds a delete.
+    pub fn delete(relation: impl Into<Symbol>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        CoddOp::DeleteTuples {
+            relation: relation.into(),
+            tuples: tuples.into_iter().collect(),
+        }
+    }
+
+    /// Applies the operation; key and FD constraints are checked on the
+    /// result.
+    pub fn apply(&self, state: &CoddState) -> Result<CoddState, CoddOpError> {
+        let mut next = state.clone();
+        match self {
+            CoddOp::InsertTuples { relation, tuples } => {
+                for t in tuples {
+                    if !next.insert_raw(relation.as_str(), t.clone())? {
+                        return Err(CoddOpError::Strict(format!(
+                            "tuple {t} already present in `{relation}`"
+                        )));
+                    }
+                }
+            }
+            CoddOp::DeleteTuples { relation, tuples } => {
+                for t in tuples {
+                    if !next.delete_raw(relation.as_str(), t)? {
+                        return Err(CoddOpError::Strict(format!(
+                            "tuple {t} not present in `{relation}`"
+                        )));
+                    }
+                }
+            }
+        }
+        next.check_integrity()?;
+        Ok(next)
+    }
+}
+
+impl fmt::Display for CoddOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (verb, relation, tuples) = match self {
+            CoddOp::InsertTuples { relation, tuples } => ("insert-tuples", relation, tuples),
+            CoddOp::DeleteTuples { relation, tuples } => ("delete-tuples", relation, tuples),
+        };
+        write!(f, "{verb} {relation} ({} tuples)", tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_value::tuple;
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let s = fixtures::codd_machine_shop_state();
+        let op = CoddOp::delete("EMP", [tuple!["G.Wayshum", 50]]);
+        let out = op.apply(&s).unwrap();
+        assert_eq!(out.tuples("EMP").count(), 2);
+        let back = CoddOp::insert("EMP", [tuple!["G.Wayshum", 50]])
+            .apply(&out)
+            .unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn strict_semantics() {
+        let s = fixtures::codd_machine_shop_state();
+        // Duplicate insert errors (unlike the semantic model's idempotent
+        // insert-statements).
+        let err = CoddOp::insert("EMP", [tuple!["G.Wayshum", 50]])
+            .apply(&s)
+            .unwrap_err();
+        assert!(matches!(err, CoddOpError::Strict(_)));
+        // Deleting an absent tuple errors.
+        let err = CoddOp::delete("EMP", [tuple!["G.Wayshum", 99]])
+            .apply(&s)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoddOpError::State(_) | CoddOpError::Strict(_)
+        ));
+    }
+
+    #[test]
+    fn key_checked_after_application() {
+        let s = fixtures::codd_machine_shop_state();
+        let err = CoddOp::insert("EMP", [tuple!["G.Wayshum", 32]])
+            .apply(&s)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoddOpError::State(CoddStateError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let op = CoddOp::insert("EMP", [tuple!["a", 1]]);
+        assert_eq!(op.to_string(), "insert-tuples EMP (1 tuples)");
+    }
+}

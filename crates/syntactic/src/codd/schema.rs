@@ -1,0 +1,317 @@
+//! Syntactic relational schemas: attributes, keys, functional
+//! dependencies.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dme_value::{DomainCatalog, Symbol};
+
+/// A named, domain-typed attribute (column).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// The attribute name.
+    pub name: Symbol,
+    /// The domain of allowed values.
+    pub domain: Symbol,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<Symbol>, domain: impl Into<Symbol>) -> Self {
+        Attribute {
+            name: name.into(),
+            domain: domain.into(),
+        }
+    }
+}
+
+/// A functional dependency `lhs → rhs` over attribute indices.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fd {
+    /// Determinant attribute indices.
+    pub lhs: Vec<usize>,
+    /// Dependent attribute indices.
+    pub rhs: Vec<usize>,
+}
+
+/// One relation's heading: name, attributes, primary key, FDs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynRelationSchema {
+    name: Symbol,
+    attributes: Vec<Attribute>,
+    /// Primary key attribute indices (empty = all attributes).
+    key: Vec<usize>,
+    fds: Vec<Fd>,
+}
+
+impl SynRelationSchema {
+    /// Creates a heading.
+    pub fn new(
+        name: impl Into<Symbol>,
+        attributes: impl IntoIterator<Item = Attribute>,
+        key: impl IntoIterator<Item = usize>,
+        fds: impl IntoIterator<Item = Fd>,
+    ) -> Self {
+        SynRelationSchema {
+            name: name.into(),
+            attributes: attributes.into_iter().collect(),
+            key: key.into_iter().collect(),
+            fds: fds.into_iter().collect(),
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of a named attribute.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name.as_str() == name)
+    }
+
+    /// The primary key indices (empty = whole tuple).
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// The functional dependencies.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+}
+
+/// Errors found while validating a syntactic relational schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoddSchemaError {
+    /// Duplicate relation name.
+    DuplicateRelation(Symbol),
+    /// Duplicate attribute name within a relation.
+    DuplicateAttribute {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The repeated attribute.
+        attribute: Symbol,
+    },
+    /// An attribute references an unknown domain.
+    UnknownDomain {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The attribute with the bad domain.
+        attribute: Symbol,
+        /// The unknown domain name.
+        domain: Symbol,
+    },
+    /// A key or FD references an attribute index out of range.
+    BadIndex {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The out-of-range index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CoddSchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoddSchemaError::DuplicateRelation(r) => write!(f, "duplicate relation `{r}`"),
+            CoddSchemaError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}`: duplicate attribute `{attribute}`")
+            }
+            CoddSchemaError::UnknownDomain { relation, attribute, domain } => write!(
+                f,
+                "relation `{relation}`: attribute `{attribute}` references unknown domain `{domain}`"
+            ),
+            CoddSchemaError::BadIndex { relation, index } => {
+                write!(f, "relation `{relation}`: attribute index {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoddSchemaError {}
+
+/// A full syntactic relational schema: domains plus relation headings.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoddSchema {
+    domains: DomainCatalog,
+    relations: BTreeMap<Symbol, SynRelationSchema>,
+}
+
+impl CoddSchema {
+    /// Builds and validates a schema.
+    pub fn new(
+        domains: DomainCatalog,
+        relations: impl IntoIterator<Item = SynRelationSchema>,
+    ) -> Result<Self, CoddSchemaError> {
+        let mut map = BTreeMap::new();
+        for rel in relations {
+            let mut seen = BTreeSet::new();
+            for a in rel.attributes() {
+                if !seen.insert(a.name.clone()) {
+                    return Err(CoddSchemaError::DuplicateAttribute {
+                        relation: rel.name().clone(),
+                        attribute: a.name.clone(),
+                    });
+                }
+                if domains.get(a.domain.as_str()).is_none() {
+                    return Err(CoddSchemaError::UnknownDomain {
+                        relation: rel.name().clone(),
+                        attribute: a.name.clone(),
+                        domain: a.domain.clone(),
+                    });
+                }
+            }
+            for &i in rel
+                .key()
+                .iter()
+                .chain(rel.fds().iter().flat_map(|fd| fd.lhs.iter().chain(&fd.rhs)))
+            {
+                if i >= rel.arity() {
+                    return Err(CoddSchemaError::BadIndex {
+                        relation: rel.name().clone(),
+                        index: i,
+                    });
+                }
+            }
+            if map.contains_key(rel.name()) {
+                return Err(CoddSchemaError::DuplicateRelation(rel.name().clone()));
+            }
+            map.insert(rel.name().clone(), rel);
+        }
+        Ok(CoddSchema {
+            domains,
+            relations: map,
+        })
+    }
+
+    /// The domain catalog.
+    pub fn domains(&self) -> &DomainCatalog {
+        &self.domains
+    }
+
+    /// Looks up a relation heading.
+    pub fn relation(&self, name: &str) -> Option<&SynRelationSchema> {
+        self.relations.get(name)
+    }
+
+    /// All relation headings in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &SynRelationSchema> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether there are no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_value::Domain;
+
+    fn domains() -> DomainCatalog {
+        DomainCatalog::new()
+            .with(Domain::of_strs("names", ["a", "b"]))
+            .with(Domain::of_ints("years", [1, 2]))
+    }
+
+    fn employees() -> SynRelationSchema {
+        SynRelationSchema::new(
+            "EMP",
+            [
+                Attribute::new("name", "names"),
+                Attribute::new("age", "years"),
+            ],
+            [0],
+            [Fd {
+                lhs: vec![0],
+                rhs: vec![1],
+            }],
+        )
+    }
+
+    #[test]
+    fn valid_schema_builds() {
+        let s = CoddSchema::new(domains(), [employees()]).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        let r = s.relation("EMP").unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.attribute_index("age"), Some(1));
+        assert_eq!(r.attribute_index("ghost"), None);
+        assert_eq!(r.key(), &[0]);
+        assert_eq!(r.fds().len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_relation() {
+        let err = CoddSchema::new(domains(), [employees(), employees()]).unwrap_err();
+        assert!(matches!(err, CoddSchemaError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let bad = SynRelationSchema::new(
+            "R",
+            [Attribute::new("x", "names"), Attribute::new("x", "names")],
+            [],
+            [],
+        );
+        let err = CoddSchema::new(domains(), [bad]).unwrap_err();
+        assert!(matches!(err, CoddSchemaError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_domain() {
+        let bad = SynRelationSchema::new("R", [Attribute::new("x", "ghost")], [], []);
+        let err = CoddSchema::new(domains(), [bad]).unwrap_err();
+        assert!(matches!(err, CoddSchemaError::UnknownDomain { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_indices() {
+        let bad = SynRelationSchema::new("R", [Attribute::new("x", "names")], [3], []);
+        assert!(matches!(
+            CoddSchema::new(domains(), [bad]).unwrap_err(),
+            CoddSchemaError::BadIndex { index: 3, .. }
+        ));
+        let bad_fd = SynRelationSchema::new(
+            "R",
+            [Attribute::new("x", "names")],
+            [],
+            [Fd {
+                lhs: vec![0],
+                rhs: vec![9],
+            }],
+        );
+        assert!(matches!(
+            CoddSchema::new(domains(), [bad_fd]).unwrap_err(),
+            CoddSchemaError::BadIndex { index: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CoddSchemaError::DuplicateRelation(Symbol::new("R"));
+        assert_eq!(e.to_string(), "duplicate relation `R`");
+    }
+}

@@ -1,0 +1,280 @@
+//! Syntactic relational states: plain sets of rows.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use dme_value::{Symbol, Tuple};
+
+use super::schema::{CoddSchema, SynRelationSchema};
+
+/// Errors raised by syntactic state checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoddStateError {
+    /// A referenced relation is not in the schema.
+    UnknownRelation(Symbol),
+    /// Tuple arity differs from the heading's.
+    ArityMismatch {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The heading's arity.
+        expected: usize,
+        /// The tuple's arity.
+        found: usize,
+    },
+    /// A value is outside its attribute's domain (the syntactic model
+    /// admits no nulls).
+    DomainViolation {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The offending column.
+        column: usize,
+    },
+    /// Two tuples share a primary key.
+    KeyViolation {
+        /// The relation at fault.
+        relation: Symbol,
+        /// The duplicated key projection.
+        key: Tuple,
+    },
+    /// A functional dependency is violated.
+    FdViolation {
+        /// The relation at fault.
+        relation: Symbol,
+    },
+}
+
+impl fmt::Display for CoddStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoddStateError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            CoddStateError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}`: arity {found}, expected {expected}"
+                )
+            }
+            CoddStateError::DomainViolation { relation, column } => {
+                write!(f, "relation `{relation}`: bad value in column {column}")
+            }
+            CoddStateError::KeyViolation { relation, key } => {
+                write!(f, "relation `{relation}`: duplicate key {key}")
+            }
+            CoddStateError::FdViolation { relation } => {
+                write!(f, "relation `{relation}`: functional dependency violated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoddStateError {}
+
+/// A database state of the syntactic relational model.
+#[derive(Clone)]
+pub struct CoddState {
+    schema: Arc<CoddSchema>,
+    relations: BTreeMap<Symbol, BTreeSet<Tuple>>,
+}
+
+impl PartialEq for CoddState {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for CoddState {}
+
+impl fmt::Debug for CoddState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CoddState {{")?;
+        for (name, tuples) in &self.relations {
+            writeln!(f, "  {name}: {} tuples", tuples.len())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl CoddState {
+    /// The empty state.
+    pub fn empty(schema: Arc<CoddSchema>) -> Self {
+        let relations = schema
+            .relations()
+            .map(|r| (r.name().clone(), BTreeSet::new()))
+            .collect();
+        CoddState { schema, relations }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<CoddSchema> {
+        &self.schema
+    }
+
+    /// The tuples of a relation.
+    pub fn relation(&self, name: &str) -> Option<&BTreeSet<Tuple>> {
+        self.relations.get(name)
+    }
+
+    /// Iterates over a relation's tuples (empty for unknown names).
+    pub fn tuples(&self, name: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(name).into_iter().flatten()
+    }
+
+    /// Total tuple count.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(BTreeSet::is_empty)
+    }
+
+    /// Checks one tuple: arity, domains, no nulls.
+    pub fn check_tuple(
+        schema: &CoddSchema,
+        rel: &SynRelationSchema,
+        tuple: &Tuple,
+    ) -> Result<(), CoddStateError> {
+        if tuple.arity() != rel.arity() {
+            return Err(CoddStateError::ArityMismatch {
+                relation: rel.name().clone(),
+                expected: rel.arity(),
+                found: tuple.arity(),
+            });
+        }
+        for (i, attr) in rel.attributes().iter().enumerate() {
+            let ok = tuple[i].as_atom().is_some_and(|a| {
+                schema
+                    .domains()
+                    .get(attr.domain.as_str())
+                    .is_some_and(|d| d.contains(a))
+            });
+            if !ok {
+                return Err(CoddStateError::DomainViolation {
+                    relation: rel.name().clone(),
+                    column: i,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a tuple after tuple checks (no key/FD checks; operations
+    /// perform those after the whole set is applied).
+    pub fn insert_raw(&mut self, relation: &str, tuple: Tuple) -> Result<bool, CoddStateError> {
+        let schema = Arc::clone(&self.schema);
+        let rel = schema
+            .relation(relation)
+            .ok_or_else(|| CoddStateError::UnknownRelation(Symbol::new(relation)))?;
+        Self::check_tuple(&schema, rel, &tuple)?;
+        Ok(self
+            .relations
+            .get_mut(relation)
+            .expect("pre-populated")
+            .insert(tuple))
+    }
+
+    /// Removes an exact tuple.
+    pub fn delete_raw(&mut self, relation: &str, tuple: &Tuple) -> Result<bool, CoddStateError> {
+        let set = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| CoddStateError::UnknownRelation(Symbol::new(relation)))?;
+        Ok(set.remove(tuple))
+    }
+
+    /// Checks keys and functional dependencies of every relation.
+    pub fn check_integrity(&self) -> Result<(), CoddStateError> {
+        for rel in self.schema.relations() {
+            let tuples = &self.relations[rel.name()];
+            if !rel.key().is_empty() {
+                let mut seen = BTreeSet::new();
+                for t in tuples {
+                    let key = t.project(rel.key()).expect("validated indices");
+                    if !seen.insert(key.clone()) {
+                        return Err(CoddStateError::KeyViolation {
+                            relation: rel.name().clone(),
+                            key,
+                        });
+                    }
+                }
+            }
+            for fd in rel.fds() {
+                let mut seen: BTreeMap<Tuple, Tuple> = BTreeMap::new();
+                for t in tuples {
+                    let lhs = t.project(&fd.lhs).expect("validated indices");
+                    let rhs = t.project(&fd.rhs).expect("validated indices");
+                    if let Some(prev) = seen.insert(lhs, rhs.clone()) {
+                        if prev != rhs {
+                            return Err(CoddStateError::FdViolation {
+                                relation: rel.name().clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_value::{tuple, Value};
+
+    #[test]
+    fn build_and_query() {
+        let s = fixtures::codd_machine_shop_state();
+        assert!(!s.is_empty());
+        assert_eq!(s.tuples("EMP").count(), 3);
+        assert!(s.relation("GHOST").is_none());
+        s.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn nulls_rejected() {
+        let mut s = fixtures::codd_machine_shop_state();
+        let err = s.insert_raw("EMP", tuple![Value::Null, 32]).unwrap_err();
+        assert!(matches!(err, CoddStateError::DomainViolation { .. }));
+    }
+
+    #[test]
+    fn arity_and_domain_checked() {
+        let mut s = fixtures::codd_machine_shop_state();
+        assert!(matches!(
+            s.insert_raw("EMP", tuple!["T.Manhart"]),
+            Err(CoddStateError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.insert_raw("EMP", tuple!["Nobody", 32]),
+            Err(CoddStateError::DomainViolation { .. })
+        ));
+        assert!(matches!(
+            s.insert_raw("GHOST", tuple!["x"]),
+            Err(CoddStateError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn key_violation_detected() {
+        let mut s = fixtures::codd_machine_shop_state();
+        s.insert_raw("EMP", tuple!["T.Manhart", 40]).unwrap();
+        assert!(matches!(
+            s.check_integrity(),
+            Err(CoddStateError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_raw_reports_presence() {
+        let mut s = fixtures::codd_machine_shop_state();
+        assert_eq!(s.delete_raw("EMP", &tuple!["T.Manhart", 32]), Ok(true));
+        assert_eq!(s.delete_raw("EMP", &tuple!["T.Manhart", 32]), Ok(false));
+    }
+}

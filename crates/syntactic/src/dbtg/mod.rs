@@ -1,0 +1,20 @@
+//! A DBTG-style network model.
+//!
+//! "A DBTG state would consist of sets of records and indicators of set
+//! membership links" (§2.2). Records have database keys (record ids);
+//! set types link one owner record to many member records. The operation
+//! types are the ones §2.1 names — "store, delete, remove and modify" —
+//! realised here as STORE / ERASE (with a cascading ERASE-ALL) / MODIFY
+//! plus CONNECT / DISCONNECT for set membership.
+//!
+//! Currency indicators (the DBTG navigation state) are deliberately
+//! modelled as direct record references: the paper's equivalence
+//! arguments concern states and transitions, not navigation.
+
+pub mod ops;
+pub mod schema;
+pub mod state;
+
+pub use ops::{DbtgOp, DbtgOpError};
+pub use schema::{DbtgSchema, DbtgSchemaError, Field, RecordType, SetType};
+pub use state::{DbtgState, DbtgStateError, Record, RecordId};

@@ -1,0 +1,270 @@
+//! The DBTG operation types as pure state transformers.
+//!
+//! Each operation is a function `state → state` (§2.1); record ids are
+//! allocated deterministically by STORE, so operation application is a
+//! pure function of the state.
+
+use std::fmt;
+
+use dme_value::Atom;
+
+use super::state::{DbtgState, DbtgStateError, Record, RecordId};
+
+/// Errors turning a DBTG operation into the error state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbtgOpError(pub DbtgStateError);
+
+impl fmt::Display for DbtgOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DBTG operation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DbtgOpError {}
+
+impl From<DbtgStateError> for DbtgOpError {
+    fn from(e: DbtgStateError) -> Self {
+        DbtgOpError(e)
+    }
+}
+
+/// An operation of the DBTG model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbtgOp {
+    /// STORE a new record occurrence.
+    Store(Record),
+    /// ERASE a record (fails while it participates in any set).
+    Erase(RecordId),
+    /// ERASE ALL: disconnect everywhere, erase owned members recursively,
+    /// then erase the record.
+    EraseAll(RecordId),
+    /// MODIFY a record's field values.
+    Modify(RecordId, Vec<Atom>),
+    /// CONNECT member under owner in a set type.
+    Connect {
+        /// The set type.
+        set_type: String,
+        /// The owner record.
+        owner: RecordId,
+        /// The member record.
+        member: RecordId,
+    },
+    /// DISCONNECT member in a set type.
+    Disconnect {
+        /// The set type.
+        set_type: String,
+        /// The member record.
+        member: RecordId,
+    },
+}
+
+impl DbtgOp {
+    /// Applies the operation, validating the result (mandatory
+    /// membership etc.). The input state is never modified.
+    pub fn apply(&self, state: &DbtgState) -> Result<DbtgState, DbtgOpError> {
+        let mut next = state.clone();
+        match self {
+            DbtgOp::Store(record) => {
+                next.store(record.clone())?;
+            }
+            DbtgOp::Erase(id) => {
+                next.erase(*id)?;
+            }
+            DbtgOp::EraseAll(id) => {
+                erase_all(&mut next, *id)?;
+            }
+            DbtgOp::Modify(id, values) => {
+                next.modify(*id, values.clone())?;
+            }
+            DbtgOp::Connect {
+                set_type,
+                owner,
+                member,
+            } => {
+                next.connect(set_type, *owner, *member)?;
+            }
+            DbtgOp::Disconnect { set_type, member } => {
+                next.disconnect(set_type, *member)?;
+            }
+        }
+        next.validate()?;
+        Ok(next)
+    }
+
+    /// Applies a sequence, stopping at the first error.
+    pub fn apply_all<'a>(
+        ops: impl IntoIterator<Item = &'a DbtgOp>,
+        state: &DbtgState,
+    ) -> Result<DbtgState, DbtgOpError> {
+        let mut cur = state.clone();
+        for op in ops {
+            cur = op.apply(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+fn erase_all(state: &mut DbtgState, id: RecordId) -> Result<(), DbtgStateError> {
+    if state.record(id).is_none() {
+        return Err(DbtgStateError::NoSuchRecord(id));
+    }
+    // Disconnect this record wherever it is a member.
+    let memberships: Vec<String> = state
+        .links()
+        .filter(|(_, m, _)| *m == id)
+        .map(|(st, _, _)| st.as_str().to_owned())
+        .collect();
+    for st in memberships {
+        state.disconnect(&st, id)?;
+    }
+    // Recursively erase owned members whose membership is mandatory;
+    // disconnect the others.
+    let owned: Vec<(String, RecordId, bool)> = state
+        .links()
+        .filter(|(_, _, o)| *o == id)
+        .map(|(st, m, _)| {
+            let mandatory = state
+                .schema()
+                .set_type(st.as_str())
+                .map(|s| s.mandatory())
+                .unwrap_or(false);
+            (st.as_str().to_owned(), m, mandatory)
+        })
+        .collect();
+    for (st, member, mandatory) in owned {
+        state.disconnect(&st, member)?;
+        if mandatory {
+            erase_all(state, member)?;
+        }
+    }
+    state.erase(id)?;
+    Ok(())
+}
+
+impl fmt::Display for DbtgOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtgOp::Store(r) => write!(f, "STORE {r}"),
+            DbtgOp::Erase(id) => write!(f, "ERASE {id}"),
+            DbtgOp::EraseAll(id) => write!(f, "ERASE ALL {id}"),
+            DbtgOp::Modify(id, _) => write!(f, "MODIFY {id}"),
+            DbtgOp::Connect {
+                set_type,
+                owner,
+                member,
+            } => write!(f, "CONNECT {member} TO {owner} IN {set_type}"),
+            DbtgOp::Disconnect { set_type, member } => {
+                write!(f, "DISCONNECT {member} FROM {set_type}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn tm(state: &DbtgState) -> RecordId {
+        state
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn store_requires_mandatory_connection() {
+        // Storing a machine alone violates mandatory OPERATES membership —
+        // the DBTG mirror of the semantic unit.
+        let s = fixtures::dbtg_machine_shop_state();
+        let op = DbtgOp::Store(Record::new(
+            "MACHINE",
+            [Atom::str("NZ745"), Atom::str("lathe")],
+        ));
+        // NZ745 already exists in the fixture; use a state without it.
+        let premise = fixtures::dbtg_machine_shop_premise_state();
+        assert!(matches!(
+            op.apply(&premise),
+            Err(DbtgOpError(DbtgStateError::MandatoryViolation { .. }))
+        ));
+        let _ = s;
+    }
+
+    #[test]
+    fn modify_and_display() {
+        let s = fixtures::dbtg_machine_shop_state();
+        let id = tm(&s);
+        let out = DbtgOp::Modify(id, vec![Atom::str("T.Manhart"), Atom::int(40)])
+            .apply(&s)
+            .unwrap();
+        assert_eq!(out.record(id).unwrap().values[1], Atom::int(40));
+        assert_eq!(DbtgOp::Erase(RecordId(7)).to_string(), "ERASE #7");
+        assert!(DbtgOp::Modify(id, vec![]).to_string().starts_with("MODIFY"));
+    }
+
+    #[test]
+    fn erase_all_cascades_through_mandatory_sets() {
+        let s = fixtures::dbtg_machine_shop_state();
+        let id = tm(&s);
+        // T.Manhart owns machine NZ745 via mandatory OPERATES: ERASE ALL
+        // removes both.
+        let out = DbtgOp::EraseAll(id).apply(&s).unwrap();
+        assert_eq!(out.sizes(), (3, 2));
+        assert!(out
+            .find("MACHINE", "number", &Atom::str("NZ745"))
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn erase_all_disconnects_optional_sets() {
+        let s = fixtures::dbtg_machine_shop_state();
+        let gw = s
+            .find("EMP", "name", &Atom::str("G.Wayshum"))
+            .next()
+            .unwrap();
+        // G.Wayshum owns a SUPERVISES link (optional): the supervisee
+        // survives, only the link goes.
+        let out = DbtgOp::EraseAll(gw).apply(&s).unwrap();
+        assert_eq!(out.sizes(), (4, 2));
+    }
+
+    #[test]
+    fn plain_erase_fails_when_linked() {
+        let s = fixtures::dbtg_machine_shop_state();
+        assert!(matches!(
+            DbtgOp::Erase(tm(&s)).apply(&s),
+            Err(DbtgOpError(DbtgStateError::StillLinked(_)))
+        ));
+    }
+
+    #[test]
+    fn connect_disconnect_round_trip() {
+        let s = fixtures::dbtg_machine_shop_state();
+        let gw = s
+            .find("EMP", "name", &Atom::str("G.Wayshum"))
+            .next()
+            .unwrap();
+        let id = tm(&s);
+        let ops = vec![
+            DbtgOp::Connect {
+                set_type: "SUPERVISES".into(),
+                owner: gw,
+                member: id,
+            },
+            DbtgOp::Disconnect {
+                set_type: "SUPERVISES".into(),
+                member: id,
+            },
+        ];
+        let out = DbtgOp::apply_all(&ops, &s).unwrap();
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn apply_all_stops_on_error() {
+        let s = fixtures::dbtg_machine_shop_state();
+        let ops = vec![DbtgOp::Erase(RecordId(999))];
+        assert!(DbtgOp::apply_all(&ops, &s).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! DBTG schemas: record types and set types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dme_value::{DomainCatalog, Symbol};
+
+/// A field of a record type.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub name: Symbol,
+    /// Value domain.
+    pub domain: Symbol,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<Symbol>, domain: impl Into<Symbol>) -> Self {
+        Field {
+            name: name.into(),
+            domain: domain.into(),
+        }
+    }
+}
+
+/// A record type: a name and its fields.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordType {
+    name: Symbol,
+    fields: Vec<Field>,
+}
+
+impl RecordType {
+    /// Creates a record type.
+    pub fn new(name: impl Into<Symbol>, fields: impl IntoIterator<Item = Field>) -> Self {
+        RecordType {
+            name: name.into(),
+            fields: fields.into_iter().collect(),
+        }
+    }
+
+    /// The type's name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of a named field.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.as_str() == name)
+    }
+}
+
+/// A set type: owner record type → member record type, with optional or
+/// mandatory membership for members.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetType {
+    name: Symbol,
+    owner: Symbol,
+    member: Symbol,
+    mandatory: bool,
+}
+
+impl SetType {
+    /// Creates a set type.
+    pub fn new(
+        name: impl Into<Symbol>,
+        owner: impl Into<Symbol>,
+        member: impl Into<Symbol>,
+        mandatory: bool,
+    ) -> Self {
+        SetType {
+            name: name.into(),
+            owner: owner.into(),
+            member: member.into(),
+            mandatory,
+        }
+    }
+
+    /// The set type's name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// The owner record type.
+    pub fn owner(&self) -> &Symbol {
+        &self.owner
+    }
+
+    /// The member record type.
+    pub fn member(&self) -> &Symbol {
+        &self.member
+    }
+
+    /// Whether every member record must be connected to an owner.
+    pub fn mandatory(&self) -> bool {
+        self.mandatory
+    }
+}
+
+/// Errors found while validating a DBTG schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbtgSchemaError {
+    /// Duplicate record type.
+    DuplicateRecordType(Symbol),
+    /// Duplicate set type.
+    DuplicateSetType(Symbol),
+    /// A field references an unknown domain.
+    UnknownDomain {
+        /// The record type at fault.
+        record_type: Symbol,
+        /// The field with the unknown domain.
+        field: Symbol,
+    },
+    /// Duplicate field name within a record type.
+    DuplicateField {
+        /// The record type at fault.
+        record_type: Symbol,
+        /// The repeated field.
+        field: Symbol,
+    },
+    /// A set type references an unknown record type.
+    UnknownRecordType {
+        /// The set type at fault.
+        set_type: Symbol,
+        /// The unknown record type.
+        record_type: Symbol,
+    },
+}
+
+impl fmt::Display for DbtgSchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtgSchemaError::DuplicateRecordType(n) => write!(f, "duplicate record type `{n}`"),
+            DbtgSchemaError::DuplicateSetType(n) => write!(f, "duplicate set type `{n}`"),
+            DbtgSchemaError::UnknownDomain { record_type, field } => {
+                write!(
+                    f,
+                    "record type `{record_type}`: field `{field}` has unknown domain"
+                )
+            }
+            DbtgSchemaError::DuplicateField { record_type, field } => {
+                write!(f, "record type `{record_type}`: duplicate field `{field}`")
+            }
+            DbtgSchemaError::UnknownRecordType {
+                set_type,
+                record_type,
+            } => {
+                write!(
+                    f,
+                    "set type `{set_type}`: unknown record type `{record_type}`"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbtgSchemaError {}
+
+/// A DBTG schema: domains, record types, set types.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbtgSchema {
+    domains: DomainCatalog,
+    record_types: BTreeMap<Symbol, RecordType>,
+    set_types: BTreeMap<Symbol, SetType>,
+}
+
+impl DbtgSchema {
+    /// Builds and validates a schema.
+    pub fn new(
+        domains: DomainCatalog,
+        record_types: impl IntoIterator<Item = RecordType>,
+        set_types: impl IntoIterator<Item = SetType>,
+    ) -> Result<Self, DbtgSchemaError> {
+        let mut rts = BTreeMap::new();
+        for rt in record_types {
+            let mut seen = std::collections::BTreeSet::new();
+            for field in rt.fields() {
+                if !seen.insert(field.name.clone()) {
+                    return Err(DbtgSchemaError::DuplicateField {
+                        record_type: rt.name().clone(),
+                        field: field.name.clone(),
+                    });
+                }
+                if domains.get(field.domain.as_str()).is_none() {
+                    return Err(DbtgSchemaError::UnknownDomain {
+                        record_type: rt.name().clone(),
+                        field: field.name.clone(),
+                    });
+                }
+            }
+            if rts.contains_key(rt.name()) {
+                return Err(DbtgSchemaError::DuplicateRecordType(rt.name().clone()));
+            }
+            rts.insert(rt.name().clone(), rt);
+        }
+        let mut sts = BTreeMap::new();
+        for st in set_types {
+            for role in [st.owner(), st.member()] {
+                if !rts.contains_key(role) {
+                    return Err(DbtgSchemaError::UnknownRecordType {
+                        set_type: st.name().clone(),
+                        record_type: role.clone(),
+                    });
+                }
+            }
+            if sts.contains_key(st.name()) {
+                return Err(DbtgSchemaError::DuplicateSetType(st.name().clone()));
+            }
+            sts.insert(st.name().clone(), st);
+        }
+        Ok(DbtgSchema {
+            domains,
+            record_types: rts,
+            set_types: sts,
+        })
+    }
+
+    /// The domain catalog.
+    pub fn domains(&self) -> &DomainCatalog {
+        &self.domains
+    }
+
+    /// Looks up a record type.
+    pub fn record_type(&self, name: &str) -> Option<&RecordType> {
+        self.record_types.get(name)
+    }
+
+    /// Looks up a set type.
+    pub fn set_type(&self, name: &str) -> Option<&SetType> {
+        self.set_types.get(name)
+    }
+
+    /// All record types in name order.
+    pub fn record_types(&self) -> impl Iterator<Item = &RecordType> {
+        self.record_types.values()
+    }
+
+    /// All set types in name order.
+    pub fn set_types(&self) -> impl Iterator<Item = &SetType> {
+        self.set_types.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dme_value::Domain;
+
+    #[test]
+    fn machine_shop_schema_builds() {
+        let s = fixtures::dbtg_machine_shop_schema();
+        assert_eq!(s.record_types().count(), 2);
+        assert_eq!(s.set_types().count(), 2);
+        let emp = s.record_type("EMP").unwrap();
+        assert_eq!(emp.field_index("age"), Some(1));
+        assert_eq!(emp.field_index("ghost"), None);
+        let operates = s.set_type("OPERATES").unwrap();
+        assert!(operates.mandatory());
+        assert_eq!(operates.owner(), "EMP");
+        assert_eq!(operates.member(), "MACHINE");
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        let d = DomainCatalog::new().with(Domain::of_strs("names", ["x"]));
+        let rt = RecordType::new("R", [Field::new("f", "names")]);
+        assert!(matches!(
+            DbtgSchema::new(d.clone(), [rt.clone(), rt.clone()], []),
+            Err(DbtgSchemaError::DuplicateRecordType(_))
+        ));
+        assert!(matches!(
+            DbtgSchema::new(
+                d.clone(),
+                [RecordType::new("R", [Field::new("f", "ghost")])],
+                []
+            ),
+            Err(DbtgSchemaError::UnknownDomain { .. })
+        ));
+        assert!(matches!(
+            DbtgSchema::new(
+                d.clone(),
+                [RecordType::new(
+                    "R",
+                    [Field::new("f", "names"), Field::new("f", "names")]
+                )],
+                []
+            ),
+            Err(DbtgSchemaError::DuplicateField { .. })
+        ));
+        assert!(matches!(
+            DbtgSchema::new(
+                d.clone(),
+                [rt.clone()],
+                [SetType::new("S", "R", "GHOST", false)]
+            ),
+            Err(DbtgSchemaError::UnknownRecordType { .. })
+        ));
+        let st = SetType::new("S", "R", "R", false);
+        assert!(matches!(
+            DbtgSchema::new(d, [rt], [st.clone(), st]),
+            Err(DbtgSchemaError::DuplicateSetType(_))
+        ));
+    }
+}

@@ -1,0 +1,520 @@
+//! DBTG states: records with database keys and set-membership links.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use dme_value::{Atom, Symbol};
+
+use super::schema::DbtgSchema;
+
+/// A database key (record id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A record occurrence: its type and field values (in field order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// The record type.
+    pub record_type: Symbol,
+    /// Field values, in the type's field order.
+    pub values: Vec<Atom>,
+}
+
+impl Record {
+    /// Creates a record occurrence.
+    pub fn new(record_type: impl Into<Symbol>, values: impl IntoIterator<Item = Atom>) -> Self {
+        Record {
+            record_type: record_type.into(),
+            values: values.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.record_type)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Errors raised by DBTG state manipulation and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbtgStateError {
+    /// Unknown record type.
+    UnknownRecordType(Symbol),
+    /// Unknown set type.
+    UnknownSetType(Symbol),
+    /// Field count or domain mismatch.
+    BadRecord(String),
+    /// No record with this id.
+    NoSuchRecord(RecordId),
+    /// A link references a record of the wrong type.
+    LinkTypeMismatch {
+        /// The set type at fault.
+        set_type: Symbol,
+    },
+    /// A member is already connected in this set type.
+    AlreadyConnected {
+        /// The set type at fault.
+        set_type: Symbol,
+        /// The already-connected member.
+        member: RecordId,
+    },
+    /// The member is not connected in this set type.
+    NotConnected {
+        /// The set type at fault.
+        set_type: Symbol,
+        /// The unconnected member.
+        member: RecordId,
+    },
+    /// A mandatory membership is unsatisfied.
+    MandatoryViolation {
+        /// The set type at fault.
+        set_type: Symbol,
+        /// The unconnected mandatory member.
+        member: RecordId,
+    },
+    /// The record still owns members or is still connected somewhere.
+    StillLinked(RecordId),
+}
+
+impl fmt::Display for DbtgStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtgStateError::UnknownRecordType(n) => write!(f, "unknown record type `{n}`"),
+            DbtgStateError::UnknownSetType(n) => write!(f, "unknown set type `{n}`"),
+            DbtgStateError::BadRecord(s) => write!(f, "bad record: {s}"),
+            DbtgStateError::NoSuchRecord(id) => write!(f, "no record {id}"),
+            DbtgStateError::LinkTypeMismatch { set_type } => {
+                write!(f, "set `{set_type}`: record of wrong type")
+            }
+            DbtgStateError::AlreadyConnected { set_type, member } => {
+                write!(f, "set `{set_type}`: {member} already connected")
+            }
+            DbtgStateError::NotConnected { set_type, member } => {
+                write!(f, "set `{set_type}`: {member} not connected")
+            }
+            DbtgStateError::MandatoryViolation { set_type, member } => {
+                write!(f, "set `{set_type}`: mandatory member {member} unconnected")
+            }
+            DbtgStateError::StillLinked(id) => write!(f, "record {id} still participates in sets"),
+        }
+    }
+}
+
+impl std::error::Error for DbtgStateError {}
+
+/// A database state of the DBTG model.
+#[derive(Clone)]
+pub struct DbtgState {
+    schema: Arc<DbtgSchema>,
+    records: BTreeMap<RecordId, Record>,
+    /// (set type, member) → owner.
+    links: BTreeMap<(Symbol, RecordId), RecordId>,
+    next_id: u64,
+}
+
+impl PartialEq for DbtgState {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records && self.links == other.links
+    }
+}
+
+impl Eq for DbtgState {}
+
+impl fmt::Debug for DbtgState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DbtgState {{")?;
+        for (id, r) in &self.records {
+            writeln!(f, "  {id} = {r}")?;
+        }
+        for ((st, member), owner) in &self.links {
+            writeln!(f, "  {st}: {owner} owns {member}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl DbtgState {
+    /// The empty state.
+    pub fn empty(schema: Arc<DbtgSchema>) -> Self {
+        DbtgState {
+            schema,
+            records: BTreeMap::new(),
+            links: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<DbtgSchema> {
+        &self.schema
+    }
+
+    /// Looks up a record.
+    pub fn record(&self, id: RecordId) -> Option<&Record> {
+        self.records.get(&id)
+    }
+
+    /// All records in id order.
+    pub fn records(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.records.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// All links as (set type, member, owner).
+    pub fn links(&self) -> impl Iterator<Item = (&Symbol, RecordId, RecordId)> {
+        self.links.iter().map(|((st, m), o)| (st, *m, *o))
+    }
+
+    /// The owner of `member` in `set_type`, if connected.
+    pub fn owner_of(&self, set_type: &str, member: RecordId) -> Option<RecordId> {
+        self.links.get(&(Symbol::new(set_type), member)).copied()
+    }
+
+    /// The members owned by `owner` in `set_type`.
+    pub fn members_of<'a>(
+        &'a self,
+        set_type: &'a str,
+        owner: RecordId,
+    ) -> impl Iterator<Item = RecordId> + 'a {
+        self.links
+            .iter()
+            .filter(move |((st, _), o)| st.as_str() == set_type && **o == owner)
+            .map(|((_, m), _)| *m)
+    }
+
+    /// Counts: (records, links).
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.records.len(), self.links.len())
+    }
+
+    /// The database key the next STORE will allocate. Exposed so that
+    /// 1-1 record↔tuple mappings (Kay) can validate key columns.
+    pub fn peek_next_id(&self) -> RecordId {
+        RecordId(self.next_id)
+    }
+
+    /// Finds records of a type whose field equals an atom (a simple
+    /// "CALC key" lookup).
+    pub fn find<'a>(
+        &'a self,
+        record_type: &'a str,
+        field: &'a str,
+        value: &'a Atom,
+    ) -> impl Iterator<Item = RecordId> + 'a {
+        let idx = self
+            .schema
+            .record_type(record_type)
+            .and_then(|rt| rt.field_index(field));
+        self.records
+            .iter()
+            .filter(move |(_, r)| {
+                r.record_type.as_str() == record_type
+                    && idx.is_some_and(|i| r.values.get(i) == Some(value))
+            })
+            .map(|(id, _)| *id)
+    }
+
+    fn check_record(&self, record: &Record) -> Result<(), DbtgStateError> {
+        let rt = self
+            .schema
+            .record_type(record.record_type.as_str())
+            .ok_or_else(|| DbtgStateError::UnknownRecordType(record.record_type.clone()))?;
+        if record.values.len() != rt.fields().len() {
+            return Err(DbtgStateError::BadRecord(format!(
+                "{} has {} values, type has {} fields",
+                record,
+                record.values.len(),
+                rt.fields().len()
+            )));
+        }
+        for (v, field) in record.values.iter().zip(rt.fields()) {
+            let ok = self
+                .schema
+                .domains()
+                .get(field.domain.as_str())
+                .is_some_and(|d| d.contains(v));
+            if !ok {
+                return Err(DbtgStateError::BadRecord(format!(
+                    "value `{v}` outside domain of field `{}`",
+                    field.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores a record, returning its database key.
+    pub fn store(&mut self, record: Record) -> Result<RecordId, DbtgStateError> {
+        self.check_record(&record)?;
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(id, record);
+        Ok(id)
+    }
+
+    /// Modifies a record's field values (type unchanged).
+    pub fn modify(&mut self, id: RecordId, values: Vec<Atom>) -> Result<(), DbtgStateError> {
+        let record_type = self
+            .records
+            .get(&id)
+            .ok_or(DbtgStateError::NoSuchRecord(id))?
+            .record_type
+            .clone();
+        let candidate = Record {
+            record_type,
+            values,
+        };
+        self.check_record(&candidate)?;
+        self.records.insert(id, candidate);
+        Ok(())
+    }
+
+    /// Removes a record; fails while it participates in any set.
+    pub fn erase(&mut self, id: RecordId) -> Result<Record, DbtgStateError> {
+        if !self.records.contains_key(&id) {
+            return Err(DbtgStateError::NoSuchRecord(id));
+        }
+        let linked = self.links.iter().any(|((_, m), o)| *m == id || *o == id);
+        if linked {
+            return Err(DbtgStateError::StillLinked(id));
+        }
+        Ok(self.records.remove(&id).expect("checked"))
+    }
+
+    /// Connects `member` under `owner` in `set_type`.
+    pub fn connect(
+        &mut self,
+        set_type: &str,
+        owner: RecordId,
+        member: RecordId,
+    ) -> Result<(), DbtgStateError> {
+        let st = self
+            .schema
+            .set_type(set_type)
+            .ok_or_else(|| DbtgStateError::UnknownSetType(Symbol::new(set_type)))?
+            .clone();
+        let owner_rec = self
+            .records
+            .get(&owner)
+            .ok_or(DbtgStateError::NoSuchRecord(owner))?;
+        let member_rec = self
+            .records
+            .get(&member)
+            .ok_or(DbtgStateError::NoSuchRecord(member))?;
+        if owner_rec.record_type != *st.owner() || member_rec.record_type != *st.member() {
+            return Err(DbtgStateError::LinkTypeMismatch {
+                set_type: st.name().clone(),
+            });
+        }
+        let key = (st.name().clone(), member);
+        if self.links.contains_key(&key) {
+            return Err(DbtgStateError::AlreadyConnected {
+                set_type: st.name().clone(),
+                member,
+            });
+        }
+        self.links.insert(key, owner);
+        Ok(())
+    }
+
+    /// Disconnects `member` in `set_type`.
+    pub fn disconnect(&mut self, set_type: &str, member: RecordId) -> Result<(), DbtgStateError> {
+        let st = self
+            .schema
+            .set_type(set_type)
+            .ok_or_else(|| DbtgStateError::UnknownSetType(Symbol::new(set_type)))?;
+        let key = (st.name().clone(), member);
+        if self.links.remove(&key).is_none() {
+            return Err(DbtgStateError::NotConnected {
+                set_type: st.name().clone(),
+                member,
+            });
+        }
+        Ok(())
+    }
+
+    /// Full validation including mandatory membership.
+    pub fn validate(&self) -> Result<(), DbtgStateError> {
+        for record in self.records.values() {
+            self.check_record(record)?;
+        }
+        for ((st_name, member), owner) in &self.links {
+            let st = self
+                .schema
+                .set_type(st_name.as_str())
+                .ok_or_else(|| DbtgStateError::UnknownSetType(st_name.clone()))?;
+            let member_rec = self
+                .records
+                .get(member)
+                .ok_or(DbtgStateError::NoSuchRecord(*member))?;
+            let owner_rec = self
+                .records
+                .get(owner)
+                .ok_or(DbtgStateError::NoSuchRecord(*owner))?;
+            if member_rec.record_type != *st.member() || owner_rec.record_type != *st.owner() {
+                return Err(DbtgStateError::LinkTypeMismatch {
+                    set_type: st_name.clone(),
+                });
+            }
+        }
+        for st in self.schema.set_types() {
+            if !st.mandatory() {
+                continue;
+            }
+            for (id, record) in &self.records {
+                if record.record_type == *st.member()
+                    && !self.links.contains_key(&(st.name().clone(), *id))
+                {
+                    return Err(DbtgStateError::MandatoryViolation {
+                        set_type: st.name().clone(),
+                        member: *id,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn machine_shop_state_validates() {
+        let s = fixtures::dbtg_machine_shop_state();
+        s.validate().unwrap();
+        assert_eq!(s.sizes(), (5, 3));
+    }
+
+    #[test]
+    fn lookups() {
+        let s = fixtures::dbtg_machine_shop_state();
+        let tm = s
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        assert_eq!(s.record(tm).unwrap().values[1], Atom::int(32));
+        let machine = s
+            .find("MACHINE", "number", &Atom::str("NZ745"))
+            .next()
+            .unwrap();
+        assert_eq!(s.owner_of("OPERATES", machine), Some(tm));
+        assert_eq!(
+            s.members_of("OPERATES", tm).collect::<Vec<_>>(),
+            vec![machine]
+        );
+        assert_eq!(s.owner_of("SUPERVISES", tm), None);
+    }
+
+    #[test]
+    fn store_modify_erase() {
+        let mut s = fixtures::dbtg_machine_shop_state();
+        let tm = s
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        s.modify(tm, vec![Atom::str("T.Manhart"), Atom::int(40)])
+            .unwrap();
+        assert_eq!(s.record(tm).unwrap().values[1], Atom::int(40));
+        // Erase fails while the record owns a machine.
+        assert!(matches!(s.erase(tm), Err(DbtgStateError::StillLinked(_))));
+        let machine = s
+            .find("MACHINE", "number", &Atom::str("NZ745"))
+            .next()
+            .unwrap();
+        s.disconnect("OPERATES", machine).unwrap();
+        s.erase(machine).unwrap();
+        s.erase(tm).unwrap();
+        assert_eq!(s.sizes(), (3, 2));
+        // A mandatory machine without OPERATES would be caught:
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn connect_rules() {
+        let mut s = fixtures::dbtg_machine_shop_state();
+        let tm = s
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        let cg = s
+            .find("EMP", "name", &Atom::str("C.Gershag"))
+            .next()
+            .unwrap();
+        let machine = s
+            .find("MACHINE", "number", &Atom::str("NZ745"))
+            .next()
+            .unwrap();
+        // A machine cannot have two operators (single owner per set).
+        assert!(matches!(
+            s.connect("OPERATES", cg, machine),
+            Err(DbtgStateError::AlreadyConnected { .. })
+        ));
+        // Wrong member type.
+        assert!(matches!(
+            s.connect("OPERATES", tm, cg),
+            Err(DbtgStateError::LinkTypeMismatch { .. })
+        ));
+        // Unknown set type.
+        assert!(matches!(
+            s.connect("GHOSTS", tm, machine),
+            Err(DbtgStateError::UnknownSetType(_))
+        ));
+        // Disconnecting something unconnected.
+        assert!(matches!(
+            s.disconnect("SUPERVISES", tm),
+            Err(DbtgStateError::NotConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn mandatory_membership_validated() {
+        let mut s = fixtures::dbtg_machine_shop_state();
+        let machine = s
+            .find("MACHINE", "number", &Atom::str("NZ745"))
+            .next()
+            .unwrap();
+        s.disconnect("OPERATES", machine).unwrap();
+        assert!(matches!(
+            s.validate(),
+            Err(DbtgStateError::MandatoryViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_records_rejected() {
+        let mut s = fixtures::dbtg_machine_shop_state();
+        assert!(matches!(
+            s.store(Record::new("GHOST", [Atom::int(1)])),
+            Err(DbtgStateError::UnknownRecordType(_))
+        ));
+        assert!(matches!(
+            s.store(Record::new("EMP", [Atom::str("T.Manhart")])),
+            Err(DbtgStateError::BadRecord(_))
+        ));
+        assert!(matches!(
+            s.store(Record::new("EMP", [Atom::str("Nobody"), Atom::int(32)])),
+            Err(DbtgStateError::BadRecord(_))
+        ));
+        assert!(matches!(
+            s.modify(RecordId(999), vec![]),
+            Err(DbtgStateError::NoSuchRecord(_))
+        ));
+    }
+}

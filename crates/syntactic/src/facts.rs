@@ -1,0 +1,166 @@
+//! Fact interpretations for the syntactic models — §4's remark made
+//! executable:
+//!
+//! > "Note that the framework is applicable to syntactic data models as
+//! > well as semantic data models. We have simply pointed out that the
+//! > task of comparing data models is easier when the data models of
+//! > concern attempt to provide a clear interpretation of how they
+//! > represent that portion of the real world which is of interest to
+//! > the user."
+//!
+//! Both interpretations below are *syntactic*: a Codd tuple compiles to
+//! a fact whose predicate is just the relation name; a DBTG record's
+//! fact carries its database key. Nothing says what the rows *mean* in
+//! application terms — so equivalence between a DBTG database and its
+//! Zimmerman image is checkable (they share the representation-level
+//! vocabulary), but equivalence between, say, the Codd machine shop and
+//! the *semantic* machine shop is not even well-posed without first
+//! supplying the case-grammar interpretation the semantic models carry
+//! natively. That asymmetry is the paper's §3.1/§4 argument, reproduced
+//! as API shape.
+
+use dme_logic::{Fact, FactBase, ToFacts};
+use dme_value::Symbol;
+
+use crate::codd::CoddState;
+use crate::dbtg::DbtgState;
+
+/// Case name for the database key in DBTG record facts.
+pub const DBKEY_CASE: &str = "dbkey";
+
+impl ToFacts for CoddState {
+    /// One fact per tuple: predicate = relation name, arguments keyed by
+    /// attribute name. A purely syntactic reading — "this row is in this
+    /// table".
+    fn to_facts(&self) -> FactBase {
+        let mut out = FactBase::new();
+        for rel in self.schema().relations() {
+            for t in self.tuples(rel.name().as_str()) {
+                out.insert(Fact::new(
+                    rel.name().clone(),
+                    rel.attributes().iter().zip(t.values()).map(|(a, v)| {
+                        (
+                            a.name.clone(),
+                            v.as_atom().cloned().expect("codd states are null-free"),
+                        )
+                    }),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl ToFacts for DbtgState {
+    /// One fact per record (fields plus the database key) and one per
+    /// link (owner/member keys). Database keys are representation, not
+    /// application content — which is exactly why this interpretation
+    /// aligns with the Zimmerman image and with nothing else.
+    fn to_facts(&self) -> FactBase {
+        let mut out = FactBase::new();
+        for (id, record) in self.records() {
+            let rt = self
+                .schema()
+                .record_type(record.record_type.as_str())
+                .expect("stored records have declared types");
+            let mut fact = Fact::new(
+                record.record_type.clone(),
+                rt.fields()
+                    .iter()
+                    .zip(record.values.iter())
+                    .map(|(f, v)| (f.name.clone(), v.clone())),
+            );
+            fact = fact.with_arg(DBKEY_CASE, dme_value::Atom::Int(id.0 as i64));
+            out.insert(fact);
+        }
+        for (set_type, member, owner) in self.links() {
+            out.insert(Fact::new(
+                set_type.clone(),
+                [
+                    (Symbol::new("owner"), dme_value::Atom::Int(owner.0 as i64)),
+                    (Symbol::new("member"), dme_value::Atom::Int(member.0 as i64)),
+                ],
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::mapping::zimmerman_state;
+    use dme_logic::state_equivalent;
+
+    #[test]
+    fn codd_state_compiles_one_fact_per_tuple() {
+        let s = fixtures::codd_machine_shop_state();
+        // 3 EMP + 2 OPERATE + 1 JOBS.
+        assert_eq!(s.to_facts().len(), 6);
+    }
+
+    #[test]
+    fn dbtg_state_compiles_records_and_links() {
+        let s = fixtures::dbtg_machine_shop_state();
+        // 5 records + 3 links.
+        assert_eq!(s.to_facts().len(), 8);
+    }
+
+    /// §4: the framework applies to syntactic models — a DBTG database is
+    /// state equivalent to its Zimmerman relational image under the
+    /// shared representation-level vocabulary.
+    #[test]
+    fn dbtg_state_equivalent_to_its_zimmerman_image() {
+        let dbtg = fixtures::dbtg_machine_shop_state();
+        let image = zimmerman_state(&dbtg);
+        let report = state_equivalent(&dbtg, &image);
+        assert!(report.is_equivalent(), "{report}");
+    }
+
+    /// …and the equivalence is maintained through update translation.
+    #[test]
+    fn zimmerman_translation_preserves_equivalence() {
+        use crate::dbtg::DbtgOp;
+        use crate::mapping::zimmerman_ops;
+        use dme_value::Atom;
+
+        let dbtg = fixtures::dbtg_machine_shop_state();
+        let gw = dbtg
+            .find("EMP", "name", &Atom::str("G.Wayshum"))
+            .next()
+            .unwrap();
+        let tm = dbtg
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        let op = DbtgOp::Connect {
+            set_type: "SUPERVISES".into(),
+            owner: gw,
+            member: tm,
+        };
+        let codd_ops = zimmerman_ops(&op, &dbtg).unwrap();
+        let dbtg_after = op.apply(&dbtg).unwrap();
+        let mut image = zimmerman_state(&dbtg);
+        for c in &codd_ops {
+            image = c.apply(&image).unwrap();
+        }
+        assert!(state_equivalent(&dbtg_after, &image).is_equivalent());
+    }
+
+    /// The *limits* of the syntactic interpretation: the Codd machine
+    /// shop and the DBTG machine shop describe the same application but
+    /// their syntactic fact vocabularies do not even overlap — without a
+    /// semantic interpretation, state equivalence cannot hold. This is
+    /// the paper's case for semantic data models, as a failing check.
+    #[test]
+    fn syntactic_interpretations_do_not_align_across_models() {
+        let codd = fixtures::codd_machine_shop_state();
+        let dbtg = fixtures::dbtg_machine_shop_state();
+        let report = state_equivalent(&codd, &dbtg);
+        assert!(!report.is_equivalent());
+        // Every fact is on one side only.
+        assert_eq!(report.only_left.len(), 6);
+        assert_eq!(report.only_right.len(), 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine-shop fixtures for the syntactic baselines.
+
+use std::sync::Arc;
+
+use dme_value::{tuple, Atom, Domain, DomainCatalog};
+
+use crate::codd::{Attribute, CoddSchema, CoddState, Fd, SynRelationSchema};
+use crate::dbtg::{DbtgSchema, DbtgState, Field, Record, RecordType, SetType};
+
+fn machine_shop_domains() -> DomainCatalog {
+    DomainCatalog::new()
+        .with(Domain::of_strs(
+            "names",
+            ["T.Manhart", "C.Gershag", "G.Wayshum"],
+        ))
+        .with(Domain::of_ints("years", [32, 40, 50]))
+        .with(Domain::of_strs("serial-numbers", ["NZ745", "JCL181"]))
+        .with(Domain::of_strs("machine-types", ["lathe", "press"]))
+}
+
+/// A classic (null-free) relational schema for the machine shop.
+pub fn codd_machine_shop_schema() -> CoddSchema {
+    CoddSchema::new(
+        machine_shop_domains(),
+        [
+            SynRelationSchema::new(
+                "EMP",
+                [
+                    Attribute::new("name", "names"),
+                    Attribute::new("age", "years"),
+                ],
+                [0],
+                [Fd {
+                    lhs: vec![0],
+                    rhs: vec![1],
+                }],
+            ),
+            SynRelationSchema::new(
+                "OPERATE",
+                [
+                    Attribute::new("name", "names"),
+                    Attribute::new("number", "serial-numbers"),
+                    Attribute::new("type", "machine-types"),
+                ],
+                [1],
+                [Fd {
+                    lhs: vec![1],
+                    rhs: vec![0, 2],
+                }],
+            ),
+            SynRelationSchema::new(
+                "JOBS",
+                [
+                    Attribute::new("supervisor", "names"),
+                    Attribute::new("name", "names"),
+                    Attribute::new("number", "serial-numbers"),
+                ],
+                [],
+                [],
+            ),
+        ],
+    )
+    .expect("codd machine shop schema is well-formed")
+}
+
+/// The null-free analogue of the Figure 3 state. Note what is lost
+/// compared to the semantic model: T.Manhart's row cannot appear in JOBS
+/// at all ("has no supervisor" is inexpressible without nulls).
+pub fn codd_machine_shop_state() -> CoddState {
+    let mut s = CoddState::empty(Arc::new(codd_machine_shop_schema()));
+    for t in [
+        tuple!["T.Manhart", 32],
+        tuple!["C.Gershag", 40],
+        tuple!["G.Wayshum", 50],
+    ] {
+        s.insert_raw("EMP", t).expect("fixture EMP");
+    }
+    s.insert_raw("OPERATE", tuple!["T.Manhart", "NZ745", "lathe"])
+        .expect("fixture OPERATE");
+    s.insert_raw("OPERATE", tuple!["C.Gershag", "JCL181", "press"])
+        .expect("fixture OPERATE");
+    s.insert_raw("JOBS", tuple!["G.Wayshum", "C.Gershag", "JCL181"])
+        .expect("fixture JOBS");
+    s
+}
+
+/// The DBTG machine-shop schema: EMP and MACHINE record types; OPERATES
+/// (mandatory membership — every machine must have an operator) and
+/// SUPERVISES set types.
+pub fn dbtg_machine_shop_schema() -> DbtgSchema {
+    DbtgSchema::new(
+        machine_shop_domains(),
+        [
+            RecordType::new(
+                "EMP",
+                [Field::new("name", "names"), Field::new("age", "years")],
+            ),
+            RecordType::new(
+                "MACHINE",
+                [
+                    Field::new("number", "serial-numbers"),
+                    Field::new("type", "machine-types"),
+                ],
+            ),
+        ],
+        [
+            SetType::new("OPERATES", "EMP", "MACHINE", true),
+            SetType::new("SUPERVISES", "EMP", "EMP", false),
+        ],
+    )
+    .expect("dbtg machine shop schema is well-formed")
+}
+
+fn dbtg_base(with_nz745: bool) -> DbtgState {
+    let mut s = DbtgState::empty(Arc::new(dbtg_machine_shop_schema()));
+    let tm = s
+        .store(Record::new("EMP", [Atom::str("T.Manhart"), Atom::int(32)]))
+        .expect("fixture EMP");
+    let cg = s
+        .store(Record::new("EMP", [Atom::str("C.Gershag"), Atom::int(40)]))
+        .expect("fixture EMP");
+    let gw = s
+        .store(Record::new("EMP", [Atom::str("G.Wayshum"), Atom::int(50)]))
+        .expect("fixture EMP");
+    let jcl = s
+        .store(Record::new(
+            "MACHINE",
+            [Atom::str("JCL181"), Atom::str("press")],
+        ))
+        .expect("fixture MACHINE");
+    s.connect("OPERATES", cg, jcl).expect("fixture OPERATES");
+    s.connect("SUPERVISES", gw, cg).expect("fixture SUPERVISES");
+    if with_nz745 {
+        let nz = s
+            .store(Record::new(
+                "MACHINE",
+                [Atom::str("NZ745"), Atom::str("lathe")],
+            ))
+            .expect("fixture MACHINE");
+        s.connect("OPERATES", tm, nz).expect("fixture OPERATES");
+    }
+    s
+}
+
+/// The DBTG analogue of the Figure 4 state.
+pub fn dbtg_machine_shop_state() -> DbtgState {
+    let s = dbtg_base(true);
+    s.validate().expect("fixture validates");
+    s
+}
+
+/// The analogue of the Figure 8 premise (no machine NZ745).
+pub fn dbtg_machine_shop_premise_state() -> DbtgState {
+    let s = dbtg_base(false);
+    s.validate().expect("fixture validates");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_validate() {
+        codd_machine_shop_state().check_integrity().unwrap();
+        dbtg_machine_shop_state().validate().unwrap();
+        dbtg_machine_shop_premise_state().validate().unwrap();
+        assert_eq!(dbtg_machine_shop_state().sizes(), (5, 3));
+        assert_eq!(dbtg_machine_shop_premise_state().sizes(), (4, 2));
+    }
+}

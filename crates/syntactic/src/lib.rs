@@ -1,0 +1,33 @@
+#![deny(missing_docs)]
+
+//! # dme-syntactic — the syntactic baselines
+//!
+//! The paper contrasts its *semantic* data models with the *syntactic*
+//! ones they descend from: "We will call other data models, including
+//! Codd's relational model and the DBTG model, syntactic data models"
+//! (§3.1). This crate implements both baselines and the restricted
+//! record↔tuple equivalence mappings from the prior work the paper
+//! criticises:
+//!
+//! * [`codd`] — the syntactic relational model: attribute-named
+//!   relations, key and functional-dependency constraints, and the
+//!   syntactic algebra (select/project/**natural join**/union/difference)
+//!   that the semantic case-join/predicate-join/conjunction replace;
+//! * [`dbtg`] — a DBTG-style network model: record types, set types
+//!   (owner/member with mandatory or optional membership), and the
+//!   STORE/ERASE/MODIFY/CONNECT/DISCONNECT operations (currency
+//!   indicators are modelled as direct record references — the paper's
+//!   equivalence arguments do not depend on navigation state);
+//! * [`mapping`] — the restricted mappings of §3.1: Zimmerman's and
+//!   Fleck's "relational tuple for each DBTG record plus a binary
+//!   relational tuple for each DBTG set ownership-membership link", and
+//!   Kay's rule that "updates … be performed only on those relations
+//!   whose tuples are in a 1-1 correspondence with the DBTG records and
+//!   links" — together with executable demonstrations of the
+//!   expressiveness limits the paper points out.
+
+pub mod codd;
+pub mod dbtg;
+pub mod facts;
+pub mod fixtures;
+pub mod mapping;

@@ -1,0 +1,422 @@
+//! The restricted syntactic equivalence mappings of §3.1.
+//!
+//! * **Zimmerman / Fleck**: "require that there be a relational tuple for
+//!   each DBTG record plus a binary relational tuple for each DBTG set
+//!   ownership-membership link. These restrictions on the form of the
+//!   relational state, and hence schema, severely limit the types of
+//!   information which a user might desire to appear together in a
+//!   single relation." — [`zimmerman_schema`], [`zimmerman_state`],
+//!   [`zimmerman_ops`].
+//!
+//! * **Kay**: "allows more general relations, but allows updates to be
+//!   performed only on those relations whose tuples are in a 1-1
+//!   correspondence with the DBTG records and links." — [`KayMapper`],
+//!   whose reads are the full syntactic algebra but whose
+//!   [`KayMapper::update`] rejects anything that is not a base
+//!   (record/link) relation.
+//!
+//! The tests demonstrate the limitation the paper points out: the
+//! "user-desired" relation that combines employee and machine
+//! information in one place exists only as a derived view, and updates
+//! through it are rejected.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dme_value::{Domain, DomainCatalog, DomainSpec, Symbol, Tuple, Value};
+
+use crate::codd::{Attribute, CoddOp, CoddSchema, CoddState, SynRelationSchema};
+use crate::dbtg::{DbtgOp, DbtgOpError, DbtgState, Record, RecordId};
+
+/// Domain name for database keys in the mapped relational schema.
+pub const DBKEY_DOMAIN: &str = "dbkeys";
+
+/// Derives the Zimmerman relational schema from a DBTG schema: one
+/// relation per record type (`dbkey` + fields, keyed by `dbkey`) and one
+/// binary relation per set type (`owner`, `member`, keyed by `member`).
+pub fn zimmerman_schema(dbtg: &crate::dbtg::DbtgSchema) -> CoddSchema {
+    let mut domains = DomainCatalog::new().with(Domain::new(DBKEY_DOMAIN, DomainSpec::AnyInt));
+    for d in dbtg.domains().iter() {
+        domains
+            .add(d.clone())
+            .expect("dbtg domains are duplicate-free");
+    }
+    let mut relations = Vec::new();
+    for rt in dbtg.record_types() {
+        let mut attributes = vec![Attribute::new("dbkey", DBKEY_DOMAIN)];
+        attributes.extend(
+            rt.fields()
+                .iter()
+                .map(|f| Attribute::new(f.name.clone(), f.domain.clone())),
+        );
+        relations.push(SynRelationSchema::new(
+            rt.name().clone(),
+            attributes,
+            [0],
+            [],
+        ));
+    }
+    for st in dbtg.set_types() {
+        relations.push(SynRelationSchema::new(
+            st.name().clone(),
+            [
+                Attribute::new("owner", DBKEY_DOMAIN),
+                Attribute::new("member", DBKEY_DOMAIN),
+            ],
+            [1],
+            [],
+        ));
+    }
+    CoddSchema::new(domains, relations).expect("derived schema is well-formed")
+}
+
+/// Maps a DBTG state to its Zimmerman relational image.
+pub fn zimmerman_state(dbtg: &DbtgState) -> CoddState {
+    let schema = Arc::new(zimmerman_schema(dbtg.schema()));
+    let mut out = CoddState::empty(schema);
+    for (id, record) in dbtg.records() {
+        let values = std::iter::once(Value::int(id.0 as i64))
+            .chain(record.values.iter().cloned().map(Value::Atom));
+        out.insert_raw(record.record_type.as_str(), Tuple::new(values))
+            .expect("record maps to a well-formed tuple");
+    }
+    for (set_type, member, owner) in dbtg.links() {
+        out.insert_raw(
+            set_type.as_str(),
+            Tuple::new([Value::int(owner.0 as i64), Value::int(member.0 as i64)]),
+        )
+        .expect("link maps to a well-formed tuple");
+    }
+    out
+}
+
+/// Translates a DBTG operation into the equivalent relational operations
+/// under the Zimmerman mapping, by diffing the images (and therefore
+/// correct for cascading operations like ERASE ALL too).
+pub fn zimmerman_ops(op: &DbtgOp, before: &DbtgState) -> Result<Vec<CoddOp>, DbtgOpError> {
+    let after = op.apply(before)?;
+    let img_before = zimmerman_state(before);
+    let img_after = zimmerman_state(&after);
+    let mut ops = Vec::new();
+    for rel in img_before.schema().relations() {
+        let name = rel.name();
+        let b = img_before.relation(name.as_str()).expect("same schema");
+        let a = img_after.relation(name.as_str()).expect("same schema");
+        let removed: Vec<Tuple> = b.difference(a).cloned().collect();
+        let added: Vec<Tuple> = a.difference(b).cloned().collect();
+        if !removed.is_empty() {
+            ops.push(CoddOp::delete(name.clone(), removed));
+        }
+        if !added.is_empty() {
+            ops.push(CoddOp::insert(name.clone(), added));
+        }
+    }
+    Ok(ops)
+}
+
+/// Errors raised by [`KayMapper::update`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KayError {
+    /// The target is not one of the 1-1 base relations.
+    NotUpdatable(Symbol),
+    /// The tuple's key column does not correspond to a record/link.
+    BadKey(String),
+    /// The underlying DBTG operation failed.
+    Dbtg(String),
+}
+
+impl fmt::Display for KayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KayError::NotUpdatable(r) => write!(
+                f,
+                "relation `{r}` is not in 1-1 correspondence with records or links; updates are not allowed (Kay's restriction)"
+            ),
+            KayError::BadKey(s) => write!(f, "bad database key: {s}"),
+            KayError::Dbtg(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for KayError {}
+
+/// Kay's architecture: a DBTG database presented relationally. Reads may
+/// use arbitrary algebra over the image; updates are accepted only
+/// against base relations and are translated to DBTG operations.
+#[derive(Clone)]
+pub struct KayMapper {
+    dbtg: DbtgState,
+}
+
+impl KayMapper {
+    /// Wraps a DBTG database.
+    pub fn new(dbtg: DbtgState) -> Self {
+        KayMapper { dbtg }
+    }
+
+    /// The current DBTG state.
+    pub fn dbtg(&self) -> &DbtgState {
+        &self.dbtg
+    }
+
+    /// The relational image (for reads).
+    pub fn codd_state(&self) -> CoddState {
+        zimmerman_state(&self.dbtg)
+    }
+
+    fn atom_id(v: &Value) -> Result<RecordId, KayError> {
+        v.as_atom()
+            .and_then(|a| a.as_int())
+            .and_then(|i| u64::try_from(i).ok())
+            .map(RecordId)
+            .ok_or_else(|| KayError::BadKey(format!("`{v}` is not a database key")))
+    }
+
+    /// Applies a relational update through the 1-1 correspondence.
+    pub fn update(&mut self, op: &CoddOp) -> Result<(), KayError> {
+        let (relation, tuples, is_insert) = match op {
+            CoddOp::InsertTuples { relation, tuples } => (relation, tuples, true),
+            CoddOp::DeleteTuples { relation, tuples } => (relation, tuples, false),
+        };
+        let schema = self.dbtg.schema().clone();
+        let mut dbtg_ops: Vec<DbtgOp> = Vec::new();
+        if let Some(rt) = schema.record_type(relation.as_str()) {
+            for t in tuples {
+                if t.arity() != rt.fields().len() + 1 {
+                    return Err(KayError::BadKey("wrong arity for record relation".into()));
+                }
+                let id = Self::atom_id(&t[0])?;
+                let values: Vec<dme_value::Atom> = t
+                    .as_slice()
+                    .iter()
+                    .skip(1)
+                    .map(|v| {
+                        v.as_atom()
+                            .cloned()
+                            .ok_or_else(|| KayError::BadKey("null field value".into()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if is_insert {
+                    // 1-1 correspondence: the key column must be exactly
+                    // the next database key.
+                    if id != self.dbtg.peek_next_id() {
+                        return Err(KayError::BadKey(format!(
+                            "inserted key {id} is not the next database key {}",
+                            self.dbtg.peek_next_id()
+                        )));
+                    }
+                    dbtg_ops.push(DbtgOp::Store(Record::new(rt.name().clone(), values)));
+                } else {
+                    dbtg_ops.push(DbtgOp::Erase(id));
+                }
+            }
+        } else if schema.set_type(relation.as_str()).is_some() {
+            for t in tuples {
+                if t.arity() != 2 {
+                    return Err(KayError::BadKey("wrong arity for link relation".into()));
+                }
+                let owner = Self::atom_id(&t[0])?;
+                let member = Self::atom_id(&t[1])?;
+                if is_insert {
+                    dbtg_ops.push(DbtgOp::Connect {
+                        set_type: relation.as_str().to_owned(),
+                        owner,
+                        member,
+                    });
+                } else {
+                    dbtg_ops.push(DbtgOp::Disconnect {
+                        set_type: relation.as_str().to_owned(),
+                        member,
+                    });
+                }
+            }
+        } else {
+            return Err(KayError::NotUpdatable(relation.clone()));
+        }
+        self.dbtg =
+            DbtgOp::apply_all(&dbtg_ops, &self.dbtg).map_err(|e| KayError::Dbtg(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codd::SynRelation;
+    use crate::fixtures;
+    use dme_value::{tuple, Atom};
+
+    #[test]
+    fn zimmerman_schema_shape() {
+        let schema = zimmerman_schema(&fixtures::dbtg_machine_shop_schema());
+        // 2 record relations + 2 link relations.
+        assert_eq!(schema.len(), 4);
+        let emp = schema.relation("EMP").unwrap();
+        assert_eq!(emp.arity(), 3); // dbkey + name + age
+        assert_eq!(emp.key(), &[0]);
+        let operates = schema.relation("OPERATES").unwrap();
+        assert_eq!(operates.arity(), 2);
+        assert_eq!(operates.key(), &[1]); // one owner per member
+    }
+
+    #[test]
+    fn zimmerman_state_counts_records_and_links() {
+        let dbtg = fixtures::dbtg_machine_shop_state();
+        let img = zimmerman_state(&dbtg);
+        img.check_integrity().unwrap();
+        assert_eq!(img.tuples("EMP").count(), 3);
+        assert_eq!(img.tuples("MACHINE").count(), 2);
+        assert_eq!(img.tuples("OPERATES").count(), 2);
+        assert_eq!(img.tuples("SUPERVISES").count(), 1);
+    }
+
+    #[test]
+    fn zimmerman_op_translation_matches_image() {
+        let dbtg = fixtures::dbtg_machine_shop_state();
+        let gw = dbtg
+            .find("EMP", "name", &Atom::str("G.Wayshum"))
+            .next()
+            .unwrap();
+        let tm = dbtg
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        let op = DbtgOp::Connect {
+            set_type: "SUPERVISES".into(),
+            owner: gw,
+            member: tm,
+        };
+        let codd_ops = zimmerman_ops(&op, &dbtg).unwrap();
+        assert_eq!(codd_ops.len(), 1);
+        // Applying the translated ops to the image equals the image of
+        // the applied op.
+        let mut img = zimmerman_state(&dbtg);
+        for c in &codd_ops {
+            img = c.apply(&img).unwrap();
+        }
+        assert_eq!(img, zimmerman_state(&op.apply(&dbtg).unwrap()));
+    }
+
+    #[test]
+    fn zimmerman_translates_cascading_erase_all() {
+        let dbtg = fixtures::dbtg_machine_shop_state();
+        let tm = dbtg
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        let op = DbtgOp::EraseAll(tm);
+        let codd_ops = zimmerman_ops(&op, &dbtg).unwrap();
+        // Deletes from EMP, MACHINE and OPERATES.
+        assert_eq!(codd_ops.len(), 3);
+        let mut img = zimmerman_state(&dbtg);
+        for c in &codd_ops {
+            img = c.apply(&img).unwrap();
+        }
+        assert_eq!(img, zimmerman_state(&op.apply(&dbtg).unwrap()));
+    }
+
+    #[test]
+    fn user_desired_relation_is_not_a_base_relation() {
+        // The paper: the restriction "severely limit[s] the types of
+        // information which a user might desire to appear together in a
+        // single relation". The employee⋈operates⋈machine view exists
+        // only as derived algebra:
+        let mapper = KayMapper::new(fixtures::dbtg_machine_shop_state());
+        let img = mapper.codd_state();
+        let emp = SynRelation::base(&img, "EMP").unwrap();
+        let operates = SynRelation::base(&img, "OPERATES").unwrap();
+        let machine = SynRelation::base(&img, "MACHINE").unwrap();
+        let view = emp
+            .rename("dbkey", "owner")
+            .unwrap()
+            .natural_join(&operates)
+            .rename("member", "dbkey")
+            .unwrap()
+            .natural_join(&machine);
+        assert_eq!(view.len(), 2);
+        // No base relation has this heading.
+        assert!(img
+            .schema()
+            .relations()
+            .all(|r| r.arity() != view.attributes().len()));
+    }
+
+    #[test]
+    fn kay_allows_base_updates_and_rejects_view_updates() {
+        let mut mapper = KayMapper::new(fixtures::dbtg_machine_shop_premise_state());
+        // Base-relation update: store a machine and connect it, through
+        // the relational interface.
+        let next = mapper.dbtg().peek_next_id();
+        let tm = mapper
+            .dbtg()
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        // Inserting MACHINE alone violates mandatory OPERATES membership.
+        let insert_machine = CoddOp::insert("MACHINE", [tuple![next.0 as i64, "NZ745", "lathe"]]);
+        assert!(matches!(
+            mapper.clone().update(&insert_machine),
+            Err(KayError::Dbtg(_))
+        ));
+        // The Kay interface has no multi-relation operation, so the
+        // machine + link insertion cannot be expressed atomically — the
+        // workaround is a *different* DBTG database (optional membership)
+        // or direct DBTG access. We demonstrate with the supervision link
+        // instead, which is optional:
+        let gw = mapper
+            .dbtg()
+            .find("EMP", "name", &Atom::str("G.Wayshum"))
+            .next()
+            .unwrap();
+        mapper
+            .update(&CoddOp::insert(
+                "SUPERVISES",
+                [tuple![gw.0 as i64, tm.0 as i64]],
+            ))
+            .unwrap();
+        assert_eq!(mapper.dbtg().owner_of("SUPERVISES", tm), Some(gw));
+
+        // View update: rejected.
+        let err = mapper
+            .update(&CoddOp::insert("EMPMACHINES", [tuple![1, 2]]))
+            .unwrap_err();
+        assert!(matches!(err, KayError::NotUpdatable(_)));
+
+        // Key discipline: inserting a record with a non-next key fails.
+        let err = mapper
+            .update(&CoddOp::insert("EMP", [tuple![999, "T.Manhart", 32]]))
+            .unwrap_err();
+        assert!(matches!(err, KayError::BadKey(_)));
+    }
+
+    #[test]
+    fn kay_delete_translates_to_erase_and_disconnect() {
+        let mapper = KayMapper::new(fixtures::dbtg_machine_shop_state());
+        let tm = mapper
+            .dbtg()
+            .find("EMP", "name", &Atom::str("T.Manhart"))
+            .next()
+            .unwrap();
+        let nz = mapper
+            .dbtg()
+            .find("MACHINE", "number", &Atom::str("NZ745"))
+            .next()
+            .unwrap();
+        // Disconnect alone violates mandatory membership.
+        assert!(mapper
+            .clone()
+            .update(&CoddOp::delete(
+                "OPERATES",
+                [tuple![tm.0 as i64, nz.0 as i64]]
+            ))
+            .is_err());
+        // Deleting machine alone fails while linked.
+        assert!(mapper
+            .clone()
+            .update(&CoddOp::delete(
+                "MACHINE",
+                [tuple![nz.0 as i64, "NZ745", "lathe"]]
+            ))
+            .is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Atomic (non-null) values.
+//!
+//! An [`Atom`] is a single value drawn from some domain: an employee name,
+//! an age in years, a machine serial number. Atoms carry no domain
+//! information themselves; domain membership is checked by
+//! [`crate::Domain`].
+//!
+//! Atoms are totally ordered (`Ord`) so they can live in `BTreeSet`s and be
+//! compared deterministically in golden tests, but note that this total
+//! order is a *representation* order, not the paper's semantic partial
+//! order — that order lives on [`crate::Value`], where any two distinct
+//! atoms are incomparable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single atomic value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Atom {
+    /// A boolean value.
+    Bool(bool),
+    /// A 64-bit signed integer (ages, counts, quantities).
+    Int(i64),
+    /// A string (names, serial numbers, machine types).
+    Str(String),
+}
+
+impl Atom {
+    /// Builds a string atom.
+    pub fn str(s: impl Into<String>) -> Self {
+        Atom::Str(s.into())
+    }
+
+    /// Builds an integer atom.
+    pub fn int(i: i64) -> Self {
+        Atom::Int(i)
+    }
+
+    /// Returns the string contents if this is a `Str` atom.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Atom::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int` atom.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool` atom.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Atom::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short name for the runtime type of this atom, used in error
+    /// messages ("expected int, got str").
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Atom::Bool(_) => "bool",
+            Atom::Int(_) => "int",
+            Atom::Str(_) => "str",
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Bool(b) => write!(f, "{b}"),
+            Atom::Int(i) => write!(f, "{i}"),
+            Atom::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Bool(b) => write!(f, "{b}"),
+            Atom::Int(i) => write!(f, "{i}"),
+            Atom::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Self {
+        Atom::Str(s)
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(i: i64) -> Self {
+        Atom::Int(i)
+    }
+}
+
+impl From<bool> for Atom {
+    fn from(b: bool) -> Self {
+        Atom::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Atom::str("x").as_str(), Some("x"));
+        assert_eq!(Atom::int(3).as_int(), Some(3));
+        assert_eq!(Atom::from(true).as_bool(), Some(true));
+        assert_eq!(Atom::int(3).as_str(), None);
+        assert_eq!(Atom::str("x").as_int(), None);
+        assert_eq!(Atom::str("x").as_bool(), None);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Atom::from(false).type_name(), "bool");
+        assert_eq!(Atom::int(0).type_name(), "int");
+        assert_eq!(Atom::str("").type_name(), "str");
+    }
+
+    #[test]
+    fn total_order_is_deterministic() {
+        // Bool < Int < Str by variant order; within a variant, natural order.
+        let mut atoms = vec![
+            Atom::str("b"),
+            Atom::int(10),
+            Atom::from(true),
+            Atom::str("a"),
+            Atom::int(-5),
+            Atom::from(false),
+        ];
+        atoms.sort();
+        assert_eq!(
+            atoms,
+            vec![
+                Atom::from(false),
+                Atom::from(true),
+                Atom::int(-5),
+                Atom::int(10),
+                Atom::str("a"),
+                Atom::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::str("NZ745").to_string(), "NZ745");
+        assert_eq!(Atom::int(32).to_string(), "32");
+        assert_eq!(Atom::from(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,359 @@
+//! Domains of allowed values and the domain catalog.
+//!
+//! §2.1 of the paper: a relational schema "would specify the name of each
+//! relation, the domains of allowed values for each column of a relation
+//! and the integrity constraints…". §3.2.1: "The schema must contain a
+//! specification of the values comprising each domain."
+//!
+//! The paper's Figure 3 uses the domains `names`, `years`,
+//! `serial-numbers` and `machine-types`. We support both *enumerated*
+//! domains (an explicit finite set of atoms — what the equivalence
+//! checkers need to enumerate reachable states) and *open* domains (any
+//! value of a base type — what a production schema would normally use).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Atom, Symbol, Value};
+
+/// How a domain constrains its members.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainSpec {
+    /// Exactly this finite set of atoms. Used by the bounded equivalence
+    /// checkers, which enumerate all states over the schema's domains.
+    Enumerated(BTreeSet<Atom>),
+    /// Any integer.
+    AnyInt,
+    /// Any integer in the inclusive range `[lo, hi]`.
+    IntRange(i64, i64),
+    /// Any string.
+    AnyStr,
+    /// Any boolean.
+    AnyBool,
+}
+
+impl DomainSpec {
+    /// Whether `atom` is a member of this domain.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        match self {
+            DomainSpec::Enumerated(set) => set.contains(atom),
+            DomainSpec::AnyInt => matches!(atom, Atom::Int(_)),
+            DomainSpec::IntRange(lo, hi) => {
+                matches!(atom, Atom::Int(i) if lo <= i && i <= hi)
+            }
+            DomainSpec::AnyStr => matches!(atom, Atom::Str(_)),
+            DomainSpec::AnyBool => matches!(atom, Atom::Bool(_)),
+        }
+    }
+
+    /// Whether the domain is finite, i.e. its members can be enumerated.
+    pub fn is_finite(&self) -> bool {
+        match self {
+            DomainSpec::Enumerated(_) | DomainSpec::AnyBool => true,
+            DomainSpec::IntRange(lo, hi) => lo <= hi,
+            DomainSpec::AnyInt | DomainSpec::AnyStr => false,
+        }
+    }
+
+    /// Enumerates the members of a finite domain; `None` for open domains.
+    pub fn enumerate(&self) -> Option<Vec<Atom>> {
+        match self {
+            DomainSpec::Enumerated(set) => Some(set.iter().cloned().collect()),
+            DomainSpec::AnyBool => Some(vec![Atom::Bool(false), Atom::Bool(true)]),
+            DomainSpec::IntRange(lo, hi) if lo <= hi => Some((*lo..=*hi).map(Atom::Int).collect()),
+            _ => None,
+        }
+    }
+
+    /// Number of members of a finite domain; `None` for open domains.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            DomainSpec::Enumerated(set) => Some(set.len()),
+            DomainSpec::AnyBool => Some(2),
+            DomainSpec::IntRange(lo, hi) if lo <= hi => {
+                usize::try_from(hi - lo).ok().and_then(|d| d.checked_add(1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A named domain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    name: Symbol,
+    spec: DomainSpec,
+}
+
+impl Domain {
+    /// Creates a named domain.
+    pub fn new(name: impl Into<Symbol>, spec: DomainSpec) -> Self {
+        Domain {
+            name: name.into(),
+            spec,
+        }
+    }
+
+    /// An enumerated domain built from string atoms — the common case for
+    /// the paper's examples (`names`, `serial-numbers`, `machine-types`).
+    pub fn of_strs<'a>(
+        name: impl Into<Symbol>,
+        members: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        Domain::new(
+            name,
+            DomainSpec::Enumerated(members.into_iter().map(Atom::from).collect()),
+        )
+    }
+
+    /// An enumerated domain built from integer atoms (`years`).
+    pub fn of_ints(name: impl Into<Symbol>, members: impl IntoIterator<Item = i64>) -> Self {
+        Domain::new(
+            name,
+            DomainSpec::Enumerated(members.into_iter().map(Atom::Int).collect()),
+        )
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// The domain's membership specification.
+    pub fn spec(&self) -> &DomainSpec {
+        &self.spec
+    }
+
+    /// Whether `atom` is a member.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.spec.contains(atom)
+    }
+
+    /// Checks a possibly-null value: null is accepted here — *column*
+    /// nullability is a schema property, not a domain property.
+    pub fn admits(&self, value: &Value) -> bool {
+        match value {
+            Value::Null => true,
+            Value::Atom(a) => self.contains(a),
+        }
+    }
+}
+
+/// Errors raised by [`DomainCatalog`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DomainError {
+    /// A referenced domain is not present in the catalog.
+    UnknownDomain(Symbol),
+    /// A domain with this name is already defined.
+    DuplicateDomain(Symbol),
+    /// A value is not a member of the named domain.
+    NotInDomain {
+        /// The domain that rejected the value.
+        domain: Symbol,
+        /// The offending value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::UnknownDomain(d) => write!(f, "unknown domain `{d}`"),
+            DomainError::DuplicateDomain(d) => write!(f, "duplicate domain `{d}`"),
+            DomainError::NotInDomain { domain, value } => {
+                write!(f, "value `{value}` is not in domain `{domain}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// A collection of named domains; the "specification of the values
+/// comprising each domain" that the paper requires every schema to carry.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainCatalog {
+    domains: BTreeMap<Symbol, Domain>,
+}
+
+impl DomainCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a domain, rejecting duplicates.
+    pub fn add(&mut self, domain: Domain) -> Result<(), DomainError> {
+        let name = domain.name().clone();
+        if self.domains.contains_key(&name) {
+            return Err(DomainError::DuplicateDomain(name));
+        }
+        self.domains.insert(name, domain);
+        Ok(())
+    }
+
+    /// Builder-style `add` for schema construction code.
+    pub fn with(mut self, domain: Domain) -> Self {
+        let name = domain.name().clone();
+        assert!(
+            self.domains.insert(name.clone(), domain).is_none(),
+            "duplicate domain `{name}`"
+        );
+        self
+    }
+
+    /// Looks up a domain by name.
+    pub fn get(&self, name: &str) -> Option<&Domain> {
+        self.domains.get(name)
+    }
+
+    /// Looks up a domain, producing a catalog error when missing.
+    pub fn require(&self, name: &Symbol) -> Result<&Domain, DomainError> {
+        self.domains
+            .get(name)
+            .ok_or_else(|| DomainError::UnknownDomain(name.clone()))
+    }
+
+    /// Checks that `value` is admitted by the named domain (nulls are
+    /// always admitted at this layer).
+    pub fn check(&self, name: &Symbol, value: &Value) -> Result<(), DomainError> {
+        let domain = self.require(name)?;
+        if domain.admits(value) {
+            Ok(())
+        } else {
+            Err(DomainError::NotInDomain {
+                domain: name.clone(),
+                value: value.clone(),
+            })
+        }
+    }
+
+    /// Iterates over all domains in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.values()
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym;
+
+    #[test]
+    fn enumerated_membership() {
+        let d = Domain::of_strs("names", ["T.Manhart", "C.Gershag"]);
+        assert!(d.contains(&Atom::str("T.Manhart")));
+        assert!(!d.contains(&Atom::str("nobody")));
+        assert!(!d.contains(&Atom::int(3)));
+    }
+
+    #[test]
+    fn open_domains() {
+        let ints = Domain::new("years", DomainSpec::AnyInt);
+        assert!(ints.contains(&Atom::int(-7)));
+        assert!(!ints.contains(&Atom::str("7")));
+        assert!(!ints.spec().is_finite());
+        assert_eq!(ints.spec().enumerate(), None);
+
+        let strs = Domain::new("free", DomainSpec::AnyStr);
+        assert!(strs.contains(&Atom::str("anything")));
+        assert!(!strs.contains(&Atom::Bool(true)));
+    }
+
+    #[test]
+    fn int_range() {
+        let d = Domain::new("age", DomainSpec::IntRange(18, 65));
+        assert!(d.contains(&Atom::int(18)));
+        assert!(d.contains(&Atom::int(65)));
+        assert!(!d.contains(&Atom::int(17)));
+        assert_eq!(d.spec().cardinality(), Some(48));
+        assert_eq!(d.spec().enumerate().unwrap().len(), 48);
+    }
+
+    #[test]
+    fn empty_int_range_is_finite_and_empty() {
+        let d = DomainSpec::IntRange(5, 4);
+        assert!(!d.is_finite());
+        assert!(!d.contains(&Atom::int(5)));
+    }
+
+    #[test]
+    fn bool_domain_enumerates() {
+        let d = DomainSpec::AnyBool;
+        assert_eq!(d.cardinality(), Some(2));
+        assert_eq!(
+            d.enumerate().unwrap(),
+            vec![Atom::Bool(false), Atom::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn null_admitted_by_every_domain() {
+        let d = Domain::of_strs("names", ["x"]);
+        assert!(d.admits(&Value::Null));
+        assert!(d.admits(&Value::str("x")));
+        assert!(!d.admits(&Value::str("y")));
+    }
+
+    #[test]
+    fn catalog_add_get_check() {
+        let mut cat = DomainCatalog::new();
+        cat.add(Domain::of_strs("names", ["a"])).unwrap();
+        assert_eq!(
+            cat.add(Domain::of_strs("names", ["b"])),
+            Err(DomainError::DuplicateDomain(sym!("names")))
+        );
+        assert!(cat.get("names").is_some());
+        assert!(cat.get("missing").is_none());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+
+        assert_eq!(cat.check(&sym!("names"), &Value::str("a")), Ok(()));
+        assert_eq!(cat.check(&sym!("names"), &Value::Null), Ok(()));
+        assert_eq!(
+            cat.check(&sym!("names"), &Value::str("zzz")),
+            Err(DomainError::NotInDomain {
+                domain: sym!("names"),
+                value: Value::str("zzz"),
+            })
+        );
+        assert_eq!(
+            cat.check(&sym!("nope"), &Value::Null),
+            Err(DomainError::UnknownDomain(sym!("nope")))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate domain")]
+    fn builder_with_panics_on_duplicate() {
+        let _ = DomainCatalog::new()
+            .with(Domain::of_strs("d", ["a"]))
+            .with(Domain::of_strs("d", ["b"]));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DomainError::NotInDomain {
+            domain: sym!("names"),
+            value: Value::str("zzz"),
+        };
+        assert_eq!(e.to_string(), "value `zzz` is not in domain `names`");
+        assert_eq!(
+            DomainError::UnknownDomain(sym!("d")).to_string(),
+            "unknown domain `d`"
+        );
+    }
+}

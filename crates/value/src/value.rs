@@ -1,0 +1,273 @@
+//! Nullable values and the paper's semantic partial order.
+//!
+//! §3.3.1 of the paper: *"The partial ordering of tuples is based on all
+//! non-null domain values being greater than null and incomparable with any
+//! values other than null and itself."*
+//!
+//! [`Value`] is therefore either [`Value::Null`] or an [`Atom`], and
+//! implements exactly that partial order via [`Value::sem_cmp`]:
+//!
+//! * `Null == Null`,
+//! * `Null < atom` for every atom,
+//! * `atom == atom` for identical atoms,
+//! * distinct atoms are **incomparable**.
+//!
+//! We deliberately do *not* expose the semantic order through
+//! `PartialOrd`: `Value` derives a *total* representation order (`Ord`) so
+//! states can be stored in `BTreeSet`s with deterministic iteration. The
+//! semantic order — the one `insert-statements` subsumption is defined
+//! over — is the explicit [`Value::sem_cmp`] / [`Tuple::sem_cmp`](crate::Tuple::sem_cmp)
+//! (see [`crate::Tuple`]) API, which returns `Option<Ordering>`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Atom;
+
+/// A value appearing in a database state: either the distinguished null
+/// ("----" in the paper's figures) or an atomic value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The null value. In the semantic relation model a null in a case
+    /// column means "no participant fills this case" (e.g. "an employee
+    /// named T.Manhart has **no supervisor** and operates machine NZ745").
+    Null,
+    /// A non-null atomic value.
+    Atom(Atom),
+}
+
+impl Value {
+    /// Builds a string-atom value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Atom(Atom::Str(s.into()))
+    }
+
+    /// Builds an integer-atom value.
+    pub fn int(i: i64) -> Self {
+        Value::Atom(Atom::Int(i))
+    }
+
+    /// Builds a boolean-atom value.
+    pub fn bool(b: bool) -> Self {
+        Value::Atom(Atom::Bool(b))
+    }
+
+    /// Whether this value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The atom, if non-null.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Value::Null => None,
+            Value::Atom(a) => Some(a),
+        }
+    }
+
+    /// Consumes the value, returning the atom if non-null.
+    pub fn into_atom(self) -> Option<Atom> {
+        match self {
+            Value::Null => None,
+            Value::Atom(a) => Some(a),
+        }
+    }
+
+    /// The paper's semantic partial order on values.
+    ///
+    /// ```
+    /// use std::cmp::Ordering;
+    /// use dme_value::Value;
+    ///
+    /// let null = Value::Null;
+    /// let a = Value::str("T.Manhart");
+    /// let b = Value::str("G.Wayshum");
+    ///
+    /// assert_eq!(null.sem_cmp(&null), Some(Ordering::Equal));
+    /// assert_eq!(null.sem_cmp(&a), Some(Ordering::Less));
+    /// assert_eq!(a.sem_cmp(&null), Some(Ordering::Greater));
+    /// assert_eq!(a.sem_cmp(&a), Some(Ordering::Equal));
+    /// assert_eq!(a.sem_cmp(&b), None); // distinct atoms: incomparable
+    /// ```
+    pub fn sem_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, Value::Atom(_)) => Some(Ordering::Less),
+            (Value::Atom(_), Value::Null) => Some(Ordering::Greater),
+            (Value::Atom(a), Value::Atom(b)) => {
+                if a == b {
+                    Some(Ordering::Equal)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `self ≤ other` in the semantic partial order.
+    pub fn sem_le(&self, other: &Value) -> bool {
+        matches!(
+            self.sem_cmp(other),
+            Some(Ordering::Less) | Some(Ordering::Equal)
+        )
+    }
+
+    /// `self < other` in the semantic partial order (i.e. `self` is null
+    /// and `other` is not).
+    pub fn sem_lt(&self, other: &Value) -> bool {
+        self.sem_cmp(other) == Some(Ordering::Less)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("----"),
+            Value::Atom(a) => write!(f, "{a:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("----"),
+            Value::Atom(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Atom(a)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Atom(Atom::Str(s))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::bool(b)
+    }
+}
+
+impl From<Option<Atom>> for Value {
+    fn from(o: Option<Atom>) -> Self {
+        match o {
+            Some(a) => Value::Atom(a),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::str("a"),
+            Value::str("b"),
+            Value::int(1),
+            Value::int(2),
+            Value::bool(true),
+        ]
+    }
+
+    #[test]
+    fn sem_order_reflexive() {
+        for v in vals() {
+            assert_eq!(v.sem_cmp(&v), Some(Ordering::Equal));
+            assert!(v.sem_le(&v));
+            assert!(!v.sem_lt(&v));
+        }
+    }
+
+    #[test]
+    fn sem_order_antisymmetric() {
+        for a in vals() {
+            for b in vals() {
+                if a.sem_le(&b) && b.sem_le(&a) {
+                    assert_eq!(a, b, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sem_order_transitive() {
+        let vs = vals();
+        for a in &vs {
+            for b in &vs {
+                for c in &vs {
+                    if a.sem_le(b) && b.sem_le(c) {
+                        assert!(a.sem_le(c), "{a:?} <= {b:?} <= {c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_below_everything_nonnull() {
+        for v in vals() {
+            if !v.is_null() {
+                assert!(Value::Null.sem_lt(&v));
+                assert!(!v.sem_le(&Value::Null));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_atoms_incomparable() {
+        assert_eq!(Value::str("a").sem_cmp(&Value::str("b")), None);
+        assert_eq!(Value::int(1).sem_cmp(&Value::int(2)), None);
+        assert_eq!(Value::str("a").sem_cmp(&Value::int(1)), None);
+        assert_eq!(Value::bool(true).sem_cmp(&Value::bool(false)), None);
+    }
+
+    #[test]
+    fn representation_order_puts_null_first() {
+        // The derived total order is only used for deterministic storage;
+        // we pin down that Null sorts before atoms so golden outputs are
+        // stable.
+        let mut v = [Value::str("a"), Value::Null, Value::int(1)];
+        v.sort();
+        assert_eq!(v[0], Value::Null);
+    }
+
+    #[test]
+    fn display_matches_paper_null_notation() {
+        assert_eq!(Value::Null.to_string(), "----");
+        assert_eq!(Value::str("JCL181").to_string(), "JCL181");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(5), Value::int(5));
+        assert_eq!(Value::from(Some(Atom::int(1))), Value::int(1));
+        assert_eq!(Value::from(None::<Atom>), Value::Null);
+        assert_eq!(Value::int(7).into_atom(), Some(Atom::int(7)));
+        assert_eq!(Value::Null.into_atom(), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for domains: enumeration agrees with membership and
+//! cardinality.
+
+use dme_value::{Atom, DomainSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = DomainSpec> {
+    prop_oneof![
+        prop::collection::btree_set(
+            prop_oneof![
+                any::<bool>().prop_map(Atom::Bool),
+                (-20i64..20).prop_map(Atom::Int),
+                "[a-c]{1,2}".prop_map(Atom::Str),
+            ],
+            0..6,
+        )
+        .prop_map(DomainSpec::Enumerated),
+        Just(DomainSpec::AnyBool),
+        (-10i64..10, -10i64..10).prop_map(|(a, b)| DomainSpec::IntRange(a.min(b), a.max(b))),
+        Just(DomainSpec::AnyInt),
+        Just(DomainSpec::AnyStr),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn enumeration_agrees_with_membership(spec in arb_spec()) {
+        match spec.enumerate() {
+            Some(members) => {
+                prop_assert!(spec.is_finite());
+                prop_assert_eq!(Some(members.len()), spec.cardinality());
+                for m in &members {
+                    prop_assert!(spec.contains(m), "{m} enumerated but not contained");
+                }
+                // Enumeration is duplicate-free.
+                let set: std::collections::BTreeSet<_> = members.iter().collect();
+                prop_assert_eq!(set.len(), members.len());
+            }
+            None => {
+                prop_assert!(!spec.is_finite() || spec.cardinality().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn open_domains_partition_by_type(i in any::<i64>(), s in ".{0,8}", b in any::<bool>()) {
+        prop_assert!(DomainSpec::AnyInt.contains(&Atom::Int(i)));
+        prop_assert!(!DomainSpec::AnyInt.contains(&Atom::Str(s.clone())));
+        prop_assert!(DomainSpec::AnyStr.contains(&Atom::Str(s.clone())));
+        prop_assert!(!DomainSpec::AnyStr.contains(&Atom::Bool(b)));
+        prop_assert!(DomainSpec::AnyBool.contains(&Atom::Bool(b)));
+        prop_assert!(!DomainSpec::AnyBool.contains(&Atom::Int(i)));
+    }
+
+    #[test]
+    fn int_range_membership_matches_bounds(lo in -20i64..20, hi in -20i64..20, probe in -25i64..25) {
+        let spec = DomainSpec::IntRange(lo, hi);
+        prop_assert_eq!(
+            spec.contains(&Atom::Int(probe)),
+            lo <= probe && probe <= hi
+        );
+    }
+}

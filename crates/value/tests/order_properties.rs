@@ -1,0 +1,143 @@
+//! Property-based tests: the semantic orders on values and tuples are
+//! genuine partial orders, and the componentwise lift behaves as the paper
+//! requires (null-padding moves strictly downward, never sideways).
+
+use std::cmp::Ordering;
+
+use dme_value::{Atom, Tuple, Value};
+use proptest::prelude::*;
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        any::<bool>().prop_map(Atom::Bool),
+        (-50i64..50).prop_map(Atom::Int),
+        "[a-e]{1,3}".prop_map(Atom::Str),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        4 => arb_atom().prop_map(Value::Atom),
+    ]
+}
+
+fn arb_tuple(arity: usize) -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(), arity).prop_map(Tuple::new)
+}
+
+proptest! {
+    #[test]
+    fn value_order_reflexive(v in arb_value()) {
+        prop_assert_eq!(v.sem_cmp(&v), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn value_order_antisymmetric(a in arb_value(), b in arb_value()) {
+        if a.sem_le(&b) && b.sem_le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn value_order_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        if a.sem_le(&b) && b.sem_le(&c) {
+            prop_assert!(a.sem_le(&c));
+        }
+    }
+
+    #[test]
+    fn value_cmp_is_antisymmetric_in_result(a in arb_value(), b in arb_value()) {
+        let ab = a.sem_cmp(&b);
+        let ba = b.sem_cmp(&a);
+        match ab {
+            Some(o) => prop_assert_eq!(ba, Some(o.reverse())),
+            None => prop_assert_eq!(ba, None),
+        }
+    }
+
+    #[test]
+    fn tuple_order_reflexive(t in arb_tuple(3)) {
+        prop_assert_eq!(t.sem_cmp(&t), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn tuple_order_antisymmetric(a in arb_tuple(3), b in arb_tuple(3)) {
+        if a.sem_le(&b) && b.sem_le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn tuple_order_transitive(a in arb_tuple(2), b in arb_tuple(2), c in arb_tuple(2)) {
+        if a.sem_le(&b) && b.sem_le(&c) {
+            prop_assert!(a.sem_le(&c));
+        }
+    }
+
+    #[test]
+    fn tuple_cmp_mirrors(a in arb_tuple(3), b in arb_tuple(3)) {
+        let ab = a.sem_cmp(&b);
+        let ba = b.sem_cmp(&a);
+        match ab {
+            Some(o) => prop_assert_eq!(ba, Some(o.reverse())),
+            None => prop_assert_eq!(ba, None),
+        }
+    }
+
+    /// Replacing any single non-null component with null produces a
+    /// strictly smaller tuple — the foundation of insert-subsumption.
+    #[test]
+    fn nulling_a_component_strictly_decreases(t in arb_tuple(4), idx in 0usize..4) {
+        if !t[idx].is_null() {
+            let smaller: Tuple = t
+                .values()
+                .enumerate()
+                .map(|(i, v)| if i == idx { Value::Null } else { v.clone() })
+                .collect();
+            prop_assert!(smaller.sem_lt(&t));
+            prop_assert!(!t.sem_le(&smaller));
+        }
+    }
+
+    /// `t ≤ u` implies componentwise `t[i] ≤ u[i]`.
+    #[test]
+    fn le_implies_componentwise_le(a in arb_tuple(3), b in arb_tuple(3)) {
+        if a.sem_le(&b) {
+            for i in 0..3 {
+                prop_assert!(a[i].sem_le(&b[i]));
+            }
+        }
+    }
+
+    /// Comparable tuples agree on all non-null components.
+    #[test]
+    fn comparable_tuples_agree_where_both_nonnull(a in arb_tuple(3), b in arb_tuple(3)) {
+        if a.sem_cmp(&b).is_some() {
+            for i in 0..3 {
+                if !a[i].is_null() && !b[i].is_null() {
+                    prop_assert_eq!(&a[i], &b[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_preserves_order(a in arb_tuple(4), b in arb_tuple(4)) {
+        if a.sem_le(&b) {
+            let pa = a.project(&[0, 2]).unwrap();
+            let pb = b.project(&[0, 2]).unwrap();
+            prop_assert!(pa.sem_le(&pb));
+        }
+    }
+
+    #[test]
+    fn concat_preserves_order(
+        a in arb_tuple(2), b in arb_tuple(2),
+        c in arb_tuple(2), d in arb_tuple(2),
+    ) {
+        if a.sem_le(&b) && c.sem_le(&d) {
+            prop_assert!(a.concat(&c).sem_le(&b.concat(&d)));
+        }
+    }
+}

@@ -1,0 +1,592 @@
+#![deny(missing_docs)]
+
+//! # dme-workload — deterministic workload generators
+//!
+//! Scaled machine-shop universes, states and operation streams for the
+//! benchmark harness and stress tests. Everything is deterministic in the
+//! [`ShopConfig::seed`], so benchmark runs are reproducible.
+//!
+//! The generator produces *paired* states — a graph state and a
+//! relational state built independently but representing the same
+//! application state — so equivalence-checking and translation benches
+//! measure real work rather than set-up artifacts.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dme_logic::{EntityTypeDecl, PredicateDecl, Universe};
+use dme_value::{sym, tuple, Domain, DomainCatalog, Symbol, Value};
+
+use dme_graph::{Association, Entity, EntityRef, GraphOp, GraphSchema, GraphState, Participation};
+use dme_relation::{
+    CharacteristicCol, ColsRef, Constraint, Pair, Participant, RelOp, RelationSchema,
+    RelationState, RelationalSchema,
+};
+
+/// Machine-shop workload parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShopConfig {
+    /// Number of employees.
+    pub employees: usize,
+    /// Number of machines (each machine gets an operator).
+    pub machines: usize,
+    /// Number of supervision associations.
+    pub supervisions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShopConfig {
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        ShopConfig {
+            employees: 10,
+            machines: 6,
+            supervisions: 8,
+            seed: 42,
+        }
+    }
+
+    /// A configuration scaled by `n` (n employees, 2n/3 machines, n
+    /// supervisions).
+    pub fn scaled(n: usize) -> Self {
+        ShopConfig {
+            employees: n,
+            machines: (2 * n) / 3,
+            supervisions: n,
+            seed: 42,
+        }
+    }
+}
+
+const TYPES: [&str; 4] = ["lathe", "press", "mill", "drill"];
+
+fn employee_name(i: usize) -> String {
+    format!("E{i:05}")
+}
+
+fn machine_number(i: usize) -> String {
+    format!("M{i:05}")
+}
+
+/// The scaled machine-shop universe for a configuration.
+pub fn universe(cfg: ShopConfig) -> Universe {
+    let names: Vec<String> = (0..cfg.employees).map(employee_name).collect();
+    let numbers: Vec<String> = (0..cfg.machines).map(machine_number).collect();
+    let domains = DomainCatalog::new()
+        .with(Domain::of_strs("names", names.iter().map(String::as_str)))
+        .with(Domain::of_ints("years", 20..=65))
+        .with(Domain::of_strs(
+            "serial-numbers",
+            numbers.iter().map(String::as_str),
+        ))
+        .with(Domain::of_strs("machine-types", TYPES));
+    Universe::new(
+        domains,
+        [
+            EntityTypeDecl::new(
+                "employee",
+                "name",
+                [
+                    (Symbol::new("name"), Symbol::new("names")),
+                    (Symbol::new("age"), Symbol::new("years")),
+                ],
+            ),
+            EntityTypeDecl::new(
+                "machine",
+                "number",
+                [
+                    (Symbol::new("number"), Symbol::new("serial-numbers")),
+                    (Symbol::new("type"), Symbol::new("machine-types")),
+                ],
+            ),
+        ],
+        [
+            PredicateDecl::new(
+                "operate",
+                [
+                    (Symbol::new("agent"), Symbol::new("employee")),
+                    (Symbol::new("object"), Symbol::new("machine")),
+                ],
+            ),
+            PredicateDecl::new(
+                "supervise",
+                [
+                    (Symbol::new("agent"), Symbol::new("employee")),
+                    (Symbol::new("object"), Symbol::new("employee")),
+                ],
+            ),
+        ],
+    )
+    .expect("workload universe is well-formed")
+}
+
+/// The Figure 5 graph schema over the scaled universe.
+pub fn graph_schema(cfg: ShopConfig) -> GraphSchema {
+    GraphSchema::new(
+        universe(cfg),
+        [
+            ((sym!("operate"), sym!("agent")), Participation::OPTIONAL),
+            (
+                (sym!("operate"), sym!("object")),
+                Participation::TOTAL_FUNCTIONAL,
+            ),
+            ((sym!("supervise"), sym!("agent")), Participation::OPTIONAL),
+            ((sym!("supervise"), sym!("object")), Participation::OPTIONAL),
+        ],
+    )
+    .expect("workload graph schema is well-formed")
+}
+
+/// The Figure 3 relational schema over the scaled universe.
+pub fn relational_schema(cfg: ShopConfig) -> RelationalSchema {
+    RelationalSchema::new(
+        universe(cfg),
+        [
+            RelationSchema::new(
+                "Employees",
+                [Participant::new(
+                    "employee",
+                    [Pair::Existence],
+                    [
+                        CharacteristicCol::required("name", "names"),
+                        CharacteristicCol::required("age", "years"),
+                    ],
+                )],
+            ),
+            RelationSchema::new(
+                "Operate",
+                [
+                    Participant::new(
+                        "employee",
+                        [Pair::case("operate", "agent")],
+                        [CharacteristicCol::required("name", "names")],
+                    ),
+                    Participant::new(
+                        "machine",
+                        [Pair::Existence, Pair::case("operate", "object")],
+                        [
+                            CharacteristicCol::required("number", "serial-numbers"),
+                            CharacteristicCol::required("type", "machine-types"),
+                        ],
+                    ),
+                ],
+            ),
+            RelationSchema::new(
+                "Jobs",
+                [
+                    Participant::new(
+                        "employee",
+                        [Pair::case("supervise", "agent")],
+                        [CharacteristicCol::optional("name", "names")],
+                    ),
+                    Participant::new(
+                        "employee",
+                        [
+                            Pair::case("supervise", "object"),
+                            Pair::case("operate", "agent"),
+                        ],
+                        [CharacteristicCol::required("name", "names")],
+                    ),
+                    Participant::new(
+                        "machine",
+                        [Pair::case("operate", "object")],
+                        [CharacteristicCol::optional("number", "serial-numbers")],
+                    ),
+                ],
+            ),
+        ],
+        [
+            Constraint::Subset {
+                from: ColsRef::new("Operate", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+            Constraint::NotNull {
+                relation: "Operate".into(),
+                column: 0,
+            },
+            Constraint::Unique {
+                relation: "Operate".into(),
+                columns: vec![1],
+            },
+            Constraint::Agreement {
+                left: ColsRef::new("Operate", [0, 1]),
+                right: ColsRef::new("Jobs", [1, 2]),
+            },
+            Constraint::Unique {
+                relation: "Employees".into(),
+                columns: vec![0],
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Jobs", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Jobs", [1]),
+                to: ColsRef::new("Employees", [0]),
+            },
+        ],
+    )
+    .expect("workload relational schema is well-formed")
+}
+
+/// The deterministic population plan shared by both state builders.
+struct Plan {
+    /// (name, age) per employee.
+    employees: Vec<(String, i64)>,
+    /// (number, type, operator index) per machine.
+    machines: Vec<(String, &'static str, usize)>,
+    /// (supervisor index, supervisee index).
+    supervisions: BTreeSet<(usize, usize)>,
+}
+
+fn plan(cfg: ShopConfig) -> Plan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let employees: Vec<(String, i64)> = (0..cfg.employees)
+        .map(|i| (employee_name(i), rng.gen_range(20..=65)))
+        .collect();
+    let machines: Vec<(String, &'static str, usize)> = (0..cfg.machines)
+        .map(|i| {
+            (
+                machine_number(i),
+                *TYPES.choose(&mut rng).expect("nonempty"),
+                rng.gen_range(0..cfg.employees.max(1)),
+            )
+        })
+        .collect();
+    let mut supervisions = BTreeSet::new();
+    let mut attempts = 0;
+    while supervisions.len() < cfg.supervisions && attempts < cfg.supervisions * 20 {
+        attempts += 1;
+        if cfg.employees < 2 {
+            break;
+        }
+        let sup = rng.gen_range(0..cfg.employees);
+        let sub = rng.gen_range(0..cfg.employees);
+        if sup != sub {
+            supervisions.insert((sup, sub));
+        }
+    }
+    Plan {
+        employees,
+        machines,
+        supervisions,
+    }
+}
+
+/// Builds the populated graph state.
+pub fn graph_state(cfg: ShopConfig) -> GraphState {
+    let p = plan(cfg);
+    let schema = Arc::new(graph_schema(cfg));
+    let mut s = GraphState::empty(schema);
+    for (name, age) in &p.employees {
+        s.insert_entity_raw(Entity::new(
+            "employee",
+            [
+                ("name", dme_value::Atom::str(name.clone())),
+                ("age", dme_value::Atom::Int(*age)),
+            ],
+        ))
+        .expect("generated employee is valid");
+    }
+    for (number, ty, operator) in &p.machines {
+        s.insert_entity_raw(Entity::new(
+            "machine",
+            [
+                ("number", dme_value::Atom::str(number.clone())),
+                ("type", dme_value::Atom::str(*ty)),
+            ],
+        ))
+        .expect("generated machine is valid");
+        s.insert_association_raw(Association::new(
+            "operate",
+            [
+                (
+                    "agent",
+                    EntityRef::new(
+                        "employee",
+                        dme_value::Atom::str(p.employees[*operator].0.clone()),
+                    ),
+                ),
+                (
+                    "object",
+                    EntityRef::new("machine", dme_value::Atom::str(number.clone())),
+                ),
+            ],
+        ))
+        .expect("generated operation is valid");
+    }
+    for (sup, sub) in &p.supervisions {
+        s.insert_association_raw(Association::new(
+            "supervise",
+            [
+                (
+                    "agent",
+                    EntityRef::new(
+                        "employee",
+                        dme_value::Atom::str(p.employees[*sup].0.clone()),
+                    ),
+                ),
+                (
+                    "object",
+                    EntityRef::new(
+                        "employee",
+                        dme_value::Atom::str(p.employees[*sub].0.clone()),
+                    ),
+                ),
+            ],
+        ))
+        .expect("generated supervision is valid");
+    }
+    s
+}
+
+/// Builds the relational state representing the same application state
+/// as [`graph_state`] (canonical, normalized form).
+pub fn relational_state(cfg: ShopConfig) -> RelationState {
+    let p = plan(cfg);
+    let schema = Arc::new(relational_schema(cfg));
+    let mut s = RelationState::empty(schema);
+    for (name, age) in &p.employees {
+        s.insert_raw("Employees", tuple![name.as_str(), *age])
+            .expect("generated employee statement");
+    }
+    // Per employee: machines operated and supervisors.
+    let mut machines_of: BTreeMap<usize, Vec<&(String, &'static str, usize)>> = BTreeMap::new();
+    for m in &p.machines {
+        machines_of.entry(m.2).or_default().push(m);
+        s.insert_raw(
+            "Operate",
+            tuple![p.employees[m.2].0.as_str(), m.0.as_str(), m.1],
+        )
+        .expect("generated operate statement");
+    }
+    let mut supervisors_of: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (sup, sub) in &p.supervisions {
+        supervisors_of.entry(*sub).or_default().push(*sup);
+    }
+    for (i, (name, _)) in p.employees.iter().enumerate() {
+        match (machines_of.get(&i), supervisors_of.get(&i)) {
+            (None, None) => {}
+            (Some(ms), None) => {
+                for m in ms {
+                    s.insert_raw("Jobs", tuple![Value::Null, name.as_str(), m.0.as_str()])
+                        .expect("generated jobs statement");
+                }
+            }
+            (None, Some(sups)) => {
+                for &sup in sups {
+                    s.insert_raw(
+                        "Jobs",
+                        tuple![p.employees[sup].0.as_str(), name.as_str(), Value::Null],
+                    )
+                    .expect("generated jobs statement");
+                }
+            }
+            (Some(ms), Some(sups)) => {
+                for &sup in sups {
+                    for m in ms {
+                        s.insert_raw(
+                            "Jobs",
+                            tuple![p.employees[sup].0.as_str(), name.as_str(), m.0.as_str()],
+                        )
+                        .expect("generated jobs statement");
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+/// A deterministic stream of `n` supervision toggles (insert if absent,
+/// delete if present) — every one valid against the evolving state.
+pub fn supervision_toggle_ops(cfg: ShopConfig, n: usize) -> Vec<GraphOp> {
+    let p = plan(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut present = p.supervisions.clone();
+    let mut ops = Vec::with_capacity(n);
+    while ops.len() < n {
+        if cfg.employees < 2 {
+            break;
+        }
+        let sup = rng.gen_range(0..cfg.employees);
+        let sub = rng.gen_range(0..cfg.employees);
+        if sup == sub {
+            continue;
+        }
+        let assoc = Association::new(
+            "supervise",
+            [
+                (
+                    "agent",
+                    EntityRef::new("employee", dme_value::Atom::str(p.employees[sup].0.clone())),
+                ),
+                (
+                    "object",
+                    EntityRef::new("employee", dme_value::Atom::str(p.employees[sub].0.clone())),
+                ),
+            ],
+        );
+        if present.remove(&(sup, sub)) {
+            ops.push(GraphOp::DeleteAssociation(assoc));
+        } else {
+            present.insert((sup, sub));
+            ops.push(GraphOp::InsertAssociation(assoc));
+        }
+    }
+    ops
+}
+
+/// A deterministic stream of `n` machine-unit toggles: each step deletes
+/// a machine's semantic unit (the machine plus its operation
+/// association) or re-inserts it, alternating per machine — the workload
+/// that exercises multi-object atomicity end to end.
+pub fn machine_toggle_ops(cfg: ShopConfig, n: usize) -> Vec<GraphOp> {
+    use dme_graph::SemanticUnit;
+    let p = plan(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    let mut present: Vec<bool> = vec![true; p.machines.len()];
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        if p.machines.is_empty() {
+            break;
+        }
+        let m = rng.gen_range(0..p.machines.len());
+        let (number, ty, operator) = &p.machines[m];
+        let entity = Entity::new(
+            "machine",
+            [
+                ("number", dme_value::Atom::str(number.clone())),
+                ("type", dme_value::Atom::str(*ty)),
+            ],
+        );
+        let assoc = Association::new(
+            "operate",
+            [
+                (
+                    "agent",
+                    EntityRef::new(
+                        "employee",
+                        dme_value::Atom::str(p.employees[*operator].0.clone()),
+                    ),
+                ),
+                (
+                    "object",
+                    EntityRef::new("machine", dme_value::Atom::str(number.clone())),
+                ),
+            ],
+        );
+        let unit = SemanticUnit::new()
+            .with_entity(entity)
+            .with_association(assoc);
+        if present[m] {
+            ops.push(GraphOp::DeleteUnit(unit));
+        } else {
+            ops.push(GraphOp::InsertUnit(unit));
+        }
+        present[m] = !present[m];
+    }
+    ops
+}
+
+/// The relational `insert-statements`/`delete-statements` mirror of
+/// [`supervision_toggle_ops`] (Minimal completion: machine column null).
+pub fn supervision_toggle_rel_ops(cfg: ShopConfig, n: usize) -> Vec<RelOp> {
+    supervision_toggle_ops(cfg, n)
+        .into_iter()
+        .filter_map(|op| {
+            let (assoc, insert) = match op {
+                GraphOp::InsertAssociation(a) => (a, true),
+                GraphOp::DeleteAssociation(a) => (a, false),
+                _ => return None,
+            };
+            let t = tuple![
+                assoc.role("agent").expect("has agent").key.clone(),
+                assoc.role("object").expect("has object").key.clone(),
+                Value::Null
+            ];
+            Some(if insert {
+                RelOp::insert("Jobs", [t])
+            } else {
+                RelOp::delete("Jobs", [t])
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_logic::state_equivalent;
+    use dme_relation::constraints::check_all;
+
+    #[test]
+    fn generated_states_are_valid() {
+        let cfg = ShopConfig::small();
+        let g = graph_state(cfg);
+        g.validate().unwrap();
+        assert_eq!(g.sizes().0, cfg.employees + cfg.machines);
+
+        let r = relational_state(cfg);
+        r.well_formed().unwrap();
+        assert!(r.is_normalized());
+        check_all(r.schema(), &r).unwrap();
+    }
+
+    #[test]
+    fn generated_pair_is_state_equivalent() {
+        let cfg = ShopConfig::small();
+        let report = state_equivalent(&graph_state(cfg), &relational_state(cfg));
+        assert!(report.is_equivalent(), "{report}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ShopConfig::small();
+        assert_eq!(graph_state(cfg), graph_state(cfg));
+        assert_eq!(relational_state(cfg), relational_state(cfg));
+        let other = ShopConfig {
+            seed: 7,
+            ..ShopConfig::small()
+        };
+        assert_ne!(graph_state(cfg), graph_state(other));
+    }
+
+    #[test]
+    fn toggle_ops_apply_cleanly() {
+        let cfg = ShopConfig::small();
+        let mut g = graph_state(cfg);
+        for op in supervision_toggle_ops(cfg, 50) {
+            g = op.apply(&g).expect("toggles are valid by construction");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn relational_toggles_mirror_graph_toggles() {
+        let cfg = ShopConfig::small();
+        let mut g = graph_state(cfg);
+        let mut r = relational_state(cfg);
+        let gops = supervision_toggle_ops(cfg, 30);
+        let rops = supervision_toggle_rel_ops(cfg, 30);
+        assert_eq!(gops.len(), rops.len());
+        for (gop, rop) in gops.iter().zip(&rops) {
+            g = gop.apply(&g).unwrap();
+            r = rop.apply(&r).unwrap();
+            assert!(state_equivalent(&g, &r).is_equivalent());
+        }
+    }
+
+    #[test]
+    fn scaling_works() {
+        let cfg = ShopConfig::scaled(100);
+        let g = graph_state(cfg);
+        g.validate().unwrap();
+        assert_eq!(g.sizes().0, 100 + 66);
+    }
+}

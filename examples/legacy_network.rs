@@ -1,0 +1,93 @@
+//! The syntactic baselines and the restricted mappings of §3.1.
+//!
+//! A DBTG network database presented relationally under the
+//! Zimmerman/Fleck record-per-tuple mapping, with Kay's update
+//! restriction — and demonstrations of exactly the limitations the paper
+//! cites as motivation for the semantic treatment.
+//!
+//! Run with: `cargo run --example legacy_network`
+
+use borkin_equiv::syntactic::codd::{CoddOp, SynRelation};
+use borkin_equiv::syntactic::dbtg::DbtgOp;
+use borkin_equiv::syntactic::fixtures;
+use borkin_equiv::syntactic::mapping::{zimmerman_ops, zimmerman_state, KayError, KayMapper};
+use borkin_equiv::value::{tuple, Atom};
+
+fn main() {
+    // ── The network database ─────────────────────────────────────────────
+    let dbtg = fixtures::dbtg_machine_shop_state();
+    println!("DBTG machine shop:\n{dbtg:?}\n");
+
+    // ── The Zimmerman image: tuple per record, binary tuple per link ────
+    let image = zimmerman_state(&dbtg);
+    println!("Zimmerman relational image:");
+    for rel in image.schema().relations() {
+        println!(
+            "  {} ({} tuples)",
+            rel.name(),
+            image.tuples(rel.name().as_str()).count()
+        );
+    }
+    println!();
+
+    // ── Update translation under the mapping ────────────────────────────
+    let gw = dbtg
+        .find("EMP", "name", &Atom::str("G.Wayshum"))
+        .next()
+        .expect("fixture employee");
+    let tm = dbtg
+        .find("EMP", "name", &Atom::str("T.Manhart"))
+        .next()
+        .expect("fixture employee");
+    let connect = DbtgOp::Connect {
+        set_type: "SUPERVISES".into(),
+        owner: gw,
+        member: tm,
+    };
+    println!("DBTG operation: {connect}");
+    for op in zimmerman_ops(&connect, &dbtg).expect("translates") {
+        println!("  maps to: {op}");
+    }
+    println!();
+
+    // ── The expressiveness limitation the paper points out ─────────────
+    // "These restrictions … severely limit the types of information which
+    // a user might desire to appear together in a single relation."
+    let mapper = KayMapper::new(dbtg.clone());
+    let img = mapper.codd_state();
+    let emp = SynRelation::base(&img, "EMP").expect("record relation");
+    let operates = SynRelation::base(&img, "OPERATES").expect("link relation");
+    let machine = SynRelation::base(&img, "MACHINE").expect("record relation");
+    let desired = emp
+        .rename("dbkey", "owner")
+        .expect("attribute exists")
+        .natural_join(&operates)
+        .rename("member", "dbkey")
+        .expect("attribute exists")
+        .natural_join(&machine);
+    println!("The 'user-desired' employee⋈machine relation exists only as a view:");
+    for t in desired.tuples() {
+        println!("  {t}");
+    }
+    println!();
+
+    // ── Kay's restriction: no updates through views ─────────────────────
+    let mut mapper = mapper;
+    let view_update = CoddOp::insert("EMPMACHINES", [tuple![1, 2]]);
+    match mapper.update(&view_update) {
+        Err(KayError::NotUpdatable(rel)) => {
+            println!("Update through the view `{rel}` rejected (Kay's restriction).")
+        }
+        other => unreachable!("expected rejection, got {other:?}"),
+    }
+
+    // Base-relation updates do work:
+    let link = CoddOp::insert("SUPERVISES", [tuple![gw.0 as i64, tm.0 as i64]]);
+    mapper.update(&link).expect("base-relation update");
+    println!("Base-relation update applied: G.Wayshum now supervises T.Manhart.");
+    assert_eq!(mapper.dbtg().owner_of("SUPERVISES", tm), Some(gw));
+
+    println!("\nContrast with the semantic models (see `multi_model_shop`),");
+    println!("where *every* equivalent view is updatable through the verified");
+    println!("operation translators.");
+}

@@ -1,0 +1,39 @@
+#![deny(missing_docs)]
+
+//! # borkin-equiv — *Data Model Equivalence*, executable
+//!
+//! An executable reproduction of Sheldon A. Borkin's *Data Model
+//! Equivalence* (VLDB 1978): the semantic relation and semantic graph
+//! data models, the formal framework of databases/operations/application
+//! models, the hierarchy of equivalence definitions as decision
+//! procedures, constructive operation translators, syntactic baselines
+//! (Codd relational, DBTG network), and an ANSI/SPARC three-schema
+//! multi-model architecture built on top.
+//!
+//! This facade crate re-exports the workspace members under stable
+//! names; see each module's documentation for the full story, and the
+//! repository's `README.md`, `DESIGN.md` and `EXPERIMENTS.md` for the
+//! map back to the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use borkin_equiv::graph::fixtures as gfix;
+//! use borkin_equiv::relation::fixtures as rfix;
+//! use borkin_equiv::logic::state_equivalent;
+//!
+//! // The paper's Figure 4 (graph) and Figure 3 (relational) states
+//! // represent the same machine shop:
+//! let report = state_equivalent(&gfix::figure4_state(), &rfix::figure3_state());
+//! assert!(report.is_equivalent());
+//! ```
+
+pub use dme_ansi as ansi;
+pub use dme_core as equivalence;
+pub use dme_graph as graph;
+pub use dme_logic as logic;
+pub use dme_relation as relation;
+pub use dme_storage as storage;
+pub use dme_syntactic as syntactic;
+pub use dme_value as value;
+pub use dme_workload as workload;

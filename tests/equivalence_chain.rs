@@ -1,0 +1,206 @@
+//! E-D1 … E-D6: the equivalence hierarchy (Definitions 1–6) exercised on
+//! the witness application models, establishing the paper's strictness
+//! chain
+//!
+//! > isomorphic ⇒ composed operation ⇒ state dependent
+//!
+//! with separating witnesses at each level, and the Definition 6
+//! data-model check with a partial-equivalence witness.
+
+use std::sync::Arc;
+
+use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
+use borkin_equiv::equivalence::equiv::{
+    composed_equivalent, data_model_equivalent, isomorphic_equivalent, state_dependent_equivalent,
+    EquivKind,
+};
+use borkin_equiv::equivalence::model::{graph_model, relational_model, FiniteModel};
+use borkin_equiv::equivalence::witness;
+use borkin_equiv::graph::{GraphOp, GraphState};
+use borkin_equiv::relation::{RelOp, RelationState, RelationalSchema};
+
+const STATE_CAP: usize = 4_000;
+
+fn rel_model(
+    name: &str,
+    schema: RelationalSchema,
+    max_statements: usize,
+) -> FiniteModel<RelationState, RelOp> {
+    let ops = enumerate_rel_ops(&schema, max_statements);
+    let schema = Arc::new(schema);
+    relational_model(name, RelationState::empty(schema), ops)
+}
+
+fn graph_witness_model(name: &str) -> FiniteModel<GraphState, GraphOp> {
+    let schema = Arc::new(witness::micro_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    graph_model(name, GraphState::empty(schema), ops)
+}
+
+/// E-D1/E-D2: a pure renaming of an application model is isomorphically
+/// equivalent — and isomorphic implies composed implies state dependent.
+#[test]
+fn e_d2_renaming_is_isomorphically_equivalent() {
+    let m = rel_model("micro", witness::micro_relational_schema(), 2);
+    let n = rel_model(
+        "micro-renamed",
+        witness::micro_relational_schema_renamed(),
+        2,
+    );
+
+    let iso = isomorphic_equivalent(&m, &n, STATE_CAP).unwrap();
+    assert!(iso.equivalent, "{iso}");
+
+    // Strictness chain: the weaker equivalences must also hold.
+    let composed = composed_equivalent(&m, &n, STATE_CAP, 2).unwrap();
+    assert!(composed.equivalent, "{composed}");
+    let state_dep = state_dependent_equivalent(&m, &n, STATE_CAP, 2).unwrap();
+    assert!(state_dep.equivalent, "{state_dep}");
+}
+
+/// E-D3: the same schema with single-statement vs two-statement
+/// operations: composed-operation equivalent (a two-statement insertion
+/// is a composition of single insertions) but *not* isomorphic.
+#[test]
+fn e_d3_composed_but_not_isomorphic() {
+    let singles = rel_model("micro-singles", witness::micro_relational_schema(), 1);
+    let pairs = rel_model("micro-pairs", witness::micro_relational_schema(), 2);
+
+    let iso = isomorphic_equivalent(&singles, &pairs, STATE_CAP).unwrap();
+    assert!(!iso.equivalent);
+    // Every single op exists on the pair side; only pair ops lack single
+    // equivalents.
+    assert!(iso.unmatched_m.is_empty(), "{iso}");
+    assert!(!iso.unmatched_n.is_empty());
+
+    let composed = composed_equivalent(&singles, &pairs, STATE_CAP, 2).unwrap();
+    assert!(composed.equivalent, "{composed}");
+}
+
+/// E-D4/E-D5: the micro relational and micro graph models are state
+/// dependent equivalent but *not* composed equivalent: `insert-statements`
+/// is idempotent while `insert-association` is strict, so the relational
+/// insertion corresponds to `insert-association` where the association is
+/// absent and to the empty composition where it is present — a per-state
+/// choice (§3.3.1's phenomenon, reduced to its essence).
+#[test]
+fn e_d5_state_dependent_but_not_composed() {
+    let m = rel_model("micro-rel", witness::micro_relational_schema(), 2);
+    let n = graph_witness_model("micro-graph");
+
+    let composed = composed_equivalent(&m, &n, STATE_CAP, 3).unwrap();
+    assert!(!composed.equivalent);
+    assert!(
+        composed
+            .unmatched_m
+            .iter()
+            .any(|op| op.starts_with("insert-statements")),
+        "the idempotent relational insert should be a witness: {composed}"
+    );
+
+    let state_dep = state_dependent_equivalent(&m, &n, STATE_CAP, 3).unwrap();
+    assert!(state_dep.equivalent, "{state_dep}");
+}
+
+/// §3.3.2's headline claim at machine-shop scale: "By restricting the
+/// allowed constraints, total state dependent equivalence can be defined
+/// for the semantic relation and graph data models." The mini machine
+/// shop — with machines, totality, functionality and semantic units —
+/// is state dependent equivalent across the full enumerated closure.
+#[test]
+fn e_d5_mini_machine_shop_is_state_dependent_equivalent() {
+    let m = rel_model("mini-rel", witness::mini_relational_schema(), 2);
+    let schema = Arc::new(witness::mini_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    let n = graph_model("mini-graph", GraphState::empty(schema), ops);
+
+    let report = state_dependent_equivalent(&m, &n, STATE_CAP, 3).unwrap();
+    assert!(report.equivalent, "{report}");
+    assert!(
+        report.state_pairs > 20,
+        "non-trivial closure: {}",
+        report.state_pairs
+    );
+}
+
+/// §3.3.2: "there may be several relational application models state
+/// dependent equivalent to each graph model" — both the three-relation
+/// and the single-relation (Figure 9 shape) mini models are equivalent
+/// to the mini graph model, so Definition 6's correspondence is
+/// many-to-one by construction.
+#[test]
+fn e_f9_two_relational_models_equivalent_to_one_graph_model() {
+    // Depth 8: a single two-statement delete can deny *everything* —
+    // both employees, all supervisions, and the machine's semantic unit —
+    // which decomposes into up to seven graph operations.
+    let kind = EquivKind::StateDependent { max_depth: 8 };
+    let ms = vec![
+        rel_model("mini-three-relations", witness::mini_relational_schema(), 2),
+        rel_model("mini-single-relation", witness::mini_figure9_schema(), 2),
+    ];
+    let schema = Arc::new(witness::mini_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    let ns = vec![graph_model("mini-graph", GraphState::empty(schema), ops)];
+
+    let report = data_model_equivalent(&ms, &ns, kind, STATE_CAP).unwrap();
+    assert!(report.equivalent, "{report}");
+    // The one graph model is matched by BOTH relational models.
+    assert_eq!(report.matches_n[0].1.len(), 2, "{report}");
+}
+
+/// E-D6: data model equivalence and its failure mode. The relational
+/// data model {micro} and the graph data model {micro} are state
+/// dependent equivalent; adding a relational application model whose
+/// constraint no graph schema can express leaves the data models only
+/// *partially* equivalent.
+#[test]
+fn e_d6_data_model_equivalence_and_partiality() {
+    let kind = EquivKind::StateDependent { max_depth: 3 };
+
+    let graphs: Vec<FiniteModel<GraphState, GraphOp>> = witness::all_micro_graph_schemas()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, schema)| {
+            // Totality on a supervise role makes *every* non-empty state
+            // invalid (inserting the first employee violates totality, and
+            // associations need entities first): keep the generable ones.
+            schema.participations().all(|(_, p)| !p.total)
+        })
+        .map(|(i, schema)| {
+            let schema = Arc::new(schema);
+            let ops = enumerate_graph_ops(&schema);
+            graph_model(format!("graph-{i}"), GraphState::empty(schema), ops)
+        })
+        .collect();
+
+    // Total equivalence for the unconstrained micro model.
+    let ms = vec![rel_model(
+        "micro-rel",
+        witness::micro_relational_schema(),
+        2,
+    )];
+    let report = data_model_equivalent(&ms, &graphs[..1], kind, STATE_CAP).unwrap();
+    assert!(report.equivalent, "{report}");
+
+    // Partial equivalence once the inexpressible model joins.
+    let ms = vec![
+        rel_model("micro-rel", witness::micro_relational_schema(), 2),
+        rel_model(
+            "micro-rel-supervisors-supervised",
+            witness::micro_relational_schema_supervisors_supervised(),
+            2,
+        ),
+    ];
+    let report = data_model_equivalent(&ms, &graphs, kind, STATE_CAP).unwrap();
+    assert!(!report.equivalent, "{report}");
+    assert_eq!(
+        report.unmatched_m(),
+        vec!["micro-rel-supervisors-supervised"],
+        "exactly the inexpressibly-constrained model lacks a counterpart: {report}"
+    );
+    // The plain model still has a graph counterpart.
+    assert!(report
+        .matches_m
+        .iter()
+        .any(|(name, v)| name == "micro-rel" && !v.is_empty()));
+}

@@ -1,0 +1,242 @@
+//! Failure injection: every invalid operation, at every level of every
+//! model, must yield the paper's error state and leave the database
+//! byte-identical — "one such possible new state is the *error* state"
+//! (§2.1), and operations are pure functions of the state.
+
+use borkin_equiv::ansi::MultiModelDatabase;
+use borkin_equiv::equivalence::translate::CompletionMode;
+use borkin_equiv::graph::fixtures as gfix;
+use borkin_equiv::graph::{Association, Entity, EntityRef, GraphOp, SemanticUnit};
+use borkin_equiv::relation::fixtures as rfix;
+use borkin_equiv::relation::ops::StatementSet;
+use borkin_equiv::relation::RelOp;
+use borkin_equiv::syntactic::codd::CoddOp;
+use borkin_equiv::syntactic::dbtg::{DbtgOp, Record, RecordId};
+use borkin_equiv::syntactic::fixtures as sfix;
+use borkin_equiv::value::{tuple, Atom, Value};
+
+fn emp(name: &str) -> EntityRef {
+    EntityRef::new("employee", Atom::str(name))
+}
+
+fn machine(number: &str) -> EntityRef {
+    EntityRef::new("machine", Atom::str(number))
+}
+
+#[test]
+fn every_invalid_relational_op_is_rejected_cleanly() {
+    let state = rfix::figure3_state();
+    let invalid: Vec<RelOp> = vec![
+        // Unknown relation.
+        RelOp::insert("Ghost", [tuple!["x"]]),
+        // Domain violation.
+        RelOp::insert("Employees", [tuple!["Nobody", 32]]),
+        // Wrong arity.
+        RelOp::insert("Employees", [tuple!["T.Manhart"]]),
+        // Null in non-nullable column.
+        RelOp::insert("Employees", [tuple![Value::Null, 32]]),
+        // Vacuous statement.
+        RelOp::insert("Jobs", [tuple![Value::Null, "G.Wayshum", Value::Null]]),
+        // Key violation (constraint 3): second operator for JCL181.
+        RelOp::insert("Operate", [tuple!["G.Wayshum", "JCL181", "press"]]),
+        // Second age for an employee (Unique Employees[0]).
+        RelOp::insert("Employees", [tuple!["T.Manhart", 40]]),
+        // Agreement violation: Jobs pair Operate lacks.
+        RelOp::insert("Jobs", [tuple![Value::Null, "G.Wayshum", "NZ745"]]),
+        // Deleting an employee still referenced by statements.
+        RelOp::delete("Employees", [tuple!["C.Gershag", 40]]),
+        // Multi-relation set where one statement is malformed.
+        RelOp::insert_set(
+            StatementSet::new()
+                .with("Employees", tuple!["T.Manhart", 32])
+                .with("Ghost", tuple!["x"]),
+        ),
+    ];
+    for op in invalid {
+        assert!(op.apply(&state).is_err(), "{op} should be rejected");
+        assert_eq!(state, rfix::figure3_state(), "{op} must not mutate input");
+    }
+}
+
+#[test]
+fn every_invalid_graph_op_is_rejected_cleanly() {
+    let state = gfix::figure4_state();
+    let bad_entity = Entity::new("employee", [("name", Atom::str("T.Manhart"))]);
+    let invalid: Vec<GraphOp> = vec![
+        // Existing entity.
+        GraphOp::InsertEntity(Entity::new(
+            "employee",
+            [("name", Atom::str("T.Manhart")), ("age", Atom::int(32))],
+        )),
+        // Missing characteristic.
+        GraphOp::InsertEntity(bad_entity),
+        // Unknown type.
+        GraphOp::InsertEntity(Entity::new("droid", [("name", Atom::str("R2"))])),
+        // Machine without its operation association (semantic unit).
+        GraphOp::InsertEntity(Entity::new(
+            "machine",
+            [("number", Atom::str("NZ745")), ("type", Atom::str("lathe"))],
+        )),
+        // Entity with live role edges.
+        GraphOp::DeleteEntity(emp("G.Wayshum")),
+        // Missing entity.
+        GraphOp::DeleteEntity(emp("Nobody")),
+        // Existing association.
+        GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [("agent", emp("G.Wayshum")), ("object", emp("C.Gershag"))],
+        )),
+        // Functionality violation: second operator for NZ745.
+        GraphOp::InsertAssociation(Association::new(
+            "operate",
+            [("agent", emp("C.Gershag")), ("object", machine("NZ745"))],
+        )),
+        // Totality violation: strip a machine's only operation.
+        GraphOp::DeleteAssociation(Association::new(
+            "operate",
+            [("agent", emp("T.Manhart")), ("object", machine("NZ745"))],
+        )),
+        // A unit that re-inserts an existing machine.
+        GraphOp::InsertUnit(SemanticUnit::new().with_entity(Entity::new(
+            "machine",
+            [
+                ("number", Atom::str("JCL181")),
+                ("type", Atom::str("press")),
+            ],
+        ))),
+    ];
+    for op in invalid {
+        assert!(op.apply(&state).is_err(), "{op} should be rejected");
+        assert_eq!(state, gfix::figure4_state(), "{op} must not mutate input");
+    }
+}
+
+#[test]
+fn every_invalid_syntactic_op_is_rejected_cleanly() {
+    let codd = sfix::codd_machine_shop_state();
+    for op in [
+        CoddOp::insert("EMP", [tuple!["T.Manhart", 32]]), // duplicate
+        CoddOp::insert("EMP", [tuple![Value::Null, 32]]), // null
+        CoddOp::insert("EMP", [tuple!["G.Wayshum", 32]]), // key violation
+        CoddOp::delete("EMP", [tuple!["G.Wayshum", 99]]), // absent
+        CoddOp::insert("GHOST", [tuple!["x"]]),           // unknown relation
+    ] {
+        assert!(op.apply(&codd).is_err(), "{op} should be rejected");
+        assert_eq!(codd, sfix::codd_machine_shop_state());
+    }
+
+    let dbtg = sfix::dbtg_machine_shop_state();
+    let tm = dbtg
+        .find("EMP", "name", &Atom::str("T.Manhart"))
+        .next()
+        .expect("fixture employee");
+    for op in [
+        DbtgOp::Erase(tm),                                // still linked
+        DbtgOp::Erase(RecordId(999)),                     // missing
+        DbtgOp::Modify(tm, vec![Atom::str("T.Manhart")]), // wrong arity
+        DbtgOp::Store(Record::new("EMP", [Atom::str("Nobody"), Atom::int(32)])), // bad domain
+        DbtgOp::Disconnect {
+            set_type: "SUPERVISES".into(),
+            member: tm,
+        }, // not connected
+    ] {
+        assert!(op.apply(&dbtg).is_err(), "{op} should be rejected");
+        assert_eq!(dbtg, sfix::dbtg_machine_shop_state());
+    }
+}
+
+#[test]
+fn multi_model_database_survives_a_barrage_of_invalid_updates() {
+    let db = MultiModelDatabase::new(gfix::figure4_state()).unwrap();
+    db.add_view(
+        "full",
+        rfix::machine_shop_schema(),
+        CompletionMode::StateCompleted,
+    )
+    .unwrap();
+    db.add_view(
+        "personnel",
+        rfix::personnel_schema(),
+        CompletionMode::Minimal,
+    )
+    .unwrap();
+
+    let graph_attacks = vec![
+        GraphOp::DeleteEntity(emp("G.Wayshum")),
+        GraphOp::InsertAssociation(Association::new(
+            "operate",
+            [("agent", emp("C.Gershag")), ("object", machine("NZ745"))],
+        )),
+    ];
+    for op in &graph_attacks {
+        assert!(db.update_conceptual(op).is_err());
+    }
+    let rel_attacks = vec![
+        (
+            "full",
+            RelOp::insert("Operate", [tuple!["G.Wayshum", "JCL181", "press"]]),
+        ),
+        ("full", RelOp::insert("Ghost", [tuple!["x"]])),
+        (
+            "personnel",
+            RelOp::insert("Supervisions", [tuple!["Nobody", "T.Manhart"]]),
+        ),
+        (
+            "personnel",
+            RelOp::delete("Employees", [tuple!["C.Gershag", 40]]),
+        ),
+    ];
+    for (view, op) in &rel_attacks {
+        assert!(db.update_view(view, op).is_err(), "{view}: {op}");
+    }
+    // Nothing moved, everything still consistent.
+    db.verify_consistency().unwrap();
+    assert_eq!(db.conceptual(), gfix::figure4_state());
+    assert_eq!(db.view_state("full").unwrap(), rfix::figure3_state());
+}
+
+#[test]
+fn storage_transactions_roll_back_on_panic_free_abort() {
+    // The internal level's journal under interleaved valid/invalid work.
+    let mut store = borkin_equiv::storage::RecordStore::new();
+    store.create_table("T").unwrap();
+    let mut txn = store.begin();
+    txn.insert("T", tuple![1]).unwrap();
+    txn.commit();
+    for _ in 0..10 {
+        let mut txn = store.begin();
+        txn.insert("T", tuple![2]).unwrap();
+        txn.delete("T", &tuple![1]).unwrap();
+        assert!(txn.insert("Ghost", tuple![3]).is_err());
+        // Abort by drop.
+    }
+    assert_eq!(store.scan("T").unwrap(), vec![tuple![1]]);
+}
+
+#[test]
+fn personnel_delete_of_supervising_employee_is_rejected() {
+    // Deleting G.Wayshum through the personnel view: the view itself
+    // still asserts the supervision (subset constraint) — error, and the
+    // conceptual model is untouched.
+    let db = MultiModelDatabase::new(gfix::figure4_state()).unwrap();
+    db.add_view(
+        "personnel",
+        rfix::personnel_schema(),
+        CompletionMode::Minimal,
+    )
+    .unwrap();
+    let op = RelOp::delete("Employees", [tuple!["G.Wayshum", 50]]);
+    assert!(db.update_view("personnel", &op).is_err());
+    db.verify_consistency().unwrap();
+
+    // Denying the supervision in the same statement set succeeds and
+    // cascades correctly everywhere.
+    let op = RelOp::delete_set(
+        StatementSet::new()
+            .with("Employees", tuple!["G.Wayshum", 50])
+            .with("Supervisions", tuple!["G.Wayshum", "C.Gershag"]),
+    );
+    db.update_view("personnel", &op).unwrap();
+    db.verify_consistency().unwrap();
+    assert!(db.conceptual().entity(&emp("G.Wayshum")).is_none());
+}

@@ -1,0 +1,217 @@
+//! E-F3 … E-F9: the paper's figures, reproduced end-to-end across crates.
+//!
+//! Each test is one row of EXPERIMENTS.md: it rebuilds a figure's state
+//! or transition in both data models and checks the property the paper
+//! claims for it.
+
+use borkin_equiv::equivalence::translate::{
+    graph_op_to_relational, relational_op_to_graph, CompletionMode,
+};
+use borkin_equiv::graph::fixtures as gfix;
+use borkin_equiv::graph::{Association, EntityRef, GraphOp};
+use borkin_equiv::logic::{state_equivalent, ToFacts};
+use borkin_equiv::relation::constraints::check_all;
+use borkin_equiv::relation::fixtures as rfix;
+use borkin_equiv::relation::RelOp;
+use borkin_equiv::value::{tuple, Atom, Value};
+
+fn emp(name: &str) -> EntityRef {
+    EntityRef::new("employee", Atom::str(name))
+}
+
+fn gw_tm_supervision() -> Association {
+    Association::new(
+        "supervise",
+        [("agent", emp("G.Wayshum")), ("object", emp("T.Manhart"))],
+    )
+}
+
+/// E-F3: the Figure 3 semantic relation state satisfies the four §3.2.1
+/// constraints.
+#[test]
+fn e_f3_figure3_state_satisfies_constraints() {
+    let schema = rfix::machine_shop_schema();
+    let state = rfix::figure3_state();
+    state.well_formed().unwrap();
+    check_all(&schema, &state).unwrap();
+}
+
+/// E-F4/E-F5: the Figure 4 graph state validates against the Figure 5
+/// schema (totality, functionality, references).
+#[test]
+fn e_f4_figure4_state_validates() {
+    gfix::figure4_state().validate().unwrap();
+}
+
+/// E-F3≡F4 (§3.2.3): the two states compile to the same set of logical
+/// statements — they are state equivalent.
+#[test]
+fn e_f3_f4_states_equivalent_via_logic() {
+    let report = state_equivalent(&rfix::figure3_state(), &gfix::figure4_state());
+    assert!(report.is_equivalent(), "{report}");
+    // And the common fact base is the 13 statements of the machine shop.
+    assert_eq!(rfix::figure3_state().to_facts().len(), 13);
+}
+
+/// E-F6/E-F7: inserting the supervision on the graph side translates to
+/// the relational insertion of Figure 7's second tuple, and the old
+/// partial tuple is automatically deleted (subsumption).
+#[test]
+fn e_f6_f7_graph_insertion_translates_with_subsumption() {
+    let gop = GraphOp::InsertAssociation(gw_tm_supervision());
+    let rops = graph_op_to_relational(
+        &gop,
+        &gfix::figure4_state(),
+        &rfix::figure3_state(),
+        CompletionMode::StateCompleted,
+    )
+    .unwrap();
+    assert_eq!(rops.len(), 1);
+
+    // The literal tuple of Figure 7.
+    let RelOp::Insert(set) = &rops[0] else {
+        panic!("expected insert-statements")
+    };
+    assert_eq!(
+        set.tuples("Jobs").cloned().collect::<Vec<_>>(),
+        vec![tuple!["G.Wayshum", "T.Manhart", "NZ745"]]
+    );
+
+    // Lockstep application lands on Figures 6 and 7, still equivalent.
+    let g_after = gop.apply(&gfix::figure4_state()).unwrap();
+    let r_after = rops[0].apply(&rfix::figure3_state()).unwrap();
+    assert_eq!(g_after, gfix::figure6_state());
+    assert_eq!(r_after, rfix::figure7_state());
+    assert!(state_equivalent(&g_after, &r_after).is_equivalent());
+    // The subsumed tuple is gone.
+    assert!(!r_after.relation("Jobs").unwrap().contains(&tuple![
+        Value::Null,
+        "T.Manhart",
+        "NZ745"
+    ]));
+}
+
+/// E-F8: the same graph operation against the premise state translates
+/// to a *different* relational tuple (with a null machine) — the paper's
+/// demonstration that operation equivalence can be state dependent.
+#[test]
+fn e_f8_state_dependent_translation() {
+    let gop = GraphOp::InsertAssociation(gw_tm_supervision());
+    let rops = graph_op_to_relational(
+        &gop,
+        &gfix::figure8_premise_state(),
+        &rfix::figure8_premise_state(),
+        CompletionMode::StateCompleted,
+    )
+    .unwrap();
+    let RelOp::Insert(set) = &rops[0] else {
+        panic!("expected insert-statements")
+    };
+    assert_eq!(
+        set.tuples("Jobs").cloned().collect::<Vec<_>>(),
+        vec![tuple!["G.Wayshum", "T.Manhart", Value::Null]]
+    );
+    let r_after = rops[0].apply(&rfix::figure8_premise_state()).unwrap();
+    assert_eq!(r_after, rfix::figure8_state());
+    assert!(state_equivalent(
+        &gop.apply(&gfix::figure8_premise_state()).unwrap(),
+        &r_after
+    )
+    .is_equivalent());
+}
+
+/// E-F8 (converse): under Minimal completion the inserted tuple is the
+/// same in both states — the state dependence moves into the operation
+/// semantics (statement normalization) instead of the argument.
+#[test]
+fn e_f8_minimal_mode_is_state_independent() {
+    let gop = GraphOp::InsertAssociation(gw_tm_supervision());
+    let mut inserted = Vec::new();
+    for (g, r) in [
+        (gfix::figure4_state(), rfix::figure3_state()),
+        (gfix::figure8_premise_state(), rfix::figure8_premise_state()),
+    ] {
+        let rops = graph_op_to_relational(&gop, &g, &r, CompletionMode::Minimal).unwrap();
+        let RelOp::Insert(set) = &rops[0] else {
+            panic!("expected insert-statements")
+        };
+        inserted.push(set.clone());
+    }
+    assert_eq!(inserted[0], inserted[1]);
+}
+
+/// E-F9: the single-relation application model of Figure 9 is state
+/// equivalent to both Figure 3 and Figure 4 — "many different relational
+/// views of a single semantic graph conceptual application model".
+#[test]
+fn e_f9_single_relation_view_equivalent() {
+    let f9 = rfix::figure9_state();
+    f9.well_formed().unwrap();
+    check_all(&rfix::figure9_schema(), &f9).unwrap();
+    assert!(state_equivalent(&f9, &rfix::figure3_state()).is_equivalent());
+    assert!(state_equivalent(&f9, &gfix::figure4_state()).is_equivalent());
+}
+
+/// E-F9 (operations): the same graph operation translates into *each*
+/// relational view; after application all three databases still agree.
+#[test]
+fn e_f9_one_graph_op_two_relational_views() {
+    let gop = GraphOp::InsertAssociation(gw_tm_supervision());
+
+    let ops3 = graph_op_to_relational(
+        &gop,
+        &gfix::figure4_state(),
+        &rfix::figure3_state(),
+        CompletionMode::Minimal,
+    )
+    .unwrap();
+    let ops9 = graph_op_to_relational(
+        &gop,
+        &gfix::figure4_state(),
+        &rfix::figure9_state(),
+        CompletionMode::Minimal,
+    )
+    .unwrap();
+
+    let g_after = gop.apply(&gfix::figure4_state()).unwrap();
+    let r3_after = RelOp::apply_all(&ops3, &rfix::figure3_state()).unwrap();
+    let r9_after = RelOp::apply_all(&ops9, &rfix::figure9_state()).unwrap();
+
+    assert!(state_equivalent(&g_after, &r3_after).is_equivalent());
+    assert!(state_equivalent(&g_after, &r9_after).is_equivalent());
+    assert!(state_equivalent(&r3_after, &r9_after).is_equivalent());
+}
+
+/// The reverse direction: a relational update on the Figure 3 view
+/// translates to graph operations that keep the conceptual state in
+/// lockstep.
+#[test]
+fn relational_update_propagates_to_graph() {
+    let rop = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+    let gops =
+        relational_op_to_graph(&rop, &rfix::figure3_state(), &gfix::figure4_state()).unwrap();
+    assert_eq!(gops, vec![GraphOp::InsertAssociation(gw_tm_supervision())]);
+    let r_after = rop.apply(&rfix::figure3_state()).unwrap();
+    let g_after = GraphOp::apply_all(&gops, &gfix::figure4_state()).unwrap();
+    assert!(state_equivalent(&r_after, &g_after).is_equivalent());
+}
+
+/// Error-state agreement: an operation that errors on one side has an
+/// erroring counterpart on the other ("the error states of all
+/// application models are equivalent").
+#[test]
+fn error_states_correspond() {
+    // A second operator for JCL181: uniqueness/functionality violations
+    // on both sides.
+    let rop = RelOp::insert("Operate", [tuple!["G.Wayshum", "JCL181", "press"]]);
+    assert!(rop.apply(&rfix::figure3_state()).is_err());
+
+    let gop = GraphOp::InsertAssociation(Association::new(
+        "operate",
+        [
+            ("agent", emp("G.Wayshum")),
+            ("object", EntityRef::new("machine", Atom::str("JCL181"))),
+        ],
+    ));
+    assert!(gop.apply(&gfix::figure4_state()).is_err());
+}

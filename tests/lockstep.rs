@@ -1,0 +1,120 @@
+//! Property tests: the translators keep multi-model databases in
+//! lockstep over random operation sequences.
+//!
+//! This is Definition 4 (state dependent operation equivalence) tested
+//! constructively: for a random walk of graph operations from Figure 4,
+//! every step's translation applied to the relational replica must land
+//! on a state-equivalent pair — and vice versa for random relational
+//! walks.
+
+use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
+use borkin_equiv::equivalence::translate::{
+    graph_op_to_relational, relational_op_to_graph, CompletionMode, TranslateError,
+};
+use borkin_equiv::equivalence::witness;
+use borkin_equiv::graph::{GraphOp, GraphState};
+use borkin_equiv::logic::state_equivalent;
+use borkin_equiv::relation::{RelOp, RelationState};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn graph_setup() -> (GraphState, Vec<GraphOp>) {
+    let schema = Arc::new(witness::mini_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    (GraphState::empty(schema), ops)
+}
+
+fn rel_setup() -> (RelationState, Vec<RelOp>) {
+    let schema = witness::mini_relational_schema();
+    let ops = enumerate_rel_ops(&schema, 2);
+    (RelationState::empty(Arc::new(schema)), ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random graph walks stay in lockstep with their translated
+    /// relational replica, in both completion modes.
+    #[test]
+    fn graph_walk_keeps_replicas_equivalent(
+        choices in prop::collection::vec(0usize..1000, 1..12),
+        state_completed in any::<bool>(),
+    ) {
+        let (mut graph, gops) = graph_setup();
+        let (mut rel, _) = rel_setup();
+        let mode = if state_completed {
+            CompletionMode::StateCompleted
+        } else {
+            CompletionMode::Minimal
+        };
+        for c in choices {
+            // Prefer an applicable operation near the chosen index so the
+            // walk makes progress; fall back to the erroring one.
+            let op = (0..gops.len())
+                .map(|d| &gops[(c + d) % gops.len()])
+                .find(|op| op.apply(&graph).is_ok())
+                .unwrap_or(&gops[c % gops.len()]);
+            match graph_op_to_relational(op, &graph, &rel, mode) {
+                Ok(rops) => {
+                    graph = op.apply(&graph).expect("translator verified source op");
+                    rel = RelOp::apply_all(&rops, &rel).expect("translator verified target ops");
+                    let eq = state_equivalent(&graph, &rel);
+                    prop_assert!(eq.is_equivalent(), "diverged after {op}: {eq}");
+                }
+                Err(TranslateError::SourceOpFailed(_)) => {
+                    // The op errors on the graph side: both replicas stay.
+                    prop_assert!(op.apply(&graph).is_err());
+                }
+                Err(e) => prop_assert!(false, "translation failed for {op}: {e}"),
+            }
+        }
+    }
+
+    /// Random relational walks stay in lockstep with their translated
+    /// graph replica.
+    #[test]
+    fn relational_walk_keeps_replicas_equivalent(
+        choices in prop::collection::vec(0usize..10_000, 1..10),
+    ) {
+        let (mut graph, _) = graph_setup();
+        let (mut rel, rops) = rel_setup();
+        for c in choices {
+            let op = (0..rops.len())
+                .map(|d| &rops[(c + d) % rops.len()])
+                .find(|op| op.apply(&rel).is_ok())
+                .unwrap_or(&rops[c % rops.len()]);
+            match relational_op_to_graph(op, &rel, &graph) {
+                Ok(gops) => {
+                    rel = op.apply(&rel).expect("translator verified source op");
+                    graph = GraphOp::apply_all(&gops, &graph)
+                        .expect("translator verified target ops");
+                    let eq = state_equivalent(&rel, &graph);
+                    prop_assert!(eq.is_equivalent(), "diverged after {op}: {eq}");
+                }
+                Err(TranslateError::SourceOpFailed(_)) => {
+                    prop_assert!(op.apply(&rel).is_err());
+                }
+                Err(e) => prop_assert!(false, "translation failed for {op}: {e}"),
+            }
+        }
+    }
+
+    /// Insert-statements is idempotent: applying the same insertion twice
+    /// equals applying it once (and the second application translates to
+    /// the empty graph composition).
+    #[test]
+    fn repeated_insert_is_idempotent(
+        choices in prop::collection::vec(0usize..10_000, 1..6),
+    ) {
+        let (mut rel, rops) = rel_setup();
+        for c in choices {
+            let op = &rops[c % rops.len()];
+            if let Ok(next) = op.apply(&rel) {
+                if matches!(op, RelOp::Insert(_)) {
+                    prop_assert_eq!(op.apply(&next).ok(), Some(next.clone()));
+                }
+                rel = next;
+            }
+        }
+    }
+}

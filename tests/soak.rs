@@ -1,0 +1,65 @@
+//! End-to-end soak: a scaled multi-model database under a long mixed
+//! stream of supervision and machine-unit updates, audited for full
+//! cross-level consistency after every operation.
+//!
+//! This is the architecture of §1.2 under sustained load: every update
+//! is translated to two relational views (one per completion mode) and
+//! to storage, and `verify_consistency` re-derives and compares all four
+//! representations.
+
+use borkin_equiv::ansi::MultiModelDatabase;
+use borkin_equiv::equivalence::translate::CompletionMode;
+use borkin_equiv::workload::{
+    graph_state, machine_toggle_ops, relational_schema, supervision_toggle_ops, ShopConfig,
+};
+
+#[test]
+fn mixed_update_soak_with_two_views() {
+    let cfg = ShopConfig {
+        employees: 12,
+        machines: 8,
+        supervisions: 10,
+        seed: 7,
+    };
+    let db = MultiModelDatabase::new(graph_state(cfg)).expect("database initializes");
+    db.add_view("minimal", relational_schema(cfg), CompletionMode::Minimal)
+        .expect("view materializes");
+    db.add_view(
+        "completed",
+        relational_schema(cfg),
+        CompletionMode::StateCompleted,
+    )
+    .expect("view materializes");
+    db.verify_consistency().expect("initially consistent");
+
+    let supervisions = supervision_toggle_ops(cfg, 20);
+    let machines = machine_toggle_ops(cfg, 20);
+    let mut applied = 0;
+    for (s, m) in supervisions.iter().zip(&machines) {
+        for op in [s, m] {
+            match db.update_conceptual(op) {
+                Ok(()) => applied += 1,
+                Err(e) => panic!("workload op {op} rejected: {e}"),
+            }
+            db.verify_consistency()
+                .unwrap_or_else(|e| panic!("diverged after {op}: {e}"));
+        }
+    }
+    assert_eq!(applied, 40);
+
+    // Storage stays healthy under churn.
+    db.vacuum();
+    db.verify_consistency().expect("consistent after vacuum");
+}
+
+#[test]
+fn machine_toggles_apply_cleanly_standalone() {
+    let cfg = ShopConfig::small();
+    let mut g = graph_state(cfg);
+    for op in machine_toggle_ops(cfg, 30) {
+        g = op
+            .apply(&g)
+            .expect("machine toggles are valid by construction");
+    }
+    g.validate().expect("final state is valid");
+}
