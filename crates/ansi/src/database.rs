@@ -7,6 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use dme_core::translate::{relational_op_to_graph, CompletionMode, TranslateError};
+use dme_core::{FactInterner, InternerStats};
 use dme_graph::{GraphOp, GraphOpError, GraphState};
 use dme_relation::{RelOp, RelationState, RelationalSchema};
 
@@ -94,6 +95,10 @@ struct Levels {
 /// ```
 pub struct MultiModelDatabase {
     levels: RwLock<Levels>,
+    /// Hash-consed compilation of conceptual states for the audit:
+    /// auditing n views (or re-auditing an unchanged database) compiles
+    /// the conceptual state once, not n times.
+    audit_cache: FactInterner<GraphState>,
 }
 
 impl fmt::Debug for MultiModelDatabase {
@@ -118,6 +123,7 @@ impl MultiModelDatabase {
                 internal,
                 externals: BTreeMap::new(),
             }),
+            audit_cache: FactInterner::new(),
         }))
     }
 
@@ -271,8 +277,9 @@ impl MultiModelDatabase {
     /// must be equivalent to the conceptual state.
     pub fn verify_consistency(&self) -> Result<(), AnsiError> {
         let levels = self.levels.read();
+        let conceptual_facts = self.audit_cache.compile(&levels.conceptual);
         for (name, view) in &levels.externals {
-            if !view.consistent_with(&levels.conceptual) {
+            if !view.consistent_with_facts(&conceptual_facts) {
                 return Err(AnsiError::Inconsistent(format!("view `{name}` diverged")));
             }
         }
@@ -285,9 +292,16 @@ impl MultiModelDatabase {
         Ok(())
     }
 
-    /// Compacts the internal level.
+    /// Compacts the internal level and drops audit-cache entries for
+    /// conceptual states no longer current.
     pub fn vacuum(&self) {
         self.levels.write().internal.vacuum();
+        self.audit_cache.clear();
+    }
+
+    /// Counters of the consistency audit's compilation cache.
+    pub fn audit_cache_stats(&self) -> InternerStats {
+        self.audit_cache.stats()
     }
 
     /// View-integration audit (the §3.1 concern of "developing a single
@@ -523,6 +537,17 @@ mod tests {
         assert!(uncovered.entity_types.is_empty());
         assert!(uncovered.characteristics.is_empty());
         assert!(uncovered.predicates.is_empty());
+    }
+
+    #[test]
+    fn repeated_audits_hit_the_compilation_cache() {
+        let db = db();
+        db.verify_consistency().unwrap();
+        db.verify_consistency().unwrap();
+        db.verify_consistency().unwrap();
+        let stats = db.audit_cache_stats();
+        assert_eq!(stats.misses, 1, "one conceptual state, compiled once");
+        assert_eq!(stats.hits, 2, "later audits reuse the compilation");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use dme_core::translate::{
     graph_op_to_relational, materialize_relational_state, CompletionMode, TranslateError,
 };
 use dme_graph::{GraphOp, GraphState};
-use dme_logic::{state_equivalent, ToFacts};
+use dme_logic::{state_equivalent, FactBase, ToFacts};
 use dme_relation::{RelOp, RelationState, RelationalSchema};
 
 /// One external schema of the architecture: a semantic relation
@@ -91,7 +91,14 @@ impl ExternalView {
     /// the view's vocabulary (for a subset view, facts the view cannot
     /// express are out of scope).
     pub fn consistent_with(&self, conceptual: &GraphState) -> bool {
+        self.consistent_with_facts(&conceptual.to_facts())
+    }
+
+    /// [`ExternalView::consistent_with`] on a pre-compiled conceptual
+    /// fact base, so a caller auditing many views can compile the
+    /// conceptual state once (e.g. through a `dme_core::FactInterner`).
+    pub fn consistent_with_facts(&self, conceptual_facts: &FactBase) -> bool {
         let vocab = self.schema.vocabulary();
-        state_equivalent(&self.state, &vocab.filter(&conceptual.to_facts())).is_equivalent()
+        state_equivalent(&self.state, &vocab.filter(conceptual_facts)).is_equivalent()
     }
 }

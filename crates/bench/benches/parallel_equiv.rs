@@ -1,0 +1,126 @@
+//! E-P1: the parallel, memoized engine against the sequential reference
+//! on the largest Definition 6 fixture (the E-D6 micro data models) and
+//! on the mini machine shop's state-dependent check.
+//!
+//! The sequential checkers stay in the suite as the reference; this
+//! bench quantifies what the work-stealing grid driver plus the shared
+//! fact-base interner buy on multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use std::sync::Arc;
+
+use dme_core::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
+use dme_core::equiv::{data_model_equivalent, state_dependent_equivalent, EquivKind};
+use dme_core::model::{graph_model, relational_model, FiniteModel};
+use dme_core::parallel::{
+    parallel_application_models_equivalent, parallel_data_model_equivalent, ParallelConfig,
+};
+use dme_core::witness;
+use dme_graph::{GraphOp, GraphState};
+use dme_relation::{RelOp, RelationState, RelationalSchema};
+
+const STATE_CAP: usize = 4_000;
+
+fn rel_model(
+    name: &str,
+    schema: RelationalSchema,
+    max_statements: usize,
+) -> FiniteModel<RelationState, RelOp> {
+    let ops = enumerate_rel_ops(&schema, max_statements);
+    relational_model(name, RelationState::empty(Arc::new(schema)), ops)
+}
+
+/// The E-D6 fixture: the largest data-model check in the suite.
+fn d6_fixture() -> (
+    Vec<FiniteModel<RelationState, RelOp>>,
+    Vec<FiniteModel<GraphState, GraphOp>>,
+) {
+    let ms = vec![
+        rel_model("micro-rel", witness::micro_relational_schema(), 2),
+        rel_model(
+            "micro-rel-supervisors-supervised",
+            witness::micro_relational_schema_supervisors_supervised(),
+            2,
+        ),
+    ];
+    let ns: Vec<FiniteModel<GraphState, GraphOp>> = witness::all_micro_graph_schemas()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, schema)| schema.participations().all(|(_, p)| !p.total))
+        .map(|(i, schema)| {
+            let schema = Arc::new(schema);
+            let ops = enumerate_graph_ops(&schema);
+            graph_model(format!("graph-{i}"), GraphState::empty(schema), ops)
+        })
+        .collect();
+    (ms, ns)
+}
+
+fn bench_parallel_equiv(c: &mut Criterion) {
+    let kind = EquivKind::StateDependent { max_depth: 3 };
+    let mut group = c.benchmark_group("parallel_equiv");
+    group.sample_size(10);
+
+    let (ms, ns) = d6_fixture();
+    group.bench_function("data_model/sequential", |b| {
+        b.iter(|| {
+            let report = data_model_equivalent(&ms, &ns, kind, STATE_CAP).expect("runs");
+            assert!(!report.equivalent);
+            report
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("data_model/parallel", threads),
+            &threads,
+            |b, &threads| {
+                let config = ParallelConfig::with_threads(threads);
+                b.iter(|| {
+                    let verdict = parallel_data_model_equivalent(&ms, &ns, kind, STATE_CAP, &config)
+                        .expect("runs");
+                    assert!(!verdict.is_equivalent());
+                    verdict
+                })
+            },
+        );
+    }
+
+    let m = rel_model("mini-rel", witness::mini_relational_schema(), 2);
+    let schema = Arc::new(witness::mini_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    let n = graph_model("mini-graph", GraphState::empty(schema), ops);
+    group.bench_function("mini_machine_shop/sequential", |b| {
+        b.iter(|| {
+            let report = state_dependent_equivalent(&m, &n, STATE_CAP, 3).expect("runs");
+            assert!(report.equivalent);
+            report
+        })
+    });
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mini_machine_shop/parallel", threads),
+            &threads,
+            |b, &threads| {
+                let config = ParallelConfig::with_threads(threads);
+                let kind = EquivKind::StateDependent { max_depth: 3 };
+                b.iter(|| {
+                    let verdict =
+                        parallel_application_models_equivalent(&m, &n, kind, STATE_CAP, &config)
+                            .expect("runs");
+                    assert!(verdict.is_equivalent());
+                    verdict
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_parallel_equiv
+}
+criterion_main!(benches);

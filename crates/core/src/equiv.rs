@@ -150,11 +150,11 @@ where
         .collect()
 }
 
-fn identity_signature(n: usize) -> Signature {
+pub(crate) fn identity_signature(n: usize) -> Signature {
     (0..n as u32).map(Some).collect()
 }
 
-fn compose(first: &Signature, then: &Signature) -> Signature {
+pub(crate) fn compose(first: &Signature, then: &Signature) -> Signature {
     first
         .iter()
         .map(|r| r.and_then(|i| then[i as usize]))
@@ -328,30 +328,43 @@ fn per_state_reachability(
     let mut reach: Vec<BTreeSet<u32>> = Vec::with_capacity(pairs);
     let mut can_error: Vec<bool> = vec![false; pairs];
     for start in 0..pairs as u32 {
-        let mut seen: BTreeSet<u32> = BTreeSet::new();
-        seen.insert(start);
-        let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
-        queue.push_back((start, 0));
-        let mut error = false;
-        while let Some((state, depth)) = queue.pop_front() {
-            if depth >= max_depth {
-                continue;
-            }
-            for sig in op_sigs {
-                match sig[state as usize] {
-                    Some(next) => {
-                        if seen.insert(next) {
-                            queue.push_back((next, depth + 1));
-                        }
-                    }
-                    None => error = true,
-                }
-            }
-        }
+        let (seen, error) = reach_from(op_sigs, start, max_depth);
         reach.push(seen);
         can_error[start as usize] = error;
     }
     (reach, can_error)
+}
+
+/// One start state's slice of [`per_state_reachability`]: the pair
+/// indices reachable from `start` within `max_depth` steps, and whether
+/// the error state is reachable. Shared with the parallel engine, which
+/// fans the starts across workers.
+pub(crate) fn reach_from(
+    op_sigs: &[Signature],
+    start: u32,
+    max_depth: usize,
+) -> (BTreeSet<u32>, bool) {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    seen.insert(start);
+    let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
+    queue.push_back((start, 0));
+    let mut error = false;
+    while let Some((state, depth)) = queue.pop_front() {
+        if depth >= max_depth {
+            continue;
+        }
+        for sig in op_sigs {
+            match sig[state as usize] {
+                Some(next) => {
+                    if seen.insert(next) {
+                        queue.push_back((next, depth + 1));
+                    }
+                }
+                None => error = true,
+            }
+        }
+    }
+    (seen, error)
 }
 
 /// Definition 5: state dependent application model equivalence, with

@@ -28,17 +28,25 @@
 //! definition of the valid states. For infinite models the constructive
 //! translators (verified per call) take over.
 
+pub mod canon;
 pub mod enumerate;
 pub mod equiv;
 pub mod model;
+pub mod parallel;
 pub mod translate;
 pub mod witness;
 
+pub use canon::{FactInterner, InternerStats};
 pub use equiv::{
     composed_equivalent, data_model_equivalent, isomorphic_equivalent, operation_equivalent,
     pair_states, state_dependent_equivalent, CheckError, DataModelReport, EquivKind, MatchReport,
 };
 pub use model::FiniteModel;
+pub use parallel::{
+    parallel_application_models_equivalent, parallel_application_models_equivalent_with,
+    parallel_data_model_equivalent, parallel_data_model_equivalent_with, CheckBudget,
+    ParallelConfig, Side, Verdict, Witness,
+};
 pub use translate::{
     compile_time_translation, graph_op_to_relational, materialize_relational_state,
     relational_op_to_graph, CompletionMode, TranslateError,

@@ -35,7 +35,7 @@ impl From<GraphStateError> for GraphOpError {
 }
 
 /// An operation of the semantic graph model.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GraphOp {
     /// Insert an independent entity (valid only when the entity's type
     /// has no total participation).

@@ -18,13 +18,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_logic::Universe;
 use dme_value::Symbol;
 
 /// Participation of an entity type in one (predicate, role).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Participation {
     /// Solid edge: every entity of the role's type must fill this role in
     /// at least one association.
@@ -83,7 +82,7 @@ impl fmt::Display for GraphSchemaError {
 impl std::error::Error for GraphSchemaError {}
 
 /// The schema of a semantic-graph application model.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GraphSchema {
     universe: Universe,
     participations: BTreeMap<(Symbol, Symbol), Participation>,

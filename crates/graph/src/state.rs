@@ -24,14 +24,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{Atom, Symbol, Value};
 
 use crate::schema::GraphSchema;
 
 /// A reference to an entity: its type and identifying value.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EntityRef {
     /// The entity type.
     pub entity_type: Symbol,
@@ -57,7 +56,7 @@ impl fmt::Display for EntityRef {
 
 /// An entity node: a thing in the application state, with its
 /// characteristic values (including the identifying one).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Entity {
     /// The entity type.
     pub entity_type: Symbol,
@@ -118,7 +117,7 @@ impl fmt::Display for Entity {
 
 /// An association node: an event of the application described by a
 /// predicate, with each role bound to an entity.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Association {
     /// The association type (predicate).
     pub predicate: Symbol,
@@ -333,6 +332,15 @@ impl Ord for GraphState {
         self.entities
             .cmp(&other.entities)
             .then_with(|| self.associations.cmp(&other.associations))
+    }
+}
+
+impl std::hash::Hash for GraphState {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with `Eq`: the role index is derived data and the
+        // schema is shared, so neither participates.
+        self.entities.hash(state);
+        self.associations.hash(state);
     }
 }
 

@@ -20,7 +20,7 @@ use std::fmt;
 use crate::state::{Association, Entity, EntityRef, GraphState};
 
 /// A group of entities and associations inserted or deleted together.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SemanticUnit {
     /// Entities of the unit (full entities for insertion; for deletion
     /// only the references matter but entities are returned for

@@ -12,12 +12,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{Atom, Symbol};
 
 /// A ground atom of the case-grammar logic: predicate + case bindings.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fact {
     predicate: Symbol,
     args: BTreeMap<Symbol, Atom>,

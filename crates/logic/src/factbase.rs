@@ -9,12 +9,11 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Fact, Pattern};
 
 /// An immutable-ish set of ground facts with set-algebra helpers.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FactBase {
     facts: BTreeSet<Fact>,
 }
@@ -137,7 +136,7 @@ impl fmt::Debug for FactBase {
 /// The difference between two fact bases: what an operation added and
 /// removed at the logic level. Operation equivalence (Definition 1) is
 /// checked by comparing the deltas both models' operations induce.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FactDelta {
     /// Facts true after but not before.
     pub added: FactBase,

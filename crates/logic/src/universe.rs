@@ -17,7 +17,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{Domain, DomainCatalog, Symbol};
 
@@ -26,7 +25,7 @@ use dme_value::{Domain, DomainCatalog, Symbol};
 ///
 /// The paper's Figure 5 arrowheads "state that employees are uniquely
 /// identified by their name"; here that is `id_characteristic == "name"`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EntityTypeDecl {
     name: Symbol,
     id_characteristic: Symbol,
@@ -79,7 +78,7 @@ impl EntityTypeDecl {
 /// Declaration of an association predicate: its cases and the entity type
 /// each case accepts (case grammar: "a verb phrase plus several noun
 /// phrases — one for each case required by the predicate").
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PredicateDecl {
     name: Symbol,
     /// case → entity type of the participant filling it.
@@ -189,7 +188,7 @@ impl fmt::Display for UniverseError {
 impl std::error::Error for UniverseError {}
 
 /// The shared case-grammar agreement: domains + entity types + predicates.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Universe {
     domains: DomainCatalog,
     entity_types: BTreeMap<Symbol, EntityTypeDecl>,

@@ -13,7 +13,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{Atom, Symbol};
 
@@ -106,7 +105,7 @@ pub fn association(predicate: &Symbol, cases: impl IntoIterator<Item = (Symbol, 
 /// between a subset view and the conceptual state is equality of the
 /// *filtered* fact bases, and operation translation works on filtered
 /// deltas.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FactFilter {
     /// Entity types whose existence facts are expressible.
     pub entity_types: BTreeSet<Symbol>,

@@ -25,7 +25,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{Symbol, Tuple};
 
@@ -33,7 +32,7 @@ use crate::schema::RelationalSchema;
 use crate::state::RelationState;
 
 /// A reference to a projection of one relation: `(relation, columns)`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ColsRef {
     /// The relation name.
     pub relation: Symbol,
@@ -111,7 +110,7 @@ impl fmt::Display for ConstraintViolation {
 impl std::error::Error for ConstraintViolation {}
 
 /// One integrity constraint of a relational application model.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Constraint {
     /// Projection containment: `from ⊆ to`.
     Subset {

@@ -46,7 +46,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{Symbol, Tuple, Value};
 
@@ -89,7 +88,7 @@ impl From<ConstraintViolation> for OpError {
 
 /// A set of statements, possibly spanning several relations — the
 /// argument of both operation types.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StatementSet {
     by_relation: BTreeMap<Symbol, BTreeSet<Tuple>>,
 }
@@ -162,7 +161,7 @@ impl fmt::Display for StatementSet {
 
 /// An operation of the semantic relation model: one application of an
 /// operation type to concrete arguments.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RelOp {
     /// `insert-statements`.
     Insert(StatementSet),

@@ -23,7 +23,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_logic::Universe;
 use dme_value::Symbol;
@@ -31,7 +30,7 @@ use dme_value::Symbol;
 use crate::constraints::Constraint;
 
 /// One predicate:case pair from the first heading row.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pair {
     /// `be <entity-type>:object` — the participant's existence is asserted
     /// by statements of this relation. The entity type is the
@@ -66,7 +65,7 @@ impl fmt::Display for Pair {
 }
 
 /// One characteristic column of a participant (heading rows 3–4).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CharacteristicCol {
     /// The characteristic (row 3), e.g. `name`, `age`.
     pub characteristic: Symbol,
@@ -99,7 +98,7 @@ impl CharacteristicCol {
 /// A participant of a relation heading: a noun phrase of the statement
 /// form, with the predicate:case pairs it fills and its characteristic
 /// columns.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Participant {
     /// Predicate:case pairs filled by this participant (heading row 1).
     pub pairs: BTreeSet<Pair>,
@@ -290,7 +289,7 @@ impl fmt::Display for SchemaError {
 impl std::error::Error for SchemaError {}
 
 /// One relation's heading: a name and its participants.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RelationSchema {
     name: Symbol,
     participants: Vec<Participant>,
@@ -467,7 +466,7 @@ impl RelationSchema {
 
 /// The declarative half of a semantic-relation application model: the
 /// universe agreement, the relation headings, and the constraints.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RelationalSchema {
     universe: Universe,
     relations: BTreeMap<Symbol, RelationSchema>,

@@ -133,6 +133,13 @@ impl Ord for RelationState {
     }
 }
 
+impl std::hash::Hash for RelationState {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with `Eq`: contents only, never the schema.
+        self.relations.hash(state);
+    }
+}
+
 impl fmt::Debug for RelationState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "RelationState {{")?;

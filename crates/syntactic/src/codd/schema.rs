@@ -4,12 +4,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{DomainCatalog, Symbol};
 
 /// A named, domain-typed attribute (column).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Attribute {
     /// The attribute name.
     pub name: Symbol,
@@ -28,7 +27,7 @@ impl Attribute {
 }
 
 /// A functional dependency `lhs → rhs` over attribute indices.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fd {
     /// Determinant attribute indices.
     pub lhs: Vec<usize>,
@@ -37,7 +36,7 @@ pub struct Fd {
 }
 
 /// One relation's heading: name, attributes, primary key, FDs.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SynRelationSchema {
     name: Symbol,
     attributes: Vec<Attribute>,
@@ -144,7 +143,7 @@ impl fmt::Display for CoddSchemaError {
 impl std::error::Error for CoddSchemaError {}
 
 /// A full syntactic relational schema: domains plus relation headings.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoddSchema {
     domains: DomainCatalog,
     relations: BTreeMap<Symbol, SynRelationSchema>,

@@ -3,12 +3,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use dme_value::{DomainCatalog, Symbol};
 
 /// A field of a record type.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Field {
     /// Field name.
     pub name: Symbol,
@@ -27,7 +26,7 @@ impl Field {
 }
 
 /// A record type: a name and its fields.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecordType {
     name: Symbol,
     fields: Vec<Field>,
@@ -60,7 +59,7 @@ impl RecordType {
 
 /// A set type: owner record type → member record type, with optional or
 /// mandatory membership for members.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SetType {
     name: Symbol,
     owner: Symbol,
@@ -165,7 +164,7 @@ impl fmt::Display for DbtgSchemaError {
 impl std::error::Error for DbtgSchemaError {}
 
 /// A DBTG schema: domains, record types, set types.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DbtgSchema {
     domains: DomainCatalog,
     record_types: BTreeMap<Symbol, RecordType>,

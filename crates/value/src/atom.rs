@@ -13,10 +13,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A single atomic value.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Atom {
     /// A boolean value.
     Bool(bool),

@@ -15,12 +15,11 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Atom, Symbol, Value};
 
 /// How a domain constrains its members.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DomainSpec {
     /// Exactly this finite set of atoms. Used by the bounded equivalence
     /// checkers, which enumerate all states over the schema's domains.
@@ -82,7 +81,7 @@ impl DomainSpec {
 }
 
 /// A named domain.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Domain {
     name: Symbol,
     spec: DomainSpec,
@@ -174,7 +173,7 @@ impl std::error::Error for DomainError {}
 
 /// A collection of named domains; the "specification of the values
 /// comprising each domain" that the paper requires every schema to carry.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DomainCatalog {
     domains: BTreeMap<Symbol, Domain>,
 }

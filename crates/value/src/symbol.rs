@@ -11,8 +11,6 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// An immutable, cheaply cloneable name.
 ///
 /// ```
@@ -22,9 +20,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s, t);
 /// assert_eq!(s.as_str(), "operate");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
-pub struct Symbol(#[serde(with = "arc_str_serde")] Arc<str>);
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
 
 impl Symbol {
     /// Creates a symbol from anything string-like.
@@ -92,21 +89,6 @@ impl PartialEq<&str> for Symbol {
     }
 }
 
-mod arc_str_serde {
-    use std::sync::Arc;
-
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &Arc<str>, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(v)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<str>, D::Error> {
-        let s = String::deserialize(d)?;
-        Ok(Arc::from(s))
-    }
-}
-
 /// Convenience macro for building a `Symbol` from a literal.
 ///
 /// ```
@@ -157,21 +139,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn string_round_trip() {
         let s = Symbol::new("machine");
-        let json = serde_json_like_round_trip(&s);
-        assert_eq!(json, s);
-    }
-
-    fn serde_json_like_round_trip(s: &Symbol) -> Symbol {
-        // We avoid depending on serde_json in this crate's tests; a
-        // round-trip through the serde data model via `serde::de::value`
-        // exercises the custom (de)serializers.
-        use serde::de::IntoDeserializer;
-        use serde::Deserialize;
-        let as_string = s.as_str().to_owned();
-        Symbol::deserialize(as_string.into_deserializer())
-            .unwrap_or_else(|_: serde::de::value::Error| unreachable!())
+        let back = Symbol::new(s.as_str().to_owned());
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -16,12 +16,11 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Index;
 
-use serde::{Deserialize, Serialize};
 
 use crate::Value;
 
 /// A fixed-arity sequence of values; one statement of a relation.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple(Box<[Value]>);
 
 impl Tuple {

@@ -22,13 +22,12 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::Atom;
 
 /// A value appearing in a database state: either the distinguished null
 /// ("----" in the paper's figures) or an atomic value.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// The null value. In the semantic relation model a null in a case
     /// column means "no participant fills this case" (e.g. "an employee

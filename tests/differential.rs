@@ -1,0 +1,269 @@
+//! Differential testing: the parallel, memoized engine must agree with
+//! the sequential reference checkers — same verdicts, same witness
+//! sets, same errors — on randomly generated finite application models,
+//! across all four checker tiers (Definitions 2, 3, 5 and 6), at every
+//! thread count.
+//!
+//! The generated models are the checker-plumbing toys from the unit
+//! suites: states are fact bases, operations insert or delete one fact
+//! from a small universe, so closures stay tiny while still exercising
+//! non-onto pairings, error states, idempotence asymmetries and partial
+//! data-model matches.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use borkin_equiv::equivalence::equiv::{
+    application_models_equivalent, data_model_equivalent, CheckError, EquivKind, MatchReport,
+};
+use borkin_equiv::equivalence::model::FiniteModel;
+use borkin_equiv::equivalence::parallel::{
+    parallel_application_models_equivalent, parallel_data_model_equivalent, ParallelConfig, Side,
+    Verdict,
+};
+use borkin_equiv::logic::{Fact, FactBase};
+use borkin_equiv::value::Atom;
+
+const STATE_CAP: usize = 512;
+
+fn fact(n: u8) -> Fact {
+    Fact::new("p", [("x", Atom::Int(n as i64))])
+}
+
+/// A model over fact-base states whose operations each insert or delete
+/// one fact; strict (inserting a present fact, or deleting an absent
+/// one, is the error state).
+fn toy_model(name: &str, ops: &[(bool, u8)]) -> FiniteModel<FactBase, String> {
+    let universe: BTreeMap<String, (bool, Fact)> = ops
+        .iter()
+        .map(|(add, n)| {
+            let f = fact(*n);
+            (format!("{}{}", if *add { "+" } else { "-" }, f), (*add, f))
+        })
+        .collect();
+    let op_names: Vec<String> = universe.keys().cloned().collect();
+    FiniteModel::new(name, FactBase::default(), op_names, move |op, s| {
+        let (add, f) = &universe[op];
+        let mut next = s.clone();
+        if *add {
+            next.insert(f.clone()).then_some(next)
+        } else {
+            next.remove(f).then_some(next)
+        }
+    })
+}
+
+/// Random operation sets over a 3-fact universe: small enough that the
+/// closure is at most 2^3 states, rich enough to produce equivalent,
+/// inequivalent and unpairable model pairs.
+fn ops_strategy() -> impl Strategy<Value = Vec<(bool, u8)>> {
+    prop::collection::vec((any::<bool>(), 0u8..3), 1..6)
+}
+
+fn kind_strategy() -> impl Strategy<Value = EquivKind> {
+    prop_oneof![
+        Just(EquivKind::Isomorphic),
+        (0usize..3).prop_map(|max_depth| EquivKind::Composed { max_depth }),
+        (0usize..3).prop_map(|max_depth| EquivKind::StateDependent { max_depth }),
+    ]
+}
+
+/// Asserts that a parallel [`Verdict`] says exactly what the sequential
+/// [`MatchReport`] says: same answer, same witnesses, same order.
+fn assert_verdict_matches_report(
+    verdict: &Verdict,
+    report: &MatchReport,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(verdict.is_equivalent(), report.equivalent);
+    match verdict {
+        Verdict::Equivalent { state_pairs } => {
+            prop_assert_eq!(*state_pairs, report.state_pairs);
+        }
+        Verdict::Counterexample {
+            state_pairs,
+            witnesses,
+        } => {
+            prop_assert_eq!(*state_pairs, report.state_pairs);
+            let left: Vec<&str> = witnesses
+                .iter()
+                .filter(|w| w.side == Side::Left)
+                .map(|w| w.label.as_str())
+                .collect();
+            let right: Vec<&str> = witnesses
+                .iter()
+                .filter(|w| w.side == Side::Right)
+                .map(|w| w.label.as_str())
+                .collect();
+            prop_assert_eq!(left, report.unmatched_m.iter().map(String::as_str).collect::<Vec<_>>());
+            prop_assert_eq!(right, report.unmatched_n.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+        Verdict::BudgetExhausted { .. } => {
+            prop_assert!(false, "unlimited budget must never exhaust");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Tier 2/3/5 differential: on every random model pair and every
+    /// definition, the parallel engine returns the sequential checker's
+    /// exact outcome — including the exact pairing/closure error when
+    /// the pair cannot be checked — at 1, 2 and 4 threads.
+    #[test]
+    fn parallel_engine_agrees_with_sequential_checkers(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let sequential = application_models_equivalent(&m, &n, kind, STATE_CAP);
+        for threads in [1usize, 2, 4] {
+            let parallel = parallel_application_models_equivalent(
+                &m,
+                &n,
+                kind,
+                STATE_CAP,
+                &ParallelConfig::with_threads(threads),
+            );
+            match (&sequential, &parallel) {
+                (Ok(report), Ok(verdict)) => assert_verdict_matches_report(verdict, report)?,
+                (Err(seq_err), Err(par_err)) => prop_assert_eq!(seq_err, par_err),
+                _ => prop_assert!(
+                    false,
+                    "engines disagree on checkability: sequential {:?}, parallel {:?}",
+                    sequential,
+                    parallel
+                ),
+            }
+        }
+    }
+
+    /// Early exit keeps soundness: whenever the full engine finds
+    /// counterexamples, the early-exit engine reports a counterexample
+    /// too, and its single witness is the full engine's first witness.
+    #[test]
+    fn early_exit_returns_the_first_full_witness(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let full = parallel_application_models_equivalent(
+            &m,
+            &n,
+            kind,
+            STATE_CAP,
+            &ParallelConfig::with_threads(4),
+        );
+        let early = parallel_application_models_equivalent(
+            &m,
+            &n,
+            kind,
+            STATE_CAP,
+            &ParallelConfig::with_threads(4).early_exit(),
+        );
+        match (&full, &early) {
+            (Ok(full_verdict), Ok(early_verdict)) => {
+                prop_assert_eq!(
+                    full_verdict.is_equivalent(),
+                    early_verdict.is_equivalent()
+                );
+                if let Verdict::Counterexample { witnesses, .. } = full_verdict {
+                    prop_assert_eq!(early_verdict.witnesses(), &witnesses[..1]);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "full {:?} vs early {:?}", full, early),
+        }
+    }
+
+    /// Tier 6 differential: data-model (Definition 6) checks agree —
+    /// the parallel grid's witness names are exactly the sequential
+    /// report's unmatched application models, in declaration order.
+    #[test]
+    fn parallel_data_model_check_agrees_with_sequential(
+        m_sets in prop::collection::vec(ops_strategy(), 1..3),
+        n_sets in prop::collection::vec(ops_strategy(), 1..3),
+        kind in kind_strategy(),
+    ) {
+        let ms: Vec<_> = m_sets
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| toy_model(&format!("m{i}"), ops))
+            .collect();
+        let ns: Vec<_> = n_sets
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| toy_model(&format!("n{i}"), ops))
+            .collect();
+        let report = data_model_equivalent(&ms, &ns, kind, STATE_CAP).unwrap();
+        for threads in [1usize, 4] {
+            let verdict = parallel_data_model_equivalent(
+                &ms,
+                &ns,
+                kind,
+                STATE_CAP,
+                &ParallelConfig::with_threads(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(verdict.is_equivalent(), report.equivalent);
+            let left: Vec<&str> = verdict
+                .witnesses()
+                .iter()
+                .filter(|w| w.side == Side::Left)
+                .map(|w| w.label.as_str())
+                .collect();
+            let right: Vec<&str> = verdict
+                .witnesses()
+                .iter()
+                .filter(|w| w.side == Side::Right)
+                .map(|w| w.label.as_str())
+                .collect();
+            prop_assert_eq!(left, report.unmatched_m());
+            prop_assert_eq!(right, report.unmatched_n());
+        }
+    }
+
+    /// Budget-exhaustion differential: a budgeted run either gives the
+    /// unlimited engine's exact verdict or exhausts — it never returns a
+    /// *different* answer, no matter how tight the budget.
+    #[test]
+    fn budgets_never_change_answers(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        max_nodes in 0u64..2_000,
+    ) {
+        let kind = EquivKind::Composed { max_depth: 2 };
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let unlimited = parallel_application_models_equivalent(
+            &m,
+            &n,
+            kind,
+            STATE_CAP,
+            &ParallelConfig::with_threads(2),
+        );
+        let budgeted = parallel_application_models_equivalent(
+            &m,
+            &n,
+            kind,
+            STATE_CAP,
+            &ParallelConfig::with_threads(2)
+                .budget(borkin_equiv::equivalence::parallel::CheckBudget::nodes(max_nodes)),
+        );
+        match (&unlimited, &budgeted) {
+            (Ok(full), Ok(Verdict::BudgetExhausted { .. })) => {
+                prop_assert!(!matches!(full, Verdict::BudgetExhausted { .. }));
+            }
+            (Ok(full), Ok(limited)) => prop_assert_eq!(full, limited),
+            // A blown budget may surface before the closure/pairing
+            // error does; both engines erring must mean the same error.
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (Err(CheckError::Closure(_) | CheckError::Pairing(_)), Ok(Verdict::BudgetExhausted { .. })) => {}
+            _ => prop_assert!(false, "unlimited {:?} vs budgeted {:?}", unlimited, budgeted),
+        }
+    }
+}

@@ -195,6 +195,54 @@ fn multi_model_database_survives_a_barrage_of_invalid_updates() {
     assert_eq!(db.view_state("full").unwrap(), rfix::figure3_state());
 }
 
+/// One run of the invalid-update barrage, returning the transcript of
+/// every rejection message and the final audit outcome.
+fn barrage_transcript() -> Vec<String> {
+    let db = MultiModelDatabase::new(gfix::figure4_state()).unwrap();
+    db.add_view(
+        "full",
+        rfix::machine_shop_schema(),
+        CompletionMode::StateCompleted,
+    )
+    .unwrap();
+    let mut transcript = Vec::new();
+    let graph_attacks = vec![
+        GraphOp::DeleteEntity(emp("G.Wayshum")),
+        GraphOp::InsertAssociation(Association::new(
+            "operate",
+            [("agent", emp("C.Gershag")), ("object", machine("NZ745"))],
+        )),
+        GraphOp::DeleteEntity(emp("Nobody")),
+    ];
+    for op in &graph_attacks {
+        let err = db.update_conceptual(op).unwrap_err();
+        transcript.push(format!("{op} => {err}"));
+    }
+    let rel_attacks = vec![
+        RelOp::insert("Operate", [tuple!["G.Wayshum", "JCL181", "press"]]),
+        RelOp::insert("Ghost", [tuple!["x"]]),
+        RelOp::delete("Employees", [tuple!["C.Gershag", 40]]),
+    ];
+    for op in &rel_attacks {
+        let err = db.update_view("full", op).unwrap_err();
+        transcript.push(format!("{op} => {err}"));
+    }
+    transcript.push(format!("audit => {:?}", db.verify_consistency()));
+    transcript
+}
+
+/// Failure injection is deterministic: two in-process runs of the same
+/// barrage produce identical rejection transcripts — error *messages*
+/// included, so diagnostics can be asserted on and diffed.
+#[test]
+fn failure_barrage_is_deterministic() {
+    let first = barrage_transcript();
+    let second = barrage_transcript();
+    assert_eq!(first, second, "rejection transcripts diverged");
+    assert_eq!(first.len(), 7);
+    assert!(first.last().unwrap().contains("Ok"), "audit stays green");
+}
+
 #[test]
 fn storage_transactions_roll_back_on_panic_free_abort() {
     // The internal level's journal under interleaved valid/invalid work.

@@ -1,0 +1,200 @@
+//! Property tests for the §3.3 hierarchy itself: isomorphic equivalence
+//! (Def. 2) implies composed operation equivalence (Def. 3) implies
+//! state dependent equivalence (Def. 5) on *every* checkable model
+//! pair — and the paper's separating witnesses keep the implications
+//! strict.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
+use borkin_equiv::equivalence::equiv::{
+    composed_equivalent, isomorphic_equivalent, state_dependent_equivalent, EquivKind,
+};
+use borkin_equiv::equivalence::model::{graph_model, relational_model, FiniteModel};
+use borkin_equiv::equivalence::parallel::{
+    parallel_application_models_equivalent, ParallelConfig,
+};
+use borkin_equiv::equivalence::witness;
+use borkin_equiv::graph::GraphState;
+use borkin_equiv::logic::{Fact, FactBase};
+use borkin_equiv::relation::RelationState;
+use borkin_equiv::value::Atom;
+
+const STATE_CAP: usize = 4_000;
+
+fn fact(n: u8) -> Fact {
+    Fact::new("p", [("x", Atom::Int(n as i64))])
+}
+
+fn toy_model(name: &str, ops: &[(bool, u8)]) -> FiniteModel<FactBase, String> {
+    let universe: BTreeMap<String, (bool, Fact)> = ops
+        .iter()
+        .map(|(add, n)| {
+            let f = fact(*n);
+            (format!("{}{}", if *add { "+" } else { "-" }, f), (*add, f))
+        })
+        .collect();
+    let op_names: Vec<String> = universe.keys().cloned().collect();
+    FiniteModel::new(name, FactBase::default(), op_names, move |op, s| {
+        let (add, f) = &universe[op];
+        let mut next = s.clone();
+        if *add {
+            next.insert(f.clone()).then_some(next)
+        } else {
+            next.remove(f).then_some(next)
+        }
+    })
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(bool, u8)>> {
+    prop::collection::vec((any::<bool>(), 0u8..3), 1..6)
+}
+
+proptest! {
+    /// Def. 2 ⇒ Def. 3: an isomorphically equivalent pair is composed
+    /// operation equivalent at every composition depth ≥ 1 (each simple
+    /// operation is its own one-op composition).
+    #[test]
+    fn isomorphic_implies_composed(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        depth in 1usize..4,
+    ) {
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let Ok(iso) = isomorphic_equivalent(&m, &n, STATE_CAP) else {
+            return Ok(()); // unpairable states: no hierarchy to test
+        };
+        if iso.equivalent {
+            let composed = composed_equivalent(&m, &n, STATE_CAP, depth).unwrap();
+            prop_assert!(
+                composed.equivalent,
+                "isomorphic pair not composed equivalent at depth {}: {}",
+                depth,
+                composed
+            );
+        }
+    }
+
+    /// Def. 3 ⇒ Def. 5: composed operation equivalence implies state
+    /// dependent equivalence at the same depth (a uniform composition
+    /// choice is in particular a per-state choice).
+    #[test]
+    fn composed_implies_state_dependent(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        depth in 0usize..4,
+    ) {
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let Ok(composed) = composed_equivalent(&m, &n, STATE_CAP, depth) else {
+            return Ok(());
+        };
+        if composed.equivalent {
+            let state_dep = state_dependent_equivalent(&m, &n, STATE_CAP, depth).unwrap();
+            prop_assert!(
+                state_dep.equivalent,
+                "composed pair not state dependent equivalent at depth {}: {}",
+                depth,
+                state_dep
+            );
+        }
+    }
+
+    /// Depth monotonicity: a deeper composition search never loses an
+    /// equivalence (the searched signature set only grows with depth).
+    #[test]
+    fn composition_depth_is_monotone(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        depth in 0usize..3,
+    ) {
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let Ok(shallow) = composed_equivalent(&m, &n, STATE_CAP, depth) else {
+            return Ok(());
+        };
+        if shallow.equivalent {
+            let deeper = composed_equivalent(&m, &n, STATE_CAP, depth + 1).unwrap();
+            prop_assert!(deeper.equivalent, "lost at depth {}: {}", depth + 1, deeper);
+        }
+        let Ok(shallow_sd) = state_dependent_equivalent(&m, &n, STATE_CAP, depth) else {
+            return Ok(());
+        };
+        if shallow_sd.equivalent {
+            let deeper = state_dependent_equivalent(&m, &n, STATE_CAP, depth + 1).unwrap();
+            prop_assert!(deeper.equivalent, "lost at depth {}: {}", depth + 1, deeper);
+        }
+    }
+}
+
+fn rel_micro(max_statements: usize, name: &str) -> FiniteModel<RelationState, borkin_equiv::relation::RelOp> {
+    let schema = witness::micro_relational_schema();
+    let ops = enumerate_rel_ops(&schema, max_statements);
+    relational_model(name, RelationState::empty(Arc::new(schema)), ops)
+}
+
+/// The §3.3 separating witnesses, re-verified through the *parallel*
+/// engine: singles-vs-pairs separates Def. 2 from Def. 3, and the
+/// idempotent relational insert vs the strict graph insert separates
+/// Def. 3 from Def. 5.
+#[test]
+fn witnesses_still_separate_the_tiers_under_the_parallel_engine() {
+    let config = ParallelConfig::with_threads(4);
+
+    // Composed but not isomorphic.
+    let singles = rel_micro(1, "micro-singles");
+    let pairs = rel_micro(2, "micro-pairs");
+    let iso = parallel_application_models_equivalent(
+        &singles,
+        &pairs,
+        EquivKind::Isomorphic,
+        STATE_CAP,
+        &config,
+    )
+    .unwrap();
+    assert!(!iso.is_equivalent(), "{iso}");
+    let composed = parallel_application_models_equivalent(
+        &singles,
+        &pairs,
+        EquivKind::Composed { max_depth: 2 },
+        STATE_CAP,
+        &config,
+    )
+    .unwrap();
+    assert!(composed.is_equivalent(), "{composed}");
+
+    // State dependent but not composed.
+    let m = rel_micro(2, "micro-rel");
+    let schema = Arc::new(witness::micro_graph_schema());
+    let gops = enumerate_graph_ops(&schema);
+    let n = graph_model("micro-graph", GraphState::empty(schema), gops);
+    let composed = parallel_application_models_equivalent(
+        &m,
+        &n,
+        EquivKind::Composed { max_depth: 3 },
+        STATE_CAP,
+        &config,
+    )
+    .unwrap();
+    assert!(!composed.is_equivalent(), "{composed}");
+    assert!(
+        composed
+            .witnesses()
+            .iter()
+            .any(|w| w.label.starts_with("insert-statements")),
+        "the idempotent relational insert should be a witness: {composed}"
+    );
+    let state_dep = parallel_application_models_equivalent(
+        &m,
+        &n,
+        EquivKind::StateDependent { max_depth: 3 },
+        STATE_CAP,
+        &config,
+    )
+    .unwrap();
+    assert!(state_dep.is_equivalent(), "{state_dep}");
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the cursor-style [`Buf`]/[`BufMut`] traits over `&[u8]`,
+//! `&mut [u8]` and `Vec<u8>`, plus a [`BytesMut`] fixed buffer — exactly
+//! the subset `dme-storage`'s slotted pages and tuple codec use. All
+//! integers are big-endian, matching the real crate's `get_*`/`put_*`
+//! defaults.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a buffer of bytes, advancing an internal cursor.
+pub trait Buf {
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// The bytes remaining from the cursor on.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().expect("2 bytes"));
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write access to a buffer of bytes.
+pub trait BufMut {
+    /// Appends/writes a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+/// A growable-in-principle, here fixed-size, owned byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// A zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            inner: vec![0u8; len],
+        }
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_round_trip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16(0x1234);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_u64(42);
+        out.put_slice(b"xy");
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64(), 42);
+        assert_eq!(buf, b"xy");
+    }
+
+    #[test]
+    fn slice_writes_advance() {
+        let mut backing = [0u8; 8];
+        let mut cursor: &mut [u8] = &mut backing;
+        cursor.put_u16(0xABCD);
+        cursor.put_u16(0x0102);
+        assert_eq!(backing[..4], [0xAB, 0xCD, 0x01, 0x02]);
+        // In-place overwrite through a temporary cursor, as the slotted
+        // page does.
+        (&mut backing[0..2]).put_u16(0xFFFF);
+        assert_eq!((&backing[0..2]).get_u16(), 0xFFFF);
+    }
+
+    #[test]
+    fn bytes_mut_indexing() {
+        let mut b = BytesMut::zeroed(16);
+        assert_eq!(b.len(), 16);
+        b[4..8].copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(&b[4..8], &[1, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,885 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A deterministic property-test harness that accepts the same test
+//! source as real proptest for the subset this workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`), the
+//! `Strategy` trait with `prop_map`/`boxed`, integer-range and
+//! regex-literal strategies, `Just`, tuples, `prop_oneof!` (weighted and
+//! plain), `prop::collection::{vec, btree_set}`, `prop::option::of`,
+//! `prop::array::uniform{2,3,9}`, `any::<T>()`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its case number and message as-is) and seeds are derived from the
+//! test name, so every run explores the same deterministic sequence of
+//! cases.
+
+/// Deterministic RNG plus the test-case runner and its config/error types.
+pub mod test_runner {
+    /// Runner configuration; `ProptestConfig` in the prelude.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The inputs were rejected (case is skipped, not failed).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// SplitMix64 generator — deterministic, seeded per test case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG with the given seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A value in `0..n` (`n` must be non-zero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// `true` with probability `p`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` cases of a property; panics on the first
+    /// falsified case. The seed is derived from `name`, so runs are
+    /// reproducible without any external state.
+    pub fn run_cases<F>(config: Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let base = fnv1a(name.as_bytes());
+        let mut rejected = 0u32;
+        for i in 0..config.cases {
+            let seed = base ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property `{name}` falsified at case {i}/{} (seed {seed:#x}): {msg}",
+                    config.cases
+                ),
+            }
+        }
+        if rejected > 0 && rejected == config.cases {
+            panic!("property `{name}`: every case was rejected");
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and core combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                sample: Box::new(move |rng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Box<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// Weighted choice between boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + offset) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Regex-literal strategies. Supports the subset
+    /// `atom{m,n}` sequences where an atom is `.`, a `[..]` class of
+    /// chars and `a-z` ranges, or a literal character.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut class: Vec<char> = Vec::new();
+                    for d in chars.by_ref() {
+                        if d == ']' {
+                            break;
+                        }
+                        class.push(d);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            ranges.push((class[i], class[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((class[i], class[i]));
+                            i += 1;
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty char class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                lit => Atom::Literal(lit),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse::<u64>().expect("repeat min"),
+                        n.parse::<u64>().expect("repeat max"),
+                    ),
+                    None => {
+                        let n = spec.parse::<u64>().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                out.push(match &atom {
+                    Atom::Any => {
+                        // Printable ASCII, like a `.` over a readable alphabet.
+                        (0x20u8 + rng.below(0x5F) as u8) as char
+                    }
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                            .expect("class char")
+                    }
+                    Atom::Literal(lit) => *lit,
+                });
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Full-domain strategy for a primitive.
+    pub struct AnyPrimitive<T>(PhantomData<T>);
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),+) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(PhantomData)
+                }
+            }
+        )+};
+    }
+
+    arbitrary_ints!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(PhantomData)
+        }
+    }
+}
+
+/// Collection strategies: `vec` and `btree_set`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A length specification: an exact size or a range of sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_inclusive - self.min + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Sets of values from `element`; the target size is drawn from
+    /// `size`, though duplicates may leave the set smaller.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Bounded attempts so narrow element domains still terminate.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Some` from the inner strategy half the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` or `Some(value)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[S::Value; N]`.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    /// An array of two values from `element`.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+        UniformArray { element }
+    }
+
+    /// An array of three values from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        UniformArray { element }
+    }
+
+    /// An array of nine values from `element`.
+    pub fn uniform9<S: Strategy>(element: S) -> UniformArray<S, 9> {
+        UniformArray { element }
+    }
+}
+
+/// Everything a property-test file needs, mirroring proptest's prelude.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs; an
+/// optional leading `#![proptest_config(expr)]` sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($param:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        // The conventional `#[test]` inside a `proptest!` block arrives
+        // through `$attr`; emitting a second one here would register the
+        // test twice with the harness.
+        $(#[$attr])*
+        fn $name() {
+            $crate::test_runner::run_cases($config, stringify!($name), |__rng| {
+                let __vals = (
+                    $($crate::strategy::Strategy::sample(&($strat), __rng),)+
+                );
+                (move || -> $crate::test_runner::TestCaseResult {
+                    let ($($param,)+) = __vals;
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Weighted (or uniform) choice between strategies producing a common
+/// value type. `w => strategy` arms choose with probability
+/// proportional to `w`; bare arms choose uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn rng() -> crate::test_runner::TestRng {
+        crate::test_runner::TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-20i64..20).sample(&mut r);
+            assert!((-20..20).contains(&v));
+            let u = (0usize..10_000).sample(&mut r);
+            assert!(u < 10_000);
+            let w = (3u32..=5).sample(&mut r);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{1,2}".sample(&mut r);
+            assert!((1..=2).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = ".{0,12}".sample(&mut r);
+            assert!(t.chars().count() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_union_and_map_compose() {
+        let strat = prop_oneof![
+            3 => (0i64..10).prop_map(|v| v * 2),
+            1 => Just(-1i64),
+        ];
+        let mut r = rng();
+        let mut saw_neg = false;
+        let mut saw_even = false;
+        for _ in 0..200 {
+            match strat.sample(&mut r) {
+                -1 => saw_neg = true,
+                v if v % 2 == 0 && (0..20).contains(&v) => saw_even = true,
+                v => panic!("unexpected sample {v}"),
+            }
+        }
+        assert!(saw_neg && saw_even);
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = prop::collection::vec(0usize..5, 1..4).sample(&mut r);
+            assert!((1..4).contains(&v.len()));
+            let exact = prop::collection::vec(Just(7u8), 3usize).sample(&mut r);
+            assert_eq!(exact, vec![7, 7, 7]);
+            let s = prop::collection::btree_set(0u8..50, 0..6).sample(&mut r);
+            assert!(s.len() < 6);
+            let arr = prop::array::uniform3(any::<bool>()).sample(&mut r);
+            assert_eq!(arr.len(), 3);
+            let o = prop::option::of(-3i64..3).sample(&mut r);
+            if let Some(x) = o {
+                assert!((-3..3).contains(&x));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies, and early returns.
+        #[test]
+        fn macro_end_to_end(mut xs in prop::collection::vec(0i64..100, 0..8), flip in any::<bool>()) {
+            if flip {
+                xs.reverse();
+            }
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(xs.len(), xs.iter().count());
+            if xs.is_empty() {
+                return Ok(());
+            }
+            prop_assert_ne!(xs.len(), 0, "non-empty after early return");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases(
+            crate::test_runner::Config::with_cases(4),
+            "always_fails",
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let collect = || {
+            let mut out = Vec::new();
+            crate::test_runner::run_cases(
+                crate::test_runner::Config::with_cases(8),
+                "determinism",
+                |rng| {
+                    out.push((0u64..1_000_000).sample(rng));
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}
