@@ -276,8 +276,22 @@ impl MultiModelDatabase {
     /// Audits all levels: every view and the reconstructed internal state
     /// must be equivalent to the conceptual state.
     pub fn verify_consistency(&self) -> Result<(), AnsiError> {
+        self.verify_consistency_observed(&dme_obs::Observer::disabled())
+    }
+
+    /// [`AnsiDatabase::verify_consistency`], with the audit timed under
+    /// an `ansi/audit` span: one
+    /// [`Counter::AuditsRun`](dme_obs::Counter::AuditsRun) per call, the
+    /// conceptual compilation charged to the interner-hit/miss counters,
+    /// and one `Mark` event carrying the number of views audited.
+    pub fn verify_consistency_observed(&self, obs: &dme_obs::Observer) -> Result<(), AnsiError> {
+        let _span = obs.span("ansi/audit");
+        obs.add(dme_obs::Counter::AuditsRun, 1);
         let levels = self.levels.read();
-        let conceptual_facts = self.audit_cache.compile(&levels.conceptual);
+        obs.mark("ansi/views_audited", levels.externals.len() as u64);
+        let conceptual_facts = self
+            .audit_cache
+            .compile_observed(&levels.conceptual, obs);
         for (name, view) in &levels.externals {
             if !view.consistent_with_facts(&conceptual_facts) {
                 return Err(AnsiError::Inconsistent(format!("view `{name}` diverged")));
@@ -548,6 +562,21 @@ mod tests {
         let stats = db.audit_cache_stats();
         assert_eq!(stats.misses, 1, "one conceptual state, compiled once");
         assert_eq!(stats.hits, 2, "later audits reuse the compilation");
+    }
+
+    #[test]
+    fn observed_audit_records_spans_and_counters() {
+        use dme_obs::{Counter, Observer, RingSink};
+        let db = db();
+        let ring = RingSink::with_capacity(64);
+        let obs = Observer::new(ring.clone());
+        db.verify_consistency_observed(&obs).unwrap();
+        db.verify_consistency_observed(&obs).unwrap();
+        assert_eq!(obs.counter(Counter::AuditsRun), 2);
+        assert_eq!(obs.counter(Counter::InternerMisses), 1);
+        assert_eq!(obs.counter(Counter::InternerHits), 1);
+        let report = dme_obs::Report::from_events(&ring.events());
+        assert_eq!(report.phase("ansi/audit").unwrap().calls, 2);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! The equivalence-engine regression harness.
+//!
+//! Re-runs the Criterion `parallel_equiv` fixtures under hand-rolled
+//! median timing (binaries cannot link the dev-dependency harness), adds
+//! the instrumented scaling sweeps (state size × operation count ×
+//! thread count) and the observer-overhead comparison, and writes the
+//! whole record as `BENCH_equiv.json` at the repository root plus a
+//! sample JSON-lines transcript under `target/`.
+//!
+//! Run with: `cargo run --release -p dme-bench --bin regression`
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dme_core::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
+use dme_core::model::{graph_model, relational_model, FiniteModel};
+use dme_core::obs::{Counter, JsonLinesSink, Observer, Report, RingSink};
+use dme_core::witness;
+use dme_core::{Checker, EquivKind, ParallelConfig, Tier};
+use dme_graph::{GraphOp, GraphState};
+use dme_logic::{Fact, FactBase};
+use dme_relation::{RelOp, RelationState, RelationalSchema};
+use dme_value::Atom;
+
+const STATE_CAP: usize = 4_000;
+const SAMPLES: usize = 5;
+
+/// Median/min/max wall-clock of `samples` runs, in microseconds.
+fn time_us(samples: usize, mut f: impl FnMut()) -> (u64, u64, u64) {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_micros() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], times[0], times[times.len() - 1])
+}
+
+fn rel_model(
+    name: &str,
+    schema: RelationalSchema,
+    max_statements: usize,
+) -> FiniteModel<RelationState, RelOp> {
+    let ops = enumerate_rel_ops(&schema, max_statements);
+    relational_model(name, RelationState::empty(Arc::new(schema)), ops)
+}
+
+/// The E-D6 fixture from `benches/parallel_equiv.rs`: the largest
+/// data-model check in the suite.
+#[allow(clippy::type_complexity)]
+fn d6_fixture() -> (
+    Vec<FiniteModel<RelationState, RelOp>>,
+    Vec<FiniteModel<GraphState, GraphOp>>,
+) {
+    let ms = vec![
+        rel_model("micro-rel", witness::micro_relational_schema(), 2),
+        rel_model(
+            "micro-rel-supervisors-supervised",
+            witness::micro_relational_schema_supervisors_supervised(),
+            2,
+        ),
+    ];
+    let ns: Vec<FiniteModel<GraphState, GraphOp>> = witness::all_micro_graph_schemas()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, schema)| schema.participations().all(|(_, p)| !p.total))
+        .map(|(i, schema)| {
+            let schema = Arc::new(schema);
+            let ops = enumerate_graph_ops(&schema);
+            graph_model(format!("graph-{i}"), GraphState::empty(schema), ops)
+        })
+        .collect();
+    (ms, ns)
+}
+
+/// A toy model over `facts` independent facts: its closure is the
+/// powerset (2^facts states) and it has 2·facts operations — the
+/// scaling knob for the sweeps.
+fn powerset_model(name: &str, facts: usize) -> FiniteModel<FactBase, String> {
+    let universe: BTreeMap<String, (bool, Fact)> = (0..facts as i64)
+        .flat_map(|i| {
+            let fact = Fact::new("p", [("x", Atom::Int(i))]);
+            [
+                (format!("+{fact}"), (true, fact.clone())),
+                (format!("-{fact}"), (false, fact)),
+            ]
+        })
+        .collect();
+    let op_names: Vec<String> = universe.keys().cloned().collect();
+    FiniteModel::new(name, FactBase::default(), op_names, move |op, s| {
+        let (add, fact) = &universe[op];
+        let mut next = s.clone();
+        if *add {
+            next.insert(fact.clone()).then_some(next)
+        } else {
+            next.remove(fact).then_some(next)
+        }
+    })
+}
+
+struct Timing {
+    name: String,
+    median_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+fn json_timing(t: &Timing) -> String {
+    format!(
+        "\"{}\":{{\"median_us\":{},\"min_us\":{},\"max_us\":{}}}",
+        t.name, t.median_us, t.min_us, t.max_us
+    )
+}
+
+fn main() {
+    let root = repo_root();
+    let kind = EquivKind::StateDependent { max_depth: 3 };
+    let mut fixtures: Vec<Timing> = Vec::new();
+
+    // ---- Fixture timings (the Criterion parallel_equiv group) -------
+    println!("== fixtures (median of {SAMPLES}) ==");
+    let (ms, ns) = d6_fixture();
+    let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+        let verdict = Checker::data_models(&ms, &ns)
+            .tier(Tier::DataModel { kind })
+            .state_cap(STATE_CAP)
+            .run()
+            .expect("runs");
+        assert!(!verdict.is_equivalent());
+    });
+    println!("data_model/sequential: {median_us}µs");
+    fixtures.push(Timing {
+        name: "data_model/sequential".into(),
+        median_us,
+        min_us,
+        max_us,
+    });
+    for threads in [1usize, 2, 4] {
+        let config = ParallelConfig::with_threads(threads);
+        let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+            let verdict = Checker::data_models(&ms, &ns)
+                .tier(Tier::DataModel { kind })
+                .state_cap(STATE_CAP)
+                .parallel(config)
+                .run()
+                .expect("runs");
+            assert!(!verdict.is_equivalent());
+        });
+        println!("data_model/parallel/t{threads}: {median_us}µs");
+        fixtures.push(Timing {
+            name: format!("data_model/parallel/t{threads}"),
+            median_us,
+            min_us,
+            max_us,
+        });
+    }
+
+    let m = rel_model("mini-rel", witness::mini_relational_schema(), 2);
+    let schema = Arc::new(witness::mini_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    let n = graph_model("mini-graph", GraphState::empty(schema), ops);
+    let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+        let verdict = Checker::new(&m, &n)
+            .tier(Tier::StateDependent { max_depth: 3 })
+            .state_cap(STATE_CAP)
+            .run()
+            .expect("runs");
+        assert!(verdict.is_equivalent());
+    });
+    println!("mini_machine_shop/sequential: {median_us}µs");
+    fixtures.push(Timing {
+        name: "mini_machine_shop/sequential".into(),
+        median_us,
+        min_us,
+        max_us,
+    });
+    for threads in [1usize, 4] {
+        let config = ParallelConfig::with_threads(threads);
+        let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+            let verdict = Checker::new(&m, &n)
+                .tier(Tier::StateDependent { max_depth: 3 })
+                .state_cap(STATE_CAP)
+                .parallel(config)
+                .run()
+                .expect("runs");
+            assert!(verdict.is_equivalent());
+        });
+        println!("mini_machine_shop/parallel/t{threads}: {median_us}µs");
+        fixtures.push(Timing {
+            name: format!("mini_machine_shop/parallel/t{threads}"),
+            median_us,
+            min_us,
+            max_us,
+        });
+    }
+
+    // ---- Observer overhead on the mini machine shop ------------------
+    // The acceptance bar: a disabled observer (no sink) must be free —
+    // every instrumentation site reduces to one branch on a None.
+    println!("== observer overhead ==");
+    let run_with = |observer: Observer| {
+        let verdict = Checker::new(&m, &n)
+            .tier(Tier::StateDependent { max_depth: 3 })
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(2))
+            .observer(observer)
+            .run()
+            .expect("runs");
+        assert!(verdict.is_equivalent());
+    };
+    let (no_sink_us, _, _) = time_us(SAMPLES, || run_with(Observer::disabled()));
+    let (ring_us, _, _) = time_us(SAMPLES, || {
+        run_with(Observer::new(RingSink::with_capacity(4096)))
+    });
+    let transcript_path = root.join("target/equiv_transcript.jsonl");
+    let (jsonl_us, _, _) = time_us(SAMPLES, || {
+        match JsonLinesSink::create(&transcript_path) {
+            Ok(sink) => run_with(Observer::new(sink)),
+            Err(e) => panic!("cannot create transcript at {}: {e}", transcript_path.display()),
+        }
+    });
+    println!("no_sink: {no_sink_us}µs  ring: {ring_us}µs  jsonl: {jsonl_us}µs");
+    println!("transcript: {}", transcript_path.display());
+
+    // ---- Scaling sweeps: states × ops × threads ----------------------
+    println!("== scaling sweeps ==");
+    let mut sweeps: Vec<String> = Vec::new();
+    for facts in [3usize, 4, 5] {
+        let m = powerset_model("sweep-m", facts);
+        let n = powerset_model("sweep-n", facts);
+        for threads in [1usize, 2, 4] {
+            let obs = Observer::new(RingSink::with_capacity(1024));
+            let checker = Checker::new(&m, &n)
+                .tier(Tier::StateDependent { max_depth: 2 })
+                .state_cap(STATE_CAP)
+                .parallel(ParallelConfig::with_threads(threads))
+                .observer(obs.clone());
+            let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+                assert!(checker.run().expect("runs").is_equivalent());
+            });
+            let states = 1usize << facts;
+            let ops = 2 * facts;
+            let nodes = obs.counter(Counter::NodesExpanded) / SAMPLES as u64;
+            println!(
+                "facts={facts} states={states} ops={ops} threads={threads}: \
+                 {median_us}µs ({nodes} nodes/run)"
+            );
+            sweeps.push(format!(
+                "{{\"facts\":{facts},\"states\":{states},\"ops\":{ops},\
+                 \"threads\":{threads},\"median_us\":{median_us},\"min_us\":{min_us},\
+                 \"max_us\":{max_us},\"nodes_expanded\":{nodes}}}"
+            ));
+        }
+    }
+
+    // ---- One instrumented run's phase report, for the record ---------
+    let ring = RingSink::with_capacity(4096);
+    let obs = Observer::new(ring.clone());
+    Checker::new(&m, &n)
+        .tier(Tier::StateDependent { max_depth: 3 })
+        .state_cap(STATE_CAP)
+        .parallel(ParallelConfig::with_threads(2))
+        .observer(obs.clone())
+        .run()
+        .expect("runs");
+    let report = Report::from_events(&ring.events()).with_totals(obs.counters());
+    println!("== mini machine shop phase report ==\n{report}");
+
+    // ---- BENCH_equiv.json --------------------------------------------
+    let mut out = String::from("{\n  \"suite\": \"parallel_equiv regression\",\n");
+    out.push_str(&format!("  \"samples\": {SAMPLES},\n  \"fixtures\": {{"));
+    for (i, t) in fixtures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_timing(t));
+    }
+    out.push_str("\n  },\n  \"observer_overhead\": {");
+    out.push_str(&format!(
+        "\n    \"no_sink_us\": {no_sink_us},\n    \"ring_sink_us\": {ring_us},\
+         \n    \"jsonl_sink_us\": {jsonl_us}\n  }},\n  \"sweeps\": ["
+    ));
+    for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(s);
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"report\": {}\n}}\n",
+        report.to_json()
+    ));
+    let bench_path = root.join("BENCH_equiv.json");
+    std::fs::write(&bench_path, out).expect("write BENCH_equiv.json");
+    println!("wrote {}", bench_path.display());
+}
+
+/// The repository root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or_else(|_| PathBuf::from("."))
+}

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dme_logic::{FactBase, ToFacts};
+use dme_obs::{Counter, Observer};
 
 const SHARD_COUNT: usize = 16;
 
@@ -81,9 +82,7 @@ where
         (self.hasher.hash_one(state) as usize) % SHARD_COUNT
     }
 
-    /// The compiled fact base of `state`, computed at most once per
-    /// distinct state and shared via [`Arc`] thereafter.
-    pub fn compile(&self, state: &S) -> Arc<FactBase> {
+    fn compile_inner(&self, state: &S) -> (Arc<FactBase>, bool) {
         let shard = &self.shards[self.shard_of(state)];
         if let Some(found) = shard
             .lock()
@@ -91,7 +90,7 @@ where
             .get(state)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(found);
+            return (Arc::clone(found), true);
         }
         // Compile outside the lock so a slow compilation doesn't stall
         // the shard; a racing thread may compile the same state, in
@@ -99,10 +98,32 @@ where
         let compiled = Arc::new(state.to_facts());
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(
-            map.entry(state.clone())
-                .or_insert(compiled),
+        (
+            Arc::clone(map.entry(state.clone()).or_insert(compiled)),
+            false,
         )
+    }
+
+    /// The compiled fact base of `state`, computed at most once per
+    /// distinct state and shared via [`Arc`] thereafter.
+    pub fn compile(&self, state: &S) -> Arc<FactBase> {
+        self.compile_inner(state).0
+    }
+
+    /// [`FactInterner::compile`], with the hit/miss also charged to the
+    /// observer's [`Counter::InternerHits`]/[`Counter::InternerMisses`]
+    /// — the engine's per-phase cache attribution.
+    pub fn compile_observed(&self, state: &S, obs: &Observer) -> Arc<FactBase> {
+        let (compiled, hit) = self.compile_inner(state);
+        obs.add(
+            if hit {
+                Counter::InternerHits
+            } else {
+                Counter::InternerMisses
+            },
+            1,
+        );
+        compiled
     }
 
     /// Number of distinct states interned.
@@ -204,6 +225,21 @@ mod tests {
         let stats = interner.stats();
         assert_eq!(stats.hits + stats.misses, 8);
         assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn observed_compilation_classifies_hits_and_misses() {
+        use dme_obs::{Counter, Observer, RingSink};
+        let interner: FactInterner<FactBase> = FactInterner::new();
+        let obs = Observer::new(RingSink::with_capacity(8));
+        let s = base(&[3]);
+        interner.compile_observed(&s, &obs);
+        interner.compile_observed(&s, &obs);
+        assert_eq!(obs.counter(Counter::InternerMisses), 1);
+        assert_eq!(obs.counter(Counter::InternerHits), 1);
+        // A disabled observer changes nothing and costs nothing.
+        interner.compile_observed(&s, &Observer::disabled());
+        assert_eq!(interner.stats().hits, 2);
     }
 
     #[test]

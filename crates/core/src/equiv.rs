@@ -24,8 +24,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use dme_logic::{FactBase, ToFacts};
+use dme_obs::{Counter, Observer};
 
 use crate::model::{ClosureTooLarge, FiniteModel};
+use crate::parallel::{Side, Verdict, Witness};
 
 /// Which application-model equivalence (Definition 2, 3 or 5) to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +55,9 @@ pub enum CheckError {
     Closure(ClosureTooLarge),
     /// The state equivalence correspondence is not 1-1 onto.
     Pairing(String),
+    /// The requested tier/target combination has no decision procedure
+    /// (e.g. Definition 1 over data-model *sets*).
+    Unsupported(String),
 }
 
 impl fmt::Display for CheckError {
@@ -60,6 +65,7 @@ impl fmt::Display for CheckError {
         match self {
             CheckError::Closure(e) => write!(f, "{e}"),
             CheckError::Pairing(s) => write!(f, "state pairing failed: {s}"),
+            CheckError::Unsupported(s) => write!(f, "unsupported check: {s}"),
         }
     }
 }
@@ -165,8 +171,108 @@ pub(crate) fn compose(first: &Signature, then: &Signature) -> Signature {
 /// aligned state lists) are operation equivalent iff they act identically
 /// on every equivalent state pair, treating all error states as
 /// equivalent.
+///
+/// # Migration
+///
+/// The [`Checker`](crate::Checker) facade lifts this to whole models:
+/// `Checker::new(&m, &n).tier(Tier::Operation).run()` checks every
+/// index-aligned operation pair and returns the mismatches as
+/// [`Witness`]es. Signature equality itself is not deprecated — this
+/// wrapper survives only for source compatibility.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::Operation).run()` for model-level \
+            operation equivalence; for raw signatures, compare with `==`"
+)]
 pub fn operation_equivalent(m: &Signature, n: &Signature) -> bool {
     m == n
+}
+
+/// Enumerates both closures and aligns them through the §3.3.1 state
+/// equivalence correspondence, with the work attributed to the
+/// observer's `seq/closure` and `seq/pairing` spans.
+fn paired_lists_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    obs: &Observer,
+) -> Result<(Vec<MS>, Vec<NS>), CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone,
+    NO: Clone,
+{
+    let (m_states, n_states) = {
+        let _span = obs.span("seq/closure");
+        let m_states = m.reachable_states(state_cap)?;
+        let n_states = n.reachable_states(state_cap)?;
+        obs.add(
+            Counter::StatesEnumerated,
+            (m_states.len() + n_states.len()) as u64,
+        );
+        obs.add(
+            Counter::NodesExpanded,
+            ((m_states.len() * m.ops().len()) + (n_states.len() * n.ops().len())) as u64,
+        );
+        (m_states, n_states)
+    };
+    let _span = obs.span("seq/pairing");
+    obs.add(Counter::PairingChecks, 1);
+    obs.add(
+        Counter::StatesCompiled,
+        (m_states.len() + n_states.len()) as u64,
+    );
+    pair_states(&m_states, &n_states)
+}
+
+/// Definition 1 lifted to whole models, as used by
+/// [`Tier::Operation`](crate::check::Tier::Operation): the *i*-th left
+/// operation must be operation equivalent (signature-equal over the
+/// aligned states) to the *i*-th right operation. A mismatched pair
+/// contributes both operations as witnesses; a length mismatch
+/// contributes the overhanging operations.
+pub(crate) fn operation_pairs_report_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let _tier = obs.span_with("seq/operation", || format!("{} vs {}", m.name(), n.name()));
+    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
+    let m_sigs = signatures(m, &m_states);
+    let n_sigs = signatures(n, &n_states);
+    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    let mut unmatched_m = Vec::new();
+    let mut unmatched_n = Vec::new();
+    for i in 0..m_sigs.len().max(n_sigs.len()) {
+        match (m_sigs.get(i), n_sigs.get(i)) {
+            (Some(a), Some(b)) if a == b => {}
+            (Some(_), Some(_)) => {
+                unmatched_m.push(m.ops()[i].to_string());
+                unmatched_n.push(n.ops()[i].to_string());
+            }
+            (Some(_), None) => unmatched_m.push(m.ops()[i].to_string()),
+            (None, Some(_)) => unmatched_n.push(n.ops()[i].to_string()),
+            (None, None) => unreachable!("loop is bounded by the longer side"),
+        }
+    }
+    obs.add(
+        Counter::WitnessesFound,
+        (unmatched_m.len() + unmatched_n.len()) as u64,
+    );
+    Ok(MatchReport {
+        equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
+        unmatched_m,
+        unmatched_n,
+        state_pairs: m_states.len(),
+    })
 }
 
 /// The outcome of an application-model equivalence check, with the
@@ -181,6 +287,36 @@ pub struct MatchReport {
     pub unmatched_n: Vec<String>,
     /// Number of equivalent state pairs underlying the check.
     pub state_pairs: usize,
+}
+
+impl MatchReport {
+    /// The report as a structured [`Verdict`], the parallel engine's
+    /// outcome type: witnesses are the unmatched operations, left side
+    /// first, each in operation order — exactly the order the parallel
+    /// engine reports (proven by the differential test suite).
+    pub fn to_verdict(&self) -> Verdict {
+        if self.equivalent {
+            return Verdict::Equivalent {
+                state_pairs: self.state_pairs,
+            };
+        }
+        let witnesses = self
+            .unmatched_m
+            .iter()
+            .map(|label| Witness {
+                side: Side::Left,
+                label: label.clone(),
+            })
+            .chain(self.unmatched_n.iter().map(|label| Witness {
+                side: Side::Right,
+                label: label.clone(),
+            }))
+            .collect();
+        Verdict::Counterexample {
+            state_pairs: self.state_pairs,
+            witnesses,
+        }
+    }
 }
 
 impl fmt::Display for MatchReport {
@@ -200,6 +336,18 @@ impl fmt::Display for MatchReport {
 }
 
 /// Definition 2: isomorphic application model equivalence.
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::new(&m, &n).tier(Tier::Isomorphic).state_cap(cap).run()`
+/// returns the same outcome as a structured [`Verdict`] with uniform
+/// [`Witness`]es; [`MatchReport::to_verdict`] converts existing report
+/// values.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::Isomorphic).run()`"
+)]
 pub fn isomorphic_equivalent<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -211,12 +359,31 @@ where
     MO: Clone + fmt::Display,
     NO: Clone + fmt::Display,
 {
-    let (m_states, n_states) = pair_states(
-        &m.reachable_states(state_cap)?,
-        &n.reachable_states(state_cap)?,
-    )?;
+    isomorphic_report_obs(m, n, state_cap, &Observer::disabled())
+}
+
+pub(crate) fn isomorphic_report_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let _tier = obs.span_with("seq/isomorphic", || format!("{} vs {}", m.name(), n.name()));
+    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
+    let _span = obs.span("seq/signatures");
     let m_sigs = signatures(m, &m_states);
     let n_sigs = signatures(n, &n_states);
+    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    obs.add(
+        Counter::NodesExpanded,
+        ((m_sigs.len() + n_sigs.len()) * m_states.len()) as u64,
+    );
     let n_set: BTreeSet<&Signature> = n_sigs.iter().collect();
     let m_set: BTreeSet<&Signature> = m_sigs.iter().collect();
     let unmatched_m: Vec<String> = m
@@ -233,6 +400,10 @@ where
         .filter(|(_, sig)| !m_set.contains(sig))
         .map(|(op, _)| op.to_string())
         .collect();
+    obs.add(
+        Counter::WitnessesFound,
+        (unmatched_m.len() + unmatched_n.len()) as u64,
+    );
     Ok(MatchReport {
         equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
         unmatched_m,
@@ -273,6 +444,15 @@ fn composable_signatures(
 
 /// Definition 3: composed operation application model equivalence, with
 /// compositions searched up to `max_depth`.
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::new(&m, &n).tier(Tier::Composed { max_depth }).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::Composed { max_depth }).run()`"
+)]
 pub fn composed_equivalent<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -285,15 +465,44 @@ where
     MO: Clone + fmt::Display,
     NO: Clone + fmt::Display,
 {
-    let (m_states, n_states) = pair_states(
-        &m.reachable_states(state_cap)?,
-        &n.reachable_states(state_cap)?,
-    )?;
+    composed_report_obs(m, n, state_cap, max_depth, &Observer::disabled())
+}
+
+pub(crate) fn composed_report_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    max_depth: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let _tier = obs.span_with("seq/composed", || {
+        format!("{} vs {} (depth {max_depth})", m.name(), n.name())
+    });
+    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
     let pairs = m_states.len();
     let m_sigs = signatures(m, &m_states);
     let n_sigs = signatures(n, &n_states);
-    let m_star = composable_signatures(&m_sigs, pairs, max_depth);
-    let n_star = composable_signatures(&n_sigs, pairs, max_depth);
+    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    let (m_star, n_star) = {
+        let _span = obs.span("seq/composition");
+        let m_star = composable_signatures(&m_sigs, pairs, max_depth);
+        let n_star = composable_signatures(&n_sigs, pairs, max_depth);
+        obs.add(
+            Counter::SignaturesComposed,
+            (m_star.len() + n_star.len()) as u64,
+        );
+        obs.add(
+            Counter::NodesExpanded,
+            ((m_star.len() * m_sigs.len()) + (n_star.len() * n_sigs.len())) as u64,
+        );
+        (m_star, n_star)
+    };
     let unmatched_m: Vec<String> = m
         .ops()
         .iter()
@@ -308,6 +517,10 @@ where
         .filter(|(_, sig)| !m_star.contains(*sig))
         .map(|(op, _)| op.to_string())
         .collect();
+    obs.add(
+        Counter::WitnessesFound,
+        (unmatched_m.len() + unmatched_n.len()) as u64,
+    );
     Ok(MatchReport {
         equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
         unmatched_m,
@@ -369,6 +582,15 @@ pub(crate) fn reach_from(
 
 /// Definition 5: state dependent application model equivalence, with
 /// per-state compositions searched up to `max_depth`.
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::new(&m, &n).tier(Tier::StateDependent { max_depth }).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::StateDependent { max_depth }).run()`"
+)]
 pub fn state_dependent_equivalent<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -381,15 +603,42 @@ where
     MO: Clone + fmt::Display,
     NO: Clone + fmt::Display,
 {
-    let (m_states, n_states) = pair_states(
-        &m.reachable_states(state_cap)?,
-        &n.reachable_states(state_cap)?,
-    )?;
+    state_dependent_report_obs(m, n, state_cap, max_depth, &Observer::disabled())
+}
+
+pub(crate) fn state_dependent_report_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    state_cap: usize,
+    max_depth: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let _tier = obs.span_with("seq/state_dependent", || {
+        format!("{} vs {} (depth {max_depth})", m.name(), n.name())
+    });
+    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
     let pairs = m_states.len();
     let m_sigs = signatures(m, &m_states);
     let n_sigs = signatures(n, &n_states);
-    let (n_reach, n_err) = per_state_reachability(&n_sigs, pairs, max_depth);
-    let (m_reach, m_err) = per_state_reachability(&m_sigs, pairs, max_depth);
+    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    let (n_reach, n_err, m_reach, m_err) = {
+        let _span = obs.span("seq/reachability");
+        let (n_reach, n_err) = per_state_reachability(&n_sigs, pairs, max_depth);
+        let (m_reach, m_err) = per_state_reachability(&m_sigs, pairs, max_depth);
+        let expansions: usize = n_reach.iter().chain(&m_reach).map(BTreeSet::len).sum();
+        obs.add(Counter::ReachabilityExpansions, expansions as u64);
+        obs.add(
+            Counter::NodesExpanded,
+            (expansions * m_sigs.len().max(1)) as u64,
+        );
+        (n_reach, n_err, m_reach, m_err)
+    };
 
     let check = |sigs: &[Signature],
                  ops: Vec<String>,
@@ -420,6 +669,10 @@ where
         &m_reach,
         &m_err,
     );
+    obs.add(
+        Counter::WitnessesFound,
+        (unmatched_m.len() + unmatched_n.len()) as u64,
+    );
     Ok(MatchReport {
         equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
         unmatched_m,
@@ -429,6 +682,15 @@ where
 }
 
 /// Runs the requested application-model equivalence check.
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade: `Checker::new(&m, &n)`
+/// with [`Tier::from_kind`](crate::check::Tier::from_kind).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::from_kind(kind)).run()`"
+)]
 pub fn application_models_equivalent<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -441,11 +703,27 @@ where
     MO: Clone + fmt::Display,
     NO: Clone + fmt::Display,
 {
+    app_models_report_obs(m, n, kind, state_cap, &Observer::disabled())
+}
+
+pub(crate) fn app_models_report_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    kind: EquivKind,
+    state_cap: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
     match kind {
-        EquivKind::Isomorphic => isomorphic_equivalent(m, n, state_cap),
-        EquivKind::Composed { max_depth } => composed_equivalent(m, n, state_cap, max_depth),
+        EquivKind::Isomorphic => isomorphic_report_obs(m, n, state_cap, obs),
+        EquivKind::Composed { max_depth } => composed_report_obs(m, n, state_cap, max_depth, obs),
         EquivKind::StateDependent { max_depth } => {
-            state_dependent_equivalent(m, n, state_cap, max_depth)
+            state_dependent_report_obs(m, n, state_cap, max_depth, obs)
         }
     }
 }
@@ -482,6 +760,33 @@ impl DataModelReport {
             .map(|(n, _)| n.as_str())
             .collect()
     }
+
+    /// The report as a structured [`Verdict`]: `state_pairs` is the
+    /// size of the model-pair grid (matching the parallel Definition 6
+    /// engine) and witnesses are the names of unmatched application
+    /// models, left side first.
+    pub fn to_verdict(&self) -> Verdict {
+        let grid = self.matches_m.len() * self.matches_n.len();
+        if self.equivalent {
+            return Verdict::Equivalent { state_pairs: grid };
+        }
+        let witnesses = self
+            .unmatched_m()
+            .into_iter()
+            .map(|name| Witness {
+                side: Side::Left,
+                label: name.to_owned(),
+            })
+            .chain(self.unmatched_n().into_iter().map(|name| Witness {
+                side: Side::Right,
+                label: name.to_owned(),
+            }))
+            .collect();
+        Verdict::Counterexample {
+            state_pairs: grid,
+            witnesses,
+        }
+    }
 }
 
 impl fmt::Display for DataModelReport {
@@ -504,6 +809,16 @@ impl fmt::Display for DataModelReport {
 /// onto both sets. The correspondence need not be 1-1 (§3.3.2: "there may
 /// be several relational application models state dependent equivalent to
 /// each graph model").
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).run()`;
+/// [`DataModelReport::to_verdict`] converts existing report values.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).run()`"
+)]
 pub fn data_model_equivalent<MS, MO, NS, NO>(
     ms: &[FiniteModel<MS, MO>],
     ns: &[FiniteModel<NS, NO>],
@@ -516,6 +831,26 @@ where
     MO: Clone + fmt::Display,
     NO: Clone + fmt::Display,
 {
+    data_model_report_obs(ms, ns, kind, state_cap, &Observer::disabled())
+}
+
+pub(crate) fn data_model_report_obs<MS, MO, NS, NO>(
+    ms: &[FiniteModel<MS, MO>],
+    ns: &[FiniteModel<NS, NO>],
+    kind: EquivKind,
+    state_cap: usize,
+    obs: &Observer,
+) -> Result<DataModelReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let _tier = obs.span_with("seq/data_model", || {
+        format!("{}x{} grid", ms.len(), ns.len())
+    });
+    obs.add(Counter::GridCells, (ms.len() * ns.len()) as u64);
     let mut matches_m: Vec<(String, Vec<String>)> = Vec::new();
     let mut matches_n: Vec<(String, Vec<String>)> = ns
         .iter()
@@ -526,7 +861,7 @@ where
         for (ni, n) in ns.iter().enumerate() {
             // A pairing failure means "not equivalent", not a checker
             // error: the two models express different application states.
-            let report = match application_models_equivalent(m, n, kind, state_cap) {
+            let report = match app_models_report_obs(m, n, kind, state_cap, obs) {
                 Ok(r) => r,
                 Err(CheckError::Pairing(_)) => continue,
                 Err(e) => return Err(e),
@@ -548,6 +883,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

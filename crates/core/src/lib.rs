@@ -29,6 +29,7 @@
 //! translators (verified per call) take over.
 
 pub mod canon;
+pub mod check;
 pub mod enumerate;
 pub mod equiv;
 pub mod model;
@@ -36,18 +37,27 @@ pub mod parallel;
 pub mod translate;
 pub mod witness;
 
+/// The observability layer ([`dme_obs`]), re-exported so checker
+/// callers can build sinks and reports without a separate dependency.
+pub use dme_obs as obs;
+
 pub use canon::{FactInterner, InternerStats};
+pub use check::{Checker, Tier, DEFAULT_STATE_CAP};
+pub use equiv::{pair_states, CheckError, DataModelReport, EquivKind, MatchReport};
+#[allow(deprecated)]
 pub use equiv::{
     composed_equivalent, data_model_equivalent, isomorphic_equivalent, operation_equivalent,
-    pair_states, state_dependent_equivalent, CheckError, DataModelReport, EquivKind, MatchReport,
+    state_dependent_equivalent,
 };
 pub use model::FiniteModel;
+#[allow(deprecated)]
 pub use parallel::{
     parallel_application_models_equivalent, parallel_application_models_equivalent_with,
-    parallel_data_model_equivalent, parallel_data_model_equivalent_with, CheckBudget,
-    ParallelConfig, Side, Verdict, Witness,
+    parallel_data_model_equivalent, parallel_data_model_equivalent_with,
 };
+pub use parallel::{CheckBudget, ParallelConfig, Side, Verdict, Witness};
 pub use translate::{
-    compile_time_translation, graph_op_to_relational, materialize_relational_state,
-    relational_op_to_graph, CompletionMode, TranslateError,
+    compile_time_translation, graph_op_to_relational, graph_op_to_relational_observed,
+    materialize_relational_state, relational_op_to_graph, relational_op_to_graph_observed,
+    CompletionMode, TranslateError,
 };

@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dme_logic::{FactBase, ToFacts};
+use dme_obs::{Counter, Observer};
 
 use crate::canon::FactInterner;
 use crate::equiv::{compose, identity_signature, reach_from, CheckError, EquivKind, Signature};
@@ -236,7 +237,9 @@ impl fmt::Display for Verdict {
     }
 }
 
-/// Shared run state: the cancellation flag, node meter and deadline.
+/// Shared run state: the cancellation flag, node meter, deadline, and
+/// the run's [`Observer`] (disabled observers cost one branch per
+/// charge).
 struct EngineCtx {
     cancel: AtomicBool,
     exhausted: AtomicBool,
@@ -244,10 +247,11 @@ struct EngineCtx {
     max_nodes: u64,
     deadline: Option<Instant>,
     started: Instant,
+    obs: Observer,
 }
 
 impl EngineCtx {
-    fn new(budget: &CheckBudget) -> Self {
+    fn new(budget: &CheckBudget, obs: Observer) -> Self {
         let started = Instant::now();
         EngineCtx {
             cancel: AtomicBool::new(false),
@@ -256,6 +260,7 @@ impl EngineCtx {
             max_nodes: budget.max_nodes,
             deadline: budget.max_time.map(|d| started + d),
             started,
+            obs,
         }
     }
 
@@ -264,7 +269,11 @@ impl EngineCtx {
     }
 
     fn blow(&self) {
-        self.exhausted.store(true, Ordering::Relaxed);
+        // Only the first blow counts as the budget trip; racing workers
+        // all observe `exhausted` but only one swaps it in.
+        if !self.exhausted.swap(true, Ordering::Relaxed) {
+            self.obs.add(Counter::BudgetTrips, 1);
+        }
         self.cancel.store(true, Ordering::Relaxed);
     }
 
@@ -274,6 +283,7 @@ impl EngineCtx {
         if self.stopped() {
             return false;
         }
+        self.obs.add(Counter::NodesExpanded, n);
         let total = self.nodes.fetch_add(n, Ordering::Relaxed).saturating_add(n);
         if total > self.max_nodes || self.deadline.is_some_and(|d| Instant::now() >= d) {
             self.blow();
@@ -370,6 +380,9 @@ where
     S: Clone + Ord + ToFacts + Send + Sync,
     O: Clone + Send + Sync,
 {
+    let _span = ctx
+        .obs
+        .span_with("par/closure", || model.name().to_owned());
     let mut seen: BTreeSet<S> = BTreeSet::new();
     seen.insert(model.initial().clone());
     let mut frontier: Vec<S> = vec![model.initial().clone()];
@@ -407,6 +420,7 @@ where
         }
         frontier = next;
     }
+    ctx.obs.add(Counter::StatesEnumerated, seen.len() as u64);
     Ok(Some(seen))
 }
 
@@ -441,11 +455,12 @@ where
             if ctx.stopped() {
                 return (None, false);
             }
-            (Some(interner.compile(list[i])), true)
+            (Some(interner.compile_observed(list[i], &ctx.obs)), true)
         });
         if compiled.len() != list.len() {
             return Ok(None);
         }
+        ctx.obs.add(Counter::StatesCompiled, list.len() as u64);
         let mut by_facts: BTreeMap<Arc<FactBase>, S> = BTreeMap::new();
         for (i, facts) in compiled {
             if by_facts.insert(facts, list[i].clone()).is_some() {
@@ -457,6 +472,8 @@ where
         Ok(Some(by_facts))
     }
 
+    let _span = ctx.obs.span("par/pairing");
+    ctx.obs.add(Counter::PairingChecks, 1);
     let Some(m_by_facts) = compile_side(m_states, threads, ctx, m_interner, "left")? else {
         return Ok(None);
     };
@@ -493,6 +510,7 @@ where
     S: Clone + Ord + ToFacts + Send + Sync,
     O: Clone + Send + Sync,
 {
+    let _span = ctx.obs.span("par/signatures");
     let index: BTreeMap<&S, u32> = states
         .iter()
         .enumerate()
@@ -518,6 +536,7 @@ where
     if rows.len() != ops.len() {
         return None;
     }
+    ctx.obs.add(Counter::SignaturesBuilt, ops.len() as u64);
     Some(rows.into_iter().map(|(_, sig)| sig).collect())
 }
 
@@ -530,6 +549,7 @@ fn composable_signatures_parallel(
     threads: usize,
     ctx: &EngineCtx,
 ) -> Option<BTreeSet<Signature>> {
+    let _span = ctx.obs.span("par/composition");
     let mut seen: BTreeSet<Signature> = BTreeSet::new();
     let identity = identity_signature(pairs);
     seen.insert(identity.clone());
@@ -558,6 +578,7 @@ fn composable_signatures_parallel(
         }
         frontier = next;
     }
+    ctx.obs.add(Counter::SignaturesComposed, seen.len() as u64);
     Some(seen)
 }
 
@@ -570,6 +591,7 @@ fn reachability_parallel(
     threads: usize,
     ctx: &EngineCtx,
 ) -> Option<(Vec<BTreeSet<u32>>, Vec<bool>)> {
+    let _span = ctx.obs.span("par/reachability");
     let rows = drive(threads, pairs, |start| {
         let (reach, err) = reach_from(op_sigs, start as u32, max_depth);
         if !ctx.charge(reach.len() as u64 * op_sigs.len() as u64) {
@@ -586,6 +608,10 @@ fn reachability_parallel(
         reach.push(r);
         err.push(e);
     }
+    ctx.obs.add(
+        Counter::ReachabilityExpansions,
+        reach.iter().map(BTreeSet::len).sum::<usize>() as u64,
+    );
     Some((reach, err))
 }
 
@@ -605,6 +631,7 @@ fn scan_unmatched<F>(
 where
     F: Fn(Side, usize) -> bool + Sync,
 {
+    let _span = ctx.obs.span("par/scan");
     // Early exit is scoped to THIS scan: in a data-model grid many
     // scans share one `ctx`, and a witness in one pair must not abort
     // the others (only a blown budget may, via `ctx.cancel`).
@@ -638,6 +665,10 @@ where
         .collect();
     if early && found.len() > 1 {
         found.truncate(1);
+    }
+    ctx.obs.add(Counter::WitnessesFound, found.len() as u64);
+    if early && !found.is_empty() {
+        ctx.obs.add(Counter::EarlyExits, 1);
     }
     Some(found)
 }
@@ -753,6 +784,17 @@ where
 /// Parallel Definition 2/3/5 check with caller-provided interners (so
 /// callers can share compilation caches across checks and read
 /// [`FactInterner::stats`] afterwards).
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(*config)`
+/// `.interners(m_interner, n_interner).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(config)\
+            .interners(m_interner, n_interner).run()`"
+)]
 pub fn parallel_application_models_equivalent_with<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -768,7 +810,37 @@ where
     MO: Clone + fmt::Display + Send + Sync,
     NO: Clone + fmt::Display + Send + Sync,
 {
-    let ctx = EngineCtx::new(&config.budget);
+    parallel_app_models_verdict_obs(
+        m,
+        n,
+        kind,
+        state_cap,
+        config,
+        m_interner,
+        n_interner,
+        &Observer::disabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parallel_app_models_verdict_obs<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    kind: EquivKind,
+    state_cap: usize,
+    config: &ParallelConfig,
+    m_interner: &FactInterner<MS>,
+    n_interner: &FactInterner<NS>,
+    obs: &Observer,
+) -> Result<Verdict, CheckError>
+where
+    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    MO: Clone + fmt::Display + Send + Sync,
+    NO: Clone + fmt::Display + Send + Sync,
+{
+    let _span = obs.span_with("par/check", || format!("{} vs {}", m.name(), n.name()));
+    let ctx = EngineCtx::new(&config.budget, obs.clone());
     let threads = resolve_threads(config.threads);
     let Some(m_states) = explore_closure(m, state_cap, threads, &ctx)? else {
         return Ok(ctx.exhausted_verdict());
@@ -796,6 +868,15 @@ where
 /// Parallel Definition 2/3/5 check: the drop-in counterpart of
 /// [`crate::equiv::application_models_equivalent`] returning a
 /// structured [`Verdict`].
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(*config).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(config).run()`"
+)]
 pub fn parallel_application_models_equivalent<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -809,7 +890,7 @@ where
     MO: Clone + fmt::Display + Send + Sync,
     NO: Clone + fmt::Display + Send + Sync,
 {
-    parallel_application_models_equivalent_with(
+    parallel_app_models_verdict_obs(
         m,
         n,
         kind,
@@ -817,6 +898,7 @@ where
         config,
         &FactInterner::new(),
         &FactInterner::new(),
+        &Observer::disabled(),
     )
 }
 
@@ -826,6 +908,17 @@ where
 /// make every state compile once for the whole grid, not once per
 /// pair. Witnesses are the names of application models with no
 /// equivalent counterpart.
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind })`
+/// `.parallel(*config).interners(m_interner, n_interner).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).parallel(config)\
+            .interners(m_interner, n_interner).run()`"
+)]
 pub fn parallel_data_model_equivalent_with<MS, MO, NS, NO>(
     ms: &[FiniteModel<MS, MO>],
     ns: &[FiniteModel<NS, NO>],
@@ -841,7 +934,38 @@ where
     MO: Clone + fmt::Display + Send + Sync,
     NO: Clone + fmt::Display + Send + Sync,
 {
-    let ctx = EngineCtx::new(&config.budget);
+    parallel_data_model_verdict_obs(
+        ms,
+        ns,
+        kind,
+        state_cap,
+        config,
+        m_interner,
+        n_interner,
+        &Observer::disabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parallel_data_model_verdict_obs<MS, MO, NS, NO>(
+    ms: &[FiniteModel<MS, MO>],
+    ns: &[FiniteModel<NS, NO>],
+    kind: EquivKind,
+    state_cap: usize,
+    config: &ParallelConfig,
+    m_interner: &FactInterner<MS>,
+    n_interner: &FactInterner<NS>,
+    obs: &Observer,
+) -> Result<Verdict, CheckError>
+where
+    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    MO: Clone + fmt::Display + Send + Sync,
+    NO: Clone + fmt::Display + Send + Sync,
+{
+    let _span = obs.span_with("par/grid", || format!("{}x{} grid", ms.len(), ns.len()));
+    obs.add(Counter::GridCells, (ms.len() * ns.len()) as u64);
+    let ctx = EngineCtx::new(&config.budget, obs.clone());
     let threads = resolve_threads(config.threads);
 
     fn closures<S, O>(
@@ -945,6 +1069,16 @@ where
 
 /// Parallel Definition 6 check: the drop-in counterpart of
 /// [`crate::equiv::data_model_equivalent`].
+///
+/// # Migration
+///
+/// Deprecated in favour of the unified facade:
+/// `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).parallel(*config).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind })\
+            .parallel(config).run()`"
+)]
 pub fn parallel_data_model_equivalent<MS, MO, NS, NO>(
     ms: &[FiniteModel<MS, MO>],
     ns: &[FiniteModel<NS, NO>],
@@ -958,7 +1092,7 @@ where
     MO: Clone + fmt::Display + Send + Sync,
     NO: Clone + fmt::Display + Send + Sync,
 {
-    parallel_data_model_equivalent_with(
+    parallel_data_model_verdict_obs(
         ms,
         ns,
         kind,
@@ -966,10 +1100,12 @@ where
         config,
         &FactInterner::new(),
         &FactInterner::new(),
+        &Observer::disabled(),
     )
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dme_logic::{Fact, FactBase};

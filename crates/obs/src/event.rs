@@ -1,0 +1,263 @@
+//! Events and the monotonic counter vocabulary.
+
+use std::fmt;
+
+use crate::json::escape;
+
+/// The fixed vocabulary of monotonic counters. A closed enum (rather
+/// than arbitrary strings) keeps the hot-path increment a single indexed
+/// atomic add and makes transcripts join-able across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    /// Engine nodes charged against the budget: state applications,
+    /// signature compositions and reachability expansions.
+    NodesExpanded,
+    /// Valid states produced by closure enumeration.
+    StatesEnumerated,
+    /// States compiled to fact bases (interner hits and misses alike).
+    StatesCompiled,
+    /// Fact-base compilations answered from the interner cache.
+    InternerHits,
+    /// Fact-base compilations that had to run `to_facts`.
+    InternerMisses,
+    /// Behaviour signatures built (one per operation per check).
+    SignaturesBuilt,
+    /// Signatures produced while closing under composition.
+    SignaturesComposed,
+    /// States visited by per-state reachability searches.
+    ReachabilityExpansions,
+    /// §3.3.1 pairing checks performed (1-1 and onto verification).
+    PairingChecks,
+    /// Definition 6 grid cells (application-model pairs) examined.
+    GridCells,
+    /// Counterexample witnesses found.
+    WitnessesFound,
+    /// Scans cancelled early by a first counterexample.
+    EarlyExits,
+    /// Checks stopped by a blown node or wall-clock budget.
+    BudgetTrips,
+    /// Operations produced by operation enumeration.
+    OpsEnumerated,
+    /// Operations produced by the cross-model translators.
+    OpsTranslated,
+    /// Undo entries recorded by the storage journal.
+    JournalEntries,
+    /// Undo entries replayed by aborted transactions.
+    UndoReplays,
+    /// ANSI/SPARC consistency audits run.
+    AuditsRun,
+}
+
+impl Counter {
+    /// Every counter, in declaration order (the order snapshot arrays
+    /// are indexed in).
+    pub const ALL: [Counter; 18] = [
+        Counter::NodesExpanded,
+        Counter::StatesEnumerated,
+        Counter::StatesCompiled,
+        Counter::InternerHits,
+        Counter::InternerMisses,
+        Counter::SignaturesBuilt,
+        Counter::SignaturesComposed,
+        Counter::ReachabilityExpansions,
+        Counter::PairingChecks,
+        Counter::GridCells,
+        Counter::WitnessesFound,
+        Counter::EarlyExits,
+        Counter::BudgetTrips,
+        Counter::OpsEnumerated,
+        Counter::OpsTranslated,
+        Counter::JournalEntries,
+        Counter::UndoReplays,
+        Counter::AuditsRun,
+    ];
+
+    /// Number of counters (the length of a snapshot array).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The counter's stable snake_case name, used in transcripts and
+    /// reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::NodesExpanded => "nodes_expanded",
+            Counter::StatesEnumerated => "states_enumerated",
+            Counter::StatesCompiled => "states_compiled",
+            Counter::InternerHits => "interner_hits",
+            Counter::InternerMisses => "interner_misses",
+            Counter::SignaturesBuilt => "signatures_built",
+            Counter::SignaturesComposed => "signatures_composed",
+            Counter::ReachabilityExpansions => "reachability_expansions",
+            Counter::PairingChecks => "pairing_checks",
+            Counter::GridCells => "grid_cells",
+            Counter::WitnessesFound => "witnesses_found",
+            Counter::EarlyExits => "early_exits",
+            Counter::BudgetTrips => "budget_trips",
+            Counter::OpsEnumerated => "ops_enumerated",
+            Counter::OpsTranslated => "ops_translated",
+            Counter::JournalEntries => "journal_entries",
+            Counter::UndoReplays => "undo_replays",
+            Counter::AuditsRun => "audits_run",
+        }
+    }
+
+    /// The snapshot-array index of this counter.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase began.
+    SpanStart {
+        /// Span id, unique within one observer.
+        id: u64,
+        /// The phase's stable name (e.g. `par/closure`).
+        name: &'static str,
+        /// Free-form detail (a model name, a tier, …). Empty when the
+        /// caller had nothing to add.
+        detail: String,
+    },
+    /// A phase ended.
+    SpanEnd {
+        /// The matching [`EventKind::SpanStart`] id.
+        id: u64,
+        /// The phase's stable name.
+        name: &'static str,
+        /// Wall-clock spent inside the span, in microseconds.
+        elapsed_micros: u64,
+        /// Counter deltas attributed to this span: counters whose value
+        /// grew while the span was open, with the growth. Sorted by
+        /// counter declaration order; zero deltas are omitted.
+        counters: Vec<(Counter, u64)>,
+    },
+    /// A one-off point annotation (a verdict size, a cache statistic).
+    Mark {
+        /// The mark's stable name.
+        name: &'static str,
+        /// The value observed.
+        value: u64,
+    },
+}
+
+/// One observed event: a sequence number, a monotonic timestamp (µs
+/// since the observer was created) and the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number within one observer, starting at 0.
+    pub seq: u64,
+    /// Microseconds since the observer was created.
+    pub at_micros: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline) — the
+    /// line format of [`crate::JsonLinesSink`].
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"seq\":{},\"at_us\":{},", self.seq, self.at_micros);
+        match &self.kind {
+            EventKind::SpanStart { id, name, detail } => {
+                out.push_str(&format!(
+                    "\"ev\":\"span_start\",\"id\":{id},\"name\":\"{}\"",
+                    escape(name)
+                ));
+                if !detail.is_empty() {
+                    out.push_str(&format!(",\"detail\":\"{}\"", escape(detail)));
+                }
+            }
+            EventKind::SpanEnd {
+                id,
+                name,
+                elapsed_micros,
+                counters,
+            } => {
+                out.push_str(&format!(
+                    "\"ev\":\"span_end\",\"id\":{id},\"name\":\"{}\",\"elapsed_us\":{elapsed_micros}",
+                    escape(name)
+                ));
+                if !counters.is_empty() {
+                    out.push_str(",\"counters\":{");
+                    for (i, (c, v)) in counters.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("\"{}\":{v}", c.name()));
+                    }
+                    out.push('}');
+                }
+            }
+            EventKind::Mark { name, value } => {
+                out.push_str(&format!(
+                    "\"ev\":\"mark\",\"name\":\"{}\",\"value\":{value}",
+                    escape(name)
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_indexed() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(Counter::NodesExpanded.to_string(), "nodes_expanded");
+    }
+
+    #[test]
+    fn json_lines_render() {
+        let e = Event {
+            seq: 1,
+            at_micros: 5,
+            kind: EventKind::SpanStart {
+                id: 7,
+                name: "par/closure",
+                detail: "model \"m\"".into(),
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"seq\":1,\"at_us\":5,\"ev\":\"span_start\",\"id\":7,\"name\":\"par/closure\",\"detail\":\"model \\\"m\\\"\"}"
+        );
+        let e = Event {
+            seq: 2,
+            at_micros: 9,
+            kind: EventKind::SpanEnd {
+                id: 7,
+                name: "par/closure",
+                elapsed_micros: 4,
+                counters: vec![(Counter::NodesExpanded, 10)],
+            },
+        };
+        assert!(e.to_json().contains("\"counters\":{\"nodes_expanded\":10}"));
+        let e = Event {
+            seq: 3,
+            at_micros: 11,
+            kind: EventKind::Mark {
+                name: "witnesses",
+                value: 2,
+            },
+        };
+        assert!(e.to_json().contains("\"ev\":\"mark\""));
+    }
+}

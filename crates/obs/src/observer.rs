@@ -1,0 +1,261 @@
+//! The observer handle and span guards.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Counter, Event, EventKind};
+use crate::sink::EventSink;
+
+struct Inner {
+    sink: Box<dyn EventSink>,
+    counters: [AtomicU64; Counter::COUNT],
+    next_span: AtomicU64,
+    next_seq: AtomicU64,
+    t0: Instant,
+}
+
+impl Inner {
+    fn emit(&self, kind: EventKind) {
+        let event = Event {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            at_micros: self.t0.elapsed().as_micros() as u64,
+            kind,
+        };
+        self.sink.record(&event);
+    }
+
+    fn snapshot(&self) -> [u64; Counter::COUNT] {
+        let mut out = [0u64; Counter::COUNT];
+        for (slot, counter) in out.iter_mut().zip(&self.counters) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// A cheap, cloneable handle to an observation session — or to nothing.
+///
+/// Instrumented code takes `&Observer` and calls [`Observer::span`] /
+/// [`Observer::add`] unconditionally; when the observer is
+/// [disabled](Observer::disabled) every call is one branch on a `None`.
+/// Cloning shares the session: clones write to the same sink, the same
+/// counter table and the same sequence.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Observer {
+    /// The no-op observer: every instrumentation call returns
+    /// immediately. This is what un-observed entry points pass down.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    /// An observer writing events to `sink`.
+    pub fn new(sink: impl EventSink + 'static) -> Self {
+        Observer {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                next_span: AtomicU64::new(0),
+                next_seq: AtomicU64::new(0),
+                t0: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Instrumented code may use this
+    /// to skip *building* expensive details; plain `span`/`add` calls
+    /// need no guard.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increments a monotonic counter by `n`.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Emits a one-off point annotation.
+    pub fn mark(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.emit(EventKind::Mark { name, value });
+        }
+    }
+
+    /// Opens a span: emits `span_start` now and `span_end` — with the
+    /// elapsed wall-clock and the counter deltas attributable to the
+    /// span — when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_impl(name, String::new())
+    }
+
+    /// Opens a span with a detail string built only when the observer is
+    /// enabled (so hot paths don't format names for nobody).
+    pub fn span_with(&self, name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+        if self.inner.is_some() {
+            self.span_impl(name, detail())
+        } else {
+            SpanGuard { live: None }
+        }
+    }
+
+    fn span_impl(&self, name: &'static str, detail: String) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { live: None };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        inner.emit(EventKind::SpanStart { id, name, detail });
+        SpanGuard {
+            live: Some(LiveSpan {
+                inner: Arc::clone(inner),
+                id,
+                name,
+                started: Instant::now(),
+                base: inner.snapshot(),
+            }),
+        }
+    }
+
+    /// Current values of every counter, in [`Counter::ALL`] order,
+    /// omitting zeros.
+    pub fn counters(&self) -> Vec<(Counter, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let snap = inner.snapshot();
+        Counter::ALL
+            .iter()
+            .zip(snap)
+            .filter(|(_, v)| *v > 0)
+            .map(|(c, v)| (*c, v))
+            .collect()
+    }
+
+    /// The current value of one counter (0 when disabled).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.counters[counter.index()].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for Observer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "Observer(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Observer({} events)",
+                inner.next_seq.load(Ordering::Relaxed)
+            ),
+        }
+    }
+}
+
+struct LiveSpan {
+    inner: Arc<Inner>,
+    id: u64,
+    name: &'static str,
+    started: Instant,
+    base: [u64; Counter::COUNT],
+}
+
+/// The RAII guard returned by [`Observer::span`]; dropping it closes the
+/// span.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let now = live.inner.snapshot();
+        let counters: Vec<(Counter, u64)> = Counter::ALL
+            .iter()
+            .zip(now.iter().zip(&live.base))
+            .filter(|(_, (now, base))| *now > *base)
+            .map(|(c, (now, base))| (*c, now - base))
+            .collect();
+        live.inner.emit(EventKind::SpanEnd {
+            id: live.id,
+            name: live.name,
+            elapsed_micros: live.started.elapsed().as_micros() as u64,
+            counters,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        assert!(!obs.enabled());
+        obs.add(Counter::NodesExpanded, 5);
+        obs.mark("x", 1);
+        let _g = obs.span("phase");
+        let _g2 = obs.span_with("phase", || panic!("detail must not be built"));
+        assert!(obs.counters().is_empty());
+        assert_eq!(obs.counter(Counter::NodesExpanded), 0);
+        assert_eq!(format!("{obs:?}"), "Observer(disabled)");
+    }
+
+    #[test]
+    fn spans_attribute_counter_deltas() {
+        let ring = RingSink::with_capacity(64);
+        let obs = Observer::new(ring.clone());
+        obs.add(Counter::NodesExpanded, 3); // before the span: not attributed
+        {
+            let _span = obs.span_with("work", || "detail".into());
+            obs.add(Counter::NodesExpanded, 7);
+            obs.add(Counter::WitnessesFound, 1);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        let EventKind::SpanStart { id, name, detail } = &events[0].kind else {
+            panic!("expected span_start, got {:?}", events[0]);
+        };
+        assert_eq!((*name, detail.as_str()), ("work", "detail"));
+        let EventKind::SpanEnd {
+            id: end_id,
+            counters,
+            ..
+        } = &events[1].kind
+        else {
+            panic!("expected span_end, got {:?}", events[1]);
+        };
+        assert_eq!(end_id, id);
+        assert_eq!(
+            counters,
+            &vec![(Counter::NodesExpanded, 7), (Counter::WitnessesFound, 1)]
+        );
+        // The global table still holds the full totals.
+        assert_eq!(obs.counter(Counter::NodesExpanded), 10);
+        assert_eq!(obs.counters().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_session() {
+        let ring = RingSink::with_capacity(8);
+        let obs = Observer::new(ring.clone());
+        let clone = obs.clone();
+        clone.add(Counter::AuditsRun, 2);
+        obs.mark("m", 1);
+        assert_eq!(obs.counter(Counter::AuditsRun), 2);
+        assert_eq!(ring.events().len(), 1);
+        assert!(format!("{obs:?}").contains("1 events"));
+    }
+}

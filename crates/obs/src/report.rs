@@ -1,0 +1,228 @@
+//! The report summarizer: per-phase wall-clock and counter tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{Counter, Event, EventKind};
+
+/// Aggregated statistics of one span name (one engine phase).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// How many spans closed under this name.
+    pub calls: u64,
+    /// Total wall-clock across those spans, in microseconds. Nested
+    /// spans count their own elapsed time; a parent span's time includes
+    /// its children's.
+    pub total_micros: u64,
+    /// Summed counter deltas attributed to those spans.
+    pub counters: BTreeMap<Counter, u64>,
+}
+
+/// A rendered summary of an observation session: per-phase wall-clock
+/// and counters, plus (optionally) the session-wide counter totals.
+///
+/// Build one from a sink's events with [`Report::from_events`], then
+/// attach [`Observer::counters`](crate::Observer::counters) via
+/// [`Report::with_totals`] for the grand-total row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    phases: BTreeMap<&'static str, PhaseStats>,
+    totals: Vec<(Counter, u64)>,
+}
+
+impl Report {
+    /// Aggregates every `span_end` in `events` by span name.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut phases: BTreeMap<&'static str, PhaseStats> = BTreeMap::new();
+        for event in events {
+            if let EventKind::SpanEnd {
+                name,
+                elapsed_micros,
+                counters,
+                ..
+            } = &event.kind
+            {
+                let stats = phases.entry(name).or_default();
+                stats.calls += 1;
+                stats.total_micros += elapsed_micros;
+                for (c, v) in counters {
+                    *stats.counters.entry(*c).or_default() += v;
+                }
+            }
+        }
+        Report {
+            phases,
+            totals: Vec::new(),
+        }
+    }
+
+    /// Attaches session-wide counter totals (shown as a final row).
+    pub fn with_totals(mut self, totals: Vec<(Counter, u64)>) -> Self {
+        self.totals = totals;
+        self
+    }
+
+    /// The stats of one phase, if any span closed under that name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.get(name)
+    }
+
+    /// Phase names seen, in lexicographic order.
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        self.phases.keys().copied().collect()
+    }
+
+    /// Whether no spans were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The session-wide totals attached with [`Report::with_totals`].
+    pub fn totals(&self) -> &[(Counter, u64)] {
+        &self.totals
+    }
+
+    /// Renders the report as one JSON object:
+    /// `{"phases": {name: {calls, total_us, counters: {...}}}, "totals": {...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"phases\":{");
+        for (i, (name, stats)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"calls\":{},\"total_us\":{},\"counters\":{{",
+                crate::json::escape(name),
+                stats.calls,
+                stats.total_micros
+            ));
+            for (j, (c, v)) in stats.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{v}", c.name()));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("},\"totals\":{");
+        for (i, (c, v)) in self.totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", c.name()));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn fmt_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn fmt_counters(counters: impl Iterator<Item = (Counter, u64)>) -> String {
+    counters
+        .map(|(c, v)| format!("{}={v}", c.name()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl fmt::Display for Report {
+    /// The human table: one row per phase, widest columns win.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() && self.totals.is_empty() {
+            return writeln!(f, "(no spans recorded)");
+        }
+        let name_width = self
+            .phases
+            .keys()
+            .map(|n| n.len())
+            .chain(std::iter::once("TOTAL".len()))
+            .max()
+            .unwrap_or(5);
+        writeln!(
+            f,
+            "{:<name_width$}  {:>6}  {:>10}  counters",
+            "phase", "calls", "wall"
+        )?;
+        for (name, stats) in &self.phases {
+            writeln!(
+                f,
+                "{:<name_width$}  {:>6}  {:>10}  {}",
+                name,
+                stats.calls,
+                fmt_micros(stats.total_micros),
+                fmt_counters(stats.counters.iter().map(|(c, v)| (*c, *v)))
+            )?;
+        }
+        if !self.totals.is_empty() {
+            writeln!(
+                f,
+                "{:<name_width$}  {:>6}  {:>10}  {}",
+                "TOTAL",
+                "",
+                "",
+                fmt_counters(self.totals.iter().copied())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Observer, RingSink};
+
+    #[test]
+    fn aggregates_span_ends_by_name() {
+        let ring = RingSink::with_capacity(64);
+        let obs = Observer::new(ring.clone());
+        for i in 0..3u64 {
+            let _span = obs.span("phase/a");
+            obs.add(Counter::NodesExpanded, i + 1);
+        }
+        {
+            let _span = obs.span("phase/b");
+        }
+        let report =
+            Report::from_events(&ring.events()).with_totals(obs.counters());
+        let a = report.phase("phase/a").unwrap();
+        assert_eq!(a.calls, 3);
+        assert_eq!(a.counters[&Counter::NodesExpanded], 6);
+        assert_eq!(report.phase("phase/b").unwrap().calls, 1);
+        assert!(report.phase("phase/c").is_none());
+        assert_eq!(report.phase_names(), vec!["phase/a", "phase/b"]);
+        assert_eq!(report.totals(), &[(Counter::NodesExpanded, 6)]);
+
+        let text = report.to_string();
+        assert!(text.contains("phase/a"), "{text}");
+        assert!(text.contains("nodes_expanded=6"), "{text}");
+        assert!(text.contains("TOTAL"), "{text}");
+
+        let json = report.to_json();
+        assert!(json.contains("\"phase/a\":{\"calls\":3"), "{json}");
+        assert!(json.contains("\"totals\":{\"nodes_expanded\":6}"), "{json}");
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = Report::from_events(&[]);
+        assert!(report.is_empty());
+        assert_eq!(report.to_string(), "(no spans recorded)\n");
+        assert_eq!(report.to_json(), "{\"phases\":{},\"totals\":{}}");
+    }
+
+    #[test]
+    fn micro_formatting_scales() {
+        assert_eq!(super::fmt_micros(5), "5µs");
+        assert_eq!(super::fmt_micros(1_500), "1.50ms");
+        assert_eq!(super::fmt_micros(2_000_000), "2.00s");
+    }
+}

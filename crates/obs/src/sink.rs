@@ -1,0 +1,186 @@
+//! Event sinks: where observed events go.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A destination for observed events. Implementations must tolerate
+/// concurrent `record` calls from worker threads.
+pub trait EventSink: Send + Sync {
+    /// Records one event. Must not block for long — this is called from
+    /// the engine's coordinating thread between phases.
+    fn record(&self, event: &Event);
+}
+
+/// A bounded in-memory ring of the most recent events.
+///
+/// Slot claim is wait-free (one atomic `fetch_add`); each claimed slot
+/// is then written under its own uncontended lock, so concurrent
+/// recorders never serialize against each other unless they wrap onto
+/// the same slot. When the ring overflows, the oldest events are
+/// overwritten — [`RingSink::events`] returns what survived, in
+/// sequence order.
+#[derive(Clone)]
+pub struct RingSink {
+    inner: Arc<RingInner>,
+}
+
+struct RingInner {
+    slots: Vec<Mutex<Option<Event>>>,
+    cursor: AtomicUsize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            inner: Arc::new(RingInner {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                cursor: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Total events ever recorded (including any overwritten).
+    pub fn recorded(&self) -> usize {
+        self.inner.cursor.load(Ordering::Relaxed)
+    }
+
+    /// The surviving events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// Drops all recorded events (the cursor keeps counting).
+    pub fn clear(&self) {
+        for slot in &self.inner.slots {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&self, event: &Event) {
+        let i = self.inner.cursor.fetch_add(1, Ordering::Relaxed) % self.inner.slots.len();
+        *self.inner.slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(event.clone());
+    }
+}
+
+/// A transcript sink: every event becomes one JSON object per line, in
+/// the format of [`Event::to_json`].
+///
+/// Writes go through a shared buffered writer; call
+/// [`JsonLinesSink::flush`] (or drop every clone) before reading the
+/// file back.
+#[derive(Clone)]
+pub struct JsonLinesSink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl JsonLinesSink {
+    /// A sink over any writer.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonLinesSink {
+            writer: Arc::new(Mutex::new(Box::new(writer))),
+        }
+    }
+
+    /// Creates (truncating) a transcript file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(io::BufWriter::new(file)))
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // A full disk mid-transcript must not poison the check itself.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn mark(seq: u64, value: u64) -> Event {
+        Event {
+            seq,
+            at_micros: seq,
+            kind: EventKind::Mark { name: "m", value },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let ring = RingSink::with_capacity(3);
+        for i in 0..5 {
+            ring.record(&mark(i, i));
+        }
+        let events = ring.events();
+        assert_eq!(ring.recorded(), 5);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest overwritten, order kept");
+        ring.clear();
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn ring_survives_concurrent_recording() {
+        let ring = RingSink::with_capacity(128);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ring = ring.clone();
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        ring.record(&mark(t * 16 + i, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 64);
+        assert_eq!(ring.events().len(), 64);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonLinesSink::new(Shared(Arc::clone(&buf)));
+        sink.record(&mark(0, 7));
+        sink.record(&mark(1, 8));
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,"));
+        assert!(lines[1].contains("\"value\":8"));
+    }
+}

@@ -5,6 +5,7 @@
 //! The journal records the inverse of every applied change; aborting a
 //! transaction replays the inverses in reverse order.
 
+use dme_obs::{Counter, Observer};
 use dme_value::{Symbol, Tuple};
 
 /// The inverse of one applied change.
@@ -30,6 +31,7 @@ pub enum UndoOp {
 #[derive(Clone, Debug, Default)]
 pub struct Journal {
     entries: Vec<UndoOp>,
+    obs: Observer,
 }
 
 impl Journal {
@@ -38,8 +40,18 @@ impl Journal {
         Self::default()
     }
 
+    /// An empty journal whose pushes and undo replays are charged to
+    /// `obs` ([`Counter::JournalEntries`] / [`Counter::UndoReplays`]).
+    pub fn with_observer(obs: Observer) -> Self {
+        Journal {
+            entries: Vec::new(),
+            obs,
+        }
+    }
+
     /// Records an undo entry.
     pub fn push(&mut self, op: UndoOp) {
+        self.obs.add(Counter::JournalEntries, 1);
         self.entries.push(op);
     }
 
@@ -53,8 +65,11 @@ impl Journal {
         self.entries.is_empty()
     }
 
-    /// Drains the entries in reverse (undo) order.
+    /// Drains the entries in reverse (undo) order. Every drained entry
+    /// is an undo about to be replayed, so the whole batch is charged to
+    /// [`Counter::UndoReplays`] up front.
     pub fn drain_reverse(&mut self) -> impl Iterator<Item = UndoOp> + '_ {
+        self.obs.add(Counter::UndoReplays, self.entries.len() as u64);
         self.entries.drain(..).rev()
     }
 
@@ -86,6 +101,25 @@ mod tests {
         assert!(matches!(&drained[0], UndoOp::Reinsert { .. }));
         assert!(matches!(&drained[1], UndoOp::Remove { .. }));
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn observed_journal_counts_entries_and_replays() {
+        use dme_obs::RingSink;
+        let obs = Observer::new(RingSink::with_capacity(8));
+        let mut j = Journal::with_observer(obs.clone());
+        j.push(UndoOp::Remove {
+            table: "A".into(),
+            tuple: tuple![1],
+        });
+        j.push(UndoOp::Reinsert {
+            table: "B".into(),
+            tuple: tuple![2],
+        });
+        assert_eq!(obs.counter(Counter::JournalEntries), 2);
+        assert_eq!(obs.counter(Counter::UndoReplays), 0);
+        let _ = j.drain_reverse().collect::<Vec<_>>();
+        assert_eq!(obs.counter(Counter::UndoReplays), 2);
     }
 
     #[test]

@@ -158,6 +158,19 @@ impl RecordStore {
         }
     }
 
+    /// [`RecordStore::begin`], with the transaction's journal writes and
+    /// rollback replays charged to `obs` (one
+    /// [`JournalEntries`](dme_obs::Counter::JournalEntries) per recorded
+    /// inverse, one [`UndoReplays`](dme_obs::Counter::UndoReplays) per
+    /// replayed undo).
+    pub fn begin_observed(&mut self, obs: dme_obs::Observer) -> Transaction<'_> {
+        Transaction {
+            store: self,
+            journal: Journal::with_observer(obs),
+            committed: false,
+        }
+    }
+
     /// Reclaims dead heap space across all tables, rebuilding indexes.
     pub fn vacuum(&mut self) {
         for t in self.tables.values_mut() {
@@ -297,6 +310,27 @@ mod tests {
             txn.insert("Jobs", tuple!["new"]).unwrap();
         }
         assert_eq!(s.scan("Jobs").unwrap(), vec![tuple!["keep"]]);
+    }
+
+    #[test]
+    fn observed_transaction_charges_journal_counters() {
+        use dme_obs::{Counter, Observer, RingSink};
+        let obs = Observer::new(RingSink::with_capacity(8));
+        let mut s = store();
+        {
+            let mut txn = s.begin_observed(obs.clone());
+            txn.insert("Jobs", tuple!["a"]).unwrap();
+            txn.insert("Operate", tuple!["b"]).unwrap();
+            // no commit: rollback replays both undos
+        }
+        assert_eq!(obs.counter(Counter::JournalEntries), 2);
+        assert_eq!(obs.counter(Counter::UndoReplays), 2);
+        // A committed transaction replays nothing.
+        let mut txn = s.begin_observed(obs.clone());
+        txn.insert("Jobs", tuple!["c"]).unwrap();
+        txn.commit();
+        assert_eq!(obs.counter(Counter::JournalEntries), 3);
+        assert_eq!(obs.counter(Counter::UndoReplays), 2);
     }
 
     #[test]

@@ -1,26 +1,28 @@
 //! The equivalence hierarchy, decided mechanically.
 //!
-//! Runs the Definition 2 / 3 / 5 checkers on the witness application
+//! Runs the Definition 2 / 3 / 5 checks on the witness application
 //! models and the Definition 6 data-model check with its partial-
-//! equivalence outcome, printing each report — the executable version of
-//! the paper's §3.3 discussion, including the strictness chain
+//! equivalence outcome through the unified [`Checker`] facade — the
+//! executable version of the paper's §3.3 discussion, including the
+//! strictness chain
 //!
 //!   isomorphic ⇒ composed operation ⇒ state dependent
 //!
-//! with separating witnesses at each level.
+//! with separating witnesses at each level, plus the instrumentation
+//! report of every checker phase.
 //!
 //! Run with: `cargo run --release --example equivalence_audit`
 
 use std::sync::Arc;
 
 use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
-use borkin_equiv::equivalence::equiv::{
-    composed_equivalent, data_model_equivalent, isomorphic_equivalent, state_dependent_equivalent,
-    EquivKind,
-};
+use borkin_equiv::equivalence::equiv::EquivKind;
 use borkin_equiv::equivalence::model::{graph_model, relational_model};
+use borkin_equiv::equivalence::parallel::Side;
 use borkin_equiv::equivalence::witness;
+use borkin_equiv::equivalence::{Checker, Tier};
 use borkin_equiv::graph::GraphState;
+use borkin_equiv::obs::{Observer, Report, RingSink};
 use borkin_equiv::relation::RelationState;
 
 const CAP: usize = 10_000;
@@ -35,6 +37,10 @@ fn main() {
         let ops = enumerate_graph_ops(&schema);
         graph_model(name, GraphState::empty(schema), ops)
     };
+    // One observer across the whole audit: the final report aggregates
+    // every check below by phase.
+    let ring = RingSink::with_capacity(8192);
+    let obs = Observer::new(ring.clone());
 
     println!("== Definition 2: isomorphic application model equivalence ==");
     let m = rel("micro", witness::micro_relational_schema(), 2);
@@ -43,32 +49,55 @@ fn main() {
         witness::micro_relational_schema_renamed(),
         2,
     );
-    let report = isomorphic_equivalent(&m, &n, CAP).expect("check runs");
-    println!("micro vs renamed micro: {report}\n");
+    let verdict = Checker::new(&m, &n)
+        .state_cap(CAP)
+        .observer(obs.clone())
+        .run()
+        .expect("check runs");
+    println!("micro vs renamed micro: {verdict}\n");
 
     println!("== Definition 3: composed operation equivalence (not isomorphic) ==");
     let singles = rel("micro-singles", witness::micro_relational_schema(), 1);
     let pairs = rel("micro-pairs", witness::micro_relational_schema(), 2);
-    let iso = isomorphic_equivalent(&singles, &pairs, CAP).expect("check runs");
-    println!("singles vs pairs, isomorphic? {}", iso.equivalent);
-    if let Some(witness_op) = iso.unmatched_n.first() {
-        println!("  e.g. no single operation is equivalent to: {witness_op}");
+    let iso = Checker::new(&singles, &pairs)
+        .state_cap(CAP)
+        .observer(obs.clone())
+        .run()
+        .expect("check runs");
+    println!("singles vs pairs, isomorphic? {}", iso.is_equivalent());
+    if let Some(w) = iso.witnesses().iter().find(|w| w.side == Side::Right) {
+        println!("  e.g. no single operation is equivalent to: {}", w.label);
     }
-    let composed = composed_equivalent(&singles, &pairs, CAP, 2).expect("check runs");
-    println!("singles vs pairs, composed? {}\n", composed.equivalent);
+    let composed = Checker::new(&singles, &pairs)
+        .tier(Tier::Composed { max_depth: 2 })
+        .state_cap(CAP)
+        .observer(obs.clone())
+        .run()
+        .expect("check runs");
+    println!("singles vs pairs, composed? {}\n", composed.is_equivalent());
 
     println!("== Definition 5: state dependent equivalence (not composed) ==");
     let m = rel("micro-rel", witness::micro_relational_schema(), 2);
     let g = graph("micro-graph", witness::micro_graph_schema());
-    let composed = composed_equivalent(&m, &g, CAP, 3).expect("check runs");
-    println!("relational vs graph, composed? {}", composed.equivalent);
-    if let Some(witness_op) = composed.unmatched_m.first() {
-        println!("  witness (idempotent insert vs strict insert): {witness_op}");
+    let composed = Checker::new(&m, &g)
+        .tier(Tier::Composed { max_depth: 3 })
+        .state_cap(CAP)
+        .observer(obs.clone())
+        .run()
+        .expect("check runs");
+    println!("relational vs graph, composed? {}", composed.is_equivalent());
+    if let Some(w) = composed.witnesses().iter().find(|w| w.side == Side::Left) {
+        println!("  witness (idempotent insert vs strict insert): {}", w.label);
     }
-    let state_dep = state_dependent_equivalent(&m, &g, CAP, 3).expect("check runs");
+    let state_dep = Checker::new(&m, &g)
+        .tier(Tier::StateDependent { max_depth: 3 })
+        .state_cap(CAP)
+        .observer(obs.clone())
+        .run()
+        .expect("check runs");
     println!(
         "relational vs graph, state dependent? {}\n",
-        state_dep.equivalent
+        state_dep.is_equivalent()
     );
 
     println!("== Definition 6: data model equivalence and partiality ==");
@@ -87,15 +116,20 @@ fn main() {
         ),
     ];
     let kind = EquivKind::StateDependent { max_depth: 3 };
-    let report = data_model_equivalent(&ms, &graphs, kind, CAP).expect("check runs");
-    println!("{report}");
-    for (name, matches) in &report.matches_m {
-        println!("  {name}: {} graph counterpart(s)", matches.len());
-    }
+    let verdict = Checker::data_models(&ms, &graphs)
+        .tier(Tier::DataModel { kind })
+        .state_cap(CAP)
+        .observer(obs.clone())
+        .run()
+        .expect("check runs");
+    println!("2x{} grid: {verdict}", graphs.len());
     println!();
     println!("The relational application model with the constraint \"every");
     println!("supervisor is also supervised\" has no graph counterpart:");
     println!("graph schemas express only totality and functionality per");
     println!("(predicate, role) — the paper's 'too many or too few");
     println!("constraints' (§3.3.2). The data models are partially equivalent.");
+
+    let report = Report::from_events(&ring.events()).with_totals(obs.counters());
+    println!("\n== instrumentation report (all checks) ==\n{report}");
 }

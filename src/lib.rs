@@ -32,6 +32,7 @@ pub use dme_ansi as ansi;
 pub use dme_core as equivalence;
 pub use dme_graph as graph;
 pub use dme_logic as logic;
+pub use dme_obs as obs;
 pub use dme_relation as relation;
 pub use dme_storage as storage;
 pub use dme_syntactic as syntactic;

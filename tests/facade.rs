@@ -1,0 +1,355 @@
+//! Facade parity: [`Checker`] must be bit-identical to every legacy
+//! entry point it replaces — sequential checkers via
+//! `MatchReport::to_verdict` / `DataModelReport::to_verdict`, the four
+//! `parallel_*` functions directly — with the observer enabled and
+//! disabled.
+
+#![allow(deprecated)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
+use borkin_equiv::equivalence::equiv::{
+    application_models_equivalent, composed_equivalent, data_model_equivalent,
+    isomorphic_equivalent, state_dependent_equivalent, EquivKind,
+};
+use borkin_equiv::equivalence::model::{graph_model, relational_model, FiniteModel};
+use borkin_equiv::equivalence::parallel::{
+    parallel_application_models_equivalent, parallel_application_models_equivalent_with,
+    parallel_data_model_equivalent, parallel_data_model_equivalent_with, CheckBudget,
+    ParallelConfig, Verdict,
+};
+use borkin_equiv::equivalence::witness;
+use borkin_equiv::equivalence::{Checker, FactInterner, Tier};
+use borkin_equiv::graph::{GraphOp, GraphState};
+use borkin_equiv::logic::{Fact, FactBase};
+use borkin_equiv::obs::{Observer, RingSink};
+use borkin_equiv::relation::{RelOp, RelationState};
+use borkin_equiv::value::Atom;
+
+const STATE_CAP: usize = 4_000;
+
+/// Errors don't implement `PartialEq`; compare through their debug
+/// rendering so `Err(Pairing(..))` parity is asserted too.
+fn norm<E: std::fmt::Debug>(r: Result<Verdict, E>) -> Result<Verdict, String> {
+    r.map_err(|e| format!("{e:?}"))
+}
+
+fn fact(n: u8) -> Fact {
+    Fact::new("p", [("x", Atom::Int(n as i64))])
+}
+
+/// Insert/remove toy models over a small fact universe — cheap enough
+/// to sweep every tier over several pairs.
+fn toy_model(name: &str, ops: &[(bool, u8)]) -> FiniteModel<FactBase, String> {
+    let universe: BTreeMap<String, (bool, Fact)> = ops
+        .iter()
+        .map(|(add, n)| {
+            let f = fact(*n);
+            (format!("{}{}", if *add { "+" } else { "-" }, f), (*add, f))
+        })
+        .collect();
+    let op_names: Vec<String> = universe.keys().cloned().collect();
+    FiniteModel::new(name, FactBase::default(), op_names, move |op, s| {
+        let (add, f) = &universe[op];
+        let mut next = s.clone();
+        if *add {
+            next.insert(f.clone()).then_some(next)
+        } else {
+            next.remove(f).then_some(next)
+        }
+    })
+}
+
+/// Pairs that exercise equivalent, inequivalent, and asymmetric cases.
+fn toy_pairs() -> Vec<(FiniteModel<FactBase, String>, FiniteModel<FactBase, String>)> {
+    vec![
+        (
+            toy_model("m-two", &[(true, 0), (true, 1)]),
+            toy_model("n-two", &[(true, 0), (true, 1)]),
+        ),
+        (
+            toy_model("m-two", &[(true, 0), (true, 1)]),
+            toy_model("n-one", &[(true, 0)]),
+        ),
+        (
+            toy_model("m-undo", &[(true, 0), (false, 0)]),
+            toy_model("n-undo", &[(true, 1), (false, 1)]),
+        ),
+        (
+            toy_model("m-rich", &[(true, 0), (true, 1), (false, 1)]),
+            toy_model("n-poor", &[(true, 0), (false, 0)]),
+        ),
+    ]
+}
+
+fn micro_rel() -> FiniteModel<RelationState, RelOp> {
+    let schema = witness::micro_relational_schema();
+    let ops = enumerate_rel_ops(&schema, 2);
+    relational_model("micro-rel", RelationState::empty(Arc::new(schema)), ops)
+}
+
+fn micro_graph() -> FiniteModel<GraphState, GraphOp> {
+    let schema = Arc::new(witness::micro_graph_schema());
+    let ops = enumerate_graph_ops(&schema);
+    graph_model("micro-graph", GraphState::empty(schema), ops)
+}
+
+#[test]
+fn facade_matches_sequential_isomorphic() {
+    for (m, n) in toy_pairs() {
+        let legacy = isomorphic_equivalent(&m, &n, STATE_CAP).map(|r| r.to_verdict());
+        let facade = Checker::new(&m, &n)
+            .tier(Tier::Isomorphic)
+            .state_cap(STATE_CAP)
+            .run();
+        assert_eq!(norm(facade), norm(legacy));
+    }
+}
+
+#[test]
+fn facade_matches_sequential_composed_and_state_dependent() {
+    for (m, n) in toy_pairs() {
+        for max_depth in [1usize, 2, 3] {
+            let legacy = composed_equivalent(&m, &n, STATE_CAP, max_depth).map(|r| r.to_verdict());
+            let facade = Checker::new(&m, &n)
+                .tier(Tier::Composed { max_depth })
+                .state_cap(STATE_CAP)
+                .run();
+            assert_eq!(norm(facade), norm(legacy), "composed depth {max_depth}");
+
+            let legacy =
+                state_dependent_equivalent(&m, &n, STATE_CAP, max_depth).map(|r| r.to_verdict());
+            let facade = Checker::new(&m, &n)
+                .tier(Tier::StateDependent { max_depth })
+                .state_cap(STATE_CAP)
+                .run();
+            assert_eq!(norm(facade), norm(legacy), "state-dependent depth {max_depth}");
+        }
+    }
+}
+
+#[test]
+fn facade_matches_sequential_on_paper_witness() {
+    let m = micro_rel();
+    let n = micro_graph();
+    for kind in [
+        EquivKind::Isomorphic,
+        EquivKind::Composed { max_depth: 2 },
+        EquivKind::StateDependent { max_depth: 2 },
+    ] {
+        let legacy = application_models_equivalent(&m, &n, kind, STATE_CAP)
+            .map(|r| r.to_verdict())
+            .unwrap();
+        let facade = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .run()
+            .unwrap();
+        assert_eq!(facade, legacy, "{kind:?}");
+    }
+}
+
+#[test]
+fn facade_matches_sequential_data_model() {
+    let ms = vec![micro_rel()];
+    let ns = vec![micro_graph()];
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    let legacy = data_model_equivalent(&ms, &ns, kind, STATE_CAP)
+        .map(|r| r.to_verdict())
+        .unwrap();
+    let facade = Checker::data_models(&ms, &ns)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert_eq!(facade, legacy);
+}
+
+#[test]
+fn facade_matches_parallel_application_models() {
+    let m = micro_rel();
+    let n = micro_graph();
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    for threads in [1usize, 2, 4] {
+        let config = ParallelConfig::with_threads(threads);
+        let legacy =
+            parallel_application_models_equivalent(&m, &n, kind, STATE_CAP, &config).unwrap();
+        let facade = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(config)
+            .run()
+            .unwrap();
+        assert_eq!(facade, legacy, "threads {threads}");
+    }
+}
+
+#[test]
+fn facade_matches_parallel_with_interners() {
+    let m = micro_rel();
+    let n = micro_graph();
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    let config = ParallelConfig::with_threads(2);
+    let legacy_mi = FactInterner::new();
+    let legacy_ni = FactInterner::new();
+    let legacy = parallel_application_models_equivalent_with(
+        &m, &n, kind, STATE_CAP, &config, &legacy_mi, &legacy_ni,
+    )
+    .unwrap();
+    let facade_mi = FactInterner::new();
+    let facade_ni = FactInterner::new();
+    let facade = Checker::new(&m, &n)
+        .tier(Tier::from_kind(kind))
+        .state_cap(STATE_CAP)
+        .parallel(config)
+        .interners(&facade_mi, &facade_ni)
+        .run()
+        .unwrap();
+    assert_eq!(facade, legacy);
+    assert_eq!(facade_mi.stats().unique, legacy_mi.stats().unique);
+    assert_eq!(facade_ni.stats().unique, legacy_ni.stats().unique);
+}
+
+#[test]
+fn facade_matches_parallel_data_model() {
+    let ms = vec![micro_rel()];
+    let ns = vec![micro_graph()];
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    let config = ParallelConfig::with_threads(2);
+    let legacy = parallel_data_model_equivalent(&ms, &ns, kind, STATE_CAP, &config).unwrap();
+    let facade = Checker::data_models(&ms, &ns)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .parallel(config)
+        .run()
+        .unwrap();
+    assert_eq!(facade, legacy);
+
+    let legacy_mi = FactInterner::new();
+    let legacy_ni = FactInterner::new();
+    let legacy_with = parallel_data_model_equivalent_with(
+        &ms, &ns, kind, STATE_CAP, &config, &legacy_mi, &legacy_ni,
+    )
+    .unwrap();
+    let facade_mi = FactInterner::new();
+    let facade_ni = FactInterner::new();
+    let facade_with = Checker::data_models(&ms, &ns)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .parallel(config)
+        .interners(&facade_mi, &facade_ni)
+        .run()
+        .unwrap();
+    assert_eq!(facade_with, legacy_with);
+    assert_eq!(facade_with, legacy);
+}
+
+#[test]
+fn facade_budget_matches_budgeted_engine() {
+    let m = micro_rel();
+    let n = micro_graph();
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    let budget = CheckBudget::nodes(50);
+    let config = ParallelConfig::with_threads(1).budget(budget);
+    let legacy = parallel_application_models_equivalent(&m, &n, kind, STATE_CAP, &config).unwrap();
+    let facade = Checker::new(&m, &n)
+        .tier(Tier::from_kind(kind))
+        .state_cap(STATE_CAP)
+        .budget(budget)
+        .run()
+        .unwrap();
+    // `elapsed` is wall-clock and differs between the two runs; a
+    // single-threaded budgeted sweep stops at the same node either way.
+    match (&facade, &legacy) {
+        (
+            Verdict::BudgetExhausted { nodes_explored: f, .. },
+            Verdict::BudgetExhausted { nodes_explored: l, .. },
+        ) => assert_eq!(f, l),
+        other => panic!("expected both budget-exhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn observer_enabled_and_disabled_agree_everywhere() {
+    let m = micro_rel();
+    let n = micro_graph();
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    for parallel in [None, Some(ParallelConfig::with_threads(2))] {
+        let silent = {
+            let mut c = Checker::new(&m, &n)
+                .tier(Tier::from_kind(kind))
+                .state_cap(STATE_CAP);
+            if let Some(config) = parallel {
+                c = c.parallel(config);
+            }
+            c.run().unwrap()
+        };
+        let ring = RingSink::with_capacity(4096);
+        let observed = {
+            let mut c = Checker::new(&m, &n)
+                .tier(Tier::from_kind(kind))
+                .state_cap(STATE_CAP)
+                .observer(Observer::new(ring.clone()));
+            if let Some(config) = parallel {
+                c = c.parallel(config);
+            }
+            c.run().unwrap()
+        };
+        assert_eq!(observed, silent, "parallel={}", parallel.is_some());
+        assert!(!ring.events().is_empty(), "instrumented run emitted events");
+    }
+}
+
+#[test]
+fn operation_tier_compares_index_aligned_signatures() {
+    let m = toy_model("m", &[(true, 0), (true, 1)]);
+    let n = toy_model("n", &[(true, 0), (true, 1)]);
+    let verdict = Checker::new(&m, &n).tier(Tier::Operation).run().unwrap();
+    assert!(verdict.is_equivalent());
+
+    // Same valid-state closure ({∅, {p(0)}}) but one extra operation on
+    // the left: pairing succeeds and the overhang becomes a witness.
+    let undo = toy_model("m-undo", &[(true, 0), (false, 0)]);
+    let shorter = toy_model("n-short", &[(true, 0)]);
+    let verdict = Checker::new(&undo, &shorter)
+        .tier(Tier::Operation)
+        .run()
+        .unwrap();
+    assert!(matches!(verdict, Verdict::Counterexample { .. }));
+}
+
+/// Acceptance check: a Definition 6 run with the JSON-lines sink
+/// produces a machine-readable transcript.
+#[test]
+fn def6_with_jsonl_sink_writes_machine_readable_transcript() {
+    use borkin_equiv::obs::JsonLinesSink;
+
+    let ms = vec![micro_rel()];
+    let ns = vec![micro_graph()];
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    let path = std::env::temp_dir().join(format!("dme_facade_def6_{}.jsonl", std::process::id()));
+    let sink = JsonLinesSink::create(&path).unwrap();
+    let verdict = Checker::data_models(&ms, &ns)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .parallel(ParallelConfig::with_threads(2))
+        .sink(sink)
+        .run()
+        .unwrap();
+    let legacy = data_model_equivalent(&ms, &ns, kind, STATE_CAP)
+        .map(|r| r.to_verdict())
+        .unwrap();
+    assert_eq!(verdict.is_equivalent(), legacy.is_equivalent());
+
+    let transcript = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!transcript.is_empty());
+    for line in transcript.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"ev\""),
+            "not a JSON event line: {line}"
+        );
+    }
+}
