@@ -232,41 +232,31 @@ impl MultiModelDatabase {
         let after =
             GraphOp::apply_all(&gops, &before).map_err(|e| AnsiError::Conceptual(e.to_string()))?;
 
-        // Plan translations for every *other* view; the source view
-        // applies the user's own operation.
-        let mut plans: Vec<(String, Vec<RelOp>)> = vec![(name.to_owned(), vec![op.clone()])];
-        // Translate one conceptual op at a time per view, so every
-        // translation sees a paired (conceptual, view) state.
+        // Dry-run every *other* view's advance on a clone, so nothing
+        // mutates until the whole broadcast is known to succeed; the
+        // source view applies the user's own operation. Each advance
+        // translates one conceptual op at a time against a paired
+        // (conceptual, view) state — see `ExternalView::apply_conceptual`.
+        let mut advanced: Vec<(String, ExternalView)> = Vec::new();
         for (other_name, other_view) in &levels.externals {
             if other_name == name {
                 continue;
             }
-            let mut ops = Vec::new();
-            let mut rel_state = other_view.state().clone();
-            let mut cursor = before.clone();
-            for gop in &gops {
-                let step = dme_core::translate::graph_op_to_relational(
-                    gop,
-                    &cursor,
-                    &rel_state,
-                    other_view.mode(),
-                )?;
-                rel_state = RelOp::apply_all(&step, &rel_state)
-                    .map_err(|e| AnsiError::Translate(e.to_string()))?;
-                cursor = gop
-                    .apply(&cursor)
-                    .map_err(|e| AnsiError::Conceptual(e.to_string()))?;
-                ops.extend(step);
-            }
-            plans.push((other_name.clone(), ops));
+            let mut next = other_view.clone();
+            next.apply_conceptual(&gops, &before)?;
+            advanced.push((other_name.clone(), next));
         }
 
-        for (view_name, ops) in plans {
-            levels
+        levels
+            .externals
+            .get_mut(name)
+            .expect("source view exists")
+            .apply(std::slice::from_ref(op))?;
+        for (view_name, next) in advanced {
+            *levels
                 .externals
                 .get_mut(&view_name)
-                .expect("planned views exist")
-                .apply(&ops)?;
+                .expect("advanced views exist") = next;
         }
         levels.internal.apply_delta(&before, &after)?;
         levels.conceptual = after;

@@ -35,8 +35,10 @@
 
 pub mod database;
 pub mod internal;
+pub mod session;
 pub mod view;
 
 pub use database::{AnsiError, MultiModelDatabase};
 pub use internal::InternalLevel;
+pub use session::ViewSession;
 pub use view::ExternalView;

@@ -1,0 +1,197 @@
+//! Session handles over external views.
+//!
+//! The conclusion's payoff claim — operation equivalence "would actually
+//! allow the implementation of a database system which provides users of
+//! two different data models with access to the same data" — needs a
+//! per-user object: each user session holds a *snapshot* of its external
+//! view paired with the conceptual state it was materialized against,
+//! translates its own relational operations up to conceptual operations,
+//! and advances by translating committed conceptual operations back
+//! down. The concurrent session service (`dme-server`) hands one of
+//! these to every relational session; graph sessions speak the
+//! conceptual model directly and need no handle.
+
+use dme_core::translate::{relational_op_to_graph, CompletionMode, TranslateError};
+use dme_graph::{GraphOp, GraphState};
+use dme_relation::{RelOp, RelationState, RelationalSchema};
+use std::sync::Arc;
+
+use crate::view::ExternalView;
+
+/// A session's private, snapshot-isolated handle over one external view.
+///
+/// The handle owns a clone of the view state and of the conceptual state
+/// the clone was taken against, so translation never races the shared
+/// database: re-snapshotting after a commit conflict is
+/// [`ViewSession::rebase`].
+#[derive(Clone)]
+pub struct ViewSession {
+    view: ExternalView,
+    conceptual: GraphState,
+}
+
+impl std::fmt::Debug for ViewSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ViewSession({:?})", self.view)
+    }
+}
+
+impl ViewSession {
+    /// Snapshots a session handle over `view`, paired with the
+    /// conceptual state it is currently consistent with.
+    pub fn over(view: &ExternalView, conceptual: GraphState) -> Self {
+        ViewSession {
+            view: view.clone(),
+            conceptual,
+        }
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        self.view.name()
+    }
+
+    /// The view's application-model schema.
+    pub fn schema(&self) -> &Arc<RelationalSchema> {
+        self.view.schema()
+    }
+
+    /// The snapshot's relational state (the session's reads).
+    pub fn state(&self) -> &RelationState {
+        self.view.state()
+    }
+
+    /// The completion mode translations into this view use.
+    pub fn mode(&self) -> CompletionMode {
+        self.view.mode()
+    }
+
+    /// The conceptual state this snapshot is paired with.
+    pub fn conceptual(&self) -> &GraphState {
+        &self.conceptual
+    }
+
+    /// Translates one of the session's relational operations up to the
+    /// conceptual operations it is equivalent to, against this snapshot.
+    pub fn translate_up(&self, op: &RelOp) -> Result<Vec<GraphOp>, TranslateError> {
+        relational_op_to_graph(op, self.view.state(), &self.conceptual)
+    }
+
+    /// Advances the snapshot over committed conceptual operations,
+    /// returning the relational-side schedule that was applied.
+    pub fn advance(&mut self, gops: &[GraphOp]) -> Result<Vec<RelOp>, TranslateError> {
+        let before = self.conceptual.clone();
+        let applied = self.view.apply_conceptual(gops, &before)?;
+        self.conceptual = GraphOp::apply_all(gops, &before)
+            .map_err(|e| TranslateError::SourceOpFailed(e.to_string()))?;
+        Ok(applied)
+    }
+
+    /// Re-snapshots against fresh authoritative states (after a commit
+    /// conflict invalidated this snapshot).
+    pub fn rebase(&mut self, view: &ExternalView, conceptual: GraphState) {
+        self.view = view.clone();
+        self.conceptual = conceptual;
+    }
+
+    /// Definition 2 within the view's vocabulary: the snapshot pair is
+    /// state equivalent.
+    pub fn consistent(&self) -> bool {
+        self.view.consistent_with(&self.conceptual)
+    }
+
+    /// Consumes the handle, yielding the snapshot view.
+    pub fn into_view(self) -> ExternalView {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_graph::fixtures as gfix;
+    use dme_graph::{Association, EntityRef};
+    use dme_relation::fixtures as rfix;
+    use dme_value::{tuple, Atom, Value};
+
+    fn machine_shop_session() -> ViewSession {
+        let conceptual = gfix::figure4_state();
+        let view = ExternalView::materialize(
+            "shop",
+            rfix::machine_shop_schema(),
+            &conceptual,
+            CompletionMode::StateCompleted,
+        )
+        .unwrap();
+        ViewSession::over(&view, conceptual)
+    }
+
+    #[test]
+    fn snapshot_reads_and_metadata() {
+        let s = machine_shop_session();
+        assert_eq!(s.name(), "shop");
+        assert_eq!(s.state(), &rfix::figure3_state());
+        assert_eq!(s.mode(), CompletionMode::StateCompleted);
+        assert!(s.consistent());
+        assert!(format!("{s:?}").contains("ViewSession"));
+    }
+
+    #[test]
+    fn translate_up_then_advance_round_trips() {
+        let mut s = machine_shop_session();
+        let rop = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let gops = s.translate_up(&rop).unwrap();
+        assert_eq!(gops.len(), 1);
+        let rops = s.advance(&gops).unwrap();
+        assert_eq!(rops.len(), 1);
+        assert_eq!(s.conceptual(), &gfix::figure6_state());
+        assert_eq!(s.state(), &rfix::figure7_state());
+        assert!(s.consistent());
+    }
+
+    #[test]
+    fn subset_view_sessions_skip_invisible_commits() {
+        let conceptual = gfix::figure4_state();
+        let view = ExternalView::materialize(
+            "personnel",
+            rfix::personnel_schema(),
+            &conceptual,
+            CompletionMode::Minimal,
+        )
+        .unwrap();
+        let mut s = ViewSession::over(&view, conceptual.clone());
+        // A machine-unit deletion is invisible to the personnel view.
+        let unit = dme_graph::unit::deletion_unit(
+            &conceptual,
+            [EntityRef::new("machine", Atom::str("NZ745"))],
+            [],
+        );
+        let rops = s.advance(&[GraphOp::DeleteUnit(unit)]).unwrap();
+        assert!(rops.is_empty());
+        assert!(s.consistent());
+    }
+
+    #[test]
+    fn rebase_replaces_the_snapshot() {
+        let mut s = machine_shop_session();
+        let op = GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [
+                ("agent", EntityRef::new("employee", Atom::str("G.Wayshum"))),
+                ("object", EntityRef::new("employee", Atom::str("T.Manhart"))),
+            ],
+        ));
+        let moved = op.apply(s.conceptual()).unwrap();
+        let fresh = ExternalView::materialize(
+            "shop",
+            rfix::machine_shop_schema(),
+            &moved,
+            CompletionMode::StateCompleted,
+        )
+        .unwrap();
+        s.rebase(&fresh, moved.clone());
+        assert_eq!(s.conceptual(), &moved);
+        assert!(s.consistent());
+        assert_eq!(s.into_view().state(), &rfix::figure7_state());
+    }
+}

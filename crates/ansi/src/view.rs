@@ -12,6 +12,11 @@ use dme_relation::{RelOp, RelationState, RelationalSchema};
 
 /// One external schema of the architecture: a semantic relation
 /// application model materialized over the conceptual state.
+///
+/// Cloning a view snapshots it: the clone shares the schema (`Arc`) but
+/// owns its state, which is what a session needs to translate against a
+/// stable picture while the original keeps moving.
+#[derive(Clone)]
 pub struct ExternalView {
     name: String,
     schema: Arc<RelationalSchema>,
@@ -80,11 +85,36 @@ impl ExternalView {
     }
 
     /// Applies pre-translated operations to the replica.
-    pub(crate) fn apply(&mut self, ops: &[RelOp]) -> Result<(), TranslateError> {
+    pub fn apply(&mut self, ops: &[RelOp]) -> Result<(), TranslateError> {
         let next = RelOp::apply_all(ops, &self.state)
             .map_err(|e| TranslateError::VerificationFailed(e.to_string()))?;
         self.state = next;
         Ok(())
+    }
+
+    /// Applies committed conceptual operations to the replica:
+    /// translates one operation at a time against the evolving
+    /// `(conceptual, view)` state pair — each translation must see a
+    /// paired snapshot — applies the translations, and returns them so
+    /// callers can journal or audit the relational-side schedule.
+    ///
+    /// `before` is the conceptual state the first operation applies to.
+    pub fn apply_conceptual(
+        &mut self,
+        gops: &[GraphOp],
+        before: &GraphState,
+    ) -> Result<Vec<RelOp>, TranslateError> {
+        let mut applied = Vec::new();
+        let mut cursor = before.clone();
+        for gop in gops {
+            let step = graph_op_to_relational(gop, &cursor, &self.state, self.mode)?;
+            self.apply(&step)?;
+            cursor = gop
+                .apply(&cursor)
+                .map_err(|e| TranslateError::SourceOpFailed(e.to_string()))?;
+            applied.extend(step);
+        }
+        Ok(applied)
     }
 
     /// Checks this view against the conceptual state: equivalence within

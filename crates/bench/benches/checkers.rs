@@ -5,23 +5,22 @@
 //! number of equivalent pairs" made concrete: closure enumeration, state
 //! pairing through fact compilation, and signature search. The
 //! translator benches (op_translate.rs) are the "algorithm" alternative
-//! the paper prefers; comparing the two quantifies its point.
-
-// These suites deliberately exercise the deprecated pre-facade entry
-// points: they are the reference the `Checker` parity tests compare
-// against, and must keep compiling until the wrappers are removed.
-#![allow(deprecated)]
+//! the paper prefers; comparing the two quantifies its point. All
+//! checks run through the [`Checker`] facade (sequential reference
+//! engine: no `.parallel()` configured).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use std::sync::Arc;
 
 use dme_core::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
-use dme_core::equiv::{composed_equivalent, isomorphic_equivalent, state_dependent_equivalent};
 use dme_core::model::{graph_model, relational_model};
 use dme_core::witness;
+use dme_core::{Checker, Tier};
 use dme_graph::GraphState;
 use dme_relation::RelationState;
+
+const STATE_CAP: usize = 10_000;
 
 fn rel_micro(
     max_statements: usize,
@@ -51,9 +50,13 @@ fn bench_checkers(c: &mut Criterion) {
         let m = rel_micro(2);
         let n = rel_micro_renamed();
         b.iter(|| {
-            let report = isomorphic_equivalent(&m, &n, 10_000).expect("runs");
-            assert!(report.equivalent);
-            report
+            let verdict = Checker::new(&m, &n)
+                .tier(Tier::Isomorphic)
+                .state_cap(STATE_CAP)
+                .run()
+                .expect("runs");
+            assert!(verdict.is_equivalent());
+            verdict
         })
     });
 
@@ -61,9 +64,13 @@ fn bench_checkers(c: &mut Criterion) {
         let m = rel_micro(1);
         let n = rel_micro(2);
         b.iter(|| {
-            let report = composed_equivalent(&m, &n, 10_000, 2).expect("runs");
-            assert!(report.equivalent);
-            report
+            let verdict = Checker::new(&m, &n)
+                .tier(Tier::Composed { max_depth: 2 })
+                .state_cap(STATE_CAP)
+                .run()
+                .expect("runs");
+            assert!(verdict.is_equivalent());
+            verdict
         })
     });
 
@@ -71,9 +78,13 @@ fn bench_checkers(c: &mut Criterion) {
         let m = rel_micro(2);
         let n = graph_micro();
         b.iter(|| {
-            let report = state_dependent_equivalent(&m, &n, 10_000, 3).expect("runs");
-            assert!(report.equivalent);
-            report
+            let verdict = Checker::new(&m, &n)
+                .tier(Tier::StateDependent { max_depth: 3 })
+                .state_cap(STATE_CAP)
+                .run()
+                .expect("runs");
+            assert!(verdict.is_equivalent());
+            verdict
         })
     });
 

@@ -2,26 +2,21 @@
 //! on the largest Definition 6 fixture (the E-D6 micro data models) and
 //! on the mini machine shop's state-dependent check.
 //!
-//! The sequential checkers stay in the suite as the reference; this
+//! Both engines run through the [`Checker`] facade — the sequential
+//! rows omit `.parallel()` and route to the reference checkers; this
 //! bench quantifies what the work-stealing grid driver plus the shared
 //! fact-base interner buy on multi-core hardware.
-
-// These suites deliberately exercise the deprecated pre-facade entry
-// points: they are the reference the `Checker` parity tests compare
-// against, and must keep compiling until the wrappers are removed.
-#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use std::sync::Arc;
 
 use dme_core::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
-use dme_core::equiv::{data_model_equivalent, state_dependent_equivalent, EquivKind};
+use dme_core::equiv::EquivKind;
 use dme_core::model::{graph_model, relational_model, FiniteModel};
-use dme_core::parallel::{
-    parallel_application_models_equivalent, parallel_data_model_equivalent, ParallelConfig,
-};
+use dme_core::parallel::ParallelConfig;
 use dme_core::witness;
+use dme_core::{Checker, Tier};
 use dme_graph::{GraphOp, GraphState};
 use dme_relation::{RelOp, RelationState, RelationalSchema};
 
@@ -70,9 +65,13 @@ fn bench_parallel_equiv(c: &mut Criterion) {
     let (ms, ns) = d6_fixture();
     group.bench_function("data_model/sequential", |b| {
         b.iter(|| {
-            let report = data_model_equivalent(&ms, &ns, kind, STATE_CAP).expect("runs");
-            assert!(!report.equivalent);
-            report
+            let verdict = Checker::data_models(&ms, &ns)
+                .tier(Tier::DataModel { kind })
+                .state_cap(STATE_CAP)
+                .run()
+                .expect("runs");
+            assert!(!verdict.is_equivalent());
+            verdict
         })
     });
     for threads in [1usize, 2, 4] {
@@ -80,9 +79,12 @@ fn bench_parallel_equiv(c: &mut Criterion) {
             BenchmarkId::new("data_model/parallel", threads),
             &threads,
             |b, &threads| {
-                let config = ParallelConfig::with_threads(threads);
                 b.iter(|| {
-                    let verdict = parallel_data_model_equivalent(&ms, &ns, kind, STATE_CAP, &config)
+                    let verdict = Checker::data_models(&ms, &ns)
+                        .tier(Tier::DataModel { kind })
+                        .state_cap(STATE_CAP)
+                        .parallel(ParallelConfig::with_threads(threads))
+                        .run()
                         .expect("runs");
                     assert!(!verdict.is_equivalent());
                     verdict
@@ -97,9 +99,13 @@ fn bench_parallel_equiv(c: &mut Criterion) {
     let n = graph_model("mini-graph", GraphState::empty(schema), ops);
     group.bench_function("mini_machine_shop/sequential", |b| {
         b.iter(|| {
-            let report = state_dependent_equivalent(&m, &n, STATE_CAP, 3).expect("runs");
-            assert!(report.equivalent);
-            report
+            let verdict = Checker::new(&m, &n)
+                .tier(Tier::StateDependent { max_depth: 3 })
+                .state_cap(STATE_CAP)
+                .run()
+                .expect("runs");
+            assert!(verdict.is_equivalent());
+            verdict
         })
     });
     for threads in [1usize, 4] {
@@ -107,12 +113,13 @@ fn bench_parallel_equiv(c: &mut Criterion) {
             BenchmarkId::new("mini_machine_shop/parallel", threads),
             &threads,
             |b, &threads| {
-                let config = ParallelConfig::with_threads(threads);
-                let kind = EquivKind::StateDependent { max_depth: 3 };
                 b.iter(|| {
-                    let verdict =
-                        parallel_application_models_equivalent(&m, &n, kind, STATE_CAP, &config)
-                            .expect("runs");
+                    let verdict = Checker::new(&m, &n)
+                        .tier(Tier::StateDependent { max_depth: 3 })
+                        .state_cap(STATE_CAP)
+                        .parallel(ParallelConfig::with_threads(threads))
+                        .run()
+                        .expect("runs");
                     assert!(verdict.is_equivalent());
                     verdict
                 })

@@ -19,9 +19,10 @@ use dme_core::model::{graph_model, relational_model, FiniteModel};
 use dme_core::obs::{Counter, JsonLinesSink, Observer, Report, RingSink};
 use dme_core::witness;
 use dme_core::{Checker, EquivKind, ParallelConfig, Tier};
-use dme_graph::{GraphOp, GraphState};
+use dme_graph::{Association, EntityRef, GraphOp, GraphState};
 use dme_logic::{Fact, FactBase};
 use dme_relation::{RelOp, RelationState, RelationalSchema};
+use dme_server::{CommitMode, MemDevice, ServiceConfig, SessionKind, SessionService, ViewSpec};
 use dme_value::Atom;
 
 const STATE_CAP: usize = 4_000;
@@ -107,6 +108,123 @@ struct Timing {
     median_us: u64,
     min_us: u64,
     max_us: u64,
+}
+
+/// Session-service throughput: N concurrent graph sessions toggling
+/// disjoint supervisions against a journal whose sync costs a fixed
+/// latency, group commit vs per-operation commit. With disjoint work
+/// the only contention is the journal itself, so the sync count (and
+/// with it wall-clock) is the group-commit economy measure.
+fn service_throughput() -> Vec<String> {
+    use dme_core::translate::CompletionMode;
+
+    const OPS_EACH: usize = 16;
+    const SYNC_DELAY_US: u64 = 150;
+
+    let cfg = dme_workload::ShopConfig {
+        employees: 20,
+        machines: 2,
+        supervisions: 0,
+        seed: 7,
+    };
+    let initial = dme_workload::graph_state(cfg);
+    let views = || {
+        vec![ViewSpec {
+            name: "shop".into(),
+            schema: dme_workload::relational_schema(cfg),
+            mode: CompletionMode::Minimal,
+        }]
+    };
+    // Session k owns the pair E{2k} -> E{2k+1}; its stream alternates
+    // insert/delete so every submission is valid under any interleaving.
+    fn toggle(k: usize, insert: bool) -> GraphOp {
+        let assoc = Association::new(
+            "supervise",
+            [
+                (
+                    "agent",
+                    EntityRef::new("employee", Atom::str(format!("E{:05}", 2 * k))),
+                ),
+                (
+                    "object",
+                    EntityRef::new("employee", Atom::str(format!("E{:05}", 2 * k + 1))),
+                ),
+            ],
+        );
+        if insert {
+            GraphOp::InsertAssociation(assoc)
+        } else {
+            GraphOp::DeleteAssociation(assoc)
+        }
+    }
+
+    let mut rows = Vec::new();
+    for sessions in [1usize, 2, 4, 8] {
+        let mut row = BTreeMap::new();
+        for mode in [CommitMode::Group, CommitMode::PerOp] {
+            let mut syncs = 0u64;
+            let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+                let service = SessionService::new(
+                    initial.clone(),
+                    views(),
+                    ServiceConfig {
+                        commit_mode: mode,
+                        ..ServiceConfig::default()
+                    },
+                    Box::new(
+                        MemDevice::new()
+                            .with_sync_delay(std::time::Duration::from_micros(SYNC_DELAY_US)),
+                    ),
+                    Box::new(MemDevice::new()),
+                )
+                .expect("service boots");
+                std::thread::scope(|scope| {
+                    for k in 0..sessions {
+                        let service = service.clone();
+                        scope.spawn(move || {
+                            let mut sess = service
+                                .open_session(SessionKind::Graph)
+                                .expect("session admits");
+                            for i in 0..OPS_EACH {
+                                sess.submit_graph(vec![toggle(k, i % 2 == 0)])
+                                    .expect("disjoint toggles commit");
+                            }
+                            sess.close().expect("graceful teardown");
+                        });
+                    }
+                });
+                assert_eq!(
+                    service.committed_history().len(),
+                    sessions * OPS_EACH,
+                    "every submission commits"
+                );
+                syncs = service.wal_syncs();
+            });
+            let label = match mode {
+                CommitMode::Group => "group",
+                CommitMode::PerOp => "per_op",
+            };
+            println!(
+                "service/sessions={sessions}/{label}: {median_us}µs ({syncs} wal syncs, \
+                 {} txns)",
+                sessions * OPS_EACH
+            );
+            row.insert(
+                label,
+                format!(
+                    "\"{label}\":{{\"median_us\":{median_us},\"min_us\":{min_us},\
+                     \"max_us\":{max_us},\"wal_syncs\":{syncs}}}"
+                ),
+            );
+        }
+        rows.push(format!(
+            "{{\"sessions\":{sessions},\"txns\":{},\"sync_delay_us\":{SYNC_DELAY_US},{},{}}}",
+            sessions * OPS_EACH,
+            row["group"],
+            row["per_op"]
+        ));
+    }
+    rows
 }
 
 fn json_timing(t: &Timing) -> String {
@@ -257,6 +375,10 @@ fn main() {
         }
     }
 
+    // ---- Session-service throughput: group vs per-op commit ----------
+    println!("== service throughput ==");
+    let service_rows = service_throughput();
+
     // ---- One instrumented run's phase report, for the record ---------
     let ring = RingSink::with_capacity(4096);
     let obs = Observer::new(ring.clone());
@@ -286,6 +408,14 @@ fn main() {
          \n    \"jsonl_sink_us\": {jsonl_us}\n  }},\n  \"sweeps\": ["
     ));
     for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(s);
+    }
+    out.push_str("\n  ],\n  \"service_throughput\": [");
+    for (i, s) in service_rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

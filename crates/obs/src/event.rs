@@ -47,12 +47,29 @@ pub enum Counter {
     UndoReplays,
     /// ANSI/SPARC consistency audits run.
     AuditsRun,
+    /// Sessions opened against the session service.
+    SessionsOpened,
+    /// Transactions committed by the session service.
+    TxnsCommitted,
+    /// Transactions aborted by the session service (failed operations).
+    TxnsAborted,
+    /// Optimistic-commit conflicts (each one triggers a client retry).
+    TxnConflicts,
+    /// Group-commit batches flushed through the write-ahead log (one
+    /// device sync each, covering one or more transactions).
+    GroupCommits,
+    /// Write-ahead-log records appended (one per committed transaction).
+    WalRecordsAppended,
+    /// Checkpoints taken of the conceptual state.
+    CheckpointsTaken,
+    /// Write-ahead-log records replayed during crash recovery.
+    WalRecordsReplayed,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 26] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -71,6 +88,14 @@ impl Counter {
         Counter::JournalEntries,
         Counter::UndoReplays,
         Counter::AuditsRun,
+        Counter::SessionsOpened,
+        Counter::TxnsCommitted,
+        Counter::TxnsAborted,
+        Counter::TxnConflicts,
+        Counter::GroupCommits,
+        Counter::WalRecordsAppended,
+        Counter::CheckpointsTaken,
+        Counter::WalRecordsReplayed,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -98,6 +123,14 @@ impl Counter {
             Counter::JournalEntries => "journal_entries",
             Counter::UndoReplays => "undo_replays",
             Counter::AuditsRun => "audits_run",
+            Counter::SessionsOpened => "sessions_opened",
+            Counter::TxnsCommitted => "txns_committed",
+            Counter::TxnsAborted => "txns_aborted",
+            Counter::TxnConflicts => "txn_conflicts",
+            Counter::GroupCommits => "group_commits",
+            Counter::WalRecordsAppended => "wal_records_appended",
+            Counter::CheckpointsTaken => "checkpoints_taken",
+            Counter::WalRecordsReplayed => "wal_records_replayed",
         }
     }
 

@@ -1,0 +1,99 @@
+//! Service error types.
+
+use std::fmt;
+
+use dme_core::translate::TranslateError;
+use dme_storage::WalError;
+
+use crate::device::DeviceError;
+
+/// Errors surfaced to sessions and operators of the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// A relational session's snapshot went stale and the retry budget
+    /// ran out: another transaction committed first every time.
+    Conflict {
+        /// How many commit attempts were made (initial + retries).
+        attempts: u32,
+    },
+    /// The transaction's operations no longer apply to the committed
+    /// conceptual state; nothing was written.
+    Aborted(String),
+    /// Operation translation between models failed.
+    Translate(String),
+    /// The session was already closed.
+    SessionClosed,
+    /// The log device failed; the service refuses further commits (the
+    /// durable image ends at the last synced byte).
+    Crashed(String),
+    /// Lockstep verification caught a committed transaction whose
+    /// external views diverged from the conceptual state.
+    LockstepDiverged {
+        /// The view that is no longer state equivalent.
+        view: String,
+    },
+    /// Recovery could not rebuild a consistent state from the image.
+    Recovery(String),
+    /// A relational session named an external view the service does not
+    /// serve.
+    UnknownView(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Conflict { attempts } => {
+                write!(f, "commit conflict persisted across {attempts} attempts")
+            }
+            ServerError::Aborted(why) => write!(f, "transaction aborted: {why}"),
+            ServerError::Translate(why) => write!(f, "translation failed: {why}"),
+            ServerError::SessionClosed => write!(f, "session is closed"),
+            ServerError::Crashed(why) => write!(f, "service crashed: {why}"),
+            ServerError::LockstepDiverged { view } => {
+                write!(f, "lockstep verification failed: view {view} diverged")
+            }
+            ServerError::Recovery(why) => write!(f, "recovery failed: {why}"),
+            ServerError::UnknownView(name) => write!(f, "unknown external view {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<TranslateError> for ServerError {
+    fn from(e: TranslateError) -> Self {
+        ServerError::Translate(e.to_string())
+    }
+}
+
+impl From<DeviceError> for ServerError {
+    fn from(e: DeviceError) -> Self {
+        ServerError::Crashed(e.to_string())
+    }
+}
+
+impl From<WalError> for ServerError {
+    fn from(e: WalError) -> Self {
+        ServerError::Recovery(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServerError::Conflict { attempts: 3 }
+            .to_string()
+            .contains("3 attempts"));
+        assert!(ServerError::Aborted("dup".into()).to_string().contains("dup"));
+        assert!(ServerError::SessionClosed.to_string().contains("closed"));
+        assert!(ServerError::LockstepDiverged { view: "shop".into() }
+            .to_string()
+            .contains("shop"));
+        assert!(ServerError::UnknownView("x".into()).to_string().contains('x'));
+        let e: ServerError = DeviceError::Full { at: 9 }.into();
+        assert!(matches!(e, ServerError::Crashed(_)));
+    }
+}

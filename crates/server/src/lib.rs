@@ -1,0 +1,356 @@
+#![deny(missing_docs)]
+
+//! # dme-server — the concurrent multi-model session service
+//!
+//! The conclusion of *Data Model Equivalence* claims operation
+//! equivalence "would actually allow the implementation of a database
+//! system which provides users of two different data models with access
+//! to the same data". This crate is that database system, grown from
+//! the sequential machinery of the other crates:
+//!
+//! * **Sessions** ([`Session`], [`SessionKind`]) — N concurrent
+//!   clients, some speaking conceptual graph operations, some speaking
+//!   relational operations against external views (including §1.2
+//!   *subset* schemas), all updating one conceptual database.
+//! * **Transactions** ([`SessionService`]) — snapshot reads, optimistic
+//!   base-version conflict detection for relational sessions, and
+//!   serialized, *batched* commits: a leader thread drains the commit
+//!   queue and the whole batch shares one WAL append + sync (group
+//!   commit, [`CommitMode`]).
+//! * **Durability** ([`device`], [`codec`]) — write-ahead journaling of
+//!   conceptual deltas with appended checkpoints; the durable state is
+//!   *only* the checkpoint + log ([`DurableImage`]), and commits are
+//!   acknowledged strictly after their record is synced.
+//! * **Recovery** ([`SessionService::recover`]) — replay to the last
+//!   committed transaction, truncating torn tails; aborted transactions
+//!   never reach the log and so can never be resurrected.
+//! * **Verification** — with `lockstep-verify` (compile feature or
+//!   [`ServiceConfig::lockstep_verify`]) every commit re-checks
+//!   Definition 2 between the conceptual state and every external view,
+//!   within each view's vocabulary.
+
+pub mod codec;
+pub mod device;
+pub mod error;
+pub mod service;
+pub mod session;
+
+pub use device::{DeviceError, LogDevice, MemDevice};
+pub use error::ServerError;
+pub use service::{
+    CommitInfo, CommitMode, CommittedTxn, DurableImage, RecoveryReport, ServiceConfig,
+    SessionService, ViewSpec,
+};
+pub use session::{Session, SessionKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_core::translate::CompletionMode;
+    use dme_graph::fixtures as gfix;
+    use dme_graph::{Association, EntityRef, GraphOp};
+    use dme_relation::fixtures as rfix;
+    use dme_relation::RelOp;
+    use dme_value::{tuple, Atom, Value};
+    use std::sync::Arc;
+
+    fn shop_views() -> Vec<ViewSpec> {
+        vec![
+            ViewSpec {
+                name: "shop".into(),
+                schema: rfix::machine_shop_schema(),
+                mode: CompletionMode::StateCompleted,
+            },
+            ViewSpec {
+                name: "personnel".into(),
+                schema: rfix::personnel_schema(),
+                mode: CompletionMode::Minimal,
+            },
+        ]
+    }
+
+    fn boot(config: ServiceConfig) -> SessionService {
+        SessionService::new(
+            gfix::figure4_state(),
+            shop_views(),
+            config,
+            Box::new(MemDevice::new()),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap()
+    }
+
+    fn supervise(agent: &str, object: &str) -> GraphOp {
+        GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [
+                ("agent", EntityRef::new("employee", Atom::str(agent))),
+                ("object", EntityRef::new("employee", Atom::str(object))),
+            ],
+        ))
+    }
+
+    #[test]
+    fn graph_session_commit_updates_every_view() {
+        let service = boot(ServiceConfig {
+            lockstep_verify: true,
+            ..ServiceConfig::default()
+        });
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        let info = s
+            .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+            .unwrap();
+        assert_eq!((info.lsn, info.version, info.attempts), (1, 1, 1));
+        assert_eq!(service.conceptual(), gfix::figure6_state());
+        assert_eq!(service.view_state("shop").unwrap(), rfix::figure7_state());
+        // The subset view sees the new supervision too.
+        let personnel = service.view_state("personnel").unwrap();
+        assert!(personnel
+            .relation("Supervisions")
+            .unwrap()
+            .contains(&tuple!["G.Wayshum", "T.Manhart"]));
+        s.close().unwrap();
+        assert_eq!(service.open_sessions(), 0);
+    }
+
+    #[test]
+    fn relational_session_round_trips_through_conceptual() {
+        let service = boot(ServiceConfig::default());
+        let mut s = service
+            .open_session(SessionKind::Relational {
+                view: "shop".into(),
+            })
+            .unwrap();
+        let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let info = s.submit_relational(&op).unwrap();
+        assert_eq!(info.attempts, 1);
+        assert_eq!(service.conceptual(), gfix::figure6_state());
+        assert_eq!(s.relational_state().unwrap(), &rfix::figure7_state());
+        s.close().unwrap();
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace() {
+        let service = boot(ServiceConfig::default());
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        let op = supervise("G.Wayshum", "T.Manhart");
+        s.submit_graph(vec![op.clone()]).unwrap();
+        let image_before = service.durable_image();
+        // The same insert again no longer applies: abort.
+        let err = s.submit_graph(vec![op]).unwrap_err();
+        assert!(matches!(err, ServerError::Aborted(_)));
+        assert_eq!(service.durable_image(), image_before);
+        assert_eq!(service.committed_history().len(), 1);
+        assert_eq!(service.conceptual(), gfix::figure6_state());
+    }
+
+    #[test]
+    fn stale_relational_snapshot_conflicts_then_retries() {
+        let service = boot(ServiceConfig::default());
+        let mut rel = service
+            .open_session(SessionKind::Relational {
+                view: "personnel".into(),
+            })
+            .unwrap();
+        let mut graph = service.open_session(SessionKind::Graph).unwrap();
+        // The graph session commits while the relational snapshot is out.
+        graph
+            .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+            .unwrap();
+        // The relational session's first attempt conflicts (stale base
+        // version), rebases and succeeds on retry.
+        let op = RelOp::insert("Supervisions", [tuple!["T.Manhart", "C.Gershag"]]);
+        let info = rel.submit_relational(&op).unwrap();
+        assert!(info.attempts > 1, "expected a conflict retry");
+        assert_eq!(service.version(), 2);
+        let personnel = service.view_state("personnel").unwrap();
+        assert!(personnel
+            .relation("Supervisions")
+            .unwrap()
+            .contains(&tuple!["T.Manhart", "C.Gershag"]));
+    }
+
+    #[test]
+    fn recovery_replays_to_last_committed_txn() {
+        let service = boot(ServiceConfig::default());
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        s.submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+            .unwrap();
+        s.submit_graph(vec![supervise("T.Manhart", "C.Gershag")])
+            .unwrap();
+        let expected = service.conceptual();
+        let image = service.durable_image();
+        let schema = Arc::clone(expected.schema());
+        let (recovered, report) = SessionService::recover(
+            schema,
+            &image,
+            shop_views(),
+            ServiceConfig::default(),
+            Box::new(MemDevice::new()),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        assert_eq!(report.checkpoint_lsn, 0);
+        assert_eq!(report.replayed, 2);
+        assert!(report.wal_tail.is_none());
+        assert_eq!(recovered.conceptual(), expected);
+        assert_eq!(
+            recovered.view_state("shop"),
+            service.view_state("shop")
+        );
+    }
+
+    #[test]
+    fn recovery_truncates_a_torn_wal_tail() {
+        let service = boot(ServiceConfig::default());
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        s.submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+            .unwrap();
+        let after_first = service.conceptual();
+        let cut_at = service.durable_image().wal.len();
+        s.submit_graph(vec![supervise("T.Manhart", "C.Gershag")])
+            .unwrap();
+        let mut image = service.durable_image();
+        image.wal.truncate(cut_at + 5); // tear the second record
+        let schema = Arc::clone(after_first.schema());
+        let (recovered, report) = SessionService::recover(
+            schema,
+            &image,
+            shop_views(),
+            ServiceConfig::default(),
+            Box::new(MemDevice::new()),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 1);
+        assert!(report.wal_tail.is_some());
+        assert_eq!(recovered.conceptual(), after_first);
+    }
+
+    #[test]
+    fn wal_device_failure_crashes_the_service_without_acknowledging() {
+        let service = SessionService::new(
+            gfix::figure4_state(),
+            vec![],
+            ServiceConfig::default(),
+            Box::new(MemDevice::new().with_crash_at(10)),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        let err = s
+            .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Crashed(_)));
+        // The service refuses everything afterwards.
+        assert!(matches!(
+            service.open_session(SessionKind::Graph),
+            Err(ServerError::Crashed(_))
+        ));
+        assert!(matches!(
+            service.checkpoint_now(),
+            Err(ServerError::Crashed(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoints_bound_replay_work() {
+        let service = boot(ServiceConfig {
+            checkpoint_every: 2,
+            ..ServiceConfig::default()
+        });
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        for (a, o) in [
+            ("G.Wayshum", "T.Manhart"),
+            ("T.Manhart", "C.Gershag"),
+            ("C.Gershag", "T.Manhart"),
+        ] {
+            s.submit_graph(vec![supervise(a, o)]).unwrap();
+        }
+        let image = service.durable_image();
+        let expected = service.conceptual();
+        let (recovered, report) = SessionService::recover(
+            Arc::clone(expected.schema()),
+            &image,
+            shop_views(),
+            ServiceConfig::default(),
+            Box::new(MemDevice::new()),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        // Checkpoint at lsn 2 absorbs the first two commits: only the
+        // third replays.
+        assert_eq!(report.checkpoint_lsn, 2);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(recovered.conceptual(), expected);
+    }
+
+    #[test]
+    fn unknown_view_and_kind_mismatches_are_errors() {
+        let service = boot(ServiceConfig::default());
+        assert!(matches!(
+            service.open_session(SessionKind::Relational {
+                view: "nope".into()
+            }),
+            Err(ServerError::UnknownView(_))
+        ));
+        let mut g = service.open_session(SessionKind::Graph).unwrap();
+        assert!(g
+            .submit_relational(&RelOp::insert("Jobs", [tuple![Value::Null]]))
+            .is_err());
+        let mut r = service
+            .open_session(SessionKind::Relational {
+                view: "shop".into(),
+            })
+            .unwrap();
+        assert!(r.submit_graph(vec![]).is_err());
+        assert!(r.relational_state().is_ok());
+        assert!(g.relational_state().is_err());
+        assert_eq!(service.view_names(), vec!["personnel", "shop"]);
+    }
+
+    #[test]
+    fn group_commit_syncs_less_than_per_op() {
+        use crossbeam::scope;
+        for (mode, name) in [(CommitMode::Group, "group"), (CommitMode::PerOp, "per-op")] {
+            let service = boot(ServiceConfig {
+                commit_mode: mode,
+                ..ServiceConfig::default()
+            });
+            let pairs = [
+                ("G.Wayshum", "T.Manhart"),
+                ("T.Manhart", "C.Gershag"),
+                ("C.Gershag", "T.Manhart"),
+                ("T.Manhart", "G.Wayshum"),
+            ];
+            scope(|sc| {
+                for (a, o) in pairs {
+                    let service = service.clone();
+                    sc.spawn(move |_| {
+                        let mut s = service.open_session(SessionKind::Graph).unwrap();
+                        s.submit_graph(vec![supervise(a, o)]).unwrap();
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(service.committed_history().len(), 4, "{name}");
+            assert!(
+                service.wal_syncs() <= 4,
+                "{name}: {} syncs",
+                service.wal_syncs()
+            );
+            // Recovery agrees regardless of batching.
+            let expected = service.conceptual();
+            let (recovered, _) = SessionService::recover(
+                Arc::clone(expected.schema()),
+                &service.durable_image(),
+                shop_views(),
+                ServiceConfig::default(),
+                Box::new(MemDevice::new()),
+                Box::new(MemDevice::new()),
+            )
+            .unwrap();
+            assert_eq!(recovered.conceptual(), expected);
+        }
+    }
+}

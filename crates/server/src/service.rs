@@ -1,0 +1,604 @@
+//! The concurrent session service.
+//!
+//! One conceptual database, many concurrent sessions speaking different
+//! application models. All updates funnel through a single commit queue:
+//! a submitting thread enqueues its translated conceptual transaction
+//! and the first free thread becomes the *leader*, draining the queue
+//! and committing the whole batch with **one** WAL append + sync (group
+//! commit). Durability follows the classic log-before-acknowledge rule:
+//! a commit is reported to its session only after its record is on the
+//! log device.
+//!
+//! Conflict control is optimistic. Relational sessions translate against
+//! a snapshot; if another transaction committed first, the snapshot's
+//! base version no longer matches and the commit is refused with a
+//! conflict — the session rebases and retries with backoff. Graph
+//! sessions submit conceptual operations directly, which are
+//! position-independent, so they carry no base version and never
+//! conflict (they can still *abort* if an operation no longer applies).
+//!
+//! Aborted transactions never reach the log, so recovery cannot
+//! resurrect them: the durable image is exactly a checkpoint plus the
+//! clean prefix of committed deltas.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use dme_ansi::ExternalView;
+use dme_core::translate::CompletionMode;
+use dme_graph::{GraphOp, GraphSchema, GraphState};
+use dme_obs::{Counter, Observer};
+use dme_relation::{RelationState, RelationalSchema};
+use dme_storage::wal;
+use dme_storage::WalError;
+
+use crate::codec;
+use crate::device::LogDevice;
+use crate::error::ServerError;
+use crate::session::{Session, SessionKind};
+
+/// A transaction validated and journaled but not yet acknowledged:
+/// (request id, lsn, version after, WAL payload, conceptual ops).
+type Staged = (u64, u64, u64, Vec<u8>, Vec<GraphOp>);
+
+/// How commits are batched through the journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitMode {
+    /// The leader drains the whole queue and syncs once per batch.
+    Group,
+    /// One transaction per append + sync (the baseline group commit is
+    /// measured against).
+    PerOp,
+}
+
+/// An external view the service serves to relational sessions.
+#[derive(Clone, Debug)]
+pub struct ViewSpec {
+    /// The view's name (what sessions ask for).
+    pub name: String,
+    /// Its relational application-model schema.
+    pub schema: RelationalSchema,
+    /// The completion mode translations into the view use.
+    pub mode: CompletionMode,
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Commit batching mode.
+    pub commit_mode: CommitMode,
+    /// Take a checkpoint after this many commits (0 = only on demand).
+    pub checkpoint_every: u64,
+    /// Verify every committed transaction's views against the
+    /// conceptual state (Definition 2 within each view's vocabulary).
+    /// Defaults to the `lockstep-verify` compile feature.
+    pub lockstep_verify: bool,
+    /// Commit attempts a relational session makes before giving up on a
+    /// conflicted snapshot.
+    pub max_attempts: u32,
+    /// Base backoff between conflict retries, in microseconds (doubles
+    /// each attempt).
+    pub backoff_micros: u64,
+    /// Observation session for spans and counters.
+    pub obs: Observer,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            commit_mode: CommitMode::Group,
+            checkpoint_every: 0,
+            lockstep_verify: cfg!(feature = "lockstep-verify"),
+            max_attempts: 8,
+            backoff_micros: 20,
+            obs: Observer::disabled(),
+        }
+    }
+}
+
+/// The durable bytes a crash leaves behind: prefixes of the two
+/// append-only devices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DurableImage {
+    /// The write-ahead log of committed conceptual deltas.
+    pub wal: Vec<u8>,
+    /// The appended-checkpoint stream.
+    pub checkpoint: Vec<u8>,
+}
+
+/// What recovery found and did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the checkpoint recovery started from.
+    pub checkpoint_lsn: u64,
+    /// Committed transactions replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// The torn/corrupt WAL tail that was truncated, if any.
+    pub wal_tail: Option<WalError>,
+    /// The torn checkpoint tail that was skipped, if any.
+    pub checkpoint_tail: Option<WalError>,
+}
+
+/// One committed transaction, as the conformance oracle wants it: its
+/// log position and the conceptual operations that were applied.
+#[derive(Clone, Debug)]
+pub struct CommittedTxn {
+    /// Log sequence number.
+    pub lsn: u64,
+    /// The conceptual operations, in application order.
+    pub ops: Vec<GraphOp>,
+}
+
+/// What a successful commit tells the session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The transaction's log sequence number.
+    pub lsn: u64,
+    /// The database version after the commit.
+    pub version: u64,
+    /// Commit attempts used (1 = no conflict).
+    pub attempts: u32,
+}
+
+pub(crate) struct Request {
+    id: u64,
+    gops: Vec<GraphOp>,
+    base_version: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Outcome {
+    Committed { lsn: u64, version: u64 },
+    Conflict,
+    Aborted(String),
+    Lockstep(String),
+    Crashed(String),
+}
+
+struct Core {
+    conceptual: GraphState,
+    views: BTreeMap<String, ExternalView>,
+    version: u64,
+    next_lsn: u64,
+    commits_since_checkpoint: u64,
+    history: Vec<CommittedTxn>,
+    wal: Box<dyn LogDevice>,
+    checkpoints: Box<dyn LogDevice>,
+    crashed: Option<String>,
+}
+
+struct QueueInner {
+    pending: VecDeque<Request>,
+    results: BTreeMap<u64, Outcome>,
+    leader: bool,
+    next_id: u64,
+}
+
+pub(crate) struct Shared {
+    core: Mutex<Core>,
+    queue: Mutex<QueueInner>,
+    cv: Condvar,
+    pub(crate) config: ServiceConfig,
+    pub(crate) open_sessions: AtomicU64,
+    next_session: AtomicU64,
+}
+
+/// The concurrent multi-model session service. Cheap to clone; clones
+/// share the database.
+#[derive(Clone)]
+pub struct SessionService {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for SessionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.shared.core.lock().unwrap();
+        write!(
+            f,
+            "SessionService(version {}, {} views, {} committed)",
+            core.version,
+            core.views.len(),
+            core.history.len()
+        )
+    }
+}
+
+impl SessionService {
+    /// Boots a fresh service over `initial`, serving `views`, logging to
+    /// the given devices. Writes an initial checkpoint so the durable
+    /// image is self-contained from the first commit on.
+    pub fn new(
+        initial: GraphState,
+        views: Vec<ViewSpec>,
+        config: ServiceConfig,
+        wal_device: Box<dyn LogDevice>,
+        checkpoint_device: Box<dyn LogDevice>,
+    ) -> Result<Self, ServerError> {
+        let mut materialized = BTreeMap::new();
+        for spec in views {
+            let view = ExternalView::materialize(&spec.name, spec.schema, &initial, spec.mode)?;
+            materialized.insert(spec.name, view);
+        }
+        let core = Core {
+            conceptual: initial,
+            views: materialized,
+            version: 0,
+            next_lsn: 1,
+            commits_since_checkpoint: 0,
+            history: Vec::new(),
+            wal: wal_device,
+            checkpoints: checkpoint_device,
+            crashed: None,
+        };
+        let service = SessionService {
+            shared: Arc::new(Shared {
+                core: Mutex::new(core),
+                queue: Mutex::new(QueueInner {
+                    pending: VecDeque::new(),
+                    results: BTreeMap::new(),
+                    leader: false,
+                    next_id: 0,
+                }),
+                cv: Condvar::new(),
+                config,
+                open_sessions: AtomicU64::new(0),
+                next_session: AtomicU64::new(0),
+            }),
+        };
+        service.checkpoint_now()?;
+        Ok(service)
+    }
+
+    /// Rebuilds a service from the durable image a crash left behind:
+    /// decode the latest complete checkpoint, fold the clean prefix of
+    /// logged deltas over it (truncating any torn tail), re-materialize
+    /// every view, and resume accepting sessions.
+    pub fn recover(
+        schema: Arc<GraphSchema>,
+        image: &DurableImage,
+        views: Vec<ViewSpec>,
+        config: ServiceConfig,
+        wal_device: Box<dyn LogDevice>,
+        checkpoint_device: Box<dyn LogDevice>,
+    ) -> Result<(Self, RecoveryReport), ServerError> {
+        let obs = config.obs.clone();
+        let _span = obs.span("server/recover");
+        let (cp, checkpoint_tail) = wal::latest_checkpoint(&image.checkpoint);
+        let cp = cp.ok_or_else(|| {
+            ServerError::Recovery("no complete checkpoint in the durable image".into())
+        })?;
+        let mut state = codec::decode_state(schema, &cp.payload)?;
+        let (records, wal_tail) = wal::replay_tolerant(&image.wal);
+        let mut replayed = 0;
+        let mut next_lsn = cp.lsn + 1;
+        for r in &records {
+            if r.lsn <= cp.lsn {
+                next_lsn = next_lsn.max(r.lsn + 1);
+                continue;
+            }
+            state = codec::apply_delta(&state, &r.payload)?;
+            replayed += 1;
+            next_lsn = r.lsn + 1;
+            obs.add(Counter::WalRecordsReplayed, 1);
+        }
+        let report = RecoveryReport {
+            checkpoint_lsn: cp.lsn,
+            replayed,
+            wal_tail,
+            checkpoint_tail,
+        };
+        let version = replayed as u64;
+        let mut materialized = BTreeMap::new();
+        for spec in views {
+            let view = ExternalView::materialize(&spec.name, spec.schema, &state, spec.mode)?;
+            materialized.insert(spec.name, view);
+        }
+        let core = Core {
+            conceptual: state,
+            views: materialized,
+            version,
+            next_lsn,
+            commits_since_checkpoint: 0,
+            history: Vec::new(),
+            wal: wal_device,
+            checkpoints: checkpoint_device,
+            crashed: None,
+        };
+        let service = SessionService {
+            shared: Arc::new(Shared {
+                core: Mutex::new(core),
+                queue: Mutex::new(QueueInner {
+                    pending: VecDeque::new(),
+                    results: BTreeMap::new(),
+                    leader: false,
+                    next_id: 0,
+                }),
+                cv: Condvar::new(),
+                config,
+                open_sessions: AtomicU64::new(0),
+                next_session: AtomicU64::new(0),
+            }),
+        };
+        // Re-anchor durability: the recovered state becomes the new
+        // checkpoint, so the (possibly torn) old devices are no longer
+        // load-bearing.
+        service.checkpoint_now()?;
+        Ok((service, report))
+    }
+
+    /// Opens a session. Graph sessions speak conceptual operations;
+    /// relational sessions are bound to one external view and get a
+    /// snapshot handle over it.
+    pub fn open_session(&self, kind: SessionKind) -> Result<Session, ServerError> {
+        let obs = &self.shared.config.obs;
+        let _span = obs.span("server/admit");
+        let snapshot = {
+            let core = self.shared.core.lock().unwrap();
+            if let Some(why) = &core.crashed {
+                return Err(ServerError::Crashed(why.clone()));
+            }
+            match &kind {
+                SessionKind::Graph => None,
+                SessionKind::Relational { view } => {
+                    let v = core
+                        .views
+                        .get(view)
+                        .ok_or_else(|| ServerError::UnknownView(view.clone()))?;
+                    Some((
+                        dme_ansi::ViewSession::over(v, core.conceptual.clone()),
+                        core.version,
+                    ))
+                }
+            }
+        };
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        self.shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+        obs.add(Counter::SessionsOpened, 1);
+        Ok(Session::new(self.clone(), id, kind, snapshot))
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> u64 {
+        self.shared.open_sessions.load(Ordering::Relaxed)
+    }
+
+    /// The current database version (one bump per commit).
+    pub fn version(&self) -> u64 {
+        self.shared.core.lock().unwrap().version
+    }
+
+    /// A snapshot of the conceptual state.
+    pub fn conceptual(&self) -> GraphState {
+        self.shared.core.lock().unwrap().conceptual.clone()
+    }
+
+    /// A snapshot of one external view's relational state.
+    pub fn view_state(&self, name: &str) -> Option<RelationState> {
+        self.shared
+            .core
+            .lock()
+            .unwrap()
+            .views
+            .get(name)
+            .map(|v| v.state().clone())
+    }
+
+    /// Names of the views the service serves.
+    pub fn view_names(&self) -> Vec<String> {
+        self.shared.core.lock().unwrap().views.keys().cloned().collect()
+    }
+
+    /// A fresh snapshot pair for a relational session rebasing after a
+    /// conflict.
+    pub(crate) fn snapshot_for(
+        &self,
+        view: &str,
+    ) -> Result<(dme_ansi::ViewSession, u64), ServerError> {
+        let core = self.shared.core.lock().unwrap();
+        let v = core
+            .views
+            .get(view)
+            .ok_or_else(|| ServerError::UnknownView(view.to_string()))?;
+        Ok((
+            dme_ansi::ViewSession::over(v, core.conceptual.clone()),
+            core.version,
+        ))
+    }
+
+    /// The committed schedule so far, in commit order — what the
+    /// conformance oracle replays sequentially.
+    pub fn committed_history(&self) -> Vec<CommittedTxn> {
+        self.shared.core.lock().unwrap().history.clone()
+    }
+
+    /// The durable bytes so far (what a crash at this instant would
+    /// leave, assuming the tail survived).
+    pub fn durable_image(&self) -> DurableImage {
+        let core = self.shared.core.lock().unwrap();
+        DurableImage {
+            wal: core.wal.contents(),
+            checkpoint: core.checkpoints.contents(),
+        }
+    }
+
+    /// Syncs performed by the WAL device (the group-commit economy
+    /// measure).
+    pub fn wal_syncs(&self) -> u64 {
+        self.shared.core.lock().unwrap().wal.syncs()
+    }
+
+    /// Takes a checkpoint now: appends a full conceptual image to the
+    /// checkpoint device and syncs it.
+    pub fn checkpoint_now(&self) -> Result<(), ServerError> {
+        let mut core = self.shared.core.lock().unwrap();
+        if let Some(why) = &core.crashed {
+            return Err(ServerError::Crashed(why.clone()));
+        }
+        Self::take_checkpoint(&self.shared.config, &mut core)
+    }
+
+    fn take_checkpoint(config: &ServiceConfig, core: &mut Core) -> Result<(), ServerError> {
+        let lsn = core.next_lsn - 1;
+        let payload = codec::encode_state(&core.conceptual);
+        let mut buf = Vec::new();
+        wal::append_record(&mut buf, lsn, &payload);
+        let result = core.checkpoints.append(&buf).and_then(|_| core.checkpoints.sync());
+        match result {
+            Ok(()) => {
+                core.commits_since_checkpoint = 0;
+                config.obs.add(Counter::CheckpointsTaken, 1);
+                Ok(())
+            }
+            Err(e) => {
+                core.crashed = Some(e.to_string());
+                Err(ServerError::Crashed(e.to_string()))
+            }
+        }
+    }
+
+    /// Enqueues a transaction and drives the commit protocol until its
+    /// outcome is known. The calling thread may end up acting as the
+    /// batch leader for its own and other sessions' transactions.
+    pub(crate) fn submit(&self, gops: Vec<GraphOp>, base_version: Option<u64>) -> Outcome {
+        let id = {
+            let mut q = self.shared.queue.lock().unwrap();
+            let id = q.next_id;
+            q.next_id += 1;
+            q.pending.push_back(Request {
+                id,
+                gops,
+                base_version,
+            });
+            self.shared.cv.notify_all();
+            id
+        };
+        loop {
+            let mut q = self.shared.queue.lock().unwrap();
+            if let Some(out) = q.results.remove(&id) {
+                return out;
+            }
+            if !q.leader && !q.pending.is_empty() {
+                q.leader = true;
+                let batch: Vec<Request> = match self.shared.config.commit_mode {
+                    CommitMode::Group => q.pending.drain(..).collect(),
+                    CommitMode::PerOp => {
+                        vec![q.pending.pop_front().expect("queue is nonempty")]
+                    }
+                };
+                drop(q);
+                let outcomes = self.commit_batch(batch);
+                let mut q = self.shared.queue.lock().unwrap();
+                q.leader = false;
+                for (rid, out) in outcomes {
+                    q.results.insert(rid, out);
+                }
+                self.shared.cv.notify_all();
+            } else {
+                drop(self.shared.cv.wait(q).unwrap());
+            }
+        }
+    }
+
+    /// Validates, applies and logs a batch: conflicts and aborts are
+    /// decided per transaction against the evolving state; survivors
+    /// share one WAL append + sync.
+    fn commit_batch(&self, batch: Vec<Request>) -> Vec<(u64, Outcome)> {
+        let config = &self.shared.config;
+        let obs = &config.obs;
+        let _span = obs.span("server/commit");
+        let mut core = self.shared.core.lock().unwrap();
+        let mut outcomes = Vec::with_capacity(batch.len());
+        if let Some(why) = core.crashed.clone() {
+            for req in batch {
+                outcomes.push((req.id, Outcome::Crashed(why.clone())));
+            }
+            return outcomes;
+        }
+        let mut staged: Vec<Staged> = Vec::new();
+        for req in batch {
+            if let Some(bv) = req.base_version {
+                if bv != core.version {
+                    obs.add(Counter::TxnConflicts, 1);
+                    obs.mark("server/conflict", core.version);
+                    outcomes.push((req.id, Outcome::Conflict));
+                    continue;
+                }
+            }
+            let before = core.conceptual.clone();
+            let after = match GraphOp::apply_all(&req.gops, &before) {
+                Ok(after) => after,
+                Err(e) => {
+                    obs.add(Counter::TxnsAborted, 1);
+                    outcomes.push((req.id, Outcome::Aborted(e.to_string())));
+                    continue;
+                }
+            };
+            let mut advanced = Vec::with_capacity(core.views.len());
+            let mut failure: Option<Outcome> = None;
+            for (name, view) in &core.views {
+                let mut v = view.clone();
+                if let Err(e) = v.apply_conceptual(&req.gops, &before) {
+                    failure = Some(Outcome::Aborted(format!("view {name}: {e}")));
+                    break;
+                }
+                if config.lockstep_verify && !v.consistent_with(&after) {
+                    failure = Some(Outcome::Lockstep(name.clone()));
+                    break;
+                }
+                advanced.push((name.clone(), v));
+            }
+            if let Some(out) = failure {
+                obs.add(Counter::TxnsAborted, 1);
+                outcomes.push((req.id, out));
+                continue;
+            }
+            let lsn = core.next_lsn;
+            core.next_lsn += 1;
+            core.version += 1;
+            let payload = codec::encode_delta(&before, &after);
+            core.conceptual = after;
+            for (name, v) in advanced {
+                core.views.insert(name, v);
+            }
+            staged.push((req.id, lsn, core.version, payload, req.gops));
+        }
+        if staged.is_empty() {
+            return outcomes;
+        }
+        let mut buf = Vec::new();
+        for (_, lsn, _, payload, _) in &staged {
+            wal::append_record(&mut buf, *lsn, payload);
+        }
+        let result = core.wal.append(&buf).and_then(|_| core.wal.sync());
+        match result {
+            Ok(()) => {
+                obs.add(Counter::GroupCommits, 1);
+                obs.add(Counter::WalRecordsAppended, staged.len() as u64);
+                obs.add(Counter::TxnsCommitted, staged.len() as u64);
+                core.commits_since_checkpoint += staged.len() as u64;
+                for (rid, lsn, version, _, ops) in staged {
+                    core.history.push(CommittedTxn { lsn, ops });
+                    outcomes.push((rid, Outcome::Committed { lsn, version }));
+                }
+                if config.checkpoint_every > 0
+                    && core.commits_since_checkpoint >= config.checkpoint_every
+                {
+                    // A failed checkpoint marks the service crashed; the
+                    // commits above are already durable in the WAL.
+                    let _ = Self::take_checkpoint(config, &mut core);
+                }
+            }
+            Err(e) => {
+                // Log-before-acknowledge: the WAL write failed, so no
+                // commit is acknowledged and the service stops. The
+                // in-memory state is tainted; only the image matters.
+                core.crashed = Some(e.to_string());
+                for (rid, ..) in staged {
+                    outcomes.push((rid, Outcome::Crashed(e.to_string())));
+                }
+            }
+        }
+        outcomes
+    }
+}

@@ -5,8 +5,59 @@
 //! The journal records the inverse of every applied change; aborting a
 //! transaction replays the inverses in reverse order.
 
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
 use dme_obs::{Counter, Observer};
 use dme_value::{Symbol, Tuple};
+
+use crate::codec::{decode_tuple, encode_tuple, CodecError};
+
+/// Typed failures of [`Journal::replay`]. A corrupt or truncated final
+/// record is an expected crash shape, not a programming error, so it
+/// surfaces as a value rather than a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// The buffer ended mid-record.
+    Truncated {
+        /// Byte offset of the record that tore.
+        at: usize,
+    },
+    /// An unknown record-kind byte (corruption).
+    BadKind {
+        /// Byte offset of the corrupt record.
+        at: usize,
+        /// The kind byte found.
+        kind: u8,
+    },
+    /// The record's tuple payload failed to decode.
+    Codec {
+        /// Byte offset of the corrupt record.
+        at: usize,
+        /// The underlying codec failure.
+        error: CodecError,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Truncated { at } => write!(f, "journal truncated at byte {at}"),
+            JournalError::BadKind { at, kind } => {
+                write!(f, "unknown journal record kind {kind} at byte {at}")
+            }
+            JournalError::Codec { at, error } => {
+                write!(f, "corrupt journal record at byte {at}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+const KIND_REMOVE: u8 = 0;
+const KIND_REINSERT: u8 = 1;
 
 /// The inverse of one applied change.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +76,68 @@ pub enum UndoOp {
         /// The tuple to re-insert.
         tuple: Tuple,
     },
+}
+
+impl UndoOp {
+    /// Appends this record's encoding:
+    /// `[kind u8][table-len u16][table utf-8][tuple-len u32][tuple]`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let (kind, table, tuple) = match self {
+            UndoOp::Remove { table, tuple } => (KIND_REMOVE, table, tuple),
+            UndoOp::Reinsert { table, tuple } => (KIND_REINSERT, table, tuple),
+        };
+        out.put_u8(kind);
+        let name = table.as_str().as_bytes();
+        out.put_u16(name.len() as u16);
+        out.put_slice(name);
+        let encoded = encode_tuple(tuple);
+        out.put_u32(encoded.len() as u32);
+        out.put_slice(&encoded);
+    }
+
+    /// Decodes one record starting at `at`; returns the op and the
+    /// frame length consumed.
+    pub fn decode(buf: &[u8], at: usize) -> Result<(UndoOp, usize), JournalError> {
+        let mut rest = &buf[at..];
+        if rest.is_empty() {
+            return Err(JournalError::Truncated { at });
+        }
+        let kind = rest.get_u8();
+        if kind != KIND_REMOVE && kind != KIND_REINSERT {
+            return Err(JournalError::BadKind { at, kind });
+        }
+        if rest.len() < 2 {
+            return Err(JournalError::Truncated { at });
+        }
+        let name_len = rest.get_u16() as usize;
+        if rest.len() < name_len {
+            return Err(JournalError::Truncated { at });
+        }
+        let table = std::str::from_utf8(&rest[..name_len])
+            .map_err(|_| JournalError::Codec {
+                at,
+                error: CodecError::BadUtf8,
+            })?
+            .to_owned();
+        rest.advance(name_len);
+        if rest.len() < 4 {
+            return Err(JournalError::Truncated { at });
+        }
+        let tuple_len = rest.get_u32() as usize;
+        if rest.len() < tuple_len {
+            return Err(JournalError::Truncated { at });
+        }
+        let tuple = decode_tuple(&rest[..tuple_len])
+            .map_err(|error| JournalError::Codec { at, error })?;
+        let frame = 1 + 2 + name_len + 4 + tuple_len;
+        let table = Symbol::new(table);
+        let op = if kind == KIND_REMOVE {
+            UndoOp::Remove { table, tuple }
+        } else {
+            UndoOp::Reinsert { table, tuple }
+        };
+        Ok((op, frame))
+    }
 }
 
 /// An in-memory undo journal.
@@ -77,6 +190,33 @@ impl Journal {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Encodes every entry, in order, for durable spill (crash-time
+    /// undo of a long transaction).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for op in &self.entries {
+            op.encode(&mut out);
+        }
+        out
+    }
+
+    /// Replays a durable journal image back into undo entries.
+    ///
+    /// Returns a typed [`JournalError`] — never panics — on a corrupt
+    /// or truncated final record, identifying the byte offset so the
+    /// caller can decide whether the tail is a tolerable torn write
+    /// (offset past the last full record) or mid-log corruption.
+    pub fn replay(buf: &[u8]) -> Result<Vec<UndoOp>, JournalError> {
+        let mut ops = Vec::new();
+        let mut at = 0;
+        while at < buf.len() {
+            let (op, frame) = UndoOp::decode(buf, at)?;
+            ops.push(op);
+            at += frame;
+        }
+        Ok(ops)
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +260,100 @@ mod tests {
         assert_eq!(obs.counter(Counter::UndoReplays), 0);
         let _ = j.drain_reverse().collect::<Vec<_>>();
         assert_eq!(obs.counter(Counter::UndoReplays), 2);
+    }
+
+    fn two_entry_journal() -> Journal {
+        let mut j = Journal::new();
+        j.push(UndoOp::Remove {
+            table: "Jobs".into(),
+            tuple: tuple!["G.Wayshum", 50],
+        });
+        j.push(UndoOp::Reinsert {
+            table: "Operate".into(),
+            tuple: tuple!["T.Manhart", "NZ745"],
+        });
+        j
+    }
+
+    #[test]
+    fn durable_round_trip() {
+        let j = two_entry_journal();
+        let bytes = j.to_bytes();
+        let ops = Journal::replay(&bytes).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(&ops[0], UndoOp::Remove { table, .. } if table.as_str() == "Jobs"));
+        assert!(
+            matches!(&ops[1], UndoOp::Reinsert { table, tuple } if table.as_str() == "Operate"
+                && *tuple == tuple!["T.Manhart", "NZ745"])
+        );
+        assert_eq!(Journal::replay(&[]).unwrap(), Vec::new());
+    }
+
+    /// Regression: a truncated final record must yield a typed error —
+    /// at every possible tear point — never a panic.
+    #[test]
+    fn replay_truncated_final_record_is_typed_error() {
+        let bytes = two_entry_journal().to_bytes();
+        let first_frame = {
+            let (_, frame) = UndoOp::decode(&bytes, 0).unwrap();
+            frame
+        };
+        for cut in first_frame + 1..bytes.len() {
+            match Journal::replay(&bytes[..cut]) {
+                Err(JournalError::Truncated { at }) => {
+                    assert_eq!(at, first_frame, "tear at {cut} points at the torn record")
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    /// Regression: a corrupt final record (bad kind byte, bad tuple
+    /// payload) must yield a typed error, never a panic.
+    #[test]
+    fn replay_corrupt_final_record_is_typed_error() {
+        let good = two_entry_journal().to_bytes();
+        let (_, first_frame) = UndoOp::decode(&good, 0).unwrap();
+
+        // Shape 1: the record-kind byte is garbage.
+        let mut bad_kind = good.clone();
+        bad_kind[first_frame] = 0x7F;
+        assert_eq!(
+            Journal::replay(&bad_kind),
+            Err(JournalError::BadKind {
+                at: first_frame,
+                kind: 0x7F
+            })
+        );
+
+        // Shape 2: the tuple payload has a corrupt value tag.
+        let mut bad_tuple = good;
+        let tuple_start = first_frame + 1 + 2 + "Operate".len() + 4;
+        bad_tuple[tuple_start + 2] = 0xEE; // first value tag inside the tuple
+        match Journal::replay(&bad_tuple) {
+            Err(JournalError::Codec { at, error }) => {
+                assert_eq!(at, first_frame);
+                assert_eq!(error, CodecError::BadTag(0xEE));
+            }
+            other => panic!("expected Codec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_error_display() {
+        assert_eq!(
+            JournalError::Truncated { at: 9 }.to_string(),
+            "journal truncated at byte 9"
+        );
+        assert!(JournalError::BadKind { at: 0, kind: 9 }
+            .to_string()
+            .contains("kind 9"));
+        assert!(JournalError::Codec {
+            at: 0,
+            error: CodecError::Truncated
+        }
+        .to_string()
+        .contains("truncated record"));
     }
 
     #[test]

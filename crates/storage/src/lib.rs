@@ -13,7 +13,9 @@
 //! * a compact binary codec for tuples ([`codec`]),
 //! * ordered and hash secondary indexes ([`index`]),
 //! * an undo journal giving atomic multi-record operations
-//!   ([`journal`]), and
+//!   ([`journal`]),
+//! * a framed, checksummed write-ahead log with torn-write-tolerant
+//!   replay and appended checkpoints ([`wal`]), and
 //! * a transactional [`store::RecordStore`] combining them.
 //!
 //! `dme-ansi` maps conceptual-level operations onto this engine; the
@@ -30,9 +32,11 @@ pub mod index;
 pub mod journal;
 pub mod page;
 pub mod store;
+pub mod wal;
 
 pub use codec::{decode_tuple, encode_tuple, CodecError};
 pub use heap::{HeapFile, RecordPtr};
-pub use journal::Journal;
+pub use journal::{Journal, JournalError};
 pub use page::{Page, PageError, PAGE_SIZE};
 pub use store::{RecordStore, StoreError};
+pub use wal::{WalError, WalRecord};

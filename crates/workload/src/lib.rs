@@ -519,6 +519,185 @@ pub fn supervision_toggle_rel_ops(cfg: ShopConfig, n: usize) -> Vec<RelOp> {
         .collect()
 }
 
+/// A scaled §1.2 **subset** external schema over the same universe:
+/// employees and supervisions only — machines and operate associations
+/// are invisible to sessions using this view.
+pub fn personnel_schema(cfg: ShopConfig) -> RelationalSchema {
+    RelationalSchema::new(
+        universe(cfg),
+        [
+            RelationSchema::new(
+                "Employees",
+                [Participant::new(
+                    "employee",
+                    [Pair::Existence],
+                    [
+                        CharacteristicCol::required("name", "names"),
+                        CharacteristicCol::required("age", "years"),
+                    ],
+                )],
+            ),
+            RelationSchema::new(
+                "Supervisions",
+                [
+                    Participant::new(
+                        "employee",
+                        [Pair::case("supervise", "agent")],
+                        [CharacteristicCol::required("name", "names")],
+                    ),
+                    Participant::new(
+                        "employee",
+                        [Pair::case("supervise", "object")],
+                        [CharacteristicCol::required("name", "names")],
+                    ),
+                ],
+            ),
+        ],
+        [
+            Constraint::Unique {
+                relation: "Employees".into(),
+                columns: vec![0],
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Supervisions", [0]),
+                to: ColsRef::new("Employees", [0]),
+            },
+            Constraint::Subset {
+                from: ColsRef::new("Supervisions", [1]),
+                to: ColsRef::new("Employees", [0]),
+            },
+        ],
+    )
+    .expect("workload personnel schema is well-formed")
+}
+
+/// One concurrent session's scripted operation stream: the model the
+/// session speaks and the operations it will submit, in order.
+#[derive(Clone, Debug)]
+pub enum SessionStream {
+    /// A session speaking the conceptual graph model directly.
+    Graph {
+        /// The operations to submit.
+        ops: Vec<GraphOp>,
+    },
+    /// A session speaking a relational external schema.
+    Relational {
+        /// The external view the session is attached to
+        /// (`"shop"` = [`relational_schema`], `"personnel"` =
+        /// [`personnel_schema`]).
+        view: String,
+        /// The operations to submit.
+        ops: Vec<RelOp>,
+    },
+}
+
+impl SessionStream {
+    /// Number of scripted operations.
+    pub fn len(&self) -> usize {
+        match self {
+            SessionStream::Graph { ops } => ops.len(),
+            SessionStream::Relational { ops, .. } => ops.len(),
+        }
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Deterministic multi-session operation streams for the concurrent
+/// session service: `sessions` scripts of `ops_each` operations each,
+/// cycling through the three session kinds — graph (conceptual
+/// supervision toggles), relational over the full `"shop"` view (Jobs
+/// insert/delete mirrors) and relational over the `"personnel"` §1.2
+/// subset view (Supervisions insert/delete).
+///
+/// Every operation is well-formed against the *initial* state family;
+/// under concurrent interleaving some will fail at apply time (the
+/// association already present / already gone), which is exactly the
+/// abort-and-leave-no-trace path the service must handle.
+pub fn session_streams(cfg: ShopConfig, sessions: usize, ops_each: usize) -> Vec<SessionStream> {
+    let p = plan(cfg);
+    (0..sessions)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed
+                    .wrapping_add(1000)
+                    .wrapping_add((s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let mut pairs = Vec::with_capacity(ops_each);
+            while pairs.len() < ops_each {
+                if cfg.employees < 2 {
+                    break;
+                }
+                let sup = rng.gen_range(0..cfg.employees);
+                let sub = rng.gen_range(0..cfg.employees);
+                if sup == sub {
+                    continue;
+                }
+                let insert = rng.gen_range(0..2) == 0;
+                pairs.push((sup, sub, insert));
+            }
+            let pair_names = |sup: usize, sub: usize| {
+                (p.employees[sup].0.clone(), p.employees[sub].0.clone())
+            };
+            match s % 3 {
+                0 => SessionStream::Graph {
+                    ops: pairs
+                        .into_iter()
+                        .map(|(sup, sub, insert)| {
+                            let (a, o) = pair_names(sup, sub);
+                            let assoc = Association::new(
+                                "supervise",
+                                [
+                                    ("agent", EntityRef::new("employee", dme_value::Atom::str(a))),
+                                    ("object", EntityRef::new("employee", dme_value::Atom::str(o))),
+                                ],
+                            );
+                            if insert {
+                                GraphOp::InsertAssociation(assoc)
+                            } else {
+                                GraphOp::DeleteAssociation(assoc)
+                            }
+                        })
+                        .collect(),
+                },
+                1 => SessionStream::Relational {
+                    view: "shop".into(),
+                    ops: pairs
+                        .into_iter()
+                        .map(|(sup, sub, insert)| {
+                            let (a, o) = pair_names(sup, sub);
+                            let t = tuple![a.as_str(), o.as_str(), Value::Null];
+                            if insert {
+                                RelOp::insert("Jobs", [t])
+                            } else {
+                                RelOp::delete("Jobs", [t])
+                            }
+                        })
+                        .collect(),
+                },
+                _ => SessionStream::Relational {
+                    view: "personnel".into(),
+                    ops: pairs
+                        .into_iter()
+                        .map(|(sup, sub, insert)| {
+                            let (a, o) = pair_names(sup, sub);
+                            let t = tuple![a.as_str(), o.as_str()];
+                            if insert {
+                                RelOp::insert("Supervisions", [t])
+                            } else {
+                                RelOp::delete("Supervisions", [t])
+                            }
+                        })
+                        .collect(),
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +758,71 @@ mod tests {
             g = gop.apply(&g).unwrap();
             r = rop.apply(&r).unwrap();
             assert!(state_equivalent(&g, &r).is_equivalent());
+        }
+    }
+
+    #[test]
+    fn personnel_schema_is_a_subset_view() {
+        let cfg = ShopConfig::small();
+        let schema = personnel_schema(cfg);
+        assert_eq!(schema.len(), 2);
+        // The subset view sees the scaled graph state's employees and
+        // supervisions only; within its vocabulary it is equivalent.
+        let g = graph_state(cfg);
+        use dme_logic::ToFacts;
+        let vocab = schema.vocabulary();
+        let state = dme_core::translate::materialize_relational_state(
+            &Arc::new(schema),
+            &vocab.filter(&g.to_facts()),
+        )
+        .unwrap();
+        assert!(state_equivalent(&state, &vocab.filter(&g.to_facts())).is_equivalent());
+        assert_eq!(
+            state.relation("Supervisions").map(|r| r.len()),
+            Some(cfg.supervisions)
+        );
+    }
+
+    #[test]
+    fn session_streams_are_deterministic_and_cover_all_kinds() {
+        let cfg = ShopConfig::small();
+        let streams = session_streams(cfg, 6, 8);
+        assert_eq!(streams.len(), 6);
+        assert!(streams.iter().all(|s| s.len() == 8 && !s.is_empty()));
+        let mut graph = 0;
+        let mut shop = 0;
+        let mut personnel = 0;
+        for s in &streams {
+            match s {
+                SessionStream::Graph { .. } => graph += 1,
+                SessionStream::Relational { view, .. } if view == "shop" => shop += 1,
+                SessionStream::Relational { .. } => personnel += 1,
+            }
+        }
+        assert_eq!((graph, shop, personnel), (2, 2, 2));
+        // Deterministic: same config produces the same scripts.
+        let again = session_streams(cfg, 6, 8);
+        for (a, b) in streams.iter().zip(&again) {
+            match (a, b) {
+                (SessionStream::Graph { ops: x }, SessionStream::Graph { ops: y }) => {
+                    assert_eq!(x, y)
+                }
+                (
+                    SessionStream::Relational { view: v, ops: x },
+                    SessionStream::Relational { view: w, ops: y },
+                ) => {
+                    assert_eq!(v, w);
+                    assert_eq!(x, y);
+                }
+                _ => panic!("stream kinds diverged between runs"),
+            }
+        }
+        // Distinct sessions get distinct scripts.
+        match (&streams[0], &streams[3]) {
+            (SessionStream::Graph { ops: x }, SessionStream::Graph { ops: y }) => {
+                assert_ne!(x, y)
+            }
+            _ => panic!("sessions 0 and 3 should both be graph sessions"),
         }
     }
 

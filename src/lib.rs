@@ -34,6 +34,7 @@ pub use dme_graph as graph;
 pub use dme_logic as logic;
 pub use dme_obs as obs;
 pub use dme_relation as relation;
+pub use dme_server as server;
 pub use dme_storage as storage;
 pub use dme_syntactic as syntactic;
 pub use dme_value as value;

@@ -1,0 +1,296 @@
+//! Crash-recovery fault-injection matrix for the session service.
+//!
+//! The service's durable state is a checkpoint stream plus a WAL, both
+//! append-only; a crash therefore always leaves a *byte prefix* of each
+//! device. The matrix cuts a finished run's durable image at the byte
+//! offsets corresponding to four fault points —
+//!
+//! 1. **before** a transaction's journal append,
+//! 2. **mid-append** (a torn WAL record),
+//! 3. **after** the append but before the next checkpoint,
+//! 4. **mid-checkpoint** (a torn checkpoint record),
+//!
+//! — across multiple workload seeds, and requires recovery to be
+//! deterministic and *prefix-consistent*: the recovered state equals
+//! the sequential replay of exactly the committed transactions whose
+//! records survive complete, and aborted transactions (which never
+//! reach the log) are never resurrected.
+
+use std::sync::Arc;
+
+use borkin_equiv::equivalence::translate::CompletionMode;
+use borkin_equiv::graph::{GraphOp, GraphState};
+use borkin_equiv::server::{
+    DurableImage, MemDevice, ServiceConfig, SessionKind, SessionService, ViewSpec,
+};
+use borkin_equiv::storage::wal;
+use borkin_equiv::workload::{self, ShopConfig};
+
+const SEEDS: [u64; 5] = [11, 23, 47, 95, 191];
+
+fn shop_cfg(seed: u64) -> ShopConfig {
+    ShopConfig {
+        employees: 6,
+        machines: 3,
+        supervisions: 4,
+        seed,
+    }
+}
+
+fn views(cfg: ShopConfig) -> Vec<ViewSpec> {
+    vec![ViewSpec {
+        name: "personnel".into(),
+        schema: workload::personnel_schema(cfg),
+        mode: CompletionMode::Minimal,
+    }]
+}
+
+/// A finished run to cut crash images from: the full durable image, the
+/// initial state, the committed schedule, and how many operations
+/// aborted (so every seed provably exercises the abort path too).
+struct Run {
+    cfg: ShopConfig,
+    initial: GraphState,
+    image: DurableImage,
+    committed: Vec<(u64, Vec<GraphOp>)>,
+    aborted: usize,
+    /// Byte offset where each WAL record's frame starts, plus the final
+    /// end offset.
+    wal_offsets: Vec<usize>,
+}
+
+/// Runs a single-session deterministic workload: toggles applied in
+/// order, some of which abort (double inserts), with one checkpoint
+/// taken mid-run so images carry both a checkpoint and a WAL tail.
+fn run_workload(seed: u64) -> Run {
+    let cfg = shop_cfg(seed);
+    let initial = workload::graph_state(cfg);
+    let service = SessionService::new(
+        initial.clone(),
+        views(cfg),
+        ServiceConfig::default(),
+        Box::new(MemDevice::new()),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+    let mut session = service.open_session(SessionKind::Graph).unwrap();
+    let ops = workload::supervision_toggle_ops(cfg, 8);
+    let mut aborted = 0;
+    for (i, op) in ops.iter().enumerate() {
+        // Re-submitting the same toggle twice forces an abort: the
+        // second application is invalid against the committed state.
+        if session.submit_graph(vec![op.clone()]).is_err() {
+            aborted += 1;
+        }
+        if session.submit_graph(vec![op.clone()]).is_err() {
+            aborted += 1;
+        }
+        if i == 3 {
+            service.checkpoint_now().unwrap();
+        }
+    }
+    session.close().unwrap();
+    let image = service.durable_image();
+    let committed = service
+        .committed_history()
+        .into_iter()
+        .map(|t| (t.lsn, t.ops))
+        .collect();
+    let (records, tail) = wal::replay_tolerant(&image.wal);
+    assert!(tail.is_none(), "a finished run's WAL is clean");
+    let mut wal_offsets = vec![0];
+    for r in &records {
+        wal_offsets.push(wal_offsets.last().unwrap() + wal::frame_len(r.payload.len()));
+    }
+    Run {
+        cfg,
+        initial,
+        image,
+        committed,
+        aborted,
+        wal_offsets,
+    }
+}
+
+/// The oracle: sequential replay of the first `n` committed
+/// transactions.
+fn prefix_state(run: &Run, n: usize) -> GraphState {
+    let mut state = run.initial.clone();
+    for (_, ops) in run.committed.iter().take(n) {
+        state = GraphOp::apply_all(ops, &state).expect("committed schedule replays");
+    }
+    state
+}
+
+/// Recovers from a cut image and asserts prefix consistency: the
+/// recovered state must equal the replay of exactly the surviving
+/// complete records. Returns the recovered conceptual state.
+fn recover_and_check(run: &Run, image: &DurableImage, label: &str) -> GraphState {
+    let (recovered, report) = SessionService::recover(
+        Arc::clone(run.initial.schema()),
+        image,
+        views(run.cfg),
+        ServiceConfig::default(),
+        Box::new(MemDevice::new()),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+    let state = recovered.conceptual();
+    // How many committed transactions survive in this image? Complete
+    // WAL records with lsn > 0 are committed transactions (checkpoints
+    // live on the other device).
+    let (records, _) = wal::replay_tolerant(&image.wal);
+    let survived = records.len();
+    assert_eq!(
+        state,
+        prefix_state(run, survived),
+        "{label}: recovered state is not the {survived}-transaction prefix"
+    );
+    // Deterministic: recovering the same image again gives the same
+    // state and the same report.
+    let (again, report2) = SessionService::recover(
+        Arc::clone(run.initial.schema()),
+        image,
+        views(run.cfg),
+        ServiceConfig::default(),
+        Box::new(MemDevice::new()),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+    assert_eq!(again.conceptual(), state, "{label}: recovery not deterministic");
+    assert_eq!(report2, report, "{label}: recovery report not deterministic");
+    // The view is rebuilt consistent (Definition 2 in its vocabulary).
+    let view_ok = recovered.view_state("personnel").is_some();
+    assert!(view_ok, "{label}: view not rebuilt");
+    state
+}
+
+#[test]
+fn fault_point_1_crash_before_journal_append() {
+    for seed in SEEDS {
+        let run = run_workload(seed);
+        assert!(run.committed.len() >= 3, "seed {seed} needs ≥3 commits");
+        assert!(run.aborted > 0, "seed {seed} must exercise the abort path");
+        // Crash immediately before appending transaction k: the WAL
+        // ends exactly at record k-1's end.
+        for k in 1..run.committed.len() {
+            let image = DurableImage {
+                wal: run.image.wal[..run.wal_offsets[k]].to_vec(),
+                checkpoint: run.image.checkpoint.clone(),
+            };
+            // The checkpoint may be *ahead* of this WAL prefix (it was
+            // taken mid-run); keep only checkpoints covered by the
+            // surviving WAL so the image is a consistent crash cut.
+            let image = clamp_checkpoint(&run, image, k);
+            recover_and_check(&run, &image, &format!("seed {seed}, before-append txn {k}"));
+        }
+    }
+}
+
+/// Drops checkpoint records whose lsn exceeds the surviving WAL prefix
+/// (a real crash at that instant could not have written them yet).
+fn clamp_checkpoint(run: &Run, mut image: DurableImage, k: usize) -> DurableImage {
+    let max_lsn = run.committed[..k].last().map(|(lsn, _)| *lsn).unwrap_or(0);
+    let (records, _) = wal::replay_tolerant(&image.checkpoint);
+    let mut buf = Vec::new();
+    for r in records {
+        if r.lsn <= max_lsn {
+            wal::append_record(&mut buf, r.lsn, &r.payload);
+        }
+    }
+    image.checkpoint = buf;
+    image
+}
+
+#[test]
+fn fault_point_2_crash_mid_append_tears_the_record() {
+    for seed in SEEDS {
+        let run = run_workload(seed);
+        for k in 1..=run.committed.len() {
+            // Tear transaction k's record at several depths.
+            let (start, end) = (run.wal_offsets[k - 1], run.wal_offsets[k]);
+            for cut in [start + 1, start + (end - start) / 2, end - 1] {
+                let image = clamp_checkpoint(
+                    &run,
+                    DurableImage {
+                        wal: run.image.wal[..cut].to_vec(),
+                        checkpoint: run.image.checkpoint.clone(),
+                    },
+                    k - 1,
+                );
+                let state = recover_and_check(
+                    &run,
+                    &image,
+                    &format!("seed {seed}, mid-append txn {k} cut {cut}"),
+                );
+                // The torn transaction itself must not be visible.
+                assert_eq!(state, prefix_state(&run, k - 1));
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_point_3_crash_after_append_before_checkpoint() {
+    for seed in SEEDS {
+        let run = run_workload(seed);
+        // The full WAL survived but the mid-run checkpoint did not: the
+        // checkpoint device holds only the initial (lsn 0) checkpoint.
+        let (cp_records, _) = wal::replay_tolerant(&run.image.checkpoint);
+        assert!(cp_records.len() >= 2, "seed {seed}: run must checkpoint mid-way");
+        let mut initial_only = Vec::new();
+        wal::append_record(&mut initial_only, cp_records[0].lsn, &cp_records[0].payload);
+        let image = DurableImage {
+            wal: run.image.wal.clone(),
+            checkpoint: initial_only,
+        };
+        let state = recover_and_check(&run, &image, &format!("seed {seed}, pre-checkpoint"));
+        // Everything committed is recovered even without the newer
+        // checkpoint — the checkpoint only bounds replay work.
+        assert_eq!(state, prefix_state(&run, run.committed.len()));
+    }
+}
+
+#[test]
+fn fault_point_4_crash_mid_checkpoint_falls_back() {
+    for seed in SEEDS {
+        let run = run_workload(seed);
+        let (cp_records, _) = wal::replay_tolerant(&run.image.checkpoint);
+        let mut prefix = Vec::new();
+        for r in &cp_records[..cp_records.len() - 1] {
+            wal::append_record(&mut prefix, r.lsn, &r.payload);
+        }
+        let intact = prefix.len();
+        let last = cp_records.last().unwrap();
+        let mut full = prefix.clone();
+        wal::append_record(&mut full, last.lsn, &last.payload);
+        // Tear the final checkpoint record at several depths: recovery
+        // falls back to the previous checkpoint + full WAL replay.
+        for cut in [intact + 1, intact + (full.len() - intact) / 2, full.len() - 1] {
+            let image = DurableImage {
+                wal: run.image.wal.clone(),
+                checkpoint: full[..cut].to_vec(),
+            };
+            let state = recover_and_check(
+                &run,
+                &image,
+                &format!("seed {seed}, mid-checkpoint cut {cut}"),
+            );
+            assert_eq!(state, prefix_state(&run, run.committed.len()));
+        }
+    }
+}
+
+#[test]
+fn aborted_transactions_are_never_resurrected() {
+    for seed in SEEDS {
+        let run = run_workload(seed);
+        assert!(run.aborted > 0);
+        // Recover the complete image: the result must equal the replay
+        // of the committed schedule alone. If any aborted operation had
+        // leaked into the log, the states would differ (each abort was
+        // a duplicate toggle, which would double-apply).
+        let state = recover_and_check(&run, &run.image, &format!("seed {seed}, full image"));
+        assert_eq!(state, prefix_state(&run, run.committed.len()));
+    }
+}

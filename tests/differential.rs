@@ -4,29 +4,25 @@
 //! across all four checker tiers (Definitions 2, 3, 5 and 6), at every
 //! thread count.
 //!
+//! Both engines are driven through the [`Checker`] facade (no
+//! `.parallel()` routes to the sequential reference checkers; see
+//! `tests/facade.rs` for the facade/legacy parity proofs), so this
+//! suite is a differential test of the engines themselves.
+//!
 //! The generated models are the checker-plumbing toys from the unit
 //! suites: states are fact bases, operations insert or delete one fact
 //! from a small universe, so closures stay tiny while still exercising
 //! non-onto pairings, error states, idempotence asymmetries and partial
 //! data-model matches.
 
-// These suites deliberately exercise the deprecated pre-facade entry
-// points: they are the reference the `Checker` parity tests compare
-// against, and must keep compiling until the wrappers are removed.
-#![allow(deprecated)]
-
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use borkin_equiv::equivalence::equiv::{
-    application_models_equivalent, data_model_equivalent, CheckError, EquivKind, MatchReport,
-};
+use borkin_equiv::equivalence::equiv::{CheckError, EquivKind};
 use borkin_equiv::equivalence::model::FiniteModel;
-use borkin_equiv::equivalence::parallel::{
-    parallel_application_models_equivalent, parallel_data_model_equivalent, ParallelConfig, Side,
-    Verdict,
-};
+use borkin_equiv::equivalence::parallel::{CheckBudget, ParallelConfig, Side, Verdict};
+use borkin_equiv::equivalence::{Checker, Tier};
 use borkin_equiv::logic::{Fact, FactBase};
 use borkin_equiv::value::Atom;
 
@@ -74,38 +70,43 @@ fn kind_strategy() -> impl Strategy<Value = EquivKind> {
     ]
 }
 
+/// Per-side witness labels, in report order.
+fn labels(verdict: &Verdict, side: Side) -> Vec<&str> {
+    verdict
+        .witnesses()
+        .iter()
+        .filter(|w| w.side == side)
+        .map(|w| w.label.as_str())
+        .collect()
+}
+
 /// Asserts that a parallel [`Verdict`] says exactly what the sequential
-/// [`MatchReport`] says: same answer, same witnesses, same order.
-fn assert_verdict_matches_report(
-    verdict: &Verdict,
-    report: &MatchReport,
+/// one says: same answer, same searched pair count, same witnesses in
+/// the same order.
+fn assert_verdicts_agree(
+    parallel: &Verdict,
+    sequential: &Verdict,
 ) -> Result<(), TestCaseError> {
-    prop_assert_eq!(verdict.is_equivalent(), report.equivalent);
-    match verdict {
-        Verdict::Equivalent { state_pairs } => {
-            prop_assert_eq!(*state_pairs, report.state_pairs);
+    prop_assert_eq!(parallel.is_equivalent(), sequential.is_equivalent());
+    match (parallel, sequential) {
+        (
+            Verdict::Equivalent { state_pairs: p },
+            Verdict::Equivalent { state_pairs: s },
+        ) => prop_assert_eq!(p, s),
+        (
+            Verdict::Counterexample { state_pairs: p, .. },
+            Verdict::Counterexample { state_pairs: s, .. },
+        ) => {
+            prop_assert_eq!(p, s);
+            prop_assert_eq!(labels(parallel, Side::Left), labels(sequential, Side::Left));
+            prop_assert_eq!(labels(parallel, Side::Right), labels(sequential, Side::Right));
         }
-        Verdict::Counterexample {
-            state_pairs,
-            witnesses,
-        } => {
-            prop_assert_eq!(*state_pairs, report.state_pairs);
-            let left: Vec<&str> = witnesses
-                .iter()
-                .filter(|w| w.side == Side::Left)
-                .map(|w| w.label.as_str())
-                .collect();
-            let right: Vec<&str> = witnesses
-                .iter()
-                .filter(|w| w.side == Side::Right)
-                .map(|w| w.label.as_str())
-                .collect();
-            prop_assert_eq!(left, report.unmatched_m.iter().map(String::as_str).collect::<Vec<_>>());
-            prop_assert_eq!(right, report.unmatched_n.iter().map(String::as_str).collect::<Vec<_>>());
-        }
-        Verdict::BudgetExhausted { .. } => {
-            prop_assert!(false, "unlimited budget must never exhaust");
-        }
+        _ => prop_assert!(
+            false,
+            "verdict shapes disagree: parallel {:?}, sequential {:?}",
+            parallel,
+            sequential
+        ),
     }
     Ok(())
 }
@@ -123,17 +124,20 @@ proptest! {
     ) {
         let m = toy_model("m", &m_ops);
         let n = toy_model("n", &n_ops);
-        let sequential = application_models_equivalent(&m, &n, kind, STATE_CAP);
+        let sequential = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .run();
         for threads in [1usize, 2, 4] {
-            let parallel = parallel_application_models_equivalent(
-                &m,
-                &n,
-                kind,
-                STATE_CAP,
-                &ParallelConfig::with_threads(threads),
-            );
+            let parallel = Checker::new(&m, &n)
+                .tier(Tier::from_kind(kind))
+                .state_cap(STATE_CAP)
+                .parallel(ParallelConfig::with_threads(threads))
+                .run();
             match (&sequential, &parallel) {
-                (Ok(report), Ok(verdict)) => assert_verdict_matches_report(verdict, report)?,
+                (Ok(seq_verdict), Ok(par_verdict)) => {
+                    assert_verdicts_agree(par_verdict, seq_verdict)?
+                }
                 (Err(seq_err), Err(par_err)) => prop_assert_eq!(seq_err, par_err),
                 _ => prop_assert!(
                     false,
@@ -156,20 +160,16 @@ proptest! {
     ) {
         let m = toy_model("m", &m_ops);
         let n = toy_model("n", &n_ops);
-        let full = parallel_application_models_equivalent(
-            &m,
-            &n,
-            kind,
-            STATE_CAP,
-            &ParallelConfig::with_threads(4),
-        );
-        let early = parallel_application_models_equivalent(
-            &m,
-            &n,
-            kind,
-            STATE_CAP,
-            &ParallelConfig::with_threads(4).early_exit(),
-        );
+        let full = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(4))
+            .run();
+        let early = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(4).early_exit())
+            .run();
         match (&full, &early) {
             (Ok(full_verdict), Ok(early_verdict)) => {
                 prop_assert_eq!(
@@ -187,7 +187,7 @@ proptest! {
 
     /// Tier 6 differential: data-model (Definition 6) checks agree —
     /// the parallel grid's witness names are exactly the sequential
-    /// report's unmatched application models, in declaration order.
+    /// check's unmatched application models, in declaration order.
     #[test]
     fn parallel_data_model_check_agrees_with_sequential(
         m_sets in prop::collection::vec(ops_strategy(), 1..3),
@@ -204,31 +204,21 @@ proptest! {
             .enumerate()
             .map(|(i, ops)| toy_model(&format!("n{i}"), ops))
             .collect();
-        let report = data_model_equivalent(&ms, &ns, kind, STATE_CAP).unwrap();
-        for threads in [1usize, 4] {
-            let verdict = parallel_data_model_equivalent(
-                &ms,
-                &ns,
-                kind,
-                STATE_CAP,
-                &ParallelConfig::with_threads(threads),
-            )
+        let sequential = Checker::data_models(&ms, &ns)
+            .tier(Tier::DataModel { kind })
+            .state_cap(STATE_CAP)
+            .run()
             .unwrap();
-            prop_assert_eq!(verdict.is_equivalent(), report.equivalent);
-            let left: Vec<&str> = verdict
-                .witnesses()
-                .iter()
-                .filter(|w| w.side == Side::Left)
-                .map(|w| w.label.as_str())
-                .collect();
-            let right: Vec<&str> = verdict
-                .witnesses()
-                .iter()
-                .filter(|w| w.side == Side::Right)
-                .map(|w| w.label.as_str())
-                .collect();
-            prop_assert_eq!(left, report.unmatched_m());
-            prop_assert_eq!(right, report.unmatched_n());
+        for threads in [1usize, 4] {
+            let verdict = Checker::data_models(&ms, &ns)
+                .tier(Tier::DataModel { kind })
+                .state_cap(STATE_CAP)
+                .parallel(ParallelConfig::with_threads(threads))
+                .run()
+                .unwrap();
+            prop_assert_eq!(verdict.is_equivalent(), sequential.is_equivalent());
+            prop_assert_eq!(labels(&verdict, Side::Left), labels(&sequential, Side::Left));
+            prop_assert_eq!(labels(&verdict, Side::Right), labels(&sequential, Side::Right));
         }
     }
 
@@ -244,21 +234,16 @@ proptest! {
         let kind = EquivKind::Composed { max_depth: 2 };
         let m = toy_model("m", &m_ops);
         let n = toy_model("n", &n_ops);
-        let unlimited = parallel_application_models_equivalent(
-            &m,
-            &n,
-            kind,
-            STATE_CAP,
-            &ParallelConfig::with_threads(2),
-        );
-        let budgeted = parallel_application_models_equivalent(
-            &m,
-            &n,
-            kind,
-            STATE_CAP,
-            &ParallelConfig::with_threads(2)
-                .budget(borkin_equiv::equivalence::parallel::CheckBudget::nodes(max_nodes)),
-        );
+        let unlimited = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(2))
+            .run();
+        let budgeted = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(2).budget(CheckBudget::nodes(max_nodes)))
+            .run();
         match (&unlimited, &budgeted) {
             (Ok(full), Ok(Verdict::BudgetExhausted { .. })) => {
                 prop_assert!(!matches!(full, Verdict::BudgetExhausted { .. }));

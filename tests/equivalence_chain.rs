@@ -5,22 +5,17 @@
 //! > isomorphic ⇒ composed operation ⇒ state dependent
 //!
 //! with separating witnesses at each level, and the Definition 6
-//! data-model check with a partial-equivalence witness.
-
-// These suites deliberately exercise the deprecated pre-facade entry
-// points: they are the reference the `Checker` parity tests compare
-// against, and must keep compiling until the wrappers are removed.
-#![allow(deprecated)]
+//! data-model check with a partial-equivalence witness. All checks run
+//! through the [`Checker`] facade.
 
 use std::sync::Arc;
 
 use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
-use borkin_equiv::equivalence::equiv::{
-    composed_equivalent, data_model_equivalent, isomorphic_equivalent, state_dependent_equivalent,
-    EquivKind,
-};
+use borkin_equiv::equivalence::equiv::EquivKind;
 use borkin_equiv::equivalence::model::{graph_model, relational_model, FiniteModel};
+use borkin_equiv::equivalence::parallel::{Side, Verdict};
 use borkin_equiv::equivalence::witness;
+use borkin_equiv::equivalence::{Checker, Tier};
 use borkin_equiv::graph::{GraphOp, GraphState};
 use borkin_equiv::relation::{RelOp, RelationState, RelationalSchema};
 
@@ -42,6 +37,16 @@ fn graph_witness_model(name: &str) -> FiniteModel<GraphState, GraphOp> {
     graph_model(name, GraphState::empty(schema), ops)
 }
 
+/// Witness labels on one side of a counterexample verdict.
+fn side_labels(verdict: &Verdict, side: Side) -> Vec<&str> {
+    verdict
+        .witnesses()
+        .iter()
+        .filter(|w| w.side == side)
+        .map(|w| w.label.as_str())
+        .collect()
+}
+
 /// E-D1/E-D2: a pure renaming of an application model is isomorphically
 /// equivalent — and isomorphic implies composed implies state dependent.
 #[test]
@@ -53,14 +58,26 @@ fn e_d2_renaming_is_isomorphically_equivalent() {
         2,
     );
 
-    let iso = isomorphic_equivalent(&m, &n, STATE_CAP).unwrap();
-    assert!(iso.equivalent, "{iso}");
+    let iso = Checker::new(&m, &n)
+        .tier(Tier::Isomorphic)
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(iso.is_equivalent(), "{iso}");
 
     // Strictness chain: the weaker equivalences must also hold.
-    let composed = composed_equivalent(&m, &n, STATE_CAP, 2).unwrap();
-    assert!(composed.equivalent, "{composed}");
-    let state_dep = state_dependent_equivalent(&m, &n, STATE_CAP, 2).unwrap();
-    assert!(state_dep.equivalent, "{state_dep}");
+    let composed = Checker::new(&m, &n)
+        .tier(Tier::Composed { max_depth: 2 })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(composed.is_equivalent(), "{composed}");
+    let state_dep = Checker::new(&m, &n)
+        .tier(Tier::StateDependent { max_depth: 2 })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(state_dep.is_equivalent(), "{state_dep}");
 }
 
 /// E-D3: the same schema with single-statement vs two-statement
@@ -71,15 +88,23 @@ fn e_d3_composed_but_not_isomorphic() {
     let singles = rel_model("micro-singles", witness::micro_relational_schema(), 1);
     let pairs = rel_model("micro-pairs", witness::micro_relational_schema(), 2);
 
-    let iso = isomorphic_equivalent(&singles, &pairs, STATE_CAP).unwrap();
-    assert!(!iso.equivalent);
+    let iso = Checker::new(&singles, &pairs)
+        .tier(Tier::Isomorphic)
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(!iso.is_equivalent());
     // Every single op exists on the pair side; only pair ops lack single
     // equivalents.
-    assert!(iso.unmatched_m.is_empty(), "{iso}");
-    assert!(!iso.unmatched_n.is_empty());
+    assert!(side_labels(&iso, Side::Left).is_empty(), "{iso}");
+    assert!(!side_labels(&iso, Side::Right).is_empty());
 
-    let composed = composed_equivalent(&singles, &pairs, STATE_CAP, 2).unwrap();
-    assert!(composed.equivalent, "{composed}");
+    let composed = Checker::new(&singles, &pairs)
+        .tier(Tier::Composed { max_depth: 2 })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(composed.is_equivalent(), "{composed}");
 }
 
 /// E-D4/E-D5: the micro relational and micro graph models are state
@@ -93,18 +118,25 @@ fn e_d5_state_dependent_but_not_composed() {
     let m = rel_model("micro-rel", witness::micro_relational_schema(), 2);
     let n = graph_witness_model("micro-graph");
 
-    let composed = composed_equivalent(&m, &n, STATE_CAP, 3).unwrap();
-    assert!(!composed.equivalent);
+    let composed = Checker::new(&m, &n)
+        .tier(Tier::Composed { max_depth: 3 })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(!composed.is_equivalent());
     assert!(
-        composed
-            .unmatched_m
+        side_labels(&composed, Side::Left)
             .iter()
             .any(|op| op.starts_with("insert-statements")),
         "the idempotent relational insert should be a witness: {composed}"
     );
 
-    let state_dep = state_dependent_equivalent(&m, &n, STATE_CAP, 3).unwrap();
-    assert!(state_dep.equivalent, "{state_dep}");
+    let state_dep = Checker::new(&m, &n)
+        .tier(Tier::StateDependent { max_depth: 3 })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(state_dep.is_equivalent(), "{state_dep}");
 }
 
 /// §3.3.2's headline claim at machine-shop scale: "By restricting the
@@ -119,13 +151,15 @@ fn e_d5_mini_machine_shop_is_state_dependent_equivalent() {
     let ops = enumerate_graph_ops(&schema);
     let n = graph_model("mini-graph", GraphState::empty(schema), ops);
 
-    let report = state_dependent_equivalent(&m, &n, STATE_CAP, 3).unwrap();
-    assert!(report.equivalent, "{report}");
-    assert!(
-        report.state_pairs > 20,
-        "non-trivial closure: {}",
-        report.state_pairs
-    );
+    let verdict = Checker::new(&m, &n)
+        .tier(Tier::StateDependent { max_depth: 3 })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    let Verdict::Equivalent { state_pairs } = verdict else {
+        panic!("{verdict}");
+    };
+    assert!(state_pairs > 20, "non-trivial closure: {state_pairs}");
 }
 
 /// §3.3.2: "there may be several relational application models state
@@ -147,10 +181,26 @@ fn e_f9_two_relational_models_equivalent_to_one_graph_model() {
     let ops = enumerate_graph_ops(&schema);
     let ns = vec![graph_model("mini-graph", GraphState::empty(schema), ops)];
 
-    let report = data_model_equivalent(&ms, &ns, kind, STATE_CAP).unwrap();
-    assert!(report.equivalent, "{report}");
-    // The one graph model is matched by BOTH relational models.
-    assert_eq!(report.matches_n[0].1.len(), 2, "{report}");
+    let verdict = Checker::data_models(&ms, &ns)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(verdict.is_equivalent(), "{verdict}");
+    // The one graph model is matched by BOTH relational models: each is
+    // pairwise state dependent equivalent to it.
+    for m in &ms {
+        let pairwise = Checker::new(m, &ns[0])
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .run()
+            .unwrap();
+        assert!(
+            pairwise.is_equivalent(),
+            "{} should match the graph model: {pairwise}",
+            m.name()
+        );
+    }
 }
 
 /// E-D6: data model equivalence and its failure mode. The relational
@@ -184,8 +234,12 @@ fn e_d6_data_model_equivalence_and_partiality() {
         witness::micro_relational_schema(),
         2,
     )];
-    let report = data_model_equivalent(&ms, &graphs[..1], kind, STATE_CAP).unwrap();
-    assert!(report.equivalent, "{report}");
+    let verdict = Checker::data_models(&ms, &graphs[..1])
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(verdict.is_equivalent(), "{verdict}");
 
     // Partial equivalence once the inexpressible model joins.
     let ms = vec![
@@ -196,16 +250,23 @@ fn e_d6_data_model_equivalence_and_partiality() {
             2,
         ),
     ];
-    let report = data_model_equivalent(&ms, &graphs, kind, STATE_CAP).unwrap();
-    assert!(!report.equivalent, "{report}");
+    let verdict = Checker::data_models(&ms, &graphs)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(!verdict.is_equivalent(), "{verdict}");
     assert_eq!(
-        report.unmatched_m(),
+        side_labels(&verdict, Side::Left),
         vec!["micro-rel-supervisors-supervised"],
-        "exactly the inexpressibly-constrained model lacks a counterpart: {report}"
+        "exactly the inexpressibly-constrained model lacks a counterpart: {verdict}"
     );
-    // The plain model still has a graph counterpart.
-    assert!(report
-        .matches_m
-        .iter()
-        .any(|(name, v)| name == "micro-rel" && !v.is_empty()));
+    // The plain model still has a graph counterpart: pairwise it is
+    // equivalent to the unconstrained micro graph model.
+    let pairwise = Checker::new(&ms[0], &graphs[0])
+        .tier(Tier::from_kind(kind))
+        .state_cap(STATE_CAP)
+        .run()
+        .unwrap();
+    assert!(pairwise.is_equivalent(), "{pairwise}");
 }

@@ -1,0 +1,158 @@
+//! Golden-file tests: the paper's Figures 2–9 rendered as text and
+//! pinned byte-for-byte under `tests/golden/`.
+//!
+//! A figure test fails when a rendering (or fixture) change alters the
+//! output; run with `UPDATE_GOLDEN=1` to refresh the files after an
+//! intentional change, then review the diff like any other code change.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use borkin_equiv::graph::fixtures as gfix;
+use borkin_equiv::graph::{display as gdisplay, GraphSchema, Participation};
+use borkin_equiv::relation::fixtures as rfix;
+use borkin_equiv::relation::{display as rdisplay, RelationState};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the pinned golden file, or rewrites the
+/// file when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from its golden file; rerun with UPDATE_GOLDEN=1 \
+         if the change is intentional"
+    );
+}
+
+/// Figure 5's text analogue: the semantic-graph schema — entity types
+/// with their characteristics and identifying arrowhead, predicates
+/// with their cases and participation edges.
+fn render_graph_schema(schema: &GraphSchema) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let universe = schema.universe();
+    let _ = writeln!(out, "entity types:");
+    for et in universe.entity_types() {
+        let _ = writeln!(
+            out,
+            "  {} (identified by {})",
+            et.name(),
+            et.id_characteristic()
+        );
+        for (c, d) in et.characteristics() {
+            let _ = writeln!(out, "    {c}: {d}");
+        }
+    }
+    let _ = writeln!(out, "association predicates:");
+    for pred in universe.predicates() {
+        let _ = writeln!(out, "  {}", pred.name());
+        for (case, et) in pred.cases() {
+            let p = schema
+                .participation(pred.name().as_str(), case.as_str())
+                .unwrap_or(Participation::OPTIONAL);
+            let edge = match (p.total, p.functional) {
+                (true, true) => "total, functional",
+                (true, false) => "total",
+                (false, true) => "functional",
+                (false, false) => "optional",
+            };
+            let _ = writeln!(out, "    {case}: {et} [{edge}]");
+        }
+    }
+    out
+}
+
+/// Figure 2: the machine-shop relation definitions — each relation's
+/// four-row heading over an empty body.
+#[test]
+fn golden_figure2_relation_definitions() {
+    let empty = RelationState::empty(Arc::new(rfix::machine_shop_schema()));
+    check_golden("figure2.txt", &rdisplay::render_state(&empty));
+}
+
+/// Figure 3: the machine-shop semantic relation database state.
+#[test]
+fn golden_figure3_relational_state() {
+    check_golden(
+        "figure3.txt",
+        &rdisplay::render_state(&rfix::figure3_state()),
+    );
+}
+
+/// Figure 4: the equivalent semantic graph database state.
+#[test]
+fn golden_figure4_graph_state() {
+    check_golden("figure4.txt", &gdisplay::render_state(&gfix::figure4_state()));
+}
+
+/// Figure 5: the semantic graph schema with participation edges.
+#[test]
+fn golden_figure5_graph_schema() {
+    check_golden(
+        "figure5.txt",
+        &render_graph_schema(gfix::figure4_state().schema()),
+    );
+}
+
+/// Figure 6: the graph state after inserting the G.Wayshum→T.Manhart
+/// supervision.
+#[test]
+fn golden_figure6_graph_after_insert() {
+    check_golden("figure6.txt", &gdisplay::render_state(&gfix::figure6_state()));
+}
+
+/// Figure 7: the relational state after the equivalent insertion (the
+/// subsumed partial tuple is gone).
+#[test]
+fn golden_figure7_relational_after_insert() {
+    check_golden(
+        "figure7.txt",
+        &rdisplay::render_state(&rfix::figure7_state()),
+    );
+}
+
+/// Figure 8: the state-dependence demonstration — premise and result in
+/// both models, in one file.
+#[test]
+fn golden_figure8_state_dependence() {
+    let text = format!
+        (
+        "== premise (relational) ==\n{}\
+         == premise (graph) ==\n{}\n\
+         == after insert (relational) ==\n{}\
+         == after insert (graph) ==\n{}",
+        rdisplay::render_state(&rfix::figure8_premise_state()),
+        gdisplay::render_state(&gfix::figure8_premise_state()),
+        rdisplay::render_state(&rfix::figure8_state()),
+        gdisplay::render_state(&gfix::figure8_graph_state()),
+    );
+    check_golden("figure8.txt", &text);
+}
+
+/// Figure 9: the single-relation application model of the same
+/// conceptual database.
+#[test]
+fn golden_figure9_single_relation_view() {
+    check_golden(
+        "figure9.txt",
+        &rdisplay::render_state(&rfix::figure9_state()),
+    );
+}

@@ -3,11 +3,10 @@
 //! state dependent equivalence (Def. 5) on *every* checkable model
 //! pair — and the paper's separating witnesses keep the implications
 //! strict.
-
-// These suites deliberately exercise the deprecated pre-facade entry
-// points: they are the reference the `Checker` parity tests compare
-// against, and must keep compiling until the wrappers are removed.
-#![allow(deprecated)]
+//!
+//! Everything goes through the [`Checker`] facade; `tests/facade.rs`
+//! pins the facade to the legacy entry points, so these properties
+//! cover both.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -15,14 +14,10 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
-use borkin_equiv::equivalence::equiv::{
-    composed_equivalent, isomorphic_equivalent, state_dependent_equivalent, EquivKind,
-};
 use borkin_equiv::equivalence::model::{graph_model, relational_model, FiniteModel};
-use borkin_equiv::equivalence::parallel::{
-    parallel_application_models_equivalent, ParallelConfig,
-};
+use borkin_equiv::equivalence::parallel::ParallelConfig;
 use borkin_equiv::equivalence::witness;
+use borkin_equiv::equivalence::{Checker, Tier};
 use borkin_equiv::graph::GraphState;
 use borkin_equiv::logic::{Fact, FactBase};
 use borkin_equiv::relation::RelationState;
@@ -54,6 +49,20 @@ fn toy_model(name: &str, ops: &[(bool, u8)]) -> FiniteModel<FactBase, String> {
     })
 }
 
+fn check<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    tier: Tier,
+) -> Result<borkin_equiv::equivalence::parallel::Verdict, borkin_equiv::equivalence::equiv::CheckError>
+where
+    MS: Clone + Ord + std::hash::Hash + borkin_equiv::logic::ToFacts + Send + Sync,
+    NS: Clone + Ord + std::hash::Hash + borkin_equiv::logic::ToFacts + Send + Sync,
+    MO: Clone + std::fmt::Display + Send + Sync,
+    NO: Clone + std::fmt::Display + Send + Sync,
+{
+    Checker::new(m, n).tier(tier).state_cap(STATE_CAP).run()
+}
+
 fn ops_strategy() -> impl Strategy<Value = Vec<(bool, u8)>> {
     prop::collection::vec((any::<bool>(), 0u8..3), 1..6)
 }
@@ -70,13 +79,13 @@ proptest! {
     ) {
         let m = toy_model("m", &m_ops);
         let n = toy_model("n", &n_ops);
-        let Ok(iso) = isomorphic_equivalent(&m, &n, STATE_CAP) else {
+        let Ok(iso) = check(&m, &n, Tier::Isomorphic) else {
             return Ok(()); // unpairable states: no hierarchy to test
         };
-        if iso.equivalent {
-            let composed = composed_equivalent(&m, &n, STATE_CAP, depth).unwrap();
+        if iso.is_equivalent() {
+            let composed = check(&m, &n, Tier::Composed { max_depth: depth }).unwrap();
             prop_assert!(
-                composed.equivalent,
+                composed.is_equivalent(),
                 "isomorphic pair not composed equivalent at depth {}: {}",
                 depth,
                 composed
@@ -95,13 +104,13 @@ proptest! {
     ) {
         let m = toy_model("m", &m_ops);
         let n = toy_model("n", &n_ops);
-        let Ok(composed) = composed_equivalent(&m, &n, STATE_CAP, depth) else {
+        let Ok(composed) = check(&m, &n, Tier::Composed { max_depth: depth }) else {
             return Ok(());
         };
-        if composed.equivalent {
-            let state_dep = state_dependent_equivalent(&m, &n, STATE_CAP, depth).unwrap();
+        if composed.is_equivalent() {
+            let state_dep = check(&m, &n, Tier::StateDependent { max_depth: depth }).unwrap();
             prop_assert!(
-                state_dep.equivalent,
+                state_dep.is_equivalent(),
                 "composed pair not state dependent equivalent at depth {}: {}",
                 depth,
                 state_dep
@@ -119,19 +128,19 @@ proptest! {
     ) {
         let m = toy_model("m", &m_ops);
         let n = toy_model("n", &n_ops);
-        let Ok(shallow) = composed_equivalent(&m, &n, STATE_CAP, depth) else {
+        let Ok(shallow) = check(&m, &n, Tier::Composed { max_depth: depth }) else {
             return Ok(());
         };
-        if shallow.equivalent {
-            let deeper = composed_equivalent(&m, &n, STATE_CAP, depth + 1).unwrap();
-            prop_assert!(deeper.equivalent, "lost at depth {}: {}", depth + 1, deeper);
+        if shallow.is_equivalent() {
+            let deeper = check(&m, &n, Tier::Composed { max_depth: depth + 1 }).unwrap();
+            prop_assert!(deeper.is_equivalent(), "lost at depth {}: {}", depth + 1, deeper);
         }
-        let Ok(shallow_sd) = state_dependent_equivalent(&m, &n, STATE_CAP, depth) else {
+        let Ok(shallow_sd) = check(&m, &n, Tier::StateDependent { max_depth: depth }) else {
             return Ok(());
         };
-        if shallow_sd.equivalent {
-            let deeper = state_dependent_equivalent(&m, &n, STATE_CAP, depth + 1).unwrap();
-            prop_assert!(deeper.equivalent, "lost at depth {}: {}", depth + 1, deeper);
+        if shallow_sd.is_equivalent() {
+            let deeper = check(&m, &n, Tier::StateDependent { max_depth: depth + 1 }).unwrap();
+            prop_assert!(deeper.is_equivalent(), "lost at depth {}: {}", depth + 1, deeper);
         }
     }
 }
@@ -148,28 +157,23 @@ fn rel_micro(max_statements: usize, name: &str) -> FiniteModel<RelationState, bo
 /// Def. 3 from Def. 5.
 #[test]
 fn witnesses_still_separate_the_tiers_under_the_parallel_engine() {
-    let config = ParallelConfig::with_threads(4);
+    let parallel_check = |m: &FiniteModel<RelationState, borkin_equiv::relation::RelOp>,
+                          n: &FiniteModel<RelationState, borkin_equiv::relation::RelOp>,
+                          tier: Tier| {
+        Checker::new(m, n)
+            .tier(tier)
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(4))
+            .run()
+            .unwrap()
+    };
 
     // Composed but not isomorphic.
     let singles = rel_micro(1, "micro-singles");
     let pairs = rel_micro(2, "micro-pairs");
-    let iso = parallel_application_models_equivalent(
-        &singles,
-        &pairs,
-        EquivKind::Isomorphic,
-        STATE_CAP,
-        &config,
-    )
-    .unwrap();
+    let iso = parallel_check(&singles, &pairs, Tier::Isomorphic);
     assert!(!iso.is_equivalent(), "{iso}");
-    let composed = parallel_application_models_equivalent(
-        &singles,
-        &pairs,
-        EquivKind::Composed { max_depth: 2 },
-        STATE_CAP,
-        &config,
-    )
-    .unwrap();
+    let composed = parallel_check(&singles, &pairs, Tier::Composed { max_depth: 2 });
     assert!(composed.is_equivalent(), "{composed}");
 
     // State dependent but not composed.
@@ -177,14 +181,12 @@ fn witnesses_still_separate_the_tiers_under_the_parallel_engine() {
     let schema = Arc::new(witness::micro_graph_schema());
     let gops = enumerate_graph_ops(&schema);
     let n = graph_model("micro-graph", GraphState::empty(schema), gops);
-    let composed = parallel_application_models_equivalent(
-        &m,
-        &n,
-        EquivKind::Composed { max_depth: 3 },
-        STATE_CAP,
-        &config,
-    )
-    .unwrap();
+    let composed = Checker::new(&m, &n)
+        .tier(Tier::Composed { max_depth: 3 })
+        .state_cap(STATE_CAP)
+        .parallel(ParallelConfig::with_threads(4))
+        .run()
+        .unwrap();
     assert!(!composed.is_equivalent(), "{composed}");
     assert!(
         composed
@@ -193,13 +195,11 @@ fn witnesses_still_separate_the_tiers_under_the_parallel_engine() {
             .any(|w| w.label.starts_with("insert-statements")),
         "the idempotent relational insert should be a witness: {composed}"
     );
-    let state_dep = parallel_application_models_equivalent(
-        &m,
-        &n,
-        EquivKind::StateDependent { max_depth: 3 },
-        STATE_CAP,
-        &config,
-    )
-    .unwrap();
+    let state_dep = Checker::new(&m, &n)
+        .tier(Tier::StateDependent { max_depth: 3 })
+        .state_cap(STATE_CAP)
+        .parallel(ParallelConfig::with_threads(4))
+        .run()
+        .unwrap();
     assert!(state_dep.is_equivalent(), "{state_dep}");
 }
