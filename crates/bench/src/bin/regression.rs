@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use dme_core::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
 use dme_core::model::{graph_model, relational_model, FiniteModel};
-use dme_core::obs::{Counter, JsonLinesSink, Observer, Report, RingSink};
+use dme_core::obs::{Counter, JsonLinesSink, Metric, Observer, Report, RingSink};
 use dme_core::witness;
 use dme_core::{Checker, EquivKind, ParallelConfig, Tier};
 use dme_graph::{Association, EntityRef, GraphOp, GraphState};
@@ -28,17 +28,61 @@ use dme_value::Atom;
 const STATE_CAP: usize = 4_000;
 const SAMPLES: usize = 5;
 
-/// Median/min/max wall-clock of `samples` runs, in microseconds.
-fn time_us(samples: usize, mut f: impl FnMut()) -> (u64, u64, u64) {
-    let mut times: Vec<u64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_micros() as u64
-        })
-        .collect();
-    times.sort_unstable();
-    (times[times.len() / 2], times[0], times[times.len() - 1])
+/// Wall-clock summary of repeated runs, in microseconds. `median_us`
+/// is kept alongside the quantile columns so older consumers of
+/// `BENCH_equiv.json` keep working.
+#[derive(Clone, Copy)]
+struct Stats {
+    median_us: u64,
+    min_us: u64,
+    max_us: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+impl Stats {
+    fn from_samples(mut times: Vec<u64>) -> Stats {
+        times.sort_unstable();
+        let pct = |q: f64| {
+            // Nearest-rank on the sorted samples: the smallest value
+            // covering a q fraction of runs. With few samples the high
+            // quantiles collapse onto the max, which is the honest
+            // answer at that sample size.
+            let rank = (q * times.len() as f64).ceil() as usize;
+            times[rank.clamp(1, times.len()) - 1]
+        };
+        Stats {
+            median_us: times[times.len() / 2],
+            min_us: times[0],
+            max_us: times[times.len() - 1],
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+        }
+    }
+
+    /// The shared JSON fragment every timed row carries.
+    fn json_fields(&self) -> String {
+        format!(
+            "\"median_us\":{},\"min_us\":{},\"max_us\":{},\"p50_us\":{},\
+             \"p95_us\":{},\"p99_us\":{}",
+            self.median_us, self.min_us, self.max_us, self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+/// Timing summary of `samples` runs of `f`.
+fn time_us(samples: usize, mut f: impl FnMut()) -> Stats {
+    Stats::from_samples(
+        (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_micros() as u64
+            })
+            .collect(),
+    )
 }
 
 fn rel_model(
@@ -105,9 +149,7 @@ fn powerset_model(name: &str, facts: usize) -> FiniteModel<FactBase, String> {
 
 struct Timing {
     name: String,
-    median_us: u64,
-    min_us: u64,
-    max_us: u64,
+    stats: Stats,
 }
 
 /// Session-service throughput: N concurrent graph sessions toggling
@@ -163,57 +205,71 @@ fn service_throughput() -> Vec<String> {
         let mut row = BTreeMap::new();
         for mode in [CommitMode::Group, CommitMode::PerOp] {
             let mut syncs = 0u64;
-            let (median_us, min_us, max_us) = time_us(SAMPLES, || {
-                let service = SessionService::new(
-                    initial.clone(),
-                    views(),
-                    ServiceConfig {
-                        commit_mode: mode,
-                        ..ServiceConfig::default()
-                    },
-                    Box::new(
-                        MemDevice::new()
-                            .with_sync_delay(std::time::Duration::from_micros(SYNC_DELAY_US)),
-                    ),
-                    Box::new(MemDevice::new()),
-                )
-                .expect("service boots");
-                std::thread::scope(|scope| {
-                    for k in 0..sessions {
-                        let service = service.clone();
-                        scope.spawn(move || {
-                            let mut sess = service
-                                .open_session(SessionKind::Graph)
-                                .expect("session admits");
-                            for i in 0..OPS_EACH {
-                                sess.submit_graph(vec![toggle(k, i % 2 == 0)])
-                                    .expect("disjoint toggles commit");
-                            }
-                            sess.close().expect("graceful teardown");
-                        });
-                    }
+            // Per-transaction latency comes from the service's own
+            // commit-latency histogram, accumulated across all sampled
+            // runs — wall-clock percentiles of individual commits, not
+            // of whole runs.
+            let obs = Observer::new(RingSink::with_capacity(64));
+            let (stats, commit_hist) = {
+                let stats = time_us(SAMPLES, || {
+                    let service = SessionService::new(
+                        initial.clone(),
+                        views(),
+                        ServiceConfig {
+                            commit_mode: mode,
+                            obs: obs.clone(),
+                            ..ServiceConfig::default()
+                        },
+                        Box::new(
+                            MemDevice::new()
+                                .with_sync_delay(std::time::Duration::from_micros(SYNC_DELAY_US)),
+                        ),
+                        Box::new(MemDevice::new()),
+                    )
+                    .expect("service boots");
+                    std::thread::scope(|scope| {
+                        for k in 0..sessions {
+                            let service = service.clone();
+                            scope.spawn(move || {
+                                let mut sess = service
+                                    .open_session(SessionKind::Graph)
+                                    .expect("session admits");
+                                for i in 0..OPS_EACH {
+                                    sess.submit_graph(vec![toggle(k, i % 2 == 0)])
+                                        .expect("disjoint toggles commit");
+                                }
+                                sess.close().expect("graceful teardown");
+                            });
+                        }
+                    });
+                    assert_eq!(
+                        service.committed_history().len(),
+                        sessions * OPS_EACH,
+                        "every submission commits"
+                    );
+                    syncs = service.wal_syncs();
                 });
-                assert_eq!(
-                    service.committed_history().len(),
-                    sessions * OPS_EACH,
-                    "every submission commits"
-                );
-                syncs = service.wal_syncs();
-            });
+                (stats, obs.histogram(Metric::CommitLatency))
+            };
             let label = match mode {
                 CommitMode::Group => "group",
                 CommitMode::PerOp => "per_op",
             };
             println!(
-                "service/sessions={sessions}/{label}: {median_us}µs ({syncs} wal syncs, \
-                 {} txns)",
+                "service/sessions={sessions}/{label}: {}µs (commit p50/p95/p99 {}/{}/{}µs, \
+                 {syncs} wal syncs, {} txns)",
+                stats.median_us,
+                commit_hist.p50(),
+                commit_hist.p95(),
+                commit_hist.p99(),
                 sessions * OPS_EACH
             );
             row.insert(
                 label,
                 format!(
-                    "\"{label}\":{{\"median_us\":{median_us},\"min_us\":{min_us},\
-                     \"max_us\":{max_us},\"wal_syncs\":{syncs}}}"
+                    "\"{label}\":{{{},\"wal_syncs\":{syncs},{}}}",
+                    stats.json_fields(),
+                    json_histogram("commit_latency_us", &commit_hist)
                 ),
             );
         }
@@ -228,9 +284,20 @@ fn service_throughput() -> Vec<String> {
 }
 
 fn json_timing(t: &Timing) -> String {
+    format!("\"{}\":{{{}}}", t.name, t.stats.json_fields())
+}
+
+/// The percentile fragment for one latency histogram, as recorded by
+/// the service's observer across all sampled runs.
+fn json_histogram(name: &str, snap: &dme_core::obs::HistogramSnapshot) -> String {
     format!(
-        "\"{}\":{{\"median_us\":{},\"min_us\":{},\"max_us\":{}}}",
-        t.name, t.median_us, t.min_us, t.max_us
+        "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+         \"max_us\":{}}}",
+        snap.count,
+        snap.p50(),
+        snap.p95(),
+        snap.p99(),
+        snap.max
     )
 }
 
@@ -242,7 +309,7 @@ fn main() {
     // ---- Fixture timings (the Criterion parallel_equiv group) -------
     println!("== fixtures (median of {SAMPLES}) ==");
     let (ms, ns) = d6_fixture();
-    let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+    let stats = time_us(SAMPLES, || {
         let verdict = Checker::data_models(&ms, &ns)
             .tier(Tier::DataModel { kind })
             .state_cap(STATE_CAP)
@@ -250,16 +317,14 @@ fn main() {
             .expect("runs");
         assert!(!verdict.is_equivalent());
     });
-    println!("data_model/sequential: {median_us}µs");
+    println!("data_model/sequential: {}µs", stats.median_us);
     fixtures.push(Timing {
         name: "data_model/sequential".into(),
-        median_us,
-        min_us,
-        max_us,
+        stats,
     });
     for threads in [1usize, 2, 4] {
         let config = ParallelConfig::with_threads(threads);
-        let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+        let stats = time_us(SAMPLES, || {
             let verdict = Checker::data_models(&ms, &ns)
                 .tier(Tier::DataModel { kind })
                 .state_cap(STATE_CAP)
@@ -268,12 +333,10 @@ fn main() {
                 .expect("runs");
             assert!(!verdict.is_equivalent());
         });
-        println!("data_model/parallel/t{threads}: {median_us}µs");
+        println!("data_model/parallel/t{threads}: {}µs", stats.median_us);
         fixtures.push(Timing {
             name: format!("data_model/parallel/t{threads}"),
-            median_us,
-            min_us,
-            max_us,
+            stats,
         });
     }
 
@@ -281,7 +344,7 @@ fn main() {
     let schema = Arc::new(witness::mini_graph_schema());
     let ops = enumerate_graph_ops(&schema);
     let n = graph_model("mini-graph", GraphState::empty(schema), ops);
-    let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+    let stats = time_us(SAMPLES, || {
         let verdict = Checker::new(&m, &n)
             .tier(Tier::StateDependent { max_depth: 3 })
             .state_cap(STATE_CAP)
@@ -289,16 +352,14 @@ fn main() {
             .expect("runs");
         assert!(verdict.is_equivalent());
     });
-    println!("mini_machine_shop/sequential: {median_us}µs");
+    println!("mini_machine_shop/sequential: {}µs", stats.median_us);
     fixtures.push(Timing {
         name: "mini_machine_shop/sequential".into(),
-        median_us,
-        min_us,
-        max_us,
+        stats,
     });
     for threads in [1usize, 4] {
         let config = ParallelConfig::with_threads(threads);
-        let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+        let stats = time_us(SAMPLES, || {
             let verdict = Checker::new(&m, &n)
                 .tier(Tier::StateDependent { max_depth: 3 })
                 .state_cap(STATE_CAP)
@@ -307,12 +368,10 @@ fn main() {
                 .expect("runs");
             assert!(verdict.is_equivalent());
         });
-        println!("mini_machine_shop/parallel/t{threads}: {median_us}µs");
+        println!("mini_machine_shop/parallel/t{threads}: {}µs", stats.median_us);
         fixtures.push(Timing {
             name: format!("mini_machine_shop/parallel/t{threads}"),
-            median_us,
-            min_us,
-            max_us,
+            stats,
         });
     }
 
@@ -330,18 +389,25 @@ fn main() {
             .expect("runs");
         assert!(verdict.is_equivalent());
     };
-    let (no_sink_us, _, _) = time_us(SAMPLES, || run_with(Observer::disabled()));
-    let (ring_us, _, _) = time_us(SAMPLES, || {
+    let ovh_no_sink = time_us(SAMPLES, || run_with(Observer::disabled()));
+    let ovh_ring = time_us(SAMPLES, || {
         run_with(Observer::new(RingSink::with_capacity(4096)))
     });
     let transcript_path = root.join("target/equiv_transcript.jsonl");
-    let (jsonl_us, _, _) = time_us(SAMPLES, || {
+    let ovh_jsonl = time_us(SAMPLES, || {
         match JsonLinesSink::create(&transcript_path) {
             Ok(sink) => run_with(Observer::new(sink)),
             Err(e) => panic!("cannot create transcript at {}: {e}", transcript_path.display()),
         }
     });
-    println!("no_sink: {no_sink_us}µs  ring: {ring_us}µs  jsonl: {jsonl_us}µs");
+    // The acceptance bar in numbers: an enabled observer adds the ring
+    // writes plus the latency-histogram atomics; the delta over the
+    // disabled run is the per-run instrumentation cost.
+    let hist_overhead_us = ovh_ring.median_us.saturating_sub(ovh_no_sink.median_us);
+    println!(
+        "no_sink: {}µs  ring: {}µs  jsonl: {}µs  (histogram+ring overhead: {hist_overhead_us}µs)",
+        ovh_no_sink.median_us, ovh_ring.median_us, ovh_jsonl.median_us
+    );
     println!("transcript: {}", transcript_path.display());
 
     // ---- Scaling sweeps: states × ops × threads ----------------------
@@ -357,7 +423,7 @@ fn main() {
                 .state_cap(STATE_CAP)
                 .parallel(ParallelConfig::with_threads(threads))
                 .observer(obs.clone());
-            let (median_us, min_us, max_us) = time_us(SAMPLES, || {
+            let stats = time_us(SAMPLES, || {
                 assert!(checker.run().expect("runs").is_equivalent());
             });
             let states = 1usize << facts;
@@ -365,12 +431,13 @@ fn main() {
             let nodes = obs.counter(Counter::NodesExpanded) / SAMPLES as u64;
             println!(
                 "facts={facts} states={states} ops={ops} threads={threads}: \
-                 {median_us}µs ({nodes} nodes/run)"
+                 {}µs ({nodes} nodes/run)",
+                stats.median_us
             );
             sweeps.push(format!(
                 "{{\"facts\":{facts},\"states\":{states},\"ops\":{ops},\
-                 \"threads\":{threads},\"median_us\":{median_us},\"min_us\":{min_us},\
-                 \"max_us\":{max_us},\"nodes_expanded\":{nodes}}}"
+                 \"threads\":{threads},{},\"nodes_expanded\":{nodes}}}",
+                stats.json_fields()
             ));
         }
     }
@@ -404,8 +471,12 @@ fn main() {
     }
     out.push_str("\n  },\n  \"observer_overhead\": {");
     out.push_str(&format!(
-        "\n    \"no_sink_us\": {no_sink_us},\n    \"ring_sink_us\": {ring_us},\
-         \n    \"jsonl_sink_us\": {jsonl_us}\n  }},\n  \"sweeps\": ["
+        "\n    \"no_sink\": {{{}}},\n    \"ring_sink\": {{{}}},\
+         \n    \"jsonl_sink\": {{{}}},\
+         \n    \"histogram_overhead_us\": {hist_overhead_us}\n  }},\n  \"sweeps\": [",
+        ovh_no_sink.json_fields(),
+        ovh_ring.json_fields(),
+        ovh_jsonl.json_fields()
     ));
     for (i, s) in sweeps.iter().enumerate() {
         if i > 0 {

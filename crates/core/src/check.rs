@@ -34,7 +34,7 @@ use std::hash::Hash;
 use std::slice;
 
 use dme_logic::ToFacts;
-use dme_obs::{EventSink, Observer};
+use dme_obs::{EventSink, Metric, Observer};
 
 use crate::canon::FactInterner;
 use crate::equiv::{self, CheckError, EquivKind};
@@ -230,9 +230,11 @@ where
     NO: Clone + fmt::Display + Send + Sync,
 {
     /// Decides the configured equivalence and returns the structured
-    /// [`Verdict`]. Identical in outcome to the deprecated per-tier
-    /// entry points (see `tests/facade.rs` for the parity proofs).
+    /// [`Verdict`]. The sequential and parallel routes decide the same
+    /// predicates (see `tests/facade.rs` for the parity proofs). Wall
+    /// time lands in the observer's [`Metric::CheckLatency`] histogram.
     pub fn run(&self) -> Result<Verdict, CheckError> {
+        let _timer = self.observer.time(Metric::CheckLatency);
         match (&self.target, self.tier) {
             (Target::Pair(m, n), Tier::Operation) => {
                 equiv::operation_pairs_report_obs(m, n, self.state_cap, &self.observer)

@@ -167,27 +167,6 @@ pub(crate) fn compose(first: &Signature, then: &Signature) -> Signature {
         .collect()
 }
 
-/// Definition 1: two operations (given as behaviour signatures over the
-/// aligned state lists) are operation equivalent iff they act identically
-/// on every equivalent state pair, treating all error states as
-/// equivalent.
-///
-/// # Migration
-///
-/// The [`Checker`](crate::Checker) facade lifts this to whole models:
-/// `Checker::new(&m, &n).tier(Tier::Operation).run()` checks every
-/// index-aligned operation pair and returns the mismatches as
-/// [`Witness`]es. Signature equality itself is not deprecated — this
-/// wrapper survives only for source compatibility.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::Operation).run()` for model-level \
-            operation equivalence; for raw signatures, compare with `==`"
-)]
-pub fn operation_equivalent(m: &Signature, n: &Signature) -> bool {
-    m == n
-}
-
 /// Enumerates both closures and aligns them through the §3.3.1 state
 /// equivalence correspondence, with the work attributed to the
 /// observer's `seq/closure` and `seq/pairing` spans.
@@ -335,33 +314,8 @@ impl fmt::Display for MatchReport {
     }
 }
 
-/// Definition 2: isomorphic application model equivalence.
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::new(&m, &n).tier(Tier::Isomorphic).state_cap(cap).run()`
-/// returns the same outcome as a structured [`Verdict`] with uniform
-/// [`Witness`]es; [`MatchReport::to_verdict`] converts existing report
-/// values.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::Isomorphic).run()`"
-)]
-pub fn isomorphic_equivalent<MS, MO, NS, NO>(
-    m: &FiniteModel<MS, MO>,
-    n: &FiniteModel<NS, NO>,
-    state_cap: usize,
-) -> Result<MatchReport, CheckError>
-where
-    MS: Clone + Ord + ToFacts,
-    NS: Clone + Ord + ToFacts,
-    MO: Clone + fmt::Display,
-    NO: Clone + fmt::Display,
-{
-    isomorphic_report_obs(m, n, state_cap, &Observer::disabled())
-}
-
+/// Definition 2: isomorphic application model equivalence, as routed by
+/// [`Tier::Isomorphic`](crate::check::Tier::Isomorphic).
 pub(crate) fn isomorphic_report_obs<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -443,31 +397,8 @@ fn composable_signatures(
 }
 
 /// Definition 3: composed operation application model equivalence, with
-/// compositions searched up to `max_depth`.
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::new(&m, &n).tier(Tier::Composed { max_depth }).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::Composed { max_depth }).run()`"
-)]
-pub fn composed_equivalent<MS, MO, NS, NO>(
-    m: &FiniteModel<MS, MO>,
-    n: &FiniteModel<NS, NO>,
-    state_cap: usize,
-    max_depth: usize,
-) -> Result<MatchReport, CheckError>
-where
-    MS: Clone + Ord + ToFacts,
-    NS: Clone + Ord + ToFacts,
-    MO: Clone + fmt::Display,
-    NO: Clone + fmt::Display,
-{
-    composed_report_obs(m, n, state_cap, max_depth, &Observer::disabled())
-}
-
+/// compositions searched up to `max_depth`, as routed by
+/// [`Tier::Composed`](crate::check::Tier::Composed).
 pub(crate) fn composed_report_obs<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -581,31 +512,8 @@ pub(crate) fn reach_from(
 }
 
 /// Definition 5: state dependent application model equivalence, with
-/// per-state compositions searched up to `max_depth`.
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::new(&m, &n).tier(Tier::StateDependent { max_depth }).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::StateDependent { max_depth }).run()`"
-)]
-pub fn state_dependent_equivalent<MS, MO, NS, NO>(
-    m: &FiniteModel<MS, MO>,
-    n: &FiniteModel<NS, NO>,
-    state_cap: usize,
-    max_depth: usize,
-) -> Result<MatchReport, CheckError>
-where
-    MS: Clone + Ord + ToFacts,
-    NS: Clone + Ord + ToFacts,
-    MO: Clone + fmt::Display,
-    NO: Clone + fmt::Display,
-{
-    state_dependent_report_obs(m, n, state_cap, max_depth, &Observer::disabled())
-}
-
+/// per-state compositions searched up to `max_depth`, as routed by
+/// [`Tier::StateDependent`](crate::check::Tier::StateDependent).
 pub(crate) fn state_dependent_report_obs<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -681,31 +589,8 @@ where
     })
 }
 
-/// Runs the requested application-model equivalence check.
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade: `Checker::new(&m, &n)`
-/// with [`Tier::from_kind`](crate::check::Tier::from_kind).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::from_kind(kind)).run()`"
-)]
-pub fn application_models_equivalent<MS, MO, NS, NO>(
-    m: &FiniteModel<MS, MO>,
-    n: &FiniteModel<NS, NO>,
-    kind: EquivKind,
-    state_cap: usize,
-) -> Result<MatchReport, CheckError>
-where
-    MS: Clone + Ord + ToFacts,
-    NS: Clone + Ord + ToFacts,
-    MO: Clone + fmt::Display,
-    NO: Clone + fmt::Display,
-{
-    app_models_report_obs(m, n, kind, state_cap, &Observer::disabled())
-}
-
+/// Runs the requested application-model equivalence check — the
+/// [`EquivKind`] dispatcher behind the facade's per-tier routing.
 pub(crate) fn app_models_report_obs<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
@@ -808,32 +693,8 @@ impl fmt::Display for DataModelReport {
 /// equivalent iff application model equivalence defines a correspondence
 /// onto both sets. The correspondence need not be 1-1 (§3.3.2: "there may
 /// be several relational application models state dependent equivalent to
-/// each graph model").
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).run()`;
-/// [`DataModelReport::to_verdict`] converts existing report values.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).run()`"
-)]
-pub fn data_model_equivalent<MS, MO, NS, NO>(
-    ms: &[FiniteModel<MS, MO>],
-    ns: &[FiniteModel<NS, NO>],
-    kind: EquivKind,
-    state_cap: usize,
-) -> Result<DataModelReport, CheckError>
-where
-    MS: Clone + Ord + ToFacts,
-    NS: Clone + Ord + ToFacts,
-    MO: Clone + fmt::Display,
-    NO: Clone + fmt::Display,
-{
-    data_model_report_obs(ms, ns, kind, state_cap, &Observer::disabled())
-}
-
+/// each graph model"). Routed by
+/// [`Tier::DataModel`](crate::check::Tier::DataModel).
 pub(crate) fn data_model_report_obs<MS, MO, NS, NO>(
     ms: &[FiniteModel<MS, MO>],
     ns: &[FiniteModel<NS, NO>],
@@ -883,7 +744,6 @@ where
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -897,8 +757,9 @@ mod tests {
         let id = identity_signature(2);
         assert_eq!(compose(&id, &a), a);
         assert_eq!(compose(&a, &id), a);
-        assert!(operation_equivalent(&a, &a.clone()));
-        assert!(!operation_equivalent(&a, &b));
+        // Definition 1: operation equivalence is signature equality.
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -955,7 +816,7 @@ mod tests {
     fn toy_models_with_same_facts_are_isomorphic() {
         let m = toy_model("m", vec![], vec![(true, f(1)), (false, f(1))]);
         let n = toy_model("n", vec![], vec![(true, f(1)), (false, f(1))]);
-        let report = isomorphic_equivalent(&m, &n, 100).unwrap();
+        let report = isomorphic_report_obs(&m, &n, 100, &Observer::disabled()).unwrap();
         assert!(report.equivalent, "{report}");
         assert_eq!(report.state_pairs, 2);
         assert_eq!(report.to_string(), "equivalent over 2 state pairs");
@@ -970,7 +831,7 @@ mod tests {
             EquivKind::Composed { max_depth: 2 },
             EquivKind::StateDependent { max_depth: 2 },
         ] {
-            let report = application_models_equivalent(&m, &n, kind, 100).unwrap();
+            let report = app_models_report_obs(&m, &n, kind, 100, &Observer::disabled()).unwrap();
             assert!(report.equivalent, "{kind:?}: {report}");
         }
     }
@@ -988,7 +849,7 @@ mod tests {
             vec![],
             vec![(true, f(1)), (true, f(2)), (false, f(1)), (false, f(2))],
         );
-        let report = composed_equivalent(&m, &n, 100, 2).unwrap();
+        let report = composed_report_obs(&m, &n, 100, 2, &Observer::disabled()).unwrap();
         assert!(report.equivalent);
     }
 
@@ -996,7 +857,7 @@ mod tests {
     fn closure_cap_propagates_as_check_error() {
         let m = toy_model("m", vec![], vec![(true, f(1)), (true, f(2)), (true, f(3))]);
         let n = toy_model("n", vec![], vec![(true, f(1)), (true, f(2)), (true, f(3))]);
-        let err = isomorphic_equivalent(&m, &n, 3).unwrap_err();
+        let err = isomorphic_report_obs(&m, &n, 3, &Observer::disabled()).unwrap_err();
         assert!(matches!(err, CheckError::Closure(_)));
     }
 

@@ -10,17 +10,20 @@
 //!
 //! | paper | here |
 //! |---|---|
-//! | data model = {application model…} | a `Vec<FiniteModel>` checked by [`equiv::data_model_equivalent`] |
+//! | data model = {application model…} | a `Vec<FiniteModel>` checked by [`Checker::data_models`] |
 //! | application model = (schema, {operation type…}) | [`model::FiniteModel`]: initial state + operation list + application function |
 //! | operation : state → state | a closure returning `Option<State>` (`None` = the error state) |
 //! | database = (application model, state) | a `(FiniteModel, State)` pair |
 //! | state equivalence (§3.2.3) | fact-base equality via `dme-logic` ([`equiv::pair_states`]) |
-//! | Definition 1 (operation equivalence) | [`equiv::operation_equivalent`] |
-//! | Definition 2 (isomorphic equivalence) | [`equiv::isomorphic_equivalent`] |
-//! | Definition 3 (composed operation equivalence) | [`equiv::composed_equivalent`] |
-//! | Definitions 4–5 (state dependent equivalence) | [`equiv::state_dependent_equivalent`] |
-//! | Definition 6 (data model equivalence, partial equivalence) | [`equiv::data_model_equivalent`] |
+//! | Definition 1 (operation equivalence) | signature equality ([`Tier::Operation`]) |
+//! | Definition 2 (isomorphic equivalence) | [`Tier::Isomorphic`] |
+//! | Definition 3 (composed operation equivalence) | [`Tier::Composed`] |
+//! | Definitions 4–5 (state dependent equivalence) | [`Tier::StateDependent`] |
+//! | Definition 6 (data model equivalence, partial equivalence) | [`Tier::DataModel`] |
 //! | the "algorithm rather than an explicit enumeration" (§3.3.1) | [`translate`]: the graph↔relation operation translators |
+//!
+//! Every tier is driven through one facade: build a [`Checker`], pick a
+//! [`Tier`], and [`Checker::run`] it.
 //!
 //! The checkers operate on **finite** application models — schemas over
 //! enumerated domains — by exhaustively enumerating the closure of the
@@ -44,17 +47,7 @@ pub use dme_obs as obs;
 pub use canon::{FactInterner, InternerStats};
 pub use check::{Checker, Tier, DEFAULT_STATE_CAP};
 pub use equiv::{pair_states, CheckError, DataModelReport, EquivKind, MatchReport};
-#[allow(deprecated)]
-pub use equiv::{
-    composed_equivalent, data_model_equivalent, isomorphic_equivalent, operation_equivalent,
-    state_dependent_equivalent,
-};
 pub use model::FiniteModel;
-#[allow(deprecated)]
-pub use parallel::{
-    parallel_application_models_equivalent, parallel_application_models_equivalent_with,
-    parallel_data_model_equivalent, parallel_data_model_equivalent_with,
-};
 pub use parallel::{CheckBudget, ParallelConfig, Side, Verdict, Witness};
 pub use translate::{
     compile_time_translation, graph_op_to_relational, graph_op_to_relational_observed,

@@ -383,6 +383,7 @@ where
     let _span = ctx
         .obs
         .span_with("par/closure", || model.name().to_owned());
+    let _timer = ctx.obs.time(dme_obs::Metric::ClosureLatency);
     let mut seen: BTreeSet<S> = BTreeSet::new();
     seen.insert(model.initial().clone());
     let mut frontier: Vec<S> = vec![model.initial().clone()];
@@ -782,46 +783,9 @@ where
 }
 
 /// Parallel Definition 2/3/5 check with caller-provided interners (so
-/// callers can share compilation caches across checks and read
-/// [`FactInterner::stats`] afterwards).
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(*config)`
-/// `.interners(m_interner, n_interner).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(config)\
-            .interners(m_interner, n_interner).run()`"
-)]
-pub fn parallel_application_models_equivalent_with<MS, MO, NS, NO>(
-    m: &FiniteModel<MS, MO>,
-    n: &FiniteModel<NS, NO>,
-    kind: EquivKind,
-    state_cap: usize,
-    config: &ParallelConfig,
-    m_interner: &FactInterner<MS>,
-    n_interner: &FactInterner<NS>,
-) -> Result<Verdict, CheckError>
-where
-    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    MO: Clone + fmt::Display + Send + Sync,
-    NO: Clone + fmt::Display + Send + Sync,
-{
-    parallel_app_models_verdict_obs(
-        m,
-        n,
-        kind,
-        state_cap,
-        config,
-        m_interner,
-        n_interner,
-        &Observer::disabled(),
-    )
-}
-
+/// the facade can share compilation caches across checks and read
+/// [`FactInterner::stats`] afterwards). Routed by
+/// [`Checker::parallel`](crate::check::Checker::parallel).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel_app_models_verdict_obs<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
@@ -865,87 +829,14 @@ where
     }
 }
 
-/// Parallel Definition 2/3/5 check: the drop-in counterpart of
-/// [`crate::equiv::application_models_equivalent`] returning a
-/// structured [`Verdict`].
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(*config).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::new(&m, &n).tier(Tier::from_kind(kind)).parallel(config).run()`"
-)]
-pub fn parallel_application_models_equivalent<MS, MO, NS, NO>(
-    m: &FiniteModel<MS, MO>,
-    n: &FiniteModel<NS, NO>,
-    kind: EquivKind,
-    state_cap: usize,
-    config: &ParallelConfig,
-) -> Result<Verdict, CheckError>
-where
-    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    MO: Clone + fmt::Display + Send + Sync,
-    NO: Clone + fmt::Display + Send + Sync,
-{
-    parallel_app_models_verdict_obs(
-        m,
-        n,
-        kind,
-        state_cap,
-        config,
-        &FactInterner::new(),
-        &FactInterner::new(),
-        &Observer::disabled(),
-    )
-}
-
 /// Parallel Definition 6 check with caller-provided interners. The
 /// model-pair grid is fanned across workers (each pair checked
 /// single-threaded to avoid oversubscription); the shared interners
 /// make every state compile once for the whole grid, not once per
 /// pair. Witnesses are the names of application models with no
-/// equivalent counterpart.
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind })`
-/// `.parallel(*config).interners(m_interner, n_interner).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).parallel(config)\
-            .interners(m_interner, n_interner).run()`"
-)]
-pub fn parallel_data_model_equivalent_with<MS, MO, NS, NO>(
-    ms: &[FiniteModel<MS, MO>],
-    ns: &[FiniteModel<NS, NO>],
-    kind: EquivKind,
-    state_cap: usize,
-    config: &ParallelConfig,
-    m_interner: &FactInterner<MS>,
-    n_interner: &FactInterner<NS>,
-) -> Result<Verdict, CheckError>
-where
-    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    MO: Clone + fmt::Display + Send + Sync,
-    NO: Clone + fmt::Display + Send + Sync,
-{
-    parallel_data_model_verdict_obs(
-        ms,
-        ns,
-        kind,
-        state_cap,
-        config,
-        m_interner,
-        n_interner,
-        &Observer::disabled(),
-    )
-}
-
+/// equivalent counterpart. Routed by
+/// [`Checker::parallel`](crate::check::Checker::parallel) with
+/// [`Tier::DataModel`](crate::check::Tier::DataModel).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel_data_model_verdict_obs<MS, MO, NS, NO>(
     ms: &[FiniteModel<MS, MO>],
@@ -1067,45 +958,7 @@ where
     }
 }
 
-/// Parallel Definition 6 check: the drop-in counterpart of
-/// [`crate::equiv::data_model_equivalent`].
-///
-/// # Migration
-///
-/// Deprecated in favour of the unified facade:
-/// `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind }).parallel(*config).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Checker::data_models(&ms, &ns).tier(Tier::DataModel { kind })\
-            .parallel(config).run()`"
-)]
-pub fn parallel_data_model_equivalent<MS, MO, NS, NO>(
-    ms: &[FiniteModel<MS, MO>],
-    ns: &[FiniteModel<NS, NO>],
-    kind: EquivKind,
-    state_cap: usize,
-    config: &ParallelConfig,
-) -> Result<Verdict, CheckError>
-where
-    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
-    MO: Clone + fmt::Display + Send + Sync,
-    NO: Clone + fmt::Display + Send + Sync,
-{
-    parallel_data_model_verdict_obs(
-        ms,
-        ns,
-        kind,
-        state_cap,
-        config,
-        &FactInterner::new(),
-        &FactInterner::new(),
-        &Observer::disabled(),
-    )
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use dme_logic::{Fact, FactBase};
@@ -1113,6 +966,27 @@ mod tests {
 
     fn f(n: i64) -> Fact {
         Fact::new("p", [("x", Atom::Int(n))])
+    }
+
+    /// The engine entry as the facade drives it: fresh interners, no
+    /// observer.
+    fn par_check(
+        m: &FiniteModel<FactBase, String>,
+        n: &FiniteModel<FactBase, String>,
+        kind: EquivKind,
+        state_cap: usize,
+        config: &ParallelConfig,
+    ) -> Result<Verdict, CheckError> {
+        parallel_app_models_verdict_obs(
+            m,
+            n,
+            kind,
+            state_cap,
+            config,
+            &FactInterner::new(),
+            &FactInterner::new(),
+            &Observer::disabled(),
+        )
     }
 
     /// The same toy model as `equiv::tests`: states are fact bases,
@@ -1159,14 +1033,8 @@ mod tests {
             EquivKind::StateDependent { max_depth: 2 },
         ] {
             for threads in [1, 4] {
-                let verdict = parallel_application_models_equivalent(
-                    &m,
-                    &n,
-                    kind,
-                    100,
-                    &ParallelConfig::with_threads(threads),
-                )
-                .unwrap();
+                let verdict =
+                    par_check(&m, &n, kind, 100, &ParallelConfig::with_threads(threads)).unwrap();
                 assert_eq!(verdict, Verdict::Equivalent { state_pairs: 4 }, "{kind:?}");
             }
         }
@@ -1190,14 +1058,14 @@ mod tests {
         // NB: duplicate (true, f(2)) collapses to one op name; n simply
         // lacks "-p(x: 2)". The closures differ then — so this would be
         // a pairing error, which is also a fine determinism probe.
-        let full = parallel_application_models_equivalent(
+        let full = par_check(
             &m,
             &n,
             EquivKind::Isomorphic,
             100,
             &ParallelConfig::with_threads(4),
         );
-        let again = parallel_application_models_equivalent(
+        let again = par_check(
             &m,
             &n,
             EquivKind::Isomorphic,
@@ -1215,7 +1083,7 @@ mod tests {
         // both sides is unmatched; the minimum witness is m's first op.
         let m = two_fact_model("m");
         let n = two_fact_model("n");
-        let verdict = parallel_application_models_equivalent(
+        let verdict = par_check(
             &m,
             &n,
             EquivKind::Composed { max_depth: 0 },
@@ -1231,7 +1099,7 @@ mod tests {
         assert_eq!(witnesses[0].label, m.ops()[0].to_string());
         // And it is stable across runs and thread counts.
         for threads in [1, 2, 8] {
-            let again = parallel_application_models_equivalent(
+            let again = par_check(
                 &m,
                 &n,
                 EquivKind::Composed { max_depth: 0 },
@@ -1247,7 +1115,7 @@ mod tests {
     fn node_budget_exhausts_cleanly() {
         let m = two_fact_model("m");
         let n = two_fact_model("n");
-        let verdict = parallel_application_models_equivalent(
+        let verdict = par_check(
             &m,
             &n,
             EquivKind::Isomorphic,
@@ -1267,7 +1135,7 @@ mod tests {
     fn time_budget_exhausts_cleanly() {
         let m = two_fact_model("m");
         let n = two_fact_model("n");
-        let verdict = parallel_application_models_equivalent(
+        let verdict = par_check(
             &m,
             &n,
             EquivKind::Composed { max_depth: 3 },
@@ -1282,7 +1150,7 @@ mod tests {
     fn closure_cap_still_propagates() {
         let m = toy_model("m", vec![(true, f(1)), (true, f(2)), (true, f(3))]);
         let n = toy_model("n", vec![(true, f(1)), (true, f(2)), (true, f(3))]);
-        let err = parallel_application_models_equivalent(
+        let err = par_check(
             &m,
             &n,
             EquivKind::Isomorphic,
@@ -1299,7 +1167,7 @@ mod tests {
         let ns = vec![two_fact_model("n0"), two_fact_model("n1")];
         let left = FactInterner::new();
         let right = FactInterner::new();
-        let verdict = parallel_data_model_equivalent_with(
+        let verdict = parallel_data_model_verdict_obs(
             &ms,
             &ns,
             EquivKind::Isomorphic,
@@ -1307,6 +1175,7 @@ mod tests {
             &ParallelConfig::with_threads(4),
             &left,
             &right,
+            &Observer::disabled(),
         )
         .unwrap();
         assert_eq!(verdict, Verdict::Equivalent { state_pairs: 4 });

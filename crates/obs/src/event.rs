@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::json::escape;
+use crate::trace::TraceId;
 
 /// The fixed vocabulary of monotonic counters. A closed enum (rather
 /// than arbitrary strings) keeps the hot-path increment a single indexed
@@ -179,6 +180,18 @@ pub enum EventKind {
         /// The value observed.
         value: u64,
     },
+    /// A point on one request's causal path, tagged with its
+    /// [`TraceId`]. Grepping a transcript for the 16-hex-digit id
+    /// reconstructs the request's journey through the service.
+    Trace {
+        /// The step's stable name (e.g. `server/admit`).
+        name: &'static str,
+        /// The request's trace id.
+        trace: TraceId,
+        /// Free-form detail (a tier name, an LSN, …). Empty when the
+        /// caller had nothing to add.
+        detail: String,
+    },
 }
 
 /// One observed event: a sequence number, a monotonic timestamp (µs
@@ -234,6 +247,13 @@ impl Event {
                     "\"ev\":\"mark\",\"name\":\"{}\",\"value\":{value}",
                     escape(name)
                 ));
+            }
+            EventKind::Trace {
+                name,
+                trace,
+                detail,
+            } => {
+                out.push_str(&crate::trace::trace_json(name, *trace, detail));
             }
         }
         out.push('}');

@@ -1,0 +1,181 @@
+//! Exporters: stable text renderings of an observer's counters and
+//! latency histograms.
+//!
+//! Two formats, both with deterministic field ordering (declaration
+//! order of [`Counter::ALL`] and [`Metric::ALL`]):
+//!
+//! * [`prometheus_text`] — the Prometheus exposition text format:
+//!   every counter as a `dme_counter{name="…"}` sample, every
+//!   populated histogram as a `dme_latency_us{metric="…"}` summary
+//!   with `quantile` labels plus `_sum`/`_count` samples.
+//! * [`json_snapshot`] — one JSON object with `counters` (non-zero
+//!   only) and `metrics` (populated only) maps, including the sparse
+//!   bucket table so snapshots from different processes can be merged
+//!   offline.
+
+use crate::event::Counter;
+use crate::json::escape;
+use crate::metrics::{HistogramSnapshot, Metric};
+use crate::Observer;
+
+/// A point-in-time copy of everything an exporter needs: all counter
+/// values and every populated histogram.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Every counter's current value, in [`Counter::ALL`] order
+    /// (zeros included, so the sample set is fixed).
+    pub counters: Vec<(Counter, u64)>,
+    /// Every populated metric's histogram, in [`Metric::ALL`] order.
+    pub metrics: Vec<(Metric, HistogramSnapshot)>,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the observer's current state. Disabled observers yield
+    /// an all-zero snapshot (still with the full counter sample set).
+    pub fn capture(obs: &Observer) -> Self {
+        TelemetrySnapshot {
+            // Unlike `Observer::counters`, zeros stay: exporters need a
+            // fixed sample set across scrapes.
+            counters: Counter::ALL.iter().map(|c| (*c, obs.counter(*c))).collect(),
+            metrics: obs.histograms(),
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus exposition text format.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# HELP dme_counter Monotonic engine and service counters.\n");
+        out.push_str("# TYPE dme_counter counter\n");
+        for (c, v) in &self.counters {
+            out.push_str(&format!("dme_counter{{name=\"{}\"}} {v}\n", c.name()));
+        }
+        out.push_str("# HELP dme_latency_us Log-bucketed latency summaries (microseconds).\n");
+        out.push_str("# TYPE dme_latency_us summary\n");
+        for (m, s) in &self.metrics {
+            let name = m.name();
+            for (q, v) in [
+                ("0.5", s.p50()),
+                ("0.95", s.p95()),
+                ("0.99", s.p99()),
+                ("1", s.max),
+            ] {
+                out.push_str(&format!(
+                    "dme_latency_us{{metric=\"{name}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!("dme_latency_us_sum{{metric=\"{name}\"}} {}\n", s.sum));
+            out.push_str(&format!(
+                "dme_latency_us_count{{metric=\"{name}\"}} {}\n",
+                s.count
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object (no trailing newline):
+    /// `{"counters":{…non-zero…},"metrics":{name:{count,sum,max,p50,
+    /// p95,p99,buckets:[[bucket,count],…]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (c, v) in &self.counters {
+            if *v == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{v}", c.name()));
+        }
+        out.push_str("},\"metrics\":{");
+        for (i, (m, s)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                escape(m.name()),
+                s.count,
+                s.sum,
+                s.max,
+                s.p50(),
+                s.p95(),
+                s.p99()
+            ));
+            let mut first_bucket = true;
+            for (b, n) in s.buckets.iter().enumerate() {
+                if *n == 0 {
+                    continue;
+                }
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                out.push_str(&format!("[{b},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Captures `obs` and renders it in the Prometheus exposition format.
+pub fn prometheus_text(obs: &Observer) -> String {
+    TelemetrySnapshot::capture(obs).to_prometheus_text()
+}
+
+/// Captures `obs` and renders it as one JSON object.
+pub fn json_snapshot(obs: &Observer) -> String {
+    TelemetrySnapshot::capture(obs).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RingSink;
+
+    fn sample_observer() -> Observer {
+        let obs = Observer::new(RingSink::with_capacity(8));
+        obs.add(Counter::TxnsCommitted, 4);
+        obs.record(Metric::CommitLatency, 100);
+        obs.record(Metric::CommitLatency, 250);
+        obs
+    }
+
+    #[test]
+    fn prometheus_text_has_fixed_counter_sample_set() {
+        let text = prometheus_text(&sample_observer());
+        // All 26 counters present, zero or not.
+        assert_eq!(
+            text.matches("dme_counter{").count(),
+            Counter::COUNT,
+            "{text}"
+        );
+        assert!(text.contains("dme_counter{name=\"txns_committed\"} 4"));
+        assert!(text.contains("dme_counter{name=\"nodes_expanded\"} 0"));
+        assert!(text
+            .contains("dme_latency_us{metric=\"commit_latency_us\",quantile=\"0.5\"} 127"));
+        assert!(text.contains("dme_latency_us_count{metric=\"commit_latency_us\"} 2"));
+        assert!(text.contains("dme_latency_us_sum{metric=\"commit_latency_us\"} 350"));
+    }
+
+    #[test]
+    fn json_snapshot_omits_zeros_and_carries_buckets() {
+        let json = json_snapshot(&sample_observer());
+        assert!(json.contains("\"counters\":{\"txns_committed\":4}"), "{json}");
+        assert!(json.contains("\"commit_latency_us\":{\"count\":2,\"sum\":350,\"max\":250"));
+        // 100 has bit length 7, 250 has bit length 8.
+        assert!(json.contains("\"buckets\":[[7,1],[8,1]]"), "{json}");
+    }
+
+    #[test]
+    fn disabled_observer_exports_cleanly() {
+        let obs = Observer::disabled();
+        let text = prometheus_text(&obs);
+        assert_eq!(text.matches("dme_counter{").count(), Counter::COUNT);
+        assert!(!text.contains("dme_latency_us{"));
+        assert_eq!(json_snapshot(&obs), "{\"counters\":{},\"metrics\":{}}");
+    }
+}

@@ -1,0 +1,151 @@
+//! The flight recorder: a black box for crashing services.
+//!
+//! A [`FlightRecorder`] owns a bounded [`RingSink`] of recent events
+//! and the [`Observer`] writing into it. On demand — or from a panic
+//! hook armed with [`FlightRecorder::arm_panic_hook`] — it dumps the
+//! surviving ring, a histogram snapshot and the full counter table to
+//! a JSON-lines debug file, so an injected fault (or a real crash)
+//! leaves a readable record of the service's last moments.
+//!
+//! The dump format is line-oriented JSON: a `flight_header` line, one
+//! line per surviving event (the [`Event::to_json`] format), and a
+//! final `flight_snapshot` line carrying the exporter JSON of
+//! [`TelemetrySnapshot`](crate::TelemetrySnapshot).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::export::TelemetrySnapshot;
+use crate::sink::RingSink;
+use crate::Observer;
+
+/// A crash flight recorder: ring of recent events + metrics snapshot,
+/// dumpable to a debug file at any moment.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    ring: RingSink,
+    obs: Observer,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let ring = RingSink::with_capacity(capacity);
+        let obs = Observer::new(ring.clone());
+        FlightRecorder { ring, obs }
+    }
+
+    /// The observer to thread through instrumented code. Clones share
+    /// the recorder's ring and counter/metric tables.
+    pub fn observer(&self) -> Observer {
+        self.obs.clone()
+    }
+
+    /// The underlying ring (for direct inspection in tests).
+    pub fn ring(&self) -> &RingSink {
+        &self.ring
+    }
+
+    /// Renders the black-box contents: header line, surviving events
+    /// (oldest first), telemetry snapshot line.
+    pub fn dump_string(&self) -> String {
+        let events = self.ring.events();
+        let mut out = format!(
+            "{{\"ev\":\"flight_header\",\"events\":{},\"recorded\":{}}}\n",
+            events.len(),
+            self.ring.recorded()
+        );
+        for event in &events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"ev\":\"flight_snapshot\",\"telemetry\":{}}}\n",
+            TelemetrySnapshot::capture(&self.obs).to_json()
+        ));
+        out
+    }
+
+    /// Writes [`dump_string`](Self::dump_string) to `path`, creating
+    /// parent directories as needed.
+    pub fn dump_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.dump_string().as_bytes())?;
+        file.flush()
+    }
+
+    /// Arms a process-wide panic hook that dumps this recorder to
+    /// `path` before delegating to the previously installed hook.
+    /// Re-arming replaces the destination (the hooks chain, but each
+    /// recorder dump is cheap and idempotent). Returns the recorder
+    /// for chaining.
+    pub fn arm_panic_hook(&self, path: impl Into<PathBuf>) -> &Self {
+        let recorder = self.clone();
+        let path: PathBuf = path.into();
+        let previous = std::panic::take_hook();
+        let guard: Mutex<()> = Mutex::new(());
+        std::panic::set_hook(Box::new(move |info| {
+            // Serialize concurrent panicking threads so dumps don't
+            // interleave mid-write.
+            let _lock = guard.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = recorder.dump_to(&path);
+            previous(info);
+        }));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+    use crate::trace::TraceId;
+    use crate::Counter;
+
+    #[test]
+    fn dump_contains_ring_and_snapshot() {
+        let recorder = FlightRecorder::with_capacity(4);
+        let obs = recorder.observer();
+        obs.add(Counter::TxnsCommitted, 2);
+        obs.record(Metric::CommitLatency, 33);
+        for i in 0..6u64 {
+            obs.mark("step", i);
+        }
+        let dump = recorder.dump_string();
+        let lines: Vec<&str> = dump.lines().collect();
+        // Header + 4 surviving events + snapshot.
+        assert_eq!(lines.len(), 6, "{dump}");
+        assert!(lines[0].contains("\"ev\":\"flight_header\""));
+        assert!(lines[0].contains("\"events\":4"));
+        assert!(lines[0].contains("\"recorded\":6"));
+        // Oldest two marks were overwritten.
+        assert!(lines[1].contains("\"value\":2"));
+        assert!(lines[4].contains("\"value\":5"));
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"ev\":\"flight_snapshot\""));
+        assert!(last.contains("\"txns_committed\":2"));
+        assert!(last.contains("\"commit_latency_us\""));
+    }
+
+    #[test]
+    fn dump_to_writes_a_parseable_file() {
+        let recorder = FlightRecorder::with_capacity(8);
+        recorder
+            .observer()
+            .trace_event("server/admit", TraceId::derive(1), String::new);
+        let dir = std::env::temp_dir().join("dme_flight_test");
+        let path = dir.join("nested").join("dump.jsonl");
+        recorder.dump_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() >= 3);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

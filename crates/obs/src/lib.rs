@@ -41,19 +41,32 @@
 //! ```
 
 mod event;
+mod export;
+mod flight;
+mod metrics;
 mod observer;
 mod report;
 mod sink;
+mod trace;
 
 pub use event::{Counter, Event, EventKind};
+pub use export::{json_snapshot, prometheus_text, TelemetrySnapshot};
+pub use flight::FlightRecorder;
+pub use metrics::{Histogram, HistogramSnapshot, Metric, MetricsRegistry, TimerGuard, BUCKETS};
 pub use observer::{Observer, SpanGuard};
 pub use report::{PhaseStats, Report};
 pub use sink::{EventSink, JsonLinesSink, RingSink};
+pub use trace::TraceId;
 
 pub(crate) mod json {
     //! Minimal JSON string escaping (no external deps in this tree).
 
     /// Escapes `s` as the *contents* of a JSON string literal.
+    ///
+    /// The output is pure ASCII: control characters and all non-ASCII
+    /// code points become `\uXXXX` escapes (non-BMP code points as
+    /// UTF-16 surrogate pairs), so transcripts survive locale-naive
+    /// tooling and byte-wise diffing.
     pub fn escape(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
         for c in s.chars() {
@@ -63,8 +76,13 @@ pub(crate) mod json {
                 '\n' => out.push_str("\\n"),
                 '\r' => out.push_str("\\r"),
                 '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
+                c if c.is_ascii() && (c as u32) >= 0x20 => out.push(c),
+                c => {
+                    let mut units = [0u16; 2];
+                    for unit in c.encode_utf16(&mut units) {
+                        out.push_str(&format!("\\u{:04x}", unit));
+                    }
+                }
             }
         }
         out
@@ -76,6 +94,15 @@ pub(crate) mod json {
         fn escapes_specials() {
             assert_eq!(super::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
             assert_eq!(super::escape("\u{1}"), "\\u0001");
+        }
+
+        #[test]
+        fn escapes_non_ascii_and_non_bmp() {
+            assert_eq!(super::escape("é"), "\\u00e9");
+            assert_eq!(super::escape("€"), "\\u20ac");
+            // U+1F600 as a UTF-16 surrogate pair.
+            assert_eq!(super::escape("\u{1F600}"), "\\ud83d\\ude00");
+            assert!(super::escape("π🎉").is_ascii());
         }
     }
 }

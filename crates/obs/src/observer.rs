@@ -6,11 +6,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::event::{Counter, Event, EventKind};
+use crate::metrics::MetricsRegistry;
 use crate::sink::EventSink;
 
 struct Inner {
     sink: Box<dyn EventSink>,
     counters: [AtomicU64; Counter::COUNT],
+    metrics: MetricsRegistry,
     next_span: AtomicU64,
     next_seq: AtomicU64,
     t0: Instant,
@@ -60,6 +62,7 @@ impl Observer {
             inner: Some(Arc::new(Inner {
                 sink: Box::new(sink),
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                metrics: MetricsRegistry::new(),
                 next_span: AtomicU64::new(0),
                 next_seq: AtomicU64::new(0),
                 t0: Instant::now(),
@@ -144,6 +147,18 @@ impl Observer {
             .as_ref()
             .map(|inner| inner.counters[counter.index()].load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Emits an arbitrary event kind (used by the trace layer).
+    pub(crate) fn emit_kind(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            inner.emit(kind);
+        }
+    }
+
+    /// The shared metrics registry, when enabled.
+    pub(crate) fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|inner| &inner.metrics)
     }
 }
 

@@ -23,6 +23,46 @@ const KIND_ENTITY_DELETE: u8 = 1;
 const KIND_ASSOC_INSERT: u8 = 2;
 const KIND_ASSOC_DELETE: u8 = 3;
 
+// Admin request kinds live in a disjoint 0xA_ range so a stray admin
+// byte can never be misread as a delta record (and vice versa).
+const KIND_ADMIN_METRICS_TEXT: u8 = 0xA0;
+const KIND_ADMIN_METRICS_JSON: u8 = 0xA1;
+
+/// A control-channel request served by the session service outside the
+/// transactional data path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// Render counters + latency histograms in the Prometheus
+    /// exposition text format.
+    MetricsText,
+    /// Render counters + latency histograms as one JSON object.
+    MetricsJson,
+}
+
+impl AdminRequest {
+    /// The request's one-byte wire encoding.
+    pub fn encode(self) -> Vec<u8> {
+        vec![match self {
+            AdminRequest::MetricsText => KIND_ADMIN_METRICS_TEXT,
+            AdminRequest::MetricsJson => KIND_ADMIN_METRICS_JSON,
+        }]
+    }
+
+    /// Decodes a wire-encoded admin request.
+    pub fn decode(bytes: &[u8]) -> Result<AdminRequest, ServerError> {
+        match bytes {
+            [KIND_ADMIN_METRICS_TEXT] => Ok(AdminRequest::MetricsText),
+            [KIND_ADMIN_METRICS_JSON] => Ok(AdminRequest::MetricsJson),
+            [] => Err(corrupt("empty admin request")),
+            other => Err(corrupt(format!(
+                "unknown admin request {:#04x} ({} bytes)",
+                other[0],
+                other.len()
+            ))),
+        }
+    }
+}
+
 fn entity_tuple(e: &Entity) -> Tuple {
     Tuple::new(e.characteristics.values().map(|a| Value::Atom(a.clone())))
 }
@@ -271,6 +311,16 @@ mod tests {
         let delta = encode_delta(&g, &g2);
         assert_eq!(apply_delta(&g, &delta).unwrap(), g2);
         assert_eq!(apply_delta(&g2, &encode_delta(&g2, &g)).unwrap(), g);
+    }
+
+    #[test]
+    fn admin_requests_round_trip_and_reject_junk() {
+        for req in [AdminRequest::MetricsText, AdminRequest::MetricsJson] {
+            assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
+        }
+        assert!(AdminRequest::decode(&[]).is_err());
+        assert!(AdminRequest::decode(&[0x00]).is_err(), "delta kinds rejected");
+        assert!(AdminRequest::decode(&[KIND_ADMIN_METRICS_TEXT, 0]).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod error;
 pub mod service;
 pub mod session;
 
+pub use codec::AdminRequest;
 pub use device::{DeviceError, LogDevice, MemDevice};
 pub use error::ServerError;
 pub use service::{
@@ -307,6 +308,53 @@ mod tests {
         assert!(r.relational_state().is_ok());
         assert!(g.relational_state().is_err());
         assert_eq!(service.view_names(), vec!["personnel", "shop"]);
+    }
+
+    #[test]
+    fn commits_are_traced_end_to_end_and_admin_renders_telemetry() {
+        let ring = dme_obs::RingSink::with_capacity(256);
+        let service = boot(ServiceConfig {
+            obs: dme_obs::Observer::new(ring.clone()),
+            ..ServiceConfig::default()
+        });
+        let mut s = service.open_session(SessionKind::Graph).unwrap();
+        let info = s
+            .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+            .unwrap();
+        assert_ne!(info.trace.as_u64(), 0);
+        // The WAL frame is stamped with the commit's trace id.
+        let records = dme_storage::wal::replay(&service.durable_image().wal).unwrap();
+        assert_eq!(records[0].trace, Some(info.trace.as_u64()));
+        // The transcript shows the commit's causal path, in order.
+        let path: Vec<&str> = ring
+            .events()
+            .iter()
+            .filter(|e| e.trace() == Some(info.trace))
+            .map(|e| match &e.kind {
+                dme_obs::EventKind::Trace { name, .. } => *name,
+                other => panic!("non-trace event carried a trace: {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            path,
+            vec![
+                "server/admit",
+                "server/verify",
+                "server/group_commit",
+                "server/wal_append"
+            ]
+        );
+        // Both admin renderings are served over the wire codec.
+        let text = service
+            .admin_bytes(&AdminRequest::MetricsText.encode())
+            .unwrap();
+        assert!(text.contains("dme_counter{name=\"txns_committed\"} 1"), "{text}");
+        assert!(text.contains("dme_latency_us_count{metric=\"commit_latency_us\"} 1"));
+        let json = service
+            .admin_bytes(&AdminRequest::MetricsJson.encode())
+            .unwrap();
+        assert!(json.contains("\"commit_latency_us\""), "{json}");
+        assert!(service.admin_bytes(&[0xFF]).is_err());
     }
 
     #[test]

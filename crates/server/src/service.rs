@@ -28,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use dme_ansi::ExternalView;
 use dme_core::translate::CompletionMode;
 use dme_graph::{GraphOp, GraphSchema, GraphState};
-use dme_obs::{Counter, Observer};
+use dme_obs::{Counter, Metric, Observer, TraceId};
 use dme_relation::{RelationState, RelationalSchema};
 use dme_storage::wal;
 use dme_storage::WalError;
@@ -39,8 +39,17 @@ use crate::error::ServerError;
 use crate::session::{Session, SessionKind};
 
 /// A transaction validated and journaled but not yet acknowledged:
-/// (request id, lsn, version after, WAL payload, conceptual ops).
-type Staged = (u64, u64, u64, Vec<u8>, Vec<GraphOp>);
+/// (request id, lsn, version after, trace, enqueue time, WAL payload,
+/// conceptual ops).
+type Staged = (
+    u64,
+    u64,
+    u64,
+    TraceId,
+    std::time::Instant,
+    Vec<u8>,
+    Vec<GraphOp>,
+);
 
 /// How commits are batched through the journal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,10 +148,15 @@ pub struct CommitInfo {
     pub version: u64,
     /// Commit attempts used (1 = no conflict).
     pub attempts: u32,
+    /// The transaction's trace id — greppable from the observability
+    /// transcript and stamped into the transaction's WAL frame.
+    pub trace: TraceId,
 }
 
 pub(crate) struct Request {
     id: u64,
+    trace: TraceId,
+    enqueued: std::time::Instant,
     gops: Vec<GraphOp>,
     base_version: Option<u64>,
 }
@@ -182,6 +196,7 @@ pub(crate) struct Shared {
     pub(crate) config: ServiceConfig,
     pub(crate) open_sessions: AtomicU64,
     next_session: AtomicU64,
+    next_txn: AtomicU64,
 }
 
 /// The concurrent multi-model session service. Cheap to clone; clones
@@ -244,6 +259,7 @@ impl SessionService {
                 config,
                 open_sessions: AtomicU64::new(0),
                 next_session: AtomicU64::new(0),
+                next_txn: AtomicU64::new(0),
             }),
         };
         service.checkpoint_now()?;
@@ -277,10 +293,15 @@ impl SessionService {
                 next_lsn = next_lsn.max(r.lsn + 1);
                 continue;
             }
+            let timer = obs.time(Metric::ReplayLatency);
             state = codec::apply_delta(&state, &r.payload)?;
+            drop(timer);
             replayed += 1;
             next_lsn = r.lsn + 1;
             obs.add(Counter::WalRecordsReplayed, 1);
+            if let Some(t) = r.trace {
+                obs.trace_event("server/replay", TraceId(t), || format!("lsn {}", r.lsn));
+            }
         }
         let report = RecoveryReport {
             checkpoint_lsn: cp.lsn,
@@ -318,6 +339,7 @@ impl SessionService {
                 config,
                 open_sessions: AtomicU64::new(0),
                 next_session: AtomicU64::new(0),
+                next_txn: AtomicU64::new(0),
             }),
         };
         // Re-anchor durability: the recovered state becomes the new
@@ -333,6 +355,7 @@ impl SessionService {
     pub fn open_session(&self, kind: SessionKind) -> Result<Session, ServerError> {
         let obs = &self.shared.config.obs;
         let _span = obs.span("server/admit");
+        let _timer = obs.time(Metric::AdmitLatency);
         let snapshot = {
             let core = self.shared.core.lock().unwrap();
             if let Some(why) = &core.crashed {
@@ -435,19 +458,53 @@ impl SessionService {
         if let Some(why) = &core.crashed {
             return Err(ServerError::Crashed(why.clone()));
         }
-        Self::take_checkpoint(&self.shared.config, &mut core)
+        Self::take_checkpoint(&self.shared.config, &mut core, None)
     }
 
-    fn take_checkpoint(config: &ServiceConfig, core: &mut Core) -> Result<(), ServerError> {
+    /// Derives the next transaction's deterministic trace id. Sessions
+    /// call this before translation so the whole admit → replay path
+    /// shares one id.
+    pub(crate) fn next_trace(&self) -> TraceId {
+        TraceId::derive(self.shared.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Serves an admin request: a rendering of the service's telemetry
+    /// (counters + latency histograms) outside the transactional data
+    /// path. Works even after a crash — the black box must stay
+    /// readable.
+    pub fn admin(&self, request: codec::AdminRequest) -> String {
+        let obs = &self.shared.config.obs;
+        match request {
+            codec::AdminRequest::MetricsText => dme_obs::prometheus_text(obs),
+            codec::AdminRequest::MetricsJson => dme_obs::json_snapshot(obs),
+        }
+    }
+
+    /// Serves an admin request from its wire encoding (the byte form
+    /// clients put on the control channel).
+    pub fn admin_bytes(&self, bytes: &[u8]) -> Result<String, ServerError> {
+        Ok(self.admin(codec::AdminRequest::decode(bytes)?))
+    }
+
+    fn take_checkpoint(
+        config: &ServiceConfig,
+        core: &mut Core,
+        trace: Option<TraceId>,
+    ) -> Result<(), ServerError> {
+        let obs = &config.obs;
+        let _timer = obs.time(Metric::CheckpointLatency);
         let lsn = core.next_lsn - 1;
         let payload = codec::encode_state(&core.conceptual);
         let mut buf = Vec::new();
-        wal::append_record(&mut buf, lsn, &payload);
+        wal::append_record_traced(&mut buf, lsn, trace.map(TraceId::as_u64), &payload);
         let result = core.checkpoints.append(&buf).and_then(|_| core.checkpoints.sync());
         match result {
             Ok(()) => {
                 core.commits_since_checkpoint = 0;
-                config.obs.add(Counter::CheckpointsTaken, 1);
+                obs.add(Counter::CheckpointsTaken, 1);
+                if let Some(t) = trace {
+                    obs.trace_event("server/checkpoint", t, || format!("lsn {lsn}"));
+                }
                 Ok(())
             }
             Err(e) => {
@@ -460,13 +517,20 @@ impl SessionService {
     /// Enqueues a transaction and drives the commit protocol until its
     /// outcome is known. The calling thread may end up acting as the
     /// batch leader for its own and other sessions' transactions.
-    pub(crate) fn submit(&self, gops: Vec<GraphOp>, base_version: Option<u64>) -> Outcome {
+    pub(crate) fn submit(
+        &self,
+        gops: Vec<GraphOp>,
+        base_version: Option<u64>,
+        trace: TraceId,
+    ) -> Outcome {
         let id = {
             let mut q = self.shared.queue.lock().unwrap();
             let id = q.next_id;
             q.next_id += 1;
             q.pending.push_back(Request {
                 id,
+                trace,
+                enqueued: std::time::Instant::now(),
                 gops,
                 base_version,
             });
@@ -534,6 +598,7 @@ impl SessionService {
                     continue;
                 }
             };
+            let verify_timer = obs.time(Metric::VerifyLatency);
             let mut advanced = Vec::with_capacity(core.views.len());
             let mut failure: Option<Outcome> = None;
             for (name, view) in &core.views {
@@ -548,11 +613,28 @@ impl SessionService {
                 }
                 advanced.push((name.clone(), v));
             }
+            drop(verify_timer);
             if let Some(out) = failure {
                 obs.add(Counter::TxnsAborted, 1);
                 outcomes.push((req.id, out));
                 continue;
             }
+            // Which equivalence tier vouched for this translation: with
+            // lockstep on, every view was checked state equivalent to
+            // the advanced conceptual state (Definition 2 within the
+            // view's vocabulary); otherwise we rely on the verified
+            // operation translation (Definition 1).
+            obs.trace_event("server/verify", req.trace, || {
+                format!(
+                    "tier={} views={}",
+                    if config.lockstep_verify {
+                        "def2-state-equivalence"
+                    } else {
+                        "def1-translation"
+                    },
+                    core.views.len()
+                )
+            });
             let lsn = core.next_lsn;
             core.next_lsn += 1;
             core.version += 1;
@@ -561,23 +643,45 @@ impl SessionService {
             for (name, v) in advanced {
                 core.views.insert(name, v);
             }
-            staged.push((req.id, lsn, core.version, payload, req.gops));
+            staged.push((
+                req.id,
+                lsn,
+                core.version,
+                req.trace,
+                req.enqueued,
+                payload,
+                req.gops,
+            ));
         }
         if staged.is_empty() {
             return outcomes;
         }
+        let group_timer = obs.time(Metric::GroupCommitLatency);
         let mut buf = Vec::new();
-        for (_, lsn, _, payload, _) in &staged {
-            wal::append_record(&mut buf, *lsn, payload);
+        for (_, lsn, _, trace, _, payload, _) in &staged {
+            wal::append_record_traced(&mut buf, *lsn, Some(trace.as_u64()), payload);
         }
+        let sync_timer = obs.time(Metric::WalSyncLatency);
         let result = core.wal.append(&buf).and_then(|_| core.wal.sync());
+        drop(sync_timer);
+        drop(group_timer);
         match result {
             Ok(()) => {
                 obs.add(Counter::GroupCommits, 1);
                 obs.add(Counter::WalRecordsAppended, staged.len() as u64);
                 obs.add(Counter::TxnsCommitted, staged.len() as u64);
                 core.commits_since_checkpoint += staged.len() as u64;
-                for (rid, lsn, version, _, ops) in staged {
+                let batch_size = staged.len();
+                let last_trace = staged.last().map(|s| s.3);
+                for (rid, lsn, version, trace, enqueued, _, ops) in staged {
+                    obs.trace_event("server/group_commit", trace, || {
+                        format!("batch={batch_size}")
+                    });
+                    obs.trace_event("server/wal_append", trace, || format!("lsn {lsn}"));
+                    obs.record(
+                        Metric::CommitLatency,
+                        enqueued.elapsed().as_micros() as u64,
+                    );
                     core.history.push(CommittedTxn { lsn, ops });
                     outcomes.push((rid, Outcome::Committed { lsn, version }));
                 }
@@ -586,7 +690,7 @@ impl SessionService {
                 {
                     // A failed checkpoint marks the service crashed; the
                     // commits above are already durable in the WAL.
-                    let _ = Self::take_checkpoint(config, &mut core);
+                    let _ = Self::take_checkpoint(config, &mut core, last_trace);
                 }
             }
             Err(e) => {

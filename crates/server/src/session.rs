@@ -91,11 +91,18 @@ impl Session {
                 "relational sessions submit relational operations".into(),
             ));
         }
-        match self.service.submit(gops, None) {
+        let obs = self.service.shared.config.obs.clone();
+        let trace = self.service.next_trace();
+        let session_id = self.id;
+        obs.trace_event("server/admit", trace, || {
+            format!("session {session_id} model=graph ops={}", gops.len())
+        });
+        match self.service.submit(gops, None, trace) {
             Outcome::Committed { lsn, version } => Ok(CommitInfo {
                 lsn,
                 version,
                 attempts: 1,
+                trace,
             }),
             Outcome::Aborted(why) => Err(ServerError::Aborted(why)),
             Outcome::Conflict => unreachable!("graph commits carry no base version"),
@@ -122,6 +129,11 @@ impl Session {
         let obs = config.obs.clone();
         let max_attempts = config.max_attempts.max(1);
         let backoff_micros = config.backoff_micros;
+        let trace = self.service.next_trace();
+        let session_id = self.id;
+        obs.trace_event("server/admit", trace, || {
+            format!("session {session_id} model=relational view={view_name}")
+        });
         for attempt in 1..=max_attempts {
             let (handle, base_version) = self
                 .snapshot
@@ -129,9 +141,14 @@ impl Session {
                 .expect("relational sessions hold a snapshot");
             let gops = {
                 let _span = obs.span("server/translate");
-                handle.translate_up(op)?
+                let _timer = obs.time(dme_obs::Metric::TranslateLatency);
+                let gops = handle.translate_up(op)?;
+                obs.trace_event("server/translate", trace, || {
+                    format!("attempt {attempt} gops={}", gops.len())
+                });
+                gops
             };
-            match self.service.submit(gops, Some(*base_version)) {
+            match self.service.submit(gops, Some(*base_version), trace) {
                 Outcome::Committed { lsn, version } => {
                     // The snapshot is stale by exactly this commit (and
                     // possibly batch-mates): rebase onto the new state.
@@ -140,6 +157,7 @@ impl Session {
                         lsn,
                         version,
                         attempts: attempt,
+                        trace,
                     });
                 }
                 Outcome::Conflict => {

@@ -12,15 +12,19 @@
 //! ## Record framing
 //!
 //! ```text
-//! [magic u16][lsn u64][len u32][payload len bytes][checksum u64]
+//! [magic u16][flags u8][lsn u64][trace u64 ?][len u32][payload][checksum u64]
 //! ```
 //!
-//! all big-endian; the checksum is FNV-1a over everything before it
-//! (magic, lsn, len, payload). A crash can tear the final record at any
-//! byte: [`replay_tolerant`] truncates the torn tail and reports what it
-//! dropped, while [`replay`] returns a typed [`WalError`] so callers who
-//! require a clean log (mid-log corruption is *never* tolerated) can
-//! distinguish the shapes.
+//! all big-endian; the checksum is FNV-1a over everything before it.
+//! The flags byte gates optional fields: bit 0 ([`FLAG_TRACE`]) means an
+//! 8-byte trace id follows the LSN, linking the record to one request's
+//! observability trace (zero is reserved for "untraced" and never
+//! framed). Unknown flag bits fail decoding with [`WalError::BadFlags`]
+//! so a future format rev can't be silently misread. A crash can tear
+//! the final record at any byte: [`replay_tolerant`] truncates the torn
+//! tail and reports what it dropped, while [`replay`] returns a typed
+//! [`WalError`] so callers who require a clean log (mid-log corruption
+//! is *never* tolerated) can distinguish the shapes.
 
 use std::fmt;
 
@@ -30,13 +34,30 @@ use bytes::{Buf, BufMut};
 /// fast instead of mis-framing.
 pub const WAL_MAGIC: u16 = 0xDA7A;
 
-/// One replayed record: the log sequence number and the opaque payload.
+/// Flags bit 0: the frame carries an 8-byte trace id after the LSN.
+pub const FLAG_TRACE: u8 = 0x01;
+
+const KNOWN_FLAGS: u8 = FLAG_TRACE;
+
+/// One replayed record: the log sequence number, the optional trace id
+/// of the request that produced it, and the opaque payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
     /// Monotonic log sequence number (assigned by the appender).
     pub lsn: u64,
+    /// The producing request's trace id, when the appender recorded
+    /// one. Opaque at this level (the observability layer renders it);
+    /// zero is reserved and never stored.
+    pub trace: Option<u64>,
     /// Opaque payload bytes.
     pub payload: Vec<u8>,
+}
+
+impl WalRecord {
+    /// The encoded size of this record's frame in bytes.
+    pub fn frame_len(&self) -> usize {
+        frame_len(self.payload.len()) + if self.trace.is_some() { 8 } else { 0 }
+    }
 }
 
 /// Typed replay failures. `at` is always the byte offset of the record
@@ -60,6 +81,13 @@ pub enum WalError {
         /// Byte offset of the bad frame.
         at: usize,
     },
+    /// A frame's flags byte set bits this decoder does not know.
+    BadFlags {
+        /// Byte offset of the bad frame.
+        at: usize,
+        /// The offending flags byte.
+        flags: u8,
+    },
     /// LSNs must be strictly increasing; the log violated that.
     NonMonotonicLsn {
         /// The previous record's LSN.
@@ -77,6 +105,9 @@ impl fmt::Display for WalError {
                 write!(f, "checksum mismatch at byte {at} (claimed lsn {lsn})")
             }
             WalError::BadMagic { at } => write!(f, "bad record magic at byte {at}"),
+            WalError::BadFlags { at, flags } => {
+                write!(f, "unknown record flags {flags:#04x} at byte {at}")
+            }
             WalError::NonMonotonicLsn { prev, next } => {
                 write!(f, "non-monotonic lsn {next} after {prev}")
             }
@@ -95,12 +126,29 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Appends one framed record to `buf` and returns the encoded frame
-/// length in bytes.
+/// Appends one untraced framed record to `buf` and returns the encoded
+/// frame length in bytes.
 pub fn append_record(buf: &mut Vec<u8>, lsn: u64, payload: &[u8]) -> usize {
+    append_record_traced(buf, lsn, None, payload)
+}
+
+/// Appends one framed record carrying an optional trace id. A zero
+/// trace is normalized to "untraced" (zero is the codec's reserved
+/// sentinel). Returns the encoded frame length in bytes.
+pub fn append_record_traced(
+    buf: &mut Vec<u8>,
+    lsn: u64,
+    trace: Option<u64>,
+    payload: &[u8],
+) -> usize {
+    let trace = trace.filter(|t| *t != 0);
     let start = buf.len();
     buf.put_u16(WAL_MAGIC);
+    buf.put_u8(if trace.is_some() { FLAG_TRACE } else { 0 });
     buf.put_u64(lsn);
+    if let Some(t) = trace {
+        buf.put_u64(t);
+    }
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
     let checksum = fnv1a(&buf[start..]);
@@ -108,9 +156,10 @@ pub fn append_record(buf: &mut Vec<u8>, lsn: u64, payload: &[u8]) -> usize {
     buf.len() - start
 }
 
-/// The encoded size of a record carrying `payload_len` payload bytes.
+/// The encoded size of an *untraced* record carrying `payload_len`
+/// payload bytes. Traced records add 8 (see [`WalRecord::frame_len`]).
 pub fn frame_len(payload_len: usize) -> usize {
-    2 + 8 + 4 + payload_len + 8
+    2 + 1 + 8 + 4 + payload_len + 8
 }
 
 fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> {
@@ -121,10 +170,23 @@ fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> 
     if rest.get_u16() != WAL_MAGIC {
         return Err(WalError::BadMagic { at });
     }
-    if rest.len() < 8 + 4 {
+    if rest.is_empty() {
+        return Err(WalError::Truncated { at });
+    }
+    let flags = rest.get_u8();
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(WalError::BadFlags { at, flags });
+    }
+    let trace_len = if flags & FLAG_TRACE != 0 { 8 } else { 0 };
+    if rest.len() < 8 + trace_len + 4 {
         return Err(WalError::Truncated { at });
     }
     let lsn = rest.get_u64();
+    let trace = if trace_len > 0 {
+        Some(rest.get_u64())
+    } else {
+        None
+    };
     let len = rest.get_u32() as usize;
     if rest.len() < len + 8 {
         return Err(WalError::Truncated { at });
@@ -132,11 +194,18 @@ fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> 
     let payload = rest[..len].to_vec();
     rest.advance(len);
     let stored = rest.get_u64();
-    let frame = frame_len(len);
+    let frame = frame_len(len) + trace_len;
     if fnv1a(&buf[at..at + frame - 8]) != stored {
         return Err(WalError::BadChecksum { at, lsn });
     }
-    Ok((WalRecord { lsn, payload }, frame))
+    Ok((
+        WalRecord {
+            lsn,
+            trace,
+            payload,
+        },
+        frame,
+    ))
 }
 
 /// Strict replay: decodes every record or returns the typed error of
@@ -220,8 +289,31 @@ mod tests {
         let records = replay(&log3()).unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].payload, b"alpha");
+        assert_eq!(records[0].trace, None);
         assert_eq!(records[1].payload, b"");
         assert_eq!(records[2].lsn, 3);
+    }
+
+    #[test]
+    fn traced_records_round_trip_and_mix_with_untraced() {
+        let mut buf = Vec::new();
+        let n1 = append_record_traced(&mut buf, 1, Some(0xDEAD_BEEF), b"one");
+        let n2 = append_record(&mut buf, 2, b"two");
+        assert_eq!(n1, frame_len(3) + 8);
+        assert_eq!(n2, frame_len(3));
+        let records = replay(&buf).unwrap();
+        assert_eq!(records[0].trace, Some(0xDEAD_BEEF));
+        assert_eq!(records[0].frame_len(), n1);
+        assert_eq!(records[1].trace, None);
+        assert_eq!(records[1].frame_len(), n2);
+    }
+
+    #[test]
+    fn zero_trace_is_normalized_to_untraced() {
+        let mut buf = Vec::new();
+        let n = append_record_traced(&mut buf, 1, Some(0), b"x");
+        assert_eq!(n, frame_len(1));
+        assert_eq!(replay(&buf).unwrap()[0].trace, None);
     }
 
     #[test]
@@ -233,6 +325,19 @@ mod tests {
             assert!(matches!(replay(torn), Err(WalError::Truncated { .. })));
             let (records, err) = replay_tolerant(torn);
             assert_eq!(records.len(), 2, "cut at {cut} keeps the clean prefix");
+            assert!(matches!(err, Some(WalError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn torn_traced_tail_is_detected() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, 1, b"ok");
+        let clean = buf.len();
+        append_record_traced(&mut buf, 2, Some(7), b"torn");
+        for cut in clean + 1..buf.len() {
+            let (records, err) = replay_tolerant(&buf[..cut]);
+            assert_eq!(records.len(), 1, "cut at {cut}");
             assert!(matches!(err, Some(WalError::Truncated { .. })));
         }
     }
@@ -255,7 +360,7 @@ mod tests {
     #[test]
     fn corrupt_payload_fails_checksum() {
         let mut buf = log3();
-        buf[2 + 8 + 4] ^= 0x01; // first payload byte of record 1
+        buf[2 + 1 + 8 + 4] ^= 0x01; // first payload byte of record 1
         assert!(matches!(replay(&buf), Err(WalError::BadChecksum { at: 0, .. })));
         let (records, err) = replay_tolerant(&buf);
         assert!(records.is_empty());
@@ -267,6 +372,20 @@ mod tests {
         let mut buf = log3();
         buf[0] = 0x00;
         assert_eq!(replay(&buf), Err(WalError::BadMagic { at: 0 }));
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, 1, b"x");
+        buf[2] |= 0x80; // set a flag bit no decoder version knows
+        assert_eq!(
+            replay(&buf),
+            Err(WalError::BadFlags { at: 0, flags: 0x80 })
+        );
+        let (records, err) = replay_tolerant(&buf);
+        assert!(records.is_empty());
+        assert!(matches!(err, Some(WalError::BadFlags { .. })));
     }
 
     #[test]
@@ -311,5 +430,8 @@ mod tests {
         assert!(WalError::BadChecksum { at: 0, lsn: 3 }
             .to_string()
             .contains("checksum"));
+        assert!(WalError::BadFlags { at: 0, flags: 0x80 }
+            .to_string()
+            .contains("0x80"));
     }
 }

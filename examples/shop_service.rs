@@ -9,7 +9,10 @@
 //! 2. crashes the service by tearing the journal mid-record and
 //!    recovers to the last committed transaction,
 //! 3. prints the observation report of every service phase
-//!    (admit → translate → commit → recover).
+//!    (admit → translate → commit → recover),
+//! 4. serves the telemetry exporters over the admin wire codec: the
+//!    Prometheus-style text rendering and the single-line JSON
+//!    snapshot, both with commit-latency percentiles.
 //!
 //! Run with: `cargo run --release --example shop_service`
 
@@ -19,7 +22,7 @@ use borkin_equiv::equivalence::translate::CompletionMode;
 use borkin_equiv::obs::{Counter, Observer, Report, RingSink};
 use borkin_equiv::relation::display::render_relation;
 use borkin_equiv::server::{
-    CommitMode, MemDevice, ServiceConfig, SessionKind, SessionService, ViewSpec,
+    AdminRequest, CommitMode, MemDevice, ServiceConfig, SessionKind, SessionService, ViewSpec,
 };
 use borkin_equiv::workload::{self, SessionStream, ShopConfig};
 
@@ -163,4 +166,24 @@ fn main() {
     println!("\n== service phase report ==");
     let report = Report::from_events(&ring.events()).with_totals(obs.counters());
     println!("{report}");
+
+    // ── Telemetry over the admin codec ─────────────────────────────────
+    // Both renderings are served from the wire form of the admin
+    // request — the same path a scraper or dashboard would use. The
+    // recovered service shares the observer, so its counters fold the
+    // pre-crash sessions and the recovery replay together.
+    println!("== admin telemetry (Prometheus text) ==");
+    print!(
+        "{}",
+        recovered
+            .admin_bytes(&AdminRequest::MetricsText.encode())
+            .expect("admin request decodes")
+    );
+    println!("\n== admin telemetry (JSON snapshot) ==");
+    println!(
+        "{}",
+        recovered
+            .admin_bytes(&AdminRequest::MetricsJson.encode())
+            .expect("admin request decodes")
+    );
 }

@@ -16,10 +16,12 @@
 //! records survive complete, and aborted transactions (which never
 //! reach the log) are never resurrected.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use borkin_equiv::equivalence::translate::CompletionMode;
 use borkin_equiv::graph::{GraphOp, GraphState};
+use borkin_equiv::obs::FlightRecorder;
 use borkin_equiv::server::{
     DurableImage, MemDevice, ServiceConfig, SessionKind, SessionService, ViewSpec,
 };
@@ -27,6 +29,36 @@ use borkin_equiv::storage::wal;
 use borkin_equiv::workload::{self, ShopConfig};
 
 const SEEDS: [u64; 5] = [11, 23, 47, 95, 191];
+
+/// Every test runs under a flight recorder and leaves a dump in
+/// `target/flight/` — the artifact CI uploads when a leg fails — and
+/// the dump itself must be machine-readable: a `flight_header` line,
+/// JSON event lines, and a closing `flight_snapshot` line.
+fn dump_flight(recorder: &FlightRecorder, test: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("flight")
+        .join(format!("{test}.jsonl"));
+    recorder.dump_to(&path).expect("flight dump writes");
+    let dump = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = dump.lines().collect();
+    assert!(lines.len() >= 2, "{test}: dump has header + snapshot");
+    assert!(
+        lines[0].contains("\"ev\":\"flight_header\""),
+        "{test}: dump opens with a header: {}",
+        lines[0]
+    );
+    assert!(
+        lines.last().unwrap().contains("\"ev\":\"flight_snapshot\""),
+        "{test}: dump closes with the telemetry snapshot"
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "{test}: not a JSON line: {line}"
+        );
+    }
+}
 
 fn shop_cfg(seed: u64) -> ShopConfig {
     ShopConfig {
@@ -57,6 +89,16 @@ struct Run {
     /// Byte offset where each WAL record's frame starts, plus the final
     /// end offset.
     wal_offsets: Vec<usize>,
+    /// Records the run and every recovery from its cut images; each
+    /// test dumps it into `target/flight/`.
+    recorder: FlightRecorder,
+}
+
+fn recorded_config(recorder: &FlightRecorder) -> ServiceConfig {
+    ServiceConfig {
+        obs: recorder.observer().clone(),
+        ..ServiceConfig::default()
+    }
 }
 
 /// Runs a single-session deterministic workload: toggles applied in
@@ -65,10 +107,11 @@ struct Run {
 fn run_workload(seed: u64) -> Run {
     let cfg = shop_cfg(seed);
     let initial = workload::graph_state(cfg);
+    let recorder = FlightRecorder::with_capacity(4096);
     let service = SessionService::new(
         initial.clone(),
         views(cfg),
-        ServiceConfig::default(),
+        recorded_config(&recorder),
         Box::new(MemDevice::new()),
         Box::new(MemDevice::new()),
     )
@@ -100,7 +143,7 @@ fn run_workload(seed: u64) -> Run {
     assert!(tail.is_none(), "a finished run's WAL is clean");
     let mut wal_offsets = vec![0];
     for r in &records {
-        wal_offsets.push(wal_offsets.last().unwrap() + wal::frame_len(r.payload.len()));
+        wal_offsets.push(wal_offsets.last().unwrap() + r.frame_len());
     }
     Run {
         cfg,
@@ -109,6 +152,7 @@ fn run_workload(seed: u64) -> Run {
         committed,
         aborted,
         wal_offsets,
+        recorder,
     }
 }
 
@@ -130,7 +174,7 @@ fn recover_and_check(run: &Run, image: &DurableImage, label: &str) -> GraphState
         Arc::clone(run.initial.schema()),
         image,
         views(run.cfg),
-        ServiceConfig::default(),
+        recorded_config(&run.recorder),
         Box::new(MemDevice::new()),
         Box::new(MemDevice::new()),
     )
@@ -184,6 +228,7 @@ fn fault_point_1_crash_before_journal_append() {
             let image = clamp_checkpoint(&run, image, k);
             recover_and_check(&run, &image, &format!("seed {seed}, before-append txn {k}"));
         }
+        dump_flight(&run.recorder, "fault_point_1_before_append");
     }
 }
 
@@ -195,7 +240,7 @@ fn clamp_checkpoint(run: &Run, mut image: DurableImage, k: usize) -> DurableImag
     let mut buf = Vec::new();
     for r in records {
         if r.lsn <= max_lsn {
-            wal::append_record(&mut buf, r.lsn, &r.payload);
+            wal::append_record_traced(&mut buf, r.lsn, r.trace, &r.payload);
         }
     }
     image.checkpoint = buf;
@@ -227,6 +272,7 @@ fn fault_point_2_crash_mid_append_tears_the_record() {
                 assert_eq!(state, prefix_state(&run, k - 1));
             }
         }
+        dump_flight(&run.recorder, "fault_point_2_mid_append");
     }
 }
 
@@ -239,7 +285,12 @@ fn fault_point_3_crash_after_append_before_checkpoint() {
         let (cp_records, _) = wal::replay_tolerant(&run.image.checkpoint);
         assert!(cp_records.len() >= 2, "seed {seed}: run must checkpoint mid-way");
         let mut initial_only = Vec::new();
-        wal::append_record(&mut initial_only, cp_records[0].lsn, &cp_records[0].payload);
+        wal::append_record_traced(
+            &mut initial_only,
+            cp_records[0].lsn,
+            cp_records[0].trace,
+            &cp_records[0].payload,
+        );
         let image = DurableImage {
             wal: run.image.wal.clone(),
             checkpoint: initial_only,
@@ -248,6 +299,7 @@ fn fault_point_3_crash_after_append_before_checkpoint() {
         // Everything committed is recovered even without the newer
         // checkpoint — the checkpoint only bounds replay work.
         assert_eq!(state, prefix_state(&run, run.committed.len()));
+        dump_flight(&run.recorder, "fault_point_3_pre_checkpoint");
     }
 }
 
@@ -258,12 +310,12 @@ fn fault_point_4_crash_mid_checkpoint_falls_back() {
         let (cp_records, _) = wal::replay_tolerant(&run.image.checkpoint);
         let mut prefix = Vec::new();
         for r in &cp_records[..cp_records.len() - 1] {
-            wal::append_record(&mut prefix, r.lsn, &r.payload);
+            wal::append_record_traced(&mut prefix, r.lsn, r.trace, &r.payload);
         }
         let intact = prefix.len();
         let last = cp_records.last().unwrap();
         let mut full = prefix.clone();
-        wal::append_record(&mut full, last.lsn, &last.payload);
+        wal::append_record_traced(&mut full, last.lsn, last.trace, &last.payload);
         // Tear the final checkpoint record at several depths: recovery
         // falls back to the previous checkpoint + full WAL replay.
         for cut in [intact + 1, intact + (full.len() - intact) / 2, full.len() - 1] {
@@ -278,6 +330,7 @@ fn fault_point_4_crash_mid_checkpoint_falls_back() {
             );
             assert_eq!(state, prefix_state(&run, run.committed.len()));
         }
+        dump_flight(&run.recorder, "fault_point_4_mid_checkpoint");
     }
 }
 
@@ -292,5 +345,6 @@ fn aborted_transactions_are_never_resurrected() {
         // a duplicate toggle, which would double-apply).
         let state = recover_and_check(&run, &run.image, &format!("seed {seed}, full image"));
         assert_eq!(state, prefix_state(&run, run.committed.len()));
+        dump_flight(&run.recorder, "aborted_never_resurrected");
     }
 }

@@ -1,25 +1,16 @@
-//! Facade parity: [`Checker`] must be bit-identical to every legacy
-//! entry point it replaces — sequential checkers via
-//! `MatchReport::to_verdict` / `DataModelReport::to_verdict`, the four
-//! `parallel_*` functions directly — with the observer enabled and
-//! disabled.
-
-#![allow(deprecated)]
+//! Facade routing parity: the sequential reference checkers and the
+//! parallel engine behind [`Checker`] decide the same predicates, so
+//! every routing rule (plain, `.parallel(..)`, `.budget(..)`,
+//! `.interners(..)`) must agree on the verdict — with the observer
+//! enabled and disabled.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use borkin_equiv::equivalence::enumerate::{enumerate_graph_ops, enumerate_rel_ops};
-use borkin_equiv::equivalence::equiv::{
-    application_models_equivalent, composed_equivalent, data_model_equivalent,
-    isomorphic_equivalent, state_dependent_equivalent, EquivKind,
-};
+use borkin_equiv::equivalence::equiv::EquivKind;
 use borkin_equiv::equivalence::model::{graph_model, relational_model, FiniteModel};
-use borkin_equiv::equivalence::parallel::{
-    parallel_application_models_equivalent, parallel_application_models_equivalent_with,
-    parallel_data_model_equivalent, parallel_data_model_equivalent_with, CheckBudget,
-    ParallelConfig, Verdict,
-};
+use borkin_equiv::equivalence::parallel::{CheckBudget, ParallelConfig, Verdict};
 use borkin_equiv::equivalence::witness;
 use borkin_equiv::equivalence::{Checker, FactInterner, Tier};
 use borkin_equiv::graph::{GraphOp, GraphState};
@@ -97,172 +88,124 @@ fn micro_graph() -> FiniteModel<GraphState, GraphOp> {
 }
 
 #[test]
-fn facade_matches_sequential_isomorphic() {
+fn sequential_and_engine_agree_on_every_toy_pair_and_tier() {
     for (m, n) in toy_pairs() {
-        let legacy = isomorphic_equivalent(&m, &n, STATE_CAP).map(|r| r.to_verdict());
-        let facade = Checker::new(&m, &n)
-            .tier(Tier::Isomorphic)
-            .state_cap(STATE_CAP)
-            .run();
-        assert_eq!(norm(facade), norm(legacy));
-    }
-}
-
-#[test]
-fn facade_matches_sequential_composed_and_state_dependent() {
-    for (m, n) in toy_pairs() {
-        for max_depth in [1usize, 2, 3] {
-            let legacy = composed_equivalent(&m, &n, STATE_CAP, max_depth).map(|r| r.to_verdict());
-            let facade = Checker::new(&m, &n)
-                .tier(Tier::Composed { max_depth })
+        for tier in [
+            Tier::Isomorphic,
+            Tier::Composed { max_depth: 1 },
+            Tier::Composed { max_depth: 2 },
+            Tier::Composed { max_depth: 3 },
+            Tier::StateDependent { max_depth: 1 },
+            Tier::StateDependent { max_depth: 2 },
+            Tier::StateDependent { max_depth: 3 },
+        ] {
+            let sequential = Checker::new(&m, &n).tier(tier).state_cap(STATE_CAP).run();
+            let engine = Checker::new(&m, &n)
+                .tier(tier)
                 .state_cap(STATE_CAP)
+                .parallel(ParallelConfig::with_threads(1))
                 .run();
-            assert_eq!(norm(facade), norm(legacy), "composed depth {max_depth}");
-
-            let legacy =
-                state_dependent_equivalent(&m, &n, STATE_CAP, max_depth).map(|r| r.to_verdict());
-            let facade = Checker::new(&m, &n)
-                .tier(Tier::StateDependent { max_depth })
-                .state_cap(STATE_CAP)
-                .run();
-            assert_eq!(norm(facade), norm(legacy), "state-dependent depth {max_depth}");
+            assert_eq!(
+                norm(sequential),
+                norm(engine),
+                "{}/{} {tier:?}",
+                m.name(),
+                n.name()
+            );
         }
     }
 }
 
 #[test]
-fn facade_matches_sequential_on_paper_witness() {
-    let m = micro_rel();
-    let n = micro_graph();
-    for kind in [
-        EquivKind::Isomorphic,
-        EquivKind::Composed { max_depth: 2 },
-        EquivKind::StateDependent { max_depth: 2 },
-    ] {
-        let legacy = application_models_equivalent(&m, &n, kind, STATE_CAP)
-            .map(|r| r.to_verdict())
-            .unwrap();
-        let facade = Checker::new(&m, &n)
-            .tier(Tier::from_kind(kind))
-            .state_cap(STATE_CAP)
-            .run()
-            .unwrap();
-        assert_eq!(facade, legacy, "{kind:?}");
-    }
-}
-
-#[test]
-fn facade_matches_sequential_data_model() {
-    let ms = vec![micro_rel()];
-    let ns = vec![micro_graph()];
-    let kind = EquivKind::StateDependent { max_depth: 2 };
-    let legacy = data_model_equivalent(&ms, &ns, kind, STATE_CAP)
-        .map(|r| r.to_verdict())
-        .unwrap();
-    let facade = Checker::data_models(&ms, &ns)
-        .tier(Tier::DataModel { kind })
-        .state_cap(STATE_CAP)
-        .run()
-        .unwrap();
-    assert_eq!(facade, legacy);
-}
-
-#[test]
-fn facade_matches_parallel_application_models() {
+fn thread_count_never_changes_the_verdict_on_paper_witness() {
     let m = micro_rel();
     let n = micro_graph();
     let kind = EquivKind::StateDependent { max_depth: 2 };
-    for threads in [1usize, 2, 4] {
-        let config = ParallelConfig::with_threads(threads);
-        let legacy =
-            parallel_application_models_equivalent(&m, &n, kind, STATE_CAP, &config).unwrap();
-        let facade = Checker::new(&m, &n)
-            .tier(Tier::from_kind(kind))
-            .state_cap(STATE_CAP)
-            .parallel(config)
-            .run()
-            .unwrap();
-        assert_eq!(facade, legacy, "threads {threads}");
-    }
-}
-
-#[test]
-fn facade_matches_parallel_with_interners() {
-    let m = micro_rel();
-    let n = micro_graph();
-    let kind = EquivKind::StateDependent { max_depth: 2 };
-    let config = ParallelConfig::with_threads(2);
-    let legacy_mi = FactInterner::new();
-    let legacy_ni = FactInterner::new();
-    let legacy = parallel_application_models_equivalent_with(
-        &m, &n, kind, STATE_CAP, &config, &legacy_mi, &legacy_ni,
-    )
-    .unwrap();
-    let facade_mi = FactInterner::new();
-    let facade_ni = FactInterner::new();
-    let facade = Checker::new(&m, &n)
+    let sequential = Checker::new(&m, &n)
         .tier(Tier::from_kind(kind))
         .state_cap(STATE_CAP)
-        .parallel(config)
-        .interners(&facade_mi, &facade_ni)
         .run()
         .unwrap();
-    assert_eq!(facade, legacy);
-    assert_eq!(facade_mi.stats().unique, legacy_mi.stats().unique);
-    assert_eq!(facade_ni.stats().unique, legacy_ni.stats().unique);
+    for threads in [1usize, 2, 4] {
+        let engine = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(threads))
+            .run()
+            .unwrap();
+        assert_eq!(engine, sequential, "threads {threads}");
+    }
 }
 
 #[test]
-fn facade_matches_parallel_data_model() {
+fn data_model_routes_agree_on_paper_witness() {
     let ms = vec![micro_rel()];
     let ns = vec![micro_graph()];
     let kind = EquivKind::StateDependent { max_depth: 2 };
-    let config = ParallelConfig::with_threads(2);
-    let legacy = parallel_data_model_equivalent(&ms, &ns, kind, STATE_CAP, &config).unwrap();
-    let facade = Checker::data_models(&ms, &ns)
+    let sequential = Checker::data_models(&ms, &ns)
         .tier(Tier::DataModel { kind })
         .state_cap(STATE_CAP)
-        .parallel(config)
         .run()
         .unwrap();
-    assert_eq!(facade, legacy);
-
-    let legacy_mi = FactInterner::new();
-    let legacy_ni = FactInterner::new();
-    let legacy_with = parallel_data_model_equivalent_with(
-        &ms, &ns, kind, STATE_CAP, &config, &legacy_mi, &legacy_ni,
-    )
-    .unwrap();
-    let facade_mi = FactInterner::new();
-    let facade_ni = FactInterner::new();
-    let facade_with = Checker::data_models(&ms, &ns)
+    let engine = Checker::data_models(&ms, &ns)
         .tier(Tier::DataModel { kind })
         .state_cap(STATE_CAP)
-        .parallel(config)
-        .interners(&facade_mi, &facade_ni)
+        .parallel(ParallelConfig::with_threads(2))
         .run()
         .unwrap();
-    assert_eq!(facade_with, legacy_with);
-    assert_eq!(facade_with, legacy);
+    assert_eq!(sequential.is_equivalent(), engine.is_equivalent());
 }
 
 #[test]
-fn facade_budget_matches_budgeted_engine() {
+fn interners_fill_identically_across_routes() {
+    let m = micro_rel();
+    let n = micro_graph();
+    let kind = EquivKind::StateDependent { max_depth: 2 };
+    let one_mi = FactInterner::new();
+    let one_ni = FactInterner::new();
+    let one_thread = Checker::new(&m, &n)
+        .tier(Tier::from_kind(kind))
+        .state_cap(STATE_CAP)
+        .interners(&one_mi, &one_ni)
+        .run()
+        .unwrap();
+    let two_mi = FactInterner::new();
+    let two_ni = FactInterner::new();
+    let two_threads = Checker::new(&m, &n)
+        .tier(Tier::from_kind(kind))
+        .state_cap(STATE_CAP)
+        .parallel(ParallelConfig::with_threads(2))
+        .interners(&two_mi, &two_ni)
+        .run()
+        .unwrap();
+    assert_eq!(one_thread, two_threads);
+    assert_eq!(one_mi.stats().unique, two_mi.stats().unique);
+    assert_eq!(one_ni.stats().unique, two_ni.stats().unique);
+    assert!(one_mi.stats().unique > 0, "interner saw the left closure");
+}
+
+#[test]
+fn budget_exhaustion_is_deterministic_on_one_thread() {
     let m = micro_rel();
     let n = micro_graph();
     let kind = EquivKind::StateDependent { max_depth: 2 };
     let budget = CheckBudget::nodes(50);
-    let config = ParallelConfig::with_threads(1).budget(budget);
-    let legacy = parallel_application_models_equivalent(&m, &n, kind, STATE_CAP, &config).unwrap();
-    let facade = Checker::new(&m, &n)
+    let first = Checker::new(&m, &n)
         .tier(Tier::from_kind(kind))
         .state_cap(STATE_CAP)
         .budget(budget)
         .run()
         .unwrap();
+    let second = Checker::new(&m, &n)
+        .tier(Tier::from_kind(kind))
+        .state_cap(STATE_CAP)
+        .parallel(ParallelConfig::with_threads(1))
+        .budget(budget)
+        .run()
+        .unwrap();
     // `elapsed` is wall-clock and differs between the two runs; a
     // single-threaded budgeted sweep stops at the same node either way.
-    match (&facade, &legacy) {
+    match (&first, &second) {
         (
             Verdict::BudgetExhausted { nodes_explored: f, .. },
             Verdict::BudgetExhausted { nodes_explored: l, .. },
@@ -303,6 +246,28 @@ fn observer_enabled_and_disabled_agree_everywhere() {
 }
 
 #[test]
+fn observed_run_lands_in_the_check_latency_histogram() {
+    use borkin_equiv::obs::Metric;
+
+    let m = toy_model("m", &[(true, 0), (true, 1)]);
+    let n = toy_model("n", &[(true, 0), (true, 1)]);
+    let obs = Observer::new(RingSink::with_capacity(64));
+    for _ in 0..3 {
+        Checker::new(&m, &n)
+            .observer(obs.clone())
+            .run()
+            .unwrap();
+    }
+    let snapshots = obs.histograms();
+    let check = snapshots
+        .iter()
+        .find(|(metric, _)| *metric == Metric::CheckLatency)
+        .map(|(_, snap)| snap)
+        .expect("Checker::run records check_latency_us");
+    assert_eq!(check.count, 3);
+}
+
+#[test]
 fn operation_tier_compares_index_aligned_signatures() {
     let m = toy_model("m", &[(true, 0), (true, 1)]);
     let n = toy_model("n", &[(true, 0), (true, 1)]);
@@ -338,10 +303,12 @@ fn def6_with_jsonl_sink_writes_machine_readable_transcript() {
         .sink(sink)
         .run()
         .unwrap();
-    let legacy = data_model_equivalent(&ms, &ns, kind, STATE_CAP)
-        .map(|r| r.to_verdict())
+    let sequential = Checker::data_models(&ms, &ns)
+        .tier(Tier::DataModel { kind })
+        .state_cap(STATE_CAP)
+        .run()
         .unwrap();
-    assert_eq!(verdict.is_equivalent(), legacy.is_equivalent());
+    assert_eq!(verdict.is_equivalent(), sequential.is_equivalent());
 
     let transcript = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();

@@ -1,0 +1,98 @@
+//! Golden-file tests for the telemetry exporter formats: the
+//! Prometheus-style text and JSON renderings are machine-read by
+//! scrapers and dashboards, so their exact shape is pinned
+//! byte-for-byte under `tests/golden/`. Run with `UPDATE_GOLDEN=1` to
+//! refresh after an intentional format change.
+
+use std::path::PathBuf;
+
+use borkin_equiv::obs::{
+    json_snapshot, prometheus_text, Counter, Metric, Observer, RingSink,
+};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the pinned golden file, or rewrites the
+/// file when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from its golden file; rerun with UPDATE_GOLDEN=1 \
+         if the change is intentional"
+    );
+}
+
+/// An observer with a fixed set of counter bumps and latency samples —
+/// everything the exporters render is a function of these values, so
+/// the output is deterministic.
+fn fixture_observer() -> Observer {
+    let obs = Observer::new(RingSink::with_capacity(16));
+    obs.add(Counter::SessionsOpened, 2);
+    obs.add(Counter::TxnsCommitted, 7);
+    obs.add(Counter::TxnsAborted, 1);
+    obs.add(Counter::GroupCommits, 3);
+    obs.add(Counter::WalRecordsAppended, 7);
+    obs.add(Counter::CheckpointsTaken, 1);
+    for v in [90, 110, 130, 600, 2_500] {
+        obs.record(Metric::CommitLatency, v);
+    }
+    for v in [40, 55, 70] {
+        obs.record(Metric::WalSyncLatency, v);
+    }
+    obs.record(Metric::ReplayLatency, 12_000);
+    obs
+}
+
+#[test]
+fn prometheus_text_format_is_pinned() {
+    check_golden("telemetry_prometheus.txt", &prometheus_text(&fixture_observer()));
+}
+
+#[test]
+fn json_snapshot_format_is_pinned() {
+    check_golden("telemetry_snapshot.json", &json_snapshot(&fixture_observer()));
+}
+
+/// The golden fixtures double as format checks: the text rendering
+/// exposes every counter (a fixed sample set, zeros included) and the
+/// JSON parses line-free with sparse buckets.
+#[test]
+fn exporters_satisfy_their_format_contracts() {
+    let obs = fixture_observer();
+    let text = prometheus_text(&obs);
+    for counter in Counter::ALL {
+        assert!(
+            text.contains(&format!("dme_counter{{name=\"{}\"}}", counter.name())),
+            "text export misses counter {}",
+            counter.name()
+        );
+    }
+    assert!(text.contains("quantile=\"0.99\""));
+    assert!(text.ends_with('\n'));
+
+    let json = json_snapshot(&obs);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(!json.contains('\n'), "JSON snapshot is a single line");
+    assert!(json.contains("\"commit_latency_us\""));
+    assert!(
+        !json.contains("\"nodes_expanded\""),
+        "zero counters are omitted from JSON"
+    );
+}

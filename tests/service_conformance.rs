@@ -305,6 +305,106 @@ fn minimizer_produces_a_minimal_failing_schedule() {
     assert_eq!(fixed, minimal);
 }
 
+/// Acceptance check: one transaction's `TraceId` is greppable from a
+/// JSON-lines transcript and reconstructs the causal path admit →
+/// verify (with the equivalence tier that checked it) → group commit →
+/// WAL append → recovery replay.
+#[test]
+fn one_trace_id_reconstructs_the_transaction_causal_path() {
+    use borkin_equiv::obs::{JsonLinesSink, Observer};
+
+    let cfg = shop_cfg(7);
+    let initial = workload::graph_state(cfg);
+    let path = std::env::temp_dir().join(format!(
+        "dme_conformance_trace_{}.jsonl",
+        std::process::id()
+    ));
+    let sink = JsonLinesSink::create(&path).unwrap();
+    let obs = Observer::new(sink.clone());
+    let config = ServiceConfig {
+        obs: obs.clone(),
+        ..ServiceConfig::default()
+    };
+    let service = SessionService::new(
+        initial.clone(),
+        views(cfg),
+        config.clone(),
+        Box::new(MemDevice::new()),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+    let mut sess = service.open_session(SessionKind::Graph).unwrap();
+    let mut infos = Vec::new();
+    for op in workload::supervision_toggle_ops(cfg, 3) {
+        infos.push(sess.submit_graph(vec![op]).unwrap());
+    }
+    sess.close().unwrap();
+
+    // Recovery replays into the same transcript, closing the loop.
+    let (recovered, _) = SessionService::recover(
+        Arc::clone(initial.schema()),
+        &service.durable_image(),
+        views(cfg),
+        config,
+        Box::new(MemDevice::new()),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+    assert_eq!(recovered.conceptual(), service.conceptual());
+
+    sink.flush().unwrap();
+    let transcript = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    // Every commit got a distinct trace id.
+    let mut ids: Vec<String> = infos.iter().map(|i| i.trace.to_string()).collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), infos.len(), "trace ids are distinct per txn");
+
+    // Grep the middle transaction's id out of the transcript: its
+    // trace events, in file (= causal) order.
+    let info = &infos[1];
+    let needle = info.trace.to_string();
+    let mut names = Vec::new();
+    let mut verify_detail = String::new();
+    for line in transcript.lines().filter(|l| l.contains(&needle)) {
+        assert!(line.contains("\"ev\":\"trace\""), "non-trace line: {line}");
+        let name = line
+            .split("\"name\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_else(|| panic!("unnamed trace line: {line}"));
+        if name == "server/verify" {
+            verify_detail = line.to_string();
+        }
+        names.push(name.to_string());
+    }
+    assert_eq!(
+        names,
+        vec![
+            "server/admit",
+            "server/verify",
+            "server/group_commit",
+            "server/wal_append",
+            "server/replay",
+        ],
+        "trace {needle} causal path"
+    );
+    assert!(
+        verify_detail.contains("tier=def2-state-equivalence")
+            || verify_detail.contains("tier=def1-translation"),
+        "verify event names its equivalence tier: {verify_detail}"
+    );
+    // And the WAL record itself is stamped with the same id.
+    let records = borkin_equiv::storage::wal::replay(&service.durable_image().wal).unwrap();
+    assert!(
+        records
+            .iter()
+            .any(|r| r.trace == Some(info.trace.as_u64()) && r.lsn == info.lsn),
+        "WAL carries the trace stamp"
+    );
+}
+
 /// A deterministic smoke case pinning the oracle end to end (the
 /// property above runs it across many random specs).
 #[test]
