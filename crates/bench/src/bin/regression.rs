@@ -344,36 +344,61 @@ fn main() {
     let schema = Arc::new(witness::mini_graph_schema());
     let ops = enumerate_graph_ops(&schema);
     let n = graph_model("mini-graph", GraphState::empty(schema), ops);
-    let stats = time_us(SAMPLES, || {
-        let verdict = Checker::new(&m, &n)
-            .tier(Tier::StateDependent { max_depth: 3 })
-            .state_cap(STATE_CAP)
-            .run()
-            .expect("runs");
-        assert!(verdict.is_equivalent());
-    });
-    println!("mini_machine_shop/sequential: {}µs", stats.median_us);
-    fixtures.push(Timing {
-        name: "mini_machine_shop/sequential".into(),
-        stats,
-    });
-    for threads in [1usize, 4] {
-        let config = ParallelConfig::with_threads(threads);
-        let stats = time_us(SAMPLES, || {
-            let verdict = Checker::new(&m, &n)
+    // The mini configs are sampled round-robin (seq, t1, t2, t4 per
+    // round) rather than config-by-config: the scaling guard below
+    // compares these medians, and on a busy shared host a whole-block
+    // schedule lets slow drift land on one config and bias the
+    // comparison.
+    let mini_configs: [(&str, usize); 4] = [
+        ("mini_machine_shop/sequential", 0),
+        ("mini_machine_shop/parallel/t1", 1),
+        ("mini_machine_shop/parallel/t2", 2),
+        ("mini_machine_shop/parallel/t4", 4),
+    ];
+    let mut mini_samples: Vec<Vec<u64>> = vec![Vec::new(); mini_configs.len()];
+    for _ in 0..SAMPLES {
+        for (i, (_, threads)) in mini_configs.iter().enumerate() {
+            let mut checker = Checker::new(&m, &n)
                 .tier(Tier::StateDependent { max_depth: 3 })
-                .state_cap(STATE_CAP)
-                .parallel(config)
-                .run()
-                .expect("runs");
+                .state_cap(STATE_CAP);
+            if *threads > 0 {
+                checker = checker.parallel(ParallelConfig::with_threads(*threads));
+            }
+            let t = Instant::now();
+            let verdict = checker.run().expect("runs");
+            mini_samples[i].push(t.elapsed().as_micros() as u64);
             assert!(verdict.is_equivalent());
-        });
-        println!("mini_machine_shop/parallel/t{threads}: {}µs", stats.median_us);
+        }
+    }
+    for ((name, _), samples) in mini_configs.iter().zip(mini_samples) {
+        let stats = Stats::from_samples(samples);
+        println!("{name}: {}µs", stats.median_us);
         fixtures.push(Timing {
-            name: format!("mini_machine_shop/parallel/t{threads}"),
+            name: (*name).into(),
             stats,
         });
     }
+
+    // ---- Scaling guard: more threads must never cost wall-clock ------
+    // The regression this pins down: before the adaptive sequential
+    // fallback, a t4 run on the largest fixture was *slower* than t1
+    // (thread spawn + merge overhead on sub-threshold work items). A
+    // 10% tolerance absorbs timer noise at this sample size.
+    let median_of = |name: &str| {
+        fixtures
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| panic!("fixture {name} was timed"))
+            .stats
+            .median_us
+    };
+    let mini_t1 = median_of("mini_machine_shop/parallel/t1");
+    let mini_t4 = median_of("mini_machine_shop/parallel/t4");
+    assert!(
+        mini_t4 as f64 <= mini_t1 as f64 * 1.10,
+        "parallel scaling regression: mini_machine_shop t4 {mini_t4}µs > t1 {mini_t1}µs (+10%)"
+    );
+    println!("scaling guard: mini t4 {mini_t4}µs <= t1 {mini_t1}µs (+10%) ok");
 
     // ---- Observer overhead on the mini machine shop ------------------
     // The acceptance bar: a disabled observer (no sink) must be free —
@@ -442,6 +467,56 @@ fn main() {
         }
     }
 
+    // ---- Closure scaling: arena hit rate and per-state cost ----------
+    // The workload crate's supervision-toggle knob: k disjoint pairs
+    // give a 2^k-state powerset closure, so k = 7/10/13 sweeps the
+    // closure enumerator from ~10^2 to ~10^4 states. Alongside the
+    // medians we record the arena's probe economics (hit rate) and the
+    // amortized cost per interned state.
+    println!("== closure scaling ==");
+    let mut closure_rows: Vec<String> = Vec::new();
+    for k in [7usize, 10, 13] {
+        let cfg = dme_workload::ShopConfig {
+            employees: 2 * k,
+            machines: 0,
+            supervisions: 0,
+            seed: 42,
+        };
+        let ops = dme_workload::supervision_closure_ops(cfg, k);
+        let model = graph_model(
+            format!("closure-2^{k}"),
+            dme_workload::graph_state(cfg),
+            ops,
+        );
+        let cap = (1usize << k) + 1;
+        let mut arena_stats = dme_core::ArenaStats::default();
+        let stats = time_us(SAMPLES, || {
+            let closure = model.closure(cap).expect("closure fits under its cap");
+            assert_eq!(closure.len(), 1 << k, "closure is the full powerset");
+            arena_stats = closure.arena.stats();
+        });
+        let states = 1usize << k;
+        let ns_per_state = stats.median_us * 1_000 / states as u64;
+        println!(
+            "k={k} states={states}: {}µs ({ns_per_state}ns/state, \
+             hit rate {:.3}, {} hits / {} misses)",
+            stats.median_us,
+            arena_stats.hit_rate(),
+            arena_stats.hits,
+            arena_stats.misses
+        );
+        closure_rows.push(format!(
+            "{{\"k\":{k},\"states\":{states},\"ops\":{},{},\
+             \"ns_per_state\":{ns_per_state},\"arena_hits\":{},\"arena_misses\":{},\
+             \"arena_hit_rate\":{:.6}}}",
+            2 * k,
+            stats.json_fields(),
+            arena_stats.hits,
+            arena_stats.misses,
+            arena_stats.hit_rate()
+        ));
+    }
+
     // ---- Session-service throughput: group vs per-op commit ----------
     println!("== service throughput ==");
     let service_rows = service_throughput();
@@ -479,6 +554,14 @@ fn main() {
         ovh_jsonl.json_fields()
     ));
     for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(s);
+    }
+    out.push_str("\n  ],\n  \"closure_scaling\": [");
+    for (i, s) in closure_rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

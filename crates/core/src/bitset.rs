@@ -1,0 +1,169 @@
+//! Word-packed bitsets over dense [`StateId`](crate::arena::StateId)
+//! spaces.
+//!
+//! The reachability computations of Definitions 4–5 maintain per-state
+//! sets of reachable pair indices. With states named by dense integers
+//! (see [`crate::arena`]), those sets pack into machine words: membership
+//! is a shift and a mask, union is a word-wise `OR`, and the whole
+//! frontier of a breadth-first sweep fits in `n / 64` words instead of a
+//! pointer-chasing tree.
+
+/// A fixed-universe bitset over `0..capacity`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The universe size this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`, returning `true` if it was absent.
+    ///
+    /// Panics if `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of universe {}", self.capacity);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let absent = self.words[w] & b == 0;
+        self.words[w] |= b;
+        absent
+    }
+
+    /// Removes `i`, returning `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let present = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        present
+    }
+
+    /// Membership test. Out-of-universe indices are simply absent.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Word-wise union: `self ∪= other`. Returns `true` if `self` grew.
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bitset union over mismatched universes"
+        );
+        let mut grew = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let merged = *w | o;
+            grew |= merged != *w;
+            *w = merged;
+        }
+        grew
+    }
+
+    /// Number of elements (population count).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn basic_operations() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports present");
+        assert!(s.contains(129) && !s.contains(128) && !s.contains(500));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Insert/remove/contains/count/iter agree with a `BTreeSet`
+        /// oracle over arbitrary scripts.
+        #[test]
+        fn agrees_with_btreeset_oracle(
+            script in prop::collection::vec((any::<bool>(), 0usize..200), 0..64),
+        ) {
+            let mut bits = BitSet::with_capacity(200);
+            let mut oracle: BTreeSet<usize> = BTreeSet::new();
+            for (insert, i) in script {
+                if insert {
+                    prop_assert_eq!(bits.insert(i), oracle.insert(i));
+                } else {
+                    prop_assert_eq!(bits.remove(i), oracle.remove(&i));
+                }
+            }
+            prop_assert_eq!(bits.count(), oracle.len());
+            prop_assert_eq!(bits.is_empty(), oracle.is_empty());
+            prop_assert_eq!(bits.iter().collect::<Vec<_>>(),
+                            oracle.iter().copied().collect::<Vec<_>>());
+            for i in 0..200 {
+                prop_assert_eq!(bits.contains(i), oracle.contains(&i));
+            }
+        }
+
+        /// Union agrees with the set-theoretic oracle and reports
+        /// growth correctly.
+        #[test]
+        fn union_agrees_with_oracle(
+            a in prop::collection::btree_set(0usize..150, 0..40),
+            b in prop::collection::btree_set(0usize..150, 0..40),
+        ) {
+            let mut ba = BitSet::with_capacity(150);
+            let mut bb = BitSet::with_capacity(150);
+            for &i in &a { ba.insert(i); }
+            for &i in &b { bb.insert(i); }
+            let grew = ba.union_with(&bb);
+            let union: BTreeSet<usize> = a.union(&b).copied().collect();
+            prop_assert_eq!(grew, union.len() > a.len());
+            prop_assert_eq!(ba.iter().collect::<BTreeSet<_>>(), union);
+        }
+    }
+}

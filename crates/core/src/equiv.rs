@@ -26,6 +26,8 @@ use std::fmt;
 use dme_logic::{FactBase, ToFacts};
 use dme_obs::{Counter, Observer};
 
+use crate::arena::{Closure, StateId};
+use crate::bitset::BitSet;
 use crate::model::{ClosureTooLarge, FiniteModel};
 use crate::parallel::{Side, Verdict, Witness};
 
@@ -128,29 +130,112 @@ where
 /// or `None` for the error state.
 pub type Signature = Vec<Option<u32>>;
 
-fn signatures<S, O>(model: &FiniteModel<S, O>, states: &[S]) -> Vec<Signature>
+/// An enumerated model: the arena-backed closure with its memoized
+/// transition table, plus every state's compiled fact base (in state-ID
+/// order). Computed once per model and shared across all the checks that
+/// need it — in particular across every cell of a Definition 6 grid.
+pub(crate) struct EnumeratedModel<S> {
+    pub(crate) closure: Closure<S>,
+    pub(crate) facts: Vec<FactBase>,
+}
+
+impl<S> EnumeratedModel<S> {
+    fn len(&self) -> usize {
+        self.closure.len()
+    }
+}
+
+pub(crate) fn enumerate_model<S, O>(
+    model: &FiniteModel<S, O>,
+    state_cap: usize,
+) -> Result<EnumeratedModel<S>, ClosureTooLarge>
 where
     S: Clone + Ord + ToFacts,
     O: Clone,
 {
-    let index: BTreeMap<&S, u32> = states
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s, i as u32))
-        .collect();
-    model
-        .ops()
-        .iter()
-        .map(|op| {
-            states
+    let closure = model.closure(state_cap)?;
+    let facts = closure.arena.states().iter().map(ToFacts::to_facts).collect();
+    Ok(EnumeratedModel { closure, facts })
+}
+
+/// The §3.3.1 state equivalence correspondence over two enumerated
+/// closures, in integer form: `m_by_pair[p]` / `n_by_pair[p]` name the
+/// states of pair *p* (pairs ordered by fact base), and `m_rank` /
+/// `n_rank` invert them (state index → pair index).
+pub(crate) struct PairedClosures {
+    pub(crate) pairs: usize,
+    pub(crate) m_by_pair: Vec<StateId>,
+    pub(crate) n_by_pair: Vec<StateId>,
+    pub(crate) m_rank: Vec<u32>,
+    pub(crate) n_rank: Vec<u32>,
+}
+
+pub(crate) fn pair_enumerated<MS, NS>(
+    m: &EnumeratedModel<MS>,
+    n: &EnumeratedModel<NS>,
+) -> Result<PairedClosures, CheckError> {
+    let mut m_by_facts: BTreeMap<&FactBase, StateId> = BTreeMap::new();
+    for (i, fb) in m.facts.iter().enumerate() {
+        if m_by_facts.insert(fb, StateId::from_index(i)).is_some() {
+            return Err(CheckError::Pairing(
+                "two left states share a fact base (compilation not injective)".into(),
+            ));
+        }
+    }
+    let mut n_by_facts: BTreeMap<&FactBase, StateId> = BTreeMap::new();
+    for (i, fb) in n.facts.iter().enumerate() {
+        if n_by_facts.insert(fb, StateId::from_index(i)).is_some() {
+            return Err(CheckError::Pairing(
+                "two right states share a fact base (compilation not injective)".into(),
+            ));
+        }
+    }
+    if m_by_facts.len() != n_by_facts.len() || !m_by_facts.keys().eq(n_by_facts.keys()) {
+        let only_left = m_by_facts
+            .keys()
+            .filter(|k| !n_by_facts.contains_key(*k))
+            .count();
+        let only_right = n_by_facts
+            .keys()
+            .filter(|k| !m_by_facts.contains_key(*k))
+            .count();
+        return Err(CheckError::Pairing(format!(
+            "state sets are not onto: {only_left} application states expressible only on the left, {only_right} only on the right"
+        )));
+    }
+    let m_by_pair: Vec<StateId> = m_by_facts.into_values().collect();
+    let n_by_pair: Vec<StateId> = n_by_facts.into_values().collect();
+    let mut m_rank = vec![0u32; m.len()];
+    for (p, sid) in m_by_pair.iter().enumerate() {
+        m_rank[sid.index()] = p as u32;
+    }
+    let mut n_rank = vec![0u32; n.len()];
+    for (p, sid) in n_by_pair.iter().enumerate() {
+        n_rank[sid.index()] = p as u32;
+    }
+    Ok(PairedClosures {
+        pairs: m_by_pair.len(),
+        m_by_pair,
+        n_by_pair,
+        m_rank,
+        n_rank,
+    })
+}
+
+/// Behaviour signatures as a pure relabelling of the memoized transition
+/// table: no operation is re-applied — `sig[op][p]` is the recorded
+/// successor of pair `p`'s state, renamed to its pair index.
+pub(crate) fn relabel_signatures<S>(
+    e: &EnumeratedModel<S>,
+    by_pair: &[StateId],
+    rank: &[u32],
+    op_count: usize,
+) -> Vec<Signature> {
+    (0..op_count)
+        .map(|oi| {
+            by_pair
                 .iter()
-                .map(|s| {
-                    model.apply(op, s).map(|next| {
-                        *index
-                            .get(&next)
-                            .expect("closure is closed under operations")
-                    })
-                })
+                .map(|sid| e.closure.transitions[sid.index()][oi].map(|t| rank[t.index()]))
                 .collect()
         })
         .collect()
@@ -167,42 +252,46 @@ pub(crate) fn compose(first: &Signature, then: &Signature) -> Signature {
         .collect()
 }
 
-/// Enumerates both closures and aligns them through the §3.3.1 state
-/// equivalence correspondence, with the work attributed to the
-/// observer's `seq/closure` and `seq/pairing` spans.
-fn paired_lists_obs<MS, MO, NS, NO>(
+/// Enumerates both closures into arenas, with the work attributed to the
+/// observer's `seq/closure` span and the arena probe statistics exported
+/// as the `arena_hits`/`arena_misses` counters.
+fn closure_phase_obs<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
     state_cap: usize,
     obs: &Observer,
-) -> Result<(Vec<MS>, Vec<NS>), CheckError>
+) -> Result<(EnumeratedModel<MS>, EnumeratedModel<NS>), CheckError>
 where
     MS: Clone + Ord + ToFacts,
     NS: Clone + Ord + ToFacts,
     MO: Clone,
     NO: Clone,
 {
-    let (m_states, n_states) = {
-        let _span = obs.span("seq/closure");
-        let m_states = m.reachable_states(state_cap)?;
-        let n_states = n.reachable_states(state_cap)?;
-        obs.add(
-            Counter::StatesEnumerated,
-            (m_states.len() + n_states.len()) as u64,
-        );
-        obs.add(
-            Counter::NodesExpanded,
-            ((m_states.len() * m.ops().len()) + (n_states.len() * n.ops().len())) as u64,
-        );
-        (m_states, n_states)
-    };
+    let _span = obs.span("seq/closure");
+    let me = enumerate_model(m, state_cap)?;
+    let ne = enumerate_model(n, state_cap)?;
+    obs.add(Counter::StatesEnumerated, (me.len() + ne.len()) as u64);
+    obs.add(
+        Counter::NodesExpanded,
+        ((me.len() * m.ops().len()) + (ne.len() * n.ops().len())) as u64,
+    );
+    let (ms, ns) = (me.closure.arena.stats(), ne.closure.arena.stats());
+    obs.add(Counter::ArenaHits, ms.hits + ns.hits);
+    obs.add(Counter::ArenaMisses, ms.misses + ns.misses);
+    Ok((me, ne))
+}
+
+/// Aligns two enumerated closures through the §3.3.1 state equivalence
+/// correspondence, attributed to the `seq/pairing` span.
+fn pairing_phase_obs<MS, NS>(
+    me: &EnumeratedModel<MS>,
+    ne: &EnumeratedModel<NS>,
+    obs: &Observer,
+) -> Result<PairedClosures, CheckError> {
     let _span = obs.span("seq/pairing");
     obs.add(Counter::PairingChecks, 1);
-    obs.add(
-        Counter::StatesCompiled,
-        (m_states.len() + n_states.len()) as u64,
-    );
-    pair_states(&m_states, &n_states)
+    obs.add(Counter::StatesCompiled, (me.len() + ne.len()) as u64);
+    pair_enumerated(me, ne)
 }
 
 /// Definition 1 lifted to whole models, as used by
@@ -224,9 +313,26 @@ where
     NO: Clone + fmt::Display,
 {
     let _tier = obs.span_with("seq/operation", || format!("{} vs {}", m.name(), n.name()));
-    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
-    let m_sigs = signatures(m, &m_states);
-    let n_sigs = signatures(n, &n_states);
+    let (me, ne) = closure_phase_obs(m, n, state_cap, obs)?;
+    operation_pairs_from_enums(m, &me, n, &ne, obs)
+}
+
+pub(crate) fn operation_pairs_from_enums<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    me: &EnumeratedModel<MS>,
+    n: &FiniteModel<NS, NO>,
+    ne: &EnumeratedModel<NS>,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let paired = pairing_phase_obs(me, ne, obs)?;
+    let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
+    let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
     obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
     let mut unmatched_m = Vec::new();
     let mut unmatched_n = Vec::new();
@@ -250,7 +356,7 @@ where
         equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
         unmatched_m,
         unmatched_n,
-        state_pairs: m_states.len(),
+        state_pairs: paired.pairs,
     })
 }
 
@@ -329,14 +435,31 @@ where
     NO: Clone + fmt::Display,
 {
     let _tier = obs.span_with("seq/isomorphic", || format!("{} vs {}", m.name(), n.name()));
-    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
+    let (me, ne) = closure_phase_obs(m, n, state_cap, obs)?;
+    isomorphic_from_enums(m, &me, n, &ne, obs)
+}
+
+pub(crate) fn isomorphic_from_enums<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    me: &EnumeratedModel<MS>,
+    n: &FiniteModel<NS, NO>,
+    ne: &EnumeratedModel<NS>,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let paired = pairing_phase_obs(me, ne, obs)?;
     let _span = obs.span("seq/signatures");
-    let m_sigs = signatures(m, &m_states);
-    let n_sigs = signatures(n, &n_states);
+    let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
+    let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
     obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
     obs.add(
         Counter::NodesExpanded,
-        ((m_sigs.len() + n_sigs.len()) * m_states.len()) as u64,
+        ((m_sigs.len() + n_sigs.len()) * paired.pairs) as u64,
     );
     let n_set: BTreeSet<&Signature> = n_sigs.iter().collect();
     let m_set: BTreeSet<&Signature> = m_sigs.iter().collect();
@@ -362,7 +485,7 @@ where
         equivalent: unmatched_m.is_empty() && unmatched_n.is_empty(),
         unmatched_m,
         unmatched_n,
-        state_pairs: m_states.len(),
+        state_pairs: paired.pairs,
     })
 }
 
@@ -415,10 +538,28 @@ where
     let _tier = obs.span_with("seq/composed", || {
         format!("{} vs {} (depth {max_depth})", m.name(), n.name())
     });
-    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
-    let pairs = m_states.len();
-    let m_sigs = signatures(m, &m_states);
-    let n_sigs = signatures(n, &n_states);
+    let (me, ne) = closure_phase_obs(m, n, state_cap, obs)?;
+    composed_from_enums(m, &me, n, &ne, max_depth, obs)
+}
+
+pub(crate) fn composed_from_enums<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    me: &EnumeratedModel<MS>,
+    n: &FiniteModel<NS, NO>,
+    ne: &EnumeratedModel<NS>,
+    max_depth: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let paired = pairing_phase_obs(me, ne, obs)?;
+    let pairs = paired.pairs;
+    let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
+    let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
     obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
     let (m_star, n_star) = {
         let _span = obs.span("seq/composition");
@@ -468,11 +609,11 @@ fn per_state_reachability(
     op_sigs: &[Signature],
     pairs: usize,
     max_depth: usize,
-) -> (Vec<BTreeSet<u32>>, Vec<bool>) {
-    let mut reach: Vec<BTreeSet<u32>> = Vec::with_capacity(pairs);
+) -> (Vec<BitSet>, Vec<bool>) {
+    let mut reach: Vec<BitSet> = Vec::with_capacity(pairs);
     let mut can_error: Vec<bool> = vec![false; pairs];
     for start in 0..pairs as u32 {
-        let (seen, error) = reach_from(op_sigs, start, max_depth);
+        let (seen, error) = reach_from(op_sigs, pairs, start, max_depth);
         reach.push(seen);
         can_error[start as usize] = error;
     }
@@ -480,16 +621,18 @@ fn per_state_reachability(
 }
 
 /// One start state's slice of [`per_state_reachability`]: the pair
-/// indices reachable from `start` within `max_depth` steps, and whether
-/// the error state is reachable. Shared with the parallel engine, which
-/// fans the starts across workers.
+/// indices reachable from `start` within `max_depth` steps (as a
+/// word-packed [`BitSet`] over the pair universe), and whether the error
+/// state is reachable. Shared with the parallel engine, which fans the
+/// starts across workers.
 pub(crate) fn reach_from(
     op_sigs: &[Signature],
+    pairs: usize,
     start: u32,
     max_depth: usize,
-) -> (BTreeSet<u32>, bool) {
-    let mut seen: BTreeSet<u32> = BTreeSet::new();
-    seen.insert(start);
+) -> (BitSet, bool) {
+    let mut seen = BitSet::with_capacity(pairs);
+    seen.insert(start as usize);
     let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
     queue.push_back((start, 0));
     let mut error = false;
@@ -500,7 +643,7 @@ pub(crate) fn reach_from(
         for sig in op_sigs {
             match sig[state as usize] {
                 Some(next) => {
-                    if seen.insert(next) {
+                    if seen.insert(next as usize) {
                         queue.push_back((next, depth + 1));
                     }
                 }
@@ -530,16 +673,34 @@ where
     let _tier = obs.span_with("seq/state_dependent", || {
         format!("{} vs {} (depth {max_depth})", m.name(), n.name())
     });
-    let (m_states, n_states) = paired_lists_obs(m, n, state_cap, obs)?;
-    let pairs = m_states.len();
-    let m_sigs = signatures(m, &m_states);
-    let n_sigs = signatures(n, &n_states);
+    let (me, ne) = closure_phase_obs(m, n, state_cap, obs)?;
+    state_dependent_from_enums(m, &me, n, &ne, max_depth, obs)
+}
+
+pub(crate) fn state_dependent_from_enums<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    me: &EnumeratedModel<MS>,
+    n: &FiniteModel<NS, NO>,
+    ne: &EnumeratedModel<NS>,
+    max_depth: usize,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    let paired = pairing_phase_obs(me, ne, obs)?;
+    let pairs = paired.pairs;
+    let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
+    let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
     obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
     let (n_reach, n_err, m_reach, m_err) = {
         let _span = obs.span("seq/reachability");
         let (n_reach, n_err) = per_state_reachability(&n_sigs, pairs, max_depth);
         let (m_reach, m_err) = per_state_reachability(&m_sigs, pairs, max_depth);
-        let expansions: usize = n_reach.iter().chain(&m_reach).map(BTreeSet::len).sum();
+        let expansions: usize = n_reach.iter().chain(&m_reach).map(BitSet::count).sum();
         obs.add(Counter::ReachabilityExpansions, expansions as u64);
         obs.add(
             Counter::NodesExpanded,
@@ -548,22 +709,19 @@ where
         (n_reach, n_err, m_reach, m_err)
     };
 
-    let check = |sigs: &[Signature],
-                 ops: Vec<String>,
-                 reach: &[BTreeSet<u32>],
-                 err: &[bool]|
-     -> Vec<String> {
-        ops.into_iter()
-            .zip(sigs)
-            .filter(|(_, sig)| {
-                (0..pairs).any(|i| match sig[i] {
-                    Some(target) => !reach[i].contains(&target),
-                    None => !err[i],
+    let check =
+        |sigs: &[Signature], ops: Vec<String>, reach: &[BitSet], err: &[bool]| -> Vec<String> {
+            ops.into_iter()
+                .zip(sigs)
+                .filter(|(_, sig)| {
+                    (0..pairs).any(|i| match sig[i] {
+                        Some(target) => !reach[i].contains(target as usize),
+                        None => !err[i],
+                    })
                 })
-            })
-            .map(|(op, _)| op)
-            .collect()
-    };
+                .map(|(op, _)| op)
+                .collect()
+        };
 
     let unmatched_m = check(
         &m_sigs,
@@ -609,6 +767,43 @@ where
         EquivKind::Composed { max_depth } => composed_report_obs(m, n, state_cap, max_depth, obs),
         EquivKind::StateDependent { max_depth } => {
             state_dependent_report_obs(m, n, state_cap, max_depth, obs)
+        }
+    }
+}
+
+/// [`app_models_report_obs`] over pre-enumerated closures — the grid
+/// checker's fast path: each model's closure is enumerated once and
+/// reused across every cell it participates in.
+fn app_models_report_from_enums<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    me: &EnumeratedModel<MS>,
+    n: &FiniteModel<NS, NO>,
+    ne: &EnumeratedModel<NS>,
+    kind: EquivKind,
+    obs: &Observer,
+) -> Result<MatchReport, CheckError>
+where
+    MS: Clone + Ord + ToFacts,
+    NS: Clone + Ord + ToFacts,
+    MO: Clone + fmt::Display,
+    NO: Clone + fmt::Display,
+{
+    match kind {
+        EquivKind::Isomorphic => {
+            let _tier = obs.span_with("seq/isomorphic", || format!("{} vs {}", m.name(), n.name()));
+            isomorphic_from_enums(m, me, n, ne, obs)
+        }
+        EquivKind::Composed { max_depth } => {
+            let _tier = obs.span_with("seq/composed", || {
+                format!("{} vs {} (depth {max_depth})", m.name(), n.name())
+            });
+            composed_from_enums(m, me, n, ne, max_depth, obs)
+        }
+        EquivKind::StateDependent { max_depth } => {
+            let _tier = obs.span_with("seq/state_dependent", || {
+                format!("{} vs {} (depth {max_depth})", m.name(), n.name())
+            });
+            state_dependent_from_enums(m, me, n, ne, max_depth, obs)
         }
     }
 }
@@ -689,6 +884,30 @@ impl fmt::Display for DataModelReport {
     }
 }
 
+fn record_enum_counters<S, O>(
+    models: &[FiniteModel<S, O>],
+    enums: &[EnumeratedModel<S>],
+    obs: &Observer,
+) where
+    S: Clone + Ord + ToFacts,
+    O: Clone,
+{
+    let states: usize = enums.iter().map(EnumeratedModel::len).sum();
+    let expanded: usize = models
+        .iter()
+        .zip(enums)
+        .map(|(m, e)| e.len() * m.ops().len())
+        .sum();
+    obs.add(Counter::StatesEnumerated, states as u64);
+    obs.add(Counter::NodesExpanded, expanded as u64);
+    let (hits, misses) = enums.iter().fold((0, 0), |(h, mi), e| {
+        let s = e.closure.arena.stats();
+        (h + s.hits, mi + s.misses)
+    });
+    obs.add(Counter::ArenaHits, hits);
+    obs.add(Counter::ArenaMisses, misses);
+}
+
 /// Definition 6: two data models (finite sets of application models) are
 /// equivalent iff application model equivalence defines a correspondence
 /// onto both sets. The correspondence need not be 1-1 (§3.3.2: "there may
@@ -712,17 +931,37 @@ where
         format!("{}x{} grid", ms.len(), ns.len())
     });
     obs.add(Counter::GridCells, (ms.len() * ns.len()) as u64);
+    // Enumerate every model's closure exactly once; the cells below only
+    // pair and relabel.
+    let m_enums: Vec<EnumeratedModel<MS>> = {
+        let _span = obs.span("seq/closure");
+        let enums: Vec<_> = ms
+            .iter()
+            .map(|m| enumerate_model(m, state_cap))
+            .collect::<Result<_, _>>()?;
+        record_enum_counters(ms, &enums, obs);
+        enums
+    };
+    let n_enums: Vec<EnumeratedModel<NS>> = {
+        let _span = obs.span("seq/closure");
+        let enums: Vec<_> = ns
+            .iter()
+            .map(|n| enumerate_model(n, state_cap))
+            .collect::<Result<_, _>>()?;
+        record_enum_counters(ns, &enums, obs);
+        enums
+    };
     let mut matches_m: Vec<(String, Vec<String>)> = Vec::new();
     let mut matches_n: Vec<(String, Vec<String>)> = ns
         .iter()
         .map(|n| (n.name().to_owned(), Vec::new()))
         .collect();
-    for m in ms {
+    for (m, me) in ms.iter().zip(&m_enums) {
         let mut found = Vec::new();
-        for (ni, n) in ns.iter().enumerate() {
+        for (ni, (n, ne)) in ns.iter().zip(&n_enums).enumerate() {
             // A pairing failure means "not equivalent", not a checker
             // error: the two models express different application states.
-            let report = match app_models_report_obs(m, n, kind, state_cap, obs) {
+            let report = match app_models_report_from_enums(m, me, n, ne, kind, obs) {
                 Ok(r) => r,
                 Err(CheckError::Pairing(_)) => continue,
                 Err(e) => return Err(e),
@@ -898,7 +1137,7 @@ mod tests {
         // op: 0→1, 1→err.
         let sigs = vec![vec![Some(1), None]];
         let (reach, err) = per_state_reachability(&sigs, 2, 3);
-        assert!(reach[0].contains(&1));
+        assert!(reach[0].contains(1));
         assert!(err[0], "0 →op→ 1 →op→ error within depth");
         assert!(err[1]);
         // Depth 1 from state 0: reaches 1, sees no error yet beyond it…

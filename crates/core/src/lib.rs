@@ -31,12 +31,16 @@
 //! definition of the valid states. For infinite models the constructive
 //! translators (verified per call) take over.
 
+pub mod arena;
+pub mod bitset;
 pub mod canon;
 pub mod check;
 pub mod enumerate;
 pub mod equiv;
 pub mod model;
 pub mod parallel;
+#[cfg(feature = "slow-reference")]
+pub mod slow_reference;
 pub mod translate;
 pub mod witness;
 
@@ -44,6 +48,8 @@ pub mod witness;
 /// callers can build sinks and reports without a separate dependency.
 pub use dme_obs as obs;
 
+pub use arena::{ArenaStats, Closure, StateArena, StateId};
+pub use bitset::BitSet;
 pub use canon::{FactInterner, InternerStats};
 pub use check::{Checker, Tier, DEFAULT_STATE_CAP};
 pub use equiv::{pair_states, CheckError, DataModelReport, EquivKind, MatchReport};

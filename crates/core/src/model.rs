@@ -14,15 +14,36 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::Hash;
 use std::sync::Arc;
 
-use dme_logic::ToFacts;
+use dme_logic::{content_fingerprint, DeltaState, ToFacts};
 
 use dme_graph::{GraphOp, GraphState};
 use dme_relation::{RelOp, RelationState};
 
+use crate::arena::{Closure, StateArena, StateId};
+
+/// A one-shot rollback token produced by [`FiniteModel::apply_delta`]:
+/// calling it restores the state to what it was before the delta.
+pub type UndoFn<S> = Box<dyn FnOnce(&mut S) + Send>;
+
+type FingerprintFn<S> = Arc<dyn Fn(&S) -> u64 + Send + Sync>;
+type DeltaFn<S, O> = Arc<dyn Fn(&O, &mut S) -> Option<UndoFn<S>> + Send + Sync>;
+type ValidateFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
 /// A finite application model: initial state, operations, application
 /// function. `None` from `apply` is the paper's error state.
+///
+/// Beyond the defining triple, a model carries two *kernel hooks* used
+/// by the arena-backed closure machinery ([`FiniteModel::closure`]):
+/// a state fingerprint (64-bit content hash, used to probe the
+/// [`StateArena`] before constructing successors) and a delta
+/// application (apply an operation in place, returning an undo token).
+/// Both have universal fallbacks — hash the whole state, clone-apply —
+/// so plain models work unchanged; the semantic-model wrappers
+/// ([`relational_model`], [`graph_model`]) install the incremental
+/// implementations from [`DeltaState`].
 #[derive(Clone)]
 pub struct FiniteModel<S, O> {
     name: String,
@@ -30,6 +51,14 @@ pub struct FiniteModel<S, O> {
     ops: Vec<O>,
     #[allow(clippy::type_complexity)]
     apply: Arc<dyn Fn(&O, &S) -> Option<S> + Send + Sync>,
+    fingerprint: FingerprintFn<S>,
+    delta: DeltaFn<S, O>,
+    /// Deferred-validation split, when the model supports it: the pair
+    /// `(candidate delta, validator)` such that `apply = candidate`
+    /// followed by the validator accepting the result. The closure
+    /// enumerator then only runs the validator on candidates that
+    /// probe-miss the arena — an interned state already passed it.
+    candidate: Option<(DeltaFn<S, O>, ValidateFn<S>)>,
 }
 
 impl<S, O> fmt::Debug for FiniteModel<S, O> {
@@ -62,24 +91,80 @@ impl std::error::Error for ClosureTooLarge {}
 
 impl<S, O> FiniteModel<S, O>
 where
-    S: Clone + Ord + ToFacts,
-    O: Clone,
+    S: Clone + Ord + Hash + ToFacts + Send + 'static,
+    O: Clone + 'static,
 {
-    /// Creates a model.
+    /// Creates a model with the fallback kernel hooks: whole-state
+    /// hashing for fingerprints and clone-apply for deltas. (The
+    /// `Hash + Send + 'static` bounds exist only for those fallbacks;
+    /// everything else lives in the laxer impl below.)
     pub fn new(
         name: impl Into<String>,
         initial: S,
         ops: Vec<O>,
         apply: impl Fn(&O, &S) -> Option<S> + Send + Sync + 'static,
     ) -> Self {
+        let apply: Arc<dyn Fn(&O, &S) -> Option<S> + Send + Sync> = Arc::new(apply);
+        let delta_apply = apply.clone();
         FiniteModel {
             name: name.into(),
             initial,
             ops,
-            apply: Arc::new(apply),
+            apply,
+            fingerprint: Arc::new(|s: &S| content_fingerprint(s)),
+            delta: Arc::new(move |op: &O, s: &mut S| {
+                let next = delta_apply(op, s)?;
+                let prev = std::mem::replace(s, next);
+                Some(Box::new(move |s: &mut S| *s = prev) as UndoFn<S>)
+            }),
+            candidate: None,
         }
     }
 
+    /// Replaces the fingerprint hook (must be a pure function of the
+    /// state's content: equal states ⇒ equal fingerprints).
+    pub fn with_fingerprint(mut self, f: impl Fn(&S) -> u64 + Send + Sync + 'static) -> Self {
+        self.fingerprint = Arc::new(f);
+        self
+    }
+
+    /// Replaces the delta hook. The delta must be observationally
+    /// identical to [`FiniteModel::apply`] (same success/error outcome,
+    /// same resulting state) and its undo token must restore the exact
+    /// prior state.
+    pub fn with_delta(
+        mut self,
+        f: impl Fn(&O, &mut S) -> Option<UndoFn<S>> + Send + Sync + 'static,
+    ) -> Self {
+        self.delta = Arc::new(f);
+        self
+    }
+
+    /// Installs a deferred-validation split of the application function.
+    ///
+    /// `candidate` must behave like the delta hook *minus* some final,
+    /// state-only validation pass, and `validate` must be that pass: for
+    /// every state and operation, `apply` succeeds iff `candidate`
+    /// succeeds *and* `validate` accepts the candidate state, in which
+    /// case the candidate state is the applied state. Because
+    /// validation is a pure function of the resulting state, the
+    /// closure enumerator skips it whenever the candidate hash-conses
+    /// to an already-interned (hence already-validated) state.
+    pub fn with_candidate(
+        mut self,
+        candidate: impl Fn(&O, &mut S) -> Option<UndoFn<S>> + Send + Sync + 'static,
+        validate: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.candidate = Some((Arc::new(candidate), Arc::new(validate)));
+        self
+    }
+}
+
+impl<S, O> FiniteModel<S, O>
+where
+    S: Clone + Ord + ToFacts,
+    O: Clone,
+{
     /// The model's display name.
     pub fn name(&self) -> &str {
         &self.name
@@ -100,30 +185,110 @@ where
         (self.apply)(op, state)
     }
 
+    /// The state's 64-bit content fingerprint (kernel hook).
+    pub fn state_fingerprint(&self, state: &S) -> u64 {
+        (self.fingerprint)(state)
+    }
+
+    /// Applies one operation in place (kernel hook). Returns an undo
+    /// token on success; on error (`None`) the state is untouched.
+    pub fn apply_delta(&self, op: &O, state: &mut S) -> Option<UndoFn<S>> {
+        (self.delta)(op, state)
+    }
+
+    /// The expansion delta used by the closure enumerators: the
+    /// candidate hook when a deferred-validation split is installed,
+    /// the full delta otherwise. A success must be followed by
+    /// [`FiniteModel::validate_candidate`] before the resulting state
+    /// may be interned as new.
+    pub fn expand_delta(&self, op: &O, state: &mut S) -> Option<UndoFn<S>> {
+        match &self.candidate {
+            Some((candidate, _)) => candidate(op, state),
+            None => (self.delta)(op, state),
+        }
+    }
+
+    /// Validates a candidate produced by [`FiniteModel::expand_delta`].
+    /// Trivially true when no deferred-validation split is installed
+    /// (the full delta already validated).
+    pub fn validate_candidate(&self, state: &S) -> bool {
+        match &self.candidate {
+            Some((_, validate)) => validate(state),
+            None => true,
+        }
+    }
+
+    /// Enumerates the closure into a [`StateArena`] with the memoized
+    /// transition table, driving expansion through the delta hook: each
+    /// frontier state is cloned once into a scratch buffer, every
+    /// operation is applied as an undoable delta, and the arena is
+    /// probed by fingerprint so successors are only materialized when
+    /// genuinely new.
+    ///
+    /// `on_expand` runs once per state before its expansion (with the
+    /// number of operations about to be applied); returning `false`
+    /// stops the enumeration early and yields `Ok(None)` — the budget
+    /// hook for the engine. IDs are assigned in breadth-first discovery
+    /// order, with ID 0 the initial state.
+    pub fn closure_with(
+        &self,
+        cap: usize,
+        mut on_expand: impl FnMut(usize) -> bool,
+    ) -> Result<Option<Closure<S>>, ClosureTooLarge> {
+        let mut arena: StateArena<S> = StateArena::new();
+        arena.intern(self.state_fingerprint(&self.initial), self.initial.clone());
+        let mut transitions: Vec<Vec<Option<StateId>>> = Vec::new();
+        let mut cursor = 0usize;
+        while cursor < arena.len() {
+            if !on_expand(self.ops.len()) {
+                return Ok(None);
+            }
+            let mut scratch = arena.get(StateId::from_index(cursor)).clone();
+            let mut row: Vec<Option<StateId>> = Vec::with_capacity(self.ops.len());
+            for op in &self.ops {
+                match self.expand_delta(op, &mut scratch) {
+                    None => row.push(None),
+                    Some(undo) => {
+                        let fp = self.state_fingerprint(&scratch);
+                        let id = match arena.probe(fp, &scratch) {
+                            Some(id) => {
+                                arena.add_probe_stats(1, 0);
+                                Some(id)
+                            }
+                            None if !self.validate_candidate(&scratch) => None,
+                            None => {
+                                if arena.len() >= cap {
+                                    return Err(ClosureTooLarge {
+                                        model: self.name.clone(),
+                                        cap,
+                                    });
+                                }
+                                Some(arena.intern(fp, scratch.clone()).0)
+                            }
+                        };
+                        row.push(id);
+                        undo(&mut scratch);
+                    }
+                }
+            }
+            transitions.push(row);
+            cursor += 1;
+        }
+        Ok(Some(Closure { arena, transitions }))
+    }
+
+    /// [`FiniteModel::closure_with`] without a budget hook.
+    pub fn closure(&self, cap: usize) -> Result<Closure<S>, ClosureTooLarge> {
+        Ok(self
+            .closure_with(cap, |_| true)?
+            .expect("unbudgeted closure cannot stop early"))
+    }
+
     /// The set of valid states: the closure of the operations from the
     /// initial state (§2.2). Fails when more than `cap` states are
     /// reachable.
     pub fn reachable_states(&self, cap: usize) -> Result<BTreeSet<S>, ClosureTooLarge> {
-        let mut seen: BTreeSet<S> = BTreeSet::new();
-        let mut frontier: Vec<S> = vec![self.initial.clone()];
-        seen.insert(self.initial.clone());
-        while let Some(state) = frontier.pop() {
-            for op in &self.ops {
-                if let Some(next) = self.apply(op, &state) {
-                    if !seen.contains(&next) {
-                        if seen.len() >= cap {
-                            return Err(ClosureTooLarge {
-                                model: self.name.clone(),
-                                cap,
-                            });
-                        }
-                        seen.insert(next.clone());
-                        frontier.push(next);
-                    }
-                }
-            }
-        }
-        Ok(seen)
+        Ok(self.closure(cap)?.arena.states().iter().cloned().collect())
     }
 }
 
@@ -134,6 +299,22 @@ pub fn relational_model(
     ops: Vec<RelOp>,
 ) -> FiniteModel<RelationState, RelOp> {
     FiniteModel::new(name, initial, ops, |op, state| op.apply(state).ok())
+        .with_fingerprint(RelationState::fingerprint)
+        .with_delta(|op, state| {
+            DeltaState::apply_delta(state, op)
+                .map(|undo| Box::new(move |s: &mut RelationState| s.undo(undo)) as UndoFn<_>)
+        })
+        // `RelOp::apply` is `apply_candidate` + `check_all`, and the
+        // constraint check is by far the expensive half — deferring it
+        // to probe-missing candidates is this model's main closure win.
+        .with_candidate(
+            |op, state| {
+                let next = op.apply_candidate(state).ok()?;
+                let prev = std::mem::replace(state, next);
+                Some(Box::new(move |s: &mut RelationState| *s = prev) as UndoFn<_>)
+            },
+            |state| dme_relation::constraints::check_all(state.schema(), state).is_ok(),
+        )
 }
 
 /// Wraps a semantic-graph application model for the checkers.
@@ -143,6 +324,11 @@ pub fn graph_model(
     ops: Vec<GraphOp>,
 ) -> FiniteModel<GraphState, GraphOp> {
     FiniteModel::new(name, initial, ops, |op, state| op.apply(state).ok())
+        .with_fingerprint(GraphState::fingerprint)
+        .with_delta(|op, state| {
+            DeltaState::apply_delta(state, op)
+                .map(|undo| Box::new(move |s: &mut GraphState| s.undo(undo)) as UndoFn<_>)
+        })
 }
 
 #[cfg(test)]
@@ -152,7 +338,7 @@ mod tests {
 
     /// A toy state: a set of small integers, compiled to facts
     /// one-per-element.
-    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
     struct Ints(BTreeSet<i64>);
 
     impl ToFacts for Ints {
@@ -201,6 +387,70 @@ mod tests {
         let err = m.reachable_states(5).unwrap_err();
         assert_eq!(err.cap, 5);
         assert!(err.to_string().contains("exceeds 5 states"));
+    }
+
+    #[test]
+    fn closure_transitions_are_memoized_and_closed() {
+        let m = counter_model(3);
+        let closure = m.closure(100).unwrap();
+        assert_eq!(closure.len(), 7);
+        assert_eq!(closure.transitions.len(), 7);
+        // ID 0 is the initial state.
+        assert_eq!(closure.arena.get(crate::arena::StateId::from_index(0)), m.initial());
+        // Every transition entry agrees with a fresh clone-apply, and
+        // every successor is in the arena (closed under operations).
+        for (id, state) in closure.arena.iter() {
+            for (oi, op) in m.ops().iter().enumerate() {
+                let expect = m.apply(op, state);
+                let got = closure.transitions[id.index()][oi].map(|t| closure.arena.get(t));
+                assert_eq!(got, expect.as_ref());
+            }
+        }
+        // The counter model has no confluence (every successful apply
+        // discovers a new state), so all probes were misses.
+        let stats = closure.arena.stats();
+        assert_eq!(stats.unique, 7);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn confluent_closures_probe_hot() {
+        // Two independent toggles: 4 states, every edge revisits the
+        // lattice, so most probes hit the arena.
+        let m = FiniteModel::new(
+            "toggles",
+            Ints(BTreeSet::new()),
+            vec![1, 2],
+            |op, s: &Ints| {
+                let mut next = s.clone();
+                if !next.0.remove(op) {
+                    next.0.insert(*op);
+                }
+                Some(next)
+            },
+        );
+        let closure = m.closure(100).unwrap();
+        assert_eq!(closure.len(), 4);
+        let stats = closure.arena.stats();
+        // 4 states × 2 ops = 8 successors, 3 of them new.
+        assert_eq!(stats.unique, 4);
+        assert_eq!(stats.hits, 5);
+        assert!(stats.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn budget_hook_stops_enumeration() {
+        let m = counter_model(3);
+        let mut calls = 0usize;
+        let stopped = m
+            .closure_with(100, |ops| {
+                assert_eq!(ops, 2);
+                calls += 1;
+                calls <= 2
+            })
+            .unwrap();
+        assert!(stopped.is_none());
+        assert_eq!(calls, 3);
     }
 
     #[test]

@@ -38,6 +38,8 @@ use std::time::{Duration, Instant};
 use dme_logic::{FactBase, ToFacts};
 use dme_obs::{Counter, Observer};
 
+use crate::arena::{Closure, StateId};
+use crate::bitset::BitSet;
 use crate::canon::FactInterner;
 use crate::equiv::{compose, identity_signature, reach_from, CheckError, EquivKind, Signature};
 use crate::model::{ClosureTooLarge, FiniteModel};
@@ -301,14 +303,31 @@ impl EngineCtx {
 }
 
 fn resolve_threads(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Explicit requests are clamped to the machine too: oversubscribing
+    // a smaller box only adds scheduling noise (and made `t4` *slower*
+    // than `t1` on single-core hosts).
     let n = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        available
     } else {
-        requested
+        requested.min(available)
     };
     n.clamp(1, 64)
+}
+
+/// Below this many work items a phase runs on the calling thread:
+/// spawning a worker pool costs more than the work itself for tiny
+/// closures and frontiers.
+const SEQ_FALLBACK_MIN_WORK: usize = 256;
+
+fn effective_threads(threads: usize, work_items: usize) -> usize {
+    if work_items < SEQ_FALLBACK_MIN_WORK {
+        1
+    } else {
+        threads
+    }
 }
 
 /// The work-stealing primitive: workers claim indices `0..len` from a
@@ -368,14 +387,32 @@ where
     out
 }
 
-/// Level-synchronous parallel closure enumeration. `Ok(None)` means the
-/// budget stopped the exploration.
+/// One operation's outcome at a frontier state, as seen by a worker:
+/// either an error transition, a state already in the shared arena, or a
+/// genuinely (so far) new successor carried back for interning.
+enum Probe<S> {
+    Error,
+    Known(StateId),
+    New(u64, S),
+}
+
+/// Level-synchronous parallel closure enumeration over the state arena.
+/// `Ok(None)` means the budget stopped the exploration.
+///
+/// Workers expand a frontier level through the delta hook: each claimed
+/// state is cloned once into a scratch buffer, every operation is
+/// applied as an undoable delta, and the *shared* arena is probed by
+/// fingerprint — successors are only materialized (cloned out of the
+/// scratch) when the probe misses. Discoveries are merged on the calling
+/// thread in `(state, op)` order, so state IDs land in breadth-first
+/// discovery order no matter how many workers ran — the same IDs the
+/// sequential enumeration assigns.
 fn explore_closure<S, O>(
     model: &FiniteModel<S, O>,
     cap: usize,
     threads: usize,
     ctx: &EngineCtx,
-) -> Result<Option<BTreeSet<S>>, ClosureTooLarge>
+) -> Result<Option<Closure<S>>, ClosureTooLarge>
 where
     S: Clone + Ord + ToFacts + Send + Sync,
     O: Clone + Send + Sync,
@@ -384,87 +421,141 @@ where
         .obs
         .span_with("par/closure", || model.name().to_owned());
     let _timer = ctx.obs.time(dme_obs::Metric::ClosureLatency);
-    let mut seen: BTreeSet<S> = BTreeSet::new();
-    seen.insert(model.initial().clone());
-    let mut frontier: Vec<S> = vec![model.initial().clone()];
+    let mut arena = crate::arena::StateArena::new();
+    arena.intern(model.state_fingerprint(model.initial()), model.initial().clone());
+    let mut transitions: Vec<Vec<Option<StateId>>> = Vec::new();
+    let mut frontier: Vec<StateId> = vec![StateId::from_index(0)];
     let op_count = model.ops().len() as u64;
+    let probe_hits = AtomicU64::new(0);
     while !frontier.is_empty() {
-        let expanded = drive(threads, frontier.len(), |i| {
-            if !ctx.charge(op_count) {
-                return (None, false);
-            }
-            let state = &frontier[i];
-            let successors: Vec<S> = model
-                .ops()
-                .iter()
-                .filter_map(|op| model.apply(op, state))
-                .collect();
-            (Some(successors), true)
-        });
+        let level_threads = effective_threads(threads, frontier.len() * model.ops().len());
+        let expanded = {
+            let _expand = ctx.obs.span("closure/expand");
+            let arena_ref = &arena;
+            drive(level_threads, frontier.len(), |i| {
+                if !ctx.charge(op_count) {
+                    return (None, false);
+                }
+                let mut scratch = arena_ref.get(frontier[i]).clone();
+                let row: Vec<Probe<S>> = model
+                    .ops()
+                    .iter()
+                    .map(|op| match model.expand_delta(op, &mut scratch) {
+                        None => Probe::Error,
+                        Some(undo) => {
+                            let fp = model.state_fingerprint(&scratch);
+                            let probe = match arena_ref.probe(fp, &scratch) {
+                                Some(id) => {
+                                    probe_hits.fetch_add(1, Ordering::Relaxed);
+                                    Probe::Known(id)
+                                }
+                                // Deferred validation runs on the worker,
+                                // so only valid candidates reach the
+                                // merge; invalid ones are the error state.
+                                None if !model.validate_candidate(&scratch) => Probe::Error,
+                                None => Probe::New(fp, scratch.clone()),
+                            };
+                            undo(&mut scratch);
+                            probe
+                        }
+                    })
+                    .collect();
+                (Some(row), true)
+            })
+        };
         if expanded.len() != frontier.len() {
             return Ok(None);
         }
-        let mut next = Vec::new();
-        for (_, successors) in expanded {
-            for s in successors {
-                if !seen.contains(&s) {
-                    if seen.len() >= cap {
-                        return Err(ClosureTooLarge {
-                            model: model.name().to_owned(),
-                            cap,
-                        });
+        // Sequential merge in (state, op) order: IDs are deterministic,
+        // and same-level duplicates collapse through the arena's
+        // first-insert-wins interning.
+        let mut next: Vec<StateId> = Vec::new();
+        for (_, row) in expanded {
+            let mut out: Vec<Option<StateId>> = Vec::with_capacity(row.len());
+            for probe in row {
+                match probe {
+                    Probe::Error => out.push(None),
+                    Probe::Known(id) => out.push(Some(id)),
+                    Probe::New(fp, state) => {
+                        if arena.probe(fp, &state).is_none() && arena.len() >= cap {
+                            return Err(ClosureTooLarge {
+                                model: model.name().to_owned(),
+                                cap,
+                            });
+                        }
+                        let (id, new) = arena.intern(fp, state);
+                        if new {
+                            next.push(id);
+                        }
+                        out.push(Some(id));
                     }
-                    seen.insert(s.clone());
-                    next.push(s);
                 }
             }
+            transitions.push(out);
         }
         frontier = next;
     }
-    ctx.obs.add(Counter::StatesEnumerated, seen.len() as u64);
-    Ok(Some(seen))
+    arena.add_probe_stats(probe_hits.load(Ordering::Relaxed), 0);
+    let stats = arena.stats();
+    ctx.obs.add(Counter::ArenaHits, stats.hits);
+    ctx.obs.add(Counter::ArenaMisses, stats.misses);
+    ctx.obs.add(Counter::StatesEnumerated, arena.len() as u64);
+    Ok(Some(Closure { arena, transitions }))
+}
+
+/// A paired grid of state IDs: pair index → state ID per side, plus the
+/// inverse rank tables (state index → pair index).
+struct PairedIds {
+    pairs: usize,
+    m_by_pair: Vec<StateId>,
+    n_by_pair: Vec<StateId>,
+    m_rank: Vec<u32>,
+    n_rank: Vec<u32>,
 }
 
 /// Parallel fact compilation through the interner, then the §3.3.1
 /// pairing checks (injective per side, onto across sides). `Ok(None)`
 /// means the budget stopped the run.
-#[allow(clippy::type_complexity)]
 fn pair_with_interner<MS, NS>(
-    m_states: &BTreeSet<MS>,
-    n_states: &BTreeSet<NS>,
+    m_closure: &Closure<MS>,
+    n_closure: &Closure<NS>,
     threads: usize,
     ctx: &EngineCtx,
     m_interner: &FactInterner<MS>,
     n_interner: &FactInterner<NS>,
-) -> Result<Option<(Vec<MS>, Vec<NS>)>, CheckError>
+) -> Result<Option<PairedIds>, CheckError>
 where
     MS: Clone + Ord + Hash + ToFacts + Send + Sync,
     NS: Clone + Ord + Hash + ToFacts + Send + Sync,
 {
     fn compile_side<S>(
-        states: &BTreeSet<S>,
+        closure: &Closure<S>,
         threads: usize,
         ctx: &EngineCtx,
         interner: &FactInterner<S>,
         side: &str,
-    ) -> Result<Option<BTreeMap<Arc<FactBase>, S>>, CheckError>
+    ) -> Result<Option<BTreeMap<Arc<FactBase>, StateId>>, CheckError>
     where
         S: Clone + Ord + Hash + ToFacts + Send + Sync,
     {
-        let list: Vec<&S> = states.iter().collect();
-        let compiled = drive(threads, list.len(), |i| {
-            if ctx.stopped() {
-                return (None, false);
-            }
-            (Some(interner.compile_observed(list[i], &ctx.obs)), true)
-        });
-        if compiled.len() != list.len() {
+        let states = closure.arena.states();
+        let compiled = drive(
+            effective_threads(threads, states.len()),
+            states.len(),
+            |i| {
+                if ctx.stopped() {
+                    return (None, false);
+                }
+                (Some(interner.compile_observed(&states[i], &ctx.obs)), true)
+            },
+        );
+        if compiled.len() != states.len() {
             return Ok(None);
         }
-        ctx.obs.add(Counter::StatesCompiled, list.len() as u64);
-        let mut by_facts: BTreeMap<Arc<FactBase>, S> = BTreeMap::new();
+        ctx.obs.add(Counter::StatesCompiled, states.len() as u64);
+        let mut by_facts: BTreeMap<Arc<FactBase>, StateId> = BTreeMap::new();
         for (i, facts) in compiled {
-            if by_facts.insert(facts, list[i].clone()).is_some() {
+            if by_facts.insert(facts, StateId::from_index(i)).is_some() {
                 return Err(CheckError::Pairing(format!(
                     "two {side} states share a fact base (compilation not injective)"
                 )));
@@ -475,10 +566,10 @@ where
 
     let _span = ctx.obs.span("par/pairing");
     ctx.obs.add(Counter::PairingChecks, 1);
-    let Some(m_by_facts) = compile_side(m_states, threads, ctx, m_interner, "left")? else {
+    let Some(m_by_facts) = compile_side(m_closure, threads, ctx, m_interner, "left")? else {
         return Ok(None);
     };
-    let Some(n_by_facts) = compile_side(n_states, threads, ctx, n_interner, "right")? else {
+    let Some(n_by_facts) = compile_side(n_closure, threads, ctx, n_interner, "right")? else {
         return Ok(None);
     };
     if m_by_facts.len() != n_by_facts.len() || !m_by_facts.keys().eq(n_by_facts.keys()) {
@@ -494,50 +585,55 @@ where
             "state sets are not onto: {only_left} application states expressible only on the left, {only_right} only on the right"
         )));
     }
-    Ok(Some((
-        m_by_facts.into_values().collect(),
-        n_by_facts.into_values().collect(),
-    )))
+    let m_by_pair: Vec<StateId> = m_by_facts.into_values().collect();
+    let n_by_pair: Vec<StateId> = n_by_facts.into_values().collect();
+    let mut m_rank = vec![0u32; m_closure.len()];
+    for (p, sid) in m_by_pair.iter().enumerate() {
+        m_rank[sid.index()] = p as u32;
+    }
+    let mut n_rank = vec![0u32; n_closure.len()];
+    for (p, sid) in n_by_pair.iter().enumerate() {
+        n_rank[sid.index()] = p as u32;
+    }
+    Ok(Some(PairedIds {
+        pairs: m_by_pair.len(),
+        m_by_pair,
+        n_by_pair,
+        m_rank,
+        n_rank,
+    }))
 }
 
-/// Behaviour signatures, one worker item per operation.
-fn signatures_parallel<S, O>(
-    model: &FiniteModel<S, O>,
-    states: &[S],
+/// Behaviour signatures, one worker item per operation — a pure relabel
+/// of the transition table memoized during closure exploration: no
+/// operation is re-applied to any state.
+fn signatures_parallel<S: Sync>(
+    closure: &Closure<S>,
+    by_pair: &[StateId],
+    rank: &[u32],
+    op_count: usize,
     threads: usize,
     ctx: &EngineCtx,
-) -> Option<Vec<Signature>>
-where
-    S: Clone + Ord + ToFacts + Send + Sync,
-    O: Clone + Send + Sync,
-{
+) -> Option<Vec<Signature>> {
     let _span = ctx.obs.span("par/signatures");
-    let index: BTreeMap<&S, u32> = states
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s, i as u32))
-        .collect();
-    let ops = model.ops();
-    let rows = drive(threads, ops.len(), |i| {
-        if !ctx.charge(states.len() as u64) {
-            return (None, false);
-        }
-        let sig: Signature = states
-            .iter()
-            .map(|s| {
-                model.apply(&ops[i], s).map(|next| {
-                    *index
-                        .get(&next)
-                        .expect("closure is closed under operations")
-                })
-            })
-            .collect();
-        (Some(sig), true)
-    });
-    if rows.len() != ops.len() {
+    let rows = drive(
+        effective_threads(threads, op_count * by_pair.len()),
+        op_count,
+        |oi| {
+            if !ctx.charge(by_pair.len() as u64) {
+                return (None, false);
+            }
+            let sig: Signature = by_pair
+                .iter()
+                .map(|sid| closure.transitions[sid.index()][oi].map(|t| rank[t.index()]))
+                .collect();
+            (Some(sig), true)
+        },
+    );
+    if rows.len() != op_count {
         return None;
     }
-    ctx.obs.add(Counter::SignaturesBuilt, ops.len() as u64);
+    ctx.obs.add(Counter::SignaturesBuilt, op_count as u64);
     Some(rows.into_iter().map(|(_, sig)| sig).collect())
 }
 
@@ -583,7 +679,8 @@ fn composable_signatures_parallel(
     Some(seen)
 }
 
-/// Per-state reachability fanned across start states.
+/// Per-state reachability fanned across start states, with each start's
+/// reachable set held as a word-packed [`BitSet`] over the pair universe.
 #[allow(clippy::type_complexity)]
 fn reachability_parallel(
     op_sigs: &[Signature],
@@ -591,11 +688,11 @@ fn reachability_parallel(
     max_depth: usize,
     threads: usize,
     ctx: &EngineCtx,
-) -> Option<(Vec<BTreeSet<u32>>, Vec<bool>)> {
+) -> Option<(Vec<BitSet>, Vec<bool>)> {
     let _span = ctx.obs.span("par/reachability");
-    let rows = drive(threads, pairs, |start| {
-        let (reach, err) = reach_from(op_sigs, start as u32, max_depth);
-        if !ctx.charge(reach.len() as u64 * op_sigs.len() as u64) {
+    let rows = drive(effective_threads(threads, pairs), pairs, |start| {
+        let (reach, err) = reach_from(op_sigs, pairs, start as u32, max_depth);
+        if !ctx.charge(reach.count() as u64 * op_sigs.len() as u64) {
             return (None, false);
         }
         (Some((reach, err)), true)
@@ -611,7 +708,7 @@ fn reachability_parallel(
     }
     ctx.obs.add(
         Counter::ReachabilityExpansions,
-        reach.iter().map(BTreeSet::len).sum::<usize>() as u64,
+        reach.iter().map(BitSet::count).sum::<usize>() as u64,
     );
     Some((reach, err))
 }
@@ -680,8 +777,8 @@ where
 fn check_pair<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
-    m_states: &BTreeSet<MS>,
-    n_states: &BTreeSet<NS>,
+    m_closure: &Closure<MS>,
+    n_closure: &Closure<NS>,
     kind: EquivKind,
     threads: usize,
     ctx: &EngineCtx,
@@ -695,16 +792,30 @@ where
     MO: Clone + fmt::Display + Send + Sync,
     NO: Clone + fmt::Display + Send + Sync,
 {
-    let Some((m_list, n_list)) =
-        pair_with_interner(m_states, n_states, threads, ctx, m_interner, n_interner)?
+    let Some(paired) =
+        pair_with_interner(m_closure, n_closure, threads, ctx, m_interner, n_interner)?
     else {
         return Ok(None);
     };
-    let pairs = m_list.len();
-    let Some(m_sigs) = signatures_parallel(m, &m_list, threads, ctx) else {
+    let pairs = paired.pairs;
+    let Some(m_sigs) = signatures_parallel(
+        m_closure,
+        &paired.m_by_pair,
+        &paired.m_rank,
+        m.ops().len(),
+        threads,
+        ctx,
+    ) else {
         return Ok(None);
     };
-    let Some(n_sigs) = signatures_parallel(n, &n_list, threads, ctx) else {
+    let Some(n_sigs) = signatures_parallel(
+        n_closure,
+        &paired.n_by_pair,
+        &paired.n_rank,
+        n.ops().len(),
+        threads,
+        ctx,
+    ) else {
         return Ok(None);
     };
 
@@ -746,9 +857,9 @@ where
             else {
                 return Ok(None);
             };
-            let covers = |sig: &Signature, reach: &[BTreeSet<u32>], err: &[bool]| {
+            let covers = |sig: &Signature, reach: &[BitSet], err: &[bool]| {
                 (0..pairs).all(|i| match sig[i] {
-                    Some(target) => reach[i].contains(&target),
+                    Some(target) => reach[i].contains(target as usize),
                     None => err[i],
                 })
             };
@@ -806,17 +917,17 @@ where
     let _span = obs.span_with("par/check", || format!("{} vs {}", m.name(), n.name()));
     let ctx = EngineCtx::new(&config.budget, obs.clone());
     let threads = resolve_threads(config.threads);
-    let Some(m_states) = explore_closure(m, state_cap, threads, &ctx)? else {
+    let Some(m_closure) = explore_closure(m, state_cap, threads, &ctx)? else {
         return Ok(ctx.exhausted_verdict());
     };
-    let Some(n_states) = explore_closure(n, state_cap, threads, &ctx)? else {
+    let Some(n_closure) = explore_closure(n, state_cap, threads, &ctx)? else {
         return Ok(ctx.exhausted_verdict());
     };
     match check_pair(
         m,
         n,
-        &m_states,
-        &n_states,
+        &m_closure,
+        &n_closure,
         kind,
         threads,
         &ctx,
@@ -864,7 +975,7 @@ where
         cap: usize,
         threads: usize,
         ctx: &EngineCtx,
-    ) -> Result<Option<Vec<BTreeSet<S>>>, CheckError>
+    ) -> Result<Option<Vec<Closure<S>>>, CheckError>
     where
         S: Clone + Ord + ToFacts + Send + Sync,
         O: Clone + Send + Sync,

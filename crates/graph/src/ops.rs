@@ -13,6 +13,8 @@
 
 use std::fmt;
 
+use dme_logic::DeltaState;
+
 use crate::state::{Association, Entity, EntityRef, GraphState, GraphStateError};
 use crate::unit::SemanticUnit;
 
@@ -129,6 +131,129 @@ impl GraphOp {
             cur = op.apply(&cur)?;
         }
         Ok(cur)
+    }
+}
+
+/// One inverse raw mutation recorded while applying a [`GraphOp`] in
+/// place; replaying the log in reverse restores the pre-apply state
+/// (including its fingerprint and role index) exactly.
+#[derive(Debug)]
+enum GraphUndoEntry {
+    /// Undoes an entity insertion.
+    RemoveEntity(EntityRef),
+    /// Undoes an entity removal.
+    ReinsertEntity(Entity),
+    /// Undoes an association insertion.
+    RemoveAssociation(Association),
+    /// Undoes an association removal.
+    ReinsertAssociation(Association),
+}
+
+/// The undo token of one successful in-place [`GraphOp`] application.
+#[derive(Debug)]
+pub struct GraphUndo {
+    log: Vec<GraphUndoEntry>,
+}
+
+fn rollback(state: &mut GraphState, log: Vec<GraphUndoEntry>) {
+    for entry in log.into_iter().rev() {
+        let outcome = match entry {
+            GraphUndoEntry::RemoveEntity(r) => state.remove_entity_raw(&r).map(|_| ()),
+            GraphUndoEntry::ReinsertEntity(e) => state.insert_entity_raw(e).map(|_| ()),
+            GraphUndoEntry::RemoveAssociation(a) => state.remove_association_raw(&a),
+            GraphUndoEntry::ReinsertAssociation(a) => state.insert_association_raw(a),
+        };
+        outcome.expect("undo entries invert previously applied raw mutations");
+    }
+}
+
+/// In-place raw application of `op`, recording inverse entries. On
+/// error the partial log is rolled back and the state is untouched.
+fn apply_raw_logged(
+    state: &mut GraphState,
+    op: &GraphOp,
+) -> Result<Vec<GraphUndoEntry>, GraphOpError> {
+    let mut log: Vec<GraphUndoEntry> = Vec::new();
+    let step = |state: &mut GraphState, log: &mut Vec<GraphUndoEntry>| -> Result<(), GraphOpError> {
+        match op {
+            GraphOp::InsertEntity(e) => {
+                let r = state.insert_entity_raw(e.clone())?;
+                log.push(GraphUndoEntry::RemoveEntity(r));
+            }
+            GraphOp::DeleteEntity(r) => {
+                let e = state.remove_entity_raw(r)?;
+                log.push(GraphUndoEntry::ReinsertEntity(e));
+            }
+            GraphOp::InsertAssociation(a) => {
+                state.insert_association_raw(a.clone())?;
+                log.push(GraphUndoEntry::RemoveAssociation(a.clone()));
+            }
+            GraphOp::DeleteAssociation(a) => {
+                state.remove_association_raw(a)?;
+                log.push(GraphUndoEntry::ReinsertAssociation(a.clone()));
+            }
+            GraphOp::InsertUnit(u) => {
+                for e in &u.entities {
+                    let r = state.insert_entity_raw(e.clone())?;
+                    log.push(GraphUndoEntry::RemoveEntity(r));
+                }
+                for a in &u.associations {
+                    state.insert_association_raw(a.clone())?;
+                    log.push(GraphUndoEntry::RemoveAssociation(a.clone()));
+                }
+            }
+            GraphOp::DeleteUnit(u) => {
+                for a in &u.associations {
+                    state.remove_association_raw(a)?;
+                    log.push(GraphUndoEntry::ReinsertAssociation(a.clone()));
+                }
+                for e in &u.entities {
+                    let r = e.to_ref(state.schema()).ok_or_else(|| {
+                        GraphStateError::BadCharacteristics(EntityRef::new(
+                            e.entity_type.clone(),
+                            dme_value::Atom::str("<missing id>"),
+                        ))
+                    })?;
+                    let e = state.remove_entity_raw(&r)?;
+                    log.push(GraphUndoEntry::ReinsertEntity(e));
+                }
+            }
+        }
+        Ok(())
+    };
+    match step(state, &mut log) {
+        Ok(()) => Ok(log),
+        Err(e) => {
+            rollback(state, log);
+            Err(e)
+        }
+    }
+}
+
+/// In-place, undoable graph operation application: the raw mutations of
+/// [`GraphOp::apply`] without the whole-state clone. The full
+/// post-state validation still runs; on the error state the partial
+/// mutation is rolled back, leaving `self` untouched — exactly
+/// `apply`'s semantics (property-tested in `tests/`).
+impl DeltaState for GraphState {
+    type Op = GraphOp;
+    type Undo = GraphUndo;
+
+    fn fingerprint(&self) -> u64 {
+        GraphState::fingerprint(self)
+    }
+
+    fn apply_delta(&mut self, op: &GraphOp) -> Option<GraphUndo> {
+        let log = apply_raw_logged(self, op).ok()?;
+        if self.validate().is_err() {
+            rollback(self, log);
+            return None;
+        }
+        Some(GraphUndo { log })
+    }
+
+    fn undo(&mut self, token: GraphUndo) {
+        rollback(self, token.log);
     }
 }
 

@@ -311,6 +311,21 @@ pub struct GraphState {
     entities: BTreeMap<EntityRef, Entity>,
     associations: BTreeSet<Association>,
     role_index: BTreeMap<(Symbol, Symbol, EntityRef), usize>,
+    /// Incrementally-maintained content fingerprint: the XOR of tagged
+    /// per-node hashes over `entities` and `associations`. Derived data,
+    /// like the role index — equality and ordering ignore it.
+    fp: u64,
+}
+
+/// Tagged element hash of one entity (the tag keeps entity and
+/// association hashes from cancelling each other in the XOR).
+fn entity_fp(entity: &Entity) -> u64 {
+    dme_logic::content_fingerprint(&(0u8, entity))
+}
+
+/// Tagged element hash of one association.
+fn assoc_fp(assoc: &Association) -> u64 {
+    dme_logic::content_fingerprint(&(1u8, assoc))
 }
 
 impl PartialEq for GraphState {
@@ -338,9 +353,10 @@ impl Ord for GraphState {
 impl std::hash::Hash for GraphState {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Must agree with `Eq`: the role index is derived data and the
-        // schema is shared, so neither participates.
-        self.entities.hash(state);
-        self.associations.hash(state);
+        // schema is shared, so neither participates. The fingerprint is
+        // a function of exactly the participating fields, so hashing it
+        // keeps `Hash` consistent with `Eq` at O(1).
+        state.write_u64(self.fp);
     }
 }
 
@@ -365,7 +381,15 @@ impl GraphState {
             entities: BTreeMap::new(),
             associations: BTreeSet::new(),
             role_index: BTreeMap::new(),
+            fp: 0,
         }
+    }
+
+    /// The state's incrementally-maintained 64-bit content fingerprint
+    /// (see [`dme_logic::DeltaState::fingerprint`]). Equal states always
+    /// carry equal fingerprints; distinct states may collide.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     fn index_association(&mut self, assoc: &Association, delta: isize) {
@@ -522,15 +546,19 @@ impl GraphState {
         if self.entities.contains_key(&r) {
             return Err(GraphStateError::EntityExists(r));
         }
+        self.fp ^= entity_fp(&entity);
         self.entities.insert(r.clone(), entity);
         Ok(r)
     }
 
     /// Removes an entity (no dangling-edge check; validation will catch).
     pub fn remove_entity_raw(&mut self, r: &EntityRef) -> Result<Entity, GraphStateError> {
-        self.entities
+        let entity = self
+            .entities
             .remove(r)
-            .ok_or_else(|| GraphStateError::NoSuchEntity(r.clone()))
+            .ok_or_else(|| GraphStateError::NoSuchEntity(r.clone()))?;
+        self.fp ^= entity_fp(&entity);
+        Ok(entity)
     }
 
     /// Inserts an association after shape checks.
@@ -539,6 +567,7 @@ impl GraphState {
         if !self.associations.insert(assoc.clone()) {
             return Err(GraphStateError::AssociationExists(assoc));
         }
+        self.fp ^= assoc_fp(&assoc);
         self.index_association(&assoc, 1);
         Ok(())
     }
@@ -548,6 +577,7 @@ impl GraphState {
         if !self.associations.remove(assoc) {
             return Err(GraphStateError::NoSuchAssociation(assoc.clone()));
         }
+        self.fp ^= assoc_fp(assoc);
         self.index_association(assoc, -1);
         Ok(())
     }

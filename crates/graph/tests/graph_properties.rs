@@ -176,6 +176,85 @@ proptest! {
         prop_assert_eq!(state.validate().is_ok(), state.validate_scan().is_ok());
     }
 
+    /// Delta application is observationally identical to clone-apply
+    /// over whole generated operation scripts: same success/error
+    /// outcomes, same resulting states, same fingerprints — and undoing
+    /// the script in LIFO order walks back through the exact
+    /// intermediate states.
+    #[test]
+    fn delta_apply_matches_clone_apply(
+        state in arb_state(),
+        script in prop::collection::vec((0usize..4, any::<bool>(), 0usize..9), 1..8),
+    ) {
+        use dme_logic::DeltaState;
+        let Some(state) = state else { return Ok(()) };
+        let mut cur = state.clone();
+        let mut trail: Vec<(dme_graph::GraphUndo, GraphState)> = Vec::new();
+        for (kind, insert, k) in script {
+            let op = match kind {
+                0 => {
+                    let (a, b) = (k / 3, k % 3);
+                    let assoc = Association::new(
+                        "supervise",
+                        [
+                            ("agent", EntityRef::new("employee", Atom::str(NAMES[a]))),
+                            ("object", EntityRef::new("employee", Atom::str(NAMES[b]))),
+                        ],
+                    );
+                    if insert {
+                        GraphOp::InsertAssociation(assoc)
+                    } else {
+                        GraphOp::DeleteAssociation(assoc)
+                    }
+                }
+                1 => GraphOp::InsertEntity(Entity::new(
+                    "employee",
+                    [
+                        ("name", Atom::str(NAMES[k % 3])),
+                        ("age", Atom::Int(AGES[k % 3])),
+                    ],
+                )),
+                2 => GraphOp::DeleteEntity(EntityRef::new("employee", Atom::str(NAMES[k % 3]))),
+                _ => {
+                    let seed = EntityRef::new("machine", Atom::str(MACHINES[k % 2].0));
+                    GraphOp::DeleteUnit(deletion_unit(&cur, [seed], []))
+                }
+            };
+            let cloned = op.apply(&cur);
+            let before = cur.clone();
+            match cur.apply_delta(&op) {
+                Some(undo) => {
+                    let applied = cloned.expect("delta succeeded, clone-apply must too");
+                    prop_assert_eq!(&cur, &applied);
+                    prop_assert_eq!(cur.fingerprint(), applied.fingerprint());
+                    trail.push((undo, before));
+                }
+                None => {
+                    prop_assert!(cloned.is_err(), "clone-apply succeeded where delta failed");
+                    prop_assert_eq!(&cur, &before, "failed delta must leave the state untouched");
+                    prop_assert_eq!(cur.fingerprint(), before.fingerprint());
+                }
+            }
+        }
+        for (undo, before) in trail.into_iter().rev() {
+            cur.undo(undo);
+            prop_assert_eq!(&cur, &before, "undo must restore the exact prior state");
+            prop_assert_eq!(cur.fingerprint(), before.fingerprint());
+            cur.validate().expect("undone states stay valid");
+        }
+    }
+
+    /// Fingerprints are coherent with equality: equal states (however
+    /// they were built) carry equal fingerprints.
+    #[test]
+    fn fingerprints_agree_on_equal_states(a in arb_state(), b in arb_state()) {
+        if let (Some(a), Some(b)) = (a, b) {
+            if a == b {
+                prop_assert_eq!(a.fingerprint(), b.fingerprint());
+            }
+        }
+    }
+
     /// Entity and association counts compiled into facts add up.
     #[test]
     fn fact_counts_match_structure(state in arb_state()) {

@@ -1,0 +1,74 @@
+//! Delta transitions: undoable in-place operation application plus
+//! incrementally-maintained 64-bit state fingerprints.
+//!
+//! The equivalence kernel enumerates closures by repeatedly applying
+//! operations to frontier states. Constructing every successor as a full
+//! clone — only to discover it was already visited — dominates the hot
+//! loop. [`DeltaState`] lets a state apply an operation **in place**,
+//! returning an undo token that restores the previous state exactly, and
+//! exposes a content fingerprint that the mutators maintain
+//! incrementally. The kernel then probes its state arena by fingerprint
+//! and only clones the scratch state when the successor is genuinely new.
+//!
+//! Fingerprints are the XOR of per-element [`content_fingerprint`]
+//! hashes, so they are order- and path-independent: two equal states
+//! always carry equal fingerprints, no matter which operation sequence
+//! produced them. Distinct states may collide — the kernel always
+//! confirms a fingerprint match with a full equality comparison.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// The stand-alone 64-bit content hash of one value, computed with the
+/// standard library's [`DefaultHasher`] from a fixed initial state.
+///
+/// Deterministic within one build of the program (which is all the
+/// kernel needs — fingerprints never cross process boundaries), and
+/// consistent with `Eq`: equal values hash equally.
+pub fn content_fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A state that can apply an operation as an undoable in-place diff and
+/// report an incrementally-maintained content fingerprint.
+///
+/// Laws (property-tested in the implementing crates):
+///
+/// * **delta ≡ clone-apply** — `apply_delta(op)` succeeds exactly when
+///   the model's pure `apply` does, and leaves `self` equal to the state
+///   `apply` would have returned;
+/// * **undo restores** — `undo(token)` returns `self` (and its
+///   fingerprint) to exactly the pre-`apply_delta` value;
+/// * **fingerprint coherence** — equal states have equal
+///   [`DeltaState::fingerprint`] values.
+pub trait DeltaState: Sized {
+    /// The operation type the state applies.
+    type Op;
+    /// The token that undoes one successful [`DeltaState::apply_delta`].
+    type Undo;
+
+    /// The state's current content fingerprint.
+    fn fingerprint(&self) -> u64;
+
+    /// Applies `op` in place. On success returns the undo token; on the
+    /// error state returns `None` **with `self` unchanged**.
+    fn apply_delta(&mut self, op: &Self::Op) -> Option<Self::Undo>;
+
+    /// Reverts the most recent successful [`DeltaState::apply_delta`]
+    /// that produced `token`. Tokens must be undone in LIFO order.
+    fn undo(&mut self, token: Self::Undo);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_fingerprint_is_deterministic_and_content_based() {
+        let a = content_fingerprint(&(1u32, "x"));
+        let b = content_fingerprint(&(1u32, "x"));
+        assert_eq!(a, b);
+        assert_ne!(a, content_fingerprint(&(2u32, "x")));
+    }
+}

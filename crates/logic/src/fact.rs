@@ -11,15 +11,57 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-
+use std::sync::Arc;
 
 use dme_value::{Atom, Symbol};
 
 /// A ground atom of the case-grammar logic: predicate + case bindings.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Facts are immutable after construction (`with_arg`/`with_predicate`
+/// return copies), so the case map is shared behind an `Arc` — cloning a
+/// fact is two reference bumps — and the structural hash is computed
+/// once and cached. Equality, ordering and hashing are over
+/// `(predicate, args)` exactly as a field-derived implementation would
+/// be; the cache is invisible.
+#[derive(Clone)]
 pub struct Fact {
     predicate: Symbol,
-    args: BTreeMap<Symbol, Atom>,
+    args: Arc<BTreeMap<Symbol, Atom>>,
+    /// Cached `(predicate, args)` structural hash (see [`Fact::fingerprint`]).
+    fp: u64,
+}
+
+impl PartialEq for Fact {
+    fn eq(&self, other: &Self) -> bool {
+        // The fingerprint is a pure function of (predicate, args), so a
+        // mismatch proves inequality without walking the maps.
+        self.fp == other.fp && self.predicate == other.predicate && self.args == other.args
+    }
+}
+
+impl Eq for Fact {}
+
+impl PartialOrd for Fact {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fact {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.predicate
+            .cmp(&other.predicate)
+            .then_with(|| self.args.cmp(&other.args))
+    }
+}
+
+impl std::hash::Hash for Fact {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Field order matches the former derived implementation, so hash
+        // values (and the fingerprints built from them) are unchanged.
+        self.predicate.hash(state);
+        self.args.hash(state);
+    }
 }
 
 impl Fact {
@@ -40,13 +82,30 @@ impl Fact {
         C: Into<Symbol>,
         A: Into<Atom>,
     {
-        Fact {
-            predicate: predicate.into(),
-            args: args
-                .into_iter()
+        Self::from_parts(
+            predicate.into(),
+            args.into_iter()
                 .map(|(c, a)| (c.into(), a.into()))
                 .collect(),
+        )
+    }
+
+    fn from_parts(predicate: Symbol, args: BTreeMap<Symbol, Atom>) -> Self {
+        // Tuple hashing visits fields in order, matching the struct
+        // hash above — so this equals `content_fingerprint` of the fact.
+        let fp = crate::content_fingerprint(&(&predicate, &args));
+        Fact {
+            predicate,
+            args: Arc::new(args),
+            fp,
         }
+    }
+
+    /// The cached structural hash of `(predicate, args)` — exactly
+    /// [`crate::content_fingerprint`] of this fact, computed once at
+    /// construction. Equal facts have equal fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// The predicate symbol.
@@ -77,18 +136,21 @@ impl Fact {
     /// Returns a copy of this fact with one case rebound. Used by
     /// renaming correspondences between data models.
     pub fn with_arg(&self, case: impl Into<Symbol>, atom: impl Into<Atom>) -> Fact {
-        let mut f = self.clone();
-        f.args.insert(case.into(), atom.into());
-        f
+        let mut args = (*self.args).clone();
+        args.insert(case.into(), atom.into());
+        Self::from_parts(self.predicate.clone(), args)
     }
 
     /// Returns a copy with the predicate renamed (correspondence maps,
     /// e.g. graph "operation" association type → relational "operate"
     /// predicate).
     pub fn with_predicate(&self, predicate: impl Into<Symbol>) -> Fact {
+        let predicate = predicate.into();
+        let fp = crate::content_fingerprint(&(&predicate, &*self.args));
         Fact {
-            predicate: predicate.into(),
-            args: self.args.clone(),
+            predicate,
+            args: Arc::clone(&self.args),
+            fp,
         }
     }
 }

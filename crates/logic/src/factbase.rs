@@ -6,16 +6,63 @@
 //! common denominator: the *union over all relations* (resp. the reading
 //! of all entities and associations) of their statements.
 
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
-
+use std::hash::{Hash, Hasher};
 
 use crate::{Fact, Pattern};
 
 /// An immutable-ish set of ground facts with set-algebra helpers.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Carries an incrementally-maintained 64-bit content fingerprint (the
+/// XOR of per-fact [`content_fingerprint`] hashes), so the equivalence
+/// kernel can probe hash-consing tables without re-hashing the whole
+/// set. All comparisons and hashing remain functions of the fact set
+/// alone; the fingerprint is derived state.
+#[derive(Clone)]
 pub struct FactBase {
     facts: BTreeSet<Fact>,
+    /// XOR of `content_fingerprint` over `facts` (0 when empty).
+    fp: u64,
+}
+
+impl Default for FactBase {
+    fn default() -> Self {
+        FactBase {
+            facts: BTreeSet::new(),
+            fp: 0,
+        }
+    }
+}
+
+impl PartialEq for FactBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.fp == other.fp && self.facts == other.facts
+    }
+}
+
+impl Eq for FactBase {}
+
+impl PartialOrd for FactBase {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FactBase {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.facts.cmp(&other.facts)
+    }
+}
+
+impl Hash for FactBase {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The fingerprint is a function of the fact set, so hashing it
+        // keeps `Hash` consistent with `Eq` while making whole-state
+        // hashing O(1).
+        state.write_u64(self.fp);
+    }
 }
 
 impl FactBase {
@@ -26,19 +73,36 @@ impl FactBase {
 
     /// Builds a fact base from any iterable of facts.
     pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Self {
-        FactBase {
-            facts: facts.into_iter().collect(),
-        }
+        let facts: BTreeSet<Fact> = facts.into_iter().collect();
+        let fp = facts.iter().map(Fact::fingerprint).fold(0, |a, h| a ^ h);
+        FactBase { facts, fp }
+    }
+
+    /// The incrementally-maintained 64-bit content fingerprint: the XOR
+    /// of per-fact hashes. Equal fact bases always have equal
+    /// fingerprints; distinct ones may collide, so callers must confirm
+    /// a match with `==`.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Inserts a fact; returns whether it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        self.facts.insert(fact)
+        let h = fact.fingerprint();
+        let inserted = self.facts.insert(fact);
+        if inserted {
+            self.fp ^= h;
+        }
+        inserted
     }
 
     /// Removes a fact; returns whether it was present.
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        self.facts.remove(fact)
+        let removed = self.facts.remove(fact);
+        if removed {
+            self.fp ^= fact.fingerprint();
+        }
+        removed
     }
 
     /// Membership ("is this statement true in the state?").
@@ -85,16 +149,12 @@ impl FactBase {
 
     /// Set union.
     pub fn union(&self, other: &FactBase) -> FactBase {
-        FactBase {
-            facts: self.facts.union(&other.facts).cloned().collect(),
-        }
+        FactBase::from_facts(self.facts.union(&other.facts).cloned())
     }
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &FactBase) -> FactBase {
-        FactBase {
-            facts: self.facts.difference(&other.facts).cloned().collect(),
-        }
+        FactBase::from_facts(self.facts.difference(&other.facts).cloned())
     }
 
     /// The delta that transforms `self` into `target`.
@@ -119,7 +179,9 @@ impl FromIterator<Fact> for FactBase {
 
 impl Extend<Fact> for FactBase {
     fn extend<I: IntoIterator<Item = Fact>>(&mut self, iter: I) {
-        self.facts.extend(iter);
+        for fact in iter {
+            self.insert(fact);
+        }
     }
 }
 
@@ -219,6 +281,35 @@ mod tests {
         assert_eq!(a.apply(&d), b);
         assert!(a.delta_to(&a).is_empty());
         assert_eq!(a.apply(&FactDelta::empty()), a);
+    }
+
+    #[test]
+    fn fingerprint_is_path_independent_and_maintained() {
+        let mut a = FactBase::new();
+        a.insert(f("p", 1));
+        a.insert(f("p", 2));
+        let mut b = FactBase::new();
+        b.insert(f("p", 2));
+        b.insert(f("p", 3));
+        b.insert(f("p", 1));
+        b.remove(&f("p", 3));
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            FactBase::from_facts([f("p", 2), f("p", 1)]).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), FactBase::new().fingerprint());
+        // No-op mutations leave the fingerprint alone.
+        let before = a.fingerprint();
+        a.insert(f("p", 1));
+        a.remove(&f("p", 9));
+        assert_eq!(a.fingerprint(), before);
+        // Set algebra recomputes coherently.
+        assert_eq!(
+            a.union(&FactBase::new()).fingerprint(),
+            a.fingerprint()
+        );
     }
 
     #[test]

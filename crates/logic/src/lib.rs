@@ -28,6 +28,7 @@
 //!   event described by a predicate, with each case (role) bound to the
 //!   identifying value of its participant.
 
+pub mod delta;
 pub mod fact;
 pub mod factbase;
 pub mod interpretation;
@@ -35,6 +36,7 @@ pub mod pattern;
 pub mod universe;
 pub mod vocab;
 
+pub use delta::{content_fingerprint, DeltaState};
 pub use fact::Fact;
 pub use factbase::{FactBase, FactDelta};
 pub use interpretation::{state_equivalent, EquivalenceReport, ToFacts};

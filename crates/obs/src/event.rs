@@ -65,12 +65,17 @@ pub enum Counter {
     CheckpointsTaken,
     /// Write-ahead-log records replayed during crash recovery.
     WalRecordsReplayed,
+    /// Frontier probes answered by the state arena (successor already
+    /// interned; no new state constructed).
+    ArenaHits,
+    /// Frontier probes that interned a genuinely new state.
+    ArenaMisses,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 28] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -97,6 +102,8 @@ impl Counter {
         Counter::WalRecordsAppended,
         Counter::CheckpointsTaken,
         Counter::WalRecordsReplayed,
+        Counter::ArenaHits,
+        Counter::ArenaMisses,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -132,6 +139,8 @@ impl Counter {
             Counter::WalRecordsAppended => "wal_records_appended",
             Counter::CheckpointsTaken => "checkpoints_taken",
             Counter::WalRecordsReplayed => "wal_records_replayed",
+            Counter::ArenaHits => "arena_hits",
+            Counter::ArenaMisses => "arena_misses",
         }
     }
 

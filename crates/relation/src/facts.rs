@@ -22,7 +22,7 @@
 //! participant carries `be employee:object`, so the row asserts
 //! existence and age facts.
 
-use dme_logic::{vocab, FactBase, ToFacts};
+use dme_logic::{vocab, Fact, FactBase, ToFacts};
 use dme_value::{Atom, Tuple};
 
 use crate::schema::RelationSchema;
@@ -43,34 +43,42 @@ pub fn tuple_facts(rel: &RelationSchema, tuple: &Tuple) -> FactBase {
         .map(|pi| tuple[rel.id_column(pi)].as_atom())
         .collect();
 
+    // Fact shapes are exactly the `vocab` constructors'; the predicate
+    // symbols come from the heading's compiled cache instead of being
+    // re-interned per call (this is the closure enumerator's innermost
+    // loop).
     for (pi, p) in rel.participants().iter().enumerate() {
         let Some(key) = keys[pi] else { continue };
-        let et = &p.entity_type;
         // We need the identifying characteristic name; by validation it is
         // the participant's first column.
         let id_char = &p.columns[0].characteristic;
         if p.asserts_existence() {
-            out.insert(vocab::existence(et, id_char, key.clone()));
+            out.insert(Fact::new(
+                rel.existence_predicate_of(pi).clone(),
+                [(id_char.clone(), key.clone())],
+            ));
         }
         let base = rel.participant_offset(pi);
-        for (ci, col) in p.columns.iter().enumerate().skip(1) {
+        for (ci, _col) in p.columns.iter().enumerate().skip(1) {
             if let Some(v) = tuple[base + ci].as_atom() {
-                out.insert(vocab::characteristic(
-                    et,
-                    id_char,
-                    key.clone(),
-                    &col.characteristic,
-                    v.clone(),
+                out.insert(Fact::new(
+                    rel.characteristic_predicate_of(pi, ci).clone(),
+                    [
+                        (id_char.clone(), key.clone()),
+                        (rel.value_case().clone(), v.clone()),
+                    ],
                 ));
             }
         }
     }
 
-    for pred in rel.mentioned_predicates() {
-        let bindings = rel.predicate_bindings(pred.as_str());
+    for pred in rel.mentioned() {
+        let bindings = rel
+            .bindings_of(pred.as_str())
+            .expect("mentioned predicates are bound");
         let mut cases = Vec::with_capacity(bindings.len());
         let mut complete = true;
-        for (case, pi) in &bindings {
+        for (case, pi) in bindings {
             match keys[*pi] {
                 Some(key) => cases.push((case.clone(), key.clone())),
                 None => {
@@ -80,7 +88,7 @@ pub fn tuple_facts(rel: &RelationSchema, tuple: &Tuple) -> FactBase {
             }
         }
         if complete {
-            out.insert(vocab::association(&pred, cases));
+            out.insert(vocab::association(pred, cases));
         }
     }
 
@@ -91,14 +99,10 @@ pub fn tuple_facts(rel: &RelationSchema, tuple: &Tuple) -> FactBase {
 /// and tuples. This realises the paper's reading of a relation as "the
 /// set of all true statements fitting a certain form".
 pub fn state_facts(state: &RelationState) -> FactBase {
-    let schema = state.schema();
-    let mut out = FactBase::new();
-    for rel in schema.relations() {
-        for t in state.tuples(rel.name().as_str()) {
-            out.extend(tuple_facts(rel, t).iter().cloned());
-        }
-    }
-    out
+    // The state maintains its fact index incrementally (see
+    // [`RelationState`]); its key set is exactly this union, so read it
+    // instead of recompiling every tuple.
+    FactBase::from_facts(state.fact_counts().keys().cloned())
 }
 
 impl ToFacts for RelationState {

@@ -218,6 +218,23 @@ impl RelOp {
     ///     .contains(&tuple![Value::Null, "T.Manhart", "NZ745"]));
     /// ```
     pub fn apply(&self, state: &RelationState) -> Result<RelationState, OpError> {
+        let next = self.apply_candidate(state)?;
+        check_all(next.schema(), &next)?;
+        Ok(next)
+    }
+
+    /// Applies the operation *without* the final constraint check: the
+    /// well-formedness checks, the set algebra and normalization all
+    /// run, but the resulting candidate state may violate schema
+    /// constraints.
+    ///
+    /// [`RelOp::apply`] is exactly `apply_candidate` followed by
+    /// [`check_all`]. The split exists for the equivalence kernel's
+    /// closure enumerator: constraint checking is a pure function of
+    /// the candidate state, so a candidate that hash-conses to an
+    /// already-interned (hence already-validated) state needs no second
+    /// check — only genuinely new states pay for `check_all`.
+    pub fn apply_candidate(&self, state: &RelationState) -> Result<RelationState, OpError> {
         let mut next = state.clone();
         match self {
             RelOp::Insert(set) => {
@@ -236,6 +253,14 @@ impl RelOp {
                         .ok_or_else(|| StateError::UnknownRelation(relation.clone()))?;
                     RelationState::check_tuple(&schema, rel, t)?;
                     denied.extend(tuple_facts(rel, t).iter().cloned());
+                }
+                // A statement can only be affected if one of its facts is
+                // denied, and every statement fact is in the state's fact
+                // index — so when no denied fact is held at all, the
+                // per-tuple scans below would all come up empty.
+                if !denied.iter().any(|f| next.holds_fact(f)) {
+                    next.normalize();
+                    return Ok(next);
                 }
                 // Weaken every statement asserting a denied fact.
                 for rel in schema.relations() {
@@ -256,7 +281,6 @@ impl RelOp {
                 next.normalize();
             }
         }
-        check_all(next.schema(), &next)?;
         Ok(next)
     }
 
@@ -271,6 +295,34 @@ impl RelOp {
             cur = op.apply(&cur)?;
         }
         Ok(cur)
+    }
+}
+
+/// Undoable relational operation application for the equivalence
+/// kernel.
+///
+/// Unlike the graph model, `delete-statements` may weaken tuples in
+/// *every* relation (semantic deletion) and normalization's saturation
+/// pass reads the global fact set — so no sub-state undo log is bounded
+/// by the operation's footprint. The undo token is therefore the full
+/// previous state (swap-in, swap-out), which costs exactly what the
+/// clone-based `apply` already paid; the kernel's win on this model
+/// comes from fingerprint probing and transition memoization instead.
+impl dme_logic::DeltaState for RelationState {
+    type Op = RelOp;
+    type Undo = RelationState;
+
+    fn fingerprint(&self) -> u64 {
+        RelationState::fingerprint(self)
+    }
+
+    fn apply_delta(&mut self, op: &RelOp) -> Option<RelationState> {
+        let next = op.apply(self).ok()?;
+        Some(std::mem::replace(self, next))
+    }
+
+    fn undo(&mut self, token: RelationState) {
+        *self = token;
     }
 }
 

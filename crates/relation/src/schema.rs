@@ -288,11 +288,84 @@ impl fmt::Display for SchemaError {
 
 impl std::error::Error for SchemaError {}
 
+/// Heading-derived data precomputed at construction so the per-tuple
+/// fact compiler ([`crate::facts::tuple_facts`]) and normalization's
+/// saturation pass never rebuild predicate symbols or binding maps in
+/// their inner loops. A pure function of the heading, so it never
+/// affects `Eq`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CompiledHeading {
+    /// Flat column offset per participant.
+    offsets: Vec<usize>,
+    /// `be <entity-type>` per participant.
+    existence_preds: Vec<Symbol>,
+    /// `<entity-type>.<characteristic>` per participant per column.
+    char_preds: Vec<Vec<Symbol>>,
+    /// The interned [`vocab::VALUE_CASE`] symbol.
+    value_case: Symbol,
+    /// All predicates mentioned by the heading.
+    predicates: BTreeSet<Symbol>,
+    /// Per mentioned predicate: its case → participant-index map.
+    bindings: BTreeMap<Symbol, BTreeMap<Symbol, usize>>,
+}
+
+impl CompiledHeading {
+    fn new(participants: &[Participant]) -> Self {
+        use dme_logic::vocab;
+        let mut offsets = Vec::with_capacity(participants.len());
+        let mut acc = 0usize;
+        for p in participants {
+            offsets.push(acc);
+            acc += p.width();
+        }
+        let existence_preds = participants
+            .iter()
+            .map(|p| vocab::existence_predicate(&p.entity_type))
+            .collect();
+        let char_preds = participants
+            .iter()
+            .map(|p| {
+                p.columns
+                    .iter()
+                    .map(|c| vocab::characteristic_predicate(&p.entity_type, &c.characteristic))
+                    .collect()
+            })
+            .collect();
+        let predicates: BTreeSet<Symbol> = participants
+            .iter()
+            .flat_map(|p| p.case_pairs().map(|(pred, _)| pred.clone()))
+            .collect();
+        let bindings = predicates
+            .iter()
+            .map(|pred| {
+                let mut out = BTreeMap::new();
+                for (i, p) in participants.iter().enumerate() {
+                    for (q, case) in p.case_pairs() {
+                        if q == pred {
+                            out.insert(case.clone(), i);
+                        }
+                    }
+                }
+                (pred.clone(), out)
+            })
+            .collect();
+        CompiledHeading {
+            offsets,
+            existence_preds,
+            char_preds,
+            value_case: Symbol::new(vocab::VALUE_CASE),
+            predicates,
+            bindings,
+        }
+    }
+}
+
 /// One relation's heading: a name and its participants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RelationSchema {
     name: Symbol,
     participants: Vec<Participant>,
+    compiled: CompiledHeading,
 }
 
 impl RelationSchema {
@@ -303,10 +376,40 @@ impl RelationSchema {
         name: impl Into<Symbol>,
         participants: impl IntoIterator<Item = Participant>,
     ) -> Self {
+        let participants: Vec<Participant> = participants.into_iter().collect();
+        let compiled = CompiledHeading::new(&participants);
         RelationSchema {
             name: name.into(),
-            participants: participants.into_iter().collect(),
+            participants,
+            compiled,
         }
+    }
+
+    /// The precomputed `be <entity-type>` predicate of a participant.
+    pub fn existence_predicate_of(&self, participant: usize) -> &Symbol {
+        &self.compiled.existence_preds[participant]
+    }
+
+    /// The precomputed `<entity-type>.<characteristic>` predicate of a
+    /// participant column.
+    pub fn characteristic_predicate_of(&self, participant: usize, column: usize) -> &Symbol {
+        &self.compiled.char_preds[participant][column]
+    }
+
+    /// The interned `value` case symbol.
+    pub fn value_case(&self) -> &Symbol {
+        &self.compiled.value_case
+    }
+
+    /// The predicates mentioned by this heading, precomputed.
+    pub fn mentioned(&self) -> &BTreeSet<Symbol> {
+        &self.compiled.predicates
+    }
+
+    /// Precomputed case → participant-index map of a mentioned
+    /// predicate (`None` for unmentioned predicates).
+    pub fn bindings_of(&self, predicate: &str) -> Option<&BTreeMap<Symbol, usize>> {
+        self.compiled.bindings.get(predicate)
     }
 
     /// The relation's name.
@@ -326,10 +429,7 @@ impl RelationSchema {
 
     /// The flat column offset where `participant`'s columns begin.
     pub fn participant_offset(&self, participant: usize) -> usize {
-        self.participants[..participant]
-            .iter()
-            .map(Participant::width)
-            .sum()
+        self.compiled.offsets[participant]
     }
 
     /// Flat column index of a participant's identifying column (always
@@ -355,23 +455,16 @@ impl RelationSchema {
 
     /// All predicates mentioned by this heading (across participants).
     pub fn mentioned_predicates(&self) -> BTreeSet<Symbol> {
-        self.participants
-            .iter()
-            .flat_map(|p| p.case_pairs().map(|(pred, _)| pred.clone()))
-            .collect()
+        self.compiled.predicates.clone()
     }
 
     /// For a mentioned predicate, the case → participant-index map.
     pub fn predicate_bindings(&self, predicate: &str) -> BTreeMap<Symbol, usize> {
-        let mut out = BTreeMap::new();
-        for (i, p) in self.participants.iter().enumerate() {
-            for (pred, case) in p.case_pairs() {
-                if pred.as_str() == predicate {
-                    out.insert(case.clone(), i);
-                }
-            }
-        }
-        out
+        self.compiled
+            .bindings
+            .get(predicate)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Validates the heading against the universe (see [`SchemaError`]).

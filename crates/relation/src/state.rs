@@ -24,10 +24,34 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use dme_logic::Fact;
 use dme_value::{Symbol, Tuple, Value};
 
 use crate::facts::tuple_facts;
 use crate::schema::{RelationSchema, RelationalSchema};
+
+/// Read-only view over a state's incrementally-maintained fact index,
+/// exposing exactly the [`dme_logic::FactBase`] queries normalization
+/// needs. Keys iterate in the same canonical `Fact` order as a
+/// `FactBase`, so pass outcomes (e.g. which saturation candidate is
+/// found first) are identical to the rebuild-from-scratch path.
+pub(crate) struct FactView<'a>(&'a BTreeMap<Fact, u32>);
+
+impl FactView<'_> {
+    /// Membership — mirrors [`dme_logic::FactBase::holds`].
+    pub(crate) fn holds(&self, fact: &Fact) -> bool {
+        self.0.contains_key(fact)
+    }
+
+    /// Facts matching a pattern, in canonical order — mirrors
+    /// [`dme_logic::FactBase::matching`].
+    pub(crate) fn matching<'b>(
+        &'b self,
+        pattern: &'b dme_logic::Pattern,
+    ) -> impl Iterator<Item = &'b Fact> {
+        self.0.keys().filter(move |f| pattern.matches(f))
+    }
+}
 
 /// Errors raised by state well-formedness checks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,13 +133,28 @@ impl std::error::Error for StateError {}
 pub struct RelationState {
     schema: Arc<RelationalSchema>,
     relations: BTreeMap<Symbol, BTreeSet<Tuple>>,
+    /// Incrementally-maintained content fingerprint: the XOR of
+    /// per-(relation, tuple) hashes. Derived data — equality and
+    /// ordering work on `relations` alone.
+    fp: u64,
+    /// Incrementally-maintained fact index: for every fact asserted by
+    /// the state, how many statements assert it. The key set equals
+    /// [`crate::facts::state_facts`], so normalization and constraint
+    /// checking read it instead of recompiling every tuple on each
+    /// operation. Derived data, like `fp`: ignored by `Eq`/`Ord`/`Hash`.
+    facts: BTreeMap<Fact, u32>,
+}
+
+/// Element hash of one statement: the (relation, tuple) pair.
+fn statement_fp(relation: &str, tuple: &Tuple) -> u64 {
+    dme_logic::content_fingerprint(&(relation, tuple))
 }
 
 impl PartialEq for RelationState {
     fn eq(&self, other: &Self) -> bool {
         // States are compared by contents; callers only ever compare
         // states of the same application model.
-        self.relations == other.relations
+        self.fp == other.fp && self.relations == other.relations
     }
 }
 
@@ -135,8 +174,10 @@ impl Ord for RelationState {
 
 impl std::hash::Hash for RelationState {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        // Must agree with `Eq`: contents only, never the schema.
-        self.relations.hash(state);
+        // Must agree with `Eq`: contents only, never the schema. The
+        // fingerprint is a function of exactly the contents, so hashing
+        // it keeps `Hash` consistent with `Eq` at O(1).
+        state.write_u64(self.fp);
     }
 }
 
@@ -162,7 +203,19 @@ impl RelationState {
             .relations()
             .map(|r| (r.name().clone(), BTreeSet::new()))
             .collect();
-        RelationState { schema, relations }
+        RelationState {
+            schema,
+            relations,
+            fp: 0,
+            facts: BTreeMap::new(),
+        }
+    }
+
+    /// The state's incrementally-maintained 64-bit content fingerprint
+    /// (see [`dme_logic::DeltaState::fingerprint`]). Equal states always
+    /// carry equal fingerprints; distinct states may collide.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// The application-model schema this state belongs to.
@@ -196,6 +249,17 @@ impl RelationState {
         rel: &RelationSchema,
         tuple: &Tuple,
     ) -> Result<(), StateError> {
+        Self::checked_tuple_facts(schema, rel, tuple).map(|_| ())
+    }
+
+    /// Well-formedness check that also returns the tuple's compiled
+    /// facts (the vacuity check needs them anyway; `insert_raw` reuses
+    /// them to maintain the fact index without a second compilation).
+    fn checked_tuple_facts(
+        schema: &RelationalSchema,
+        rel: &RelationSchema,
+        tuple: &Tuple,
+    ) -> Result<dme_logic::FactBase, StateError> {
         let name = rel.name();
         if tuple.arity() != rel.arity() {
             return Err(StateError::ArityMismatch {
@@ -237,13 +301,14 @@ impl RelationState {
                 });
             }
         }
-        if tuple_facts(rel, tuple).is_empty() {
+        let facts = tuple_facts(rel, tuple);
+        if facts.is_empty() {
             return Err(StateError::VacuousTuple {
                 relation: name.clone(),
                 tuple: tuple.clone(),
             });
         }
-        Ok(())
+        Ok(facts)
     }
 
     /// Inserts a tuple after well-formedness checks, but **without**
@@ -255,21 +320,63 @@ impl RelationState {
         let rel = schema
             .relation(relation)
             .ok_or_else(|| StateError::UnknownRelation(Symbol::new(relation)))?;
-        Self::check_tuple(&schema, rel, &tuple)?;
-        self.relations
+        let tf = Self::checked_tuple_facts(&schema, rel, &tuple)?;
+        let h = statement_fp(relation, &tuple);
+        let inserted = self
+            .relations
             .get_mut(relation)
             .expect("schema relations are pre-populated")
             .insert(tuple);
+        if inserted {
+            self.fp ^= h;
+            for f in tf.iter() {
+                *self.facts.entry(f.clone()).or_insert(0) += 1;
+            }
+        }
         Ok(())
     }
 
     /// Removes an exact tuple; returns whether it was present.
     pub fn delete_raw(&mut self, relation: &str, tuple: &Tuple) -> Result<bool, StateError> {
+        let schema = Arc::clone(&self.schema);
+        let rel = schema
+            .relation(relation)
+            .ok_or_else(|| StateError::UnknownRelation(Symbol::new(relation)))?;
         let set = self
             .relations
             .get_mut(relation)
-            .ok_or_else(|| StateError::UnknownRelation(Symbol::new(relation)))?;
-        Ok(set.remove(tuple))
+            .expect("schema relations are pre-populated");
+        let removed = set.remove(tuple);
+        if removed {
+            self.fp ^= statement_fp(relation, tuple);
+            self.unindex_facts(rel, tuple);
+        }
+        Ok(removed)
+    }
+
+    /// Decrements the fact-index refcounts for one removed statement.
+    fn unindex_facts(&mut self, rel: &RelationSchema, tuple: &Tuple) {
+        for f in tuple_facts(rel, tuple).iter() {
+            match self.facts.get_mut(f) {
+                Some(1) => {
+                    self.facts.remove(f);
+                }
+                Some(n) => *n -= 1,
+                None => unreachable!("fact index out of sync with statements"),
+            }
+        }
+    }
+
+    /// Whether the state asserts `fact` (O(log n) on the fact index).
+    pub fn holds_fact(&self, fact: &Fact) -> bool {
+        self.facts.contains_key(fact)
+    }
+
+    /// The state's fact index: every asserted fact with the number of
+    /// statements asserting it. The key set is exactly
+    /// [`crate::facts::state_facts`].
+    pub(crate) fn fact_counts(&self) -> &BTreeMap<Fact, u32> {
+        &self.facts
     }
 
     /// Checks every tuple's well-formedness.
@@ -286,7 +393,7 @@ impl RelationState {
     /// mergeable pairs, and no statement extendable from facts already
     /// true in the state (saturation — see [`RelationState::normalize`]).
     pub fn is_normalized(&self) -> bool {
-        let facts = crate::facts::state_facts(self);
+        let facts = FactView(&self.facts);
         self.schema.relations().all(|rel| {
             let tuples = &self.relations[rel.name()];
             for a in tuples {
@@ -332,14 +439,44 @@ impl RelationState {
     /// application state is represented by a unique state" (§3.3.1).
     /// Both properties are enforced by property tests.
     pub fn normalize(&mut self) {
-        // The fact set is a normalization invariant, so compute it once.
-        let facts = crate::facts::state_facts(self);
-        for rel in self.schema.relations() {
-            let set = self
+        // The fact *set* is a normalization invariant, and the fact
+        // index maintains it incrementally, so the passes read the
+        // index directly instead of recompiling every tuple. Each
+        // relation's set is normalized on a scratch copy; the diff is
+        // then replayed through the index- and fingerprint-maintaining
+        // helpers (per-statement refcounts do change even though the
+        // fact set does not — a subsumed statement's facts stay
+        // asserted by its dominator).
+        let schema = Arc::clone(&self.schema);
+        for rel in schema.relations() {
+            let before = self
                 .relations
-                .get_mut(rel.name())
+                .get(rel.name())
                 .expect("schema relations are pre-populated");
-            normalize_relation(rel, set, &facts);
+            let mut after = before.clone();
+            normalize_relation(rel, &mut after, &FactView(&self.facts));
+            let removed: Vec<Tuple> = before.difference(&after).cloned().collect();
+            let added: Vec<Tuple> = after.difference(before).cloned().collect();
+            for t in &removed {
+                let set = self
+                    .relations
+                    .get_mut(rel.name())
+                    .expect("schema relations are pre-populated");
+                set.remove(t);
+                self.fp ^= statement_fp(rel.name().as_str(), t);
+                self.unindex_facts(rel, t);
+            }
+            for t in added {
+                let tf = tuple_facts(rel, &t);
+                self.fp ^= statement_fp(rel.name().as_str(), &t);
+                self.relations
+                    .get_mut(rel.name())
+                    .expect("schema relations are pre-populated")
+                    .insert(t);
+                for f in tf.iter() {
+                    *self.facts.entry(f.clone()).or_insert(0) += 1;
+                }
+            }
         }
     }
 }
@@ -348,7 +485,7 @@ impl RelationState {
 fn saturation_extensions(
     rel: &RelationSchema,
     t: &Tuple,
-    facts: &dme_logic::FactBase,
+    facts: &FactView<'_>,
 ) -> Vec<Tuple> {
     use dme_logic::Pattern;
     let mut out = Vec::new();
@@ -376,14 +513,11 @@ fn saturation_extensions(
         match id {
             Some(key) => {
                 // Characteristic columns attested by characteristic facts.
-                for (ci, col) in p.columns.iter().enumerate().skip(1) {
+                for (ci, _col) in p.columns.iter().enumerate().skip(1) {
                     if !t[base + ci].is_null() {
                         continue;
                     }
-                    let pred = dme_logic::vocab::characteristic_predicate(
-                        &p.entity_type,
-                        &col.characteristic,
-                    );
+                    let pred = rel.characteristic_predicate_of(pi, ci).clone();
                     let pattern = Pattern::predicate(pred)
                         .with(p.columns[0].characteristic.clone(), key.clone());
                     for fact in facts.matching(&pattern) {
@@ -397,10 +531,12 @@ fn saturation_extensions(
                 // Absent participant: derivable through association facts
                 // whose other cases are already bound in `t`.
                 for (pred, case) in p.case_pairs() {
-                    let bindings = rel.predicate_bindings(pred.as_str());
+                    let bindings = rel
+                        .bindings_of(pred.as_str())
+                        .expect("mentioned predicates are bound");
                     let mut pattern = Pattern::predicate(pred.clone());
                     let mut complete = true;
-                    for (other_case, opi) in &bindings {
+                    for (other_case, opi) in bindings {
                         if other_case == case {
                             continue;
                         }
@@ -430,7 +566,7 @@ fn saturation_extensions(
 fn normalize_relation(
     rel: &RelationSchema,
     tuples: &mut BTreeSet<Tuple>,
-    facts: &dme_logic::FactBase,
+    facts: &FactView<'_>,
 ) {
     loop {
         // Subsumption pass: drop statements strictly below another.

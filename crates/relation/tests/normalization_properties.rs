@@ -104,6 +104,64 @@ proptest! {
         prop_assert_eq!(sa.to_facts() == sb.to_facts(), sa == sb);
     }
 
+    /// Delta application is observationally identical to clone-apply
+    /// over generated op scripts, and undoing in LIFO order walks back
+    /// through the exact intermediate states (with coherent
+    /// fingerprints throughout).
+    #[test]
+    fn delta_apply_matches_clone_apply(
+        base in prop::collection::vec(arb_jobs_tuple(), 0..5),
+        script in prop::collection::vec((any::<bool>(), arb_jobs_tuple()), 1..6),
+    ) {
+        use dme_logic::DeltaState;
+        let mut cur = state_with(&base);
+        cur.normalize();
+        let mut trail: Vec<(RelationState, RelationState)> = Vec::new();
+        for (insert, tuple) in script {
+            let op = if insert {
+                RelOp::insert("Jobs", [tuple])
+            } else {
+                RelOp::delete("Jobs", [tuple])
+            };
+            let cloned = op.apply(&cur);
+            let before = cur.clone();
+            match cur.apply_delta(&op) {
+                Some(undo) => {
+                    let applied = cloned.expect("delta succeeded, clone-apply must too");
+                    prop_assert_eq!(&cur, &applied);
+                    prop_assert_eq!(cur.fingerprint(), applied.fingerprint());
+                    trail.push((undo, before));
+                }
+                None => {
+                    prop_assert!(cloned.is_err(), "clone-apply succeeded where delta failed");
+                    prop_assert_eq!(&cur, &before, "failed delta must leave the state untouched");
+                    prop_assert_eq!(cur.fingerprint(), before.fingerprint());
+                }
+            }
+        }
+        for (undo, before) in trail.into_iter().rev() {
+            cur.undo(undo);
+            prop_assert_eq!(&cur, &before, "undo must restore the exact prior state");
+            prop_assert_eq!(cur.fingerprint(), before.fingerprint());
+        }
+    }
+
+    /// Fingerprints are coherent with equality: equal states carry
+    /// equal fingerprints regardless of how they were built.
+    #[test]
+    fn fingerprints_agree_on_equal_states(
+        a in prop::collection::vec(arb_jobs_tuple(), 0..6),
+        b in prop::collection::vec(arb_jobs_tuple(), 0..6),
+    ) {
+        let mut sa = state_with(&a);
+        let mut sb = state_with(&b);
+        sa.normalize();
+        sb.normalize();
+        if sa == sb {
+            prop_assert_eq!(sa.fingerprint(), sb.fingerprint());
+        }
+    }
+
     /// insert-statements (ignoring constraint failures) is idempotent
     /// and only grows the fact set.
     #[test]

@@ -494,6 +494,53 @@ pub fn machine_toggle_ops(cfg: ShopConfig, n: usize) -> Vec<GraphOp> {
     ops
 }
 
+/// `k` disjoint supervision toggles as *simple operations*: inserting
+/// and deleting `supervise(E(2i) -> E(2i+1))` for `i < k`. From a state
+/// with no supervisions, each pair is independently present or absent,
+/// so the closure of these operations is the full powerset — exactly
+/// `2^k` valid states. That makes `k` the state-count knob for the
+/// closure-scaling benches: every state has `k` successful successors
+/// (its hypercube neighbours), all but the frontier already interned,
+/// so the expected arena hit rate approaches `(k-1)/k`.
+///
+/// Requires `cfg.employees >= 2 * k` (the pairs must be disjoint) and a
+/// base state with no supervisions.
+pub fn supervision_closure_ops(cfg: ShopConfig, k: usize) -> Vec<GraphOp> {
+    assert!(
+        2 * k <= cfg.employees,
+        "k disjoint supervision pairs need 2k employees ({} < {})",
+        cfg.employees,
+        2 * k
+    );
+    (0..k)
+        .flat_map(|i| {
+            let assoc = Association::new(
+                "supervise",
+                [
+                    (
+                        "agent",
+                        EntityRef::new(
+                            "employee",
+                            dme_value::Atom::str(employee_name(2 * i)),
+                        ),
+                    ),
+                    (
+                        "object",
+                        EntityRef::new(
+                            "employee",
+                            dme_value::Atom::str(employee_name(2 * i + 1)),
+                        ),
+                    ),
+                ],
+            );
+            [
+                GraphOp::InsertAssociation(assoc.clone()),
+                GraphOp::DeleteAssociation(assoc),
+            ]
+        })
+        .collect()
+}
+
 /// The relational `insert-statements`/`delete-statements` mirror of
 /// [`supervision_toggle_ops`] (Minimal completion: machine column null).
 pub fn supervision_toggle_rel_ops(cfg: ShopConfig, n: usize) -> Vec<RelOp> {
@@ -824,6 +871,27 @@ mod tests {
             }
             _ => panic!("sessions 0 and 3 should both be graph sessions"),
         }
+    }
+
+    #[test]
+    fn closure_ops_span_the_powerset() {
+        let cfg = ShopConfig {
+            employees: 8,
+            machines: 0,
+            supervisions: 0,
+            seed: 42,
+        };
+        let k = 4;
+        let ops = supervision_closure_ops(cfg, k);
+        assert_eq!(ops.len(), 2 * k);
+        let model = dme_core::model::graph_model("closure-knob", graph_state(cfg), ops);
+        let closure = model.closure(1 << (k + 1)).expect("closure fits");
+        assert_eq!(closure.arena.len(), 1 << k, "closure is the full powerset");
+        // Every state has k successful successors (k·2^k probes, plus
+        // the initial intern); all but the 2^k discoveries are hits.
+        let stats = closure.arena.stats();
+        assert_eq!(stats.hits + stats.misses, (k << k) as u64 + 1);
+        assert_eq!(stats.misses, 1u64 << k);
     }
 
     #[test]

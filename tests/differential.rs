@@ -222,6 +222,48 @@ proptest! {
         }
     }
 
+    /// Slow-reference differential (enabled with
+    /// `--features slow-reference`): the arena-backed engines —
+    /// sequential and parallel — return byte-identical verdicts to the
+    /// pre-arena BTreeSet engine preserved in
+    /// `borkin_equiv::equivalence::slow_reference`, across Definitions
+    /// 2/3/5 and the Definition 6 grid.
+    #[cfg(feature = "slow-reference")]
+    #[test]
+    fn arena_engines_match_the_slow_reference(
+        m_ops in ops_strategy(),
+        n_ops in ops_strategy(),
+        kind in kind_strategy(),
+    ) {
+        use borkin_equiv::equivalence::slow_reference;
+        let m = toy_model("m", &m_ops);
+        let n = toy_model("n", &n_ops);
+        let slow = slow_reference::app_models_verdict_slow(&m, &n, kind, STATE_CAP);
+        let arena_seq = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .run();
+        let arena_par = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(STATE_CAP)
+            .parallel(ParallelConfig::with_threads(4))
+            .run();
+        prop_assert_eq!(&arena_seq, &slow, "sequential arena engine vs slow reference");
+        prop_assert_eq!(&arena_par, &slow, "parallel arena engine vs slow reference");
+
+        let slow_grid = slow_reference::data_model_verdict_slow(
+            std::slice::from_ref(&m),
+            std::slice::from_ref(&n),
+            kind,
+            STATE_CAP,
+        );
+        let arena_grid = Checker::data_models(std::slice::from_ref(&m), std::slice::from_ref(&n))
+            .tier(Tier::DataModel { kind })
+            .state_cap(STATE_CAP)
+            .run();
+        prop_assert_eq!(&arena_grid, &slow_grid, "Definition 6 grid vs slow reference");
+    }
+
     /// Budget-exhaustion differential: a budgeted run either gives the
     /// unlimited engine's exact verdict or exhausts — it never returns a
     /// *different* answer, no matter how tight the budget.
