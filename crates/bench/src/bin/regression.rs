@@ -26,7 +26,14 @@ use dme_server::{CommitMode, MemDevice, ServiceConfig, SessionKind, SessionServi
 use dme_value::Atom;
 
 const STATE_CAP: usize = 4_000;
-const SAMPLES: usize = 5;
+// 15 samples: enough that the interpolated p95 sits strictly inside the
+// order statistics instead of collapsing onto the max (the old
+// 5-sample nearest-rank quantiles reported p95_us == p99_us == max_us
+// on every row, which made tail columns pure noise).
+const SAMPLES: usize = 15;
+/// Samples for the incremental re-check comparison, where every cold
+/// sample is a full two-closure enumeration of a 2^14-state scenario.
+const INC_SAMPLES: usize = 7;
 
 /// Wall-clock summary of repeated runs, in microseconds. `median_us`
 /// is kept alongside the quantile columns so older consumers of
@@ -44,13 +51,17 @@ struct Stats {
 impl Stats {
     fn from_samples(mut times: Vec<u64>) -> Stats {
         times.sort_unstable();
+        // Linear-interpolated quantiles (R type 7): the quantile sits at
+        // position q·(n−1) between order statistics. Unlike nearest-rank
+        // at small n — which rounded every q ≥ (n−1)/n up to the max and
+        // made the p95/p99 columns duplicates of max_us — the tail
+        // quantiles stay strictly inside the sample unless the top
+        // samples are genuinely tied.
         let pct = |q: f64| {
-            // Nearest-rank on the sorted samples: the smallest value
-            // covering a q fraction of runs. With few samples the high
-            // quantiles collapse onto the max, which is the honest
-            // answer at that sample size.
-            let rank = (q * times.len() as f64).ceil() as usize;
-            times[rank.clamp(1, times.len()) - 1]
+            let pos = q * (times.len() - 1) as f64;
+            let lo = times[pos.floor() as usize] as f64;
+            let hi = times[pos.ceil() as usize] as f64;
+            (lo + (hi - lo) * pos.fract()).round() as u64
         };
         Stats {
             median_us: times[times.len() / 2],
@@ -287,6 +298,98 @@ fn json_timing(t: &Timing) -> String {
     format!("\"{}\":{{{}}}", t.name, t.stats.json_fields())
 }
 
+/// Cold-vs-warm single-operation re-check on a 10⁴-state scenario.
+/// Returns the `incremental_recheck` JSON object and asserts the ≥10×
+/// bar — this is the regression gate for the incremental session.
+fn incremental_recheck() -> String {
+    use dme_core::IncrementalChecker;
+    use dme_workload::scenario::{Mutation, Scenario, ScenarioConfig};
+
+    // 2^14 = 16384 > 10^4 states; the composite operations are the
+    // mutation targets — swapping one composite's direction changes its
+    // label (one column recomputed) without changing the reachable
+    // state set (the single-fact toggles already span the powerset), so
+    // the mutant stays pairable against the base.
+    let config = ScenarioConfig {
+        composite_ops: INC_SAMPLES,
+        ..ScenarioConfig::sized(0x1AC5, 10_000)
+    };
+    let base = Scenario::generate(config);
+    let states = 1usize << config.toggles;
+    let cap = states + 1;
+    let kind = EquivKind::Isomorphic;
+    let first_composite = base.ops.len() - config.composite_ops;
+    let m = base.model("left");
+
+    let mut session = IncrementalChecker::<FactBase, FactBase>::new();
+    session
+        .check(&m, &base.model("right"), kind, cap)
+        .expect("priming check runs");
+
+    let mut warm_times = Vec::with_capacity(INC_SAMPLES);
+    let mut cold_times = Vec::with_capacity(INC_SAMPLES);
+    for sample in 0..INC_SAMPLES {
+        let mutant = base.mutate(Mutation::SwapOpDirection(first_composite + sample));
+        let n = mutant.model("right");
+        let t = Instant::now();
+        let warm = session
+            .check(&m, &n, kind, cap)
+            .expect("incremental re-check runs");
+        warm_times.push(t.elapsed().as_micros() as u64);
+        let t = Instant::now();
+        let cold = Checker::new(&m, &n)
+            .tier(Tier::from_kind(kind))
+            .state_cap(cap)
+            .parallel(ParallelConfig::with_threads(1))
+            .run()
+            .expect("cold full check runs");
+        cold_times.push(t.elapsed().as_micros() as u64);
+        assert_eq!(
+            warm, cold,
+            "incremental verdict differs from the cold full check"
+        );
+    }
+    let warm = Stats::from_samples(warm_times);
+    let cold = Stats::from_samples(cold_times);
+    let speedup = cold.median_us as f64 / warm.median_us.max(1) as f64;
+    let cache = session.stats();
+    println!(
+        "states={states} ops={}: cold {}µs, warm {}µs ({speedup:.1}×; \
+         verdict hit rate {:.3}, transition reuse rate {:.3})",
+        base.ops.len(),
+        cold.median_us,
+        warm.median_us,
+        cache.verdict_hit_rate(),
+        cache.transition_reuse_rate()
+    );
+    assert!(
+        speedup >= 10.0,
+        "incremental re-check regression: warm single-op re-check is only \
+         {speedup:.1}× faster than a cold full check (bar: 10×; cold {}µs, warm {}µs)",
+        cold.median_us,
+        warm.median_us
+    );
+    format!(
+        "{{\"states\":{states},\"ops\":{},\"samples\":{INC_SAMPLES},\
+         \"cold\":{{{}}},\"warm\":{{{}}},\"speedup\":{speedup:.2},\
+         \"verdict_cache_hit_rate\":{:.6},\"transition_reuse_rate\":{:.6},\
+         \"verdict_cache_hits\":{},\"verdict_cache_misses\":{},\
+         \"cache_invalidations\":{},\"transitions_reused\":{},\
+         \"transitions_recomputed\":{},\"pairings_reused\":{}}}",
+        base.ops.len(),
+        cold.json_fields(),
+        warm.json_fields(),
+        cache.verdict_hit_rate(),
+        cache.transition_reuse_rate(),
+        cache.verdict_hits,
+        cache.verdict_misses,
+        cache.invalidations,
+        cache.transitions_reused,
+        cache.transitions_recomputed,
+        cache.pairings_reused
+    )
+}
+
 /// The percentile fragment for one latency histogram, as recorded by
 /// the service's observer across all sampled runs.
 fn json_histogram(name: &str, snap: &dme_core::obs::HistogramSnapshot) -> String {
@@ -517,6 +620,17 @@ fn main() {
         ));
     }
 
+    // ---- Incremental re-check: warm session vs cold full check -------
+    // The tentpole guard: on a 2^14-state generated scenario, mutating
+    // one operation and re-checking through a warm IncrementalChecker
+    // session must be at least 10× faster than a cold full check of the
+    // same mutant — and return the byte-identical verdict. Every sample
+    // applies a *fresh* mutation (a different operation each time), so
+    // the warm path really pays for the invalidated column instead of
+    // replaying a memoized one.
+    println!("== incremental re-check ==");
+    let incremental_row = incremental_recheck();
+
     // ---- Session-service throughput: group vs per-op commit ----------
     println!("== service throughput ==");
     let service_rows = service_throughput();
@@ -568,7 +682,9 @@ fn main() {
         out.push_str("\n    ");
         out.push_str(s);
     }
-    out.push_str("\n  ],\n  \"service_throughput\": [");
+    out.push_str("\n  ],\n  \"incremental_recheck\": ");
+    out.push_str(&incremental_row);
+    out.push_str(",\n  \"service_throughput\": [");
     for (i, s) in service_rows.iter().enumerate() {
         if i > 0 {
             out.push(',');

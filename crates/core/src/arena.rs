@@ -168,7 +168,7 @@ impl<S: Eq> StateArena<S> {
             .iter()
             .copied()
             .find(|&i| self.states[i as usize] == *state)
-            .map(|i| StateId(i))
+            .map(StateId)
     }
 
     /// Interns `state`, returning its ID and whether it was new.

@@ -37,6 +37,7 @@ pub mod canon;
 pub mod check;
 pub mod enumerate;
 pub mod equiv;
+pub mod incremental;
 pub mod model;
 pub mod parallel;
 #[cfg(feature = "slow-reference")]
@@ -53,6 +54,7 @@ pub use bitset::BitSet;
 pub use canon::{FactInterner, InternerStats};
 pub use check::{Checker, Tier, DEFAULT_STATE_CAP};
 pub use equiv::{pair_states, CheckError, DataModelReport, EquivKind, MatchReport};
+pub use incremental::{CacheStats, IncrementalChecker, VerdictImageReport};
 pub use model::FiniteModel;
 pub use parallel::{CheckBudget, ParallelConfig, Side, Verdict, Witness};
 pub use translate::{

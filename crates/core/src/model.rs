@@ -28,6 +28,7 @@ use crate::arena::{Closure, StateArena, StateId};
 /// calling it restores the state to what it was before the delta.
 pub type UndoFn<S> = Box<dyn FnOnce(&mut S) + Send>;
 
+type ApplyFn<S, O> = Arc<dyn Fn(&O, &S) -> Option<S> + Send + Sync>;
 type FingerprintFn<S> = Arc<dyn Fn(&S) -> u64 + Send + Sync>;
 type DeltaFn<S, O> = Arc<dyn Fn(&O, &mut S) -> Option<UndoFn<S>> + Send + Sync>;
 type ValidateFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
@@ -49,8 +50,7 @@ pub struct FiniteModel<S, O> {
     name: String,
     initial: S,
     ops: Vec<O>,
-    #[allow(clippy::type_complexity)]
-    apply: Arc<dyn Fn(&O, &S) -> Option<S> + Send + Sync>,
+    apply: ApplyFn<S, O>,
     fingerprint: FingerprintFn<S>,
     delta: DeltaFn<S, O>,
     /// Deferred-validation split, when the model supports it: the pair
@@ -104,7 +104,7 @@ where
         ops: Vec<O>,
         apply: impl Fn(&O, &S) -> Option<S> + Send + Sync + 'static,
     ) -> Self {
-        let apply: Arc<dyn Fn(&O, &S) -> Option<S> + Send + Sync> = Arc::new(apply);
+        let apply: ApplyFn<S, O> = Arc::new(apply);
         let delta_apply = apply.clone();
         FiniteModel {
             name: name.into(),

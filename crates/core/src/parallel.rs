@@ -505,12 +505,12 @@ where
 
 /// A paired grid of state IDs: pair index → state ID per side, plus the
 /// inverse rank tables (state index → pair index).
-struct PairedIds {
-    pairs: usize,
-    m_by_pair: Vec<StateId>,
-    n_by_pair: Vec<StateId>,
-    m_rank: Vec<u32>,
-    n_rank: Vec<u32>,
+pub(crate) struct PairedIds {
+    pub(crate) pairs: usize,
+    pub(crate) m_by_pair: Vec<StateId>,
+    pub(crate) n_by_pair: Vec<StateId>,
+    pub(crate) m_rank: Vec<u32>,
+    pub(crate) n_rank: Vec<u32>,
 }
 
 /// Parallel fact compilation through the interner, then the §3.3.1
@@ -797,6 +797,31 @@ where
     else {
         return Ok(None);
     };
+    check_paired(m, n, m_closure, n_closure, &paired, kind, threads, ctx, early)
+}
+
+/// The post-pairing half of [`check_pair`]: signature relabeling, the
+/// kind-specific scan, and witness assembly, on a caller-supplied
+/// pairing. Split out so [`crate::incremental`] can replay a cached
+/// pairing without recompiling every state's fact base.
+#[allow(clippy::too_many_arguments)]
+fn check_paired<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    m_closure: &Closure<MS>,
+    n_closure: &Closure<NS>,
+    paired: &PairedIds,
+    kind: EquivKind,
+    threads: usize,
+    ctx: &EngineCtx,
+    early: bool,
+) -> Result<Option<Verdict>, CheckError>
+where
+    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    MO: Clone + fmt::Display + Send + Sync,
+    NO: Clone + fmt::Display + Send + Sync,
+{
     let pairs = paired.pairs;
     let Some(m_sigs) = signatures_parallel(
         m_closure,
@@ -891,6 +916,74 @@ where
         state_pairs: pairs,
         witnesses,
     }))
+}
+
+/// Runs the §3.3.1 pairing (injective per side, onto across sides) on
+/// closures the caller already holds, with an unlimited budget. This is
+/// the first half of the [`crate::incremental`] engine entry: the
+/// session materializes both closures from its caches (bit-identical to
+/// a fresh enumeration) and harvests the resulting ranks so later
+/// re-checks over the same state sets can skip compilation entirely.
+pub(crate) fn pair_on_closures<MS, NS>(
+    m_closure: &Closure<MS>,
+    n_closure: &Closure<NS>,
+    threads: usize,
+    m_interner: &FactInterner<MS>,
+    n_interner: &FactInterner<NS>,
+    obs: &Observer,
+) -> Result<PairedIds, CheckError>
+where
+    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
+{
+    let ctx = EngineCtx::new(&CheckBudget::UNLIMITED, obs.clone());
+    let paired = pair_with_interner(
+        m_closure,
+        n_closure,
+        resolve_threads(threads),
+        &ctx,
+        m_interner,
+        n_interner,
+    )?;
+    Ok(paired.expect("an unlimited budget cannot exhaust"))
+}
+
+/// Runs the signature-through-scan half of the engine on closures and a
+/// pairing the caller already holds, with an unlimited budget. Paired
+/// with [`pair_on_closures`] this reproduces [`check_pair`] exactly —
+/// same signatures, same scan order, same witness labels — which is what
+/// lets [`crate::incremental`] reuse a cached pairing without changing
+/// any verdict.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_prepaired<MS, MO, NS, NO>(
+    m: &FiniteModel<MS, MO>,
+    n: &FiniteModel<NS, NO>,
+    m_closure: &Closure<MS>,
+    n_closure: &Closure<NS>,
+    paired: &PairedIds,
+    kind: EquivKind,
+    threads: usize,
+    obs: &Observer,
+) -> Result<Verdict, CheckError>
+where
+    MS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    NS: Clone + Ord + Hash + ToFacts + Send + Sync,
+    MO: Clone + fmt::Display + Send + Sync,
+    NO: Clone + fmt::Display + Send + Sync,
+{
+    let ctx = EngineCtx::new(&CheckBudget::UNLIMITED, obs.clone());
+    let verdict = check_paired(
+        m,
+        n,
+        m_closure,
+        n_closure,
+        paired,
+        kind,
+        resolve_threads(threads),
+        &ctx,
+        false,
+    )?;
+    Ok(verdict.expect("an unlimited budget cannot exhaust"))
 }
 
 /// Parallel Definition 2/3/5 check with caller-provided interners (so

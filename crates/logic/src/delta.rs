@@ -30,6 +30,32 @@ pub fn content_fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     hasher.finish()
 }
 
+/// A seeded variant of [`content_fingerprint`]: the hash of
+/// `(seed, value)` from the same fixed initial state. Different seeds
+/// give independent hash families over the same value, which is what
+/// wide (multi-word) keys are built from.
+pub fn content_fingerprint_seeded<T: Hash + ?Sized>(seed: u64, value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    seed.hash(&mut hasher);
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A 128-bit content fingerprint: two independently-seeded 64-bit
+/// hashes of the same value packed into one word. Used as a cache key
+/// where 64-bit collisions are no longer negligible (e.g. the verdict
+/// cache keys of `dme-core`'s incremental session, which index whole
+/// model descriptions rather than single states).
+///
+/// Like [`content_fingerprint`], deterministic within one build only —
+/// a persisted image keyed by wide fingerprints must treat a key miss
+/// as a cold start, never as an error.
+pub fn content_fingerprint_wide<T: Hash + ?Sized>(value: &T) -> u128 {
+    let lo = content_fingerprint_seeded(0x9e37_79b9_7f4a_7c15, value);
+    let hi = content_fingerprint_seeded(0xc2b2_ae3d_27d4_eb4f, value);
+    ((hi as u128) << 64) | lo as u128
+}
+
 /// A state that can apply an operation as an undoable in-place diff and
 /// report an incrementally-maintained content fingerprint.
 ///
@@ -70,5 +96,19 @@ mod tests {
         let b = content_fingerprint(&(1u32, "x"));
         assert_eq!(a, b);
         assert_ne!(a, content_fingerprint(&(2u32, "x")));
+    }
+
+    #[test]
+    fn wide_fingerprint_is_deterministic_and_splits_collisions() {
+        let a = content_fingerprint_wide(&"scenario");
+        assert_eq!(a, content_fingerprint_wide(&"scenario"));
+        assert_ne!(a, content_fingerprint_wide(&"scenari0"));
+        // The two halves come from different seeds, so they differ.
+        assert_ne!((a >> 64) as u64, a as u64);
+        // Seeded hashes form distinct families.
+        assert_ne!(
+            content_fingerprint_seeded(1, &"x"),
+            content_fingerprint_seeded(2, &"x")
+        );
     }
 }

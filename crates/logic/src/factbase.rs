@@ -20,20 +20,11 @@ use crate::{Fact, Pattern};
 /// kernel can probe hash-consing tables without re-hashing the whole
 /// set. All comparisons and hashing remain functions of the fact set
 /// alone; the fingerprint is derived state.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub struct FactBase {
     facts: BTreeSet<Fact>,
     /// XOR of `content_fingerprint` over `facts` (0 when empty).
     fp: u64,
-}
-
-impl Default for FactBase {
-    fn default() -> Self {
-        FactBase {
-            facts: BTreeSet::new(),
-            fp: 0,
-        }
-    }
 }
 
 impl PartialEq for FactBase {

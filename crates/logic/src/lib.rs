@@ -36,7 +36,9 @@ pub mod pattern;
 pub mod universe;
 pub mod vocab;
 
-pub use delta::{content_fingerprint, DeltaState};
+pub use delta::{
+    content_fingerprint, content_fingerprint_seeded, content_fingerprint_wide, DeltaState,
+};
 pub use fact::Fact;
 pub use factbase::{FactBase, FactDelta};
 pub use interpretation::{state_equivalent, EquivalenceReport, ToFacts};

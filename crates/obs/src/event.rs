@@ -70,12 +70,30 @@ pub enum Counter {
     ArenaHits,
     /// Frontier probes that interned a genuinely new state.
     ArenaMisses,
+    /// Incremental re-checks answered from the session verdict cache
+    /// (no closure work at all).
+    VerdictCacheHits,
+    /// Incremental re-checks that missed the verdict cache and ran the
+    /// engine.
+    VerdictCacheMisses,
+    /// Session closure caches invalidated because the model's universe
+    /// (name, initial state, constraints) changed between runs.
+    CacheInvalidations,
+    /// Memoized transition-column entries reused by an incremental
+    /// re-expansion instead of re-applying the operation.
+    TransitionsReused,
+    /// Transition-column entries computed fresh by an incremental
+    /// re-expansion (new operation, new state, or cold cache).
+    TransitionsRecomputed,
+    /// Engine runs whose §3.3.1 pairing was rebuilt from a session's
+    /// harvested rank cache instead of recompiling every state.
+    PairingsReused,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 34] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -104,6 +122,12 @@ impl Counter {
         Counter::WalRecordsReplayed,
         Counter::ArenaHits,
         Counter::ArenaMisses,
+        Counter::VerdictCacheHits,
+        Counter::VerdictCacheMisses,
+        Counter::CacheInvalidations,
+        Counter::TransitionsReused,
+        Counter::TransitionsRecomputed,
+        Counter::PairingsReused,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -141,6 +165,12 @@ impl Counter {
             Counter::WalRecordsReplayed => "wal_records_replayed",
             Counter::ArenaHits => "arena_hits",
             Counter::ArenaMisses => "arena_misses",
+            Counter::VerdictCacheHits => "verdict_cache_hits",
+            Counter::VerdictCacheMisses => "verdict_cache_misses",
+            Counter::CacheInvalidations => "cache_invalidations",
+            Counter::TransitionsReused => "transitions_reused",
+            Counter::TransitionsRecomputed => "transitions_recomputed",
+            Counter::PairingsReused => "pairings_reused",
         }
     }
 

@@ -11,6 +11,10 @@
 //! application state — so equivalence-checking and translation benches
 //! measure real work rather than set-up artifacts.
 
+pub mod scenario;
+
+pub use scenario::{corpus, Mutation, Scenario, ScenarioConfig, ScenarioConstraint, ScenarioOp};
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
