@@ -279,9 +279,7 @@ impl MultiModelDatabase {
         obs.add(dme_obs::Counter::AuditsRun, 1);
         let levels = self.levels.read();
         obs.mark("ansi/views_audited", levels.externals.len() as u64);
-        let conceptual_facts = self
-            .audit_cache
-            .compile_observed(&levels.conceptual, obs);
+        let conceptual_facts = self.audit_cache.compile_observed(&levels.conceptual, obs);
         for (name, view) in &levels.externals {
             if !view.consistent_with_facts(&conceptual_facts) {
                 return Err(AnsiError::Inconsistent(format!("view `{name}` diverged")));

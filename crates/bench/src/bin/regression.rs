@@ -294,6 +294,299 @@ fn service_throughput() -> Vec<String> {
     rows
 }
 
+/// Open-loop scaling of the networked front door: 10⁴ pre-opened
+/// sessions fire disjoint single-op transactions on a heavy-tailed
+/// (bounded-Pareto) arrival schedule at a rate chosen to saturate one
+/// shard, against 1 vs 4 shards. Open-loop means latency is measured
+/// from the *scheduled* arrival, not the actual send — queueing delay
+/// under overload is part of the number, as it is for real clients.
+/// Every request gets a typed response (commit or `Overloaded`); the
+/// per-request record is written as a JSON-lines transcript under
+/// `target/` for the CI artifact.
+fn service_scaling(root: &Path) -> Vec<String> {
+    use dme_server::wire::{Request, Response};
+    use dme_server::NetServer;
+    use rand::{Rng, SeedableRng, StdRng};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const SESSIONS: usize = 10_000;
+    const REQUESTS: usize = 2_400;
+    const OPENERS: usize = 16;
+    const SYNC_DELAY_US: u64 = 800;
+    const QUEUE_DEPTH: usize = 512;
+    /// Bounded Pareto α and x_max/x_min ratio for inter-arrival gaps.
+    const ALPHA: f64 = 1.5;
+    const TAIL_RATIO: f64 = 100.0;
+    /// Mean inter-arrival ≈ 250µs → ~4k req/s offered, vs ~1.25k/s
+    /// single-shard service capacity (one WAL sync per commit through
+    /// one lane).
+    const MEAN_GAP_US: f64 = 250.0;
+
+    // Each request inserts one supervision between a disjoint pair of
+    // employees, so every non-shed request commits regardless of
+    // interleaving. The workload is *partitionable*: pairs are chosen
+    // co-resident under the 4-shard layout (and interleaved round-robin
+    // across shards), so a transaction's shard set is a singleton in
+    // every run — the row measures shard scalability, not the cost of
+    // cross-shard journaling — and the op stream is identical across
+    // shard counts.
+    let cfg = dme_workload::ShopConfig {
+        employees: 2 * REQUESTS + 8,
+        machines: 2,
+        supervisions: 0,
+        seed: 7,
+    };
+    let initial = dme_workload::graph_state(cfg);
+    let pairs: Vec<(String, String)> = {
+        let mut buckets: Vec<Vec<String>> = vec![Vec::new(); 4];
+        for i in 0..cfg.employees {
+            let name = format!("E{i:05}");
+            let r = EntityRef::new("employee", Atom::str(name.clone()));
+            buckets[dme_server::shard::shard_of(&r, 4)].push(name);
+        }
+        let mut per_bucket: Vec<Vec<(String, String)>> = buckets
+            .iter()
+            .map(|b| {
+                b.chunks_exact(2)
+                    .map(|c| (c[0].clone(), c[1].clone()))
+                    .collect()
+            })
+            .collect();
+        let mut pairs = Vec::with_capacity(REQUESTS);
+        let mut k = 0;
+        while pairs.len() < REQUESTS {
+            assert!(
+                per_bucket.iter().any(|b| !b.is_empty()),
+                "enough co-located employee pairs for the request count"
+            );
+            if let Some(p) = per_bucket[k % 4].pop() {
+                pairs.push(p);
+            }
+            k += 1;
+        }
+        pairs
+    };
+    let insert_pair = |i: usize| {
+        let (a, b) = &pairs[i];
+        GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [
+                ("agent", EntityRef::new("employee", Atom::str(a.clone()))),
+                ("object", EntityRef::new("employee", Atom::str(b.clone()))),
+            ],
+        ))
+    };
+
+    // The arrival schedule, in µs offsets from the run start. Bounded
+    // Pareto by inverse CDF, scaled so x_min hits the target mean.
+    let x_min = {
+        // E[X] for bounded Pareto, as a multiple of x_min.
+        let r = TAIL_RATIO.powf(1.0 - ALPHA);
+        let mean_over_xmin = ALPHA / (ALPHA - 1.0) * (1.0 - r) / (1.0 - TAIL_RATIO.powf(-ALPHA));
+        MEAN_GAP_US / mean_over_xmin
+    };
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut uniform = move || (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let mut at = 0.0f64;
+    let schedule: Vec<u64> = (0..REQUESTS)
+        .map(|_| {
+            let u = uniform();
+            let gap = x_min * (1.0 - u * (1.0 - TAIL_RATIO.powf(-ALPHA))).powf(-1.0 / ALPHA);
+            at += gap;
+            at as u64
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut throughput = BTreeMap::new();
+    let mut p99s = BTreeMap::new();
+    for shards in [1usize, 4] {
+        let wals: Vec<Box<dyn dme_server::LogDevice>> = (0..shards)
+            .map(|_| {
+                Box::new(MemDevice::new().with_sync_delay(Duration::from_micros(SYNC_DELAY_US)))
+                    as Box<dyn dme_server::LogDevice>
+            })
+            .collect();
+        let service = SessionService::new_sharded(
+            initial.clone(),
+            Vec::new(),
+            ServiceConfig {
+                shards,
+                queue_depth: QUEUE_DEPTH,
+                ..ServiceConfig::default()
+            },
+            wals,
+            Box::new(MemDevice::new()),
+        )
+        .expect("service boots");
+        let server = NetServer::serve(service.clone());
+        let clients: Vec<_> = (0..4).map(|_| server.connect().expect("connect")).collect();
+
+        // Pre-open the full session population.
+        let session_ids = Mutex::new(Vec::with_capacity(SESSIONS));
+        std::thread::scope(|scope| {
+            for t in 0..OPENERS {
+                let clients = &clients;
+                let session_ids = &session_ids;
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(SESSIONS / OPENERS);
+                    for _ in 0..SESSIONS / OPENERS {
+                        let sess = clients[t % clients.len()]
+                            .open_session(SessionKind::Graph)
+                            .expect("session admits");
+                        mine.push(sess);
+                    }
+                    session_ids.lock().unwrap().append(&mut mine);
+                });
+            }
+        });
+        let sessions = session_ids.into_inner().unwrap();
+        assert_eq!(service.open_sessions(), SESSIONS as u64);
+
+        // Fire the open loop: a pacer thread spawns one async call per
+        // scheduled arrival onto the executor; completions are recorded
+        // against the *scheduled* time.
+        let executor = smol::Executor::new(4);
+        // (scheduled µs, latency-from-schedule µs, outcome).
+        type LoadRecords = Arc<Mutex<Vec<(u64, u64, &'static str)>>>;
+        let records: LoadRecords = Arc::new(Mutex::new(Vec::with_capacity(REQUESTS)));
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(REQUESTS);
+        for (i, &t_us) in schedule.iter().enumerate() {
+            loop {
+                let now = start.elapsed().as_micros() as u64;
+                if now >= t_us {
+                    break;
+                }
+                let wait = t_us - now;
+                if wait > 200 {
+                    std::thread::sleep(Duration::from_micros(wait - 150));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            let client = clients[i % clients.len()].clone();
+            let session = sessions[i % SESSIONS].id();
+            let records = Arc::clone(&records);
+            let op = insert_pair(i);
+            handles.push(executor.spawn(async move {
+                let request = Request::SubmitGraph {
+                    session,
+                    ops: vec![op],
+                };
+                let outcome = match client.call(&request).await {
+                    Ok(Response::Committed(_)) => "committed",
+                    Ok(Response::Overloaded { .. }) => "shed",
+                    _ => "error",
+                };
+                let latency = start.elapsed().as_micros() as u64 - t_us;
+                records.lock().unwrap().push((t_us, latency, outcome));
+            }));
+        }
+        for handle in handles {
+            smol::block_on(handle);
+        }
+        let records = records.lock().unwrap().clone();
+        drop(executor);
+
+        // Tear the population down before reading the verdict.
+        let mut batches: Vec<Vec<_>> = (0..OPENERS).map(|_| Vec::new()).collect();
+        for (i, sess) in sessions.into_iter().enumerate() {
+            batches[i % OPENERS].push(sess);
+        }
+        std::thread::scope(|scope| {
+            for batch in batches {
+                scope.spawn(move || {
+                    for sess in batch {
+                        sess.close().expect("graceful teardown");
+                    }
+                });
+            }
+        });
+        assert_eq!(service.open_sessions(), 0, "clean global teardown");
+        let committed = records.iter().filter(|r| r.2 == "committed").count();
+        let shed = records.iter().filter(|r| r.2 == "shed").count();
+        let errors = records.len() - committed - shed;
+        assert_eq!(
+            records.len(),
+            REQUESTS,
+            "every request got a typed response"
+        );
+        assert_eq!(errors, 0, "no transport or server errors under load");
+        assert_eq!(
+            service.committed_history().len(),
+            committed,
+            "wire acks match the committed history"
+        );
+
+        let wall_us = records
+            .iter()
+            .map(|(t, l, _)| t + l)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let tps = committed as f64 * 1_000_000.0 / wall_us as f64;
+        let latencies: Vec<u64> = records
+            .iter()
+            .filter(|r| r.2 == "committed")
+            .map(|r| r.1)
+            .collect();
+        let stats = Stats::from_samples(latencies);
+        println!(
+            "service_scaling/shards={shards}: {committed} committed, {shed} shed, \
+             {tps:.0} tx/s, latency p50/p95/p99 {}/{}/{}µs",
+            stats.p50_us, stats.p95_us, stats.p99_us
+        );
+
+        // Per-request transcript for the CI artifact.
+        let transcript = root.join(format!("target/loadgen-{shards}shard.jsonl"));
+        let mut body = String::with_capacity(REQUESTS * 64);
+        for (i, (t_us, latency_us, outcome)) in records.iter().enumerate() {
+            body.push_str(&format!(
+                "{{\"i\":{i},\"shards\":{shards},\"scheduled_us\":{t_us},\
+                 \"latency_us\":{latency_us},\"outcome\":\"{outcome}\"}}\n"
+            ));
+        }
+        std::fs::create_dir_all(transcript.parent().unwrap()).ok();
+        std::fs::write(&transcript, body).expect("write loadgen transcript");
+        println!("  transcript: {}", transcript.display());
+
+        throughput.insert(shards, tps);
+        p99s.insert(shards, stats.p99_us);
+        rows.push(format!(
+            "{{\"shards\":{shards},\"sessions\":{SESSIONS},\"requests\":{REQUESTS},\
+             \"sync_delay_us\":{SYNC_DELAY_US},\"queue_depth\":{QUEUE_DEPTH},\
+             \"arrival_mean_us\":{MEAN_GAP_US},\"pareto_alpha\":{ALPHA},\
+             \"committed\":{committed},\"shed\":{shed},\"errors\":{errors},\
+             \"throughput_tps\":{tps:.1},\"latency_us\":{{{}}}}}",
+            stats.json_fields()
+        ));
+
+        drop(clients);
+        server.shutdown();
+    }
+
+    // The scaling gate: 4 shards must at least double saturated
+    // single-shard committed throughput, and the scaled service's tail
+    // must hold a generous SLO under the same offered load.
+    let (t1, t4) = (throughput[&1], throughput[&4]);
+    assert!(
+        t4 >= 2.0 * t1,
+        "4-shard throughput {t4:.0} tx/s < 2x single-shard {t1:.0} tx/s"
+    );
+    assert!(
+        p99s[&4] <= 2_000_000,
+        "4-shard p99 {}µs blows the 2s SLO",
+        p99s[&4]
+    );
+    println!(
+        "service_scaling gate: {t4:.0} >= 2x {t1:.0} tx/s, p99(4 shards) {}µs within SLO",
+        p99s[&4]
+    );
+    rows
+}
+
 fn json_timing(t: &Timing) -> String {
     format!("\"{}\":{{{}}}", t.name, t.stats.json_fields())
 }
@@ -522,11 +815,12 @@ fn main() {
         run_with(Observer::new(RingSink::with_capacity(4096)))
     });
     let transcript_path = root.join("target/equiv_transcript.jsonl");
-    let ovh_jsonl = time_us(SAMPLES, || {
-        match JsonLinesSink::create(&transcript_path) {
-            Ok(sink) => run_with(Observer::new(sink)),
-            Err(e) => panic!("cannot create transcript at {}: {e}", transcript_path.display()),
-        }
+    let ovh_jsonl = time_us(SAMPLES, || match JsonLinesSink::create(&transcript_path) {
+        Ok(sink) => run_with(Observer::new(sink)),
+        Err(e) => panic!(
+            "cannot create transcript at {}: {e}",
+            transcript_path.display()
+        ),
     });
     // The acceptance bar in numbers: an enabled observer adds the ring
     // writes plus the latency-histogram atomics; the delta over the
@@ -635,6 +929,10 @@ fn main() {
     println!("== service throughput ==");
     let service_rows = service_throughput();
 
+    // ---- Networked front door: open-loop shard scaling ---------------
+    println!("== service scaling (networked, open loop) ==");
+    let scaling_rows = service_scaling(&root);
+
     // ---- One instrumented run's phase report, for the record ---------
     let ring = RingSink::with_capacity(4096);
     let obs = Observer::new(ring.clone());
@@ -692,10 +990,15 @@ fn main() {
         out.push_str("\n    ");
         out.push_str(s);
     }
-    out.push_str(&format!(
-        "\n  ],\n  \"report\": {}\n}}\n",
-        report.to_json()
-    ));
+    out.push_str("\n  ],\n  \"service_scaling\": [");
+    for (i, s) in scaling_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(s);
+    }
+    out.push_str(&format!("\n  ],\n  \"report\": {}\n}}\n", report.to_json()));
     let bench_path = root.join("BENCH_equiv.json");
     std::fs::write(&bench_path, out).expect("write BENCH_equiv.json");
     println!("wrote {}", bench_path.display());
@@ -703,5 +1006,8 @@ fn main() {
 
 /// The repository root: two levels above this crate's manifest.
 fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or_else(|_| PathBuf::from("."))
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
 }

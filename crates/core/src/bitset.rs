@@ -33,7 +33,11 @@ impl BitSet {
     ///
     /// Panics if `i` is outside the universe.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of universe {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of universe {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, 1u64 << (i % 64));
         let absent = self.words[w] & b == 0;
         self.words[w] |= b;

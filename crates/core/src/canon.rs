@@ -71,7 +71,9 @@ where
     /// An empty interner.
     pub fn new() -> Self {
         FactInterner {
-            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -84,11 +86,7 @@ where
 
     fn compile_inner(&self, state: &S) -> (Arc<FactBase>, bool) {
         let shard = &self.shards[self.shard_of(state)];
-        if let Some(found) = shard
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(state)
-        {
+        if let Some(found) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(state) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(found), true);
         }

@@ -248,16 +248,16 @@ where
             (Target::Pair(m, n), Tier::DataModel { kind }) => {
                 self.run_sets(slice::from_ref(*m), slice::from_ref(*n), kind)
             }
-            (Target::Sets(ms, ns), tier) => self.run_sets(
-                ms,
-                ns,
-                tier.kind().expect("Operation tier handled above"),
-            ),
+            (Target::Sets(ms, ns), tier) => {
+                self.run_sets(ms, ns, tier.kind().expect("Operation tier handled above"))
+            }
             (Target::Pair(m, n), tier) => {
                 let kind = tier.kind().expect("Operation tier handled above");
                 match self.engine_config() {
-                    None => equiv::app_models_report_obs(m, n, kind, self.state_cap, &self.observer)
-                        .map(|r| r.to_verdict()),
+                    None => {
+                        equiv::app_models_report_obs(m, n, kind, self.state_cap, &self.observer)
+                            .map(|r| r.to_verdict())
+                    }
                     Some(config) => {
                         let fresh;
                         let (mi, ni) = match self.interners {
@@ -325,9 +325,7 @@ where
             }
             (Some(config), None) => Some(config),
             (None, Some(budget)) => Some(ParallelConfig::with_threads(1).budget(budget)),
-            (None, None) => self
-                .interners
-                .map(|_| ParallelConfig::with_threads(1)),
+            (None, None) => self.interners.map(|_| ParallelConfig::with_threads(1)),
         }
     }
 }
@@ -408,7 +406,10 @@ mod tests {
             .budget(CheckBudget::nodes(3))
             .run()
             .unwrap();
-        assert!(matches!(verdict, Verdict::BudgetExhausted { .. }), "{verdict}");
+        assert!(
+            matches!(verdict, Verdict::BudgetExhausted { .. }),
+            "{verdict}"
+        );
     }
 
     #[test]
@@ -430,10 +431,7 @@ mod tests {
         let n = two_fact_model("n");
         let left = FactInterner::new();
         let right = FactInterner::new();
-        let verdict = Checker::new(&m, &n)
-            .interners(&left, &right)
-            .run()
-            .unwrap();
+        let verdict = Checker::new(&m, &n).interners(&left, &right).run().unwrap();
         assert!(verdict.is_equivalent());
         assert_eq!(left.stats().unique, 4);
     }

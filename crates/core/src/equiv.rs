@@ -154,7 +154,12 @@ where
     O: Clone,
 {
     let closure = model.closure(state_cap)?;
-    let facts = closure.arena.states().iter().map(ToFacts::to_facts).collect();
+    let facts = closure
+        .arena
+        .states()
+        .iter()
+        .map(ToFacts::to_facts)
+        .collect();
     Ok(EnumeratedModel { closure, facts })
 }
 
@@ -333,7 +338,10 @@ where
     let paired = pairing_phase_obs(me, ne, obs)?;
     let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
     let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
-    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    obs.add(
+        Counter::SignaturesBuilt,
+        (m_sigs.len() + n_sigs.len()) as u64,
+    );
     let mut unmatched_m = Vec::new();
     let mut unmatched_n = Vec::new();
     for i in 0..m_sigs.len().max(n_sigs.len()) {
@@ -456,7 +464,10 @@ where
     let _span = obs.span("seq/signatures");
     let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
     let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
-    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    obs.add(
+        Counter::SignaturesBuilt,
+        (m_sigs.len() + n_sigs.len()) as u64,
+    );
     obs.add(
         Counter::NodesExpanded,
         ((m_sigs.len() + n_sigs.len()) * paired.pairs) as u64,
@@ -560,7 +571,10 @@ where
     let pairs = paired.pairs;
     let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
     let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
-    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    obs.add(
+        Counter::SignaturesBuilt,
+        (m_sigs.len() + n_sigs.len()) as u64,
+    );
     let (m_star, n_star) = {
         let _span = obs.span("seq/composition");
         let m_star = composable_signatures(&m_sigs, pairs, max_depth);
@@ -695,7 +709,10 @@ where
     let pairs = paired.pairs;
     let m_sigs = relabel_signatures(me, &paired.m_by_pair, &paired.m_rank, m.ops().len());
     let n_sigs = relabel_signatures(ne, &paired.n_by_pair, &paired.n_rank, n.ops().len());
-    obs.add(Counter::SignaturesBuilt, (m_sigs.len() + n_sigs.len()) as u64);
+    obs.add(
+        Counter::SignaturesBuilt,
+        (m_sigs.len() + n_sigs.len()) as u64,
+    );
     let (n_reach, n_err, m_reach, m_err) = {
         let _span = obs.span("seq/reachability");
         let (n_reach, n_err) = per_state_reachability(&n_sigs, pairs, max_depth);

@@ -282,8 +282,10 @@ where
             self.columns.clear();
             self.materialized = None;
             self.ranks = None;
-            self.arena
-                .intern(model.state_fingerprint(model.initial()), model.initial().clone());
+            self.arena.intern(
+                model.state_fingerprint(model.initial()),
+                model.initial().clone(),
+            );
         }
 
         let labels: Vec<String> = model.ops().iter().map(|o| o.to_string()).collect();
@@ -648,10 +650,18 @@ where
                         &self.n_interner,
                         &self.obs,
                     )?;
-                    let l_ranks =
-                        RankCache::harvest(lm.set_id, &lm.order, &paired.m_rank, self.left.arena.len());
-                    let r_ranks =
-                        RankCache::harvest(rm.set_id, &rm.order, &paired.n_rank, self.right.arena.len());
+                    let l_ranks = RankCache::harvest(
+                        lm.set_id,
+                        &lm.order,
+                        &paired.m_rank,
+                        self.left.arena.len(),
+                    );
+                    let r_ranks = RankCache::harvest(
+                        rm.set_id,
+                        &rm.order,
+                        &paired.n_rank,
+                        self.right.arena.len(),
+                    );
                     (paired, l_ranks, r_ranks)
                 };
                 self.left.ranks = Some(l_ranks);
@@ -979,7 +989,13 @@ mod tests {
         let image = session.save_verdicts();
         let mut restored: IncrementalChecker<FactBase, FactBase> = IncrementalChecker::new();
         let report = restored.load_verdicts(&image);
-        assert_eq!(report, VerdictImageReport { loaded: session.verdict_entries(), torn: false });
+        assert_eq!(
+            report,
+            VerdictImageReport {
+                loaded: session.verdict_entries(),
+                torn: false
+            }
+        );
         let warm = restored.check(&m, &n, EquivKind::Isomorphic, 512);
         assert_eq!(warm, verdict);
         assert_eq!(restored.stats().verdict_hits, 1);

@@ -396,7 +396,10 @@ mod tests {
         assert_eq!(closure.len(), 7);
         assert_eq!(closure.transitions.len(), 7);
         // ID 0 is the initial state.
-        assert_eq!(closure.arena.get(crate::arena::StateId::from_index(0)), m.initial());
+        assert_eq!(
+            closure.arena.get(crate::arena::StateId::from_index(0)),
+            m.initial()
+        );
         // Every transition entry agrees with a fresh clone-apply, and
         // every successor is in the arena (closed under operations).
         for (id, state) in closure.arena.iter() {

@@ -417,12 +417,13 @@ where
     S: Clone + Ord + ToFacts + Send + Sync,
     O: Clone + Send + Sync,
 {
-    let _span = ctx
-        .obs
-        .span_with("par/closure", || model.name().to_owned());
+    let _span = ctx.obs.span_with("par/closure", || model.name().to_owned());
     let _timer = ctx.obs.time(dme_obs::Metric::ClosureLatency);
     let mut arena = crate::arena::StateArena::new();
-    arena.intern(model.state_fingerprint(model.initial()), model.initial().clone());
+    arena.intern(
+        model.state_fingerprint(model.initial()),
+        model.initial().clone(),
+    );
     let mut transitions: Vec<Vec<Option<StateId>>> = Vec::new();
     let mut frontier: Vec<StateId> = vec![StateId::from_index(0)];
     let op_count = model.ops().len() as u64;
@@ -797,7 +798,9 @@ where
     else {
         return Ok(None);
     };
-    check_paired(m, n, m_closure, n_closure, &paired, kind, threads, ctx, early)
+    check_paired(
+        m, n, m_closure, n_closure, &paired, kind, threads, ctx, early,
+    )
 }
 
 /// The post-pairing half of [`check_pair`]: signature relabeling, the
@@ -848,28 +851,40 @@ where
         EquivKind::Isomorphic => {
             let m_set: BTreeSet<&Signature> = m_sigs.iter().collect();
             let n_set: BTreeSet<&Signature> = n_sigs.iter().collect();
-            scan_unmatched(m_sigs.len(), n_sigs.len(), threads, ctx, early, |side, i| {
-                match side {
+            scan_unmatched(
+                m_sigs.len(),
+                n_sigs.len(),
+                threads,
+                ctx,
+                early,
+                |side, i| match side {
                     Side::Left => !n_set.contains(&m_sigs[i]),
                     Side::Right => !m_set.contains(&n_sigs[i]),
-                }
-            })
+                },
+            )
         }
         EquivKind::Composed { max_depth } => {
-            let Some(m_star) = composable_signatures_parallel(&m_sigs, pairs, max_depth, threads, ctx)
+            let Some(m_star) =
+                composable_signatures_parallel(&m_sigs, pairs, max_depth, threads, ctx)
             else {
                 return Ok(None);
             };
-            let Some(n_star) = composable_signatures_parallel(&n_sigs, pairs, max_depth, threads, ctx)
+            let Some(n_star) =
+                composable_signatures_parallel(&n_sigs, pairs, max_depth, threads, ctx)
             else {
                 return Ok(None);
             };
-            scan_unmatched(m_sigs.len(), n_sigs.len(), threads, ctx, early, |side, i| {
-                match side {
+            scan_unmatched(
+                m_sigs.len(),
+                n_sigs.len(),
+                threads,
+                ctx,
+                early,
+                |side, i| match side {
                     Side::Left => !n_star.contains(&m_sigs[i]),
                     Side::Right => !m_star.contains(&n_sigs[i]),
-                }
-            })
+                },
+            )
         }
         EquivKind::StateDependent { max_depth } => {
             let Some((n_reach, n_err)) =
@@ -888,12 +903,17 @@ where
                     None => err[i],
                 })
             };
-            scan_unmatched(m_sigs.len(), n_sigs.len(), threads, ctx, early, |side, i| {
-                match side {
+            scan_unmatched(
+                m_sigs.len(),
+                n_sigs.len(),
+                threads,
+                ctx,
+                early,
+                |side, i| match side {
                     Side::Left => !covers(&m_sigs[i], &n_reach, &n_err),
                     Side::Right => !covers(&n_sigs[i], &m_reach, &m_err),
-                }
-            })
+                },
+            )
         }
     };
     let Some(found) = found else {
@@ -1195,10 +1215,7 @@ mod tests {
 
     /// The same toy model as `equiv::tests`: states are fact bases,
     /// operations add or remove one fact.
-    fn toy_model(
-        name: &str,
-        ops: Vec<(bool, Fact)>,
-    ) -> FiniteModel<FactBase, String> {
+    fn toy_model(name: &str, ops: Vec<(bool, Fact)>) -> FiniteModel<FactBase, String> {
         let universe: BTreeMap<String, (bool, Fact)> = ops
             .into_iter()
             .map(|(add, fact)| {
@@ -1347,7 +1364,10 @@ mod tests {
             &ParallelConfig::with_threads(2).budget(CheckBudget::time(Duration::ZERO)),
         )
         .unwrap();
-        assert!(matches!(verdict, Verdict::BudgetExhausted { .. }), "{verdict}");
+        assert!(
+            matches!(verdict, Verdict::BudgetExhausted { .. }),
+            "{verdict}"
+        );
     }
 
     #[test]

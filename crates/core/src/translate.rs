@@ -709,9 +709,11 @@ pub fn relational_op_to_graph(
                         used_assocs[i] = true;
                         unit = unit.with_association(a.clone());
                     }
-                    None => return Err(TranslateError::Inexpressible(format!(
+                    None => {
+                        return Err(TranslateError::Inexpressible(format!(
                         "new entity {r} requires `{pred}:{role}` but no such association is added"
-                    ))),
+                    )))
+                    }
                 }
             }
             unit = unit.with_entity(e);

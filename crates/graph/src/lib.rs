@@ -44,7 +44,7 @@ pub mod schema;
 pub mod state;
 pub mod unit;
 
-pub use ops::{GraphOp, GraphOpError, GraphUndo};
+pub use ops::{GraphChange, GraphOp, GraphOpError, GraphTxn, GraphUndo};
 pub use schema::{GraphSchema, GraphSchemaError, Participation};
 pub use state::{Association, Entity, EntityRef, GraphState, GraphStateError};
 pub use unit::SemanticUnit;

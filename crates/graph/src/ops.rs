@@ -132,6 +132,143 @@ impl GraphOp {
         }
         Ok(cur)
     }
+
+    /// In-place O(delta) application of a composed operation: the same
+    /// outcome as [`GraphOp::apply_all`] without the per-op state clone
+    /// and without the per-op whole-state validation.
+    ///
+    /// Each operation's raw mutations run in place and validation is
+    /// restricted to the entity refs they touched (see
+    /// [`GraphState::validate_touched`] for the soundness argument —
+    /// it requires the pre-sequence state to be valid, which every
+    /// state reachable through `GraphOp` application is). Validation
+    /// still runs after *every* operation, so a sequence stops at
+    /// exactly the same first operation as `apply_all`.
+    ///
+    /// On success returns the transaction record: the raw change log in
+    /// application order (a replay-exact script of the sequence's
+    /// effect) plus the undo log. On error the state is rolled back to
+    /// its pre-sequence value exactly, fingerprint and role index
+    /// included.
+    pub fn apply_all_delta<'a>(
+        ops: impl IntoIterator<Item = &'a GraphOp>,
+        state: &mut GraphState,
+    ) -> Result<GraphTxn, GraphOpError> {
+        let mut undo_all: Vec<GraphUndoEntry> = Vec::new();
+        let mut changes: Vec<GraphChange> = Vec::new();
+        for op in ops {
+            let log = match apply_raw_logged(state, op) {
+                Ok(log) => log,
+                Err(e) => {
+                    rollback(state, undo_all);
+                    return Err(e);
+                }
+            };
+            let mut touched: std::collections::BTreeSet<EntityRef> =
+                std::collections::BTreeSet::new();
+            for entry in &log {
+                match entry {
+                    GraphUndoEntry::RemoveEntity(r) => {
+                        touched.insert(r.clone());
+                    }
+                    GraphUndoEntry::ReinsertEntity(e) => {
+                        touched.insert(
+                            e.to_ref(state.schema())
+                                .expect("entity was present in the state"),
+                        );
+                    }
+                    GraphUndoEntry::RemoveAssociation(a)
+                    | GraphUndoEntry::ReinsertAssociation(a) => {
+                        touched.extend(a.roles.values().cloned());
+                    }
+                }
+            }
+            if let Err(e) = state.validate_touched(&touched) {
+                rollback(state, log);
+                rollback(state, undo_all);
+                return Err(GraphOpError(e));
+            }
+            for entry in &log {
+                changes.push(match entry {
+                    GraphUndoEntry::RemoveEntity(r) => GraphChange::InsertEntity(
+                        state.entity(r).expect("entity was just inserted").clone(),
+                    ),
+                    GraphUndoEntry::ReinsertEntity(e) => GraphChange::DeleteEntity(e.clone()),
+                    GraphUndoEntry::RemoveAssociation(a) => {
+                        GraphChange::InsertAssociation(a.clone())
+                    }
+                    GraphUndoEntry::ReinsertAssociation(a) => {
+                        GraphChange::DeleteAssociation(a.clone())
+                    }
+                });
+            }
+            undo_all.extend(log);
+        }
+        Ok(GraphTxn {
+            changes,
+            undo: undo_all,
+        })
+    }
+
+    /// Clone-based convenience over [`GraphOp::apply_all_delta`]:
+    /// applies the sequence to a copy, returning the post-state and the
+    /// raw change log. Observationally identical to `apply_all` on
+    /// success/error, one clone total instead of one per operation.
+    pub fn apply_all_incremental<'a>(
+        ops: impl IntoIterator<Item = &'a GraphOp>,
+        state: &GraphState,
+    ) -> Result<(GraphState, Vec<GraphChange>), GraphOpError> {
+        let mut cur = state.clone();
+        let txn = GraphOp::apply_all_delta(ops, &mut cur)?;
+        Ok((cur, txn.into_changes()))
+    }
+
+    /// Reverts a transaction produced by [`GraphOp::apply_all_delta`],
+    /// restoring the exact pre-sequence state. Only meaningful against
+    /// the state the transaction was applied to, with no interleaving
+    /// mutations.
+    pub fn undo_txn(state: &mut GraphState, txn: GraphTxn) {
+        rollback(state, txn.undo);
+    }
+}
+
+/// One raw mutation of a successfully applied operation sequence, in
+/// application order. The log is a replay-exact script: applying each
+/// change's raw mutation to the pre-state reproduces the post-state,
+/// which is what lets the server encode a transaction's WAL payload in
+/// O(changes) instead of diffing two whole states.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphChange {
+    /// An entity was inserted.
+    InsertEntity(Entity),
+    /// An entity was deleted (the full entity, so the change log is
+    /// invertible and delete records can carry the tuple image).
+    DeleteEntity(Entity),
+    /// An association was inserted.
+    InsertAssociation(Association),
+    /// An association was deleted.
+    DeleteAssociation(Association),
+}
+
+/// The record of one successful [`GraphOp::apply_all_delta`] call: the
+/// forward change log plus the inverse log needed to revert it.
+#[derive(Debug)]
+pub struct GraphTxn {
+    changes: Vec<GraphChange>,
+    undo: Vec<GraphUndoEntry>,
+}
+
+impl GraphTxn {
+    /// The raw change log in application order.
+    pub fn changes(&self) -> &[GraphChange] {
+        &self.changes
+    }
+
+    /// Consumes the transaction, keeping only the forward change log
+    /// (forfeiting the ability to undo).
+    pub fn into_changes(self) -> Vec<GraphChange> {
+        self.changes
+    }
 }
 
 /// One inverse raw mutation recorded while applying a [`GraphOp`] in
@@ -174,53 +311,54 @@ fn apply_raw_logged(
     op: &GraphOp,
 ) -> Result<Vec<GraphUndoEntry>, GraphOpError> {
     let mut log: Vec<GraphUndoEntry> = Vec::new();
-    let step = |state: &mut GraphState, log: &mut Vec<GraphUndoEntry>| -> Result<(), GraphOpError> {
-        match op {
-            GraphOp::InsertEntity(e) => {
-                let r = state.insert_entity_raw(e.clone())?;
-                log.push(GraphUndoEntry::RemoveEntity(r));
-            }
-            GraphOp::DeleteEntity(r) => {
-                let e = state.remove_entity_raw(r)?;
-                log.push(GraphUndoEntry::ReinsertEntity(e));
-            }
-            GraphOp::InsertAssociation(a) => {
-                state.insert_association_raw(a.clone())?;
-                log.push(GraphUndoEntry::RemoveAssociation(a.clone()));
-            }
-            GraphOp::DeleteAssociation(a) => {
-                state.remove_association_raw(a)?;
-                log.push(GraphUndoEntry::ReinsertAssociation(a.clone()));
-            }
-            GraphOp::InsertUnit(u) => {
-                for e in &u.entities {
+    let step =
+        |state: &mut GraphState, log: &mut Vec<GraphUndoEntry>| -> Result<(), GraphOpError> {
+            match op {
+                GraphOp::InsertEntity(e) => {
                     let r = state.insert_entity_raw(e.clone())?;
                     log.push(GraphUndoEntry::RemoveEntity(r));
                 }
-                for a in &u.associations {
+                GraphOp::DeleteEntity(r) => {
+                    let e = state.remove_entity_raw(r)?;
+                    log.push(GraphUndoEntry::ReinsertEntity(e));
+                }
+                GraphOp::InsertAssociation(a) => {
                     state.insert_association_raw(a.clone())?;
                     log.push(GraphUndoEntry::RemoveAssociation(a.clone()));
                 }
-            }
-            GraphOp::DeleteUnit(u) => {
-                for a in &u.associations {
+                GraphOp::DeleteAssociation(a) => {
                     state.remove_association_raw(a)?;
                     log.push(GraphUndoEntry::ReinsertAssociation(a.clone()));
                 }
-                for e in &u.entities {
-                    let r = e.to_ref(state.schema()).ok_or_else(|| {
-                        GraphStateError::BadCharacteristics(EntityRef::new(
-                            e.entity_type.clone(),
-                            dme_value::Atom::str("<missing id>"),
-                        ))
-                    })?;
-                    let e = state.remove_entity_raw(&r)?;
-                    log.push(GraphUndoEntry::ReinsertEntity(e));
+                GraphOp::InsertUnit(u) => {
+                    for e in &u.entities {
+                        let r = state.insert_entity_raw(e.clone())?;
+                        log.push(GraphUndoEntry::RemoveEntity(r));
+                    }
+                    for a in &u.associations {
+                        state.insert_association_raw(a.clone())?;
+                        log.push(GraphUndoEntry::RemoveAssociation(a.clone()));
+                    }
+                }
+                GraphOp::DeleteUnit(u) => {
+                    for a in &u.associations {
+                        state.remove_association_raw(a)?;
+                        log.push(GraphUndoEntry::ReinsertAssociation(a.clone()));
+                    }
+                    for e in &u.entities {
+                        let r = e.to_ref(state.schema()).ok_or_else(|| {
+                            GraphStateError::BadCharacteristics(EntityRef::new(
+                                e.entity_type.clone(),
+                                dme_value::Atom::str("<missing id>"),
+                            ))
+                        })?;
+                        let e = state.remove_entity_raw(&r)?;
+                        log.push(GraphUndoEntry::ReinsertEntity(e));
+                    }
                 }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     match step(state, &mut log) {
         Ok(()) => Ok(log),
         Err(e) => {

@@ -18,7 +18,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 use dme_logic::Universe;
 use dme_value::Symbol;
 

@@ -24,7 +24,6 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
-
 use dme_value::{Atom, Symbol, Value};
 
 use crate::schema::GraphSchema;
@@ -635,6 +634,66 @@ impl GraphState {
                             predicate: predicate.clone(),
                             role: role.clone(),
                         });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Incremental validation restricted to the entity references an
+    /// operation touched.
+    ///
+    /// Sound whenever the pre-operation state was valid: entity and
+    /// association *shapes* are enforced by the raw mutations
+    /// themselves, and the remaining whole-state invariants — dangling
+    /// roles, totality, functionality — depend only on which entities
+    /// are present and on per-entity role counts, both of which an
+    /// operation changes exclusively at the refs it touched. A touched
+    /// ref that is present is checked for participation constraints; a
+    /// touched ref that is absent must fill no role of any predicate
+    /// (otherwise some association — pre-existing or just inserted —
+    /// dangles on it). Equivalence with [`GraphState::validate`] on
+    /// op-derived touched sets is property-tested in `tests/`.
+    pub fn validate_touched(&self, touched: &BTreeSet<EntityRef>) -> Result<(), GraphStateError> {
+        for r in touched {
+            if self.entities.contains_key(r) {
+                for ((predicate, role), p) in self.schema.participations() {
+                    let entity_type = self
+                        .schema
+                        .universe()
+                        .predicate(predicate.as_str())
+                        .and_then(|d| d.case_type(role.as_str()))
+                        .expect("schema validated against universe");
+                    if *entity_type != r.entity_type {
+                        continue;
+                    }
+                    let count = self.role_count(r, predicate.as_str(), role.as_str());
+                    if p.total && count == 0 {
+                        return Err(GraphStateError::TotalityViolation {
+                            entity: r.clone(),
+                            predicate: predicate.clone(),
+                            role: role.clone(),
+                        });
+                    }
+                    if p.functional && count > 1 {
+                        return Err(GraphStateError::FunctionalityViolation {
+                            entity: r.clone(),
+                            predicate: predicate.clone(),
+                            role: role.clone(),
+                        });
+                    }
+                }
+            } else {
+                for decl in self.schema.universe().predicates() {
+                    for (role, _) in decl.cases() {
+                        if self.role_count(r, decl.name().as_str(), role.as_str()) > 0 {
+                            return Err(GraphStateError::DanglingRole {
+                                predicate: decl.name().clone(),
+                                role: role.clone(),
+                                entity: r.clone(),
+                            });
+                        }
                     }
                 }
             }

@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use dme_graph::unit::deletion_unit;
-use dme_graph::{fixtures, Association, Entity, EntityRef, GraphOp, GraphState};
+use dme_graph::{fixtures, Association, Entity, EntityRef, GraphChange, GraphOp, GraphState};
 use dme_logic::ToFacts;
 use dme_value::Atom;
 use proptest::prelude::*;
@@ -241,6 +241,114 @@ proptest! {
             prop_assert_eq!(&cur, &before, "undo must restore the exact prior state");
             prop_assert_eq!(cur.fingerprint(), before.fingerprint());
             cur.validate().expect("undone states stay valid");
+        }
+    }
+
+    /// The O(delta) composed-apply (`apply_all_incremental`: in-place
+    /// raw mutations + touched-ref validation) agrees with the O(state)
+    /// baseline (`apply_all`: clone per op + whole-state validation)
+    /// over whole generated scripts: same success/error outcome, same
+    /// post-state and fingerprint, a change log that raw-replays the
+    /// pre-state to the post-state exactly, and an in-place apply whose
+    /// error rollback / explicit undo restore the pre-state exactly.
+    #[test]
+    fn incremental_apply_matches_clone_apply(
+        state in arb_state(),
+        script in prop::collection::vec((0usize..4, any::<bool>(), 0usize..9), 1..8),
+    ) {
+        let Some(state) = state else { return Ok(()) };
+        // Materialize the script into concrete ops, advancing a cursor
+        // on success so deletion units are computed against the state
+        // they will meet (ops past the first failure are still valid
+        // data — both paths must stop at the same place).
+        let mut cur = state.clone();
+        let mut ops: Vec<GraphOp> = Vec::new();
+        for (kind, insert, k) in script {
+            let op = match kind {
+                0 => {
+                    let (a, b) = (k / 3, k % 3);
+                    let assoc = Association::new(
+                        "supervise",
+                        [
+                            ("agent", EntityRef::new("employee", Atom::str(NAMES[a]))),
+                            ("object", EntityRef::new("employee", Atom::str(NAMES[b]))),
+                        ],
+                    );
+                    if insert {
+                        GraphOp::InsertAssociation(assoc)
+                    } else {
+                        GraphOp::DeleteAssociation(assoc)
+                    }
+                }
+                1 => GraphOp::InsertEntity(Entity::new(
+                    "employee",
+                    [
+                        ("name", Atom::str(NAMES[k % 3])),
+                        ("age", Atom::Int(AGES[k % 3])),
+                    ],
+                )),
+                2 => GraphOp::DeleteEntity(EntityRef::new("employee", Atom::str(NAMES[k % 3]))),
+                _ => {
+                    let seed = EntityRef::new("machine", Atom::str(MACHINES[k % 2].0));
+                    GraphOp::DeleteUnit(deletion_unit(&cur, [seed], []))
+                }
+            };
+            if let Ok(next) = op.apply(&cur) {
+                cur = next;
+            }
+            ops.push(op);
+        }
+
+        let slow = GraphOp::apply_all(&ops, &state);
+        let fast = GraphOp::apply_all_incremental(&ops, &state);
+        match (slow, fast) {
+            (Ok(slow_state), Ok((fast_state, changes))) => {
+                prop_assert_eq!(&slow_state, &fast_state);
+                prop_assert_eq!(slow_state.fingerprint(), fast_state.fingerprint());
+                // The change log is a replay-exact script pre → post.
+                let mut replay = state.clone();
+                for c in &changes {
+                    match c {
+                        GraphChange::InsertEntity(e) => {
+                            replay.insert_entity_raw(e.clone()).expect("replay insert");
+                        }
+                        GraphChange::DeleteEntity(e) => {
+                            let r = e.to_ref(replay.schema()).expect("logged entity has a key");
+                            replay.remove_entity_raw(&r).expect("replay delete");
+                        }
+                        GraphChange::InsertAssociation(a) => {
+                            replay.insert_association_raw(a.clone()).expect("replay insert");
+                        }
+                        GraphChange::DeleteAssociation(a) => {
+                            replay.remove_association_raw(a).expect("replay delete");
+                        }
+                    }
+                }
+                prop_assert_eq!(&replay, &fast_state);
+                prop_assert_eq!(replay.fingerprint(), fast_state.fingerprint());
+                // Undoing the in-place transaction restores the input.
+                let mut undone = state.clone();
+                let txn = GraphOp::apply_all_delta(&ops, &mut undone)
+                    .expect("incremental path already succeeded");
+                GraphOp::undo_txn(&mut undone, txn);
+                prop_assert_eq!(&undone, &state);
+                prop_assert_eq!(undone.fingerprint(), state.fingerprint());
+            }
+            (Err(_), Err(_)) => {
+                // Error rollback leaves an in-place state untouched.
+                let mut rolled = state.clone();
+                prop_assert!(GraphOp::apply_all_delta(&ops, &mut rolled).is_err());
+                prop_assert_eq!(&rolled, &state);
+                prop_assert_eq!(rolled.fingerprint(), state.fingerprint());
+            }
+            (slow, fast) => {
+                prop_assert!(
+                    false,
+                    "outcome mismatch: apply_all ok={} incremental ok={}",
+                    slow.is_ok(),
+                    fast.is_ok()
+                );
+            }
         }
     }
 

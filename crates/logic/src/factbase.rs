@@ -297,10 +297,7 @@ mod tests {
         a.remove(&f("p", 9));
         assert_eq!(a.fingerprint(), before);
         // Set algebra recomputes coherently.
-        assert_eq!(
-            a.union(&FactBase::new()).fingerprint(),
-            a.fingerprint()
-        );
+        assert_eq!(a.union(&FactBase::new()).fingerprint(), a.fingerprint());
     }
 
     #[test]

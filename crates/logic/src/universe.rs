@@ -17,7 +17,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 use dme_value::{Domain, DomainCatalog, Symbol};
 
 /// Declaration of an entity type: its characteristics (each with a value

@@ -13,7 +13,6 @@
 
 use std::collections::BTreeSet;
 
-
 use dme_value::{Atom, Symbol};
 
 use crate::{Fact, FactBase};

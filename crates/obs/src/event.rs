@@ -88,12 +88,21 @@ pub enum Counter {
     /// Engine runs whose §3.3.1 pairing was rebuilt from a session's
     /// harvested rank cache instead of recompiling every state.
     PairingsReused,
+    /// Wire requests served to completion by the network front door
+    /// (every decoded frame that got a response, including errors).
+    RequestsServed,
+    /// Wire requests shed by admission control (bounded queue full —
+    /// answered with a typed `Overloaded` response, never enqueued).
+    RequestsShed,
+    /// Committed transactions whose write set spanned more than one
+    /// shard (serialized through multi-shard WAL appends).
+    CrossShardCommits,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 37] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -128,6 +137,9 @@ impl Counter {
         Counter::TransitionsReused,
         Counter::TransitionsRecomputed,
         Counter::PairingsReused,
+        Counter::RequestsServed,
+        Counter::RequestsShed,
+        Counter::CrossShardCommits,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -171,6 +183,9 @@ impl Counter {
             Counter::TransitionsReused => "transitions_reused",
             Counter::TransitionsRecomputed => "transitions_recomputed",
             Counter::PairingsReused => "pairings_reused",
+            Counter::RequestsServed => "requests_served",
+            Counter::RequestsShed => "requests_shed",
+            Counter::CrossShardCommits => "cross_shard_commits",
         }
     }
 

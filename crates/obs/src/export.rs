@@ -63,7 +63,10 @@ impl TelemetrySnapshot {
                     "dme_latency_us{{metric=\"{name}\",quantile=\"{q}\"}} {v}\n"
                 ));
             }
-            out.push_str(&format!("dme_latency_us_sum{{metric=\"{name}\"}} {}\n", s.sum));
+            out.push_str(&format!(
+                "dme_latency_us_sum{{metric=\"{name}\"}} {}\n",
+                s.sum
+            ));
             out.push_str(&format!(
                 "dme_latency_us_count{{metric=\"{name}\"}} {}\n",
                 s.count
@@ -155,8 +158,7 @@ mod tests {
         );
         assert!(text.contains("dme_counter{name=\"txns_committed\"} 4"));
         assert!(text.contains("dme_counter{name=\"nodes_expanded\"} 0"));
-        assert!(text
-            .contains("dme_latency_us{metric=\"commit_latency_us\",quantile=\"0.5\"} 127"));
+        assert!(text.contains("dme_latency_us{metric=\"commit_latency_us\",quantile=\"0.5\"} 127"));
         assert!(text.contains("dme_latency_us_count{metric=\"commit_latency_us\"} 2"));
         assert!(text.contains("dme_latency_us_sum{metric=\"commit_latency_us\"} 350"));
     }
@@ -164,7 +166,10 @@ mod tests {
     #[test]
     fn json_snapshot_omits_zeros_and_carries_buckets() {
         let json = json_snapshot(&sample_observer());
-        assert!(json.contains("\"counters\":{\"txns_committed\":4}"), "{json}");
+        assert!(
+            json.contains("\"counters\":{\"txns_committed\":4}"),
+            "{json}"
+        );
         assert!(json.contains("\"commit_latency_us\":{\"count\":2,\"sum\":350,\"max\":250"));
         // 100 has bit length 7, 250 has bit length 8.
         assert!(json.contains("\"buckets\":[[7,1],[8,1]]"), "{json}");

@@ -45,11 +45,14 @@ pub enum Metric {
     CheckLatency,
     /// Closure-enumeration latency inside the parallel engine.
     ClosureLatency,
+    /// End-to-end wire request latency at the network front door
+    /// (frame decoded → response frame queued).
+    RequestLatency,
 }
 
 impl Metric {
     /// Every metric, in declaration order (the registry's table order).
-    pub const ALL: [Metric; 10] = [
+    pub const ALL: [Metric; 11] = [
         Metric::AdmitLatency,
         Metric::TranslateLatency,
         Metric::VerifyLatency,
@@ -60,6 +63,7 @@ impl Metric {
         Metric::ReplayLatency,
         Metric::CheckLatency,
         Metric::ClosureLatency,
+        Metric::RequestLatency,
     ];
 
     /// Number of metrics (the registry table length).
@@ -78,6 +82,7 @@ impl Metric {
             Metric::ReplayLatency => "replay_latency_us",
             Metric::CheckLatency => "check_latency_us",
             Metric::ClosureLatency => "closure_latency_us",
+            Metric::RequestLatency => "request_latency_us",
         }
     }
 

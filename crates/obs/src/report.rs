@@ -191,8 +191,7 @@ mod tests {
         {
             let _span = obs.span("phase/b");
         }
-        let report =
-            Report::from_events(&ring.events()).with_totals(obs.counters());
+        let report = Report::from_events(&ring.events()).with_totals(obs.counters());
         let a = report.phase("phase/a").unwrap();
         assert_eq!(a.calls, 3);
         assert_eq!(a.counters[&Counter::NodesExpanded], 6);

@@ -73,7 +73,9 @@ impl RingSink {
 impl EventSink for RingSink {
     fn record(&self, event: &Event) {
         let i = self.inner.cursor.fetch_add(1, Ordering::Relaxed) % self.inner.slots.len();
-        *self.inner.slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(event.clone());
+        *self.inner.slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(event.clone());
     }
 }
 
@@ -104,7 +106,10 @@ impl JsonLinesSink {
 
     /// Flushes buffered lines to the underlying writer.
     pub fn flush(&self) -> io::Result<()> {
-        self.writer.lock().unwrap_or_else(|e| e.into_inner()).flush()
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush()
     }
 }
 

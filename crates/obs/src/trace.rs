@@ -48,12 +48,7 @@ impl Observer {
     /// Emits a trace event: a point annotation carrying a [`TraceId`],
     /// linking this moment to one request's causal path. The detail
     /// string is built only when the observer is enabled.
-    pub fn trace_event(
-        &self,
-        name: &'static str,
-        trace: TraceId,
-        detail: impl FnOnce() -> String,
-    ) {
+    pub fn trace_event(&self, name: &'static str, trace: TraceId, detail: impl FnOnce() -> String) {
         if self.enabled() {
             self.emit_kind(EventKind::Trace {
                 name,

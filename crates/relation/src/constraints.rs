@@ -25,7 +25,6 @@
 
 use std::fmt;
 
-
 use dme_value::{Symbol, Tuple};
 
 use crate::schema::RelationalSchema;

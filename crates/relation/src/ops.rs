@@ -46,7 +46,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-
 use dme_value::{Symbol, Tuple, Value};
 
 use crate::constraints::{check_all, ConstraintViolation};

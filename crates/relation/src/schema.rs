@@ -23,7 +23,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-
 use dme_logic::Universe;
 use dme_value::Symbol;
 

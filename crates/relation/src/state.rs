@@ -482,11 +482,7 @@ impl RelationState {
 }
 
 /// Single-column extensions of `t` justified by already-true facts.
-fn saturation_extensions(
-    rel: &RelationSchema,
-    t: &Tuple,
-    facts: &FactView<'_>,
-) -> Vec<Tuple> {
+fn saturation_extensions(rel: &RelationSchema, t: &Tuple, facts: &FactView<'_>) -> Vec<Tuple> {
     use dme_logic::Pattern;
     let mut out = Vec::new();
     let mut push_candidate = |column: usize, atom: dme_value::Atom| {
@@ -563,11 +559,7 @@ fn saturation_extensions(
     out
 }
 
-fn normalize_relation(
-    rel: &RelationSchema,
-    tuples: &mut BTreeSet<Tuple>,
-    facts: &FactView<'_>,
-) {
+fn normalize_relation(rel: &RelationSchema, tuples: &mut BTreeSet<Tuple>, facts: &FactView<'_>) {
     loop {
         // Subsumption pass: drop statements strictly below another.
         let dominated: Vec<Tuple> = tuples

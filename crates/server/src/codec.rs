@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use dme_graph::{Association, Entity, EntityRef, GraphSchema, GraphState};
+use dme_graph::{Association, Entity, EntityRef, GraphChange, GraphSchema, GraphState};
 use dme_storage::{decode_tuple, encode_tuple};
 use dme_value::{Tuple, Value};
 
@@ -128,6 +128,45 @@ pub fn encode_delta(before: &GraphState, after: &GraphState) -> Vec<u8> {
     out
 }
 
+/// Encodes a committed transaction's raw change log as a WAL payload —
+/// the same record format [`apply_delta`] decodes, but built in
+/// O(changes) from the log instead of diffing two whole states. Records
+/// are emitted in application order, which is replay-exact by
+/// construction: the log *is* the sequence of raw mutations that
+/// produced the post-state.
+pub fn encode_changes(changes: &[GraphChange]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for change in changes {
+        match change {
+            GraphChange::InsertEntity(e) => push_record(
+                &mut out,
+                KIND_ENTITY_INSERT,
+                e.entity_type.as_str(),
+                &entity_tuple(e),
+            ),
+            GraphChange::DeleteEntity(e) => push_record(
+                &mut out,
+                KIND_ENTITY_DELETE,
+                e.entity_type.as_str(),
+                &entity_tuple(e),
+            ),
+            GraphChange::InsertAssociation(a) => push_record(
+                &mut out,
+                KIND_ASSOC_INSERT,
+                a.predicate.as_str(),
+                &assoc_tuple(a),
+            ),
+            GraphChange::DeleteAssociation(a) => push_record(
+                &mut out,
+                KIND_ASSOC_DELETE,
+                a.predicate.as_str(),
+                &assoc_tuple(a),
+            ),
+        }
+    }
+    out
+}
+
 /// Encodes a full conceptual state (a checkpoint image): the delta from
 /// the empty state.
 pub fn encode_state(state: &GraphState) -> Vec<u8> {
@@ -138,11 +177,7 @@ fn corrupt(why: impl Into<String>) -> ServerError {
     ServerError::Recovery(why.into())
 }
 
-fn decode_entity(
-    schema: &GraphSchema,
-    name: &str,
-    tuple: &Tuple,
-) -> Result<Entity, ServerError> {
+fn decode_entity(schema: &GraphSchema, name: &str, tuple: &Tuple) -> Result<Entity, ServerError> {
     let et = schema
         .universe()
         .entity_types()
@@ -164,7 +199,10 @@ fn decode_entity(
                 .ok_or_else(|| corrupt(format!("null in entity record for {name}")))
         })
         .collect();
-    Ok(Entity::new(et.name().clone(), chars.into_iter().zip(values?)))
+    Ok(Entity::new(
+        et.name().clone(),
+        chars.into_iter().zip(values?),
+    ))
 }
 
 fn decode_assoc(
@@ -319,7 +357,10 @@ mod tests {
             assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
         }
         assert!(AdminRequest::decode(&[]).is_err());
-        assert!(AdminRequest::decode(&[0x00]).is_err(), "delta kinds rejected");
+        assert!(
+            AdminRequest::decode(&[0x00]).is_err(),
+            "delta kinds rejected"
+        );
         assert!(AdminRequest::decode(&[KIND_ADMIN_METRICS_TEXT, 0]).is_err());
     }
 

@@ -7,8 +7,32 @@
 //! is therefore always a byte prefix of the device contents, which is
 //! exactly what [`dme_storage::wal::replay_tolerant`] is built to
 //! handle.
+//!
+//! ## Fault points and concurrent shard writers
+//!
+//! The sharded WAL path writes several devices from several commit
+//! lanes at once, so fault injection has to be stated as an ordering
+//! contract rather than "the Nth write fails":
+//!
+//! * **Per-device** ([`MemDevice::with_crash_at`]): the device tears at
+//!   an absolute byte offset *of that device*. Each device is owned by
+//!   exactly one lane mutex, so its tear point is deterministic no
+//!   matter how lanes interleave.
+//! * **Cross-device** ([`WriteBudget`], [`MemDevice::with_budget`]): a
+//!   shared atomic byte budget drained by every append on every device
+//!   that carries it. *Which* device trips depends on lane scheduling,
+//!   but three invariants hold deterministically under any
+//!   interleaving: the total bytes written across all sharing devices
+//!   never exceeds the budget; the write that exhausts it tears
+//!   (a prefix reaches the medium) and **trips** the budget; and a
+//!   tripped budget is sticky — every later append on every sharing
+//!   device fails without writing a byte. Recovery therefore always
+//!   sees per-device byte prefixes, which is the only property the
+//!   crash matrix relies on.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Errors raised by a log device.
@@ -52,6 +76,59 @@ pub trait LogDevice: Send {
     }
 }
 
+/// A thread-safe byte budget shared by several devices: the
+/// cross-device fault point of the sharded WAL path. See the module
+/// docs for the ordering contract.
+pub struct WriteBudget {
+    remaining: AtomicI64,
+    tripped: AtomicBool,
+}
+
+impl WriteBudget {
+    /// A budget of `bytes` total writable bytes across every device
+    /// sharing it.
+    pub fn new(bytes: usize) -> Arc<Self> {
+        Arc::new(WriteBudget {
+            remaining: AtomicI64::new(bytes as i64),
+            tripped: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether some write already exhausted the budget (sticky).
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+
+    /// Reserves up to `want` bytes: returns how many may be written.
+    /// The reservation that crosses zero trips the budget.
+    fn reserve(&self, want: usize) -> usize {
+        if self.tripped() {
+            return 0;
+        }
+        let before = self.remaining.fetch_sub(want as i64, Ordering::SeqCst);
+        if before <= 0 {
+            self.tripped.store(true, Ordering::SeqCst);
+            return 0;
+        }
+        let allowed = (before as usize).min(want);
+        if allowed < want {
+            self.tripped.store(true, Ordering::SeqCst);
+        }
+        allowed
+    }
+}
+
+impl fmt::Debug for WriteBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WriteBudget({} bytes left, tripped: {})",
+            self.remaining.load(Ordering::SeqCst).max(0),
+            self.tripped()
+        )
+    }
+}
+
 /// An in-memory log device with fault injection and a configurable
 /// per-`sync` latency (what makes group commit measurably cheaper than
 /// per-operation commit: one sync amortized over a batch).
@@ -60,8 +137,10 @@ pub struct MemDevice {
     synced: usize,
     syncs: u64,
     sync_delay: Duration,
-    /// When set, writes stop (tear) at this byte offset.
+    /// When set, writes stop (tear) at this byte offset of this device.
     crash_at: Option<usize>,
+    /// When set, writes also drain this shared cross-device budget.
+    budget: Option<Arc<WriteBudget>>,
 }
 
 impl fmt::Debug for MemDevice {
@@ -91,6 +170,7 @@ impl MemDevice {
             syncs: 0,
             sync_delay: Duration::ZERO,
             crash_at: None,
+            budget: None,
         }
     }
 
@@ -104,6 +184,7 @@ impl MemDevice {
             syncs: 0,
             sync_delay: Duration::ZERO,
             crash_at: None,
+            budget: None,
         }
     }
 
@@ -113,23 +194,41 @@ impl MemDevice {
         self
     }
 
-    /// Injects a media failure: writes tear at byte offset `at`.
+    /// Injects a media failure: writes tear at byte offset `at` of this
+    /// device. Deterministic even with concurrent shard writers, since
+    /// each device is single-writer behind its lane lock.
     pub fn with_crash_at(mut self, at: usize) -> Self {
         self.crash_at = Some(at);
         self
     }
 
+    /// Attaches a shared cross-device [`WriteBudget`]: this device's
+    /// appends drain the budget and fail (torn) once it is exhausted by
+    /// any sharing device.
+    pub fn with_budget(mut self, budget: Arc<WriteBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 impl LogDevice for MemDevice {
     fn append(&mut self, bytes: &[u8]) -> Result<(), DeviceError> {
+        // Fault points compose: the write is clipped to whatever both
+        // the per-device tear point and the shared budget admit, and
+        // any clipping is a torn-write failure.
+        let mut allowed = bytes.len();
         if let Some(limit) = self.crash_at {
             if self.buf.len() + bytes.len() > limit {
-                // Torn write: the prefix that fits reaches the medium.
-                let room = limit.saturating_sub(self.buf.len());
-                self.buf.extend_from_slice(&bytes[..room]);
-                return Err(DeviceError::Full { at: limit });
+                allowed = allowed.min(limit.saturating_sub(self.buf.len()));
             }
+        }
+        if let Some(budget) = &self.budget {
+            allowed = budget.reserve(allowed);
+        }
+        if allowed < bytes.len() {
+            // Torn write: the prefix that fits reaches the medium.
+            self.buf.extend_from_slice(&bytes[..allowed]);
+            return Err(DeviceError::Full { at: self.buf.len() });
         }
         self.buf.extend_from_slice(bytes);
         Ok(())
@@ -193,5 +292,47 @@ mod tests {
         let d = MemDevice::with_contents(b"image".to_vec());
         assert_eq!(d.synced_len(), 5);
         assert_eq!(d.contents(), b"image");
+    }
+
+    #[test]
+    fn shared_budget_trips_across_devices_and_is_sticky() {
+        let budget = WriteBudget::new(8);
+        let mut a = MemDevice::new().with_budget(Arc::clone(&budget));
+        let mut b = MemDevice::new().with_budget(Arc::clone(&budget));
+        a.append(b"abcde").unwrap();
+        assert!(!budget.tripped());
+        // b's 5-byte write finds only 3 budget bytes left: torn + trip.
+        let err = b.append(b"vwxyz").unwrap_err();
+        assert!(matches!(err, DeviceError::Full { .. }));
+        assert_eq!(b.contents(), b"vwx");
+        assert!(budget.tripped());
+        // Sticky: every later write on every sharing device fails dry.
+        assert!(a.append(b"!").is_err());
+        assert_eq!(a.contents(), b"abcde");
+        assert!(format!("{budget:?}").contains("tripped: true"));
+    }
+
+    #[test]
+    fn budget_totals_are_deterministic_under_interleaving() {
+        use std::sync::Mutex;
+        for trial in 0..8 {
+            let budget = WriteBudget::new(64);
+            let devices: Vec<Mutex<MemDevice>> = (0..4)
+                .map(|_| Mutex::new(MemDevice::new().with_budget(Arc::clone(&budget))))
+                .collect();
+            crossbeam::scope(|sc| {
+                for d in &devices {
+                    sc.spawn(move |_| {
+                        for _ in 0..8 {
+                            let _ = d.lock().unwrap().append(&[trial as u8; 7]);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            let total: usize = devices.iter().map(|d| d.lock().unwrap().len()).sum();
+            assert!(total <= 64, "trial {trial}: wrote {total} of 64 budget");
+            assert!(budget.tripped());
+        }
     }
 }

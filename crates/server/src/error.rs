@@ -1,4 +1,10 @@
 //! Service error types.
+//!
+//! Every failure the service can hand a client flows through
+//! [`ServerError`], and every variant carries a stable numeric
+//! [`ServerError::code`] that is part of the wire protocol: clients on
+//! the network path match on codes, not on display strings, so the
+//! code assignments here must never be reused or renumbered.
 
 use std::fmt;
 
@@ -37,6 +43,38 @@ pub enum ServerError {
     /// A relational session named an external view the service does not
     /// serve.
     UnknownView(String),
+    /// A service configuration was rejected by validation before the
+    /// service started.
+    InvalidConfig(String),
+    /// A wire frame decoded cleanly at the transport layer but did not
+    /// form a well-typed request (bad discriminant, malformed body, or
+    /// an unsupported protocol version).
+    Protocol(String),
+    /// A request named a session id the service does not know — never
+    /// opened, already closed, or currently checked out by another
+    /// in-flight request on the same connection.
+    UnknownSession(u64),
+}
+
+impl ServerError {
+    /// The stable wire code for this error. Codes are part of the
+    /// protocol: new variants take fresh numbers, old numbers are never
+    /// reused.
+    pub fn code(&self) -> u16 {
+        match self {
+            ServerError::Conflict { .. } => 1,
+            ServerError::Aborted(_) => 2,
+            ServerError::Translate(_) => 3,
+            ServerError::SessionClosed => 4,
+            ServerError::Crashed(_) => 5,
+            ServerError::LockstepDiverged { .. } => 6,
+            ServerError::Recovery(_) => 7,
+            ServerError::UnknownView(_) => 8,
+            ServerError::InvalidConfig(_) => 9,
+            ServerError::Protocol(_) => 10,
+            ServerError::UnknownSession(_) => 11,
+        }
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -54,6 +92,11 @@ impl fmt::Display for ServerError {
             }
             ServerError::Recovery(why) => write!(f, "recovery failed: {why}"),
             ServerError::UnknownView(name) => write!(f, "unknown external view {name}"),
+            ServerError::InvalidConfig(why) => write!(f, "invalid service config: {why}"),
+            ServerError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            ServerError::UnknownSession(id) => {
+                write!(f, "unknown or busy session {id}")
+            }
         }
     }
 }
@@ -87,13 +130,47 @@ mod tests {
         assert!(ServerError::Conflict { attempts: 3 }
             .to_string()
             .contains("3 attempts"));
-        assert!(ServerError::Aborted("dup".into()).to_string().contains("dup"));
-        assert!(ServerError::SessionClosed.to_string().contains("closed"));
-        assert!(ServerError::LockstepDiverged { view: "shop".into() }
+        assert!(ServerError::Aborted("dup".into())
             .to_string()
-            .contains("shop"));
-        assert!(ServerError::UnknownView("x".into()).to_string().contains('x'));
+            .contains("dup"));
+        assert!(ServerError::SessionClosed.to_string().contains("closed"));
+        assert!(ServerError::LockstepDiverged {
+            view: "shop".into()
+        }
+        .to_string()
+        .contains("shop"));
+        assert!(ServerError::UnknownView("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(ServerError::InvalidConfig("zero shards".into())
+            .to_string()
+            .contains("zero shards"));
+        assert!(ServerError::Protocol("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+        assert!(ServerError::UnknownSession(7).to_string().contains('7'));
         let e: ServerError = DeviceError::Full { at: 9 }.into();
         assert!(matches!(e, ServerError::Crashed(_)));
+    }
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = [
+            ServerError::Conflict { attempts: 1 },
+            ServerError::Aborted(String::new()),
+            ServerError::Translate(String::new()),
+            ServerError::SessionClosed,
+            ServerError::Crashed(String::new()),
+            ServerError::LockstepDiverged {
+                view: String::new(),
+            },
+            ServerError::Recovery(String::new()),
+            ServerError::UnknownView(String::new()),
+            ServerError::InvalidConfig(String::new()),
+            ServerError::Protocol(String::new()),
+            ServerError::UnknownSession(0),
+        ];
+        let codes: Vec<u16> = all.iter().map(ServerError::code).collect();
+        assert_eq!(codes, (1..=11).collect::<Vec<u16>>());
     }
 }

@@ -14,16 +14,29 @@
 //!   *subset* schemas), all updating one conceptual database.
 //! * **Transactions** ([`SessionService`]) — snapshot reads, optimistic
 //!   base-version conflict detection for relational sessions, and
-//!   serialized, *batched* commits: a leader thread drains the commit
-//!   queue and the whole batch shares one WAL append + sync (group
-//!   commit, [`CommitMode`]).
+//!   serialized, *batched* commits routed by write-set hash to
+//!   per-shard commit lanes ([`crate::shard`]): each lane's leader
+//!   drains a batch that shares one WAL append + sync per involved
+//!   shard (group commit, [`CommitMode`]), and different lanes' syncs
+//!   overlap.
+//! * **Admission control** — every lane's queue is bounded
+//!   ([`ServiceConfig::queue_depth`]); a submit that finds its home
+//!   lane full is *shed* with a typed [`CommitOutcome::Shed`] /
+//!   [`wire::Response::Overloaded`] instead of queuing unboundedly.
 //! * **Durability** ([`device`], [`codec`]) — write-ahead journaling of
 //!   conceptual deltas with appended checkpoints; the durable state is
-//!   *only* the checkpoint + log ([`DurableImage`]), and commits are
-//!   acknowledged strictly after their record is synced.
-//! * **Recovery** ([`SessionService::recover`]) — replay to the last
+//!   *only* the checkpoint + logs ([`DurableImage`]), and commits are
+//!   acknowledged strictly after their record is synced on every shard
+//!   they touch.
+//! * **Recovery** ([`SessionService::recover_sharded`]) — merge the
+//!   shard logs by LSN (cross-shard frames dedupe), replay to the last
 //!   committed transaction, truncating torn tails; aborted transactions
 //!   never reach the log and so can never be resurrected.
+//! * **The wire front door** ([`wire`], [`net`]) — a single versioned
+//!   [`wire::Request`]/[`wire::Response`] enum pair speaking the WAL's
+//!   CRC framing end-to-end, served over an in-process duplex transport
+//!   by per-shard dispatcher pools with typed overload shedding, and
+//!   consumed through a typed [`net::Client`].
 //! * **Verification** — with `lockstep-verify` (compile feature or
 //!   [`ServiceConfig::lockstep_verify`]) every commit re-checks
 //!   Definition 2 between the conceptual state and every external view,
@@ -32,15 +45,19 @@
 pub mod codec;
 pub mod device;
 pub mod error;
+pub mod net;
 pub mod service;
 pub mod session;
+pub mod shard;
+pub mod wire;
 
 pub use codec::AdminRequest;
-pub use device::{DeviceError, LogDevice, MemDevice};
+pub use device::{DeviceError, LogDevice, MemDevice, WriteBudget};
 pub use error::ServerError;
+pub use net::{Client, NetServer, RemoteSession};
 pub use service::{
-    CommitInfo, CommitMode, CommittedTxn, DurableImage, RecoveryReport, ServiceConfig,
-    SessionService, ViewSpec,
+    CommitInfo, CommitMode, CommitOutcome, CommittedTxn, DurableImage, RecoveryReport,
+    ServiceConfig, ServiceConfigBuilder, SessionService, ViewSpec,
 };
 pub use session::{Session, SessionKind};
 
@@ -54,6 +71,7 @@ mod tests {
     use dme_relation::RelOp;
     use dme_value::{tuple, Atom, Value};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn shop_views() -> Vec<ViewSpec> {
         vec![
@@ -100,7 +118,8 @@ mod tests {
         let mut s = service.open_session(SessionKind::Graph).unwrap();
         let info = s
             .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
-            .unwrap();
+            .unwrap()
+            .expect_commit();
         assert_eq!((info.lsn, info.version, info.attempts), (1, 1, 1));
         assert_eq!(service.conceptual(), gfix::figure6_state());
         assert_eq!(service.view_state("shop").unwrap(), rfix::figure7_state());
@@ -123,8 +142,9 @@ mod tests {
             })
             .unwrap();
         let op = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
-        let info = s.submit_relational(&op).unwrap();
-        assert_eq!(info.attempts, 1);
+        let outcome = s.submit_relational(&op).unwrap();
+        assert!(matches!(outcome, CommitOutcome::Committed(_)));
+        assert_eq!(outcome.expect_commit().attempts, 1);
         assert_eq!(service.conceptual(), gfix::figure6_state());
         assert_eq!(s.relational_state().unwrap(), &rfix::figure7_state());
         s.close().unwrap();
@@ -159,10 +179,17 @@ mod tests {
             .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
             .unwrap();
         // The relational session's first attempt conflicts (stale base
-        // version), rebases and succeeds on retry.
+        // version), rebases and succeeds on retry — reported as a
+        // Retried outcome.
         let op = RelOp::insert("Supervisions", [tuple!["T.Manhart", "C.Gershag"]]);
-        let info = rel.submit_relational(&op).unwrap();
-        assert!(info.attempts > 1, "expected a conflict retry");
+        let outcome = rel.submit_relational(&op).unwrap();
+        match outcome {
+            CommitOutcome::Retried { info, retries } => {
+                assert!(retries >= 1);
+                assert_eq!(info.attempts, retries + 1);
+            }
+            other => panic!("expected a conflict retry, got {other:?}"),
+        }
         assert_eq!(service.version(), 2);
         let personnel = service.view_state("personnel").unwrap();
         assert!(personnel
@@ -195,10 +222,7 @@ mod tests {
         assert_eq!(report.replayed, 2);
         assert!(report.wal_tail.is_none());
         assert_eq!(recovered.conceptual(), expected);
-        assert_eq!(
-            recovered.view_state("shop"),
-            service.view_state("shop")
-        );
+        assert_eq!(recovered.view_state("shop"), service.view_state("shop"));
     }
 
     #[test]
@@ -311,7 +335,218 @@ mod tests {
     }
 
     #[test]
-    fn commits_are_traced_end_to_end_and_admin_renders_telemetry() {
+    fn config_builder_validates_the_knobs() {
+        let config = ServiceConfig::builder()
+            .shards(4)
+            .queue_depth(128)
+            .max_batch(16)
+            .commit_mode(CommitMode::Group)
+            .checkpoint_every(10)
+            .lockstep_verify(false)
+            .max_attempts(3)
+            .backoff_micros(5)
+            .build()
+            .unwrap();
+        assert_eq!(
+            (config.shards, config.queue_depth, config.max_batch),
+            (4, 128, 16)
+        );
+        for broken in [
+            ServiceConfig::builder().shards(0).build(),
+            ServiceConfig::builder().shards(100_000).build(),
+            ServiceConfig::builder().queue_depth(0).build(),
+            ServiceConfig::builder().max_batch(0).build(),
+            ServiceConfig::builder().max_attempts(0).build(),
+        ] {
+            match broken {
+                Err(e @ ServerError::InvalidConfig(_)) => assert_eq!(e.code(), 9),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // Constructors validate too: a mismatched device count is typed.
+        let err = SessionService::new_sharded(
+            gfix::figure4_state(),
+            vec![],
+            ServiceConfig::builder().shards(2).build().unwrap(),
+            vec![Box::new(MemDevice::new())],
+            Box::new(MemDevice::new()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServerError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sharded_service_commits_across_lanes_and_recovers() {
+        use crossbeam::scope;
+        let config = ServiceConfig::builder().shards(4).build().unwrap();
+        let service = SessionService::new_sharded(
+            gfix::figure4_state(),
+            shop_views(),
+            config,
+            (0..4)
+                .map(|_| Box::new(MemDevice::new()) as Box<dyn LogDevice>)
+                .collect(),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        let pairs = [
+            ("G.Wayshum", "T.Manhart"),
+            ("T.Manhart", "C.Gershag"),
+            ("C.Gershag", "T.Manhart"),
+            ("T.Manhart", "G.Wayshum"),
+        ];
+        scope(|sc| {
+            for (a, o) in pairs {
+                let service = service.clone();
+                sc.spawn(move |_| {
+                    let mut s = service.open_session(SessionKind::Graph).unwrap();
+                    s.submit_graph(vec![supervise(a, o)])
+                        .unwrap()
+                        .expect_commit();
+                });
+            }
+        })
+        .unwrap();
+        let history = service.committed_history();
+        assert_eq!(history.len(), 4);
+        let lsns: Vec<u64> = history.iter().map(|t| t.lsn).collect();
+        assert!(
+            lsns.windows(2).all(|w| w[0] < w[1]),
+            "history sorted: {lsns:?}"
+        );
+        // Every committed frame is on some shard's log; supervise
+        // associations touch two employees, so cross-shard frames are
+        // journaled on each involved shard and recovery dedupes them.
+        let image = service.durable_image();
+        assert_eq!(image.shard_wals.len(), 3);
+        let expected = service.conceptual();
+        let (recovered, report) = SessionService::recover_sharded(
+            Arc::clone(expected.schema()),
+            &image,
+            shop_views(),
+            ServiceConfig::builder().shards(4).build().unwrap(),
+            (0..4)
+                .map(|_| Box::new(MemDevice::new()) as Box<dyn LogDevice>)
+                .collect(),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(recovered.conceptual(), expected);
+        assert_eq!(recovered.view_state("shop"), service.view_state("shop"));
+    }
+
+    #[test]
+    fn full_lanes_shed_with_a_typed_outcome() {
+        // One-slot queue and a slow sync: the first submit becomes the
+        // lane leader and parks in the sync, the second occupies the
+        // only queue slot, the third is refused at admission.
+        let config = ServiceConfig::builder().queue_depth(1).build().unwrap();
+        let service = SessionService::new(
+            gfix::figure4_state(),
+            vec![],
+            config,
+            Box::new(MemDevice::new().with_sync_delay(Duration::from_millis(200))),
+            Box::new(MemDevice::new()),
+        )
+        .unwrap();
+        // new() checkpoints to the checkpoint device, so only commit
+        // syncs pay the delay.
+        let outcome = crossbeam::scope(|sc| {
+            let leader = {
+                let service = service.clone();
+                sc.spawn(move |_| {
+                    let mut s = service.open_session(SessionKind::Graph).unwrap();
+                    s.submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
+                        .unwrap()
+                })
+            };
+            std::thread::sleep(Duration::from_millis(50));
+            let queued = {
+                let service = service.clone();
+                sc.spawn(move |_| {
+                    let mut s = service.open_session(SessionKind::Graph).unwrap();
+                    s.submit_graph(vec![supervise("T.Manhart", "C.Gershag")])
+                        .unwrap()
+                })
+            };
+            std::thread::sleep(Duration::from_millis(50));
+            let mut s = service.open_session(SessionKind::Graph).unwrap();
+            let shed = s
+                .submit_graph(vec![supervise("C.Gershag", "G.Wayshum")])
+                .unwrap();
+            leader.join().unwrap().expect_commit();
+            queued.join().unwrap().expect_commit();
+            shed
+        })
+        .unwrap();
+        match outcome {
+            CommitOutcome::Shed { shard: 0, depth } => assert!(depth >= 1),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        // Nothing of the shed transaction reached the log.
+        assert_eq!(service.committed_history().len(), 2);
+    }
+
+    #[test]
+    fn the_wire_front_door_serves_sessions_by_id() {
+        let service = boot(ServiceConfig::default());
+        let opened = service.handle(wire::Request::OpenSession {
+            kind: SessionKind::Graph,
+        });
+        let id = match opened {
+            wire::Response::SessionOpened { session } => session,
+            other => panic!("expected SessionOpened, got {other:?}"),
+        };
+        let committed = service.handle(wire::Request::SubmitGraph {
+            session: id,
+            ops: vec![supervise("G.Wayshum", "T.Manhart")],
+        });
+        match committed {
+            wire::Response::Committed(info) => assert_eq!(info.lsn, 1),
+            other => panic!("expected Committed, got {other:?}"),
+        }
+        // The view read returns the same tuples the embedded API sees.
+        match service.handle(wire::Request::ViewState {
+            view: "shop".into(),
+        }) {
+            wire::Response::ViewState { relations } => {
+                let jobs = relations.iter().find(|(n, _)| n == "Jobs").unwrap();
+                assert!(!jobs.1.is_empty());
+            }
+            other => panic!("expected ViewState, got {other:?}"),
+        }
+        // Metrics render through the typed door, and the legacy admin
+        // envelope tunnels to the same renderer.
+        match service.handle(wire::Request::Metrics { json: false }) {
+            wire::Response::Metrics { body } => assert!(body.contains("dme_counter")),
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        match service.handle(wire::Request::Admin {
+            body: AdminRequest::MetricsJson.encode(),
+        }) {
+            wire::Response::Admin { body } => assert!(body.starts_with('{')),
+            other => panic!("expected Admin, got {other:?}"),
+        }
+        assert!(matches!(
+            service.handle(wire::Request::Admin { body: vec![0xFF] }),
+            wire::Response::Error { .. }
+        ));
+        // Close, then the id is gone.
+        assert_eq!(
+            service.handle(wire::Request::Close { session: id }),
+            wire::Response::Closed
+        );
+        match service.handle(wire::Request::Refresh { session: id }) {
+            wire::Response::Error { code, .. } => {
+                assert_eq!(code, ServerError::UnknownSession(id).code())
+            }
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commits_are_traced_end_to_end_and_metrics_render_over_the_wire() {
         let ring = dme_obs::RingSink::with_capacity(256);
         let service = boot(ServiceConfig {
             obs: dme_obs::Observer::new(ring.clone()),
@@ -320,7 +555,8 @@ mod tests {
         let mut s = service.open_session(SessionKind::Graph).unwrap();
         let info = s
             .submit_graph(vec![supervise("G.Wayshum", "T.Manhart")])
-            .unwrap();
+            .unwrap()
+            .expect_commit();
         assert_ne!(info.trace.as_u64(), 0);
         // The WAL frame is stamped with the commit's trace id.
         let records = dme_storage::wal::replay(&service.durable_image().wal).unwrap();
@@ -344,17 +580,21 @@ mod tests {
                 "server/wal_append"
             ]
         );
-        // Both admin renderings are served over the wire codec.
-        let text = service
-            .admin_bytes(&AdminRequest::MetricsText.encode())
-            .unwrap();
-        assert!(text.contains("dme_counter{name=\"txns_committed\"} 1"), "{text}");
+        // Both renderings are served through the typed front door.
+        let text = match service.handle(wire::Request::Metrics { json: false }) {
+            wire::Response::Metrics { body } => body,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        assert!(
+            text.contains("dme_counter{name=\"txns_committed\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("dme_latency_us_count{metric=\"commit_latency_us\"} 1"));
-        let json = service
-            .admin_bytes(&AdminRequest::MetricsJson.encode())
-            .unwrap();
+        let json = match service.handle(wire::Request::Metrics { json: true }) {
+            wire::Response::Metrics { body } => body,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
         assert!(json.contains("\"commit_latency_us\""), "{json}");
-        assert!(service.admin_bytes(&[0xFF]).is_err());
     }
 
     #[test]

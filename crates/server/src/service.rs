@@ -1,27 +1,59 @@
 //! The concurrent session service.
 //!
 //! One conceptual database, many concurrent sessions speaking different
-//! application models. All updates funnel through a single commit queue:
-//! a submitting thread enqueues its translated conceptual transaction
-//! and the first free thread becomes the *leader*, draining the queue
-//! and committing the whole batch with **one** WAL append + sync (group
-//! commit). Durability follows the classic log-before-acknowledge rule:
-//! a commit is reported to its session only after its record is on the
-//! log device.
+//! application models. Updates are routed by write set to per-shard
+//! **commit lanes**: every entity reference a transaction touches is
+//! hashed to a shard (see [`crate::shard`]), the transaction queues on
+//! its lowest shard's lane, and the first free thread on a lane becomes
+//! that lane's *leader*, draining a batch and committing it with one
+//! WAL append + sync per involved shard (group commit). Durability
+//! follows the classic log-before-acknowledge rule: a commit is
+//! reported to its session only after its record is on every involved
+//! shard's log device.
 //!
-//! Conflict control is optimistic. Relational sessions translate against
-//! a snapshot; if another transaction committed first, the snapshot's
-//! base version no longer matches and the commit is refused with a
-//! conflict — the session rebases and retries with backoff. Graph
-//! sessions submit conceptual operations directly, which are
+//! Validation (conflict checks, conceptual application, view
+//! advancement) is serialized through one core lock, so the database
+//! still has a single global commit order and a single version counter;
+//! what shards buy is **sync overlap** — different lanes wait on
+//! different log devices at the same time, so the dominant cost of a
+//! commit (the sync) is paid concurrently.
+//!
+//! ## Lock protocol
+//!
+//! `core → WAL locks in ascending shard order → (release core) →
+//! append+sync → release WAL locks → re-acquire core for bookkeeping`.
+//! WAL locks are only ever acquired while holding the core lock, and a
+//! thread holding WAL locks never waits on the core lock, so the order
+//! `core < wal_0 < wal_1 < …` is total and the protocol is
+//! deadlock-free. Because WAL acquisition is serialized by the core
+//! lock, each shard's log receives records in strictly increasing LSN
+//! order.
+//!
+//! ## Cross-shard commits and recovery
+//!
+//! A transaction whose write set spans shards journals its frame on
+//! **every** involved shard (recovery dedupes by LSN). Dependent
+//! transactions share a shard by construction, so per-shard prefix
+//! durability covers them; a gap in the merged log can only separate
+//! independent transactions, whose deltas commute. One asymmetry
+//! remains and is deliberate: a crash between a lane's sync and its
+//! acknowledgment can *resurrect an unacknowledged transaction* on
+//! recovery (it is in some shard's log but its session saw an error).
+//! The converse — an acknowledged transaction lost — cannot happen.
+//!
+//! Conflict control is optimistic. Relational sessions translate
+//! against a snapshot; if another transaction committed first, the
+//! snapshot's base version no longer matches and the commit is refused
+//! with a conflict — the session rebases and retries with backoff.
+//! Graph sessions submit conceptual operations directly, which are
 //! position-independent, so they carry no base version and never
 //! conflict (they can still *abort* if an operation no longer applies).
 //!
 //! Aborted transactions never reach the log, so recovery cannot
-//! resurrect them: the durable image is exactly a checkpoint plus the
-//! clean prefix of committed deltas.
+//! resurrect them: the durable image is exactly a checkpoint plus
+//! clean prefixes of committed deltas.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -34,27 +66,16 @@ use dme_storage::wal;
 use dme_storage::WalError;
 
 use crate::codec;
-use crate::device::LogDevice;
+use crate::device::{DeviceError, LogDevice};
 use crate::error::ServerError;
 use crate::session::{Session, SessionKind};
-
-/// A transaction validated and journaled but not yet acknowledged:
-/// (request id, lsn, version after, trace, enqueue time, WAL payload,
-/// conceptual ops).
-type Staged = (
-    u64,
-    u64,
-    u64,
-    TraceId,
-    std::time::Instant,
-    Vec<u8>,
-    Vec<GraphOp>,
-);
+use crate::shard;
 
 /// How commits are batched through the journal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitMode {
-    /// The leader drains the whole queue and syncs once per batch.
+    /// The leader drains up to `max_batch` requests and syncs once per
+    /// batch per involved shard.
     Group,
     /// One transaction per append + sync (the baseline group commit is
     /// measured against).
@@ -72,7 +93,8 @@ pub struct ViewSpec {
     pub mode: CompletionMode,
 }
 
-/// Service tuning knobs.
+/// Service tuning knobs. Build one with [`ServiceConfig::builder`] (which
+/// validates) or field-by-field from [`ServiceConfig::default`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Commit batching mode.
@@ -91,6 +113,15 @@ pub struct ServiceConfig {
     pub backoff_micros: u64,
     /// Observation session for spans and counters.
     pub obs: Observer,
+    /// Commit lanes the conceptual write set is hashed across. Each
+    /// shard journals to its own WAL device.
+    pub shards: usize,
+    /// Admission bound per commit lane: a submit finding this many
+    /// requests already queued is shed with a typed `Overloaded`
+    /// outcome instead of waiting.
+    pub queue_depth: usize,
+    /// Most transactions a lane leader drains into one group commit.
+    pub max_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -102,18 +133,141 @@ impl Default for ServiceConfig {
             max_attempts: 8,
             backoff_micros: 20,
             obs: Observer::disabled(),
+            shards: 1,
+            queue_depth: 4096,
+            max_batch: 64,
         }
     }
 }
 
-/// The durable bytes a crash leaves behind: prefixes of the two
-/// append-only devices.
+impl ServiceConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+
+    /// Checks the knobs are mutually sensible. Service constructors call
+    /// this, so a hand-assembled config cannot boot a broken service.
+    pub fn validate(&self) -> Result<(), ServerError> {
+        if self.shards == 0 {
+            return Err(ServerError::InvalidConfig(
+                "shards must be at least 1".into(),
+            ));
+        }
+        if self.shards > 1024 {
+            return Err(ServerError::InvalidConfig(format!(
+                "{} shards is past the 1024 sanity bound",
+                self.shards
+            )));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServerError::InvalidConfig(
+                "queue_depth 0 would shed every request".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServerError::InvalidConfig(
+                "max_batch 0 would commit nothing".into(),
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err(ServerError::InvalidConfig(
+                "max_attempts 0 would refuse every relational commit".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServiceConfig`]; [`ServiceConfigBuilder::build`]
+/// validates.
+#[derive(Clone, Debug)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the commit batching mode.
+    pub fn commit_mode(mut self, mode: CommitMode) -> Self {
+        self.config.commit_mode = mode;
+        self
+    }
+
+    /// Checkpoint after this many commits (0 = only on demand).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.config.checkpoint_every = every;
+        self
+    }
+
+    /// Toggles lockstep (Definition 2) verification of every commit.
+    pub fn lockstep_verify(mut self, on: bool) -> Self {
+        self.config.lockstep_verify = on;
+        self
+    }
+
+    /// Commit attempts before a conflicted snapshot gives up.
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.config.max_attempts = attempts;
+        self
+    }
+
+    /// Base conflict backoff in microseconds.
+    pub fn backoff_micros(mut self, micros: u64) -> Self {
+        self.config.backoff_micros = micros;
+        self
+    }
+
+    /// Observation session for spans and counters.
+    pub fn obs(mut self, obs: Observer) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Number of commit lanes (each needs its own WAL device).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Per-lane admission bound before submits are shed.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Most transactions per group commit.
+    pub fn max_batch(mut self, batch: usize) -> Self {
+        self.config.max_batch = batch;
+        self
+    }
+
+    /// Validates and yields the config.
+    pub fn build(self) -> Result<ServiceConfig, ServerError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// The durable bytes a crash leaves behind: prefixes of the append-only
+/// devices.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DurableImage {
-    /// The write-ahead log of committed conceptual deltas.
+    /// Shard 0's write-ahead log of committed conceptual deltas (for a
+    /// single-sharded service, *the* WAL).
     pub wal: Vec<u8>,
     /// The appended-checkpoint stream.
     pub checkpoint: Vec<u8>,
+    /// The write-ahead logs of shards 1… (empty when single-sharded).
+    pub shard_wals: Vec<Vec<u8>>,
+}
+
+impl DurableImage {
+    /// All shard WALs in shard order (shard 0 first).
+    pub fn wals(&self) -> impl Iterator<Item = &[u8]> {
+        std::iter::once(self.wal.as_slice()).chain(self.shard_wals.iter().map(Vec::as_slice))
+    }
 }
 
 /// What recovery found and did.
@@ -123,7 +277,8 @@ pub struct RecoveryReport {
     pub checkpoint_lsn: u64,
     /// Committed transactions replayed on top of the checkpoint.
     pub replayed: usize,
-    /// The torn/corrupt WAL tail that was truncated, if any.
+    /// The first torn/corrupt WAL tail that was truncated, if any
+    /// (sharded recovery checks every shard's log, lowest shard first).
     pub wal_tail: Option<WalError>,
     /// The torn checkpoint tail that was skipped, if any.
     pub checkpoint_tail: Option<WalError>,
@@ -153,6 +308,52 @@ pub struct CommitInfo {
     pub trace: TraceId,
 }
 
+/// How a submission ended, when it did not end in an error: committed
+/// (possibly after conflict retries), or shed at admission because the
+/// target commit lane was full. Shedding is backpressure, not failure —
+/// nothing was enqueued, and the client decides whether to retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Committed on the first attempt.
+    Committed(CommitInfo),
+    /// Committed after `retries` conflict rebases.
+    Retried {
+        /// The commit that finally stuck.
+        info: CommitInfo,
+        /// How many attempts were refused before it (= attempts - 1).
+        retries: u32,
+    },
+    /// Shed at admission: the home lane's queue was at capacity.
+    Shed {
+        /// The lane that refused the transaction.
+        shard: usize,
+        /// The queue depth observed at refusal.
+        depth: usize,
+    },
+}
+
+impl CommitOutcome {
+    /// The commit info, unless the submission was shed.
+    pub fn info(&self) -> Option<CommitInfo> {
+        match self {
+            CommitOutcome::Committed(info) | CommitOutcome::Retried { info, .. } => Some(*info),
+            CommitOutcome::Shed { .. } => None,
+        }
+    }
+
+    /// Whether the submission was shed under load.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, CommitOutcome::Shed { .. })
+    }
+
+    /// Unwraps the commit info; panics if the submission was shed.
+    /// Intended for tests and single-client tools where shedding is
+    /// impossible by construction.
+    pub fn expect_commit(self) -> CommitInfo {
+        self.info().expect("submission was shed under load")
+    }
+}
+
 pub(crate) struct Request {
     id: u64,
     trace: TraceId,
@@ -168,6 +369,19 @@ pub(crate) enum Outcome {
     Aborted(String),
     Lockstep(String),
     Crashed(String),
+    Shed { shard: usize, depth: usize },
+}
+
+/// A validated transaction awaiting its journal write.
+struct StagedTxn {
+    id: u64,
+    lsn: u64,
+    version: u64,
+    trace: TraceId,
+    enqueued: std::time::Instant,
+    payload: Vec<u8>,
+    ops: Vec<GraphOp>,
+    shards: BTreeSet<usize>,
 }
 
 struct Core {
@@ -177,7 +391,6 @@ struct Core {
     next_lsn: u64,
     commits_since_checkpoint: u64,
     history: Vec<CommittedTxn>,
-    wal: Box<dyn LogDevice>,
     checkpoints: Box<dyn LogDevice>,
     crashed: Option<String>,
 }
@@ -189,14 +402,44 @@ struct QueueInner {
     next_id: u64,
 }
 
-pub(crate) struct Shared {
-    core: Mutex<Core>,
+/// One shard's commit lane: an admission queue with its own leader
+/// election, and the shard's WAL device.
+struct Lane {
     queue: Mutex<QueueInner>,
     cv: Condvar,
+    wal: Mutex<Box<dyn LogDevice>>,
+}
+
+impl Lane {
+    fn over(device: Box<dyn LogDevice>) -> Lane {
+        Lane {
+            queue: Mutex::new(QueueInner {
+                pending: VecDeque::new(),
+                results: BTreeMap::new(),
+                leader: false,
+                next_id: 0,
+            }),
+            cv: Condvar::new(),
+            wal: Mutex::new(device),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    core: Mutex<Core>,
+    lanes: Vec<Lane>,
+    /// The conceptual schema, cached so shard routing never takes the
+    /// core lock.
+    schema: Arc<GraphSchema>,
     pub(crate) config: ServiceConfig,
     pub(crate) open_sessions: AtomicU64,
     next_session: AtomicU64,
     next_txn: AtomicU64,
+    /// Sessions owned by the wire front door, keyed by id. A request
+    /// *takes the session out* for its duration and puts it back, so
+    /// concurrent requests against one session see `UnknownSession`
+    /// rather than interleaving. Sessions stay here until `Close`.
+    pub(crate) registry: Mutex<BTreeMap<u64, Session>>,
 }
 
 /// The concurrent multi-model session service. Cheap to clone; clones
@@ -211,18 +454,21 @@ impl std::fmt::Debug for SessionService {
         let core = self.shared.core.lock().unwrap();
         write!(
             f,
-            "SessionService(version {}, {} views, {} committed)",
+            "SessionService(version {}, {} views, {} committed, {} shards)",
             core.version,
             core.views.len(),
-            core.history.len()
+            core.history.len(),
+            self.shared.lanes.len()
         )
     }
 }
 
 impl SessionService {
-    /// Boots a fresh service over `initial`, serving `views`, logging to
-    /// the given devices. Writes an initial checkpoint so the durable
-    /// image is self-contained from the first commit on.
+    /// Boots a fresh single-sharded service over `initial`, serving
+    /// `views`, logging to the given devices. Writes an initial
+    /// checkpoint so the durable image is self-contained from the first
+    /// commit on. Requires `config.shards == 1`; use
+    /// [`SessionService::new_sharded`] for more lanes.
     pub fn new(
         initial: GraphState,
         views: Vec<ViewSpec>,
@@ -230,11 +476,32 @@ impl SessionService {
         wal_device: Box<dyn LogDevice>,
         checkpoint_device: Box<dyn LogDevice>,
     ) -> Result<Self, ServerError> {
+        Self::new_sharded(initial, views, config, vec![wal_device], checkpoint_device)
+    }
+
+    /// Boots a fresh service with one WAL device per commit lane
+    /// (`wal_devices.len()` must equal `config.shards`).
+    pub fn new_sharded(
+        initial: GraphState,
+        views: Vec<ViewSpec>,
+        config: ServiceConfig,
+        wal_devices: Vec<Box<dyn LogDevice>>,
+        checkpoint_device: Box<dyn LogDevice>,
+    ) -> Result<Self, ServerError> {
+        config.validate()?;
+        if wal_devices.len() != config.shards {
+            return Err(ServerError::InvalidConfig(format!(
+                "{} WAL devices for {} shards",
+                wal_devices.len(),
+                config.shards
+            )));
+        }
         let mut materialized = BTreeMap::new();
         for spec in views {
             let view = ExternalView::materialize(&spec.name, spec.schema, &initial, spec.mode)?;
             materialized.insert(spec.name, view);
         }
+        let schema = Arc::clone(initial.schema());
         let core = Core {
             conceptual: initial,
             views: materialized,
@@ -242,34 +509,36 @@ impl SessionService {
             next_lsn: 1,
             commits_since_checkpoint: 0,
             history: Vec::new(),
-            wal: wal_device,
             checkpoints: checkpoint_device,
             crashed: None,
         };
-        let service = SessionService {
-            shared: Arc::new(Shared {
-                core: Mutex::new(core),
-                queue: Mutex::new(QueueInner {
-                    pending: VecDeque::new(),
-                    results: BTreeMap::new(),
-                    leader: false,
-                    next_id: 0,
-                }),
-                cv: Condvar::new(),
-                config,
-                open_sessions: AtomicU64::new(0),
-                next_session: AtomicU64::new(0),
-                next_txn: AtomicU64::new(0),
-            }),
-        };
+        let service = Self::assemble(core, schema, config, wal_devices);
         service.checkpoint_now()?;
         Ok(service)
     }
 
-    /// Rebuilds a service from the durable image a crash left behind:
-    /// decode the latest complete checkpoint, fold the clean prefix of
-    /// logged deltas over it (truncating any torn tail), re-materialize
-    /// every view, and resume accepting sessions.
+    fn assemble(
+        core: Core,
+        schema: Arc<GraphSchema>,
+        config: ServiceConfig,
+        wal_devices: Vec<Box<dyn LogDevice>>,
+    ) -> Self {
+        SessionService {
+            shared: Arc::new(Shared {
+                core: Mutex::new(core),
+                lanes: wal_devices.into_iter().map(Lane::over).collect(),
+                schema,
+                config,
+                open_sessions: AtomicU64::new(0),
+                next_session: AtomicU64::new(0),
+                next_txn: AtomicU64::new(0),
+                registry: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Rebuilds a single-sharded service from the durable image a crash
+    /// left behind. See [`SessionService::recover_sharded`].
     pub fn recover(
         schema: Arc<GraphSchema>,
         image: &DurableImage,
@@ -278,14 +547,61 @@ impl SessionService {
         wal_device: Box<dyn LogDevice>,
         checkpoint_device: Box<dyn LogDevice>,
     ) -> Result<(Self, RecoveryReport), ServerError> {
+        Self::recover_sharded(
+            schema,
+            image,
+            views,
+            config,
+            vec![wal_device],
+            checkpoint_device,
+        )
+    }
+
+    /// Rebuilds a service from the durable image a crash left behind:
+    /// decode the latest complete checkpoint, merge every shard log's
+    /// clean prefix by LSN (deduplicating cross-shard frames, which are
+    /// journaled on every shard they touch), fold the deltas over the
+    /// checkpoint, re-materialize every view, and resume. Gaps in the
+    /// merged LSN sequence are tolerated — they can only separate
+    /// independent transactions (dependent ones share a shard, where
+    /// prefix order is strict).
+    pub fn recover_sharded(
+        schema: Arc<GraphSchema>,
+        image: &DurableImage,
+        views: Vec<ViewSpec>,
+        config: ServiceConfig,
+        wal_devices: Vec<Box<dyn LogDevice>>,
+        checkpoint_device: Box<dyn LogDevice>,
+    ) -> Result<(Self, RecoveryReport), ServerError> {
+        config.validate()?;
+        if wal_devices.len() != config.shards {
+            return Err(ServerError::InvalidConfig(format!(
+                "{} WAL devices for {} shards",
+                wal_devices.len(),
+                config.shards
+            )));
+        }
         let obs = config.obs.clone();
         let _span = obs.span("server/recover");
         let (cp, checkpoint_tail) = wal::latest_checkpoint(&image.checkpoint);
         let cp = cp.ok_or_else(|| {
             ServerError::Recovery("no complete checkpoint in the durable image".into())
         })?;
-        let mut state = codec::decode_state(schema, &cp.payload)?;
-        let (records, wal_tail) = wal::replay_tolerant(&image.wal);
+        let mut state = codec::decode_state(Arc::clone(&schema), &cp.payload)?;
+        // Merge the shard logs: collect each clean prefix, sort by LSN,
+        // drop duplicates (cross-shard frames) and anything the
+        // checkpoint already covers.
+        let mut records = Vec::new();
+        let mut wal_tail = None;
+        for bytes in image.wals() {
+            let (rs, tail) = wal::replay_tolerant(bytes);
+            if wal_tail.is_none() {
+                wal_tail = tail;
+            }
+            records.extend(rs);
+        }
+        records.sort_by_key(|r| r.lsn);
+        records.dedup_by_key(|r| r.lsn);
         let mut replayed = 0;
         let mut next_lsn = cp.lsn + 1;
         for r in &records {
@@ -322,26 +638,10 @@ impl SessionService {
             next_lsn,
             commits_since_checkpoint: 0,
             history: Vec::new(),
-            wal: wal_device,
             checkpoints: checkpoint_device,
             crashed: None,
         };
-        let service = SessionService {
-            shared: Arc::new(Shared {
-                core: Mutex::new(core),
-                queue: Mutex::new(QueueInner {
-                    pending: VecDeque::new(),
-                    results: BTreeMap::new(),
-                    leader: false,
-                    next_id: 0,
-                }),
-                cv: Condvar::new(),
-                config,
-                open_sessions: AtomicU64::new(0),
-                next_session: AtomicU64::new(0),
-                next_txn: AtomicU64::new(0),
-            }),
-        };
+        let service = Self::assemble(core, schema, config, wal_devices);
         // Re-anchor durability: the recovered state becomes the new
         // checkpoint, so the (possibly torn) old devices are no longer
         // load-bearing.
@@ -386,6 +686,21 @@ impl SessionService {
         self.shared.open_sessions.load(Ordering::Relaxed)
     }
 
+    /// Number of commit lanes (shards).
+    pub fn shards(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// The configuration the service was booted with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// The conceptual schema the service runs over.
+    pub fn schema(&self) -> &Arc<GraphSchema> {
+        &self.shared.schema
+    }
+
     /// The current database version (one bump per commit).
     pub fn version(&self) -> u64 {
         self.shared.core.lock().unwrap().version
@@ -409,7 +724,14 @@ impl SessionService {
 
     /// Names of the views the service serves.
     pub fn view_names(&self) -> Vec<String> {
-        self.shared.core.lock().unwrap().views.keys().cloned().collect()
+        self.shared
+            .core
+            .lock()
+            .unwrap()
+            .views
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// A fresh snapshot pair for a relational session rebasing after a
@@ -429,26 +751,40 @@ impl SessionService {
         ))
     }
 
-    /// The committed schedule so far, in commit order — what the
+    /// The committed schedule so far, in commit (LSN) order — what the
     /// conformance oracle replays sequentially.
     pub fn committed_history(&self) -> Vec<CommittedTxn> {
         self.shared.core.lock().unwrap().history.clone()
     }
 
     /// The durable bytes so far (what a crash at this instant would
-    /// leave, assuming the tail survived).
+    /// leave, assuming the tails survived).
     pub fn durable_image(&self) -> DurableImage {
+        // Lock order: core, then WAL locks ascending — the same total
+        // order the commit path uses.
         let core = self.shared.core.lock().unwrap();
+        let mut wals: Vec<Vec<u8>> = self
+            .shared
+            .lanes
+            .iter()
+            .map(|l| l.wal.lock().unwrap().contents())
+            .collect();
+        let wal = wals.remove(0);
         DurableImage {
-            wal: core.wal.contents(),
+            wal,
             checkpoint: core.checkpoints.contents(),
+            shard_wals: wals,
         }
     }
 
-    /// Syncs performed by the WAL device (the group-commit economy
+    /// Syncs performed across all WAL devices (the group-commit economy
     /// measure).
     pub fn wal_syncs(&self) -> u64 {
-        self.shared.core.lock().unwrap().wal.syncs()
+        self.shared
+            .lanes
+            .iter()
+            .map(|l| l.wal.lock().unwrap().syncs())
+            .sum()
     }
 
     /// Takes a checkpoint now: appends a full conceptual image to the
@@ -468,22 +804,33 @@ impl SessionService {
         TraceId::derive(self.shared.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Serves an admin request: a rendering of the service's telemetry
-    /// (counters + latency histograms) outside the transactional data
-    /// path. Works even after a crash — the black box must stay
-    /// readable.
-    pub fn admin(&self, request: codec::AdminRequest) -> String {
+    /// Renders the service's telemetry (counters + latency histograms)
+    /// outside the transactional data path. Works even after a crash —
+    /// the black box must stay readable.
+    pub(crate) fn render_metrics(&self, json: bool) -> String {
         let obs = &self.shared.config.obs;
-        match request {
-            codec::AdminRequest::MetricsText => dme_obs::prometheus_text(obs),
-            codec::AdminRequest::MetricsJson => dme_obs::json_snapshot(obs),
+        if json {
+            dme_obs::json_snapshot(obs)
+        } else {
+            dme_obs::prometheus_text(obs)
         }
     }
 
-    /// Serves an admin request from its wire encoding (the byte form
-    /// clients put on the control channel).
+    /// Serves a legacy admin request.
+    #[deprecated(
+        note = "speak the typed wire API: SessionService::handle with wire::Request::Metrics"
+    )]
+    pub fn admin(&self, request: codec::AdminRequest) -> String {
+        self.render_metrics(matches!(request, codec::AdminRequest::MetricsJson))
+    }
+
+    /// Serves a legacy admin request from its wire encoding.
+    #[deprecated(
+        note = "speak the typed wire API: SessionService::handle_frame with a wire::Request frame"
+    )]
     pub fn admin_bytes(&self, bytes: &[u8]) -> Result<String, ServerError> {
-        Ok(self.admin(codec::AdminRequest::decode(bytes)?))
+        let request = codec::AdminRequest::decode(bytes)?;
+        Ok(self.render_metrics(matches!(request, codec::AdminRequest::MetricsJson)))
     }
 
     fn take_checkpoint(
@@ -497,7 +844,10 @@ impl SessionService {
         let payload = codec::encode_state(&core.conceptual);
         let mut buf = Vec::new();
         wal::append_record_traced(&mut buf, lsn, trace.map(TraceId::as_u64), &payload);
-        let result = core.checkpoints.append(&buf).and_then(|_| core.checkpoints.sync());
+        let result = core
+            .checkpoints
+            .append(&buf)
+            .and_then(|_| core.checkpoints.sync());
         match result {
             Ok(()) => {
                 core.commits_since_checkpoint = 0;
@@ -514,17 +864,30 @@ impl SessionService {
         }
     }
 
-    /// Enqueues a transaction and drives the commit protocol until its
-    /// outcome is known. The calling thread may end up acting as the
-    /// batch leader for its own and other sessions' transactions.
+    /// Routes a transaction to its home commit lane and drives the
+    /// protocol until its outcome is known. The calling thread may end
+    /// up acting as the lane's batch leader for its own and other
+    /// sessions' transactions. A full lane sheds immediately.
     pub(crate) fn submit(
         &self,
         gops: Vec<GraphOp>,
         base_version: Option<u64>,
         trace: TraceId,
     ) -> Outcome {
+        let config = &self.shared.config;
+        let shard = shard::home_shard(&self.shared.schema, &gops, config.shards);
+        let lane = &self.shared.lanes[shard];
         let id = {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lane.queue.lock().unwrap();
+            if q.pending.len() >= config.queue_depth {
+                let depth = q.pending.len();
+                drop(q);
+                config.obs.add(Counter::RequestsShed, 1);
+                config.obs.trace_event("server/shed", trace, || {
+                    format!("shard {shard} depth {depth}")
+                });
+                return Outcome::Shed { shard, depth };
+            }
             let id = q.next_id;
             q.next_id += 1;
             q.pending.push_back(Request {
@@ -534,39 +897,40 @@ impl SessionService {
                 gops,
                 base_version,
             });
-            self.shared.cv.notify_all();
+            lane.cv.notify_all();
             id
         };
         loop {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lane.queue.lock().unwrap();
             if let Some(out) = q.results.remove(&id) {
                 return out;
             }
             if !q.leader && !q.pending.is_empty() {
                 q.leader = true;
-                let batch: Vec<Request> = match self.shared.config.commit_mode {
-                    CommitMode::Group => q.pending.drain(..).collect(),
-                    CommitMode::PerOp => {
-                        vec![q.pending.pop_front().expect("queue is nonempty")]
-                    }
+                let take = match config.commit_mode {
+                    CommitMode::Group => config.max_batch.min(q.pending.len()),
+                    CommitMode::PerOp => 1,
                 };
+                let batch: Vec<Request> = q.pending.drain(..take).collect();
                 drop(q);
                 let outcomes = self.commit_batch(batch);
-                let mut q = self.shared.queue.lock().unwrap();
+                let mut q = lane.queue.lock().unwrap();
                 q.leader = false;
                 for (rid, out) in outcomes {
                     q.results.insert(rid, out);
                 }
-                self.shared.cv.notify_all();
+                lane.cv.notify_all();
             } else {
-                drop(self.shared.cv.wait(q).unwrap());
+                drop(lane.cv.wait(q).unwrap());
             }
         }
     }
 
     /// Validates, applies and logs a batch: conflicts and aborts are
-    /// decided per transaction against the evolving state; survivors
-    /// share one WAL append + sync.
+    /// decided per transaction against the evolving state under the
+    /// core lock; survivors share one WAL append + sync per involved
+    /// shard, performed with the core lock released so other lanes'
+    /// syncs overlap.
     fn commit_batch(&self, batch: Vec<Request>) -> Vec<(u64, Outcome)> {
         let config = &self.shared.config;
         let obs = &config.obs;
@@ -579,7 +943,7 @@ impl SessionService {
             }
             return outcomes;
         }
-        let mut staged: Vec<Staged> = Vec::new();
+        let mut staged: Vec<StagedTxn> = Vec::new();
         for req in batch {
             if let Some(bv) = req.base_version {
                 if bv != core.version {
@@ -589,32 +953,47 @@ impl SessionService {
                     continue;
                 }
             }
-            let before = core.conceptual.clone();
-            let after = match GraphOp::apply_all(&req.gops, &before) {
-                Ok(after) => after,
-                Err(e) => {
-                    obs.add(Counter::TxnsAborted, 1);
-                    outcomes.push((req.id, Outcome::Aborted(e.to_string())));
-                    continue;
-                }
-            };
+            // Advance the views against the pre-state first — operation
+            // translation only needs the state the ops depart from — so
+            // the conceptual apply can then run in place, O(delta),
+            // without cloning the whole state per transaction.
             let verify_timer = obs.time(Metric::VerifyLatency);
             let mut advanced = Vec::with_capacity(core.views.len());
             let mut failure: Option<Outcome> = None;
             for (name, view) in &core.views {
                 let mut v = view.clone();
-                if let Err(e) = v.apply_conceptual(&req.gops, &before) {
+                if let Err(e) = v.apply_conceptual(&req.gops, &core.conceptual) {
                     failure = Some(Outcome::Aborted(format!("view {name}: {e}")));
-                    break;
-                }
-                if config.lockstep_verify && !v.consistent_with(&after) {
-                    failure = Some(Outcome::Lockstep(name.clone()));
                     break;
                 }
                 advanced.push((name.clone(), v));
             }
+            if let Some(out) = failure {
+                drop(verify_timer);
+                obs.add(Counter::TxnsAborted, 1);
+                outcomes.push((req.id, out));
+                continue;
+            }
+            let txn = match GraphOp::apply_all_delta(&req.gops, &mut core.conceptual) {
+                Ok(txn) => txn,
+                Err(e) => {
+                    drop(verify_timer);
+                    obs.add(Counter::TxnsAborted, 1);
+                    outcomes.push((req.id, Outcome::Aborted(e.to_string())));
+                    continue;
+                }
+            };
+            if config.lockstep_verify {
+                for (name, v) in &advanced {
+                    if !v.consistent_with(&core.conceptual) {
+                        failure = Some(Outcome::Lockstep(name.clone()));
+                        break;
+                    }
+                }
+            }
             drop(verify_timer);
             if let Some(out) = failure {
+                GraphOp::undo_txn(&mut core.conceptual, txn);
                 obs.add(Counter::TxnsAborted, 1);
                 outcomes.push((req.id, out));
                 continue;
@@ -635,71 +1014,138 @@ impl SessionService {
                     core.views.len()
                 )
             });
+            let shards = shard::shard_set(&self.shared.schema, &req.gops, config.shards);
             let lsn = core.next_lsn;
             core.next_lsn += 1;
             core.version += 1;
-            let payload = codec::encode_delta(&before, &after);
-            core.conceptual = after;
+            let payload = codec::encode_changes(txn.changes());
             for (name, v) in advanced {
                 core.views.insert(name, v);
             }
-            staged.push((
-                req.id,
+            staged.push(StagedTxn {
+                id: req.id,
                 lsn,
-                core.version,
-                req.trace,
-                req.enqueued,
+                version: core.version,
+                trace: req.trace,
+                enqueued: req.enqueued,
                 payload,
-                req.gops,
-            ));
+                ops: req.gops,
+                shards,
+            });
         }
         if staged.is_empty() {
             return outcomes;
         }
-        let group_timer = obs.time(Metric::GroupCommitLatency);
-        let mut buf = Vec::new();
-        for (_, lsn, _, trace, _, payload, _) in &staged {
-            wal::append_record_traced(&mut buf, *lsn, Some(trace.as_u64()), payload);
+        // Build each involved shard's journal bytes in LSN order; a
+        // cross-shard transaction's frame goes to every shard it
+        // touches (recovery dedupes by LSN).
+        let involved: BTreeSet<usize> = staged
+            .iter()
+            .flat_map(|s| s.shards.iter().copied())
+            .collect();
+        let cross = staged.iter().filter(|s| s.shards.len() > 1).count() as u64;
+        let mut bufs: BTreeMap<usize, Vec<u8>> =
+            involved.iter().map(|&s| (s, Vec::new())).collect();
+        let mut frames = 0u64;
+        for st in &staged {
+            let mut frame = Vec::new();
+            wal::append_record_traced(&mut frame, st.lsn, Some(st.trace.as_u64()), &st.payload);
+            for &s in &st.shards {
+                bufs.get_mut(&s)
+                    .expect("buffer per involved shard")
+                    .extend_from_slice(&frame);
+                frames += 1;
+            }
         }
+        let group_timer = obs.time(Metric::GroupCommitLatency);
+        // Acquire involved WAL locks in ascending shard order while the
+        // core lock is still held (serializing acquisition keeps every
+        // shard's log in LSN order), then release the core so other
+        // lanes validate and sync concurrently.
+        let mut guards: Vec<_> = involved
+            .iter()
+            .map(|&s| (s, self.shared.lanes[s].wal.lock().unwrap()))
+            .collect();
+        drop(core);
         let sync_timer = obs.time(Metric::WalSyncLatency);
-        let result = core.wal.append(&buf).and_then(|_| core.wal.sync());
+        let mut failure: Option<DeviceError> = None;
+        // Sync in ascending shard order, releasing each shard's WAL
+        // lock as soon as its bytes are durable: a cross-shard batch
+        // must not keep shard k's log locked while shard j < k is
+        // still syncing, or disjoint batches on other lanes serialize
+        // behind it.
+        for (s, mut device) in guards.drain(..) {
+            let result = device.append(&bufs[&s]).and_then(|_| device.sync());
+            drop(device);
+            if let Err(e) = result {
+                failure = Some(e);
+                break;
+            }
+        }
         drop(sync_timer);
         drop(group_timer);
-        match result {
-            Ok(()) => {
+        // Release every WAL lock *before* re-acquiring the core lock:
+        // a thread holding WAL locks must never wait on the core, or
+        // the lock order above would inverse into a deadlock.
+        drop(guards);
+        let mut core = self.shared.core.lock().unwrap();
+        match failure {
+            None => {
                 obs.add(Counter::GroupCommits, 1);
-                obs.add(Counter::WalRecordsAppended, staged.len() as u64);
+                obs.add(Counter::WalRecordsAppended, frames);
                 obs.add(Counter::TxnsCommitted, staged.len() as u64);
+                if cross > 0 {
+                    obs.add(Counter::CrossShardCommits, cross);
+                }
                 core.commits_since_checkpoint += staged.len() as u64;
                 let batch_size = staged.len();
-                let last_trace = staged.last().map(|s| s.3);
-                for (rid, lsn, version, trace, enqueued, _, ops) in staged {
-                    obs.trace_event("server/group_commit", trace, || {
+                let last_trace = staged.last().map(|s| s.trace);
+                // The batch's LSN range is contiguous and disjoint from
+                // every other batch's, so one splice keeps the history
+                // sorted even when lanes finish out of LSN order.
+                let first_lsn = staged[0].lsn;
+                let at = core.history.partition_point(|t| t.lsn < first_lsn);
+                let mut committed = Vec::with_capacity(batch_size);
+                for st in staged {
+                    obs.trace_event("server/group_commit", st.trace, || {
                         format!("batch={batch_size}")
                     });
-                    obs.trace_event("server/wal_append", trace, || format!("lsn {lsn}"));
+                    obs.trace_event("server/wal_append", st.trace, || format!("lsn {}", st.lsn));
                     obs.record(
                         Metric::CommitLatency,
-                        enqueued.elapsed().as_micros() as u64,
+                        st.enqueued.elapsed().as_micros() as u64,
                     );
-                    core.history.push(CommittedTxn { lsn, ops });
-                    outcomes.push((rid, Outcome::Committed { lsn, version }));
+                    committed.push(CommittedTxn {
+                        lsn: st.lsn,
+                        ops: st.ops,
+                    });
+                    outcomes.push((
+                        st.id,
+                        Outcome::Committed {
+                            lsn: st.lsn,
+                            version: st.version,
+                        },
+                    ));
                 }
+                core.history.splice(at..at, committed);
                 if config.checkpoint_every > 0
                     && core.commits_since_checkpoint >= config.checkpoint_every
                 {
                     // A failed checkpoint marks the service crashed; the
-                    // commits above are already durable in the WAL.
+                    // commits above are already durable in the WALs.
                     let _ = Self::take_checkpoint(config, &mut core, last_trace);
                 }
             }
-            Err(e) => {
-                // Log-before-acknowledge: the WAL write failed, so no
-                // commit is acknowledged and the service stops. The
-                // in-memory state is tainted; only the image matters.
+            Some(e) => {
+                // Log-before-acknowledge: a WAL write failed, so none of
+                // these commits is acknowledged and the service stops.
+                // The in-memory state is tainted; only the image
+                // matters. (Shards that synced before the failure keep
+                // their frames — recovery may resurrect those
+                // unacknowledged transactions, never lose acked ones.)
                 core.crashed = Some(e.to_string());
-                for (rid, ..) in staged {
-                    outcomes.push((rid, Outcome::Crashed(e.to_string())));
+                for st in staged {
+                    outcomes.push((st.id, Outcome::Crashed(e.to_string())));
                 }
             }
         }

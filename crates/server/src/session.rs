@@ -16,7 +16,7 @@ use dme_graph::{GraphOp, GraphState};
 use dme_relation::{RelOp, RelationState};
 
 use crate::error::ServerError;
-use crate::service::{CommitInfo, Outcome, SessionService};
+use crate::service::{CommitInfo, CommitOutcome, Outcome, SessionService};
 
 /// Which model a session speaks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,8 +83,11 @@ impl Session {
     }
 
     /// Submits conceptual operations as one transaction (graph sessions
-    /// only).
-    pub fn submit_graph(&mut self, gops: Vec<GraphOp>) -> Result<CommitInfo, ServerError> {
+    /// only). `Ok` does not always mean committed: under load the home
+    /// commit lane may refuse admission, yielding
+    /// [`CommitOutcome::Shed`] — typed backpressure the client decides
+    /// how to absorb.
+    pub fn submit_graph(&mut self, gops: Vec<GraphOp>) -> Result<CommitOutcome, ServerError> {
         self.ensure_open()?;
         if self.kind != SessionKind::Graph {
             return Err(ServerError::Translate(
@@ -98,12 +101,13 @@ impl Session {
             format!("session {session_id} model=graph ops={}", gops.len())
         });
         match self.service.submit(gops, None, trace) {
-            Outcome::Committed { lsn, version } => Ok(CommitInfo {
+            Outcome::Committed { lsn, version } => Ok(CommitOutcome::Committed(CommitInfo {
                 lsn,
                 version,
                 attempts: 1,
                 trace,
-            }),
+            })),
+            Outcome::Shed { shard, depth } => Ok(CommitOutcome::Shed { shard, depth }),
             Outcome::Aborted(why) => Err(ServerError::Aborted(why)),
             Outcome::Conflict => unreachable!("graph commits carry no base version"),
             Outcome::Lockstep(view) => Err(ServerError::LockstepDiverged { view }),
@@ -114,8 +118,12 @@ impl Session {
     /// Submits one relational operation as a transaction (relational
     /// sessions only): translate against the snapshot, commit with the
     /// snapshot's base version, and on conflict rebase + retry with
-    /// exponential backoff up to the configured attempt budget.
-    pub fn submit_relational(&mut self, op: &RelOp) -> Result<CommitInfo, ServerError> {
+    /// exponential backoff up to the configured attempt budget. A
+    /// commit that needed retries reports them via
+    /// [`CommitOutcome::Retried`]; an overloaded commit lane yields
+    /// [`CommitOutcome::Shed`] immediately (shedding is backpressure,
+    /// not a conflict — the retry loop does not spin on it).
+    pub fn submit_relational(&mut self, op: &RelOp) -> Result<CommitOutcome, ServerError> {
         self.ensure_open()?;
         let view_name = match &self.kind {
             SessionKind::Relational { view } => view.clone(),
@@ -153,13 +161,22 @@ impl Session {
                     // The snapshot is stale by exactly this commit (and
                     // possibly batch-mates): rebase onto the new state.
                     self.rebase(&view_name)?;
-                    return Ok(CommitInfo {
+                    let info = CommitInfo {
                         lsn,
                         version,
                         attempts: attempt,
                         trace,
+                    };
+                    return Ok(if attempt == 1 {
+                        CommitOutcome::Committed(info)
+                    } else {
+                        CommitOutcome::Retried {
+                            info,
+                            retries: attempt - 1,
+                        }
                     });
                 }
+                Outcome::Shed { shard, depth } => return Ok(CommitOutcome::Shed { shard, depth }),
                 Outcome::Conflict => {
                     if attempt < max_attempts && backoff_micros > 0 {
                         std::thread::sleep(Duration::from_micros(

@@ -1,0 +1,172 @@
+//! Hash-sharding of the conceptual write set.
+//!
+//! Every entity reference a transaction touches is hashed to a shard;
+//! the set of shards touched is the transaction's *shard set*. A
+//! transaction is routed to its lowest shard's commit lane (its *home*
+//! lane) and its WAL frame is journaled on **every** shard in the set,
+//! so each shard's log alone is a complete record of the transactions
+//! that touched it. Two dependent transactions (ones whose write sets
+//! overlap) necessarily share a shard, which is what makes per-shard
+//! prefix durability sufficient for recovery: a gap in the merged log
+//! can only separate independent transactions.
+//!
+//! Hashing is fnv-1a over the reference's type name and key atom, so
+//! placement is deterministic across runs and across processes — a
+//! requirement for the crash matrix and for conformance replay.
+
+use std::collections::BTreeSet;
+
+use dme_graph::{Association, Entity, EntityRef, GraphOp, GraphSchema};
+use dme_value::Atom;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn hash_atom(h: u64, atom: &Atom) -> u64 {
+    match atom {
+        Atom::Bool(b) => fnv1a(fnv1a(h, &[1]), &[*b as u8]),
+        Atom::Int(i) => fnv1a(fnv1a(h, &[2]), &i.to_be_bytes()),
+        Atom::Str(s) => fnv1a(fnv1a(h, &[3]), s.as_bytes()),
+    }
+}
+
+/// The shard an entity reference lives on, out of `shards`.
+pub fn shard_of(r: &EntityRef, shards: usize) -> usize {
+    let h = fnv1a(FNV_OFFSET, r.entity_type.as_str().as_bytes());
+    let h = hash_atom(fnv1a(h, &[0xff]), &r.key);
+    (h % shards.max(1) as u64) as usize
+}
+
+fn collect_entity(schema: &GraphSchema, e: &Entity, out: &mut BTreeSet<EntityRef>) {
+    if let Some(r) = e.to_ref(schema) {
+        out.insert(r);
+    }
+}
+
+fn collect_assoc(a: &Association, out: &mut BTreeSet<EntityRef>) {
+    for r in a.roles.values() {
+        out.insert(r.clone());
+    }
+}
+
+/// Every entity reference a conceptual operation touches (its write
+/// set, as far as placement is concerned).
+pub fn refs_of(schema: &GraphSchema, op: &GraphOp) -> BTreeSet<EntityRef> {
+    let mut out = BTreeSet::new();
+    match op {
+        GraphOp::InsertEntity(e) => collect_entity(schema, e, &mut out),
+        GraphOp::DeleteEntity(r) => {
+            out.insert(r.clone());
+        }
+        GraphOp::InsertAssociation(a) | GraphOp::DeleteAssociation(a) => collect_assoc(a, &mut out),
+        GraphOp::InsertUnit(u) | GraphOp::DeleteUnit(u) => {
+            for e in &u.entities {
+                collect_entity(schema, e, &mut out);
+            }
+            for a in &u.associations {
+                collect_assoc(a, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// The shard set of a transaction's operations. Empty write sets (a
+/// transaction of zero operations) land on shard 0 so every transaction
+/// has a home lane.
+pub fn shard_set(schema: &GraphSchema, ops: &[GraphOp], shards: usize) -> BTreeSet<usize> {
+    let mut set = BTreeSet::new();
+    for op in ops {
+        for r in refs_of(schema, op) {
+            set.insert(shard_of(&r, shards));
+        }
+    }
+    if set.is_empty() {
+        set.insert(0);
+    }
+    set
+}
+
+/// The commit lane a transaction is routed to: the lowest shard in its
+/// shard set (deterministic, so retries of the same transaction queue
+/// on the same lane).
+pub fn home_shard(schema: &GraphSchema, ops: &[GraphOp], shards: usize) -> usize {
+    *shard_set(schema, ops, shards)
+        .iter()
+        .next()
+        .expect("shard sets are never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_graph::fixtures as gfix;
+    use dme_value::Atom;
+
+    fn emp(name: &str) -> EntityRef {
+        EntityRef::new("employee", Atom::str(name))
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spread() {
+        let a = shard_of(&emp("T.Manhart"), 4);
+        assert_eq!(a, shard_of(&emp("T.Manhart"), 4));
+        let used: BTreeSet<usize> = (0..64)
+            .map(|i| shard_of(&emp(&format!("worker-{i}")), 4))
+            .collect();
+        assert!(used.len() > 1, "64 keys all hashed to one of 4 shards");
+    }
+
+    #[test]
+    fn single_shard_collapses_everything() {
+        assert_eq!(shard_of(&emp("anyone"), 1), 0);
+        let g = gfix::figure4_state();
+        let ops = vec![GraphOp::DeleteEntity(emp("T.Manhart"))];
+        assert_eq!(shard_set(g.schema(), &ops, 1), BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn dependent_transactions_share_a_shard() {
+        // Two transactions touching the same entity land its shard in
+        // both shard sets, whatever else they touch.
+        let g = gfix::figure4_state();
+        let schema = g.schema();
+        let shared = emp("C.Gershag");
+        let t1 = vec![GraphOp::DeleteEntity(shared.clone())];
+        let t2 = vec![
+            GraphOp::DeleteEntity(emp("G.Wayshum")),
+            GraphOp::DeleteEntity(shared.clone()),
+        ];
+        let s = shard_of(&shared, 8);
+        assert!(shard_set(schema, &t1, 8).contains(&s));
+        assert!(shard_set(schema, &t2, 8).contains(&s));
+    }
+
+    #[test]
+    fn associations_and_units_contribute_their_participants() {
+        let g = gfix::figure4_state();
+        let schema = g.schema();
+        let assoc = dme_graph::Association::new(
+            "supervise",
+            [("agent", emp("G.Wayshum")), ("object", emp("T.Manhart"))],
+        );
+        let set = shard_set(schema, &[GraphOp::InsertAssociation(assoc)], 16);
+        assert!(set.contains(&shard_of(&emp("G.Wayshum"), 16)));
+        assert!(set.contains(&shard_of(&emp("T.Manhart"), 16)));
+    }
+
+    #[test]
+    fn empty_transactions_are_homed_on_shard_zero() {
+        let g = gfix::figure4_state();
+        assert_eq!(home_shard(g.schema(), &[], 8), 0);
+    }
+}

@@ -127,8 +127,8 @@ impl UndoOp {
         if rest.len() < tuple_len {
             return Err(JournalError::Truncated { at });
         }
-        let tuple = decode_tuple(&rest[..tuple_len])
-            .map_err(|error| JournalError::Codec { at, error })?;
+        let tuple =
+            decode_tuple(&rest[..tuple_len]).map_err(|error| JournalError::Codec { at, error })?;
         let frame = 1 + 2 + name_len + 4 + tuple_len;
         let table = Symbol::new(table);
         let op = if kind == KIND_REMOVE {
@@ -182,7 +182,8 @@ impl Journal {
     /// is an undo about to be replayed, so the whole batch is charged to
     /// [`Counter::UndoReplays`] up front.
     pub fn drain_reverse(&mut self) -> impl Iterator<Item = UndoOp> + '_ {
-        self.obs.add(Counter::UndoReplays, self.entries.len() as u64);
+        self.obs
+            .add(Counter::UndoReplays, self.entries.len() as u64);
         self.entries.drain(..).rev()
     }
 

@@ -208,6 +208,15 @@ fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> 
     ))
 }
 
+/// Decodes the single frame starting at byte `at`, returning the record
+/// and its encoded frame length. This is the streaming entry point the
+/// network transport uses: a connection accumulates bytes and peels
+/// complete frames off the front, treating [`WalError::Truncated`] as
+/// "wait for more bytes" and every other error as a corrupt stream.
+pub fn decode_frame(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> {
+    decode_record(buf, at)
+}
+
 /// Strict replay: decodes every record or returns the typed error of
 /// the first frame that fails. Use this when the log is expected to be
 /// clean (e.g. after a graceful shutdown).
@@ -348,10 +357,7 @@ mod tests {
         let n = buf.len();
         buf[n - 1] ^= 0xFF; // flip a checksum byte of the last record
         let at = frame_len(5) + frame_len(0);
-        assert_eq!(
-            replay(&buf),
-            Err(WalError::BadChecksum { at, lsn: 3 })
-        );
+        assert_eq!(replay(&buf), Err(WalError::BadChecksum { at, lsn: 3 }));
         let (records, err) = replay_tolerant(&buf);
         assert_eq!(records.len(), 2);
         assert!(matches!(err, Some(WalError::BadChecksum { .. })));
@@ -361,7 +367,10 @@ mod tests {
     fn corrupt_payload_fails_checksum() {
         let mut buf = log3();
         buf[2 + 1 + 8 + 4] ^= 0x01; // first payload byte of record 1
-        assert!(matches!(replay(&buf), Err(WalError::BadChecksum { at: 0, .. })));
+        assert!(matches!(
+            replay(&buf),
+            Err(WalError::BadChecksum { at: 0, .. })
+        ));
         let (records, err) = replay_tolerant(&buf);
         assert!(records.is_empty());
         assert!(err.is_some());
@@ -379,10 +388,7 @@ mod tests {
         let mut buf = Vec::new();
         append_record(&mut buf, 1, b"x");
         buf[2] |= 0x80; // set a flag bit no decoder version knows
-        assert_eq!(
-            replay(&buf),
-            Err(WalError::BadFlags { at: 0, flags: 0x80 })
-        );
+        assert_eq!(replay(&buf), Err(WalError::BadFlags { at: 0, flags: 0x80 }));
         let (records, err) = replay_tolerant(&buf);
         assert!(records.is_empty());
         assert!(matches!(err, Some(WalError::BadFlags { .. })));

@@ -4,7 +4,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-
 use dme_value::{DomainCatalog, Symbol};
 
 /// A named, domain-typed attribute (column).

@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 use dme_value::{DomainCatalog, Symbol};
 
 /// A field of a record type.

@@ -13,7 +13,6 @@
 
 use std::fmt;
 
-
 /// A single atomic value.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Atom {

@@ -15,7 +15,6 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt;
 
-
 use crate::{Atom, Symbol, Value};
 
 /// How a domain constrains its members.

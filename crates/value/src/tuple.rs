@@ -16,7 +16,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Index;
 
-
 use crate::Value;
 
 /// A fixed-arity sequence of values; one statement of a relation.

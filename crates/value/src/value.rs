@@ -22,7 +22,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-
 use crate::Atom;
 
 /// A value appearing in a database state: either the distinguished null

@@ -523,17 +523,11 @@ pub fn supervision_closure_ops(cfg: ShopConfig, k: usize) -> Vec<GraphOp> {
                 [
                     (
                         "agent",
-                        EntityRef::new(
-                            "employee",
-                            dme_value::Atom::str(employee_name(2 * i)),
-                        ),
+                        EntityRef::new("employee", dme_value::Atom::str(employee_name(2 * i))),
                     ),
                     (
                         "object",
-                        EntityRef::new(
-                            "employee",
-                            dme_value::Atom::str(employee_name(2 * i + 1)),
-                        ),
+                        EntityRef::new("employee", dme_value::Atom::str(employee_name(2 * i + 1))),
                     ),
                 ],
             );
@@ -690,9 +684,8 @@ pub fn session_streams(cfg: ShopConfig, sessions: usize, ops_each: usize) -> Vec
                 let insert = rng.gen_range(0..2) == 0;
                 pairs.push((sup, sub, insert));
             }
-            let pair_names = |sup: usize, sub: usize| {
-                (p.employees[sup].0.clone(), p.employees[sub].0.clone())
-            };
+            let pair_names =
+                |sup: usize, sub: usize| (p.employees[sup].0.clone(), p.employees[sub].0.clone());
             match s % 3 {
                 0 => SessionStream::Graph {
                     ops: pairs
@@ -703,7 +696,10 @@ pub fn session_streams(cfg: ShopConfig, sessions: usize, ops_each: usize) -> Vec
                                 "supervise",
                                 [
                                     ("agent", EntityRef::new("employee", dme_value::Atom::str(a))),
-                                    ("object", EntityRef::new("employee", dme_value::Atom::str(o))),
+                                    (
+                                        "object",
+                                        EntityRef::new("employee", dme_value::Atom::str(o)),
+                                    ),
                                 ],
                             );
                             if insert {

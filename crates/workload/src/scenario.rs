@@ -283,8 +283,9 @@ impl Scenario {
             });
         }
 
-        let constraint_count =
-            (config.constraint_density * toggles as f64).round().max(0.0) as usize;
+        let constraint_count = (config.constraint_density * toggles as f64)
+            .round()
+            .max(0.0) as usize;
         let constraints: Vec<ScenarioConstraint> = (0..constraint_count)
             .map(|_| match rng.gen_range(0..3u8) {
                 0 => {
@@ -522,9 +523,7 @@ mod tests {
                 let via_candidate = match model.expand_delta(&op, &mut scratch) {
                     None => None,
                     Some(undo) => {
-                        let out = model
-                            .validate_candidate(&scratch)
-                            .then(|| scratch.clone());
+                        let out = model.validate_candidate(&scratch).then(|| scratch.clone());
                         undo(&mut scratch);
                         out
                     }

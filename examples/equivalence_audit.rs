@@ -85,9 +85,15 @@ fn main() {
         .observer(obs.clone())
         .run()
         .expect("check runs");
-    println!("relational vs graph, composed? {}", composed.is_equivalent());
+    println!(
+        "relational vs graph, composed? {}",
+        composed.is_equivalent()
+    );
     if let Some(w) = composed.witnesses().iter().find(|w| w.side == Side::Left) {
-        println!("  witness (idempotent insert vs strict insert): {}", w.label);
+        println!(
+            "  witness (idempotent insert vs strict insert): {}",
+            w.label
+        );
     }
     let state_dep = Checker::new(&m, &g)
         .tier(Tier::StateDependent { max_depth: 3 })

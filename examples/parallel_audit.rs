@@ -53,7 +53,10 @@ fn main() {
         .observer(obs.clone())
         .run()
         .expect("checkable");
-    println!("[1] Def. 5, rel vs graph:   {verdict}  ({:?})", started.elapsed());
+    println!(
+        "[1] Def. 5, rel vs graph:   {verdict}  ({:?})",
+        started.elapsed()
+    );
     assert!(verdict.is_equivalent());
 
     // 2. A counterexample with witnesses: the same pair is NOT composed

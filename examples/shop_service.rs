@@ -21,6 +21,7 @@ use std::sync::Arc;
 use borkin_equiv::equivalence::translate::CompletionMode;
 use borkin_equiv::obs::{Counter, Observer, Report, RingSink};
 use borkin_equiv::relation::display::render_relation;
+use borkin_equiv::server::wire::{Request, Response};
 use borkin_equiv::server::{
     AdminRequest, CommitMode, MemDevice, ServiceConfig, SessionKind, SessionService, ViewSpec,
 };
@@ -93,7 +94,8 @@ fn main() {
                     SessionStream::Relational { ops, .. } => {
                         for op in ops {
                             match sess.submit_relational(op) {
-                                Ok(info) if info.attempts > 1 => {
+                                Ok(outcome) if outcome.info().is_some_and(|i| i.attempts > 1) => {
+                                    let info = outcome.expect_commit();
                                     println!(
                                         "  session {i} ({label}): committed lsn {} after \
                                          {} attempts (conflict retry)",
@@ -167,23 +169,24 @@ fn main() {
     let report = Report::from_events(&ring.events()).with_totals(obs.counters());
     println!("{report}");
 
-    // ── Telemetry over the admin codec ─────────────────────────────────
-    // Both renderings are served from the wire form of the admin
-    // request — the same path a scraper or dashboard would use. The
+    // ── Telemetry over the typed wire API ──────────────────────────────
+    // Both renderings are served through the single typed front door —
+    // the same path a scraper or dashboard would use (the legacy
+    // one-byte admin codec still tunnels through `Request::Admin`). The
     // recovered service shares the observer, so its counters fold the
     // pre-crash sessions and the recovery replay together.
-    println!("== admin telemetry (Prometheus text) ==");
-    print!(
-        "{}",
-        recovered
-            .admin_bytes(&AdminRequest::MetricsText.encode())
-            .expect("admin request decodes")
-    );
-    println!("\n== admin telemetry (JSON snapshot) ==");
-    println!(
-        "{}",
-        recovered
-            .admin_bytes(&AdminRequest::MetricsJson.encode())
-            .expect("admin request decodes")
-    );
+    let metrics = |json: bool| match recovered.handle(Request::Metrics { json }) {
+        Response::Metrics { body } => body,
+        other => panic!("metrics request answered with {other:?}"),
+    };
+    println!("== telemetry over the wire (Prometheus text) ==");
+    print!("{}", metrics(false));
+    println!("\n== telemetry over the wire (JSON snapshot) ==");
+    println!("{}", metrics(true));
+    match recovered.handle(Request::Admin {
+        body: AdminRequest::MetricsText.encode(),
+    }) {
+        Response::Admin { .. } => println!("(legacy admin envelope still answers)"),
+        other => panic!("admin tunnel answered with {other:?}"),
+    }
 }

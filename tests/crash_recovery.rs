@@ -201,8 +201,15 @@ fn recover_and_check(run: &Run, image: &DurableImage, label: &str) -> GraphState
         Box::new(MemDevice::new()),
     )
     .unwrap();
-    assert_eq!(again.conceptual(), state, "{label}: recovery not deterministic");
-    assert_eq!(report2, report, "{label}: recovery report not deterministic");
+    assert_eq!(
+        again.conceptual(),
+        state,
+        "{label}: recovery not deterministic"
+    );
+    assert_eq!(
+        report2, report,
+        "{label}: recovery report not deterministic"
+    );
     // The view is rebuilt consistent (Definition 2 in its vocabulary).
     let view_ok = recovered.view_state("personnel").is_some();
     assert!(view_ok, "{label}: view not rebuilt");
@@ -221,6 +228,7 @@ fn fault_point_1_crash_before_journal_append() {
             let image = DurableImage {
                 wal: run.image.wal[..run.wal_offsets[k]].to_vec(),
                 checkpoint: run.image.checkpoint.clone(),
+                shard_wals: Vec::new(),
             };
             // The checkpoint may be *ahead* of this WAL prefix (it was
             // taken mid-run); keep only checkpoints covered by the
@@ -260,6 +268,7 @@ fn fault_point_2_crash_mid_append_tears_the_record() {
                     DurableImage {
                         wal: run.image.wal[..cut].to_vec(),
                         checkpoint: run.image.checkpoint.clone(),
+                        shard_wals: Vec::new(),
                     },
                     k - 1,
                 );
@@ -283,7 +292,10 @@ fn fault_point_3_crash_after_append_before_checkpoint() {
         // The full WAL survived but the mid-run checkpoint did not: the
         // checkpoint device holds only the initial (lsn 0) checkpoint.
         let (cp_records, _) = wal::replay_tolerant(&run.image.checkpoint);
-        assert!(cp_records.len() >= 2, "seed {seed}: run must checkpoint mid-way");
+        assert!(
+            cp_records.len() >= 2,
+            "seed {seed}: run must checkpoint mid-way"
+        );
         let mut initial_only = Vec::new();
         wal::append_record_traced(
             &mut initial_only,
@@ -294,6 +306,7 @@ fn fault_point_3_crash_after_append_before_checkpoint() {
         let image = DurableImage {
             wal: run.image.wal.clone(),
             checkpoint: initial_only,
+            shard_wals: Vec::new(),
         };
         let state = recover_and_check(&run, &image, &format!("seed {seed}, pre-checkpoint"));
         // Everything committed is recovered even without the newer
@@ -318,10 +331,15 @@ fn fault_point_4_crash_mid_checkpoint_falls_back() {
         wal::append_record_traced(&mut full, last.lsn, last.trace, &last.payload);
         // Tear the final checkpoint record at several depths: recovery
         // falls back to the previous checkpoint + full WAL replay.
-        for cut in [intact + 1, intact + (full.len() - intact) / 2, full.len() - 1] {
+        for cut in [
+            intact + 1,
+            intact + (full.len() - intact) / 2,
+            full.len() - 1,
+        ] {
             let image = DurableImage {
                 wal: run.image.wal.clone(),
                 checkpoint: full[..cut].to_vec(),
+                shard_wals: Vec::new(),
             };
             let state = recover_and_check(
                 &run,

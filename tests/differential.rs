@@ -83,23 +83,22 @@ fn labels(verdict: &Verdict, side: Side) -> Vec<&str> {
 /// Asserts that a parallel [`Verdict`] says exactly what the sequential
 /// one says: same answer, same searched pair count, same witnesses in
 /// the same order.
-fn assert_verdicts_agree(
-    parallel: &Verdict,
-    sequential: &Verdict,
-) -> Result<(), TestCaseError> {
+fn assert_verdicts_agree(parallel: &Verdict, sequential: &Verdict) -> Result<(), TestCaseError> {
     prop_assert_eq!(parallel.is_equivalent(), sequential.is_equivalent());
     match (parallel, sequential) {
-        (
-            Verdict::Equivalent { state_pairs: p },
-            Verdict::Equivalent { state_pairs: s },
-        ) => prop_assert_eq!(p, s),
+        (Verdict::Equivalent { state_pairs: p }, Verdict::Equivalent { state_pairs: s }) => {
+            prop_assert_eq!(p, s)
+        }
         (
             Verdict::Counterexample { state_pairs: p, .. },
             Verdict::Counterexample { state_pairs: s, .. },
         ) => {
             prop_assert_eq!(p, s);
             prop_assert_eq!(labels(parallel, Side::Left), labels(sequential, Side::Left));
-            prop_assert_eq!(labels(parallel, Side::Right), labels(sequential, Side::Right));
+            prop_assert_eq!(
+                labels(parallel, Side::Right),
+                labels(sequential, Side::Right)
+            );
         }
         _ => prop_assert!(
             false,

@@ -207,8 +207,12 @@ fn budget_exhaustion_is_deterministic_on_one_thread() {
     // single-threaded budgeted sweep stops at the same node either way.
     match (&first, &second) {
         (
-            Verdict::BudgetExhausted { nodes_explored: f, .. },
-            Verdict::BudgetExhausted { nodes_explored: l, .. },
+            Verdict::BudgetExhausted {
+                nodes_explored: f, ..
+            },
+            Verdict::BudgetExhausted {
+                nodes_explored: l, ..
+            },
         ) => assert_eq!(f, l),
         other => panic!("expected both budget-exhausted, got {other:?}"),
     }
@@ -253,10 +257,7 @@ fn observed_run_lands_in_the_check_latency_histogram() {
     let n = toy_model("n", &[(true, 0), (true, 1)]);
     let obs = Observer::new(RingSink::with_capacity(64));
     for _ in 0..3 {
-        Checker::new(&m, &n)
-            .observer(obs.clone())
-            .run()
-            .unwrap();
+        Checker::new(&m, &n).observer(obs.clone()).run().unwrap();
     }
     let snapshots = obs.histograms();
     let check = snapshots

@@ -35,8 +35,7 @@ fn check_golden(name: &str, actual: &str) {
         )
     });
     assert_eq!(
-        actual,
-        expected,
+        actual, expected,
         "{name} drifted from its golden file; rerun with UPDATE_GOLDEN=1 \
          if the change is intentional"
     );
@@ -100,7 +99,10 @@ fn golden_figure3_relational_state() {
 /// Figure 4: the equivalent semantic graph database state.
 #[test]
 fn golden_figure4_graph_state() {
-    check_golden("figure4.txt", &gdisplay::render_state(&gfix::figure4_state()));
+    check_golden(
+        "figure4.txt",
+        &gdisplay::render_state(&gfix::figure4_state()),
+    );
 }
 
 /// Figure 5: the semantic graph schema with participation edges.
@@ -116,7 +118,10 @@ fn golden_figure5_graph_schema() {
 /// supervision.
 #[test]
 fn golden_figure6_graph_after_insert() {
-    check_golden("figure6.txt", &gdisplay::render_state(&gfix::figure6_state()));
+    check_golden(
+        "figure6.txt",
+        &gdisplay::render_state(&gfix::figure6_state()),
+    );
 }
 
 /// Figure 7: the relational state after the equivalent insertion (the
@@ -133,8 +138,7 @@ fn golden_figure7_relational_after_insert() {
 /// both models, in one file.
 #[test]
 fn golden_figure8_state_dependence() {
-    let text = format!
-        (
+    let text = format!(
         "== premise (relational) ==\n{}\
          == premise (graph) ==\n{}\n\
          == after insert (relational) ==\n{}\

@@ -6,9 +6,7 @@
 
 use std::path::PathBuf;
 
-use borkin_equiv::obs::{
-    json_snapshot, prometheus_text, Counter, Metric, Observer, RingSink,
-};
+use borkin_equiv::obs::{json_snapshot, prometheus_text, Counter, Metric, Observer, RingSink};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -32,8 +30,7 @@ fn check_golden(name: &str, actual: &str) {
         )
     });
     assert_eq!(
-        actual,
-        expected,
+        actual, expected,
         "{name} drifted from its golden file; rerun with UPDATE_GOLDEN=1 \
          if the change is intentional"
     );
@@ -62,12 +59,18 @@ fn fixture_observer() -> Observer {
 
 #[test]
 fn prometheus_text_format_is_pinned() {
-    check_golden("telemetry_prometheus.txt", &prometheus_text(&fixture_observer()));
+    check_golden(
+        "telemetry_prometheus.txt",
+        &prometheus_text(&fixture_observer()),
+    );
 }
 
 #[test]
 fn json_snapshot_format_is_pinned() {
-    check_golden("telemetry_snapshot.json", &json_snapshot(&fixture_observer()));
+    check_golden(
+        "telemetry_snapshot.json",
+        &json_snapshot(&fixture_observer()),
+    );
 }
 
 /// The golden fixtures double as format checks: the text rendering

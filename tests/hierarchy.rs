@@ -53,7 +53,10 @@ fn check<MS, MO, NS, NO>(
     m: &FiniteModel<MS, MO>,
     n: &FiniteModel<NS, NO>,
     tier: Tier,
-) -> Result<borkin_equiv::equivalence::parallel::Verdict, borkin_equiv::equivalence::equiv::CheckError>
+) -> Result<
+    borkin_equiv::equivalence::parallel::Verdict,
+    borkin_equiv::equivalence::equiv::CheckError,
+>
 where
     MS: Clone + Ord + std::hash::Hash + borkin_equiv::logic::ToFacts + Send + Sync,
     NS: Clone + Ord + std::hash::Hash + borkin_equiv::logic::ToFacts + Send + Sync,
@@ -145,7 +148,10 @@ proptest! {
     }
 }
 
-fn rel_micro(max_statements: usize, name: &str) -> FiniteModel<RelationState, borkin_equiv::relation::RelOp> {
+fn rel_micro(
+    max_statements: usize,
+    name: &str,
+) -> FiniteModel<RelationState, borkin_equiv::relation::RelOp> {
     let schema = witness::micro_relational_schema();
     let ops = enumerate_rel_ops(&schema, max_statements);
     relational_model(name, RelationState::empty(Arc::new(schema)), ops)

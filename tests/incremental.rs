@@ -191,7 +191,10 @@ fn persist_regression(base: &Scenario, mutation: Mutation, detail: &str) -> Path
     let _ = fs::create_dir_all(&dir);
     let path = dir.join("incremental.txt");
     let mut entry = String::new();
-    let _ = writeln!(entry, "# incremental-vs-full mismatch (minimized): {detail}");
+    let _ = writeln!(
+        entry,
+        "# incremental-vs-full mismatch (minimized): {detail}"
+    );
     let _ = writeln!(entry, "cc mutation={mutation:?} scenario={base:?}");
     if let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&path) {
         let _ = file.write_all(entry.as_bytes());
@@ -270,8 +273,13 @@ fn mutations_invalidate_exactly_the_affected_frontier() {
     // Swap one operation's direction: every other column is reusable.
     let swapped = base.mutate(Mutation::SwapOpDirection(0));
     let mut s = session();
-    s.check(&base.model("left"), &base.model("right"), EquivKind::Isomorphic, STATE_CAP)
-        .unwrap();
+    s.check(
+        &base.model("left"),
+        &base.model("right"),
+        EquivKind::Isomorphic,
+        STATE_CAP,
+    )
+    .unwrap();
     let after = s.check(
         &base.model("left"),
         &swapped.model("right"),
@@ -359,9 +367,9 @@ fn torn_verdict_images_never_change_answers() {
         }
     }
     assert!(
-        expected.iter().any(
-            |o| matches!(o, Ok(Verdict::Counterexample { .. }))
-        ),
+        expected
+            .iter()
+            .any(|o| matches!(o, Ok(Verdict::Counterexample { .. }))),
         "fixture must cache at least one counterexample"
     );
     let total = writer.verdict_entries();

@@ -131,7 +131,10 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
     let mut oracle = initial.clone();
     for txn in &history {
         oracle = GraphOp::apply_all(&txn.ops, &oracle).map_err(|e| {
-            format!("committed txn lsn {} does not replay sequentially: {e}", txn.lsn)
+            format!(
+                "committed txn lsn {} does not replay sequentially: {e}",
+                txn.lsn
+            )
         })?;
     }
     let live = service.conceptual();
@@ -336,7 +339,7 @@ fn one_trace_id_reconstructs_the_transaction_causal_path() {
     let mut sess = service.open_session(SessionKind::Graph).unwrap();
     let mut infos = Vec::new();
     for op in workload::supervision_toggle_ops(cfg, 3) {
-        infos.push(sess.submit_graph(vec![op]).unwrap());
+        infos.push(sess.submit_graph(vec![op]).unwrap().expect_commit());
     }
     sess.close().unwrap();
 

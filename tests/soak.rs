@@ -67,7 +67,10 @@ fn soak_transcript(cfg: ShopConfig) -> Vec<String> {
         for op in [s, m] {
             db.update_conceptual(op).expect("workload ops apply");
             use borkin_equiv::logic::ToFacts;
-            transcript.push(format!("{op} => {} facts", db.conceptual().to_facts().len()));
+            transcript.push(format!(
+                "{op} => {} facts",
+                db.conceptual().to_facts().len()
+            ));
         }
     }
     transcript

@@ -113,7 +113,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a parameterised benchmark; the input is passed by reference.
-    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -210,7 +215,9 @@ where
     }
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
-    println!("{id}: time: [{median:.1} ns/iter] ({sample_size} samples x {iters_per_sample} iters)");
+    println!(
+        "{id}: time: [{median:.1} ns/iter] ({sample_size} samples x {iters_per_sample} iters)"
+    );
     median
 }
 
@@ -261,9 +268,7 @@ mod tests {
                 calls
             })
         });
-        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, n| {
-            b.iter(|| n + 1)
-        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, n| b.iter(|| n + 1));
         group.finish();
         assert!(calls > 0);
     }

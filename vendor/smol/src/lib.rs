@@ -1,0 +1,698 @@
+#![deny(missing_docs)]
+
+//! Offline stand-in for a small async runtime.
+//!
+//! The build environment has no network access to a crates registry, so
+//! like the sibling `proptest`/`criterion`/`crossbeam` shims this crate
+//! reimplements the minimal surface the workspace needs, over `std`
+//! only:
+//!
+//! * [`block_on`] — drive one future to completion on the calling
+//!   thread (thread-parking waker).
+//! * [`Executor`] — a multi-threaded task executor with joinable
+//!   [`Task`] handles. Workers are plain `std` threads draining a
+//!   shared injector queue; wakers re-enqueue their task.
+//! * [`channel`] — async MPMC channels (bounded + unbounded) with both
+//!   async (`send`/`recv`) and synchronous (`try_send`,
+//!   `send_blocking`, `recv_blocking`) endpoints, so async tasks and
+//!   plain threads can exchange values.
+//!
+//! The scheduler makes no fairness or performance promises beyond what
+//! the session-service tests need: every woken task is eventually
+//! polled, and dropping the executor joins its workers.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Runs a future to completion on the calling thread, parking between
+/// polls.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct Parker {
+        thread: std::thread::Thread,
+        notified: AtomicBool,
+    }
+    impl Wake for Parker {
+        fn wake(self: Arc<Self>) {
+            self.notified.store(true, Ordering::SeqCst);
+            self.thread.unpark();
+        }
+    }
+    let parker = Arc::new(Parker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = Box::pin(future);
+    loop {
+        if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+            return out;
+        }
+        while !parker.notified.swap(false, Ordering::SeqCst) {
+            std::thread::park();
+        }
+    }
+}
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// A spawned task's scheduling state. The `scheduled` flag collapses
+/// redundant wakes: a task is re-enqueued at most once until a worker
+/// picks it up again.
+struct TaskState {
+    future: Mutex<Option<BoxFuture>>,
+    scheduled: AtomicBool,
+    queue: Arc<Queue>,
+}
+
+impl Wake for TaskState {
+    fn wake(self: Arc<Self>) {
+        if !self.scheduled.swap(true, Ordering::SeqCst) {
+            let queue = Arc::clone(&self.queue);
+            queue.push(self);
+        }
+    }
+}
+
+struct Queue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+struct QueueInner {
+    runnable: VecDeque<Arc<TaskState>>,
+    shutdown: bool,
+}
+
+impl Queue {
+    fn push(&self, task: Arc<TaskState>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.runnable.push_back(task);
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<Arc<TaskState>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(task) = inner.runnable.pop_front() {
+                return Some(task);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+}
+
+/// The shared slot a [`Task`] handle reads its result from.
+struct JoinSlot<T> {
+    state: Mutex<JoinState<T>>,
+}
+
+enum JoinState<T> {
+    Pending(Option<Waker>),
+    Ready(T),
+    Taken,
+}
+
+/// A joinable handle to a spawned task: awaiting it yields the task's
+/// output. Dropping the handle detaches the task (it keeps running).
+pub struct Task<T> {
+    slot: Arc<JoinSlot<T>>,
+}
+
+impl<T> Task<T> {
+    /// Explicitly detaches the task (equivalent to dropping the
+    /// handle).
+    pub fn detach(self) {}
+}
+
+impl<T> Future for Task<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut state = self.slot.state.lock().unwrap();
+        match std::mem::replace(&mut *state, JoinState::Taken) {
+            JoinState::Ready(v) => Poll::Ready(v),
+            JoinState::Pending(_) => {
+                *state = JoinState::Pending(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+            JoinState::Taken => panic!("task output already taken"),
+        }
+    }
+}
+
+/// A multi-threaded task executor. Dropping it signals shutdown and
+/// joins the worker threads (pending tasks are dropped).
+pub struct Executor {
+    queue: Arc<Queue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    spawned: AtomicUsize,
+    // Every spawned task, weakly: shutdown must drop still-parked
+    // futures (a parked task is reachable only through the wakers its
+    // last poll registered, never through the runnable queue), or the
+    // resources they own — channel senders, connections — leak past
+    // the executor and their peers never observe disconnection.
+    tasks: Mutex<Vec<std::sync::Weak<TaskState>>>,
+}
+
+impl Executor {
+    /// Starts an executor with `workers` worker threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let queue = Arc::new(Queue {
+            inner: Mutex::new(QueueInner {
+                runnable: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("smol-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(task) = queue.pop() {
+                            task.scheduled.store(false, Ordering::SeqCst);
+                            let mut future = task.future.lock().unwrap();
+                            if let Some(f) = future.as_mut() {
+                                let waker = Waker::from(Arc::clone(&task));
+                                let mut cx = Context::from_waker(&waker);
+                                if f.as_mut().poll(&mut cx).is_ready() {
+                                    *future = None;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            queue,
+            workers: handles,
+            spawned: AtomicUsize::new(0),
+            tasks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Spawns a future onto the executor, returning a joinable
+    /// [`Task`].
+    pub fn spawn<T, F>(&self, future: F) -> Task<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(JoinSlot {
+            state: Mutex::new(JoinState::Pending(None)),
+        });
+        let handle_slot = Arc::clone(&slot);
+        let wrapped = async move {
+            let out = future.await;
+            let mut state = handle_slot.state.lock().unwrap();
+            if let JoinState::Pending(Some(w)) =
+                std::mem::replace(&mut *state, JoinState::Ready(out))
+            {
+                w.wake();
+            }
+        };
+        let task = Arc::new(TaskState {
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            scheduled: AtomicBool::new(true),
+            queue: Arc::clone(&self.queue),
+        });
+        {
+            let mut tasks = self.tasks.lock().unwrap();
+            // Compact completed tasks so long-lived executors don't
+            // accumulate one dead weak pointer per spawn.
+            if tasks.len() >= 64 && tasks.len() == tasks.capacity() {
+                tasks.retain(|w| w.strong_count() > 0);
+            }
+            tasks.push(Arc::downgrade(&task));
+        }
+        self.queue.push(task);
+        Task { slot }
+    }
+
+    /// How many tasks have ever been spawned.
+    pub fn spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.queue.inner.lock().unwrap();
+            inner.shutdown = true;
+            inner.runnable.clear();
+        }
+        self.queue.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // With the workers gone nothing can poll again: drop every
+        // surviving future so whatever it owns is released now. Wakes
+        // triggered by these drops land on the shut-down queue, where
+        // they are inert.
+        for weak in self.tasks.lock().unwrap().drain(..) {
+            if let Some(task) = weak.upgrade() {
+                *task.future.lock().unwrap() = None;
+            }
+        }
+    }
+}
+
+pub mod channel {
+    //! Async MPMC channels with synchronous endpoints.
+    //!
+    //! A channel is a bounded (or unbounded) FIFO of values. Senders
+    //! and receivers are cheap clones sharing one buffer; the channel
+    //! closes when either side's last clone drops. Async `send`/`recv`
+    //! register wakers; `send_blocking`/`recv_blocking` park on a
+    //! condvar, so plain threads (e.g. shard dispatchers) can talk to
+    //! async tasks.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Why a `try_send` refused a value.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is full (backpressure: shed or retry).
+        Full(T),
+        /// Every receiver is gone.
+        Closed(T),
+    }
+
+    /// The channel is closed (and, for `send`, the unsent value).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is closed and drained.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "channel full"),
+                TrySendError::Closed(_) => write!(f, "channel closed"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed and empty")
+        }
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+        recv_wakers: Vec<Waker>,
+        send_wakers: Vec<Waker>,
+    }
+
+    impl<T> State<T> {
+        fn closed_for_send(&self) -> bool {
+            self.receivers == 0
+        }
+        fn full(&self) -> bool {
+            self.cap.is_some_and(|c| self.queue.len() >= c)
+        }
+        fn wake_receivers(&mut self) {
+            for w in self.recv_wakers.drain(..) {
+                w.wake();
+            }
+        }
+        fn wake_senders(&mut self) {
+            for w in self.send_wakers.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// The sending half. Clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half. Clonable (MPMC: each value goes to exactly
+    /// one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.inner.state.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                s.wake_receivers();
+                drop(s);
+                self.inner.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.inner.state.lock().unwrap();
+            s.receivers -= 1;
+            if s.receivers == 0 {
+                s.wake_senders();
+                drop(s);
+                self.inner.cv.notify_all();
+            }
+        }
+    }
+
+    /// Creates a bounded channel with room for `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+                recv_wakers: Vec::new(),
+                send_wakers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Non-blocking send: refuses immediately when the buffer is
+        /// full (the backpressure signal admission control sheds on) or
+        /// the channel is closed.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut s = self.inner.state.lock().unwrap();
+            if s.closed_for_send() {
+                return Err(TrySendError::Closed(value));
+            }
+            if s.full() {
+                return Err(TrySendError::Full(value));
+            }
+            s.queue.push_back(value);
+            s.wake_receivers();
+            drop(s);
+            self.inner.cv.notify_all();
+            Ok(())
+        }
+
+        /// Async send: waits for room.
+        pub fn send(&self, value: T) -> SendFuture<'_, T> {
+            SendFuture {
+                sender: self,
+                value: Some(value),
+            }
+        }
+
+        /// Synchronous send from a plain thread: parks until there is
+        /// room.
+        pub fn send_blocking(&self, value: T) -> Result<(), SendError<T>> {
+            let mut s = self.inner.state.lock().unwrap();
+            loop {
+                if s.closed_for_send() {
+                    return Err(SendError(value));
+                }
+                if !s.full() {
+                    s.queue.push_back(value);
+                    s.wake_receivers();
+                    drop(s);
+                    self.inner.cv.notify_all();
+                    return Ok(());
+                }
+                s = self.inner.cv.wait(s).unwrap();
+            }
+        }
+
+        /// Queued values right now (for backpressure introspection).
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut s = self.inner.state.lock().unwrap();
+            let v = s.queue.pop_front();
+            if v.is_some() {
+                s.wake_senders();
+                drop(s);
+                self.inner.cv.notify_all();
+            }
+            v
+        }
+
+        /// Async receive: waits for a value; `Err(RecvError)` when the
+        /// channel is closed and drained.
+        pub fn recv(&self) -> RecvFuture<'_, T> {
+            RecvFuture { receiver: self }
+        }
+
+        /// Synchronous receive from a plain thread.
+        pub fn recv_blocking(&self) -> Result<T, RecvError> {
+            let mut s = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(v) = s.queue.pop_front() {
+                    s.wake_senders();
+                    drop(s);
+                    self.inner.cv.notify_all();
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                s = self.inner.cv.wait(s).unwrap();
+            }
+        }
+
+        /// Queued values right now.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Future returned by [`Sender::send`].
+    pub struct SendFuture<'a, T> {
+        sender: &'a Sender<T>,
+        value: Option<T>,
+    }
+
+    impl<T> Unpin for SendFuture<'_, T> {}
+
+    impl<T> Future for SendFuture<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let value = self.value.take().expect("polled after completion");
+            let mut s = self.sender.inner.state.lock().unwrap();
+            if s.closed_for_send() {
+                return Poll::Ready(Err(SendError(value)));
+            }
+            if !s.full() {
+                s.queue.push_back(value);
+                s.wake_receivers();
+                drop(s);
+                self.sender.inner.cv.notify_all();
+                return Poll::Ready(Ok(()));
+            }
+            s.send_wakers.push(cx.waker().clone());
+            drop(s);
+            self.value = Some(value);
+            Poll::Pending
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`].
+    pub struct RecvFuture<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Unpin for RecvFuture<'_, T> {}
+
+    impl<T> Future for RecvFuture<'_, T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.receiver.inner.state.lock().unwrap();
+            if let Some(v) = s.queue.pop_front() {
+                s.wake_senders();
+                drop(s);
+                self.receiver.inner.cv.notify_all();
+                return Poll::Ready(Ok(v));
+            }
+            if s.senders == 0 {
+                return Poll::Ready(Err(RecvError));
+            }
+            s.recv_wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_runs_a_future() {
+        assert_eq!(block_on(async { 1 + 2 }), 3);
+    }
+
+    #[test]
+    fn spawned_tasks_join_with_their_output() {
+        let ex = Executor::new(2);
+        let tasks: Vec<_> = (0..64).map(|i| ex.spawn(async move { i * 2 })).collect();
+        let total: i32 = tasks.into_iter().map(block_on).sum();
+        assert_eq!(total, (0..64).map(|i| i * 2).sum());
+        assert_eq!(ex.spawned(), 64);
+    }
+
+    #[test]
+    fn tasks_communicate_over_channels() {
+        let ex = Executor::new(2);
+        let (tx, rx) = channel::bounded::<u32>(4);
+        // Unbounded: the results are drained only after every send.
+        let (done_tx, done_rx) = channel::unbounded::<u32>();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            let done_tx = done_tx.clone();
+            ex.spawn(async move {
+                while let Ok(v) = rx.recv().await {
+                    done_tx.send(v + 100).await.unwrap();
+                }
+            })
+            .detach();
+        }
+        drop(done_tx);
+        for i in 0..32 {
+            tx.send_blocking(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let mut got: Vec<u32> = (0..32).map(|_| done_rx.recv_blocking().unwrap()).collect();
+        assert!(done_rx.recv_blocking().is_err());
+        got.sort_unstable();
+        assert_eq!(got, (100..132).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_sheds_when_full() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Closed(4))
+        ));
+    }
+
+    #[test]
+    fn dropping_the_executor_joins_workers() {
+        let ex = Executor::new(3);
+        let (tx, rx) = channel::unbounded::<u8>();
+        ex.spawn(async move {
+            let _ = tx.send(7).await;
+        })
+        .detach();
+        assert_eq!(rx.recv_blocking(), Ok(7));
+        drop(ex); // must not hang
+    }
+
+    #[test]
+    fn async_send_backpressure_resumes() {
+        let ex = Executor::new(1);
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let producer = ex.spawn(async move {
+            for i in 0..16 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..16 {
+            got.push(rx.recv_blocking().unwrap());
+        }
+        block_on(producer);
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+}
