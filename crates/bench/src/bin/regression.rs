@@ -683,6 +683,141 @@ fn incremental_recheck() -> String {
     )
 }
 
+/// Symbolic find mode vs full enumeration on adversarial mutants.
+///
+/// Each size takes a generated toggle scenario and renames the binding
+/// of operation 1 — the delete of the first toggle. The renamed delete
+/// toggles a fact nothing can insert, so the mutant operation errors on
+/// every state while the closure (and hence the pairing) is untouched:
+/// a clean Definition-2 counterexample. The symbolic tier's find mode
+/// locates it at bound 2 — the broken delete differs from every
+/// opposite operation at the empty state or a depth-1 neighbor, and
+/// twin-first probing dismisses each matched twin with one UNSAT query
+/// — without ever enumerating the closure. The enumerative side must
+/// build both 2^k-state closures before it can compare anything.
+///
+/// The enumerative leg runs under a node [`CheckBudget`]. A fixture
+/// that exhausts the budget records a *skipped* row (null enumerative
+/// columns, a `skipped` marker) instead of aborting the sweep, so the
+/// largest size shows the symbolic tier answering where enumeration
+/// cannot finish. Returns the `symbolic_crossover` JSON rows and
+/// asserts the ≥5× bar at the largest size the enumerative side
+/// completed.
+fn symbolic_crossover() -> Vec<String> {
+    use dme_core::symbolic::SymbolicChecker;
+    use dme_core::{CheckBudget, Verdict};
+    use dme_workload::scenario::{Mutation, Scenario, ScenarioConfig};
+
+    /// Cold full checks of a 2^14-state pair dominate; keep samples low.
+    const CROSS_SAMPLES: usize = 5;
+    /// Generous enough for the 2^14 fixture's two closures, an order of
+    /// magnitude below what the 2^17 fixture needs.
+    const NODE_BUDGET: u64 = 5_000_000;
+
+    let mut rows = Vec::new();
+    let mut largest_completed: Option<(usize, f64)> = None;
+    let mut skipped = 0usize;
+    for k in [8usize, 11, 14, 17] {
+        let config = ScenarioConfig::sized(0x0C50 + k as u64, 1 << k);
+        let base = Scenario::generate(config);
+        let mutant = base.mutate(Mutation::RenameBinding(1));
+        let states = 1usize << config.toggles;
+        let ops = base.ops.len();
+
+        let ms = base.symbolic_spec("left");
+        let ns = mutant.symbolic_spec("right");
+        let mut label = String::new();
+        let sym = time_us(CROSS_SAMPLES, || {
+            let found = SymbolicChecker::new(&ms, &ns)
+                .bound(2)
+                .find_counterexample()
+                .expect("toggle scenarios encode")
+                .expect("the renamed delete is unmatched");
+            label = found.label.clone();
+        });
+
+        let m = base.model("left");
+        let n = mutant.model("right");
+        let cap = states + 1;
+        let run_enum = || {
+            Checker::new(&m, &n)
+                .tier(Tier::Isomorphic)
+                .state_cap(cap)
+                .parallel(ParallelConfig::with_threads(1).budget(CheckBudget::nodes(NODE_BUDGET)))
+                .run()
+                .expect("the mutant stays pairable against the base")
+        };
+        // The first sample decides whether the fixture fits the budget;
+        // re-timing a skip would only repeat the exhaustion.
+        let t = Instant::now();
+        let first = run_enum();
+        let first_us = t.elapsed().as_micros() as u64;
+        if let Verdict::BudgetExhausted { nodes_explored, .. } = first {
+            skipped += 1;
+            println!(
+                "states={states} ops={ops}: symbolic {}µs, enumerative SKIPPED \
+                 (budget exhausted after {nodes_explored} nodes)",
+                sym.median_us
+            );
+            rows.push(format!(
+                "{{\"states\":{states},\"ops\":{ops},\"unmatched\":\"{label}\",\
+                 \"symbolic\":{{{}}},\"enumerative\":null,\"speedup\":null,\
+                 \"skipped\":\"budget exhausted after {nodes_explored} nodes\",\
+                 \"node_budget\":{NODE_BUDGET}}}",
+                sym.json_fields()
+            ));
+            continue;
+        }
+        assert!(
+            !first.is_equivalent(),
+            "the renamed delete must yield a counterexample, got {first}"
+        );
+        let mut samples = vec![first_us];
+        for _ in 1..CROSS_SAMPLES {
+            let t = Instant::now();
+            let verdict = run_enum();
+            samples.push(t.elapsed().as_micros() as u64);
+            assert!(!verdict.is_equivalent());
+        }
+        let enumerative = Stats::from_samples(samples);
+        let speedup = enumerative.median_us as f64 / sym.median_us.max(1) as f64;
+        largest_completed = Some((states, speedup));
+        println!(
+            "states={states} ops={ops}: symbolic {}µs, enumerative {}µs \
+             ({speedup:.1}×, unmatched `{label}`)",
+            sym.median_us, enumerative.median_us
+        );
+        rows.push(format!(
+            "{{\"states\":{states},\"ops\":{ops},\"unmatched\":\"{label}\",\
+             \"symbolic\":{{{}}},\"enumerative\":{{{}}},\"speedup\":{speedup:.2},\
+             \"skipped\":null,\"node_budget\":{NODE_BUDGET}}}",
+            sym.json_fields(),
+            enumerative.json_fields()
+        ));
+    }
+
+    // The crossover gate: at the largest size the enumerative side
+    // finished, symbolic find mode must be at least 5× faster — and the
+    // sweep must have reached a size the enumerative side could not.
+    let (states, speedup) =
+        largest_completed.expect("at least one size completes under the node budget");
+    assert!(
+        speedup >= 5.0,
+        "symbolic crossover regression: find mode is only {speedup:.1}× faster \
+         than full enumeration at {states} states (bar: 5×)"
+    );
+    assert!(
+        skipped > 0,
+        "the largest fixture was expected to exhaust the enumerative node budget; \
+         raise the sweep size or lower NODE_BUDGET"
+    );
+    println!(
+        "symbolic crossover gate: {speedup:.1}× >= 5× at {states} states, \
+         {skipped} size(s) beyond enumerative reach"
+    );
+    rows
+}
+
 /// The percentile fragment for one latency histogram, as recorded by
 /// the service's observer across all sampled runs.
 fn json_histogram(name: &str, snap: &dme_core::obs::HistogramSnapshot) -> String {
@@ -925,6 +1060,14 @@ fn main() {
     println!("== incremental re-check ==");
     let incremental_row = incremental_recheck();
 
+    // ---- Symbolic crossover: find mode vs full enumeration -----------
+    // The symbolic-tier guard: on adversarial RenameBinding mutants the
+    // bounded SAT find mode must locate the counterexample ≥5× faster
+    // than full enumeration, and keep answering at closure sizes where
+    // the enumerative side exhausts its node budget (skipped rows).
+    println!("== symbolic crossover ==");
+    let crossover_rows = symbolic_crossover();
+
     // ---- Session-service throughput: group vs per-op commit ----------
     println!("== service throughput ==");
     let service_rows = service_throughput();
@@ -982,7 +1125,15 @@ fn main() {
     }
     out.push_str("\n  ],\n  \"incremental_recheck\": ");
     out.push_str(&incremental_row);
-    out.push_str(",\n  \"service_throughput\": [");
+    out.push_str(",\n  \"symbolic_crossover\": [");
+    for (i, s) in crossover_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(s);
+    }
+    out.push_str("\n  ],\n  \"service_throughput\": [");
     for (i, s) in service_rows.iter().enumerate() {
         if i > 0 {
             out.push(',');

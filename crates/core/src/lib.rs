@@ -42,6 +42,7 @@ pub mod model;
 pub mod parallel;
 #[cfg(feature = "slow-reference")]
 pub mod slow_reference;
+pub mod symbolic;
 pub mod translate;
 pub mod witness;
 
@@ -57,6 +58,10 @@ pub use equiv::{pair_states, CheckError, DataModelReport, EquivKind, MatchReport
 pub use incremental::{CacheStats, IncrementalChecker, VerdictImageReport};
 pub use model::FiniteModel;
 pub use parallel::{CheckBudget, ParallelConfig, Side, Verdict, Witness};
+pub use symbolic::{
+    DifferTrace, FoundCounterexample, SymbolicChecker, SymbolicConstraint, SymbolicOp,
+    SymbolicOutcome, SymbolicSpec, DEFAULT_BOUND,
+};
 pub use translate::{
     compile_time_translation, graph_op_to_relational, graph_op_to_relational_observed,
     materialize_relational_state, relational_op_to_graph, relational_op_to_graph_observed,

@@ -97,12 +97,21 @@ pub enum Counter {
     /// Committed transactions whose write set spanned more than one
     /// shard (serialized through multi-shard WAL appends).
     CrossShardCommits,
+    /// CNF clauses emitted by the symbolic tier's encoders (path
+    /// unrollings, constraint encodings, blocking clauses).
+    SymbolicClauses,
+    /// Conflicts hit by the symbolic tier's CDCL core across all solver
+    /// queries of a check.
+    SymbolicConflicts,
+    /// Symbolic checks that ran out of bound before reaching the
+    /// closure fixpoint — "no verdict", never "equivalent".
+    BoundExhausted,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 40] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -140,6 +149,9 @@ impl Counter {
         Counter::RequestsServed,
         Counter::RequestsShed,
         Counter::CrossShardCommits,
+        Counter::SymbolicClauses,
+        Counter::SymbolicConflicts,
+        Counter::BoundExhausted,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -186,6 +198,9 @@ impl Counter {
             Counter::RequestsServed => "requests_served",
             Counter::RequestsShed => "requests_shed",
             Counter::CrossShardCommits => "cross_shard_commits",
+            Counter::SymbolicClauses => "symbolic_clauses",
+            Counter::SymbolicConflicts => "symbolic_conflicts",
+            Counter::BoundExhausted => "bound_exhausted",
         }
     }
 

@@ -364,6 +364,96 @@ impl Scenario {
         )
     }
 
+    /// Compiles the scenario for the symbolic tier: the same model as
+    /// [`Scenario::model`] (same salted name, same operation labels,
+    /// same transition semantics) expressed as a
+    /// [`dme_core::symbolic::SymbolicSpec`] fact-toggle universe, so
+    /// `SymbolicChecker` verdicts are bit-identical to running the
+    /// enumerative checker on [`Scenario::model`].
+    ///
+    /// The universe is the scenario's fact list extended with any
+    /// operation-step facts outside it (mutants from
+    /// [`Mutation::RenameBinding`] toggle such facts), in first
+    /// appearance order. Constraints are resolved against that
+    /// universe: an `AtMost` counts the universe facts of its
+    /// predicate, an `Excludes`/`Requires` mentioning a fact no
+    /// operation can ever produce reduces to its residual form
+    /// (trivially true, or `a` must never hold).
+    pub fn symbolic_spec(&self, name: &str) -> dme_core::symbolic::SymbolicSpec {
+        use dme_core::symbolic::{SymbolicConstraint, SymbolicOp, SymbolicSpec};
+        let mut universe: Vec<Fact> = self.facts.clone();
+        let index_of = |facts: &mut Vec<Fact>, fact: &Fact| -> usize {
+            match facts.iter().position(|f| f == fact) {
+                Some(i) => i,
+                None => {
+                    facts.push(fact.clone());
+                    facts.len() - 1
+                }
+            }
+        };
+        let ops: Vec<SymbolicOp> = self
+            .ops
+            .iter()
+            .map(|op| SymbolicOp {
+                label: op.to_string(),
+                steps: op
+                    .steps
+                    .iter()
+                    .map(|(add, fact)| (*add, index_of(&mut universe, fact)))
+                    .collect(),
+            })
+            .collect();
+        let mut constraints = Vec::new();
+        for c in &self.constraints {
+            match c {
+                ScenarioConstraint::AtMost { predicate, cap } => {
+                    let vars: Vec<usize> = universe
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.predicate().as_str() == predicate)
+                        .map(|(v, _)| v)
+                        .collect();
+                    if !vars.is_empty() {
+                        constraints.push(SymbolicConstraint::AtMost { vars, cap: *cap });
+                    }
+                }
+                ScenarioConstraint::Excludes { a, b } => {
+                    let ia = universe.iter().position(|f| f == a);
+                    let ib = universe.iter().position(|f| f == b);
+                    // A fact outside the universe never holds, so the
+                    // exclusion is trivially satisfied.
+                    if let (Some(a), Some(b)) = (ia, ib) {
+                        constraints.push(SymbolicConstraint::Excludes { a, b });
+                    }
+                }
+                ScenarioConstraint::Requires { a, b } => {
+                    let ia = universe.iter().position(|f| f == a);
+                    let ib = universe.iter().position(|f| f == b);
+                    match (ia, ib) {
+                        (Some(a), Some(b)) => {
+                            constraints.push(SymbolicConstraint::Requires { a, b });
+                        }
+                        // `b` can never hold, so `a` must never hold.
+                        (Some(a), None) => {
+                            constraints.push(SymbolicConstraint::AtMost {
+                                vars: vec![a],
+                                cap: 0,
+                            });
+                        }
+                        // `a` can never hold: trivially satisfied.
+                        (None, _) => {}
+                    }
+                }
+            }
+        }
+        SymbolicSpec {
+            name: format!("{name}[c{:016x}]", self.constraint_digest()),
+            facts: universe,
+            ops,
+            constraints,
+        }
+    }
+
     /// Every mutation applicable to this scenario, in a deterministic
     /// order: constraint drops first, then per-op direction swaps,
     /// binding renames and drops.

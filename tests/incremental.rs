@@ -255,6 +255,60 @@ fn every_mutation_kind_matches_full_and_reference() {
     assert_eq!(covered.len(), 4, "all four mutation kinds exercised");
 }
 
+/// Cross-tier leg (enabled with `--features symbolic`): a *warm*
+/// incremental session — primed on the base pair, its caches reused for
+/// the mutant re-check — agrees with a *cold* symbolic decision on every
+/// mutation kind. The two paths share nothing (one replays cached
+/// closure columns, the other enumerates BFS layers through a SAT
+/// encoder), so this catches cache-invalidation bugs and encoder drift
+/// in one comparison.
+#[cfg(feature = "symbolic")]
+#[test]
+fn warm_incremental_rechecks_agree_with_cold_symbolic() {
+    use borkin_equiv::equivalence::symbolic::{SymbolicChecker, SymbolicOutcome};
+    let base = Scenario::generate(ScenarioConfig {
+        seed: 0xC0DE,
+        toggles: 3,
+        fact_arity: 2,
+        constraint_density: 1.0,
+        composite_ops: 2,
+    });
+    let mut covered = std::collections::BTreeSet::new();
+    for mutation in base.mutations() {
+        covered.insert(match mutation {
+            Mutation::DropConstraint(_) => "drop-constraint",
+            Mutation::SwapOpDirection(_) => "swap-op-direction",
+            Mutation::RenameBinding(_) => "rename-binding",
+            Mutation::DropOp(_) => "drop-op",
+        });
+        let mutant = base.mutate(mutation);
+        let m = base.model("left");
+        let n_before = base.model("right");
+        let n_after = mutant.model("right");
+        let ms = base.symbolic_spec("left");
+        let ns = mutant.symbolic_spec("right");
+        for kind in KINDS {
+            let mut s = session();
+            let _primed = s.check(&m, &n_before, kind, STATE_CAP);
+            let warm = s.check(&m, &n_after, kind, STATE_CAP);
+            let cold = SymbolicChecker::new(&ms, &ns)
+                .tier(Tier::from_kind(kind))
+                .state_cap(STATE_CAP)
+                .run();
+            match cold {
+                SymbolicOutcome::Definitive(sym) => assert_eq!(
+                    warm, sym,
+                    "warm incremental vs cold symbolic diverge: {mutation:?} {kind:?}"
+                ),
+                SymbolicOutcome::BoundExhausted { bound, .. } => panic!(
+                    "probe closure must fit the default bound {bound}: {mutation:?}"
+                ),
+            }
+        }
+    }
+    assert_eq!(covered.len(), 4, "all four mutation kinds exercised");
+}
+
 /// Op mutations take the delta path (columns for unchanged operations
 /// are reused); constraint mutations change the model's universe key and
 /// invalidate wholesale. Both still agree with the full check — that is
