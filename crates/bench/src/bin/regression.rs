@@ -591,6 +591,137 @@ fn json_timing(t: &Timing) -> String {
     format!("\"{}\":{{{}}}", t.name, t.stats.json_fields())
 }
 
+/// Live metric streaming overhead: the same committed workload through
+/// the networked front door with and without a `WatchMetrics`
+/// subscriber on a 100ms interval. The workload is WAL-sync-bound
+/// (per-op commits against a journal with a fixed sync latency), so
+/// each sample runs long enough for the pusher to fire several times;
+/// the gate asserts the subscribed run's median stays within 5% of the
+/// baseline. Returns the `streaming_overhead` JSON object.
+fn streaming_overhead() -> String {
+    use dme_server::NetServer;
+    use std::time::Duration;
+
+    const SESSIONS_N: usize = 4;
+    const OPS_EACH: usize = 48;
+    const SYNC_DELAY_US: u64 = 400;
+    const INTERVAL_MS: u32 = 100;
+
+    let cfg = dme_workload::ShopConfig {
+        employees: 2 * SESSIONS_N,
+        machines: 0,
+        supervisions: 0,
+        seed: 11,
+    };
+    let initial = dme_workload::graph_state(cfg);
+    let toggle = |k: usize, insert: bool| {
+        let assoc = Association::new(
+            "supervise",
+            [
+                (
+                    "agent",
+                    EntityRef::new("employee", Atom::str(format!("E{:05}", 2 * k))),
+                ),
+                (
+                    "object",
+                    EntityRef::new("employee", Atom::str(format!("E{:05}", 2 * k + 1))),
+                ),
+            ],
+        );
+        if insert {
+            GraphOp::InsertAssociation(assoc)
+        } else {
+            GraphOp::DeleteAssociation(assoc)
+        }
+    };
+
+    // One observer per mode, shared across samples, so the streamed
+    // delta count accumulates over the whole subscribed column.
+    let run = |watch: bool| {
+        let obs = Observer::new(RingSink::with_capacity(64));
+        let stats = time_us(SAMPLES, || {
+            let service = SessionService::new(
+                initial.clone(),
+                Vec::new(),
+                ServiceConfig {
+                    commit_mode: CommitMode::PerOp,
+                    obs: obs.clone(),
+                    ..ServiceConfig::default()
+                },
+                Box::new(
+                    MemDevice::new().with_sync_delay(Duration::from_micros(SYNC_DELAY_US)),
+                ),
+                Box::new(MemDevice::new()),
+            )
+            .expect("service boots");
+            let server = NetServer::serve(service.clone());
+            let client = server.connect().expect("connect");
+            let subscription = if watch {
+                Some(client.watch_metrics(INTERVAL_MS).expect("subscription opens"))
+            } else {
+                None
+            };
+            std::thread::scope(|scope| {
+                for k in 0..SESSIONS_N {
+                    let client = &client;
+                    scope.spawn(move || {
+                        let sess = client
+                            .open_session(SessionKind::Graph)
+                            .expect("session admits");
+                        for i in 0..OPS_EACH {
+                            sess.submit_graph(vec![toggle(k, i % 2 == 0)])
+                                .expect("disjoint toggles commit");
+                        }
+                        sess.close().expect("graceful teardown");
+                    });
+                }
+            });
+            assert_eq!(
+                service.committed_history().len(),
+                SESSIONS_N * OPS_EACH,
+                "every submission commits"
+            );
+            drop(subscription);
+            drop(client);
+            server.shutdown();
+        });
+        (stats, obs.counter(Counter::MetricsDeltasStreamed))
+    };
+    let (baseline, baseline_deltas) = run(false);
+    let (watching, deltas) = run(true);
+    assert_eq!(baseline_deltas, 0, "no pusher without a subscriber");
+    assert!(
+        deltas >= SAMPLES as u64,
+        "subscribed runs streamed only {deltas} deltas across {SAMPLES} samples"
+    );
+    let overhead_pct =
+        (watching.median_us as f64 / baseline.median_us.max(1) as f64 - 1.0) * 100.0;
+    println!(
+        "streaming/baseline: {}µs  streaming/watch_{INTERVAL_MS}ms: {}µs \
+         ({overhead_pct:+.2}%, {deltas} deltas streamed)",
+        baseline.median_us, watching.median_us
+    );
+    assert!(
+        watching.median_us as f64 <= baseline.median_us as f64 * 1.05,
+        "metric streaming overhead regression: watch {}µs > baseline {}µs (+5%)",
+        watching.median_us,
+        baseline.median_us
+    );
+    println!(
+        "streaming overhead gate: watch {}µs <= baseline {}µs (+5%) ok",
+        watching.median_us, baseline.median_us
+    );
+    format!(
+        "{{\"sessions\":{SESSIONS_N},\"txns\":{},\"sync_delay_us\":{SYNC_DELAY_US},\
+         \"interval_ms\":{INTERVAL_MS},\"deltas_streamed\":{deltas},\
+         \"overhead_pct\":{overhead_pct:.3},\
+         \"baseline\":{{{}}},\"watching\":{{{}}}}}",
+        SESSIONS_N * OPS_EACH,
+        baseline.json_fields(),
+        watching.json_fields()
+    )
+}
+
 /// Cold-vs-warm single-operation re-check on a 10⁴-state scenario.
 /// Returns the `incremental_recheck` JSON object and asserts the ≥10×
 /// bar — this is the regression gate for the incremental session.
@@ -966,6 +1097,19 @@ fn main() {
         ovh_no_sink.median_us, ovh_ring.median_us, ovh_jsonl.median_us
     );
     println!("transcript: {}", transcript_path.display());
+    // The gate: a ring sink is in-memory writes plus histogram atomics,
+    // so its cost must stay within noise of the disabled observer. 15%
+    // absorbs timer jitter at this sample size on a shared host.
+    assert!(
+        ovh_ring.median_us as f64 <= ovh_no_sink.median_us as f64 * 1.15,
+        "observer overhead regression: ring {}µs > no_sink {}µs (+15%)",
+        ovh_ring.median_us,
+        ovh_no_sink.median_us
+    );
+    println!(
+        "observer overhead gate: ring {}µs <= no_sink {}µs (+15%) ok",
+        ovh_ring.median_us, ovh_no_sink.median_us
+    );
 
     // ---- Scaling sweeps: states × ops × threads ----------------------
     println!("== scaling sweeps ==");
@@ -1076,6 +1220,12 @@ fn main() {
     println!("== service scaling (networked, open loop) ==");
     let scaling_rows = service_scaling(&root);
 
+    // ---- Live metric streaming overhead ------------------------------
+    // The observability-plane guard: a `WatchMetrics` subscriber on a
+    // 100ms interval must cost under 5% of committed throughput.
+    println!("== streaming overhead ==");
+    let streaming_row = streaming_overhead();
+
     // ---- One instrumented run's phase report, for the record ---------
     let ring = RingSink::with_capacity(4096);
     let obs = Observer::new(ring.clone());
@@ -1149,7 +1299,9 @@ fn main() {
         out.push_str("\n    ");
         out.push_str(s);
     }
-    out.push_str(&format!("\n  ],\n  \"report\": {}\n}}\n", report.to_json()));
+    out.push_str("\n  ],\n  \"streaming_overhead\": ");
+    out.push_str(&streaming_row);
+    out.push_str(&format!(",\n  \"report\": {}\n}}\n", report.to_json()));
     let bench_path = root.join("BENCH_equiv.json");
     std::fs::write(&bench_path, out).expect("write BENCH_equiv.json");
     println!("wrote {}", bench_path.display());

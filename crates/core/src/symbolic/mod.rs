@@ -51,7 +51,7 @@ mod encode;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dme_logic::{Fact, FactBase};
-use dme_obs::{Counter, Observer};
+use dme_obs::{Counter, Metric, Observer};
 
 use crate::check::Tier;
 use crate::equiv::{CheckError, DataModelReport, MatchReport};
@@ -553,10 +553,24 @@ impl<'a> SymbolicChecker<'a> {
         })
     }
 
+    /// Records one solver's cumulative work into the observer: the
+    /// global counters, plus one observation per per-depth probe
+    /// histogram. Each depth layer runs a fresh solver, so one call per
+    /// retired solver makes the histograms a per-layer budget profile —
+    /// a `BoundExhausted` verdict ships with where the budget went.
     fn record_solver(&self, solver: &Solver) {
         let stats = solver.stats();
         self.observer.add(Counter::SymbolicClauses, stats.clauses);
         self.observer.add(Counter::SymbolicConflicts, stats.conflicts);
+        self.observer.add(Counter::SymbolicRestarts, stats.restarts);
+        self.observer
+            .record(Metric::SymbolicDecisionsPerDepth, stats.decisions);
+        self.observer
+            .record(Metric::SymbolicConflictsPerDepth, stats.conflicts);
+        self.observer
+            .record(Metric::SymbolicClausesPerDepth, stats.clauses);
+        self.observer
+            .record(Metric::SymbolicRestartsPerDepth, stats.restarts);
     }
 
     /// Find mode: searches, within the bound, for a Definition 2
@@ -1331,5 +1345,34 @@ mod tests {
             .run();
         assert!(bounded.is_bound_exhausted());
         assert_eq!(obs.counter(Counter::BoundExhausted), 1);
+    }
+
+    #[test]
+    fn per_depth_probes_profile_the_budget() {
+        use dme_obs::RingSink;
+        let facts = vec![f(1), f(2), f(3)];
+        let m = SymbolicSpec::toggles("m", facts.clone());
+        let n = SymbolicSpec::toggles("n", facts);
+        let obs = Observer::new(RingSink::with_capacity(16));
+        let outcome = SymbolicChecker::new(&m, &n).observer(obs.clone()).run();
+        assert!(outcome.definitive().is_some());
+        // One observation lands per retired depth solver, so the probe
+        // histograms carry the per-layer budget profile.
+        let decisions = obs.histogram(Metric::SymbolicDecisionsPerDepth);
+        let clauses = obs.histogram(Metric::SymbolicClausesPerDepth);
+        assert!(decisions.count > 0, "at least one depth layer profiled");
+        assert_eq!(
+            decisions.count,
+            obs.histogram(Metric::SymbolicConflictsPerDepth).count,
+            "every probe records the same layers"
+        );
+        assert_eq!(decisions.count, clauses.count);
+        assert!(clauses.sum > 0, "each layer holds encoded clauses");
+        // Counters agree with the histogram totals they aggregate.
+        assert_eq!(obs.counter(Counter::SymbolicClauses), clauses.sum);
+        assert_eq!(
+            obs.counter(Counter::SymbolicRestarts),
+            obs.histogram(Metric::SymbolicRestartsPerDepth).sum
+        );
     }
 }

@@ -12,8 +12,11 @@
 //! standards (hundreds of variables, low tens of thousands of clauses),
 //! so the core optimizes for being obviously correct over being fast:
 //! the decision heuristic is a linear scan for the highest-activity
-//! unassigned variable, and there is no clause-database reduction or
-//! restart schedule.
+//! unassigned variable, and there is no clause-database reduction. A
+//! geometric restart schedule (backtrack to the root after a growing
+//! conflict threshold; saved phases keep the search direction) bounds
+//! the damage of an early bad decision and is itself observable:
+//! [`SolverStats::restarts`] feeds the per-depth solver probes.
 
 /// A propositional literal: variable index plus sign, packed as
 /// `var << 1 | negated`.
@@ -82,6 +85,9 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Literals propagated.
     pub propagations: u64,
+    /// Restarts taken (root-level backtracks after the conflict
+    /// threshold, phases preserved).
+    pub restarts: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -143,6 +149,10 @@ pub struct Solver {
     /// False once a top-level conflict proves the instance UNSAT; the
     /// clause set only ever grows, so this is permanent.
     ok: bool,
+    /// Conflicts to absorb before the next restart; grows geometrically
+    /// so the solver always terminates (learned clauses are never
+    /// forgotten, so each restart resumes strictly wiser).
+    restart_limit: u64,
     stats: SolverStats,
 }
 
@@ -169,6 +179,7 @@ impl Solver {
             qhead: 0,
             seen: Vec::new(),
             ok: true,
+            restart_limit: 100,
             stats: SolverStats::default(),
         }
     }
@@ -453,6 +464,7 @@ impl Solver {
             return SatResult::Unsat;
         }
         self.backtrack(0);
+        let mut conflicts_since_restart = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -463,6 +475,15 @@ impl Solver {
                 let (learnt, backjump) = self.analyze(conflict);
                 self.record_learnt(learnt, backjump);
                 self.var_inc /= 0.95;
+                conflicts_since_restart += 1;
+                if conflicts_since_restart >= self.restart_limit && self.decision_level() > 0 {
+                    self.stats.restarts += 1;
+                    // Grow ×1.5 so restarts thin out as the search runs
+                    // long; phase saving carries the direction across.
+                    self.restart_limit += self.restart_limit / 2;
+                    conflicts_since_restart = 0;
+                    self.backtrack(0);
+                }
             } else {
                 let Some(v) = self.pick_branch_var() else {
                     return SatResult::Sat;
@@ -643,6 +664,27 @@ mod tests {
             let mut s = solver_from(num_vars, &clauses);
             assert_eq!(s.solve(), SatResult::Unsat, "PHP({n}) must be UNSAT");
         }
+    }
+
+    #[test]
+    fn restarts_fire_on_long_searches_and_preserve_answers() {
+        // PHP(6) needs thousands of conflicts, so the geometric
+        // schedule (first restart at 100) must fire — and the verdict
+        // must be exactly what the restart-free search proved above.
+        let (num_vars, clauses) = pigeonhole(6);
+        let mut s = solver_from(num_vars, &clauses);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(
+            s.stats().restarts > 0,
+            "expected restarts after {} conflicts",
+            s.stats().conflicts
+        );
+        assert!(s.stats().conflicts > s.stats().restarts);
+        // Short searches never restart.
+        let (n, clauses) = parse_dimacs("1 2 0\n-1 -2 0\n");
+        let mut s = solver_from(n, &clauses);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.stats().restarts, 0);
     }
 
     #[test]

@@ -106,12 +106,21 @@ pub enum Counter {
     /// Symbolic checks that ran out of bound before reaching the
     /// closure fixpoint — "no verdict", never "equivalent".
     BoundExhausted,
+    /// Restarts taken by the symbolic tier's CDCL core (backtrack to
+    /// the root after a conflict-count threshold, phases preserved).
+    SymbolicRestarts,
+    /// `TraceLookup` admin queries answered from the trace hub
+    /// (hits and misses alike).
+    TraceLookups,
+    /// Delta telemetry snapshots pushed to `WatchMetrics` subscribers
+    /// over the wire.
+    MetricsDeltasStreamed,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 43] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -152,6 +161,9 @@ impl Counter {
         Counter::SymbolicClauses,
         Counter::SymbolicConflicts,
         Counter::BoundExhausted,
+        Counter::SymbolicRestarts,
+        Counter::TraceLookups,
+        Counter::MetricsDeltasStreamed,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -201,6 +213,9 @@ impl Counter {
             Counter::SymbolicClauses => "symbolic_clauses",
             Counter::SymbolicConflicts => "symbolic_conflicts",
             Counter::BoundExhausted => "bound_exhausted",
+            Counter::SymbolicRestarts => "symbolic_restarts",
+            Counter::TraceLookups => "trace_lookups",
+            Counter::MetricsDeltasStreamed => "metrics_deltas_streamed",
         }
     }
 
@@ -257,6 +272,13 @@ pub enum EventKind {
         name: &'static str,
         /// The request's trace id.
         trace: TraceId,
+        /// This step's span id within the trace (`0` when the emitter
+        /// did not assign one — legacy flat trace points).
+        span: u64,
+        /// The parent step's span id (`0` for a root step or a flat
+        /// trace point). Parent links let a `TraceAssembler` stitch one
+        /// cross-shard transaction back into a single causal tree.
+        parent: u64,
         /// Free-form detail (a tier name, an LSN, …). Empty when the
         /// caller had nothing to add.
         detail: String,
@@ -320,9 +342,11 @@ impl Event {
             EventKind::Trace {
                 name,
                 trace,
+                span,
+                parent,
                 detail,
             } => {
-                out.push_str(&crate::trace::trace_json(name, *trace, detail));
+                out.push_str(&crate::trace::trace_json(name, *trace, *span, *parent, detail));
             }
         }
         out.push('}');

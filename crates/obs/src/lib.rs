@@ -45,8 +45,10 @@ mod export;
 mod flight;
 mod metrics;
 mod observer;
+mod registry;
 mod report;
 mod sink;
+mod stitch;
 mod trace;
 
 pub use event::{Counter, Event, EventKind};
@@ -54,8 +56,10 @@ pub use export::{json_snapshot, prometheus_text, TelemetrySnapshot};
 pub use flight::FlightRecorder;
 pub use metrics::{Histogram, HistogramSnapshot, Metric, MetricsRegistry, TimerGuard, BUCKETS};
 pub use observer::{Observer, SpanGuard};
+pub use registry::{ShardMetrics, ShardRegistry, ShardSnapshot};
 pub use report::{PhaseStats, Report};
 pub use sink::{EventSink, JsonLinesSink, RingSink};
+pub use stitch::{TraceAssembler, TraceEvent, TraceHub};
 pub use trace::TraceId;
 
 pub(crate) mod json {

@@ -48,11 +48,21 @@ pub enum Metric {
     /// End-to-end wire request latency at the network front door
     /// (frame decoded → response frame queued).
     RequestLatency,
+    /// Symbolic-tier solver probe: decisions taken per depth layer
+    /// (one observation per unrolled path depth, not a latency).
+    SymbolicDecisionsPerDepth,
+    /// Symbolic-tier solver probe: conflicts hit per depth layer.
+    SymbolicConflictsPerDepth,
+    /// Symbolic-tier solver probe: clauses held (encoded + learned)
+    /// per depth layer.
+    SymbolicClausesPerDepth,
+    /// Symbolic-tier solver probe: restarts taken per depth layer.
+    SymbolicRestartsPerDepth,
 }
 
 impl Metric {
     /// Every metric, in declaration order (the registry's table order).
-    pub const ALL: [Metric; 11] = [
+    pub const ALL: [Metric; 15] = [
         Metric::AdmitLatency,
         Metric::TranslateLatency,
         Metric::VerifyLatency,
@@ -64,6 +74,10 @@ impl Metric {
         Metric::CheckLatency,
         Metric::ClosureLatency,
         Metric::RequestLatency,
+        Metric::SymbolicDecisionsPerDepth,
+        Metric::SymbolicConflictsPerDepth,
+        Metric::SymbolicClausesPerDepth,
+        Metric::SymbolicRestartsPerDepth,
     ];
 
     /// Number of metrics (the registry table length).
@@ -83,6 +97,10 @@ impl Metric {
             Metric::CheckLatency => "check_latency_us",
             Metric::ClosureLatency => "closure_latency_us",
             Metric::RequestLatency => "request_latency_us",
+            Metric::SymbolicDecisionsPerDepth => "symbolic_decisions_per_depth",
+            Metric::SymbolicConflictsPerDepth => "symbolic_conflicts_per_depth",
+            Metric::SymbolicClausesPerDepth => "symbolic_clauses_per_depth",
+            Metric::SymbolicRestartsPerDepth => "symbolic_restarts_per_depth",
         }
     }
 

@@ -49,10 +49,26 @@ impl Observer {
     /// linking this moment to one request's causal path. The detail
     /// string is built only when the observer is enabled.
     pub fn trace_event(&self, name: &'static str, trace: TraceId, detail: impl FnOnce() -> String) {
+        self.trace_event_linked(name, trace, 0, 0, detail);
+    }
+
+    /// Emits a trace event carrying causal-tree coordinates: this
+    /// step's span id and its parent's (`0` = none). A flat
+    /// [`Observer::trace_event`] is the `span = parent = 0` case.
+    pub fn trace_event_linked(
+        &self,
+        name: &'static str,
+        trace: TraceId,
+        span: u64,
+        parent: u64,
+        detail: impl FnOnce() -> String,
+    ) {
         if self.enabled() {
             self.emit_kind(EventKind::Trace {
                 name,
                 trace,
+                span,
+                parent,
                 detail: detail(),
             });
         }
@@ -69,11 +85,17 @@ impl Event {
     }
 }
 
-pub(crate) fn trace_json(name: &str, trace: TraceId, detail: &str) -> String {
+pub(crate) fn trace_json(name: &str, trace: TraceId, span: u64, parent: u64, detail: &str) -> String {
     let mut out = format!(
         "\"ev\":\"trace\",\"name\":\"{}\",\"trace\":\"{trace}\"",
         escape(name)
     );
+    if span != 0 {
+        out.push_str(&format!(",\"span\":{span}"));
+    }
+    if parent != 0 {
+        out.push_str(&format!(",\"parent\":{parent}"));
+    }
     if !detail.is_empty() {
         out.push_str(&format!(",\"detail\":\"{}\"", escape(detail)));
     }
@@ -123,5 +145,22 @@ mod tests {
     fn disabled_observer_skips_detail_construction() {
         let obs = Observer::disabled();
         obs.trace_event("x", TraceId::derive(1), || panic!("must not build"));
+    }
+
+    #[test]
+    fn linked_trace_events_render_span_coordinates() {
+        let ring = RingSink::with_capacity(8);
+        let obs = Observer::new(ring.clone());
+        let t = TraceId::derive(9);
+        obs.trace_event_linked("server/wal_append", t, 4, 2, || "lsn 7".into());
+        obs.trace_event("server/admit", t, || String::new());
+        let events = ring.events();
+        let json = events[0].to_json();
+        assert!(json.contains("\"span\":4"), "{json}");
+        assert!(json.contains("\"parent\":2"), "{json}");
+        // Flat trace points render exactly as before: no span keys.
+        let flat = events[1].to_json();
+        assert!(!flat.contains("\"span\""), "{flat}");
+        assert!(!flat.contains("\"parent\""), "{flat}");
     }
 }

@@ -115,6 +115,8 @@ proptest! {
             kind: EventKind::Trace {
                 name: "prop/escape",
                 trace: TraceId(1),
+                span: 0,
+                parent: 0,
                 detail: detail.clone(),
             },
         });

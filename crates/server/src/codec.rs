@@ -27,6 +27,8 @@ const KIND_ASSOC_DELETE: u8 = 3;
 // byte can never be misread as a delta record (and vice versa).
 const KIND_ADMIN_METRICS_TEXT: u8 = 0xA0;
 const KIND_ADMIN_METRICS_JSON: u8 = 0xA1;
+const KIND_ADMIN_TRACE_LOOKUP: u8 = 0xA2;
+const KIND_ADMIN_WATCH_METRICS: u8 = 0xA3;
 
 /// A control-channel request served by the session service outside the
 /// transactional data path.
@@ -37,15 +39,35 @@ pub enum AdminRequest {
     MetricsText,
     /// Render counters + latency histograms as one JSON object.
     MetricsJson,
+    /// Look a transaction's trace up in the service's trace hub and
+    /// render its stitched cross-shard causal tree as JSON.
+    TraceLookup(u64),
+    /// Subscribe this connection to periodic telemetry delta pushes
+    /// (server-push [`crate::wire::Response::MetricsDelta`] frames).
+    WatchMetrics {
+        /// Push interval in milliseconds (0 is clamped up to 1).
+        interval_ms: u32,
+    },
 }
 
 impl AdminRequest {
-    /// The request's one-byte wire encoding.
+    /// The request's wire encoding: one kind byte, plus the trace id
+    /// (8 bytes) or interval (4 bytes) for the parameterized kinds.
     pub fn encode(self) -> Vec<u8> {
-        vec![match self {
-            AdminRequest::MetricsText => KIND_ADMIN_METRICS_TEXT,
-            AdminRequest::MetricsJson => KIND_ADMIN_METRICS_JSON,
-        }]
+        match self {
+            AdminRequest::MetricsText => vec![KIND_ADMIN_METRICS_TEXT],
+            AdminRequest::MetricsJson => vec![KIND_ADMIN_METRICS_JSON],
+            AdminRequest::TraceLookup(trace) => {
+                let mut out = vec![KIND_ADMIN_TRACE_LOOKUP];
+                out.extend_from_slice(&trace.to_be_bytes());
+                out
+            }
+            AdminRequest::WatchMetrics { interval_ms } => {
+                let mut out = vec![KIND_ADMIN_WATCH_METRICS];
+                out.extend_from_slice(&interval_ms.to_be_bytes());
+                out
+            }
+        }
     }
 
     /// Decodes a wire-encoded admin request.
@@ -53,6 +75,20 @@ impl AdminRequest {
         match bytes {
             [KIND_ADMIN_METRICS_TEXT] => Ok(AdminRequest::MetricsText),
             [KIND_ADMIN_METRICS_JSON] => Ok(AdminRequest::MetricsJson),
+            [KIND_ADMIN_TRACE_LOOKUP, rest @ ..] => {
+                let id: [u8; 8] = rest
+                    .try_into()
+                    .map_err(|_| corrupt("trace lookup wants exactly 8 id bytes"))?;
+                Ok(AdminRequest::TraceLookup(u64::from_be_bytes(id)))
+            }
+            [KIND_ADMIN_WATCH_METRICS, rest @ ..] => {
+                let ms: [u8; 4] = rest
+                    .try_into()
+                    .map_err(|_| corrupt("watch metrics wants exactly 4 interval bytes"))?;
+                Ok(AdminRequest::WatchMetrics {
+                    interval_ms: u32::from_be_bytes(ms),
+                })
+            }
             [] => Err(corrupt("empty admin request")),
             other => Err(corrupt(format!(
                 "unknown admin request {:#04x} ({} bytes)",
@@ -353,7 +389,14 @@ mod tests {
 
     #[test]
     fn admin_requests_round_trip_and_reject_junk() {
-        for req in [AdminRequest::MetricsText, AdminRequest::MetricsJson] {
+        for req in [
+            AdminRequest::MetricsText,
+            AdminRequest::MetricsJson,
+            AdminRequest::TraceLookup(0),
+            AdminRequest::TraceLookup(u64::MAX),
+            AdminRequest::WatchMetrics { interval_ms: 100 },
+            AdminRequest::WatchMetrics { interval_ms: 0 },
+        ] {
             assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
         }
         assert!(AdminRequest::decode(&[]).is_err());
@@ -362,6 +405,17 @@ mod tests {
             "delta kinds rejected"
         );
         assert!(AdminRequest::decode(&[KIND_ADMIN_METRICS_TEXT, 0]).is_err());
+        // Parameterized kinds demand exact operand lengths: truncated
+        // and padded forms are both rejected.
+        assert!(AdminRequest::decode(&[KIND_ADMIN_TRACE_LOOKUP]).is_err());
+        assert!(AdminRequest::decode(&[KIND_ADMIN_TRACE_LOOKUP, 1, 2, 3]).is_err());
+        let mut long = AdminRequest::TraceLookup(7).encode();
+        long.push(0);
+        assert!(AdminRequest::decode(&long).is_err());
+        assert!(AdminRequest::decode(&[KIND_ADMIN_WATCH_METRICS, 1]).is_err());
+        let mut long = AdminRequest::WatchMetrics { interval_ms: 50 }.encode();
+        long.push(0);
+        assert!(AdminRequest::decode(&long).is_err());
     }
 
     #[test]

@@ -37,6 +37,16 @@
 //!   CRC framing end-to-end, served over an in-process duplex transport
 //!   by per-shard dispatcher pools with typed overload shedding, and
 //!   consumed through a typed [`net::Client`].
+//! * **Observability** — every commit lane owns its own metric
+//!   registry ([`SessionService::shard_metrics`]) merged and
+//!   `shard`-labelled by the exporters; every transaction's causal path
+//!   (admit → verify → group commit → per-shard WAL append → reply) is
+//!   recorded as a cross-shard span tree in a bounded trace hub
+//!   ([`SessionService::trace_hub`]), stamped into the WAL frames, and
+//!   served back over the wire via `AdminRequest::TraceLookup`; and
+//!   `AdminRequest::WatchMetrics` streams periodic telemetry deltas as
+//!   server-push [`wire::Response::MetricsDelta`] frames
+//!   ([`Client::watch_metrics`]).
 //! * **Verification** — with `lockstep-verify` (compile feature or
 //!   [`ServiceConfig::lockstep_verify`]) every commit re-checks
 //!   Definition 2 between the conceptual state and every external view,
@@ -54,7 +64,7 @@ pub mod wire;
 pub use codec::AdminRequest;
 pub use device::{DeviceError, LogDevice, MemDevice, WriteBudget};
 pub use error::ServerError;
-pub use net::{Client, NetServer, RemoteSession};
+pub use net::{Client, MetricsWatch, NetServer, RemoteSession};
 pub use service::{
     CommitInfo, CommitMode, CommitOutcome, CommittedTxn, DurableImage, RecoveryReport,
     ServiceConfig, ServiceConfigBuilder, SessionService, ViewSpec,

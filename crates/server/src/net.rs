@@ -59,6 +59,7 @@ use dme_storage::wal::{self, WalError};
 use dme_value::Tuple;
 use smol::channel::{self, Receiver, Sender, TrySendError};
 
+use crate::codec::AdminRequest;
 use crate::error::ServerError;
 use crate::service::{CommitOutcome, SessionService};
 use crate::session::SessionKind;
@@ -290,9 +291,10 @@ impl NetServer {
                     while let Some(conn) = listener.accept_blocking() {
                         let queues = queues.clone();
                         let obs = obs.clone();
+                        let service = service.clone();
                         executor
                             .spawn(async move {
-                                serve_conn(conn, queues, shards, obs).await;
+                                serve_conn(conn, queues, shards, obs, service).await;
                             })
                             .detach();
                     }
@@ -327,7 +329,17 @@ impl NetServer {
 
 /// One connection's read loop: peel frames, decode, route to the home
 /// dispatcher, shed typed `Overloaded` when the home queue is full.
-async fn serve_conn(conn: Conn, queues: Vec<Sender<Job>>, shards: usize, obs: Observer) {
+/// `WatchMetrics` subscriptions are intercepted here, before dispatch:
+/// each spawns a pusher thread that streams [`Response::MetricsDelta`]
+/// frames under the subscribing correlation until the connection
+/// closes.
+async fn serve_conn(
+    conn: Conn,
+    queues: Vec<Sender<Job>>,
+    shards: usize,
+    obs: Observer,
+    service: SessionService,
+) {
     let (reply, mut reader) = conn.split();
     loop {
         let frame = match reader.recv_frame().await {
@@ -356,6 +368,12 @@ async fn serve_conn(conn: Conn, queues: Vec<Sender<Job>>, shards: usize, obs: Ob
                 continue;
             }
         };
+        if let Request::Admin { body } = &request {
+            if let Ok(AdminRequest::WatchMetrics { interval_ms }) = AdminRequest::decode(body) {
+                spawn_metrics_pusher(service.clone(), reply.clone(), correlation, interval_ms);
+                continue;
+            }
+        }
         let shard = match request.session() {
             Some(id) => (id % shards as u64) as usize,
             None => (correlation % shards as u64) as usize,
@@ -368,6 +386,11 @@ async fn serve_conn(conn: Conn, queues: Vec<Sender<Job>>, shards: usize, obs: Ob
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
                 obs.add(Counter::RequestsShed, 1);
+                let lane = shard % service.shard_metrics().shards();
+                service
+                    .shard_metrics()
+                    .shard(lane)
+                    .add(Counter::RequestsShed, 1);
                 let resp = Response::Overloaded {
                     shard: shard as u64,
                     depth: queues[shard].len() as u64,
@@ -382,12 +405,53 @@ async fn serve_conn(conn: Conn, queues: Vec<Sender<Job>>, shards: usize, obs: Ob
     }
 }
 
+/// Spawns the pusher thread behind one `WatchMetrics` subscription:
+/// every `interval_ms` it captures the service's telemetry, frames the
+/// delta against the previous capture as a [`Response::MetricsDelta`]
+/// under the subscription's correlation id, and pushes it down the
+/// connection. The thread exits when the connection closes (the send
+/// fails); it holds only a service clone and the reply sender, so it
+/// never outlives the server's shared state.
+fn spawn_metrics_pusher(
+    service: SessionService,
+    reply: Sender<Vec<u8>>,
+    correlation: u64,
+    interval_ms: u32,
+) {
+    std::thread::Builder::new()
+        .name("dme-metrics-push".into())
+        .spawn(move || {
+            let interval = std::time::Duration::from_millis(interval_ms.max(1) as u64);
+            let obs = service.config().obs.clone();
+            let mut prev = service.telemetry_snapshot();
+            loop {
+                std::thread::sleep(interval);
+                let now = service.telemetry_snapshot();
+                let delta = now.delta(&prev);
+                prev = now;
+                let resp = Response::MetricsDelta {
+                    body: delta.to_json(),
+                };
+                let frame = wire::encode_response_frame(correlation, &resp);
+                if reply.send_blocking(frame).is_err() {
+                    return;
+                }
+                obs.add(Counter::MetricsDeltasStreamed, 1);
+            }
+        })
+        .expect("spawn metrics pusher");
+}
+
 // ---------------------------------------------------------------------
 // The client.
 
 struct ClientInner {
     tx: Sender<Vec<u8>>,
     pending: Mutex<HashMap<u64, Sender<Response>>>,
+    /// Persistent server-push subscriptions (`WatchMetrics`): unlike
+    /// `pending` waiters, a subscription stays registered across
+    /// responses and receives every frame pushed under its correlation.
+    subs: Mutex<HashMap<u64, Sender<Response>>>,
     next_correlation: AtomicU64,
 }
 
@@ -408,6 +472,7 @@ impl Client {
         let inner = Arc::new(ClientInner {
             tx,
             pending: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
             next_correlation: AtomicU64::new(1),
         });
         let demux = Arc::downgrade(&inner);
@@ -438,12 +503,24 @@ impl Client {
                             }
                             continue;
                         }
+                        // Subscriptions first: a subscribed correlation
+                        // stays registered and swallows every push.
+                        let sub = inner.subs.lock().unwrap().get(&correlation).cloned();
+                        if let Some(sub) = sub {
+                            if sub.send_blocking(response).is_err() {
+                                inner.subs.lock().unwrap().remove(&correlation);
+                            }
+                            continue;
+                        }
                         let waiter = inner.pending.lock().unwrap().remove(&correlation);
                         if let Some(waiter) = waiter {
                             let _ = waiter.send_blocking(response);
                         }
                     }
-                    Ok(None) => return,
+                    Ok(None) => {
+                        inner.subs.lock().unwrap().clear();
+                        return;
+                    }
                     Err(e) => {
                         fail_all(&inner, &e);
                         return;
@@ -521,6 +598,58 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Looks a transaction's trace up over the wire, returning the
+    /// stitched cross-shard causal tree as JSON (or a JSON error object
+    /// for traces the server no longer remembers).
+    pub fn trace_lookup(&self, trace: u64) -> Result<String, ServerError> {
+        match self.call_blocking(&Request::Admin {
+            body: AdminRequest::TraceLookup(trace).encode(),
+        })? {
+            Response::Admin { body } => Ok(body),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Subscribes to live telemetry: the server pushes one JSON delta
+    /// snapshot every `interval_ms` milliseconds over this connection
+    /// until the connection closes. Multiple watches multiplex with
+    /// ordinary calls over the same connection.
+    pub fn watch_metrics(&self, interval_ms: u32) -> Result<MetricsWatch, ServerError> {
+        let correlation = self.inner.next_correlation.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(64);
+        self.inner.subs.lock().unwrap().insert(correlation, tx);
+        let request = Request::Admin {
+            body: AdminRequest::WatchMetrics { interval_ms }.encode(),
+        };
+        let frame = wire::encode_request_frame(correlation, &request);
+        if self.inner.tx.send_blocking(frame).is_err() {
+            self.inner.subs.lock().unwrap().remove(&correlation);
+            return Err(self.closed());
+        }
+        Ok(MetricsWatch { rx })
+    }
+}
+
+/// A live telemetry subscription: each item is one server-pushed JSON
+/// delta snapshot (what moved since the previous push). The stream ends
+/// when the connection closes.
+pub struct MetricsWatch {
+    rx: Receiver<Response>,
+}
+
+impl MetricsWatch {
+    /// Blocks for the next delta snapshot's JSON body; `None` once the
+    /// connection is gone.
+    pub fn recv_blocking(&self) -> Option<String> {
+        loop {
+            match self.rx.recv_blocking() {
+                Ok(Response::MetricsDelta { body }) => return Some(body),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
 }
 
 fn fail_all(inner: &ClientInner, error: &ServerError) {
@@ -537,6 +666,8 @@ fn fail_all(inner: &ClientInner, error: &ServerError) {
             message: error.to_string(),
         });
     }
+    // Dropping the subscription senders ends every watch cleanly.
+    inner.subs.lock().unwrap().clear();
 }
 
 fn unexpected(response: Response) -> ServerError {

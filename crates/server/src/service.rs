@@ -60,7 +60,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use dme_ansi::ExternalView;
 use dme_core::translate::CompletionMode;
 use dme_graph::{GraphOp, GraphSchema, GraphState};
-use dme_obs::{Counter, Metric, Observer, TraceId};
+use dme_obs::{Counter, Metric, Observer, ShardRegistry, TelemetrySnapshot, TraceHub, TraceId};
 use dme_relation::{RelationState, RelationalSchema};
 use dme_storage::wal;
 use dme_storage::WalError;
@@ -122,6 +122,10 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Most transactions a lane leader drains into one group commit.
     pub max_batch: usize,
+    /// Recent traces the service's trace hub remembers for
+    /// `TraceLookup` queries (FIFO-evicted; 0 disables cross-shard
+    /// trace stitching entirely).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -136,6 +140,7 @@ impl Default for ServiceConfig {
             shards: 1,
             queue_depth: 4096,
             max_batch: 64,
+            trace_capacity: 512,
         }
     }
 }
@@ -240,6 +245,12 @@ impl ServiceConfigBuilder {
     /// Most transactions per group commit.
     pub fn max_batch(mut self, batch: usize) -> Self {
         self.config.max_batch = batch;
+        self
+    }
+
+    /// Recent traces kept for `TraceLookup` (0 disables stitching).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = capacity;
         self
     }
 
@@ -357,6 +368,9 @@ impl CommitOutcome {
 pub(crate) struct Request {
     id: u64,
     trace: TraceId,
+    /// The transaction's root (admit) span in the trace hub — the
+    /// parent every downstream span hangs off.
+    span: u64,
     enqueued: std::time::Instant,
     gops: Vec<GraphOp>,
     base_version: Option<u64>,
@@ -378,6 +392,14 @@ struct StagedTxn {
     lsn: u64,
     version: u64,
     trace: TraceId,
+    /// The admit (root) span this transaction's journal spans hang off.
+    span: u64,
+    /// The group-commit span, allocated when the journal buffers are
+    /// built (0 until then, or when the hub is disabled).
+    gc_span: u64,
+    /// One `(shard, span)` per involved shard's WAL append — the span
+    /// stamped into that shard's frame.
+    wal_spans: Vec<(usize, u64)>,
     enqueued: std::time::Instant,
     payload: Vec<u8>,
     ops: Vec<GraphOp>,
@@ -432,6 +454,12 @@ pub(crate) struct Shared {
     /// core lock.
     schema: Arc<GraphSchema>,
     pub(crate) config: ServiceConfig,
+    /// Per-shard metric registries — one lane, one registry — merged
+    /// and labelled by the exporters.
+    pub(crate) shard_metrics: Arc<ShardRegistry>,
+    /// Recent transactions' cross-shard span trees, served by
+    /// `AdminRequest::TraceLookup`.
+    pub(crate) trace_hub: Arc<TraceHub>,
     pub(crate) open_sessions: AtomicU64,
     next_session: AtomicU64,
     next_txn: AtomicU64,
@@ -523,12 +551,16 @@ impl SessionService {
         config: ServiceConfig,
         wal_devices: Vec<Box<dyn LogDevice>>,
     ) -> Self {
+        let shard_metrics = Arc::new(ShardRegistry::new(config.shards));
+        let trace_hub = Arc::new(TraceHub::new(config.trace_capacity));
         SessionService {
             shared: Arc::new(Shared {
                 core: Mutex::new(core),
                 lanes: wal_devices.into_iter().map(Lane::over).collect(),
                 schema,
                 config,
+                shard_metrics,
+                trace_hub,
                 open_sessions: AtomicU64::new(0),
                 next_session: AtomicU64::new(0),
                 next_txn: AtomicU64::new(0),
@@ -804,15 +836,48 @@ impl SessionService {
         TraceId::derive(self.shared.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Renders the service's telemetry (counters + latency histograms)
-    /// outside the transactional data path. Works even after a crash —
-    /// the black box must stay readable.
+    /// The per-shard metric registries (one per commit lane): shed
+    /// counts, lane depths and latency histograms attributed to the
+    /// lane that produced them.
+    pub fn shard_metrics(&self) -> &ShardRegistry {
+        &self.shared.shard_metrics
+    }
+
+    /// The service's trace hub: every transaction's cross-shard span
+    /// tree, kept for the most recent [`ServiceConfig::trace_capacity`]
+    /// traces.
+    pub fn trace_hub(&self) -> &TraceHub {
+        &self.shared.trace_hub
+    }
+
+    /// A point-in-time copy of the service's full telemetry: global
+    /// counters and histograms plus every shard lane's own registry.
+    /// This is what the exporters render and what `WatchMetrics`
+    /// streams deltas of.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::capture_with_shards(&self.shared.config.obs, &self.shared.shard_metrics)
+    }
+
+    /// Looks a transaction's trace up in the hub and renders its
+    /// stitched causal tree as JSON; unknown traces get a JSON error
+    /// object (a miss is an answer, not a protocol failure).
+    pub fn lookup_trace(&self, trace: TraceId) -> String {
+        match self.shared.trace_hub.assemble(trace) {
+            Some(asm) => asm.to_json(trace),
+            None => format!("{{\"error\":\"unknown trace\",\"trace\":\"{trace}\"}}"),
+        }
+    }
+
+    /// Renders the service's telemetry (counters + latency histograms,
+    /// globally and per shard lane) outside the transactional data
+    /// path. Works even after a crash — the black box must stay
+    /// readable.
     pub(crate) fn render_metrics(&self, json: bool) -> String {
-        let obs = &self.shared.config.obs;
+        let snap = self.telemetry_snapshot();
         if json {
-            dme_obs::json_snapshot(obs)
+            snap.to_json()
         } else {
-            dme_obs::prometheus_text(obs)
+            snap.to_prometheus_text()
         }
     }
 
@@ -867,25 +932,39 @@ impl SessionService {
     /// Routes a transaction to its home commit lane and drives the
     /// protocol until its outcome is known. The calling thread may end
     /// up acting as the lane's batch leader for its own and other
-    /// sessions' transactions. A full lane sheds immediately.
+    /// sessions' transactions. A full lane sheds immediately, and the
+    /// shed is attributed to the refusing shard's own registry.
     pub(crate) fn submit(
         &self,
         gops: Vec<GraphOp>,
         base_version: Option<u64>,
         trace: TraceId,
+        span: u64,
     ) -> Outcome {
         let config = &self.shared.config;
         let shard = shard::home_shard(&self.shared.schema, &gops, config.shards);
         let lane = &self.shared.lanes[shard];
+        let metrics = self.shared.shard_metrics.shard(shard);
         let id = {
             let mut q = lane.queue.lock().unwrap();
             if q.pending.len() >= config.queue_depth {
                 let depth = q.pending.len();
                 drop(q);
                 config.obs.add(Counter::RequestsShed, 1);
-                config.obs.trace_event("server/shed", trace, || {
-                    format!("shard {shard} depth {depth}")
-                });
+                metrics.add(Counter::RequestsShed, 1);
+                metrics.set_lane_depth(depth as u64);
+                let shed_span = self.shared.trace_hub.record(
+                    trace,
+                    "server/shed",
+                    span,
+                    Some(shard as u32),
+                    || format!("shard {shard} depth {depth}"),
+                );
+                config
+                    .obs
+                    .trace_event_linked("server/shed", trace, shed_span, span, || {
+                        format!("shard {shard} depth {depth}")
+                    });
                 return Outcome::Shed { shard, depth };
             }
             let id = q.next_id;
@@ -893,10 +972,12 @@ impl SessionService {
             q.pending.push_back(Request {
                 id,
                 trace,
+                span,
                 enqueued: std::time::Instant::now(),
                 gops,
                 base_version,
             });
+            metrics.set_lane_depth(q.pending.len() as u64);
             lane.cv.notify_all();
             id
         };
@@ -912,6 +993,7 @@ impl SessionService {
                     CommitMode::PerOp => 1,
                 };
                 let batch: Vec<Request> = q.pending.drain(..take).collect();
+                metrics.set_lane_depth(q.pending.len() as u64);
                 drop(q);
                 let outcomes = self.commit_batch(batch);
                 let mut q = lane.queue.lock().unwrap();
@@ -1003,16 +1085,20 @@ impl SessionService {
             // the advanced conceptual state (Definition 2 within the
             // view's vocabulary); otherwise we rely on the verified
             // operation translation (Definition 1).
-            obs.trace_event("server/verify", req.trace, || {
-                format!(
-                    "tier={} views={}",
-                    if config.lockstep_verify {
-                        "def2-state-equivalence"
-                    } else {
-                        "def1-translation"
-                    },
-                    core.views.len()
-                )
+            let tier = if config.lockstep_verify {
+                "def2-state-equivalence"
+            } else {
+                "def1-translation"
+            };
+            let views = core.views.len();
+            let verify_span = self
+                .shared
+                .trace_hub
+                .record(req.trace, "server/verify", req.span, None, || {
+                    format!("tier={tier} views={views}")
+                });
+            obs.trace_event_linked("server/verify", req.trace, verify_span, req.span, || {
+                format!("tier={tier} views={views}")
             });
             let shards = shard::shard_set(&self.shared.schema, &req.gops, config.shards);
             let lsn = core.next_lsn;
@@ -1027,6 +1113,9 @@ impl SessionService {
                 lsn,
                 version: core.version,
                 trace: req.trace,
+                span: req.span,
+                gc_span: 0,
+                wal_spans: Vec::new(),
                 enqueued: req.enqueued,
                 payload,
                 ops: req.gops,
@@ -1047,10 +1136,35 @@ impl SessionService {
         let mut bufs: BTreeMap<usize, Vec<u8>> =
             involved.iter().map(|&s| (s, Vec::new())).collect();
         let mut frames = 0u64;
-        for st in &staged {
-            let mut frame = Vec::new();
-            wal::append_record_traced(&mut frame, st.lsn, Some(st.trace.as_u64()), &st.payload);
+        let batch_size = staged.len();
+        let hub = &self.shared.trace_hub;
+        for st in &mut staged {
+            // Allocate the journal spans *before* the frames are built,
+            // so each shard's frame is stamped with its own WAL span
+            // (child of the group-commit span, child of admit). A
+            // disabled hub yields span 0, which the WAL codec
+            // normalizes back to a plain traced frame.
+            st.gc_span = hub.record(st.trace, "server/group_commit", st.span, None, || {
+                format!("batch={batch_size}")
+            });
+            let (lsn, gc_span) = (st.lsn, st.gc_span);
             for &s in &st.shards {
+                let wal_span = hub.record(
+                    st.trace,
+                    "server/wal_append",
+                    gc_span,
+                    Some(s as u32),
+                    || format!("lsn {lsn} shard {s}"),
+                );
+                st.wal_spans.push((s, wal_span));
+                let mut frame = Vec::new();
+                wal::append_record_spanned(
+                    &mut frame,
+                    st.lsn,
+                    Some(st.trace.as_u64()),
+                    Some((wal_span, gc_span)),
+                    &st.payload,
+                );
                 bufs.get_mut(&s)
                     .expect("buffer per involved shard")
                     .extend_from_slice(&frame);
@@ -1098,7 +1212,6 @@ impl SessionService {
                     obs.add(Counter::CrossShardCommits, cross);
                 }
                 core.commits_since_checkpoint += staged.len() as u64;
-                let batch_size = staged.len();
                 let last_trace = staged.last().map(|s| s.trace);
                 // The batch's LSN range is contiguous and disjoint from
                 // every other batch's, so one splice keeps the history
@@ -1107,14 +1220,38 @@ impl SessionService {
                 let at = core.history.partition_point(|t| t.lsn < first_lsn);
                 let mut committed = Vec::with_capacity(batch_size);
                 for st in staged {
-                    obs.trace_event("server/group_commit", st.trace, || {
-                        format!("batch={batch_size}")
-                    });
-                    obs.trace_event("server/wal_append", st.trace, || format!("lsn {}", st.lsn));
-                    obs.record(
-                        Metric::CommitLatency,
-                        st.enqueued.elapsed().as_micros() as u64,
+                    obs.trace_event_linked(
+                        "server/group_commit",
+                        st.trace,
+                        st.gc_span,
+                        st.span,
+                        || format!("batch={batch_size}"),
                     );
+                    let wal_span = st.wal_spans.first().map(|&(_, sp)| sp).unwrap_or(0);
+                    obs.trace_event_linked(
+                        "server/wal_append",
+                        st.trace,
+                        wal_span,
+                        st.gc_span,
+                        || format!("lsn {}", st.lsn),
+                    );
+                    let latency = st.enqueued.elapsed().as_micros() as u64;
+                    obs.record(Metric::CommitLatency, latency);
+                    // Attribute the commit to its home lane, the frames
+                    // to every shard that journaled one.
+                    let home = *st.shards.iter().next().expect("staged txn has a shard");
+                    let home_metrics = self.shared.shard_metrics.shard(home);
+                    home_metrics.add(Counter::TxnsCommitted, 1);
+                    home_metrics.record(Metric::CommitLatency, latency);
+                    if st.shards.len() > 1 {
+                        home_metrics.add(Counter::CrossShardCommits, 1);
+                    }
+                    for &(s, _) in &st.wal_spans {
+                        self.shared
+                            .shard_metrics
+                            .shard(s)
+                            .add(Counter::WalRecordsAppended, 1);
+                    }
                     committed.push(CommittedTxn {
                         lsn: st.lsn,
                         ops: st.ops,

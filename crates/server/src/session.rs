@@ -95,18 +95,30 @@ impl Session {
             ));
         }
         let obs = self.service.shared.config.obs.clone();
+        let hub = std::sync::Arc::clone(&self.service.shared.trace_hub);
         let trace = self.service.next_trace();
         let session_id = self.id;
-        obs.trace_event("server/admit", trace, || {
-            format!("session {session_id} model=graph ops={}", gops.len())
+        let ops = gops.len();
+        // The admit step is the transaction's root span; everything the
+        // commit pipeline records downstream hangs off it.
+        let admit = hub.record(trace, "server/admit", 0, None, || {
+            format!("session {session_id} model=graph ops={ops}")
         });
-        match self.service.submit(gops, None, trace) {
-            Outcome::Committed { lsn, version } => Ok(CommitOutcome::Committed(CommitInfo {
-                lsn,
-                version,
-                attempts: 1,
-                trace,
-            })),
+        obs.trace_event_linked("server/admit", trace, admit, 0, || {
+            format!("session {session_id} model=graph ops={ops}")
+        });
+        match self.service.submit(gops, None, trace, admit) {
+            Outcome::Committed { lsn, version } => {
+                hub.record(trace, "server/reply", admit, None, || {
+                    format!("lsn {lsn} version {version}")
+                });
+                Ok(CommitOutcome::Committed(CommitInfo {
+                    lsn,
+                    version,
+                    attempts: 1,
+                    trace,
+                }))
+            }
             Outcome::Shed { shard, depth } => Ok(CommitOutcome::Shed { shard, depth }),
             Outcome::Aborted(why) => Err(ServerError::Aborted(why)),
             Outcome::Conflict => unreachable!("graph commits carry no base version"),
@@ -135,11 +147,15 @@ impl Session {
         };
         let config = &self.service.shared.config;
         let obs = config.obs.clone();
+        let hub = std::sync::Arc::clone(&self.service.shared.trace_hub);
         let max_attempts = config.max_attempts.max(1);
         let backoff_micros = config.backoff_micros;
         let trace = self.service.next_trace();
         let session_id = self.id;
-        obs.trace_event("server/admit", trace, || {
+        let admit = hub.record(trace, "server/admit", 0, None, || {
+            format!("session {session_id} model=relational view={view_name}")
+        });
+        obs.trace_event_linked("server/admit", trace, admit, 0, || {
             format!("session {session_id} model=relational view={view_name}")
         });
         for attempt in 1..=max_attempts {
@@ -151,13 +167,20 @@ impl Session {
                 let _span = obs.span("server/translate");
                 let _timer = obs.time(dme_obs::Metric::TranslateLatency);
                 let gops = handle.translate_up(op)?;
-                obs.trace_event("server/translate", trace, || {
-                    format!("attempt {attempt} gops={}", gops.len())
+                let n = gops.len();
+                let t_span = hub.record(trace, "server/translate", admit, None, || {
+                    format!("attempt {attempt} gops={n}")
+                });
+                obs.trace_event_linked("server/translate", trace, t_span, admit, || {
+                    format!("attempt {attempt} gops={n}")
                 });
                 gops
             };
-            match self.service.submit(gops, Some(*base_version), trace) {
+            match self.service.submit(gops, Some(*base_version), trace, admit) {
                 Outcome::Committed { lsn, version } => {
+                    hub.record(trace, "server/reply", admit, None, || {
+                        format!("lsn {lsn} version {version}")
+                    });
                     // The snapshot is stale by exactly this commit (and
                     // possibly batch-mates): rebase onto the new state.
                     self.rebase(&view_name)?;

@@ -14,8 +14,11 @@
 //! the frame is caught by the frame checksum before the payload is
 //! looked at.
 //!
-//! Request tags live in `0x01..=0x09`, response tags in `0x81..=0x8A`,
-//! so a frame can never be misread across directions.
+//! Request tags live in `0x01..=0x09`, response tags in `0x81..=0x8B`,
+//! so a frame can never be misread across directions. One response is
+//! **server-push**: [`Response::MetricsDelta`] frames are emitted
+//! unprompted under a `WatchMetrics` subscription's correlation id,
+//! the first path where the server speaks without being spoken to.
 
 use dme_graph::{Association, Entity, EntityRef, GraphOp, SemanticUnit};
 use dme_obs::{Counter, Metric, TraceId};
@@ -52,6 +55,7 @@ const RESP_METRICS: u8 = 0x87;
 const RESP_CHECKPOINT_TAKEN: u8 = 0x88;
 const RESP_ADMIN: u8 = 0x89;
 const RESP_ERROR: u8 = 0x8A;
+const RESP_METRICS_DELTA: u8 = 0x8B;
 
 /// Everything a client can ask the service over the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -149,6 +153,14 @@ pub enum Response {
     /// A legacy admin request's rendered answer.
     Admin {
         /// The rendered body.
+        body: String,
+    },
+    /// One server-pushed telemetry delta under a `WatchMetrics`
+    /// subscription: a JSON [`dme_obs::TelemetrySnapshot`] rendering of
+    /// what moved since the previous push (gauges report their current
+    /// value). Pushed periodically, never in reply to a request.
+    MetricsDelta {
+        /// The delta snapshot's JSON rendering.
         body: String,
     },
     /// The request failed; `code` is the stable [`ServerError::code`].
@@ -613,6 +625,10 @@ impl Response {
                 out.push(RESP_ADMIN);
                 put_blob(&mut out, body.as_bytes());
             }
+            Response::MetricsDelta { body } => {
+                out.push(RESP_METRICS_DELTA);
+                put_blob(&mut out, body.as_bytes());
+            }
             Response::Error { code, message } => {
                 out.push(RESP_ERROR);
                 put_u16(&mut out, *code);
@@ -667,6 +683,10 @@ impl Response {
             RESP_ADMIN => Response::Admin {
                 body: String::from_utf8(r.blob()?.to_vec())
                     .map_err(|_| bad("admin body is not utf-8"))?,
+            },
+            RESP_METRICS_DELTA => Response::MetricsDelta {
+                body: String::from_utf8(r.blob()?.to_vec())
+                    .map_err(|_| bad("metrics delta body is not utf-8"))?,
             },
             RESP_ERROR => Response::Error {
                 code: r.u16()?,
@@ -875,10 +895,23 @@ impl SessionService {
                 Ok(Response::CheckpointTaken)
             }
             Request::Admin { body } => {
-                let request = AdminRequest::decode(&body)?;
-                Ok(Response::Admin {
-                    body: self.render_metrics(matches!(request, AdminRequest::MetricsJson)),
-                })
+                let body = match AdminRequest::decode(&body)? {
+                    AdminRequest::MetricsText => self.render_metrics(false),
+                    AdminRequest::MetricsJson => self.render_metrics(true),
+                    AdminRequest::TraceLookup(id) => {
+                        self.shared.config.obs.add(Counter::TraceLookups, 1);
+                        self.lookup_trace(TraceId(id))
+                    }
+                    // Streaming subscriptions are intercepted by the
+                    // network layer before dispatch; a WatchMetrics
+                    // that reaches the service directly (embedded
+                    // callers, no push path) is acknowledged with the
+                    // effective interval.
+                    AdminRequest::WatchMetrics { interval_ms } => {
+                        format!("{{\"watch\":{{\"interval_ms\":{}}}}}", interval_ms.max(1))
+                    }
+                };
+                Ok(Response::Admin { body })
             }
         }
     }

@@ -19,7 +19,11 @@
 //! The flags byte gates optional fields: bit 0 ([`FLAG_TRACE`]) means an
 //! 8-byte trace id follows the LSN, linking the record to one request's
 //! observability trace (zero is reserved for "untraced" and never
-//! framed). Unknown flag bits fail decoding with [`WalError::BadFlags`]
+//! framed); bit 1 ([`FLAG_SPAN`]) means two further 8-byte fields
+//! follow — the appending step's span id and its parent span id within
+//! the trace — so a cross-shard transaction's WAL frames carry enough
+//! structure to be stitched back into one causal tree. Unknown flag
+//! bits fail decoding with [`WalError::BadFlags`]
 //! so a future format rev can't be silently misread. A crash can tear
 //! the final record at any byte: [`replay_tolerant`] truncates the torn
 //! tail and reports what it dropped, while [`replay`] returns a typed
@@ -37,7 +41,12 @@ pub const WAL_MAGIC: u16 = 0xDA7A;
 /// Flags bit 0: the frame carries an 8-byte trace id after the LSN.
 pub const FLAG_TRACE: u8 = 0x01;
 
-const KNOWN_FLAGS: u8 = FLAG_TRACE;
+/// Flags bit 1: the frame carries an 8-byte span id plus an 8-byte
+/// parent span id after the trace field (causal-tree coordinates for
+/// trace stitching).
+pub const FLAG_SPAN: u8 = 0x02;
+
+const KNOWN_FLAGS: u8 = FLAG_TRACE | FLAG_SPAN;
 
 /// One replayed record: the log sequence number, the optional trace id
 /// of the request that produced it, and the opaque payload.
@@ -49,6 +58,10 @@ pub struct WalRecord {
     /// one. Opaque at this level (the observability layer renders it);
     /// zero is reserved and never stored.
     pub trace: Option<u64>,
+    /// The appending step's `(span, parent)` causal-tree coordinates
+    /// within the trace, when recorded. A span id of zero is reserved
+    /// and never stored; a parent of zero marks a root step.
+    pub span: Option<(u64, u64)>,
     /// Opaque payload bytes.
     pub payload: Vec<u8>,
 }
@@ -56,7 +69,9 @@ pub struct WalRecord {
 impl WalRecord {
     /// The encoded size of this record's frame in bytes.
     pub fn frame_len(&self) -> usize {
-        frame_len(self.payload.len()) + if self.trace.is_some() { 8 } else { 0 }
+        frame_len(self.payload.len())
+            + if self.trace.is_some() { 8 } else { 0 }
+            + if self.span.is_some() { 16 } else { 0 }
     }
 }
 
@@ -141,13 +156,39 @@ pub fn append_record_traced(
     trace: Option<u64>,
     payload: &[u8],
 ) -> usize {
+    append_record_spanned(buf, lsn, trace, None, payload)
+}
+
+/// Appends one framed record carrying an optional trace id and optional
+/// `(span, parent)` causal-tree coordinates. Zero trace and zero span
+/// ids are normalized to "absent" (both are reserved sentinels).
+/// Returns the encoded frame length in bytes.
+pub fn append_record_spanned(
+    buf: &mut Vec<u8>,
+    lsn: u64,
+    trace: Option<u64>,
+    span: Option<(u64, u64)>,
+    payload: &[u8],
+) -> usize {
     let trace = trace.filter(|t| *t != 0);
+    let span = span.filter(|(s, _)| *s != 0);
     let start = buf.len();
     buf.put_u16(WAL_MAGIC);
-    buf.put_u8(if trace.is_some() { FLAG_TRACE } else { 0 });
+    let mut flags = 0u8;
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    if span.is_some() {
+        flags |= FLAG_SPAN;
+    }
+    buf.put_u8(flags);
     buf.put_u64(lsn);
     if let Some(t) = trace {
         buf.put_u64(t);
+    }
+    if let Some((s, p)) = span {
+        buf.put_u64(s);
+        buf.put_u64(p);
     }
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
@@ -178,12 +219,18 @@ fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> 
         return Err(WalError::BadFlags { at, flags });
     }
     let trace_len = if flags & FLAG_TRACE != 0 { 8 } else { 0 };
-    if rest.len() < 8 + trace_len + 4 {
+    let span_len = if flags & FLAG_SPAN != 0 { 16 } else { 0 };
+    if rest.len() < 8 + trace_len + span_len + 4 {
         return Err(WalError::Truncated { at });
     }
     let lsn = rest.get_u64();
     let trace = if trace_len > 0 {
         Some(rest.get_u64())
+    } else {
+        None
+    };
+    let span = if span_len > 0 {
+        Some((rest.get_u64(), rest.get_u64()))
     } else {
         None
     };
@@ -194,7 +241,7 @@ fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> 
     let payload = rest[..len].to_vec();
     rest.advance(len);
     let stored = rest.get_u64();
-    let frame = frame_len(len) + trace_len;
+    let frame = frame_len(len) + trace_len + span_len;
     if fnv1a(&buf[at..at + frame - 8]) != stored {
         return Err(WalError::BadChecksum { at, lsn });
     }
@@ -202,6 +249,7 @@ fn decode_record(buf: &[u8], at: usize) -> Result<(WalRecord, usize), WalError> 
         WalRecord {
             lsn,
             trace,
+            span,
             payload,
         },
         frame,
@@ -315,6 +363,42 @@ mod tests {
         assert_eq!(records[0].frame_len(), n1);
         assert_eq!(records[1].trace, None);
         assert_eq!(records[1].frame_len(), n2);
+    }
+
+    #[test]
+    fn spanned_records_round_trip_and_mix_with_plain() {
+        let mut buf = Vec::new();
+        let n1 = append_record_spanned(&mut buf, 1, Some(0xFEED), Some((4, 2)), b"one");
+        let n2 = append_record_spanned(&mut buf, 2, None, Some((9, 0)), b"two");
+        let n3 = append_record(&mut buf, 3, b"three");
+        assert_eq!(n1, frame_len(3) + 8 + 16);
+        assert_eq!(n2, frame_len(3) + 16);
+        let records = replay(&buf).unwrap();
+        assert_eq!(records[0].trace, Some(0xFEED));
+        assert_eq!(records[0].span, Some((4, 2)));
+        assert_eq!(records[0].frame_len(), n1);
+        assert_eq!(records[1].trace, None);
+        assert_eq!(records[1].span, Some((9, 0)), "parent 0 = root step");
+        assert_eq!(records[2].span, None);
+        assert_eq!(records[2].frame_len(), n3);
+        // Zero span ids are normalized away like zero traces.
+        let mut buf = Vec::new();
+        let n = append_record_spanned(&mut buf, 1, Some(7), Some((0, 5)), b"x");
+        assert_eq!(n, frame_len(1) + 8);
+        assert_eq!(replay(&buf).unwrap()[0].span, None);
+    }
+
+    #[test]
+    fn torn_spanned_tail_is_detected() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, 1, b"ok");
+        let clean = buf.len();
+        append_record_spanned(&mut buf, 2, Some(7), Some((3, 1)), b"torn");
+        for cut in clean + 1..buf.len() {
+            let (records, err) = replay_tolerant(&buf[..cut]);
+            assert_eq!(records.len(), 1, "cut at {cut}");
+            assert!(matches!(err, Some(WalError::Truncated { .. })));
+        }
     }
 
     #[test]

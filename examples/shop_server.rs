@@ -22,11 +22,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use borkin_equiv::equivalence::translate::CompletionMode;
+use borkin_equiv::graph::{Association, EntityRef, GraphOp};
 use borkin_equiv::obs::{Observer, RingSink};
+use borkin_equiv::server::shard::shard_of;
 use borkin_equiv::server::{
     CommitOutcome, LogDevice, MemDevice, NetServer, ServiceConfig, SessionKind, SessionService,
     ViewSpec,
 };
+use borkin_equiv::value::Atom;
 use borkin_equiv::workload::{self, SessionStream, ShopConfig};
 
 const SHARDS: usize = 4;
@@ -203,6 +206,68 @@ fn main() {
         .lines()
         .filter(|l| l.contains("txns_committed") || l.contains("requests_shed"))
     {
+        println!("  {line}");
+    }
+
+    // ── Cluster observability: stitching and streaming ────────────────
+    println!("\n== cluster observability ==");
+    // Subscribe before committing so the streamed deltas see it land.
+    let watch = clients[0].watch_metrics(50).expect("subscription opens");
+
+    // One deliberately cross-shard transaction: a supervision between
+    // two employees homed on different commit lanes.
+    let employee = |i: usize| EntityRef::new("employee", Atom::str(format!("E{i:05}")));
+    let sess = clients[1].open_session(SessionKind::Graph).expect("admits");
+    let mut committed = None;
+    'pairs: for a in 0..cfg.employees {
+        for b in 0..cfg.employees {
+            if a == b || shard_of(&employee(a), SHARDS) == shard_of(&employee(b), SHARDS) {
+                continue;
+            }
+            // Seeded supervisions may already hold a candidate pair (an
+            // abort, not a bug) — keep probing until one commits.
+            let op = GraphOp::InsertAssociation(Association::new(
+                "supervise",
+                [("agent", employee(a)), ("object", employee(b))],
+            ));
+            if let Ok(out) = sess.submit_graph(vec![op]) {
+                if let Some(info) = out.info() {
+                    committed = Some((info, a, b));
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    let (info, a, b) = committed.expect("some cross-lane pair is free to supervise");
+    sess.close().expect("graceful close");
+    println!(
+        "  committed E{a:05} -> E{b:05} across shards {} and {}",
+        shard_of(&employee(a), SHARDS),
+        shard_of(&employee(b), SHARDS)
+    );
+
+    // TraceLookup over the wire: the transaction's stitched causal
+    // tree, with a wal_append span on every involved lane.
+    let tree = clients[2]
+        .trace_lookup(info.trace.as_u64())
+        .expect("trace resolves");
+    println!("  TraceLookup({}) ->\n    {tree}", info.trace);
+
+    // Two consecutive streamed deltas from the subscription opened
+    // above — the first one carries the commit we just watched land.
+    for i in 0..2 {
+        let delta = watch.recv_blocking().expect("stream is live");
+        let brief: String = delta.chars().take(120).collect();
+        println!("  delta {i}: {brief}…");
+    }
+    drop(watch);
+
+    // The labelled per-shard render over the same wire.
+    let text = clients[0].metrics(false).expect("metrics render");
+    for line in text.lines().filter(|l| {
+        l.starts_with("dme_shard_lane_depth")
+            || (l.starts_with("dme_shard_counter") && l.contains("txns_committed"))
+    }) {
         println!("  {line}");
     }
 

@@ -6,7 +6,10 @@
 
 use std::path::PathBuf;
 
-use borkin_equiv::obs::{json_snapshot, prometheus_text, Counter, Metric, Observer, RingSink};
+use borkin_equiv::obs::{
+    json_snapshot, prometheus_text, Counter, Metric, Observer, RingSink, ShardRegistry,
+    TelemetrySnapshot,
+};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -57,20 +60,39 @@ fn fixture_observer() -> Observer {
     obs
 }
 
+/// A two-lane shard registry with fixed per-shard counts: the sharded
+/// renders label each lane's counters, latency summaries and
+/// commit-lane depth gauge with `shard="i"`.
+fn fixture_shards() -> ShardRegistry {
+    let reg = ShardRegistry::new(2);
+    let lane0 = reg.shard(0);
+    lane0.add(Counter::TxnsCommitted, 4);
+    lane0.add(Counter::RequestsShed, 1);
+    lane0.add(Counter::WalRecordsAppended, 5);
+    lane0.set_lane_depth(2);
+    for v in [90, 110, 600] {
+        lane0.record(Metric::CommitLatency, v);
+    }
+    let lane1 = reg.shard(1);
+    lane1.add(Counter::TxnsCommitted, 3);
+    lane1.add(Counter::CrossShardCommits, 1);
+    lane1.add(Counter::WalRecordsAppended, 2);
+    for v in [130, 2_500] {
+        lane1.record(Metric::CommitLatency, v);
+    }
+    reg
+}
+
 #[test]
 fn prometheus_text_format_is_pinned() {
-    check_golden(
-        "telemetry_prometheus.txt",
-        &prometheus_text(&fixture_observer()),
-    );
+    let snap = TelemetrySnapshot::capture_with_shards(&fixture_observer(), &fixture_shards());
+    check_golden("telemetry_prometheus.txt", &snap.to_prometheus_text());
 }
 
 #[test]
 fn json_snapshot_format_is_pinned() {
-    check_golden(
-        "telemetry_snapshot.json",
-        &json_snapshot(&fixture_observer()),
-    );
+    let snap = TelemetrySnapshot::capture_with_shards(&fixture_observer(), &fixture_shards());
+    check_golden("telemetry_snapshot.json", &snap.to_json());
 }
 
 /// The golden fixtures double as format checks: the text rendering
@@ -98,4 +120,44 @@ fn exporters_satisfy_their_format_contracts() {
         !json.contains("\"nodes_expanded\""),
         "zero counters are omitted from JSON"
     );
+    // The global-only renders carry no shard families at all: those
+    // appear exactly when a shard registry is attached.
+    assert!(!text.contains("dme_shard_"));
+    assert!(!json.contains("\"shards\""));
+}
+
+/// The sharded renders label every lane: per-shard counters (non-zero
+/// only), the commit-lane depth gauge (always, it is a gauge), and
+/// per-shard latency summaries, all with `shard="i"` labels — on top
+/// of the unchanged global families.
+#[test]
+fn sharded_exports_label_every_lane() {
+    let snap = TelemetrySnapshot::capture_with_shards(&fixture_observer(), &fixture_shards());
+    let text = snap.to_prometheus_text();
+    assert!(text.contains("dme_shard_counter{shard=\"0\",name=\"requests_shed\"} 1"));
+    assert!(text.contains("dme_shard_counter{shard=\"1\",name=\"cross_shard_commits\"} 1"));
+    assert!(text.contains("dme_shard_lane_depth{shard=\"0\"} 2"));
+    assert!(text.contains("dme_shard_lane_depth{shard=\"1\"} 0"));
+    assert!(text.contains("dme_shard_latency_us{shard=\"0\",metric=\"commit_latency_us\""));
+    assert!(
+        !text.contains("dme_shard_counter{shard=\"1\",name=\"requests_shed\"}"),
+        "zero per-shard counters are omitted from the labelled render"
+    );
+
+    let json = snap.to_json();
+    assert!(json.contains("\"shards\":[{\"shard\":0,"));
+    assert!(json.contains("\"lane_depth\":2"));
+    assert!(json.contains("\"cross_shard_commits\":1"));
+
+    // Merging the lanes reproduces the totals a single registry would
+    // have counted.
+    let merged = snap.merged_shards();
+    let committed = merged
+        .counters
+        .iter()
+        .find(|(c, _)| *c == Counter::TxnsCommitted)
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert_eq!(committed, 7, "4 + 3 commits across the lanes");
+    assert_eq!(merged.lane_depth, 2, "gauges sum across lanes");
 }

@@ -408,6 +408,155 @@ fn one_trace_id_reconstructs_the_transaction_causal_path() {
     );
 }
 
+/// Acceptance check for cross-shard stitching: a transaction touching
+/// ≥2 shard lanes assembles — via the service's trace hub — into one
+/// causal tree rooted at its admit span, with a `server/wal_append`
+/// span on *every* involved shard, and each involved shard's WAL frame
+/// is stamped with that shard's own span pair.
+#[test]
+fn a_cross_shard_transaction_stitches_into_one_causal_tree() {
+    use borkin_equiv::graph::{Association, EntityRef};
+    use borkin_equiv::server::shard::shard_of;
+    use borkin_equiv::storage::wal;
+    use borkin_equiv::value::Atom;
+
+    const SHARDS: usize = 4;
+    let cfg = ShopConfig {
+        employees: 12,
+        machines: 2,
+        supervisions: 0,
+        seed: 9,
+    };
+    let initial = workload::graph_state(cfg);
+    let service = SessionService::new_sharded(
+        initial,
+        Vec::new(),
+        ServiceConfig {
+            shards: SHARDS,
+            ..ServiceConfig::default()
+        },
+        (0..SHARDS)
+            .map(|_| Box::new(MemDevice::new()) as Box<dyn borkin_equiv::server::LogDevice>)
+            .collect(),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+
+    // Pick two employees homed on *different* shard lanes so the
+    // supervision between them journals cross-shard.
+    let employee = |i: usize| EntityRef::new("employee", Atom::str(format!("E{i:05}")));
+    let home = shard_of(&employee(0), SHARDS);
+    let other = (1..cfg.employees)
+        .find(|&i| shard_of(&employee(i), SHARDS) != home)
+        .expect("a dozen employees span more than one of four shards");
+    let mut sess = service.open_session(SessionKind::Graph).unwrap();
+    let info = sess
+        .submit_graph(vec![GraphOp::InsertAssociation(Association::new(
+            "supervise",
+            [("agent", employee(0)), ("object", employee(other))],
+        ))])
+        .unwrap()
+        .expect_commit();
+    sess.close().unwrap();
+
+    let involved = vec![
+        shard_of(&employee(0), SHARDS).min(shard_of(&employee(other), SHARDS)) as u32,
+        shard_of(&employee(0), SHARDS).max(shard_of(&employee(other), SHARDS)) as u32,
+    ];
+    let asm = service
+        .trace_hub()
+        .assemble(info.trace)
+        .expect("the hub kept the trace");
+    assert_eq!(asm.shards(), involved, "spans from every involved shard");
+    let events = service.trace_hub().lookup(info.trace).unwrap();
+    let admit: Vec<_> = events.iter().filter(|e| e.parent == 0).collect();
+    assert_eq!(admit.len(), 1, "one causal root");
+    assert_eq!(admit[0].name, "server/admit");
+    let tree = asm.to_json(info.trace);
+    for step in [
+        "server/admit",
+        "server/verify",
+        "server/group_commit",
+        "server/wal_append",
+        "server/reply",
+    ] {
+        assert!(tree.contains(step), "stitched tree lost {step}: {tree}");
+    }
+    // lookup_trace (the TraceLookup admin surface) renders the same tree.
+    assert_eq!(service.lookup_trace(info.trace), tree);
+
+    // Every involved shard's WAL carries the transaction, stamped with
+    // that shard's own (span, parent) pair from the stitched tree.
+    let image = service.durable_image();
+    let wal_bytes =
+        |s: u32| -> &Vec<u8> { if s == 0 { &image.wal } else { &image.shard_wals[s as usize - 1] } };
+    for &s in &involved {
+        let records = wal::replay(wal_bytes(s)).unwrap();
+        let record = records
+            .iter()
+            .find(|r| r.lsn == info.lsn)
+            .unwrap_or_else(|| panic!("shard {s} journaled lsn {}", info.lsn));
+        assert_eq!(record.trace, Some(info.trace.as_u64()));
+        let (span, parent) = record.span.expect("frame is span-stamped");
+        let stamped = events
+            .iter()
+            .find(|e| e.span == span)
+            .expect("stamped span is in the stitched tree");
+        assert_eq!(stamped.name, "server/wal_append");
+        assert_eq!(stamped.shard, Some(s), "frame stamped with its own lane");
+        assert_eq!(stamped.parent, parent, "stamp carries the commit parent");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The assembler is order-insensitive: any arrival permutation of a
+    /// trace's events stitches into the identical rendered tree (spans
+    /// order the tree; arrival order is only a span-less tiebreaker).
+    #[test]
+    fn trace_assembly_is_order_insensitive(seed in 0u64..1_000_000) {
+        use borkin_equiv::obs::{TraceAssembler, TraceEvent, TraceId};
+
+        let event = |seq: u64, span: u64, parent: u64, name: &str, shard: Option<u32>| TraceEvent {
+            seq,
+            span,
+            parent,
+            name: name.into(),
+            shard,
+            detail: format!("step {span}"),
+        };
+        let canonical = vec![
+            event(0, 1, 0, "server/admit", None),
+            event(1, 2, 1, "server/verify", None),
+            event(2, 3, 1, "server/group_commit", None),
+            event(3, 4, 3, "server/wal_append", Some(0)),
+            event(4, 5, 3, "server/wal_append", Some(2)),
+            event(5, 6, 1, "server/reply", None),
+        ];
+        let expected = {
+            let mut asm = TraceAssembler::new();
+            for e in &canonical {
+                asm.push(e.clone());
+            }
+            asm.to_json(TraceId(seed))
+        };
+        // Fisher–Yates keyed off the case seed: a different arrival
+        // permutation per case, same event set.
+        let mut mix = seed;
+        let mut shuffled = canonical;
+        for i in (1..shuffled.len()).rev() {
+            mix = mix.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (mix >> 33) as usize % (i + 1));
+        }
+        let mut asm = TraceAssembler::new();
+        for e in &shuffled {
+            asm.push(e.clone());
+        }
+        prop_assert_eq!(asm.to_json(TraceId(seed)), expected);
+    }
+}
+
 /// A deterministic smoke case pinning the oracle end to end (the
 /// property above runs it across many random specs).
 #[test]

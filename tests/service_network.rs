@@ -78,8 +78,70 @@ fn mem_wals(n: usize) -> Vec<Box<dyn borkin_equiv::server::LogDevice>> {
         .collect()
 }
 
+/// Failure post-mortem for this suite: the merged telemetry snapshot
+/// (global counters + every shard lane) and one dump per shard lane,
+/// all under `target/flight/` — the directory CI ships as an artifact
+/// when a leg fails.
+fn dump_observability(service: &SessionService, test: &str) {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("flight");
+    let _ = std::fs::create_dir_all(&dir);
+    let snap = service.telemetry_snapshot();
+    let _ = std::fs::write(
+        dir.join(format!("service_network_{test}.metrics.json")),
+        snap.to_json(),
+    );
+    for (i, shard) in snap.shards.iter().enumerate() {
+        let mut out = format!("{{\"shard\":{i},\"lane_depth\":{},\"counters\":{{", shard.lane_depth);
+        for (j, (c, v)) in shard.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", c.name()));
+        }
+        out.push_str("},\"metrics\":{");
+        for (j, (m, h)) in shard.metrics.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                m.name(),
+                h.count,
+                h.p50(),
+                h.p99(),
+                h.max
+            ));
+        }
+        out.push_str("}}");
+        let _ = std::fs::write(
+            dir.join(format!("service_network_{test}.shard{i}.json")),
+            out,
+        );
+    }
+}
+
+/// Dumps the service's observability plane iff the owning test panics:
+/// hold one for the duration of a test and every failing leg leaves its
+/// post-mortem under `target/flight/`.
+struct DumpOnFailure {
+    service: SessionService,
+    test: &'static str,
+}
+
+impl Drop for DumpOnFailure {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            dump_observability(&self.service, self.test);
+        }
+    }
+}
+
 /// Runs one schedule through the network path and checks every
-/// conformance property. `Err` carries a human-readable violation.
+/// conformance property. `Err` carries a human-readable violation, and
+/// a violating run leaves its metrics + per-shard dumps under
+/// `target/flight/` for the CI artifact.
 fn run_schedule_networked(spec: ScheduleSpec) -> Result<(), String> {
     let cfg = shop_cfg(spec.seed);
     let initial = workload::graph_state(cfg);
@@ -100,6 +162,20 @@ fn run_schedule_networked(spec: ScheduleSpec) -> Result<(), String> {
         Box::new(MemDevice::new()),
     )
     .map_err(|e| format!("boot: {e}"))?;
+    let result = drive_and_check(spec, cfg, &initial, &service);
+    if result.is_err() {
+        dump_observability(&service, "schedule");
+    }
+    result
+}
+
+/// The schedule driver + oracle checks behind `run_schedule_networked`.
+fn drive_and_check(
+    spec: ScheduleSpec,
+    cfg: ShopConfig,
+    initial: &borkin_equiv::graph::GraphState,
+    service: &SessionService,
+) -> Result<(), String> {
     let server = NetServer::serve(service.clone());
     let client = server.connect().map_err(|e| format!("connect: {e}"))?;
 
@@ -530,6 +606,234 @@ fn ten_thousand_sessions_multiplex_over_four_shards() {
     });
     assert_eq!(service.open_sessions(), 0, "global teardown is clean");
     drop(clients);
+    server.shutdown();
+}
+
+/// Tentpole acceptance: a transaction spanning several of four shard
+/// lanes resolves — over the wire, via `TraceLookup` — to *one*
+/// stitched causal tree carrying a `server/wal_append` span from every
+/// involved shard.
+#[test]
+fn a_cross_shard_transaction_resolves_to_one_stitched_tree_over_the_wire() {
+    use borkin_equiv::graph::{Association, EntityRef};
+    use borkin_equiv::server::shard::shard_of;
+    use borkin_equiv::value::Atom;
+
+    let cfg = ShopConfig {
+        employees: 24,
+        machines: 2,
+        supervisions: 0,
+        seed: 29,
+    };
+    let service = SessionService::new_sharded(
+        workload::graph_state(cfg),
+        Vec::new(),
+        ServiceConfig {
+            shards: SHARDS,
+            ..ServiceConfig::default()
+        },
+        mem_wals(SHARDS),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+    let _post_mortem = DumpOnFailure {
+        service: service.clone(),
+        test: "trace_lookup",
+    };
+    let server = NetServer::serve(service.clone());
+    let client = server.connect().unwrap();
+    let sess = client.open_session(SessionKind::Graph).unwrap();
+
+    // One transaction of supervisions between employees chosen to land
+    // on all four lanes, so its WAL frames fan out maximally.
+    let employee = |i: usize| EntityRef::new("employee", Atom::str(format!("E{i:05}")));
+    let mut picked: Vec<usize> = Vec::new();
+    let mut lanes_seen: Vec<usize> = Vec::new();
+    for i in 0..cfg.employees {
+        let lane = shard_of(&employee(i), SHARDS);
+        if !lanes_seen.contains(&lane) {
+            lanes_seen.push(lane);
+            picked.push(i);
+            if lanes_seen.len() == SHARDS {
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        lanes_seen.len(),
+        SHARDS,
+        "two dozen employees cover all four lanes"
+    );
+    let ops: Vec<GraphOp> = picked
+        .chunks_exact(2)
+        .map(|pair| {
+            GraphOp::InsertAssociation(Association::new(
+                "supervise",
+                [
+                    ("agent", employee(pair[0])),
+                    ("object", employee(pair[1])),
+                ],
+            ))
+        })
+        .collect();
+    let info = sess.submit_graph(ops).unwrap().expect_commit();
+
+    // The wire lookup returns one tree, rooted once, with the admit →
+    // verify → group_commit → wal_append → reply path intact and a
+    // wal_append span on every one of the four lanes.
+    let tree = client.trace_lookup(info.trace.as_u64()).unwrap();
+    let mut involved = lanes_seen.clone();
+    involved.sort_unstable();
+    let shard_list = involved
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    assert!(
+        tree.contains(&format!("\"shards\":[{shard_list}]")),
+        "tree spans every involved shard: {tree}"
+    );
+    assert_eq!(
+        tree.matches("\"name\":\"server/wal_append\"").count(),
+        SHARDS,
+        "one journal span per involved lane: {tree}"
+    );
+    for step in [
+        "server/admit",
+        "server/verify",
+        "server/group_commit",
+        "server/reply",
+    ] {
+        assert_eq!(
+            tree.matches(&format!("\"name\":\"{step}\"")).count(),
+            1,
+            "exactly one {step} span: {tree}"
+        );
+    }
+    assert!(
+        tree.starts_with(&format!("{{\"trace\":\"{}\"", info.trace)),
+        "tree is keyed by the transaction's trace id: {tree}"
+    );
+    // A lookup that misses is an answer, not a protocol failure.
+    let miss = client.trace_lookup(0xDEAD_BEEF).unwrap();
+    assert!(miss.contains("unknown trace"), "miss is typed: {miss}");
+
+    sess.close().unwrap();
+    drop(client);
+    server.shutdown();
+}
+
+/// Tentpole acceptance: `WatchMetrics` streams consecutive delta
+/// snapshots over the same multiplexed connection that is carrying
+/// live commit traffic — at least three deltas arrive while ordinary
+/// request/response calls keep answering in between.
+#[test]
+fn watch_metrics_streams_deltas_over_a_loaded_multiplexed_connection() {
+    use std::sync::atomic::AtomicBool;
+
+    let cfg = shop_cfg(31);
+    let service = SessionService::new_sharded(
+        workload::graph_state(cfg),
+        views(cfg),
+        ServiceConfig {
+            shards: SHARDS,
+            obs: Observer::new(RingSink::with_capacity(1024)),
+            ..ServiceConfig::default()
+        },
+        mem_wals(SHARDS),
+        Box::new(MemDevice::new()),
+    )
+    .unwrap();
+    let _post_mortem = DumpOnFailure {
+        service: service.clone(),
+        test: "watch_metrics",
+    };
+    let server = NetServer::serve(service.clone());
+    let client = server.connect().unwrap();
+    let watch = client.watch_metrics(20).unwrap();
+
+    let stop = AtomicBool::new(false);
+    let deltas = std::thread::scope(|scope| {
+        // Load: one session hammers toggles on the same connection the
+        // subscription is streaming over.
+        let loader = scope.spawn(|| {
+            let sess = client.open_session(SessionKind::Graph).unwrap();
+            let ops = workload::supervision_toggle_ops(cfg, 8);
+            let mut committed = 0u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                // Toggles alternate insert/delete; under this serial
+                // session every other one commits. Aborts are fine —
+                // they are traffic too.
+                if let Ok(outcome) = sess.submit_graph(vec![ops[i % ops.len()].clone()]) {
+                    if outcome.info().is_some() {
+                        committed += 1;
+                    }
+                }
+                i += 1;
+            }
+            sess.close().unwrap();
+            committed
+        });
+        let mut deltas = Vec::new();
+        for _ in 0..3 {
+            deltas.push(watch.recv_blocking().expect("the stream stays live"));
+        }
+        // Mid-stream, the same connection still answers plain calls.
+        let metrics = client.metrics(true).unwrap();
+        assert!(
+            metrics.contains("\"shards\":["),
+            "request/response keeps working mid-stream: {metrics}"
+        );
+        stop.store(true, Ordering::Relaxed);
+        let committed = loader.join().unwrap();
+        assert!(committed > 0, "the load actually committed transactions");
+        deltas
+    });
+
+    // Three *consecutive* deltas: each is a well-formed snapshot delta,
+    // and across the streamed window the commit counter moved.
+    let committed_in = |delta: &str| -> u64 {
+        delta
+            .split("\"txns_committed\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or_else(|| panic!("delta carries the commit counter: {delta}"))
+    };
+    let mut streamed = 0u64;
+    for delta in &deltas {
+        assert!(
+            delta.starts_with('{') && delta.ends_with('}'),
+            "delta is a JSON object: {delta}"
+        );
+        assert!(
+            delta.contains("\"counters\":{"),
+            "delta carries counters: {delta}"
+        );
+        streamed += committed_in(delta);
+    }
+    assert!(
+        streamed > 0,
+        "the streamed deltas saw commits happen: {deltas:?}"
+    );
+    // The pusher's own throughput shows up in the merged telemetry.
+    let snap = service.telemetry_snapshot();
+    let pushed = snap
+        .counters
+        .iter()
+        .find(|(c, _)| c.name() == "metrics_deltas_streamed")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert!(pushed >= 3, "the service counted its own pushes: {pushed}");
+
+    drop(watch);
+    drop(client);
     server.shutdown();
 }
 

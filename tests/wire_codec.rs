@@ -14,7 +14,7 @@ use borkin_equiv::server::wire::{
     decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
     Request, Response,
 };
-use borkin_equiv::server::{CommitInfo, ServerError, SessionKind};
+use borkin_equiv::server::{AdminRequest, CommitInfo, ServerError, SessionKind};
 use borkin_equiv::value::{Atom, Tuple, Value};
 
 /// Deterministic splitmix64 — the suite's only entropy source, so a
@@ -181,6 +181,17 @@ fn sample_requests(mix: &mut Mix) -> Vec<Request> {
         Request::Admin {
             body: (0..mix.below(8)).map(|_| mix.next() as u8).collect(),
         },
+        // Typed admin bodies ride the same frame: the observability
+        // operations must survive the framing sweeps too.
+        Request::Admin {
+            body: AdminRequest::TraceLookup(mix.next()).encode(),
+        },
+        Request::Admin {
+            body: AdminRequest::WatchMetrics {
+                interval_ms: mix.next() as u32,
+            }
+            .encode(),
+        },
     ]
 }
 
@@ -212,6 +223,7 @@ fn sample_responses(mix: &mut Mix) -> Vec<Response> {
         Response::Metrics { body: mix.string() },
         Response::CheckpointTaken,
         Response::Admin { body: mix.string() },
+        Response::MetricsDelta { body: mix.string() },
         Response::Error {
             code: ServerError::UnknownSession(0).code(),
             message: mix.string(),
