@@ -20,14 +20,16 @@ use crate::view::ExternalView;
 
 /// A session's private, snapshot-isolated handle over one external view.
 ///
-/// The handle owns a clone of the view state and of the conceptual state
-/// the clone was taken against, so translation never races the shared
-/// database: re-snapshotting after a commit conflict is
-/// [`ViewSession::rebase`].
+/// The handle *shares* the view state and the conceptual state it was
+/// snapshotted against (`Arc` copy-on-write): opening a session is two
+/// reference bumps, not a state clone, and the shared owner pays a copy
+/// only when it mutates a state some snapshot still pins. Translation
+/// therefore never races the shared database: re-snapshotting after a
+/// commit conflict is [`ViewSession::rebase`].
 #[derive(Clone)]
 pub struct ViewSession {
-    view: ExternalView,
-    conceptual: GraphState,
+    view: Arc<ExternalView>,
+    conceptual: Arc<GraphState>,
 }
 
 impl std::fmt::Debug for ViewSession {
@@ -38,12 +40,10 @@ impl std::fmt::Debug for ViewSession {
 
 impl ViewSession {
     /// Snapshots a session handle over `view`, paired with the
-    /// conceptual state it is currently consistent with.
-    pub fn over(view: &ExternalView, conceptual: GraphState) -> Self {
-        ViewSession {
-            view: view.clone(),
-            conceptual,
-        }
+    /// conceptual state it is currently consistent with. O(1): both
+    /// states are shared, not cloned.
+    pub fn over(view: Arc<ExternalView>, conceptual: Arc<GraphState>) -> Self {
+        ViewSession { view, conceptual }
     }
 
     /// The view's name.
@@ -71,6 +71,11 @@ impl ViewSession {
         &self.conceptual
     }
 
+    /// A shared handle on the snapshot's conceptual state (no clone).
+    pub fn conceptual_shared(&self) -> Arc<GraphState> {
+        Arc::clone(&self.conceptual)
+    }
+
     /// Translates one of the session's relational operations up to the
     /// conceptual operations it is equivalent to, against this snapshot.
     pub fn translate_up(&self, op: &RelOp) -> Result<Vec<GraphOp>, TranslateError> {
@@ -78,19 +83,23 @@ impl ViewSession {
     }
 
     /// Advances the snapshot over committed conceptual operations,
-    /// returning the relational-side schedule that was applied.
+    /// returning the relational-side schedule that was applied. This is
+    /// where the copy-on-write copy happens (if the underlying states
+    /// are still shared with other snapshots).
     pub fn advance(&mut self, gops: &[GraphOp]) -> Result<Vec<RelOp>, TranslateError> {
-        let before = self.conceptual.clone();
-        let applied = self.view.apply_conceptual(gops, &before)?;
-        self.conceptual = GraphOp::apply_all(gops, &before)
-            .map_err(|e| TranslateError::SourceOpFailed(e.to_string()))?;
+        let before = Arc::clone(&self.conceptual);
+        let applied = Arc::make_mut(&mut self.view).apply_conceptual(gops, &before)?;
+        self.conceptual = Arc::new(
+            GraphOp::apply_all(gops, &before)
+                .map_err(|e| TranslateError::SourceOpFailed(e.to_string()))?,
+        );
         Ok(applied)
     }
 
     /// Re-snapshots against fresh authoritative states (after a commit
     /// conflict invalidated this snapshot).
-    pub fn rebase(&mut self, view: &ExternalView, conceptual: GraphState) {
-        self.view = view.clone();
+    pub fn rebase(&mut self, view: Arc<ExternalView>, conceptual: Arc<GraphState>) {
+        self.view = view;
         self.conceptual = conceptual;
     }
 
@@ -100,9 +109,9 @@ impl ViewSession {
         self.view.consistent_with(&self.conceptual)
     }
 
-    /// Consumes the handle, yielding the snapshot view.
+    /// Consumes the handle, yielding the snapshot view (unshared).
     pub fn into_view(self) -> ExternalView {
-        self.view
+        Arc::try_unwrap(self.view).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -123,7 +132,7 @@ mod tests {
             CompletionMode::StateCompleted,
         )
         .unwrap();
-        ViewSession::over(&view, conceptual)
+        ViewSession::over(Arc::new(view), Arc::new(conceptual))
     }
 
     #[test]
@@ -150,6 +159,21 @@ mod tests {
     }
 
     #[test]
+    fn advance_does_not_disturb_sibling_snapshots() {
+        // Two sessions share one snapshot pair; advancing one must
+        // copy-on-write, never mutate through the shared Arc.
+        let s0 = machine_shop_session();
+        let mut s1 = s0.clone();
+        let rop = RelOp::insert("Jobs", [tuple!["G.Wayshum", "T.Manhart", Value::Null]]);
+        let gops = s1.translate_up(&rop).unwrap();
+        s1.advance(&gops).unwrap();
+        assert_eq!(s0.conceptual(), &gfix::figure4_state(), "s0 unmoved");
+        assert_eq!(s0.state(), &rfix::figure3_state());
+        assert_eq!(s1.conceptual(), &gfix::figure6_state());
+        assert!(s0.consistent() && s1.consistent());
+    }
+
+    #[test]
     fn subset_view_sessions_skip_invisible_commits() {
         let conceptual = gfix::figure4_state();
         let view = ExternalView::materialize(
@@ -159,7 +183,7 @@ mod tests {
             CompletionMode::Minimal,
         )
         .unwrap();
-        let mut s = ViewSession::over(&view, conceptual.clone());
+        let mut s = ViewSession::over(Arc::new(view), Arc::new(conceptual.clone()));
         // A machine-unit deletion is invisible to the personnel view.
         let unit = dme_graph::unit::deletion_unit(
             &conceptual,
@@ -189,7 +213,7 @@ mod tests {
             CompletionMode::StateCompleted,
         )
         .unwrap();
-        s.rebase(&fresh, moved.clone());
+        s.rebase(Arc::new(fresh), Arc::new(moved.clone()));
         assert_eq!(s.conceptual(), &moved);
         assert!(s.consistent());
         assert_eq!(s.into_view().state(), &rfix::figure7_state());

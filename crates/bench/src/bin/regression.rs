@@ -569,15 +569,19 @@ fn service_scaling(root: &Path) -> Vec<String> {
 
     // The scaling gate: 4 shards must at least double saturated
     // single-shard committed throughput, and the scaled service's tail
-    // must hold a generous SLO under the same offered load.
+    // must hold the measured SLO under the same offered load: p99
+    // lands at 188-205 ms in release on an idle reference box and
+    // 372 ms with a concurrent test suite stealing half the cores, so
+    // 750 ms is ~2x the contended worst case (down from the 2 s
+    // placeholder the row first shipped with).
     let (t1, t4) = (throughput[&1], throughput[&4]);
     assert!(
         t4 >= 2.0 * t1,
         "4-shard throughput {t4:.0} tx/s < 2x single-shard {t1:.0} tx/s"
     );
     assert!(
-        p99s[&4] <= 2_000_000,
-        "4-shard p99 {}µs blows the 2s SLO",
+        p99s[&4] <= 750_000,
+        "4-shard p99 {}µs blows the 750ms SLO",
         p99s[&4]
     );
     println!(
@@ -589,6 +593,189 @@ fn service_scaling(root: &Path) -> Vec<String> {
 
 fn json_timing(t: &Timing) -> String {
     format!("\"{}\":{{{}}}", t.name, t.stats.json_fields())
+}
+
+/// MVCC storage-engine guards. Two gated rows:
+///
+/// - `snapshot_open`: opening a session pins an LSN and shares the
+///   committed state — it must NOT clone it. The gate holds the p50 of
+///   a 64-open batch flat (≤1.2× + slack) between a 10⁴-fact and a
+///   10⁶-fact state; a state-sized copy anywhere on the open path
+///   blows it by orders of magnitude. Graph sessions carry the gate:
+///   materializing a *relational view over* a 10⁶-fact state is
+///   O(facts²) at boot (every fact state-completed against every
+///   other), which prices the fixture, not the open, out of CI — the
+///   relational open path rides the same pin and is held flat by the
+///   conformance suite instead.
+/// - `recovery_slo`: recovery cost must scale with WAL bytes since the
+///   checkpoint, not with history. The *marginal* cost — cold recovery
+///   (boot checkpoint + full replay) minus warm recovery (fresh
+///   checkpoint, zero replay) over the replayed megabytes — is gated in
+///   ms/MB, which nets out the state-sized fixed costs both pay.
+///
+/// Returns the `storage_engine` JSON object.
+fn storage_engine() -> String {
+    const OPENS_PER_SAMPLE: usize = 64;
+    /// Marginal replay SLO: measured ~63 ms/MB in release on the
+    /// reference box (in-place delta replay); ~3× headroom for slower
+    /// CI hosts.
+    const SLO_MS_PER_MB: f64 = 200.0;
+
+    // ---- snapshot_open: p50 flat in state size ----------------------
+    // ShopConfig::scaled(n) yields ~2.7 facts per scale unit.
+    let open_stats = |scale: usize| -> (usize, Stats) {
+        let cfg = dme_workload::ShopConfig::scaled(scale);
+        let initial = dme_workload::graph_state(cfg);
+        let (entities, assocs) = initial.sizes();
+        let service = SessionService::new(
+            initial,
+            Vec::new(),
+            ServiceConfig {
+                lockstep_verify: false,
+                ..ServiceConfig::default()
+            },
+            Box::new(MemDevice::new()),
+            Box::new(MemDevice::new()),
+        )
+        .expect("service boots");
+        let stats = time_us(SAMPLES, || {
+            let sessions: Vec<_> = (0..OPENS_PER_SAMPLE)
+                .map(|_| {
+                    service
+                        .open_session(SessionKind::Graph)
+                        .expect("session admits")
+                })
+                .collect();
+            drop(sessions);
+        });
+        (entities + assocs, stats)
+    };
+    let (facts_small, small) = open_stats(3_800);
+    let (facts_large, large) = open_stats(375_000);
+    assert!(facts_small >= 10_000 && facts_large >= 1_000_000);
+    // 1.2× plus 100µs absolute slack across the 64-open batch (sub-µs
+    // per-open timings are quantization-noisy at the small end).
+    let bound = (small.p50_us as f64 * 1.2 + 100.0) as u64;
+    assert!(
+        large.p50_us <= bound,
+        "snapshot_open is not flat in state size: p50 {}µs at {} facts vs {}µs at {} facts",
+        large.p50_us,
+        facts_large,
+        small.p50_us,
+        facts_small
+    );
+    println!(
+        "snapshot_open: p50 {}µs @ {} facts -> {}µs @ {} facts (bound {}µs, {} opens/sample)",
+        small.p50_us, facts_small, large.p50_us, facts_large, bound, OPENS_PER_SAMPLE
+    );
+
+    // ---- recovery_slo: marginal replay cost per WAL megabyte --------
+    let cfg = dme_workload::ShopConfig::scaled(40_000);
+    let initial = dme_workload::graph_state(cfg);
+    let (entities, assocs) = initial.sizes();
+    let rec_facts = entities + assocs;
+    let config = ServiceConfig {
+        lockstep_verify: false,
+        ..ServiceConfig::default()
+    };
+    let service = SessionService::new(
+        initial.clone(),
+        Vec::new(),
+        config.clone(),
+        Box::new(MemDevice::new()),
+        Box::new(MemDevice::new()),
+    )
+    .expect("service boots");
+    let mut session = service
+        .open_session(SessionKind::Graph)
+        .expect("session admits");
+    // Enough WAL (a few MB) that the replay marginal clears timer
+    // noise over the ~half-second state-sized fixed cost both
+    // recoveries pay (checkpoint decode + MVCC base load).
+    let ops = dme_workload::supervision_toggle_ops(cfg, 60_000);
+    let mut transactions = 0usize;
+    for chunk in ops.chunks(50) {
+        session
+            .submit_graph(chunk.to_vec())
+            .expect("toggle batch commits");
+        transactions += 1;
+    }
+    drop(session);
+    // Warm: checkpointed right here, so recovery replays ~nothing.
+    service.checkpoint_now().expect("checkpoint");
+    let warm_image = service.durable_image();
+    // Cold: the same WAL with only the boot checkpoint.
+    let (cp_records, _) = dme_storage::wal::replay_tolerant(&warm_image.checkpoint);
+    let mut boot_only = Vec::new();
+    dme_storage::wal::append_record_traced(
+        &mut boot_only,
+        cp_records[0].lsn,
+        cp_records[0].trace,
+        &cp_records[0].payload,
+    );
+    let cold_image = dme_server::DurableImage {
+        checkpoint: boot_only,
+        ..warm_image.clone()
+    };
+    let recover = |image: &dme_server::DurableImage| {
+        SessionService::recover(
+            Arc::clone(initial.schema()),
+            image,
+            Vec::new(),
+            config.clone(),
+            Box::new(MemDevice::new()),
+            Box::new(MemDevice::new()),
+        )
+        .expect("recovery succeeds")
+    };
+    let replayed_bytes = recover(&cold_image).1.replayed_bytes;
+    assert!(recover(&warm_image).1.replayed == 0);
+    // Round-robin sampling so slow host drift cannot bias the
+    // warm/cold comparison.
+    let mut warm_samples = Vec::with_capacity(INC_SAMPLES);
+    let mut cold_samples = Vec::with_capacity(INC_SAMPLES);
+    for _ in 0..INC_SAMPLES {
+        let t = Instant::now();
+        let _ = recover(&warm_image);
+        warm_samples.push(t.elapsed().as_micros() as u64);
+        let t = Instant::now();
+        let _ = recover(&cold_image);
+        cold_samples.push(t.elapsed().as_micros() as u64);
+    }
+    let warm = Stats::from_samples(warm_samples);
+    let cold = Stats::from_samples(cold_samples);
+    let wal_mb = replayed_bytes as f64 / (1024.0 * 1024.0);
+    let marginal_ms_per_mb =
+        (cold.p50_us.saturating_sub(warm.p50_us)) as f64 / 1_000.0 / wal_mb;
+    assert!(
+        cold.p50_us > warm.p50_us,
+        "a fresh checkpoint must bound recovery: warm p50 {}µs vs cold {}µs",
+        warm.p50_us,
+        cold.p50_us
+    );
+    assert!(
+        marginal_ms_per_mb <= SLO_MS_PER_MB,
+        "recovery SLO blown: {marginal_ms_per_mb:.1} ms/MB of WAL > {SLO_MS_PER_MB} ms/MB"
+    );
+    println!(
+        "recovery_slo: {rec_facts} facts, {wal_mb:.2} MB WAL, warm p50 {}µs, cold p50 {}µs, \
+         marginal {marginal_ms_per_mb:.1} ms/MB (SLO {SLO_MS_PER_MB})",
+        warm.p50_us, cold.p50_us
+    );
+
+    format!(
+        "{{\n    \"snapshot_open\":{{\"facts_small\":{facts_small},\
+         \"facts_large\":{facts_large},\"opens_per_sample\":{OPENS_PER_SAMPLE},\
+         \"small_batch_us\":{{{}}},\"large_batch_us\":{{{}}}}},\
+         \n    \"recovery_slo\":{{\"facts\":{rec_facts},\"transactions\":{transactions},\
+         \"replayed_bytes\":{replayed_bytes},\"wal_mb\":{wal_mb:.3},\
+         \"warm_us\":{{{}}},\"cold_us\":{{{}}},\
+         \"marginal_ms_per_mb\":{marginal_ms_per_mb:.2},\"slo_ms_per_mb\":{SLO_MS_PER_MB}}}\n  }}",
+        small.json_fields(),
+        large.json_fields(),
+        warm.json_fields(),
+        cold.json_fields()
+    )
 }
 
 /// Live metric streaming overhead: the same committed workload through
@@ -1220,6 +1407,10 @@ fn main() {
     println!("== service scaling (networked, open loop) ==");
     let scaling_rows = service_scaling(&root);
 
+    // ---- MVCC storage engine: snapshot opens + recovery SLO ----------
+    println!("== storage engine (MVCC) ==");
+    let storage_row = storage_engine();
+
     // ---- Live metric streaming overhead ------------------------------
     // The observability-plane guard: a `WatchMetrics` subscriber on a
     // 100ms interval must cost under 5% of committed throughput.
@@ -1299,7 +1490,9 @@ fn main() {
         out.push_str("\n    ");
         out.push_str(s);
     }
-    out.push_str("\n  ],\n  \"streaming_overhead\": ");
+    out.push_str("\n  ],\n  \"storage_engine\": ");
+    out.push_str(&storage_row);
+    out.push_str(",\n  \"streaming_overhead\": ");
     out.push_str(&streaming_row);
     out.push_str(&format!(",\n  \"report\": {}\n}}\n", report.to_json()));
     let bench_path = root.join("BENCH_equiv.json");

@@ -115,12 +115,22 @@ pub enum Counter {
     /// Delta telemetry snapshots pushed to `WatchMetrics` subscribers
     /// over the wire.
     MetricsDeltasStreamed,
+    /// Snapshot handles opened by sessions (each an O(1) LSN pin over
+    /// the shared state, never a state clone).
+    SnapshotOpens,
+    /// MVCC versions reclaimed by checkpoint-time garbage collection
+    /// (unobservable behind the oldest live snapshot pin).
+    VersionsGcd,
+    /// Bytes of checkpoint images appended (full and incremental).
+    CheckpointBytes,
+    /// Bytes of WAL record payloads folded during crash recovery.
+    ReplayBytes,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the order snapshot arrays
     /// are indexed in).
-    pub const ALL: [Counter; 43] = [
+    pub const ALL: [Counter; 47] = [
         Counter::NodesExpanded,
         Counter::StatesEnumerated,
         Counter::StatesCompiled,
@@ -164,6 +174,10 @@ impl Counter {
         Counter::SymbolicRestarts,
         Counter::TraceLookups,
         Counter::MetricsDeltasStreamed,
+        Counter::SnapshotOpens,
+        Counter::VersionsGcd,
+        Counter::CheckpointBytes,
+        Counter::ReplayBytes,
     ];
 
     /// Number of counters (the length of a snapshot array).
@@ -216,6 +230,10 @@ impl Counter {
             Counter::SymbolicRestarts => "symbolic_restarts",
             Counter::TraceLookups => "trace_lookups",
             Counter::MetricsDeltasStreamed => "metrics_deltas_streamed",
+            Counter::SnapshotOpens => "snapshot_opens",
+            Counter::VersionsGcd => "versions_gcd",
+            Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::ReplayBytes => "replay_bytes",
         }
     }
 

@@ -58,11 +58,14 @@ pub enum Metric {
     SymbolicClausesPerDepth,
     /// Symbolic-tier solver probe: restarts taken per depth layer.
     SymbolicRestartsPerDepth,
+    /// Whole-recovery latency (checkpoint-chain resolution + WAL
+    /// replay + re-checkpoint) per `recover_sharded` call.
+    RecoveryLatency,
 }
 
 impl Metric {
     /// Every metric, in declaration order (the registry's table order).
-    pub const ALL: [Metric; 15] = [
+    pub const ALL: [Metric; 16] = [
         Metric::AdmitLatency,
         Metric::TranslateLatency,
         Metric::VerifyLatency,
@@ -78,6 +81,7 @@ impl Metric {
         Metric::SymbolicConflictsPerDepth,
         Metric::SymbolicClausesPerDepth,
         Metric::SymbolicRestartsPerDepth,
+        Metric::RecoveryLatency,
     ];
 
     /// Number of metrics (the registry table length).
@@ -101,6 +105,7 @@ impl Metric {
             Metric::SymbolicConflictsPerDepth => "symbolic_conflicts_per_depth",
             Metric::SymbolicClausesPerDepth => "symbolic_clauses_per_depth",
             Metric::SymbolicRestartsPerDepth => "symbolic_restarts_per_depth",
+            Metric::RecoveryLatency => "recovery_latency_us",
         }
     }
 

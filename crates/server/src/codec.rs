@@ -23,6 +23,15 @@ const KIND_ENTITY_DELETE: u8 = 1;
 const KIND_ASSOC_INSERT: u8 = 2;
 const KIND_ASSOC_DELETE: u8 = 3;
 
+// Checkpoint payload tags live in a disjoint 0xF_ range: a checkpoint
+// record on the checkpoint stream is either a full image (the delta
+// from the empty state, as before) or an incremental image (the
+// current records of the keys dirtied since the previous checkpoint,
+// chained to it by LSN). Untagged payloads are accepted as full images
+// for compatibility with pre-compaction checkpoint streams.
+const CP_FULL: u8 = 0xF0;
+const CP_INCR: u8 = 0xF1;
+
 // Admin request kinds live in a disjoint 0xA_ range so a stray admin
 // byte can never be misread as a delta record (and vice versa).
 const KIND_ADMIN_METRICS_TEXT: u8 = 0xA0;
@@ -269,10 +278,11 @@ fn decode_assoc(
     Ok(Association::new(pred.name().clone(), roles?))
 }
 
-/// Folds an encoded delta over `state`, yielding the state after it.
-pub fn apply_delta(state: &GraphState, payload: &[u8]) -> Result<GraphState, ServerError> {
-    let schema = Arc::clone(state.schema());
-    let mut state = state.clone();
+/// Walks every `(kind, name, tuple)` record of an encoded delta.
+fn for_each_record(
+    payload: &[u8],
+    mut f: impl FnMut(u8, &str, &Tuple) -> Result<(), ServerError>,
+) -> Result<(), ServerError> {
     let mut at = 0;
     while at < payload.len() {
         let kind = payload[at];
@@ -286,9 +296,9 @@ pub fn apply_delta(state: &GraphState, payload: &[u8]) -> Result<GraphState, Ser
             return Err(corrupt("truncated record name"));
         }
         let name = std::str::from_utf8(&payload[at..at + name_len])
-            .map_err(|_| corrupt("record name is not utf-8"))?
-            .to_string();
-        at += name_len;
+            .map_err(|_| corrupt("record name is not utf-8"))?;
+        let name_end = at + name_len;
+        at = name_end;
         if payload.len() < at + 4 {
             return Err(corrupt("truncated tuple length"));
         }
@@ -305,15 +315,36 @@ pub fn apply_delta(state: &GraphState, payload: &[u8]) -> Result<GraphState, Ser
         let tuple = decode_tuple(&payload[at..at + tuple_len])
             .map_err(|e| corrupt(format!("tuple decode: {e}")))?;
         at += tuple_len;
+        f(kind, name, &tuple)?;
+    }
+    Ok(())
+}
+
+/// Folds an encoded delta over `state`, yielding the state after it.
+pub fn apply_delta(state: &GraphState, payload: &[u8]) -> Result<GraphState, ServerError> {
+    let mut next = state.clone();
+    apply_delta_in_place(&mut next, payload)?;
+    Ok(next)
+}
+
+/// [`apply_delta`] without the clone: folds the delta directly into
+/// `state`. Recovery replays every WAL record since the checkpoint
+/// through this — a clone per record would make replay O(records ×
+/// state) and sink the recovery SLO; in place it is O(delta) per
+/// record. On error the state may hold a partial application, so
+/// callers must discard it (recovery abandons the whole attempt).
+pub fn apply_delta_in_place(state: &mut GraphState, payload: &[u8]) -> Result<(), ServerError> {
+    let schema = Arc::clone(state.schema());
+    for_each_record(payload, |kind, name, tuple| {
         match kind {
             KIND_ENTITY_INSERT => {
-                let e = decode_entity(&schema, &name, &tuple)?;
+                let e = decode_entity(&schema, name, tuple)?;
                 state
                     .insert_entity_raw(e)
                     .map_err(|e| corrupt(format!("replayed entity insert: {e}")))?;
             }
             KIND_ENTITY_DELETE => {
-                let e = decode_entity(&schema, &name, &tuple)?;
+                let e = decode_entity(&schema, name, tuple)?;
                 let r = e
                     .to_ref(&schema)
                     .ok_or_else(|| corrupt(format!("entity of type {name} has no key")))?;
@@ -322,26 +353,195 @@ pub fn apply_delta(state: &GraphState, payload: &[u8]) -> Result<GraphState, Ser
                     .map_err(|e| corrupt(format!("replayed entity delete: {e}")))?;
             }
             KIND_ASSOC_INSERT => {
-                let a = decode_assoc(&schema, &name, &tuple)?;
+                let a = decode_assoc(&schema, name, tuple)?;
                 state
                     .insert_association_raw(a)
                     .map_err(|e| corrupt(format!("replayed association insert: {e}")))?;
             }
             KIND_ASSOC_DELETE => {
-                let a = decode_assoc(&schema, &name, &tuple)?;
+                let a = decode_assoc(&schema, name, tuple)?;
                 state
                     .remove_association_raw(&a)
                     .map_err(|e| corrupt(format!("replayed association delete: {e}")))?;
             }
             other => return Err(corrupt(format!("unknown delta record kind {other}"))),
         }
-    }
+        Ok(())
+    })
+}
+
+/// Folds an encoded delta over `state` with *upsert/ignore* semantics:
+/// inserts overwrite an existing fact, deletes of an absent fact are
+/// no-ops. This is how incremental checkpoint images apply — they
+/// carry the dirty keys' **current** records, not a before/after diff,
+/// so "already there" and "already gone" are expected states, not
+/// corruption. Malformed records are still typed errors.
+pub fn apply_delta_lenient(state: &GraphState, payload: &[u8]) -> Result<GraphState, ServerError> {
+    let schema = Arc::clone(state.schema());
+    let mut state = state.clone();
+    for_each_record(payload, |kind, name, tuple| {
+        match kind {
+            KIND_ENTITY_INSERT => {
+                let e = decode_entity(&schema, name, tuple)?;
+                if let Some(r) = e.to_ref(&schema) {
+                    let _ = state.remove_entity_raw(&r);
+                }
+                state
+                    .insert_entity_raw(e)
+                    .map_err(|e| corrupt(format!("checkpointed entity upsert: {e}")))?;
+            }
+            KIND_ENTITY_DELETE => {
+                let e = decode_entity(&schema, name, tuple)?;
+                let r = e
+                    .to_ref(&schema)
+                    .ok_or_else(|| corrupt(format!("entity of type {name} has no key")))?;
+                let _ = state.remove_entity_raw(&r);
+            }
+            KIND_ASSOC_INSERT => {
+                let a = decode_assoc(&schema, name, tuple)?;
+                let _ = state.remove_association_raw(&a);
+                state
+                    .insert_association_raw(a)
+                    .map_err(|e| corrupt(format!("checkpointed association upsert: {e}")))?;
+            }
+            KIND_ASSOC_DELETE => {
+                let a = decode_assoc(&schema, name, tuple)?;
+                let _ = state.remove_association_raw(&a);
+            }
+            other => return Err(corrupt(format!("unknown delta record kind {other}"))),
+        }
+        Ok(())
+    })?;
     Ok(state)
 }
 
 /// Decodes a checkpoint image into a state over `schema`.
 pub fn decode_state(schema: Arc<GraphSchema>, payload: &[u8]) -> Result<GraphState, ServerError> {
     apply_delta(&GraphState::empty(schema), payload)
+}
+
+/// A decoded checkpoint payload: either a self-contained full image or
+/// an incremental image chained to the checkpoint at `prev_lsn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointImage<'a> {
+    /// A full image: `delta` rebuilds the state from empty.
+    Full {
+        /// Encoded delta from the empty state.
+        delta: &'a [u8],
+    },
+    /// An incremental image: `delta` holds the *current* records of
+    /// every key dirtied since the checkpoint whose LSN is `prev_lsn`,
+    /// to be folded leniently over that checkpoint's state.
+    Incremental {
+        /// LSN of the checkpoint this delta chains to.
+        prev_lsn: u64,
+        /// Encoded records of the dirty keys (upsert/delete semantics).
+        delta: &'a [u8],
+    },
+}
+
+/// Encodes a full checkpoint payload: tag + delta-from-empty.
+pub fn encode_full_checkpoint(state: &GraphState) -> Vec<u8> {
+    let mut out = vec![CP_FULL];
+    out.extend_from_slice(&encode_state(state));
+    out
+}
+
+/// Encodes an incremental checkpoint payload: tag + chain link +
+/// the dirty keys' current records (already class-ordered by the
+/// caller: association deletes, entity deletes, entity inserts,
+/// association inserts).
+pub fn encode_incremental_checkpoint(prev_lsn: u64, records: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + records.len());
+    out.push(CP_INCR);
+    out.extend_from_slice(&prev_lsn.to_be_bytes());
+    out.extend_from_slice(records);
+    out
+}
+
+/// Decodes a checkpoint payload. Untagged payloads (whose first byte
+/// is a delta record kind, or which are empty) are legacy full images.
+pub fn decode_checkpoint(payload: &[u8]) -> Result<CheckpointImage<'_>, ServerError> {
+    match payload.first() {
+        None => Ok(CheckpointImage::Full { delta: payload }),
+        Some(&CP_FULL) => Ok(CheckpointImage::Full {
+            delta: &payload[1..],
+        }),
+        Some(&CP_INCR) => {
+            if payload.len() < 9 {
+                return Err(corrupt("incremental checkpoint lacks its chain link"));
+            }
+            let prev_lsn = u64::from_be_bytes(payload[1..9].try_into().unwrap());
+            Ok(CheckpointImage::Incremental {
+                prev_lsn,
+                delta: &payload[9..],
+            })
+        }
+        Some(&kind) if kind <= KIND_ASSOC_DELETE => Ok(CheckpointImage::Full { delta: payload }),
+        Some(other) => Err(corrupt(format!("unknown checkpoint tag {other:#04x}"))),
+    }
+}
+
+/// The replay-safe ordering class of a delta record kind: association
+/// deletes, entity deletes, entity inserts, association inserts.
+pub(crate) fn record_class(kind: u8) -> u8 {
+    match kind {
+        KIND_ASSOC_DELETE => 0,
+        KIND_ENTITY_DELETE => 1,
+        KIND_ENTITY_INSERT => 2,
+        KIND_ASSOC_INSERT => 3,
+        other => other,
+    }
+}
+
+/// The stable MVCC fact key of a change: the key identifies the fact
+/// (entity by type + characteristics, association by predicate +
+/// roles) independent of whether the version is an insert or a delete,
+/// so both versions of one fact land on one chain.
+pub(crate) fn mvcc_fact_key(change: &GraphChange) -> Vec<u8> {
+    fn key(tag: u8, name: &str, tuple: &Tuple) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + name.len() + 16);
+        out.push(tag);
+        out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&encode_tuple(tuple));
+        out
+    }
+    match change {
+        GraphChange::InsertEntity(e) | GraphChange::DeleteEntity(e) => {
+            key(b'E', e.entity_type.as_str(), &entity_tuple(e))
+        }
+        GraphChange::InsertAssociation(a) | GraphChange::DeleteAssociation(a) => {
+            key(b'A', a.predicate.as_str(), &assoc_tuple(a))
+        }
+    }
+}
+
+/// Encodes one change as a single delta record — the per-version
+/// payload the MVCC store keeps. The embedded kind byte (`record[0]`)
+/// doubles as the version's insert/delete marker.
+pub(crate) fn mvcc_fact_record(change: &GraphChange) -> Vec<u8> {
+    encode_changes(std::slice::from_ref(change))
+}
+
+/// Whether a stored MVCC record is a delete marker.
+pub(crate) fn record_is_delete(record: &[u8]) -> bool {
+    matches!(
+        record.first(),
+        Some(&KIND_ENTITY_DELETE) | Some(&KIND_ASSOC_DELETE)
+    )
+}
+
+/// Routes an MVCC fact key to one of `shards` version-store
+/// partitions (FNV-1a over the key bytes — independent of the WAL's
+/// entity-based sharding, it only balances the version index).
+pub(crate) fn mvcc_shard(key: &[u8], shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
 }
 
 #[cfg(test)]
@@ -416,6 +616,94 @@ mod tests {
         let mut long = AdminRequest::WatchMetrics { interval_ms: 50 }.encode();
         long.push(0);
         assert!(AdminRequest::decode(&long).is_err());
+    }
+
+    #[test]
+    fn checkpoint_payloads_round_trip_and_accept_legacy_images() {
+        let g = gfix::figure4_state();
+        let full = encode_full_checkpoint(&g);
+        match decode_checkpoint(&full).unwrap() {
+            CheckpointImage::Full { delta } => {
+                assert_eq!(decode_state(Arc::clone(g.schema()), delta).unwrap(), g);
+            }
+            other => panic!("full image decoded as {other:?}"),
+        }
+        let incr = encode_incremental_checkpoint(42, b"");
+        assert_eq!(
+            decode_checkpoint(&incr).unwrap(),
+            CheckpointImage::Incremental {
+                prev_lsn: 42,
+                delta: b"",
+            }
+        );
+        // Untagged legacy payloads (first byte is a record kind, or
+        // empty) still read as full images.
+        let legacy = encode_state(&g);
+        assert_eq!(
+            decode_checkpoint(&legacy).unwrap(),
+            CheckpointImage::Full {
+                delta: legacy.as_slice()
+            }
+        );
+        assert_eq!(
+            decode_checkpoint(b"").unwrap(),
+            CheckpointImage::Full { delta: b"" }
+        );
+        assert!(decode_checkpoint(&[0x7F]).is_err(), "unknown tag");
+        assert!(
+            decode_checkpoint(&[CP_INCR, 0, 0]).is_err(),
+            "truncated chain link"
+        );
+    }
+
+    #[test]
+    fn lenient_apply_upserts_and_ignores_absent_deletes() {
+        let g = gfix::figure4_state();
+        // Re-applying a full image over the state it encodes is a
+        // no-op under lenient semantics (and an error under strict).
+        let image = encode_state(&g);
+        assert!(apply_delta(&g, &image).is_err());
+        assert_eq!(apply_delta_lenient(&g, &image).unwrap(), g);
+        // Deleting what is already gone is ignored.
+        let premise = gfix::figure8_premise_state();
+        let down = encode_delta(&g, &premise);
+        let once = apply_delta_lenient(&g, &down).unwrap();
+        assert_eq!(once, premise);
+        assert_eq!(apply_delta_lenient(&once, &down).unwrap(), premise);
+        // Malformed records stay typed errors.
+        assert!(apply_delta_lenient(&g, &image[..3]).is_err());
+    }
+
+    #[test]
+    fn mvcc_fact_keys_identify_facts_across_insert_and_delete() {
+        let g = gfix::figure4_state();
+        let e = g.entities().next().unwrap().clone();
+        let a = g.associations().next().unwrap().clone();
+        let ins = GraphChange::InsertEntity(e.clone());
+        let del = GraphChange::DeleteEntity(e);
+        assert_eq!(
+            mvcc_fact_key(&ins),
+            mvcc_fact_key(&del),
+            "both versions of one fact share a chain"
+        );
+        let ains = GraphChange::InsertAssociation(a.clone());
+        let adel = GraphChange::DeleteAssociation(a);
+        assert_eq!(mvcc_fact_key(&ains), mvcc_fact_key(&adel));
+        assert_ne!(mvcc_fact_key(&ins), mvcc_fact_key(&ains));
+        // Record bytes carry the insert/delete marker in the kind byte.
+        assert!(!record_is_delete(&mvcc_fact_record(&ins)));
+        assert!(record_is_delete(&mvcc_fact_record(&del)));
+        assert!(record_is_delete(&mvcc_fact_record(&adel)));
+        // Class order: assoc-del < ent-del < ent-ins < assoc-ins.
+        assert!(record_class(KIND_ASSOC_DELETE) < record_class(KIND_ENTITY_DELETE));
+        assert!(record_class(KIND_ENTITY_DELETE) < record_class(KIND_ENTITY_INSERT));
+        assert!(record_class(KIND_ENTITY_INSERT) < record_class(KIND_ASSOC_INSERT));
+        // Sharding is deterministic and in range.
+        for shards in [1usize, 2, 4, 7] {
+            let s = mvcc_shard(&mvcc_fact_key(&ins), shards);
+            assert!(s < shards);
+            assert_eq!(s, mvcc_shard(&mvcc_fact_key(&ins), shards));
+        }
     }
 
     #[test]

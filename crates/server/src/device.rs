@@ -74,6 +74,17 @@ pub trait LogDevice: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Discards up to `bytes` bytes from the *front* of the device —
+    /// log truncation after a durable checkpoint has made the prefix
+    /// redundant. Returns how many bytes were actually discarded; the
+    /// default is a no-op `Ok(0)` for devices that keep everything.
+    /// Callers must only truncate at record boundaries within the
+    /// synced prefix, so the surviving contents still start at a
+    /// decodable frame.
+    fn truncate_prefix(&mut self, bytes: usize) -> Result<u64, DeviceError> {
+        let _ = bytes;
+        Ok(0)
+    }
 }
 
 /// A thread-safe byte budget shared by several devices: the
@@ -258,6 +269,18 @@ impl LogDevice for MemDevice {
     fn syncs(&self) -> u64 {
         self.syncs
     }
+
+    fn truncate_prefix(&mut self, bytes: usize) -> Result<u64, DeviceError> {
+        // Only durable bytes may be discarded: truncating an unsynced
+        // tail would silently un-tear a pending fault point.
+        let n = bytes.min(self.synced).min(self.buf.len());
+        self.buf.drain(..n);
+        self.synced -= n;
+        if let Some(limit) = &mut self.crash_at {
+            *limit = limit.saturating_sub(n);
+        }
+        Ok(n as u64)
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +308,23 @@ mod tests {
         assert!(err.to_string().contains("byte 8"));
         // The torn prefix reached the medium; nothing after byte 8 did.
         assert_eq!(d.contents(), b"abcdefgh");
+    }
+
+    #[test]
+    fn truncate_prefix_discards_only_durable_bytes() {
+        let mut d = MemDevice::new();
+        d.append(b"durable|").unwrap();
+        d.sync().unwrap();
+        d.append(b"tail").unwrap();
+        // Asking past the synced prefix clips to it: the unsynced tail
+        // stays append-only.
+        assert_eq!(d.truncate_prefix(64).unwrap(), 8);
+        assert_eq!(d.contents(), b"tail");
+        assert_eq!(d.synced_len(), 0);
+        assert_eq!(d.truncate_prefix(2).unwrap(), 0);
+        d.sync().unwrap();
+        assert_eq!(d.truncate_prefix(2).unwrap(), 2);
+        assert_eq!(d.contents(), b"il");
     }
 
     #[test]

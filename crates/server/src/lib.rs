@@ -131,7 +131,7 @@ mod tests {
             .unwrap()
             .expect_commit();
         assert_eq!((info.lsn, info.version, info.attempts), (1, 1, 1));
-        assert_eq!(service.conceptual(), gfix::figure6_state());
+        assert_eq!(*service.conceptual(), gfix::figure6_state());
         assert_eq!(service.view_state("shop").unwrap(), rfix::figure7_state());
         // The subset view sees the new supervision too.
         let personnel = service.view_state("personnel").unwrap();
@@ -155,7 +155,7 @@ mod tests {
         let outcome = s.submit_relational(&op).unwrap();
         assert!(matches!(outcome, CommitOutcome::Committed(_)));
         assert_eq!(outcome.expect_commit().attempts, 1);
-        assert_eq!(service.conceptual(), gfix::figure6_state());
+        assert_eq!(*service.conceptual(), gfix::figure6_state());
         assert_eq!(s.relational_state().unwrap(), &rfix::figure7_state());
         s.close().unwrap();
     }
@@ -172,7 +172,7 @@ mod tests {
         assert!(matches!(err, ServerError::Aborted(_)));
         assert_eq!(service.durable_image(), image_before);
         assert_eq!(service.committed_history().len(), 1);
-        assert_eq!(service.conceptual(), gfix::figure6_state());
+        assert_eq!(*service.conceptual(), gfix::figure6_state());
     }
 
     #[test]

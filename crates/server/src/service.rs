@@ -63,7 +63,7 @@ use dme_graph::{GraphOp, GraphSchema, GraphState};
 use dme_obs::{Counter, Metric, Observer, ShardRegistry, TelemetrySnapshot, TraceHub, TraceId};
 use dme_relation::{RelationState, RelationalSchema};
 use dme_storage::wal;
-use dme_storage::WalError;
+use dme_storage::{MvccStore, PinSet, WalError};
 
 use crate::codec;
 use crate::device::{DeviceError, LogDevice};
@@ -126,6 +126,12 @@ pub struct ServiceConfig {
     /// `TraceLookup` queries (FIFO-evicted; 0 disables cross-shard
     /// trace stitching entirely).
     pub trace_capacity: usize,
+    /// Every Nth checkpoint is a **full** image; the checkpoints in
+    /// between are **incremental** (the dirty keys' current records,
+    /// chained to the previous checkpoint). 1 = every checkpoint full
+    /// (the compaction-free baseline). Recovery and boot always start
+    /// from a full image regardless of this knob.
+    pub full_checkpoint_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +147,7 @@ impl Default for ServiceConfig {
             queue_depth: 4096,
             max_batch: 64,
             trace_capacity: 512,
+            full_checkpoint_every: 1,
         }
     }
 }
@@ -180,6 +187,11 @@ impl ServiceConfig {
         if self.max_attempts == 0 {
             return Err(ServerError::InvalidConfig(
                 "max_attempts 0 would refuse every relational commit".into(),
+            ));
+        }
+        if self.full_checkpoint_every == 0 {
+            return Err(ServerError::InvalidConfig(
+                "full_checkpoint_every 0 would never write a full image".into(),
             ));
         }
         Ok(())
@@ -254,6 +266,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Full-image cadence: every Nth checkpoint is full, the rest are
+    /// incremental dirty-key images (1 = all full).
+    pub fn full_checkpoint_every(mut self, every: u64) -> Self {
+        self.config.full_checkpoint_every = every;
+        self
+    }
+
     /// Validates and yields the config.
     pub fn build(self) -> Result<ServiceConfig, ServerError> {
         self.config.validate()?;
@@ -284,10 +303,17 @@ impl DurableImage {
 /// What recovery found and did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// LSN of the checkpoint recovery started from.
+    /// LSN of the checkpoint recovery started from (the end of the
+    /// resolved checkpoint chain).
     pub checkpoint_lsn: u64,
     /// Committed transactions replayed on top of the checkpoint.
     pub replayed: usize,
+    /// Incremental checkpoint images folded on top of the full image
+    /// the resolved chain starts from (0 = a single full checkpoint).
+    pub chained_checkpoints: usize,
+    /// WAL payload bytes folded over the checkpoint state — the
+    /// quantity the recovery-time SLO is stated against.
+    pub replayed_bytes: u64,
     /// The first torn/corrupt WAL tail that was truncated, if any
     /// (sharded recovery checks every shard's log, lowest shard first).
     pub wal_tail: Option<WalError>,
@@ -407,14 +433,43 @@ struct StagedTxn {
 }
 
 struct Core {
-    conceptual: GraphState,
-    views: BTreeMap<String, ExternalView>,
+    /// The committed conceptual state. Shared copy-on-write with every
+    /// open snapshot: opening a session bumps the refcount, and the
+    /// commit path pays one state copy per *pinned generation* (via
+    /// `Arc::make_mut`) instead of every reader paying a clone.
+    conceptual: Arc<GraphState>,
+    views: BTreeMap<String, Arc<ExternalView>>,
     version: u64,
     next_lsn: u64,
     commits_since_checkpoint: u64,
     history: Vec<CommittedTxn>,
     checkpoints: Box<dyn LogDevice>,
     crashed: Option<String>,
+    /// Per-partition MVCC version stores (fact keys are routed by
+    /// `codec::mvcc_shard`, one partition per commit lane). Every
+    /// committed change lands here as an LSN-keyed version, backing
+    /// incremental checkpoints and `state_at` reconstruction.
+    mvcc: Vec<MvccStore>,
+    /// Fact keys dirtied since the last checkpoint — the payload of
+    /// the next incremental checkpoint image.
+    dirty: BTreeSet<Vec<u8>>,
+    /// The anchor state `state_at` folds MVCC versions over, and the
+    /// LSN it reflects. Advanced to the current state at full
+    /// checkpoints once no older snapshot pin needs history behind it.
+    base: Arc<GraphState>,
+    base_lsn: u64,
+    /// LSN of the newest durable checkpoint record (the chain link
+    /// incremental images carry).
+    last_cp_lsn: u64,
+    /// LSNs of the newest and second-newest full checkpoint images:
+    /// WAL truncation keeps everything after the *previous* full image
+    /// so a single corrupt record in the newest chain still leaves a
+    /// recoverable (older checkpoint + longer replay) image.
+    last_full_lsn: u64,
+    prev_full_lsn: u64,
+    /// Checkpoint records written so far (drives the full/incremental
+    /// cadence).
+    checkpoints_taken: u64,
 }
 
 struct QueueInner {
@@ -424,12 +479,68 @@ struct QueueInner {
     next_id: u64,
 }
 
+/// One shard's WAL device plus the batch-granularity frame map log
+/// truncation needs: each entry records the highest LSN a synced batch
+/// carried and the cumulative byte offset its frames end at. Because
+/// the core lock serializes WAL acquisition, per-shard LSNs are
+/// strictly increasing, so truncating whole front batches whose
+/// highest LSN is covered by a durable checkpoint always cuts at a
+/// frame boundary.
+struct WalShard {
+    device: Box<dyn LogDevice>,
+    /// `(highest LSN in batch, cumulative appended bytes at batch
+    /// end)`, in append order.
+    frames: VecDeque<(u64, u64)>,
+    /// Total bytes ever appended (including bytes since truncated).
+    appended: u64,
+    /// Bytes already truncated from the front.
+    trimmed: u64,
+}
+
+impl WalShard {
+    fn over(device: Box<dyn LogDevice>) -> WalShard {
+        let appended = device.len() as u64;
+        WalShard {
+            device,
+            frames: VecDeque::new(),
+            appended,
+            trimmed: 0,
+        }
+    }
+
+    /// Records one durably-synced batch in the frame map.
+    fn note_batch(&mut self, max_lsn: u64, bytes: u64) {
+        self.appended += bytes;
+        self.frames.push_back((max_lsn, self.appended));
+    }
+
+    /// Drops every whole front batch whose highest LSN is ≤ `lsn`
+    /// (i.e. fully covered by a durable checkpoint at `lsn`). Returns
+    /// the bytes reclaimed; devices that do not support truncation
+    /// simply keep their bytes.
+    fn truncate_upto(&mut self, lsn: u64) -> u64 {
+        let mut target = None;
+        while let Some(&(max_lsn, end)) = self.frames.front() {
+            if max_lsn > lsn {
+                break;
+            }
+            target = Some(end);
+            self.frames.pop_front();
+        }
+        let Some(end) = target else { return 0 };
+        let want = (end - self.trimmed) as usize;
+        let dropped = self.device.truncate_prefix(want).unwrap_or(0);
+        self.trimmed += dropped;
+        dropped
+    }
+}
+
 /// One shard's commit lane: an admission queue with its own leader
 /// election, and the shard's WAL device.
 struct Lane {
     queue: Mutex<QueueInner>,
     cv: Condvar,
-    wal: Mutex<Box<dyn LogDevice>>,
+    wal: Mutex<WalShard>,
 }
 
 impl Lane {
@@ -442,7 +553,7 @@ impl Lane {
                 next_id: 0,
             }),
             cv: Condvar::new(),
-            wal: Mutex::new(device),
+            wal: Mutex::new(WalShard::over(device)),
         }
     }
 }
@@ -461,6 +572,10 @@ pub(crate) struct Shared {
     /// `AdminRequest::TraceLookup`.
     pub(crate) trace_hub: Arc<TraceHub>,
     pub(crate) open_sessions: AtomicU64,
+    /// Live snapshot pins by LSN: the oldest pin is the MVCC garbage
+    /// collection horizon. A leaf lock — taken briefly, never while
+    /// waiting on any other lock.
+    pins: Mutex<PinSet>,
     next_session: AtomicU64,
     next_txn: AtomicU64,
     /// Sessions owned by the wire front door, keyed by id. A request
@@ -527,11 +642,14 @@ impl SessionService {
         let mut materialized = BTreeMap::new();
         for spec in views {
             let view = ExternalView::materialize(&spec.name, spec.schema, &initial, spec.mode)?;
-            materialized.insert(spec.name, view);
+            materialized.insert(spec.name, Arc::new(view));
         }
         let schema = Arc::clone(initial.schema());
+        let shards = config.shards;
+        let conceptual = Arc::new(initial);
         let core = Core {
-            conceptual: initial,
+            base: Arc::clone(&conceptual),
+            conceptual,
             views: materialized,
             version: 0,
             next_lsn: 1,
@@ -539,6 +657,13 @@ impl SessionService {
             history: Vec::new(),
             checkpoints: checkpoint_device,
             crashed: None,
+            mvcc: std::iter::repeat_with(MvccStore::new).take(shards).collect(),
+            dirty: BTreeSet::new(),
+            base_lsn: 0,
+            last_cp_lsn: 0,
+            last_full_lsn: 0,
+            prev_full_lsn: 0,
+            checkpoints_taken: 0,
         };
         let service = Self::assemble(core, schema, config, wal_devices);
         service.checkpoint_now()?;
@@ -562,6 +687,7 @@ impl SessionService {
                 shard_metrics,
                 trace_hub,
                 open_sessions: AtomicU64::new(0),
+                pins: Mutex::new(PinSet::new()),
                 next_session: AtomicU64::new(0),
                 next_txn: AtomicU64::new(0),
                 registry: Mutex::new(BTreeMap::new()),
@@ -615,11 +741,87 @@ impl SessionService {
         }
         let obs = config.obs.clone();
         let _span = obs.span("server/recover");
-        let (cp, checkpoint_tail) = wal::latest_checkpoint(&image.checkpoint);
-        let cp = cp.ok_or_else(|| {
-            ServerError::Recovery("no complete checkpoint in the durable image".into())
-        })?;
-        let mut state = codec::decode_state(Arc::clone(&schema), &cp.payload)?;
+        let recovery_timer = obs.time(Metric::RecoveryLatency);
+        // Scan the checkpoint stream record by record, resynchronizing
+        // past corrupt frames (a clean tail is the common case, but log
+        // truncation means an older *readable* record past a corrupt one
+        // may still anchor a usable chain).
+        let mut cp_records = Vec::new();
+        let mut checkpoint_tail = None;
+        let mut at = 0;
+        while at < image.checkpoint.len() {
+            match wal::decode_frame(&image.checkpoint, at) {
+                Ok((record, frame)) => {
+                    cp_records.push(record);
+                    at += frame;
+                }
+                Err(e) => {
+                    if checkpoint_tail.is_none() {
+                        checkpoint_tail = Some(e);
+                    }
+                    at += 1;
+                }
+            }
+        }
+        // Resolve the newest checkpoint *chain* that decodes end to
+        // end: a full image, or an incremental image whose prev-LSN
+        // links walk back to one. Any break (missing link, corrupt
+        // payload, failed fold) falls back to the next-older candidate
+        // — degrading to an older checkpoint and a longer replay, never
+        // to wrong state.
+        let mut resolved: Option<(GraphState, u64, usize)> = None;
+        'candidates: for end in (0..cp_records.len()).rev() {
+            let mut chain = vec![end];
+            let mut cur = end;
+            loop {
+                match codec::decode_checkpoint(&cp_records[cur].payload) {
+                    Ok(codec::CheckpointImage::Full { .. }) => break,
+                    Ok(codec::CheckpointImage::Incremental { prev_lsn, .. }) => {
+                        // Nearest earlier record carrying the linked
+                        // LSN (checkpoints of an idle service may share
+                        // LSNs; the nearest one is the chain parent).
+                        let Some(j) = (0..cur).rev().find(|&j| cp_records[j].lsn == prev_lsn)
+                        else {
+                            continue 'candidates;
+                        };
+                        chain.push(j);
+                        cur = j;
+                    }
+                    Err(_) => continue 'candidates,
+                }
+            }
+            chain.reverse();
+            let mut folded: Option<GraphState> = None;
+            for &i in &chain {
+                match codec::decode_checkpoint(&cp_records[i].payload) {
+                    Ok(codec::CheckpointImage::Full { delta }) => {
+                        match codec::decode_state(Arc::clone(&schema), delta) {
+                            Ok(s) => folded = Some(s),
+                            Err(_) => continue 'candidates,
+                        }
+                    }
+                    Ok(codec::CheckpointImage::Incremental { delta, .. }) => {
+                        let Some(s) = folded.take() else {
+                            continue 'candidates;
+                        };
+                        match codec::apply_delta_lenient(&s, delta) {
+                            Ok(next) => folded = Some(next),
+                            Err(_) => continue 'candidates,
+                        }
+                    }
+                    Err(_) => continue 'candidates,
+                }
+            }
+            if let Some(state) = folded {
+                resolved = Some((state, cp_records[end].lsn, chain.len() - 1));
+                break;
+            }
+        }
+        let Some((mut state, cp_lsn, chained_checkpoints)) = resolved else {
+            return Err(ServerError::Recovery(
+                "no complete checkpoint in the durable image".into(),
+            ));
+        };
         // Merge the shard logs: collect each clean prefix, sort by LSN,
         // drop duplicates (cross-shard frames) and anything the
         // checkpoint already covers.
@@ -635,25 +837,30 @@ impl SessionService {
         records.sort_by_key(|r| r.lsn);
         records.dedup_by_key(|r| r.lsn);
         let mut replayed = 0;
-        let mut next_lsn = cp.lsn + 1;
+        let mut replayed_bytes = 0u64;
+        let mut next_lsn = cp_lsn + 1;
         for r in &records {
-            if r.lsn <= cp.lsn {
+            if r.lsn <= cp_lsn {
                 next_lsn = next_lsn.max(r.lsn + 1);
                 continue;
             }
             let timer = obs.time(Metric::ReplayLatency);
-            state = codec::apply_delta(&state, &r.payload)?;
+            codec::apply_delta_in_place(&mut state, &r.payload)?;
             drop(timer);
             replayed += 1;
+            replayed_bytes += r.payload.len() as u64;
             next_lsn = r.lsn + 1;
             obs.add(Counter::WalRecordsReplayed, 1);
+            obs.add(Counter::ReplayBytes, r.payload.len() as u64);
             if let Some(t) = r.trace {
                 obs.trace_event("server/replay", TraceId(t), || format!("lsn {}", r.lsn));
             }
         }
         let report = RecoveryReport {
-            checkpoint_lsn: cp.lsn,
+            checkpoint_lsn: cp_lsn,
             replayed,
+            chained_checkpoints,
+            replayed_bytes,
             wal_tail,
             checkpoint_tail,
         };
@@ -661,10 +868,14 @@ impl SessionService {
         let mut materialized = BTreeMap::new();
         for spec in views {
             let view = ExternalView::materialize(&spec.name, spec.schema, &state, spec.mode)?;
-            materialized.insert(spec.name, view);
+            materialized.insert(spec.name, Arc::new(view));
         }
+        let shards = config.shards;
+        let conceptual = Arc::new(state);
+        let base_lsn = next_lsn - 1;
         let core = Core {
-            conceptual: state,
+            base: Arc::clone(&conceptual),
+            conceptual,
             views: materialized,
             version,
             next_lsn,
@@ -672,12 +883,21 @@ impl SessionService {
             history: Vec::new(),
             checkpoints: checkpoint_device,
             crashed: None,
+            mvcc: std::iter::repeat_with(MvccStore::new).take(shards).collect(),
+            dirty: BTreeSet::new(),
+            base_lsn,
+            last_cp_lsn: 0,
+            last_full_lsn: 0,
+            prev_full_lsn: 0,
+            checkpoints_taken: 0,
         };
         let service = Self::assemble(core, schema, config, wal_devices);
         // Re-anchor durability: the recovered state becomes the new
-        // checkpoint, so the (possibly torn) old devices are no longer
-        // load-bearing.
+        // checkpoint (always a *full* image — `checkpoints_taken` was
+        // reset — so the possibly-torn old devices are no longer
+        // load-bearing).
         service.checkpoint_now()?;
+        drop(recovery_timer);
         Ok((service, report))
     }
 
@@ -700,9 +920,17 @@ impl SessionService {
                         .views
                         .get(view)
                         .ok_or_else(|| ServerError::UnknownView(view.clone()))?;
+                    // O(1) snapshot: two Arc bumps plus an LSN pin —
+                    // never a state clone. The pin holds the MVCC GC
+                    // horizon at this snapshot's LSN until the session
+                    // drops or rebases.
+                    let pin_lsn = core.next_lsn - 1;
+                    self.shared.pins.lock().unwrap().pin(pin_lsn);
+                    obs.add(Counter::SnapshotOpens, 1);
                     Some((
-                        dme_ansi::ViewSession::over(v, core.conceptual.clone()),
+                        dme_ansi::ViewSession::over(Arc::clone(v), Arc::clone(&core.conceptual)),
                         core.version,
+                        pin_lsn,
                     ))
                 }
             }
@@ -738,9 +966,10 @@ impl SessionService {
         self.shared.core.lock().unwrap().version
     }
 
-    /// A snapshot of the conceptual state.
-    pub fn conceptual(&self) -> GraphState {
-        self.shared.core.lock().unwrap().conceptual.clone()
+    /// A shared snapshot of the conceptual state (an `Arc` bump, not a
+    /// clone — the commit path copies on write if someone holds it).
+    pub fn conceptual(&self) -> Arc<GraphState> {
+        Arc::clone(&self.shared.core.lock().unwrap().conceptual)
     }
 
     /// A snapshot of one external view's relational state.
@@ -766,21 +995,64 @@ impl SessionService {
             .collect()
     }
 
-    /// A fresh snapshot pair for a relational session rebasing after a
-    /// conflict.
+    /// A fresh snapshot triple (handle, version, pin LSN) for a
+    /// relational session rebasing after a conflict. The returned pin
+    /// is already registered; the caller owns releasing it.
     pub(crate) fn snapshot_for(
         &self,
         view: &str,
-    ) -> Result<(dme_ansi::ViewSession, u64), ServerError> {
+    ) -> Result<(dme_ansi::ViewSession, u64, u64), ServerError> {
         let core = self.shared.core.lock().unwrap();
         let v = core
             .views
             .get(view)
             .ok_or_else(|| ServerError::UnknownView(view.to_string()))?;
+        let pin_lsn = core.next_lsn - 1;
+        self.shared.pins.lock().unwrap().pin(pin_lsn);
+        self.shared.config.obs.add(Counter::SnapshotOpens, 1);
         Ok((
-            dme_ansi::ViewSession::over(v, core.conceptual.clone()),
+            dme_ansi::ViewSession::over(Arc::clone(v), Arc::clone(&core.conceptual)),
             core.version,
+            pin_lsn,
         ))
+    }
+
+    /// Releases a snapshot pin taken by [`SessionService::open_session`]
+    /// or [`SessionService::snapshot_for`], letting MVCC garbage
+    /// collection advance past it.
+    pub(crate) fn unpin(&self, lsn: u64) {
+        self.shared.pins.lock().unwrap().unpin(lsn);
+    }
+
+    /// The committed conceptual state as of `lsn`, reconstructed by
+    /// folding the MVCC version chains over the recovery/boot base
+    /// state. Valid for any LSN at or above the garbage-collection
+    /// horizon (the oldest live snapshot pin, or the latest full
+    /// checkpoint when nothing is pinned).
+    pub fn state_at(&self, lsn: u64) -> Result<GraphState, ServerError> {
+        let core = self.shared.core.lock().unwrap();
+        if let Some(why) = &core.crashed {
+            return Err(ServerError::Crashed(why.clone()));
+        }
+        let mut records: Vec<(u8, Vec<u8>, Vec<u8>)> = Vec::new();
+        for store in &core.mvcc {
+            for (key, v) in store.latest_upto(lsn) {
+                if v.lsn <= core.base_lsn {
+                    // Already reflected in the base state.
+                    continue;
+                }
+                let bytes = v.value.expect("service versions carry record bytes");
+                records.push((codec::record_class(bytes[0]), key, bytes.to_vec()));
+            }
+        }
+        // Class-then-key order matches the delta codec's canonical
+        // order (deletes before inserts), so one lenient fold applies.
+        records.sort();
+        let mut delta = Vec::new();
+        for (_, _, bytes) in &records {
+            delta.extend_from_slice(bytes);
+        }
+        codec::apply_delta_lenient(&core.base, &delta)
     }
 
     /// The committed schedule so far, in commit (LSN) order — what the
@@ -799,7 +1071,7 @@ impl SessionService {
             .shared
             .lanes
             .iter()
-            .map(|l| l.wal.lock().unwrap().contents())
+            .map(|l| l.wal.lock().unwrap().device.contents())
             .collect();
         let wal = wals.remove(0);
         DurableImage {
@@ -815,7 +1087,7 @@ impl SessionService {
         self.shared
             .lanes
             .iter()
-            .map(|l| l.wal.lock().unwrap().syncs())
+            .map(|l| l.wal.lock().unwrap().device.syncs())
             .sum()
     }
 
@@ -826,7 +1098,7 @@ impl SessionService {
         if let Some(why) = &core.crashed {
             return Err(ServerError::Crashed(why.clone()));
         }
-        Self::take_checkpoint(&self.shared.config, &mut core, None)
+        self.take_checkpoint(&mut core, None)
     }
 
     /// Derives the next transaction's deterministic trace id. Sessions
@@ -898,15 +1170,45 @@ impl SessionService {
         Ok(self.render_metrics(matches!(request, codec::AdminRequest::MetricsJson)))
     }
 
-    fn take_checkpoint(
-        config: &ServiceConfig,
-        core: &mut Core,
-        trace: Option<TraceId>,
-    ) -> Result<(), ServerError> {
+    /// Appends a checkpoint image to the checkpoint device and syncs
+    /// it. Every `full_checkpoint_every`-th image (and always the
+    /// first) is a full conceptual state; the ones in between are
+    /// incremental — the records the dirty fact keys currently carry,
+    /// chained by LSN to the previous image. A durable full image also
+    /// drives the storage economy: MVCC versions behind the oldest
+    /// snapshot pin are collected, the `state_at` base advances when
+    /// nothing pins history, and each shard's WAL is truncated up to
+    /// the *previous* full image (keeping one spare chain so a corrupt
+    /// newest record still leaves a recoverable image).
+    fn take_checkpoint(&self, core: &mut Core, trace: Option<TraceId>) -> Result<(), ServerError> {
+        let config = &self.shared.config;
         let obs = &config.obs;
         let _timer = obs.time(Metric::CheckpointLatency);
         let lsn = core.next_lsn - 1;
-        let payload = codec::encode_state(&core.conceptual);
+        let full = core
+            .checkpoints_taken
+            .is_multiple_of(config.full_checkpoint_every);
+        let payload = if full {
+            codec::encode_full_checkpoint(&core.conceptual)
+        } else {
+            let mut records: Vec<(u8, &[u8], Vec<u8>)> = Vec::new();
+            let partitions = core.mvcc.len();
+            for key in &core.dirty {
+                let store = &core.mvcc[codec::mvcc_shard(key, partitions)];
+                if let Some(v) = store.version_at(key, lsn) {
+                    let bytes = v.value.expect("service versions carry record bytes");
+                    records.push((codec::record_class(bytes[0]), key, bytes.to_vec()));
+                }
+            }
+            // Canonical delta order: deletes before inserts, keys
+            // sorted within each class.
+            records.sort();
+            let mut delta = Vec::new();
+            for (_, _, bytes) in &records {
+                delta.extend_from_slice(bytes);
+            }
+            codec::encode_incremental_checkpoint(core.last_cp_lsn, &delta)
+        };
         let mut buf = Vec::new();
         wal::append_record_traced(&mut buf, lsn, trace.map(TraceId::as_u64), &payload);
         let result = core
@@ -916,9 +1218,51 @@ impl SessionService {
         match result {
             Ok(()) => {
                 core.commits_since_checkpoint = 0;
+                core.checkpoints_taken += 1;
+                core.last_cp_lsn = lsn;
+                core.dirty.clear();
                 obs.add(Counter::CheckpointsTaken, 1);
+                obs.add(Counter::CheckpointBytes, payload.len() as u64);
                 if let Some(t) = trace {
                     obs.trace_event("server/checkpoint", t, || format!("lsn {lsn}"));
+                }
+                // MVCC garbage collection: versions behind the oldest
+                // live snapshot pin (or this checkpoint, whichever is
+                // older) can no longer be observed.
+                let oldest_pin = self.shared.pins.lock().unwrap().oldest();
+                let horizon = oldest_pin.unwrap_or(lsn).min(lsn);
+                let mut dropped = 0u64;
+                for store in &mut core.mvcc {
+                    dropped += store.gc(horizon).versions_dropped;
+                }
+                if full {
+                    core.prev_full_lsn = core.last_full_lsn;
+                    core.last_full_lsn = lsn;
+                    if horizon == lsn {
+                        // Nothing pins history: the current state
+                        // becomes the new `state_at` base, after which
+                        // single-version delete chains are dead weight
+                        // (folding them over the new base is a no-op).
+                        core.base = Arc::clone(&core.conceptual);
+                        core.base_lsn = lsn;
+                        for store in &mut core.mvcc {
+                            dropped += store
+                                .purge_if(horizon, |v| {
+                                    v.value.is_none_or(codec::record_is_delete)
+                                })
+                                .versions_dropped;
+                        }
+                    }
+                    // Shard WALs are covered up to the *previous* full
+                    // image: truncate their fully-covered front batches.
+                    if core.prev_full_lsn > 0 {
+                        for lane in &self.shared.lanes {
+                            lane.wal.lock().unwrap().truncate_upto(core.prev_full_lsn);
+                        }
+                    }
+                }
+                if dropped > 0 {
+                    obs.add(Counter::VersionsGcd, dropped);
                 }
                 Ok(())
             }
@@ -1043,7 +1387,7 @@ impl SessionService {
             let mut advanced = Vec::with_capacity(core.views.len());
             let mut failure: Option<Outcome> = None;
             for (name, view) in &core.views {
-                let mut v = view.clone();
+                let mut v = ExternalView::clone(view);
                 if let Err(e) = v.apply_conceptual(&req.gops, &core.conceptual) {
                     failure = Some(Outcome::Aborted(format!("view {name}: {e}")));
                     break;
@@ -1056,7 +1400,11 @@ impl SessionService {
                 outcomes.push((req.id, out));
                 continue;
             }
-            let txn = match GraphOp::apply_all_delta(&req.gops, &mut core.conceptual) {
+            // Copy-on-write: the clone inside `make_mut` is paid only
+            // when a snapshot still shares this generation — and then
+            // once per generation, not once per open session.
+            let txn = match GraphOp::apply_all_delta(&req.gops, Arc::make_mut(&mut core.conceptual))
+            {
                 Ok(txn) => txn,
                 Err(e) => {
                     drop(verify_timer);
@@ -1075,7 +1423,7 @@ impl SessionService {
             }
             drop(verify_timer);
             if let Some(out) = failure {
-                GraphOp::undo_txn(&mut core.conceptual, txn);
+                GraphOp::undo_txn(Arc::make_mut(&mut core.conceptual), txn);
                 obs.add(Counter::TxnsAborted, 1);
                 outcomes.push((req.id, out));
                 continue;
@@ -1105,8 +1453,33 @@ impl SessionService {
             core.next_lsn += 1;
             core.version += 1;
             let payload = codec::encode_changes(txn.changes());
+            // Record every committed change as an LSN-keyed version in
+            // its MVCC partition and mark its fact key dirty for the
+            // next incremental checkpoint. A storage failure here is a
+            // crash (same contract as a device failure: the in-memory
+            // state is tainted, only the durable image matters).
+            let partitions = core.mvcc.len();
+            let mut mvcc_failure: Option<String> = None;
+            for change in txn.changes() {
+                let key = codec::mvcc_fact_key(change);
+                let record = codec::mvcc_fact_record(change);
+                let partition = codec::mvcc_shard(&key, partitions);
+                if let Err(e) = core.mvcc[partition].put(&key, lsn, &record) {
+                    mvcc_failure = Some(format!("mvcc put: {e}"));
+                    break;
+                }
+                core.dirty.insert(key);
+            }
+            if let Some(why) = mvcc_failure {
+                core.crashed = Some(why.clone());
+                outcomes.push((req.id, Outcome::Crashed(why.clone())));
+                for req in staged.drain(..) {
+                    outcomes.push((req.id, Outcome::Crashed(why.clone())));
+                }
+                return outcomes;
+            }
             for (name, v) in advanced {
-                core.views.insert(name, v);
+                core.views.insert(name, Arc::new(v));
             }
             staged.push(StagedTxn {
                 id: req.id,
@@ -1135,6 +1508,10 @@ impl SessionService {
         let cross = staged.iter().filter(|s| s.shards.len() > 1).count() as u64;
         let mut bufs: BTreeMap<usize, Vec<u8>> =
             involved.iter().map(|&s| (s, Vec::new())).collect();
+        // Highest LSN each shard's batch buffer carries (staged is in
+        // LSN order, so the last write wins) — the WAL frame map needs
+        // it for checkpoint-covered truncation.
+        let mut max_lsns: BTreeMap<usize, u64> = BTreeMap::new();
         let mut frames = 0u64;
         let batch_size = staged.len();
         let hub = &self.shared.trace_hub;
@@ -1168,6 +1545,7 @@ impl SessionService {
                 bufs.get_mut(&s)
                     .expect("buffer per involved shard")
                     .extend_from_slice(&frame);
+                max_lsns.insert(s, st.lsn);
                 frames += 1;
             }
         }
@@ -1188,9 +1566,15 @@ impl SessionService {
         // must not keep shard k's log locked while shard j < k is
         // still syncing, or disjoint batches on other lanes serialize
         // behind it.
-        for (s, mut device) in guards.drain(..) {
-            let result = device.append(&bufs[&s]).and_then(|_| device.sync());
-            drop(device);
+        for (s, mut shard_wal) in guards.drain(..) {
+            let result = shard_wal
+                .device
+                .append(&bufs[&s])
+                .and_then(|_| shard_wal.device.sync());
+            if result.is_ok() {
+                shard_wal.note_batch(max_lsns[&s], bufs[&s].len() as u64);
+            }
+            drop(shard_wal);
             if let Err(e) = result {
                 failure = Some(e);
                 break;
@@ -1270,7 +1654,7 @@ impl SessionService {
                 {
                     // A failed checkpoint marks the service crashed; the
                     // commits above are already durable in the WALs.
-                    let _ = Self::take_checkpoint(config, &mut core, last_trace);
+                    let _ = self.take_checkpoint(&mut core, last_trace);
                 }
             }
             Some(e) => {

@@ -37,8 +37,9 @@ pub struct Session {
     service: SessionService,
     id: u64,
     kind: SessionKind,
-    /// Relational sessions: the snapshot handle and its base version.
-    snapshot: Option<(ViewSession, u64)>,
+    /// Relational sessions: the snapshot handle, its base version, and
+    /// the LSN pin holding the MVCC GC horizon for this snapshot.
+    snapshot: Option<(ViewSession, u64, u64)>,
     closed: bool,
 }
 
@@ -53,7 +54,7 @@ impl Session {
         service: SessionService,
         id: u64,
         kind: SessionKind,
-        snapshot: Option<(ViewSession, u64)>,
+        snapshot: Option<(ViewSession, u64, u64)>,
     ) -> Self {
         Session {
             service,
@@ -159,7 +160,7 @@ impl Session {
             format!("session {session_id} model=relational view={view_name}")
         });
         for attempt in 1..=max_attempts {
-            let (handle, base_version) = self
+            let (handle, base_version, _) = self
                 .snapshot
                 .as_ref()
                 .expect("relational sessions hold a snapshot");
@@ -219,7 +220,10 @@ impl Session {
     }
 
     fn rebase(&mut self, view: &str) -> Result<(), ServerError> {
-        self.snapshot = Some(self.service.snapshot_for(view)?);
+        let fresh = self.service.snapshot_for(view)?;
+        if let Some((_, _, pin)) = self.snapshot.replace(fresh) {
+            self.service.unpin(pin);
+        }
         Ok(())
     }
 
@@ -230,17 +234,17 @@ impl Session {
         self.ensure_open()?;
         self.snapshot
             .as_ref()
-            .map(|(handle, _)| handle.state())
+            .map(|(handle, _, _)| handle.state())
             .ok_or_else(|| ServerError::Translate("graph sessions read conceptual state".into()))
     }
 
     /// Snapshot read of the conceptual state (graph sessions read the
     /// current committed state; relational sessions read the conceptual
     /// state paired with their view snapshot).
-    pub fn conceptual_state(&self) -> Result<GraphState, ServerError> {
+    pub fn conceptual_state(&self) -> Result<std::sync::Arc<GraphState>, ServerError> {
         self.ensure_open()?;
         match &self.snapshot {
-            Some((handle, _)) => Ok(handle.conceptual().clone()),
+            Some((handle, _, _)) => Ok(handle.conceptual_shared()),
             None => Ok(self.service.conceptual()),
         }
     }
@@ -262,7 +266,7 @@ impl Session {
     /// releases the slot too, skipping the check.
     pub fn close(mut self) -> Result<(), ServerError> {
         self.ensure_open()?;
-        if let Some((handle, _)) = &self.snapshot {
+        if let Some((handle, _, _)) = &self.snapshot {
             if !handle.consistent() {
                 let view = handle.name().to_string();
                 self.closed = true;
@@ -275,7 +279,10 @@ impl Session {
         Ok(())
     }
 
-    fn release(&self) {
+    fn release(&mut self) {
+        if let Some((_, _, pin)) = self.snapshot.take() {
+            self.service.unpin(pin);
+        }
         self.service
             .shared
             .open_sessions

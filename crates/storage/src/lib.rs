@@ -30,12 +30,14 @@ pub mod codec;
 pub mod heap;
 pub mod index;
 pub mod journal;
+pub mod mvcc;
 pub mod page;
 pub mod store;
 pub mod wal;
 
 pub use codec::{decode_tuple, encode_tuple, CodecError};
 pub use heap::{HeapFile, RecordPtr};
+pub use mvcc::{GcStats, MvccStore, PinSet};
 pub use journal::{Journal, JournalError};
 pub use page::{Page, PageError, PAGE_SIZE};
 pub use store::{RecordStore, StoreError};

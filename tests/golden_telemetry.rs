@@ -126,6 +126,42 @@ fn exporters_satisfy_their_format_contracts() {
     assert!(!json.contains("\"shards\""));
 }
 
+/// Contract for the MVCC storage-engine families: the snapshot/GC/
+/// checkpoint/replay counters and the recovery-latency histogram added
+/// with the storage tier must reach both exporters under their wire
+/// names — dashboards key on these exact strings.
+#[test]
+fn storage_engine_families_reach_both_exporters() {
+    let obs = fixture_observer();
+    obs.add(Counter::SnapshotOpens, 3);
+    obs.add(Counter::VersionsGcd, 17);
+    obs.add(Counter::CheckpointBytes, 4_096);
+    obs.add(Counter::ReplayBytes, 512);
+    obs.record(Metric::RecoveryLatency, 8_500);
+
+    let text = prometheus_text(&obs);
+    for family in [
+        "dme_counter{name=\"snapshot_opens\"} 3",
+        "dme_counter{name=\"versions_gcd\"} 17",
+        "dme_counter{name=\"checkpoint_bytes\"} 4096",
+        "dme_counter{name=\"replay_bytes\"} 512",
+        "dme_latency_us{metric=\"recovery_latency_us\",quantile=\"0.5\"}",
+    ] {
+        assert!(text.contains(family), "text export misses {family}");
+    }
+
+    let json = json_snapshot(&obs);
+    for field in [
+        "\"snapshot_opens\":3",
+        "\"versions_gcd\":17",
+        "\"checkpoint_bytes\":4096",
+        "\"replay_bytes\":512",
+        "\"recovery_latency_us\"",
+    ] {
+        assert!(json.contains(field), "JSON export misses {field}");
+    }
+}
+
 /// The sharded renders label every lane: per-shard counters (non-zero
 /// only), the commit-lane depth gauge (always, it is a gauge), and
 /// per-shard latency summaries, all with `shard="i"` labels — on top

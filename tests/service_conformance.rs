@@ -69,6 +69,18 @@ fn views(cfg: ShopConfig) -> Vec<ViewSpec> {
 /// Runs one schedule concurrently and checks every conformance
 /// property. `Err` carries a human-readable violation.
 fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
+    run_schedule_with(spec, 0, 1)
+}
+
+/// [`run_schedule`] with a checkpoint cadence: `checkpoint_every`
+/// commits between images, every `full_checkpoint_every`-th a full one.
+/// A non-zero cadence exercises incremental chains, MVCC garbage
+/// collection, and WAL truncation *under* the concurrent storm.
+fn run_schedule_with(
+    spec: ScheduleSpec,
+    checkpoint_every: u64,
+    full_checkpoint_every: u64,
+) -> Result<(), String> {
     let cfg = shop_cfg(spec.seed);
     let initial = workload::graph_state(cfg);
     let config = ServiceConfig {
@@ -77,6 +89,8 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
         } else {
             CommitMode::Group
         },
+        checkpoint_every,
+        full_checkpoint_every,
         ..ServiceConfig::default()
     };
     let service = SessionService::new(
@@ -87,6 +101,21 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
         Box::new(MemDevice::new()),
     )
     .map_err(|e| format!("boot: {e}"))?;
+
+    // A sentinel relational session opened *before* the storm: its
+    // pinned snapshot must still read the initial state afterwards, no
+    // matter how many commits, checkpoints, or GC passes happened — the
+    // MVCC pin, not a private state copy, is what holds that history.
+    let sentinel = service
+        .open_session(SessionKind::Relational {
+            view: "personnel".into(),
+        })
+        .map_err(|e| format!("sentinel admit: {e}"))?;
+    let sentinel_view = {
+        let spec = &views(cfg)[1];
+        ExternalView::materialize(&spec.name, spec.schema.clone(), &initial, spec.mode)
+            .map_err(|e| format!("sentinel oracle: {e}"))?
+    };
 
     let streams = workload::session_streams(cfg, spec.sessions, spec.ops_each);
     std::thread::scope(|scope| {
@@ -119,6 +148,25 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
         }
     });
 
+    // The un-refreshed sentinel still reads its pre-storm snapshot.
+    if sentinel
+        .relational_state()
+        .map_err(|e| format!("sentinel read: {e}"))?
+        != sentinel_view.state()
+    {
+        return Err("sentinel snapshot drifted during the storm".into());
+    }
+    if *sentinel
+        .conceptual_state()
+        .map_err(|e| format!("sentinel conceptual read: {e}"))?
+        != initial
+    {
+        return Err("sentinel conceptual snapshot drifted during the storm".into());
+    }
+    sentinel
+        .close()
+        .map_err(|e| format!("sentinel teardown: {e}"))?;
+
     if service.open_sessions() != 0 {
         return Err(format!(
             "{} sessions still open after teardown",
@@ -138,7 +186,7 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
         })?;
     }
     let live = service.conceptual();
-    if live != oracle {
+    if *live != oracle {
         return Err("final conceptual state != sequential replay of committed schedule".into());
     }
     oracle
@@ -172,6 +220,33 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
         }
     }
 
+    // Oracle 4: time travel. `state_at(lsn)` must reproduce the
+    // sequential replay of every committed prefix. Only meaningful when
+    // no checkpoint cadence runs — a cadence garbage-collects version
+    // history behind the GC horizon, by design.
+    if checkpoint_every == 0 {
+        let mut cursor = initial.clone();
+        let at = service
+            .state_at(0)
+            .map_err(|e| format!("state_at(0): {e}"))?;
+        if at != cursor {
+            return Err("state_at(0) != initial state".into());
+        }
+        for txn in &history {
+            cursor = GraphOp::apply_all(&txn.ops, &cursor).expect("already replayed once");
+            let at = service
+                .state_at(txn.lsn)
+                .map_err(|e| format!("state_at({}): {e}", txn.lsn))?;
+            if at != cursor {
+                return Err(format!(
+                    "state_at({}) != sequential replay of the first {} transactions",
+                    txn.lsn,
+                    history.iter().take_while(|t| t.lsn <= txn.lsn).count()
+                ));
+            }
+        }
+    }
+
     // Oracle 3: recovery from the durable image agrees with the live
     // service.
     let (recovered, report) = SessionService::recover(
@@ -183,17 +258,50 @@ fn run_schedule(spec: ScheduleSpec) -> Result<(), String> {
         Box::new(MemDevice::new()),
     )
     .map_err(|e| format!("recovery: {e}"))?;
-    if recovered.conceptual() != oracle {
+    if *recovered.conceptual() != oracle {
         return Err("recovered conceptual state != committed state".into());
     }
-    if report.replayed != history.len() {
+    // Without a cadence the only checkpoint is the boot image, so
+    // recovery must replay the whole history; under a cadence the
+    // resolved chain (and WAL truncation) legitimately bound replay.
+    if checkpoint_every == 0 && report.replayed != history.len() {
         return Err(format!(
             "recovery replayed {} of {} committed transactions",
             report.replayed,
             history.len()
         ));
     }
+    if report.replayed > history.len() {
+        return Err(format!(
+            "recovery replayed {} transactions, more than the {} committed",
+            report.replayed,
+            history.len()
+        ));
+    }
     Ok(())
+}
+
+/// The MVCC economy under fire: the same concurrent schedules, now with
+/// checkpoint cadences that interleave incremental images, version GC,
+/// base advancement, and WAL truncation with the commit storm — every
+/// oracle (including the pinned pre-storm sentinel) must still hold.
+#[test]
+fn checkpoint_cadences_conform_under_concurrency() {
+    for seed in [7, 42, 1978] {
+        // (commits per image, images per full): every-full baseline,
+        // incremental chains, and a sparser full cadence.
+        for (every, full) in [(1, 1), (2, 3), (3, 2)] {
+            let spec = ScheduleSpec {
+                seed,
+                sessions: 5,
+                ops_each: 4,
+                per_op_commit: seed % 2 == 0,
+            };
+            run_schedule_with(spec, every, full).unwrap_or_else(|violation| {
+                panic!("seed {seed}, cadence ({every},{full}): {violation}")
+            });
+        }
+    }
 }
 
 /// Greedy delta-debugging over schedule specs: shrink sessions, then

@@ -254,7 +254,7 @@ fn drive_and_check(
             )
         })?;
     }
-    if service.conceptual() != oracle {
+    if *service.conceptual() != oracle {
         return Err("final conceptual state != sequential replay of committed schedule".into());
     }
     oracle
@@ -302,7 +302,7 @@ fn drive_and_check(
         Box::new(MemDevice::new()),
     )
     .map_err(|e| format!("recovery: {e}"))?;
-    if recovered.conceptual() != oracle {
+    if *recovered.conceptual() != oracle {
         return Err("recovered conceptual state != committed state".into());
     }
     if report.replayed != history.len() {

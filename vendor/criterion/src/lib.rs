@@ -153,6 +153,19 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// How much setup output `iter_batched` prepares per batch. The shim
+/// runs one setup per timed call either way; the variants exist for
+/// source compatibility with the real crate.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
 /// Timer handle passed to benchmark closures.
 pub struct Bencher {
     iters: u64,
@@ -167,6 +180,23 @@ impl Bencher {
             black_box(routine());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Times `iters` calls of `routine`, each fed a fresh value from
+    /// `setup`; setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
     }
 }
 
